@@ -1,0 +1,211 @@
+(* Command-line front end for the reproduction: generate TPC-C traces,
+   analyse them, run the Algorithm 2 simulator and sweeps, and reproduce
+   the Q1-Q6 device comparison.
+
+     ipl_cli gen --warehouses 1 --buffer-mb 4 --transactions 5000 -o t.trace
+     ipl_cli stats t.trace
+     ipl_cli simulate t.trace --log-region-kb 16
+     ipl_cli sweep t.trace
+     ipl_cli queries *)
+
+open Cmdliner
+
+module Trace = Reftrace.Trace
+module Trace_io = Reftrace.Trace_io
+module Locality = Reftrace.Locality
+module Sim = Iplsim.Ipl_simulator
+module Sweep = Iplsim.Sweep
+module Cost = Iplsim.Cost_model
+module Driver = Tpcc.Tpcc_driver
+module Q = Workload.Queries
+
+(* ---------------- gen ---------------- *)
+
+let gen warehouses buffer_mb users transactions seed out =
+  let r = Driver.generate_trace ~seed ~warehouses ~buffer_mb ~users ~transactions () in
+  Trace_io.save r.Driver.trace out;
+  Printf.printf "wrote %s: %d events (%d log records, %d page writes), %d-page database\n" out
+    (Trace.length r.Driver.trace)
+    (Trace.stats r.Driver.trace).Trace.total_logs
+    (Trace.stats r.Driver.trace).Trace.page_writes
+    r.Driver.db_pages
+
+let warehouses_t =
+  Arg.(value & opt int 1 & info [ "w"; "warehouses" ] ~doc:"TPC-C warehouses (10 = ~1GB).")
+
+let buffer_mb_t = Arg.(value & opt int 20 & info [ "buffer-mb" ] ~doc:"Buffer pool size, MB.")
+let users_t = Arg.(value & opt int 10 & info [ "users" ] ~doc:"Simulated users (names the trace).")
+
+let transactions_t =
+  Arg.(value & opt int 5000 & info [ "n"; "transactions" ] ~doc:"Transactions to run.")
+
+let seed_t = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
+
+let out_t =
+  Arg.(value & opt string "tpcc.trace" & info [ "o"; "output" ] ~doc:"Output trace file.")
+
+let gen_cmd =
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a TPC-C update-reference trace (Section 4.2.1).")
+    Term.(const gen $ warehouses_t $ buffer_mb_t $ users_t $ transactions_t $ seed_t $ out_t)
+
+(* ---------------- stats ---------------- *)
+
+let trace_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc:"Trace file.")
+
+let stats file =
+  let trace = Trace_io.load file in
+  Printf.printf "%s: %d events over a %d-page database\n" (Trace.name trace)
+    (Trace.length trace) (Trace.db_pages trace);
+  Format.printf "%a@." Trace.pp_stats (Trace.stats trace);
+  let show label s = Format.printf "  %-26s %a@." label Locality.pp_skew s in
+  show "log references" (Locality.log_reference_skew trace ~top:2000);
+  show "physical page writes" (Locality.page_write_skew trace ~top:2000);
+  show "erases (15 pages/unit)" (Locality.erase_skew trace ~top:100 ~pages_per_eu:15);
+  Printf.printf "  window-16 distinct pages: %.2f, erase units: %.2f\n"
+    (Locality.sliding_window_distinct trace ~window:16 `Pages)
+    (Locality.sliding_window_distinct trace ~window:16 (`Erase_units 15))
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Table 4 / Figure 4 style analysis of a trace.")
+    Term.(const stats $ trace_arg)
+
+(* ---------------- simulate ---------------- *)
+
+let simulate file log_region_kb tau_s flush_empty =
+  let trace = Trace_io.load file in
+  let params =
+    {
+      Sim.default_params with
+      Sim.log_region = log_region_kb * 1024;
+      fill_policy = (match tau_s with None -> `Bytes | Some n -> `Count n);
+      flush_empty_on_evict = flush_empty;
+    }
+  in
+  let r = Sim.run ~params trace in
+  Format.printf "%a@." Sim.pp_result r;
+  let t_ipl = Cost.t_ipl ~sector_writes:r.Sim.sector_writes ~merges:r.Sim.merges () in
+  Printf.printf "t_IPL = %.1f s;  t_Conv(0.9) = %.1f s;  t_Conv(0.5) = %.1f s\n" t_ipl
+    (Cost.t_conv ~page_writes:r.Sim.page_write_events ~alpha:0.9 ())
+    (Cost.t_conv ~page_writes:r.Sim.page_write_events ~alpha:0.5 ())
+
+let log_region_t =
+  Arg.(value & opt int 8 & info [ "log-region-kb" ] ~doc:"Log region per 128KB erase unit, KB.")
+
+let tau_s_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "tau-s" ] ~doc:"Flush after a fixed record count (paper's pseudo-code) instead of byte-accurate fill.")
+
+let flush_empty_t =
+  Arg.(value & flag & info [ "flush-empty" ] ~doc:"Emit a sector write on every eviction, even with no pending records.")
+
+let simulate_cmd =
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run the Algorithm 2 IPL simulator over a trace.")
+    Term.(const simulate $ trace_arg $ log_region_t $ tau_s_t $ flush_empty_t)
+
+(* ---------------- sweep ---------------- *)
+
+let sweep file csv =
+  let trace = Trace_io.load file in
+  let points = Sweep.log_region_sweep trace in
+  if csv then begin
+    Printf.printf "log_region_kb,merges,sector_writes,t_ipl_s,db_size_mb\n";
+    List.iter
+      (fun (p : Sweep.point) ->
+        Printf.printf "%d,%d,%d,%.2f,%d\n" (p.Sweep.log_region / 1024)
+          p.Sweep.result.Sim.merges p.Sweep.result.Sim.sector_writes p.Sweep.t_ipl
+          (p.Sweep.db_size / 1024 / 1024))
+      points
+  end
+  else begin
+    Printf.printf "%-10s %10s %12s %12s %10s\n" "log region" "merges" "sector wr" "t_IPL (s)"
+      "DB size";
+    List.iter
+      (fun (p : Sweep.point) ->
+        Printf.printf "%6d KB %12d %12d %12.1f %7d MB\n" (p.Sweep.log_region / 1024)
+          p.Sweep.result.Sim.merges p.Sweep.result.Sim.sector_writes p.Sweep.t_ipl
+          (p.Sweep.db_size / 1024 / 1024))
+      points
+  end
+
+let csv_t = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV (plot-ready) output.")
+
+let sweep_cmd =
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Figures 5/6: sweep the log-region size over a trace.")
+    Term.(const sweep $ trace_arg $ csv_t)
+
+(* ---------------- replay ---------------- *)
+
+let replay file design =
+  let trace = Trace_io.load file in
+  let db_pages = Trace.db_pages trace in
+  let blocks = (db_pages / 16 * 115 / 100) + 32 in
+  let chip =
+    Flash_sim.Flash_chip.create
+      (Flash_sim.Flash_config.default ~num_blocks:blocks ~materialize:false ())
+  in
+  let time, erases =
+    match design with
+    | "ftl" ->
+        let ftl = Ftl.Block_ftl.create chip ~page_size:8192 in
+        Ftl.Block_ftl.format ftl;
+        ( Baseline.Replay.run trace (Ftl.Block_ftl.device ftl),
+          (Flash_sim.Flash_chip.stats chip).Flash_sim.Flash_stats.block_erases )
+    | "lfs" ->
+        let lfs = Baseline.Lfs_store.create chip ~page_size:8192 in
+        Baseline.Lfs_store.format lfs;
+        ( Baseline.Replay.run trace (Baseline.Lfs_store.device lfs),
+          (Flash_sim.Flash_chip.stats chip).Flash_sim.Flash_stats.block_erases )
+    | "inplace" ->
+        let ip = Baseline.Inplace_store.create chip ~page_size:8192 in
+        Baseline.Inplace_store.format ip;
+        ( Baseline.Replay.run trace (Baseline.Inplace_store.device ip),
+          (Flash_sim.Flash_chip.stats chip).Flash_sim.Flash_stats.block_erases )
+    | "ipl" ->
+        let r = Sim.run trace in
+        (Cost.t_ipl ~sector_writes:r.Sim.sector_writes ~merges:r.Sim.merges (), r.Sim.merges)
+    | other -> failwith (Printf.sprintf "unknown design %S (ftl|lfs|inplace|ipl)" other)
+  in
+  Printf.printf "%s on %s: %.1f s, %d erases/merges
+" design (Trace.name trace) time erases
+
+let design_t =
+  Arg.(
+    value
+    & opt string "ipl"
+    & info [ "design" ] ~doc:"Storage design: ipl, ftl (DRAM-buffered SSD), lfs, or inplace.")
+
+let replay_cmd =
+  Cmd.v
+    (Cmd.info "replay" ~doc:"Replay a trace's write stream on a storage design.")
+    Term.(const replay $ trace_arg $ design_t)
+
+(* ---------------- queries ---------------- *)
+
+let queries () =
+  Printf.printf "%-28s %10s %10s\n" "" "disk (s)" "flash (s)";
+  List.iter
+    (fun (q, (d : Q.measurement), (f : Q.measurement)) ->
+      Printf.printf "%-28s %10.2f %10.2f\n" (Q.name q) d.Q.elapsed f.Q.elapsed)
+    (Q.table3 ())
+
+let queries_cmd =
+  Cmd.v
+    (Cmd.info "queries" ~doc:"Tables 2/3: run Q1-Q6 on the disk and flash-SSD models.")
+    Term.(const queries $ const ())
+
+(* ---------------- main ---------------- *)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "ipl_cli" ~version:"1.0"
+       ~doc:"In-page logging (SIGMOD 2007) reproduction toolkit.")
+    [ gen_cmd; stats_cmd; simulate_cmd; sweep_cmd; replay_cmd; queries_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

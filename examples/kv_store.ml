@@ -1,0 +1,65 @@
+(* A durable key-value store in ~60 lines on top of the relational layer.
+
+   Run with: dune exec examples/kv_store.exe
+
+   Shows that the stack generalises past TPC-C: `Relation.Table` (heap
+   file + B+-tree) over the IPL engine gives you a crash-safe ordered KV
+   store on raw NAND with no FTL underneath. String keys are hashed to
+   the table's integer key space; collisions are resolved by storing the
+   full key in the row. *)
+
+module Chip = Flash_sim.Flash_chip
+module FConfig = Flash_sim.Flash_config
+module Engine = Ipl_core.Ipl_engine
+module Table = Relation.Table
+module Record = Storage.Record
+
+let hash_key k = Hashtbl.hash k land 0x3FFFFFFF
+
+let put table ~tx key value =
+  let row = Record.[ S key; S value ] in
+  match Table.update table ~tx ~key:(hash_key key) (fun _ -> row) with
+  | Ok true -> ()
+  | Ok false -> ( match Table.insert table ~tx ~key:(hash_key key) row with
+                  | Ok () -> () | Error e -> failwith e)
+  | Error e -> failwith e
+
+let get table key =
+  match Table.find table (hash_key key) with
+  | Some row when Record.get_string row 0 = key -> Some (Record.get_string row 1)
+  | _ -> None
+
+let () =
+  let chip = Chip.create (FConfig.default ~num_blocks:128 ()) in
+  let engine = Engine.create chip in
+  let kv = Table.create engine in
+
+  Printf.printf "Putting 1000 keys...\n";
+  for i = 1 to 1000 do
+    put kv ~tx:0 (Printf.sprintf "user:%04d" i) (Printf.sprintf "name-%d" i)
+  done;
+  put kv ~tx:0 "user:0042" "douglas";
+  Printf.printf "get user:0042 = %s\n" (Option.value ~default:"<none>" (get kv "user:0042"));
+  Printf.printf "get user:0999 = %s\n" (Option.value ~default:"<none>" (get kv "user:0999"));
+  Printf.printf "get missing   = %s\n" (Option.value ~default:"<none>" (get kv "nope"));
+
+  Printf.printf "\nThe store sits directly on simulated NAND:\n";
+  let s = Engine.stats engine in
+  Printf.printf "  %d heap pages, %d entries, %d log sectors written, %d merges\n"
+    (Table.heap_pages kv) (Table.count kv)
+    s.Engine.storage.Ipl_core.Ipl_storage.log_sector_writes
+    s.Engine.storage.Ipl_core.Ipl_storage.merges;
+
+  Engine.checkpoint engine;
+  Printf.printf "\nCrash + restart...\n";
+  let engine', _ = Engine.restart chip in
+  let kv' =
+    Table.attach engine' ~heap_header:(Table.heap_header kv)
+      ~index_header:(Table.index_header kv)
+  in
+  Printf.printf "get user:0042 = %s (still there)\n"
+    (Option.value ~default:"<none>"
+       (match Table.find kv' (hash_key "user:0042") with
+       | Some row -> Some (Record.get_string row 1)
+       | None -> None));
+  Printf.printf "entries after restart: %d\n" (Table.count kv')

@@ -1,0 +1,84 @@
+module Chip = Flash_sim.Flash_chip
+module Config = Flash_sim.Flash_config
+
+type stats = { page_writes : int; page_reads : int; erases : int }
+
+type t = {
+  chip : Chip.t;
+  page_size : int;
+  pages_per_block : int;
+  sectors_per_page : int;
+  num_pages : int;
+  scratch : Bytes.t;
+  mutable page_writes : int;
+  mutable page_reads : int;
+}
+
+let create chip ~page_size =
+  let c = Chip.config chip in
+  if c.Config.block_size mod page_size <> 0 then
+    invalid_arg "Inplace_store: page size must divide the block size";
+  let pages_per_block = c.Config.block_size / page_size in
+  {
+    chip;
+    page_size;
+    pages_per_block;
+    sectors_per_page = page_size / c.Config.sector_size;
+    num_pages = c.Config.num_blocks * pages_per_block;
+    scratch = Bytes.make page_size '\xff';
+    page_writes = 0;
+    page_reads = 0;
+  }
+
+let num_pages t = t.num_pages
+
+let sector_of_page t p =
+  let b = p / t.pages_per_block and i = p mod t.pages_per_block in
+  Chip.sector_of_block t.chip b + (i * t.sectors_per_page)
+
+let format t =
+  (* Nothing to lay out: pages map 1:1; just reset accounting. *)
+  Chip.reset_stats t.chip;
+  t.page_writes <- 0;
+  t.page_reads <- 0
+
+(* Read-erase-rewrite of the whole erase unit, every time. *)
+let write_page t p =
+  if p < 0 || p >= t.num_pages then invalid_arg "Inplace_store: page out of range";
+  t.page_writes <- t.page_writes + 1;
+  let block = p / t.pages_per_block in
+  let base = block * t.pages_per_block in
+  for i = 0 to t.pages_per_block - 1 do
+    if base + i <> p then
+      ignore
+        (Chip.read_sectors t.chip ~sector:(sector_of_page t (base + i)) ~count:t.sectors_per_page)
+  done;
+  Chip.erase_block t.chip block;
+  for i = 0 to t.pages_per_block - 1 do
+    Chip.write_sectors t.chip ~sector:(sector_of_page t (base + i)) t.scratch
+  done
+
+let read_page t p =
+  if p < 0 || p >= t.num_pages then invalid_arg "Inplace_store: page out of range";
+  t.page_reads <- t.page_reads + 1;
+  ignore (Chip.read_sectors t.chip ~sector:(sector_of_page t p) ~count:t.sectors_per_page)
+
+let stats t =
+  {
+    page_writes = t.page_writes;
+    page_reads = t.page_reads;
+    erases = (Chip.stats t.chip).Flash_sim.Flash_stats.block_erases;
+  }
+
+let elapsed t = Chip.elapsed t.chip
+
+let device t : Ftl.Device.t =
+  {
+    Ftl.Device.name = "inplace";
+    page_size = t.page_size;
+    num_pages = t.num_pages;
+    read_page = (fun p -> read_page t p);
+    write_page = (fun p -> write_page t p);
+    flush = (fun () -> ());
+    elapsed = (fun () -> elapsed t);
+  }

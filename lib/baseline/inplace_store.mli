@@ -1,0 +1,21 @@
+(** The naive conventional design on raw flash: update-in-place.
+
+    Section 2.2 of the paper: "each update can only be carried out by
+    erasing an entire erase unit after reading its content to memory
+    followed by writing the updated content back". Every page write incurs
+    a full read-erase-rewrite cycle of its erase unit — the alpha = 1
+    extreme of the paper's t_Conv model. Useful as the pessimistic anchor
+    in comparisons. *)
+
+type t
+
+type stats = { page_writes : int; page_reads : int; erases : int }
+
+val create : Flash_sim.Flash_chip.t -> page_size:int -> t
+val num_pages : t -> int
+val format : t -> unit
+val write_page : t -> int -> unit
+val read_page : t -> int -> unit
+val device : t -> Ftl.Device.t
+val stats : t -> stats
+val elapsed : t -> float

@@ -1,0 +1,187 @@
+module Chip = Flash_sim.Flash_chip
+module Config = Flash_sim.Flash_config
+
+type stats = {
+  page_writes : int;
+  page_reads : int;
+  gc_runs : int;
+  gc_page_moves : int;
+  erases : int;
+}
+
+type t = {
+  chip : Chip.t;
+  page_size : int;
+  pages_per_block : int;
+  sectors_per_page : int;
+  num_pages : int;
+  mapping : int array;  (* logical page -> physical page slot, -1 unmapped *)
+  reverse : int array;  (* physical page slot -> logical page, -1 dead/free *)
+  live : int array;  (* live pages per block *)
+  free : int Queue.t;
+  is_free : bool array;
+  scratch : Bytes.t;
+  mutable frontier_block : int;
+  mutable frontier_idx : int;
+  mutable in_gc : bool;
+  mutable page_writes : int;
+  mutable page_reads : int;
+  mutable gc_runs : int;
+  mutable gc_page_moves : int;
+}
+
+let create ?(overprovision = 0.1) chip ~page_size =
+  let c = Chip.config chip in
+  if c.Config.block_size mod page_size <> 0 then
+    invalid_arg "Lfs_store: page size must divide the block size";
+  let pages_per_block = c.Config.block_size / page_size in
+  let logical_blocks =
+    let n = int_of_float (float_of_int c.Config.num_blocks *. (1.0 -. overprovision)) in
+    max 1 (min n (c.Config.num_blocks - 2))
+  in
+  let num_pages = logical_blocks * pages_per_block in
+  let free = Queue.create () in
+  let is_free = Array.make c.Config.num_blocks false in
+  for b = 1 to c.Config.num_blocks - 1 do
+    Queue.add b free;
+    is_free.(b) <- true
+  done;
+  {
+    chip;
+    page_size;
+    pages_per_block;
+    sectors_per_page = page_size / c.Config.sector_size;
+    num_pages;
+    mapping = Array.make num_pages (-1);
+    reverse = Array.make (c.Config.num_blocks * pages_per_block) (-1);
+    live = Array.make c.Config.num_blocks 0;
+    free;
+    is_free;
+    scratch = Bytes.make page_size '\xff';
+    frontier_block = 0;
+    frontier_idx = 0;
+    in_gc = false;
+    page_writes = 0;
+    page_reads = 0;
+    gc_runs = 0;
+    gc_page_moves = 0;
+  }
+
+let num_pages t = t.num_pages
+
+let phys_sector t slot =
+  let b = slot / t.pages_per_block and i = slot mod t.pages_per_block in
+  Chip.sector_of_block t.chip b + (i * t.sectors_per_page)
+
+(* The full (non-free, non-frontier) block with the fewest live pages. *)
+let gc_victim t =
+  let best = ref (-1) and best_live = ref max_int in
+  Array.iteri
+    (fun b live ->
+      if b <> t.frontier_block && (not t.is_free.(b)) && live < !best_live then begin
+        best := b;
+        best_live := live
+      end)
+    t.live;
+  !best
+
+let take_free t =
+  let b = Queue.take t.free in
+  t.is_free.(b) <- false;
+  b
+
+let release_free t b =
+  Queue.add b t.free;
+  t.is_free.(b) <- true
+
+let rec advance_frontier t =
+  if not t.in_gc then begin
+    (* Keep at least one spare block so garbage collection always has room
+       for its copies. *)
+    let guard = ref 0 in
+    while Queue.length t.free < 2 do
+      incr guard;
+      if !guard > 2 * Array.length t.live then failwith "Lfs_store: out of space (GC thrashing)";
+      collect t
+    done
+  end
+  else if Queue.is_empty t.free then failwith "Lfs_store: out of space during GC";
+  t.frontier_block <- take_free t;
+  t.frontier_idx <- 0
+
+and append t logical =
+  if t.frontier_idx >= t.pages_per_block then advance_frontier t;
+  let slot = (t.frontier_block * t.pages_per_block) + t.frontier_idx in
+  Chip.write_sectors t.chip ~sector:(phys_sector t slot) t.scratch;
+  t.frontier_idx <- t.frontier_idx + 1;
+  (match t.mapping.(logical) with
+  | -1 -> ()
+  | old ->
+      Chip.invalidate_sectors t.chip ~sector:(phys_sector t old) ~count:t.sectors_per_page;
+      t.reverse.(old) <- -1;
+      t.live.(old / t.pages_per_block) <- t.live.(old / t.pages_per_block) - 1);
+  t.mapping.(logical) <- slot;
+  t.reverse.(slot) <- logical;
+  t.live.(t.frontier_block) <- t.live.(t.frontier_block) + 1
+
+and collect t =
+  let victim = gc_victim t in
+  if victim < 0 then failwith "Lfs_store: no garbage-collection victim";
+  t.in_gc <- true;
+  t.gc_runs <- t.gc_runs + 1;
+  for i = 0 to t.pages_per_block - 1 do
+    let slot = (victim * t.pages_per_block) + i in
+    let logical = t.reverse.(slot) in
+    if logical >= 0 then begin
+      ignore (Chip.read_sectors t.chip ~sector:(phys_sector t slot) ~count:t.sectors_per_page);
+      append t logical;
+      t.gc_page_moves <- t.gc_page_moves + 1
+    end
+  done;
+  Chip.erase_block t.chip victim;
+  release_free t victim;
+  t.in_gc <- false
+
+let write_page t p =
+  if p < 0 || p >= t.num_pages then invalid_arg "Lfs_store: page out of range";
+  t.page_writes <- t.page_writes + 1;
+  append t p
+
+let read_page t p =
+  if p < 0 || p >= t.num_pages then invalid_arg "Lfs_store: page out of range";
+  t.page_reads <- t.page_reads + 1;
+  match t.mapping.(p) with
+  | -1 -> ()
+  | slot -> ignore (Chip.read_sectors t.chip ~sector:(phys_sector t slot) ~count:t.sectors_per_page)
+
+let format t =
+  for p = 0 to t.num_pages - 1 do
+    append t p
+  done;
+  Chip.reset_stats t.chip;
+  t.page_writes <- 0;
+  t.page_reads <- 0;
+  t.gc_runs <- 0;
+  t.gc_page_moves <- 0
+
+let stats t =
+  {
+    page_writes = t.page_writes;
+    page_reads = t.page_reads;
+    gc_runs = t.gc_runs;
+    gc_page_moves = t.gc_page_moves;
+    erases = (Chip.stats t.chip).Flash_sim.Flash_stats.block_erases;
+  }
+
+let elapsed t = Chip.elapsed t.chip
+
+let device t : Ftl.Device.t =
+  {
+    Ftl.Device.name = "lfs";
+    page_size = t.page_size;
+    num_pages = t.num_pages;
+    read_page = (fun p -> read_page t p);
+    write_page = (fun p -> write_page t p);
+    flush = (fun () -> ());
+    elapsed = (fun () -> elapsed t);
+  }

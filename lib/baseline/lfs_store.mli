@@ -1,0 +1,36 @@
+(** Log-structured (sequential-logging) page store — the alternative
+    flash-friendly design the paper contrasts IPL with (Section 2.2,
+    LGeDBMS and ELF style).
+
+    Every page write appends the whole page at the write frontier and
+    invalidates the previous copy; a greedy garbage collector reclaims the
+    block with the fewest live pages when free space runs low. Writes are
+    always sequential (no erase-before-write stalls), but the design
+    consumes free blocks quickly and pays a growing garbage-collection tax
+    under random updates — the behaviour the paper calls out. *)
+
+type t
+
+type stats = {
+  page_writes : int;  (** host page writes *)
+  page_reads : int;
+  gc_runs : int;
+  gc_page_moves : int;  (** live pages copied by the collector *)
+  erases : int;
+}
+
+val create : ?overprovision:float -> Flash_sim.Flash_chip.t -> page_size:int -> t
+(** [overprovision] (default 0.1) is the fraction of blocks withheld from
+    the logical capacity as GC headroom. *)
+
+val num_pages : t -> int
+(** Logical capacity in pages. *)
+
+val format : t -> unit
+(** Mark every logical page live (sequentially pre-written), reset stats. *)
+
+val write_page : t -> int -> unit
+val read_page : t -> int -> unit
+val device : t -> Ftl.Device.t
+val stats : t -> stats
+val elapsed : t -> float

@@ -1,0 +1,16 @@
+let page_writes trace f =
+  let n = ref 0 in
+  Reftrace.Trace.iter
+    (function
+      | Reftrace.Trace.Page_write { page } ->
+          incr n;
+          f page
+      | Reftrace.Trace.Log _ -> ())
+    trace;
+  !n
+
+let run trace (device : Ftl.Device.t) =
+  ignore
+    (page_writes trace (fun page -> device.Ftl.Device.write_page (page mod device.Ftl.Device.num_pages)));
+  device.Ftl.Device.flush ();
+  device.Ftl.Device.elapsed ()

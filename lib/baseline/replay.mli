@@ -1,0 +1,13 @@
+(** Replay the physical page-write stream of a trace against a device —
+    how a {e conventional} (in-place updating, page-granular) server uses
+    storage. The physiological log events are ignored: a conventional
+    server applies them inside its buffer pool and only the page writes
+    reach the device. *)
+
+val page_writes : Reftrace.Trace.t -> (int -> unit) -> int
+(** Feed every physical page-write to the callback; returns the count. *)
+
+val run : Reftrace.Trace.t -> Ftl.Device.t -> float
+(** Replay onto a device (pages beyond the device capacity are wrapped
+    modulo its size) and return the device's elapsed time, including a
+    final flush. *)

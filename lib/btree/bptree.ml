@@ -1,0 +1,330 @@
+module Engine = Ipl_core.Ipl_engine
+module Page = Storage.Page
+
+(* Node encoding, all within ordinary slotted pages:
+     slot 0          : meta record [magic:u8 = 0xB7][is_leaf:u8][next_leaf:u32]
+     slots 1..       : entry records [key:i64][value:i64]
+   Internal-node entries are (separator, child-page) pairs; the leftmost
+   separator is min_int so a child always exists for any key. The header
+   page (the tree's identity) holds a single record with the root page id. *)
+
+type t = { engine : Engine.t; header : int }
+
+let no_leaf = 0xFFFFFFFF
+let meta_magic = 0xB7
+
+let encode_meta ~is_leaf ~next_leaf =
+  let b = Bytes.create 6 in
+  Bytes.set_uint8 b 0 meta_magic;
+  Bytes.set_uint8 b 1 (if is_leaf then 1 else 0);
+  Bytes.set_int32_le b 2 (Int32.of_int next_leaf);
+  b
+
+let encode_entry key value =
+  let b = Bytes.create 16 in
+  Bytes.set_int64_le b 0 (Int64.of_int key);
+  Bytes.set_int64_le b 8 (Int64.of_int value);
+  b
+
+let decode_entry b = (Int64.to_int (Bytes.get_int64_le b 0), Int64.to_int (Bytes.get_int64_le b 8))
+
+type node = {
+  is_leaf : bool;
+  next_leaf : int;  (* no_leaf if none *)
+  entries : (int * int * int) array;  (* key, value, slot — sorted by key *)
+}
+
+let fail_on_error = function
+  | Ok x -> x
+  | Error msg -> failwith ("Bptree: unexpected engine error: " ^ msg)
+
+let read_node t pid =
+  Engine.with_page t.engine pid (fun p ->
+      match Page.read p 0 with
+      | None -> failwith "Bptree: missing node meta"
+      | Some meta ->
+          if Bytes.get_uint8 meta 0 <> meta_magic then failwith "Bptree: bad node magic";
+          let is_leaf = Bytes.get_uint8 meta 1 = 1 in
+          let next_leaf = Int32.to_int (Bytes.get_int32_le meta 2) land 0xFFFFFFFF in
+          let entries = ref [] in
+          Page.iter
+            (fun slot data ->
+              if slot <> 0 then begin
+                let k, v = decode_entry data in
+                entries := (k, v, slot) :: !entries
+              end)
+            p;
+          let entries = Array.of_list !entries in
+          Array.sort compare entries;
+          { is_leaf; next_leaf; entries })
+
+let new_node t ~tx ~is_leaf ~next_leaf =
+  let pid = Engine.allocate_page t.engine in
+  (match Engine.insert t.engine ~tx ~page:pid (encode_meta ~is_leaf ~next_leaf) with
+  | Ok 0 -> ()
+  | Ok _ -> failwith "Bptree: meta not at slot 0"
+  | Error msg -> failwith ("Bptree: " ^ msg));
+  pid
+
+let set_next_leaf t ~tx pid next =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_le b 0 (Int32.of_int next);
+  fail_on_error (Engine.update_range t.engine ~tx ~page:pid ~slot:0 ~offset:2 b)
+
+let root t =
+  Engine.with_page t.engine t.header (fun p ->
+      match Page.read p 0 with
+      | Some b -> Int64.to_int (Bytes.get_int64_le b 0)
+      | None -> failwith "Bptree: missing header record")
+
+let set_root t ~tx pid =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.of_int pid);
+  fail_on_error (Engine.update t.engine ~tx ~page:t.header ~slot:0 b)
+
+let create engine =
+  let header = Engine.allocate_page engine in
+  let t = { engine; header } in
+  let root = new_node t ~tx:0 ~is_leaf:true ~next_leaf:no_leaf in
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.of_int root);
+  (match Engine.insert engine ~tx:0 ~page:header b with
+  | Ok 0 -> ()
+  | _ -> failwith "Bptree: header init failed");
+  t
+
+let attach engine ~header = { engine; header }
+let header_page t = t.header
+
+(* Child of an internal node covering [key]: greatest separator <= key. *)
+let child_for node key =
+  let n = Array.length node.entries in
+  let rec go i best =
+    if i >= n then best
+    else
+      let k, v, _ = node.entries.(i) in
+      if k <= key then go (i + 1) v else best
+  in
+  let k0, v0, _ = node.entries.(0) in
+  if k0 > key then v0 (* only possible transiently; leftmost separator is min_int *)
+  else go 1 v0
+
+let rec descend t pid key path =
+  let node = read_node t pid in
+  if node.is_leaf then (pid, node, path)
+  else descend t (child_for node key) key (pid :: path)
+
+let find_leaf t key = descend t (root t) key []
+
+let find t key =
+  let _, node, _ = find_leaf t key in
+  let rec go i =
+    if i >= Array.length node.entries then None
+    else
+      let k, v, _ = node.entries.(i) in
+      if k = key then Some v else if k > key then None else go (i + 1)
+  in
+  go 0
+
+let mem t key = find t key <> None
+
+let next_ge t key =
+  let rec scan_leaf pid =
+    let node = read_node t pid in
+    let hit = Array.find_opt (fun (k, _, _) -> k >= key) node.entries in
+    match hit with
+    | Some (k, v, _) -> Some (k, v)
+    | None -> if node.next_leaf = no_leaf then None else scan_leaf node.next_leaf
+  in
+  let pid, _, _ = find_leaf t key in
+  scan_leaf pid
+
+(* Move the upper half of a node's entries into a fresh sibling and return
+   (separator, new page id). *)
+let split t ~tx pid node =
+  let n = Array.length node.entries in
+  assert (n >= 2);
+  let mid = n / 2 in
+  let sep, _, _ = node.entries.(mid) in
+  if node.is_leaf then begin
+    let right = new_node t ~tx ~is_leaf:true ~next_leaf:node.next_leaf in
+    for i = mid to n - 1 do
+      let k, v, slot = node.entries.(i) in
+      fail_on_error (Result.map (fun (_ : int) -> ()) (Engine.insert t.engine ~tx ~page:right (encode_entry k v)));
+      fail_on_error (Engine.delete t.engine ~tx ~page:pid ~slot)
+    done;
+    set_next_leaf t ~tx pid right;
+    (sep, right)
+  end
+  else begin
+    (* The separator moves up: the right node's leftmost child keeps the
+       min_int sentinel key. *)
+    let right = new_node t ~tx ~is_leaf:false ~next_leaf:no_leaf in
+    let _, child_mid, slot_mid = node.entries.(mid) in
+    fail_on_error
+      (Result.map (fun (_ : int) -> ())
+         (Engine.insert t.engine ~tx ~page:right (encode_entry min_int child_mid)));
+    fail_on_error (Engine.delete t.engine ~tx ~page:pid ~slot:slot_mid);
+    for i = mid + 1 to n - 1 do
+      let k, v, slot = node.entries.(i) in
+      fail_on_error
+        (Result.map (fun (_ : int) -> ()) (Engine.insert t.engine ~tx ~page:right (encode_entry k v)));
+      fail_on_error (Engine.delete t.engine ~tx ~page:pid ~slot)
+    done;
+    (sep, right)
+  end
+
+(* Insert a separator entry into the ancestors after a split of [child_pid]
+   (whose path to the root is [path], nearest parent first). *)
+let rec insert_sep t ~tx ~path ~child_pid sep new_pid =
+  match path with
+  | [] ->
+      (* child_pid was the root: grow the tree. *)
+      let new_root = new_node t ~tx ~is_leaf:false ~next_leaf:no_leaf in
+      fail_on_error
+        (Result.map (fun (_ : int) -> ())
+           (Engine.insert t.engine ~tx ~page:new_root (encode_entry min_int child_pid)));
+      fail_on_error
+        (Result.map (fun (_ : int) -> ())
+           (Engine.insert t.engine ~tx ~page:new_root (encode_entry sep new_pid)));
+      set_root t ~tx new_root
+  | parent :: rest -> (
+      match Engine.insert t.engine ~tx ~page:parent (encode_entry sep new_pid) with
+      | Ok _ -> ()
+      | Error _ ->
+          (* Parent full: split it, then retry into the correct half. *)
+          let pnode = read_node t parent in
+          let psep, pnew = split t ~tx parent pnode in
+          insert_sep t ~tx ~path:rest ~child_pid:parent psep pnew;
+          let target = if sep >= psep then pnew else parent in
+          fail_on_error
+            (Result.map (fun (_ : int) -> ())
+               (Engine.insert t.engine ~tx ~page:target (encode_entry sep new_pid))))
+
+let rec insert_leafward t ~tx key value ~overwrite =
+  let pid, node, path = find_leaf t key in
+  let existing = Array.find_opt (fun (k, _, _) -> k = key) node.entries in
+  match existing with
+  | Some (_, _, slot) ->
+      if overwrite then Engine.update t.engine ~tx ~page:pid ~slot (encode_entry key value)
+      else Error "duplicate key"
+  | None -> (
+      match Engine.insert t.engine ~tx ~page:pid (encode_entry key value) with
+      | Ok _ -> Ok ()
+      | Error _ ->
+          (* Leaf full: split and retry from the top (ancestor set may have
+             changed shape). *)
+          let sep, new_pid = split t ~tx pid node in
+          insert_sep t ~tx ~path ~child_pid:pid sep new_pid;
+          insert_leafward t ~tx key value ~overwrite)
+
+let insert t ~tx ~key ~value = insert_leafward t ~tx key value ~overwrite:false
+let set t ~tx ~key ~value = insert_leafward t ~tx key value ~overwrite:true
+
+let delete t ~tx ~key =
+  let pid, node, _ = find_leaf t key in
+  match Array.find_opt (fun (k, _, _) -> k = key) node.entries with
+  | None -> Error "not found"
+  | Some (_, _, slot) -> Engine.delete t.engine ~tx ~page:pid ~slot
+
+let rec leftmost_leaf t pid =
+  let node = read_node t pid in
+  if node.is_leaf then (pid, node)
+  else
+    let _, child, _ = node.entries.(0) in
+    leftmost_leaf t child
+
+let iter t f =
+  let rec walk pid =
+    let node = read_node t pid in
+    Array.iter (fun (k, v, _) -> f ~key:k ~value:v) node.entries;
+    if node.next_leaf <> no_leaf then walk node.next_leaf
+  in
+  let pid, _ = leftmost_leaf t (root t) in
+  walk pid
+
+let range t ~lo ~hi =
+  let acc = ref [] in
+  let rec walk pid =
+    let node = read_node t pid in
+    let stop = ref false in
+    Array.iter
+      (fun (k, v, _) ->
+        if k > hi then stop := true else if k >= lo then acc := (k, v) :: !acc)
+      node.entries;
+    if (not !stop) && node.next_leaf <> no_leaf then walk node.next_leaf
+  in
+  let pid, _, _ = find_leaf t lo in
+  walk pid;
+  List.rev !acc
+
+let min_key t =
+  let _, node = leftmost_leaf t (root t) in
+  if Array.length node.entries = 0 then
+    (* The leftmost leaf may have been emptied by deletes; fall back to a
+       full walk. *)
+    let best = ref None in
+    let () = iter t (fun ~key ~value:_ -> if !best = None then best := Some key) in
+    !best
+  else
+    let k, _, _ = node.entries.(0) in
+    Some k
+
+let max_key t =
+  let best = ref None in
+  iter t (fun ~key ~value:_ -> best := Some key);
+  !best
+
+let cardinal t =
+  let n = ref 0 in
+  iter t (fun ~key:_ ~value:_ -> incr n);
+  !n
+
+let height t =
+  let rec go pid h =
+    let node = read_node t pid in
+    if node.is_leaf then h
+    else
+      let _, child, _ = node.entries.(0) in
+      go child (h + 1)
+  in
+  go (root t) 1
+
+let check_invariants t =
+  let exception Bad of string in
+  let rec check pid lo hi depth =
+    let node = read_node t pid in
+    let n = Array.length node.entries in
+    (* Keys sorted strictly and within (lo, hi]. *)
+    for i = 0 to n - 1 do
+      let k, _, _ = node.entries.(i) in
+      if i > 0 then begin
+        let k', _, _ = node.entries.(i - 1) in
+        if k' >= k then raise (Bad "keys not strictly increasing")
+      end;
+      if node.is_leaf && (k < lo || k > hi) then raise (Bad "leaf key outside bounds")
+    done;
+    if node.is_leaf then depth
+    else begin
+      if n = 0 then raise (Bad "empty internal node");
+      let depths =
+        Array.mapi
+          (fun i (k, child, _) ->
+            let lo' = if i = 0 then lo else k in
+            let hi' = if i = n - 1 then hi else (let k', _, _ = node.entries.(i + 1) in k' - 1) in
+            check child lo' hi' (depth + 1))
+          node.entries
+      in
+      Array.iter (fun d -> if d <> depths.(0) then raise (Bad "leaves at unequal depth")) depths;
+      depths.(0)
+    end
+  in
+  try
+    ignore (check (root t) min_int max_int 1);
+    (* Leaf chain must produce globally sorted keys. *)
+    let last = ref min_int in
+    iter t (fun ~key ~value:_ ->
+        if key < !last then raise (Bad "leaf chain out of order");
+        last := key);
+    Ok ()
+  with Bad msg -> Error msg

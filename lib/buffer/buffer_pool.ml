@@ -1,0 +1,129 @@
+type 'a frame = {
+  key : int;
+  value : 'a;
+  mutable dirty : bool;
+  mutable pins : int;
+  mutable prev : 'a frame option;  (* towards MRU *)
+  mutable next : 'a frame option;  (* towards LRU *)
+}
+
+type stats = { hits : int; misses : int; evictions : int; dirty_write_backs : int }
+
+type 'a t = {
+  capacity : int;
+  fetch : int -> 'a;
+  write_back : int -> 'a -> unit;
+  table : (int, 'a frame) Hashtbl.t;
+  mutable mru : 'a frame option;
+  mutable lru : 'a frame option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable dirty_write_backs : int;
+}
+
+let create ~capacity ~fetch ~write_back () =
+  if capacity <= 0 then invalid_arg "Buffer_pool.create: capacity must be positive";
+  {
+    capacity;
+    fetch;
+    write_back;
+    table = Hashtbl.create (2 * capacity);
+    mru = None;
+    lru = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    dirty_write_backs = 0;
+  }
+
+let unlink t f =
+  (match f.prev with Some p -> p.next <- f.next | None -> t.mru <- f.next);
+  (match f.next with Some n -> n.prev <- f.prev | None -> t.lru <- f.prev);
+  f.prev <- None;
+  f.next <- None
+
+let push_front t f =
+  f.next <- t.mru;
+  f.prev <- None;
+  (match t.mru with Some m -> m.prev <- Some f | None -> t.lru <- Some f);
+  t.mru <- Some f
+
+let touch t f =
+  if t.mru != Some f then begin
+    unlink t f;
+    push_front t f
+  end
+
+let write_back_frame t f =
+  if f.dirty then begin
+    t.write_back f.key f.value;
+    t.dirty_write_backs <- t.dirty_write_backs + 1;
+    f.dirty <- false
+  end
+
+(* Evict the least-recently-used unpinned frame. *)
+let evict_one t =
+  let rec find = function
+    | None -> failwith "Buffer_pool: all frames are pinned"
+    | Some f -> if f.pins = 0 then f else find f.prev
+  in
+  let victim = find t.lru in
+  write_back_frame t victim;
+  unlink t victim;
+  Hashtbl.remove t.table victim.key;
+  t.evictions <- t.evictions + 1
+
+let get_frame t key =
+  match Hashtbl.find_opt t.table key with
+  | Some f ->
+      t.hits <- t.hits + 1;
+      touch t f;
+      f
+  | None ->
+      t.misses <- t.misses + 1;
+      if Hashtbl.length t.table >= t.capacity then evict_one t;
+      let f = { key; value = t.fetch key; dirty = false; pins = 0; prev = None; next = None } in
+      Hashtbl.add t.table key f;
+      push_front t f;
+      f
+
+let with_page t key ?(dirty = false) f =
+  let frame = get_frame t key in
+  frame.pins <- frame.pins + 1;
+  if dirty then frame.dirty <- true;
+  Fun.protect ~finally:(fun () -> frame.pins <- frame.pins - 1) (fun () -> f frame.value)
+
+let mark_dirty t key =
+  match Hashtbl.find_opt t.table key with
+  | Some f -> f.dirty <- true
+  | None -> raise Not_found
+
+let clean t key =
+  match Hashtbl.find_opt t.table key with Some f -> f.dirty <- false | None -> ()
+
+let contains t key = Hashtbl.mem t.table key
+let find t key = Option.map (fun f -> f.value) (Hashtbl.find_opt t.table key)
+
+let is_dirty t key =
+  match Hashtbl.find_opt t.table key with Some f -> f.dirty | None -> false
+
+let capacity t = t.capacity
+let cached t = Hashtbl.length t.table
+let dirty_count t = Hashtbl.fold (fun _ f acc -> if f.dirty then acc + 1 else acc) t.table 0
+
+let flush_all t = Hashtbl.iter (fun _ f -> write_back_frame t f) t.table
+
+let drop_all t =
+  Hashtbl.iter
+    (fun _ f -> if f.pins > 0 then failwith "Buffer_pool.drop_all: frame pinned")
+    t.table;
+  flush_all t;
+  Hashtbl.reset t.table;
+  t.mru <- None;
+  t.lru <- None
+
+let iter f t = Hashtbl.iter (fun key fr -> f key fr.value ~dirty:fr.dirty) t.table
+
+let stats t =
+  { hits = t.hits; misses = t.misses; evictions = t.evictions; dirty_write_backs = t.dirty_write_backs }

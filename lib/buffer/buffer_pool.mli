@@ -1,0 +1,53 @@
+(** Fixed-capacity LRU buffer pool.
+
+    The pool caches values of any type keyed by page number; the IPL
+    engine stores page images plus their in-memory log sectors in it, and
+    the trace generators store placeholder frames. Replacement is strict
+    LRU over unpinned frames (constant-time via an intrusive list).
+
+    [fetch] is called on a miss; [write_back] is called exactly once each
+    time a dirty frame is cleaned — on eviction, on {!flush_all}, or on
+    {!drop_all}. This mirrors the paper's buffer manager contract: evicting
+    a dirty page triggers the flush of its in-memory log sector (not a
+    write of the whole page). *)
+
+type 'a t
+
+type stats = { hits : int; misses : int; evictions : int; dirty_write_backs : int }
+
+val create :
+  capacity:int -> fetch:(int -> 'a) -> write_back:(int -> 'a -> unit) -> unit -> 'a t
+(** [capacity] must be positive. *)
+
+val with_page : 'a t -> int -> ?dirty:bool -> ('a -> 'b) -> 'b
+(** [with_page t key f] pins the frame for [key] (fetching it on a miss,
+    evicting the LRU unpinned frame if full), applies [f], and unpins.
+    [~dirty:true] marks the frame dirty. Nested calls are allowed; raises
+    [Failure] if every frame is pinned. *)
+
+val mark_dirty : 'a t -> int -> unit
+(** Mark a cached frame dirty; raises [Not_found] if absent. *)
+
+val clean : 'a t -> int -> unit
+(** Clear the dirty flag of a cached frame without writing it back (used
+    when the caller has persisted the changes through another path).
+    No-op if absent. *)
+
+val contains : 'a t -> int -> bool
+val find : 'a t -> int -> 'a option
+(** Peek without affecting recency or pinning. *)
+
+val is_dirty : 'a t -> int -> bool
+val capacity : 'a t -> int
+val cached : 'a t -> int
+val dirty_count : 'a t -> int
+
+val flush_all : 'a t -> unit
+(** Write back every dirty frame (keeping them cached and now clean). *)
+
+val drop_all : 'a t -> unit
+(** Write back every dirty frame and empty the pool. Raises [Failure] if
+    any frame is pinned. *)
+
+val iter : (int -> 'a -> dirty:bool -> unit) -> 'a t -> unit
+val stats : 'a t -> stats

@@ -1,0 +1,42 @@
+type t = {
+  page_size : int;
+  log_region_bytes : int;
+  in_memory_log_bytes : int;
+  recovery_enabled : bool;
+  selective_merge_threshold : float;
+  wear_aware_allocation : bool;
+  buffer_pages : int;
+  group_commit : int;
+}
+
+let default =
+  {
+    page_size = 8192;
+    log_region_bytes = 8192;
+    in_memory_log_bytes = 512;
+    recovery_enabled = false;
+    selective_merge_threshold = 0.5;
+    wear_aware_allocation = true;
+    buffer_pages = 2560;
+    group_commit = 0;
+  }
+
+let data_pages_per_eu t ~block_size = (block_size - t.log_region_bytes) / t.page_size
+let log_sectors_per_eu t ~sector_size = t.log_region_bytes / sector_size
+
+let validate t ~sector_size ~block_size =
+  let check cond msg = if not cond then invalid_arg ("Ipl_config: " ^ msg) in
+  check (t.page_size > 0 && t.page_size mod sector_size = 0)
+    "page size must be a positive multiple of the flash sector size";
+  check (t.log_region_bytes mod sector_size = 0)
+    "log region must be a multiple of the flash sector size";
+  check (t.in_memory_log_bytes = sector_size)
+    "in-memory log sector must match the flash sector size";
+  check ((block_size - t.log_region_bytes) mod t.page_size = 0)
+    "data region must be a multiple of the page size";
+  check (data_pages_per_eu t ~block_size >= 1) "at least one data page per erase unit";
+  check (log_sectors_per_eu t ~sector_size >= 1) "at least one log sector per erase unit";
+  check (t.selective_merge_threshold >= 0.0 && t.selective_merge_threshold <= 1.0)
+    "selective merge threshold must be in [0,1]";
+  check (t.buffer_pages > 0) "buffer pool must hold at least one page";
+  check (t.group_commit >= 0) "group_commit must be non-negative"

@@ -1,0 +1,48 @@
+(** Configuration of the in-page logging storage manager.
+
+    The geometry follows Section 3.2 of the paper: every erase unit is
+    split into a data-page region and a log region. With the defaults
+    (128 KB erase units, 8 KB pages, 8 KB log region of sixteen 512-byte
+    log sectors) an erase unit holds 15 data pages, exactly the paper's
+    running example. *)
+
+type t = {
+  page_size : int;  (** database page size, bytes (8 KB in the paper) *)
+  log_region_bytes : int;
+      (** bytes of every erase unit reserved for log sectors; the paper
+          sweeps this from 8 KB to 64 KB (Figures 5 and 6) *)
+  in_memory_log_bytes : int;
+      (** capacity of the per-page in-memory log sector; equals the flash
+          log sector size (512 B) *)
+  recovery_enabled : bool;
+      (** enable the Section 5 extensions: system-wide transaction log,
+          commit-time log forcing, selective merges *)
+  selective_merge_threshold : float;
+      (** tau: when the fraction of log records that would have to be
+          carried over to the new erase unit (because their transactions
+          are still active) exceeds this, the merge is abandoned and the
+          incoming log sector goes to an overflow erase unit instead *)
+  wear_aware_allocation : bool;
+      (** allocate free erase units lowest-erase-count-first *)
+  buffer_pages : int;  (** capacity of the buffer pool, in pages *)
+  group_commit : int;
+      (** 0 (default): every commit forces its log sectors and commit
+          record immediately. n > 0: commits are batched — durability
+          arrives when n commits have accumulated (or on
+          {!Ipl_engine.flush_commits}/checkpoint), letting records of
+          several transactions share flash log sectors *)
+}
+
+val default : t
+(** 8 KB pages, 8 KB log region, 512 B log sectors, recovery off,
+    tau = 0.5, wear-aware allocation, 2560 buffer pages (20 MB), no group
+    commit. *)
+
+val validate : t -> sector_size:int -> block_size:int -> unit
+(** Check the configuration against a chip geometry: the log region and
+    page size must tile the erase unit, the in-memory log sector must
+    match the flash sector size, and at least one data page and one log
+    sector must fit. *)
+
+val data_pages_per_eu : t -> block_size:int -> int
+val log_sectors_per_eu : t -> sector_size:int -> int

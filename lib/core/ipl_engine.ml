@@ -1,0 +1,373 @@
+module Chip = Flash_sim.Flash_chip
+module FConfig = Flash_sim.Flash_config
+module Page = Storage.Page
+module Pool = Bufmgr.Buffer_pool
+
+type frame = { page : Page.t; log : Log_sector.t }
+
+type txn_info = { dirty_pages : (int, unit) Hashtbl.t }
+
+type combined_stats = {
+  storage : Ipl_storage.stats;
+  pool : Pool.stats;
+  flash : Flash_sim.Flash_stats.t;
+}
+
+type t = {
+  config : Ipl_config.t;
+  chip : Chip.t;
+  store : Ipl_storage.t;
+  trx : Trx_log.t option;
+  pool : frame Pool.t;
+  txns : (int, txn_info) Hashtbl.t;
+  mutable next_txid : int;
+  mutable pending_commits : int;
+}
+
+let config t = t.config
+let chip t = t.chip
+let storage t = t.store
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+
+let flush_frame store trx page frame =
+  if not (Log_sector.is_empty frame.log) then begin
+    (* Write-ahead rule for transaction-status records: before any of a
+       transaction's physiological records reach flash, its begin record
+       must be durable, or a crash would leave records whose status lookup
+       defaults to "committed". *)
+    (match trx with
+    | Some log when List.exists (fun txid -> txid <> 0) (Log_sector.txids frame.log) ->
+        Trx_log.force log
+    | _ -> ());
+    Ipl_storage.flush_log store ~page (Log_sector.records frame.log);
+    Log_sector.clear frame.log
+  end
+
+let build config chip store trx =
+  let pool =
+    Pool.create ~capacity:config.Ipl_config.buffer_pages
+      ~fetch:(fun pid ->
+        {
+          page = Ipl_storage.read_page store pid;
+          log = Log_sector.create ~capacity:config.Ipl_config.in_memory_log_bytes;
+        })
+      ~write_back:(fun pid frame -> flush_frame store trx pid frame)
+      ()
+  in
+  { config; chip; store; trx; pool; txns = Hashtbl.create 64; next_txid = 1; pending_commits = 0 }
+
+let create ?(config = Ipl_config.default) ?(meta_blocks = 4) ?(trx_blocks = 4) chip =
+  let fc = Chip.config chip in
+  let reserved = meta_blocks + trx_blocks in
+  if fc.FConfig.num_blocks <= reserved then invalid_arg "Ipl_engine: chip too small";
+  let meta = Meta_log.create chip ~first_block:0 ~num_blocks:meta_blocks in
+  let trx =
+    if config.Ipl_config.recovery_enabled then
+      Some (Trx_log.create chip ~first_block:meta_blocks ~num_blocks:trx_blocks)
+    else None
+  in
+  let txn_status =
+    match trx with
+    | Some log -> fun txid -> Trx_log.status log txid
+    | None -> fun _ -> Trx_log.Committed
+  in
+  let store =
+    Ipl_storage.create ~config chip ~first_block:reserved
+      ~num_blocks:(fc.FConfig.num_blocks - reserved)
+      ~txn_status ~meta ()
+  in
+  build config chip store trx
+
+let restart ?(config = Ipl_config.default) ?(meta_blocks = 4) ?(trx_blocks = 4) chip =
+  let fc = Chip.config chip in
+  let reserved = meta_blocks + trx_blocks in
+  let meta, events = Meta_log.recover chip ~first_block:0 ~num_blocks:meta_blocks in
+  let trx, aborted =
+    if config.Ipl_config.recovery_enabled then
+      let log, aborted = Trx_log.recover chip ~first_block:meta_blocks ~num_blocks:trx_blocks in
+      (Some log, aborted)
+    else (None, [])
+  in
+  let txn_status =
+    match trx with
+    | Some log -> fun txid -> Trx_log.status log txid
+    | None -> fun _ -> Trx_log.Committed
+  in
+  let store =
+    Ipl_storage.recover ~config chip ~first_block:reserved
+      ~num_blocks:(fc.FConfig.num_blocks - reserved)
+      ~txn_status ~meta ~meta_events:events ()
+  in
+  let t = build config chip store trx in
+  (match trx with
+  | Some log -> t.next_txid <- max t.next_txid (Trx_log.max_txid log + 1)
+  | None -> ());
+  (t, aborted)
+
+(* ------------------------------------------------------------------ *)
+(* Transactions                                                        *)
+
+let begin_txn t =
+  let txid = t.next_txid in
+  t.next_txid <- txid + 1;
+  Hashtbl.replace t.txns txid { dirty_pages = Hashtbl.create 8 };
+  (match t.trx with Some log -> Trx_log.log_begin log txid | None -> ());
+  txid
+
+let txn_status t txid =
+  match t.trx with Some log -> Trx_log.status log txid | None -> Trx_log.Committed
+
+let txn_info t txid =
+  match Hashtbl.find_opt t.txns txid with
+  | Some info -> info
+  | None -> invalid_arg (Printf.sprintf "Ipl_engine: unknown transaction %d" txid)
+
+(* Make every batched commit durable: flush all dirty frames (their
+   in-memory log sectors may mix records of several committed
+   transactions), then force metadata and the commit records. *)
+let flush_commits t =
+  if t.pending_commits > 0 then begin
+    Pool.flush_all t.pool;
+    Ipl_storage.force_meta t.store;
+    (match t.trx with Some log -> Trx_log.force log | None -> ());
+    t.pending_commits <- 0
+  end
+
+let commit t txid =
+  let info = txn_info t txid in
+  let group = t.config.Ipl_config.group_commit in
+  if group > 0 then begin
+    (* Group commit: record the outcome but defer all forcing; records of
+       several transactions will share flash log sectors. *)
+    (match t.trx with Some log -> Trx_log.log_commit ~force:false log txid | None -> ());
+    Hashtbl.remove t.txns txid;
+    t.pending_commits <- t.pending_commits + 1;
+    if t.pending_commits >= group then flush_commits t
+  end
+  else begin
+    (* Force every in-memory log sector holding one of our records. *)
+    Hashtbl.iter
+      (fun pid () ->
+        match Pool.find t.pool pid with
+        | Some frame when List.mem txid (Log_sector.txids frame.log) ->
+            flush_frame t.store t.trx pid frame;
+            Pool.clean t.pool pid
+        | _ -> ())
+      info.dirty_pages;
+    Ipl_storage.force_meta t.store;
+    (match t.trx with Some log -> Trx_log.log_commit log txid | None -> ());
+    Hashtbl.remove t.txns txid
+  end
+
+let abort t txid =
+  if t.trx = None then
+    failwith "Ipl_engine.abort: transactional recovery is disabled in this configuration";
+  let info = txn_info t txid in
+  (match t.trx with Some log -> Trx_log.log_abort log txid | None -> ());
+  (* Rebuild every touched, still-buffered page: the flash read path now
+     filters out this transaction's records; surviving in-memory records
+     of other transactions are re-applied on top. *)
+  Hashtbl.iter
+    (fun pid () ->
+      match Pool.find t.pool pid with
+      | Some frame ->
+          ignore (Log_sector.remove_txn frame.log txid);
+          let fresh = Ipl_storage.read_page t.store pid in
+          Bytes.blit (Page.to_bytes fresh) 0 (Page.to_bytes frame.page) 0
+            (Bytes.length (Page.to_bytes fresh));
+          List.iter
+            (fun r ->
+              match Log_record.apply frame.page r with
+              | Ok () -> ()
+              | Error msg -> failwith ("Ipl_engine.abort: replay failed: " ^ msg))
+            (Log_sector.records frame.log);
+          if Log_sector.is_empty frame.log then Pool.clean t.pool pid
+      | None -> ())
+    info.dirty_pages;
+  Hashtbl.remove t.txns txid
+
+(* ------------------------------------------------------------------ *)
+(* Page operations                                                     *)
+
+let allocate_page_with t page = Ipl_storage.allocate_page t.store page
+
+let allocate_page t = allocate_page_with t (Page.create t.config.Ipl_config.page_size)
+
+let page_count t = Ipl_storage.num_pages t.store
+
+let note_dirty t ~tx ~page =
+  if tx <> 0 then Hashtbl.replace (txn_info t tx).dirty_pages page ()
+
+let add_record t frame ~page record =
+  match Log_sector.add frame.log record with
+  | `Added -> ()
+  | `Full -> (
+      flush_frame t.store t.trx page frame;
+      match Log_sector.add frame.log record with
+      | `Added -> ()
+      | `Full -> assert false (* empty sector accepts any record Log_sector admits *))
+
+let mutate t ~tx ~page f =
+  Pool.with_page t.pool page ~dirty:true (fun frame ->
+      match f frame.page with
+      | Ok record ->
+          add_record t frame ~page record;
+          note_dirty t ~tx ~page;
+          Ok ()
+      | Error _ as e -> e)
+
+(* Largest record payload the logging path accepts: one record must fit an
+   empty in-memory log sector. *)
+let max_record_payload t =
+  t.config.Ipl_config.in_memory_log_bytes - Log_sector.header_size - 13
+
+let insert t ~tx ~page data =
+  if Bytes.length data > max_record_payload t then Error "record too large to log"
+  else
+    Pool.with_page t.pool page ~dirty:true (fun frame ->
+        match Page.insert frame.page data with
+        | None -> Error "page full"
+        | Some slot ->
+            add_record t frame ~page
+              { Log_record.txid = tx; page; op = Log_record.Insert { slot; record = data } };
+            note_dirty t ~tx ~page;
+            Ok slot)
+
+let delete t ~tx ~page ~slot =
+  mutate t ~tx ~page (fun p ->
+      match Page.read p slot with
+      | None -> Error "slot not live"
+      | Some before -> (
+          match Page.delete p slot with
+          | Error _ as e -> e
+          | Ok () ->
+              Ok { Log_record.txid = tx; page; op = Log_record.Delete { slot; before } }))
+
+(* Equal-length updates are logged as byte-range deltas: one record per
+   differing range (nearby ranges coalesced), each chunked so it fits a
+   log sector. *)
+let update_range_records t ~tx ~page ~slot ~before ~data =
+  let chunk = (max_record_payload t - 15) / 2 in
+  List.concat_map
+    (fun (off, len) ->
+      let rec split off len acc =
+        if len <= 0 then List.rev acc
+        else
+          let n = min len chunk in
+          let r =
+            {
+              Log_record.txid = tx;
+              page;
+              op =
+                Log_record.Update_range
+                  {
+                    slot;
+                    offset = off;
+                    before = Bytes.sub before off n;
+                    after = Bytes.sub data off n;
+                  };
+            }
+          in
+          split (off + n) (len - n) (r :: acc)
+      in
+      split off len [])
+    (Ipl_util.Diff.ranges before data)
+
+let update t ~tx ~page ~slot data =
+  Pool.with_page t.pool page (fun frame ->
+      match Page.read frame.page slot with
+      | None -> Error "slot not live"
+      | Some before ->
+          if Bytes.length before = Bytes.length data then begin
+            match update_range_records t ~tx ~page ~slot ~before ~data with
+            | [] -> Ok () (* no change: nothing to apply or log *)
+            | records ->
+                List.iter
+                  (fun r ->
+                    (match Log_record.apply frame.page r with
+                    | Ok () -> ()
+                    | Error msg -> failwith ("Ipl_engine.update: " ^ msg));
+                    add_record t frame ~page r)
+                  records;
+                Pool.mark_dirty t.pool page;
+                note_dirty t ~tx ~page;
+                Ok ()
+          end
+          else if Bytes.length data > max_record_payload t then Error "record too large to log"
+          else begin
+            (* Size-changing replacement. When the combined before/after
+               image fits one record, log Update_full; otherwise log it as
+               a delete + insert pair (same replay semantics). *)
+            match Page.update frame.page slot data with
+            | Error _ as e -> e
+            | Ok () ->
+                let combined = 15 + Bytes.length before + Bytes.length data in
+                if combined <= max_record_payload t + 13 then
+                  add_record t frame ~page
+                    {
+                      Log_record.txid = tx;
+                      page;
+                      op = Log_record.Update_full { slot; before; after = data };
+                    }
+                else begin
+                  add_record t frame ~page
+                    { Log_record.txid = tx; page; op = Log_record.Delete { slot; before } };
+                  add_record t frame ~page
+                    { Log_record.txid = tx; page; op = Log_record.Insert { slot; record = data } }
+                end;
+                Pool.mark_dirty t.pool page;
+                note_dirty t ~tx ~page;
+                Ok ()
+          end)
+
+let update_range t ~tx ~page ~slot ~offset data =
+  mutate t ~tx ~page (fun p ->
+      match Page.read p slot with
+      | None -> Error "slot not live"
+      | Some record ->
+          let len = Bytes.length data in
+          if offset < 0 || offset + len > Bytes.length record then Error "range outside record"
+          else if (2 * len) + 15 > max_record_payload t + 13 then Error "range too large to log"
+          else begin
+            let before = Bytes.sub record offset len in
+            match Page.update_bytes p ~slot ~offset data with
+            | Error _ as e -> e
+            | Ok () ->
+                Ok
+                  {
+                    Log_record.txid = tx;
+                    page;
+                    op = Log_record.Update_range { slot; offset; before; after = data };
+                  }
+          end)
+
+let read t ~page ~slot = Pool.with_page t.pool page (fun frame -> Page.read frame.page slot)
+
+let with_page t page f = Pool.with_page t.pool page (fun frame -> f frame.page)
+
+let page_free_space t page = with_page t page Page.free_space
+
+(* ------------------------------------------------------------------ *)
+(* Maintenance                                                         *)
+
+let checkpoint t =
+  t.pending_commits <- 0;
+  Pool.flush_all t.pool;
+  Ipl_storage.force_meta t.store;
+  (match t.trx with Some log -> Trx_log.force log | None -> ())
+
+let compact t ~max_merges =
+  (* Proactive background merging: take the merge cost off the next
+     unlucky writer's critical path. Flush first so pending records are
+     included. *)
+  Pool.flush_all t.pool;
+  Ipl_storage.merge_fullest t.store ~max:max_merges
+
+let stats t =
+  {
+    storage = Ipl_storage.stats t.store;
+    pool = Pool.stats t.pool;
+    flash = Chip.stats t.chip;
+  }

@@ -1,0 +1,113 @@
+(** The IPL database engine: buffer manager + storage manager (Figure 2).
+
+    Every page mutation updates the in-memory copy {e and} appends a
+    physiological log record to the page's in-memory log sector. Log
+    sectors are flushed to flash when they fill, when their page is
+    evicted, and — with recovery enabled — when one of their transactions
+    commits. Dirty page images themselves are never written back: the
+    stored image plus its log records {e is} the page.
+
+    Transactions: {!begin_txn}/{!commit}/{!abort} implement the Section 5
+    design. Isolation is the caller's responsibility (the engine is
+    single-threaded); the recovery guarantees assume transactions do not
+    modify the same record concurrently. With [recovery_enabled = false]
+    the engine is the basic Section 3 design: all work is implicitly
+    committed and {!abort} is unavailable. *)
+
+type t
+
+type combined_stats = {
+  storage : Ipl_storage.stats;
+  pool : Bufmgr.Buffer_pool.stats;
+  flash : Flash_sim.Flash_stats.t;
+}
+
+val create :
+  ?config:Ipl_config.t ->
+  ?meta_blocks:int ->
+  ?trx_blocks:int ->
+  Flash_sim.Flash_chip.t ->
+  t
+(** Lay out a fresh database on the chip: metadata-log region, transaction-
+    log region (used when recovery is enabled), then the IPL data area. *)
+
+val restart :
+  ?config:Ipl_config.t ->
+  ?meta_blocks:int ->
+  ?trx_blocks:int ->
+  Flash_sim.Flash_chip.t ->
+  t * int list
+(** Re-open after a crash (same parameters as {!create}). Implicit
+    REDO/UNDO per Section 5.4: transactions with no outcome record are
+    aborted (their ids are returned); everything else is reconstructed
+    on demand by the normal read path. *)
+
+val config : t -> Ipl_config.t
+val chip : t -> Flash_sim.Flash_chip.t
+val storage : t -> Ipl_storage.t
+
+(** {1 Transactions} *)
+
+val begin_txn : t -> int
+val commit : t -> int -> unit
+(** With [group_commit = 0]: forces the in-memory log sectors of every
+    page the transaction touched, then the commit record — the
+    no-force-of-data / force-log-at-commit policy of Section 5.2.
+    With [group_commit = n]: the commit is recorded but becomes durable
+    only when [n] commits have accumulated (or at {!flush_commits} /
+    {!checkpoint}). *)
+
+val flush_commits : t -> unit
+(** Make all batched (group) commits durable now. *)
+
+val abort : t -> int -> unit
+(** Rolls back in-memory changes and leaves flash records to be dropped by
+    selective merges. Raises [Failure] when recovery is disabled. *)
+
+val txn_status : t -> int -> Trx_log.status
+
+(** {1 Pages and records} *)
+
+val allocate_page : t -> int
+val allocate_page_with : t -> Storage.Page.t -> int
+(** Bulk-load path: place a pre-filled page image (not logged). *)
+
+val page_count : t -> int
+
+val insert : t -> tx:int -> page:int -> bytes -> (int, string) result
+val delete : t -> tx:int -> page:int -> slot:int -> (unit, string) result
+
+val update : t -> tx:int -> page:int -> slot:int -> bytes -> (unit, string) result
+(** Replace a record's payload. Equal-length replacements are logged as
+    byte-range deltas — one record per differing range, chunked to fit log
+    sectors; identical payloads log nothing. Size-changing replacements
+    log a full before/after image, or a delete/insert pair when that image
+    would not fit one log sector. *)
+
+val update_range :
+  t -> tx:int -> page:int -> slot:int -> offset:int -> bytes -> (unit, string) result
+(** Overwrite a byte range of the record in place (smallest log records). *)
+
+val max_record_payload : t -> int
+(** Largest record (or insert payload) the logging path accepts; larger
+    inserts return [Error "record too large to log"]. *)
+
+val read : t -> page:int -> slot:int -> bytes option
+val with_page : t -> int -> (Storage.Page.t -> 'a) -> 'a
+(** Read-only access to the current version of a page through the buffer
+    pool. The callback must not retain or mutate the page. *)
+
+val page_free_space : t -> int -> int
+
+(** {1 Maintenance} *)
+
+val checkpoint : t -> unit
+(** Flush all in-memory log sectors and force the metadata (and
+    transaction) logs. *)
+
+val compact : t -> max_merges:int -> int
+(** Background merging: merge up to [max_merges] of the erase units whose
+    log regions are fullest, returning how many were merged. Doing this
+    at idle moments moves merge latency off the update path. *)
+
+val stats : t -> combined_stats

@@ -1,0 +1,641 @@
+module Chip = Flash_sim.Flash_chip
+module FConfig = Flash_sim.Flash_config
+module Page = Storage.Page
+
+type eu_info = {
+  mutable phys : int;
+  pages : int array;  (* data slot -> logical page id, -1 = free slot *)
+  mutable used_log : int;
+  mutable overflow_rev : int list;  (* flat sector addresses, newest first *)
+  txn_counts : (int, int) Hashtbl.t;  (* txid -> live records in this unit's logs *)
+  mutable total_records : int;
+}
+
+type overflow_info = { mutable next_idx : int; mutable live : int }
+
+type stats = {
+  pages_allocated : int;
+  page_reads : int;
+  log_sector_writes : int;
+  overflow_sector_writes : int;
+  log_sector_reads : int;
+  merges : int;
+  overflow_diversions : int;
+  records_applied_at_merge : int;
+  records_dropped_aborted : int;
+  records_carried_over : int;
+  erase_units_reclaimed : int;
+}
+
+type t = {
+  chip : Chip.t;
+  config : Ipl_config.t;
+  first_block : int;
+  num_blocks : int;
+  txn_status : int -> Trx_log.status;
+  meta : Meta_log.t;
+  mapping : (int, eu_info * int) Hashtbl.t;  (* logical page -> (unit, slot) *)
+  data_eus : (int, eu_info) Hashtbl.t;  (* physical block -> unit *)
+  overflow_eus : (int, overflow_info) Hashtbl.t;
+  free : (int, unit) Hashtbl.t;
+  mutable current_overflow : int option;
+  mutable fill : eu_info option;  (* unit receiving new page allocations *)
+  mutable next_page : int;
+  (* geometry *)
+  sectors_per_page : int;
+  data_pages : int;
+  log_sectors : int;
+  log_start : int;  (* sector offset of the log region within a block *)
+  sectors_per_block : int;
+  (* counters *)
+  mutable c_pages_allocated : int;
+  mutable c_page_reads : int;
+  mutable c_log_sector_writes : int;
+  mutable c_overflow_sector_writes : int;
+  mutable c_log_sector_reads : int;
+  mutable c_merges : int;
+  mutable c_overflow_diversions : int;
+  mutable c_records_applied : int;
+  mutable c_records_dropped : int;
+  mutable c_records_carried : int;
+  mutable c_reclaimed : int;
+}
+
+let config t = t.config
+
+let mk ?(config = Ipl_config.default) chip ~first_block ~num_blocks ~txn_status ~meta =
+  let fc = Chip.config chip in
+  Ipl_config.validate config ~sector_size:fc.FConfig.sector_size
+    ~block_size:fc.FConfig.block_size;
+  if num_blocks <= 0 || first_block < 0 || first_block + num_blocks > fc.FConfig.num_blocks
+  then invalid_arg "Ipl_storage: block range out of chip bounds";
+  let sectors_per_page = config.Ipl_config.page_size / fc.FConfig.sector_size in
+  let data_pages = Ipl_config.data_pages_per_eu config ~block_size:fc.FConfig.block_size in
+  {
+    chip;
+    config;
+    first_block;
+    num_blocks;
+    txn_status;
+    meta;
+    mapping = Hashtbl.create 4096;
+    data_eus = Hashtbl.create 512;
+    overflow_eus = Hashtbl.create 16;
+    free = Hashtbl.create 512;
+    current_overflow = None;
+    fill = None;
+    next_page = 0;
+    sectors_per_page;
+    data_pages;
+    log_sectors =
+      Ipl_config.log_sectors_per_eu config ~sector_size:fc.FConfig.sector_size;
+    log_start = data_pages * sectors_per_page;
+    sectors_per_block = FConfig.sectors_per_block fc;
+    c_pages_allocated = 0;
+    c_page_reads = 0;
+    c_log_sector_writes = 0;
+    c_overflow_sector_writes = 0;
+    c_log_sector_reads = 0;
+    c_merges = 0;
+    c_overflow_diversions = 0;
+    c_records_applied = 0;
+    c_records_dropped = 0;
+    c_records_carried = 0;
+    c_reclaimed = 0;
+  }
+
+let fresh_eu_info phys data_pages =
+  {
+    phys;
+    pages = Array.make data_pages (-1);
+    used_log = 0;
+    overflow_rev = [];
+    txn_counts = Hashtbl.create 8;
+    total_records = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Free-unit allocation                                                *)
+
+let alloc_eu t =
+  if Hashtbl.length t.free = 0 then failwith "Ipl_storage: out of erase units";
+  let best =
+    Hashtbl.fold
+      (fun b () acc ->
+        if not t.config.Ipl_config.wear_aware_allocation then
+          match acc with Some _ -> acc | None -> Some b
+        else
+          match acc with
+          | Some b' when Chip.erase_count t.chip b' <= Chip.erase_count t.chip b -> acc
+          | _ -> Some b)
+      t.free None
+  in
+  match best with
+  | Some b ->
+      Hashtbl.remove t.free b;
+      b
+  | None -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Low-level sector helpers                                            *)
+
+let data_sector t eu_phys idx = Chip.sector_of_block t.chip eu_phys + (idx * t.sectors_per_page)
+let log_sector_addr t eu_phys i = Chip.sector_of_block t.chip eu_phys + t.log_start + i
+
+let read_raw_page t eu idx =
+  t.c_page_reads <- t.c_page_reads + 1;
+  let b = Chip.read_sectors t.chip ~sector:(data_sector t eu.phys idx) ~count:t.sectors_per_page in
+  Page.of_bytes b
+
+let write_data_page t eu_phys idx (page : Page.t) =
+  Chip.write_sectors t.chip ~sector:(data_sector t eu_phys idx) (Page.to_bytes page)
+
+let sector_size t = (Chip.config t.chip).FConfig.sector_size
+
+(* All log records stored for an erase unit, in application order:
+   in-page log sectors by slot, then overflow sectors oldest-first. *)
+let read_eu_log_records t eu =
+  let ss = sector_size t in
+  let records = ref [] in
+  if eu.used_log > 0 then begin
+    let blob =
+      Chip.read_sectors t.chip ~sector:(log_sector_addr t eu.phys 0) ~count:eu.used_log
+    in
+    t.c_log_sector_reads <- t.c_log_sector_reads + eu.used_log;
+    for i = 0 to eu.used_log - 1 do
+      let sector = Bytes.sub blob (i * ss) ss in
+      records := Log_sector.deserialize sector :: !records
+    done
+  end;
+  List.iter
+    (fun addr ->
+      let sector = Chip.read_sectors t.chip ~sector:addr ~count:1 in
+      t.c_log_sector_reads <- t.c_log_sector_reads + 1;
+      records := Log_sector.deserialize sector :: !records)
+    (List.rev eu.overflow_rev);
+  List.concat (List.rev !records)
+
+let serialize_records t records =
+  let ls = Log_sector.create ~capacity:(sector_size t) in
+  List.iter
+    (fun r ->
+      match Log_sector.add ls r with
+      | `Added -> ()
+      | `Full -> invalid_arg "Ipl_storage: records exceed one log sector")
+    records;
+  Log_sector.serialize ls
+
+let note_records eu records =
+  List.iter
+    (fun r ->
+      let txid = r.Log_record.txid in
+      Hashtbl.replace eu.txn_counts txid (1 + Option.value ~default:0 (Hashtbl.find_opt eu.txn_counts txid)))
+    records;
+  eu.total_records <- eu.total_records + List.length records
+
+(* ------------------------------------------------------------------ *)
+(* Page allocation                                                     *)
+
+let find_free_slot t eu =
+  let rec go idx =
+    if idx >= t.data_pages then None
+    else if
+      eu.pages.(idx) = -1
+      && Chip.sector_state t.chip (data_sector t eu.phys idx) = Chip.Free
+    then Some idx
+    else go (idx + 1)
+  in
+  go 0
+
+let allocate_page t page =
+  if Bytes.length (Page.to_bytes page) <> t.config.Ipl_config.page_size then
+    invalid_arg "Ipl_storage.allocate_page: wrong page size";
+  let eu, idx =
+    let try_fill =
+      match t.fill with
+      | Some eu -> ( match find_free_slot t eu with Some idx -> Some (eu, idx) | None -> None)
+      | None -> None
+    in
+    match try_fill with
+    | Some x -> x
+    | None ->
+        let phys = alloc_eu t in
+        let eu = fresh_eu_info phys t.data_pages in
+        Hashtbl.replace t.data_eus phys eu;
+        t.fill <- Some eu;
+        (eu, 0)
+  in
+  let pid = t.next_page in
+  t.next_page <- pid + 1;
+  write_data_page t eu.phys idx page;
+  eu.pages.(idx) <- pid;
+  Hashtbl.replace t.mapping pid (eu, idx);
+  Meta_log.log t.meta (Meta_log.Page_alloc { page = pid; eu = eu.phys; idx });
+  t.c_pages_allocated <- t.c_pages_allocated + 1;
+  pid
+
+let page_exists t pid = Hashtbl.mem t.mapping pid
+let num_pages t = Hashtbl.length t.mapping
+
+let lookup t pid =
+  match Hashtbl.find_opt t.mapping pid with
+  | Some x -> x
+  | None -> invalid_arg (Printf.sprintf "Ipl_storage: unknown page %d" pid)
+
+(* ------------------------------------------------------------------ *)
+(* Read path                                                           *)
+
+let live_records_of_page t eu pid =
+  List.filter
+    (fun r -> r.Log_record.page = pid && t.txn_status r.Log_record.txid <> Trx_log.Aborted)
+    (read_eu_log_records t eu)
+
+let apply_records page records =
+  List.iter
+    (fun r ->
+      match Log_record.apply page r with
+      | Ok () -> ()
+      | Error msg ->
+          failwith
+            (Format.asprintf "Ipl_storage: log replay failed (%s) on %a" msg Log_record.pp r))
+    records
+
+let read_page t pid =
+  let eu, idx = lookup t pid in
+  let page = read_raw_page t eu idx in
+  apply_records page (live_records_of_page t eu pid);
+  page
+
+let live_log_records t ~page = let eu, _ = lookup t page in live_records_of_page t eu page
+
+(* ------------------------------------------------------------------ *)
+(* Overflow area                                                       *)
+
+let release_overflow t eu =
+  if eu.overflow_rev <> [] then begin
+    List.iter
+      (fun addr ->
+        Chip.invalidate_sectors t.chip ~sector:addr ~count:1;
+        let block = Chip.block_of_sector t.chip addr in
+        match Hashtbl.find_opt t.overflow_eus block with
+        | Some info -> info.live <- info.live - 1
+        | None -> ())
+      eu.overflow_rev;
+    Meta_log.log t.meta (Meta_log.Overflow_release { data_eu = eu.phys });
+    eu.overflow_rev <- []
+  end
+
+let gc_overflow t =
+  let dead =
+    Hashtbl.fold
+      (fun phys info acc -> if info.live = 0 && info.next_idx > 0 then phys :: acc else acc)
+      t.overflow_eus []
+  in
+  List.iter
+    (fun phys ->
+      Hashtbl.remove t.overflow_eus phys;
+      if t.current_overflow = Some phys then t.current_overflow <- None;
+      Chip.erase_block t.chip phys;
+      Hashtbl.replace t.free phys ();
+      Meta_log.log t.meta (Meta_log.Overflow_free { eu = phys });
+      t.c_reclaimed <- t.c_reclaimed + 1)
+    dead
+
+let overflow_write t eu sector_bytes =
+  let phys =
+    match t.current_overflow with
+    | Some phys when (Hashtbl.find t.overflow_eus phys).next_idx < t.sectors_per_block ->
+        phys
+    | _ ->
+        let phys = alloc_eu t in
+        Hashtbl.replace t.overflow_eus phys { next_idx = 0; live = 0 };
+        t.current_overflow <- Some phys;
+        Meta_log.log t.meta (Meta_log.Overflow_alloc { eu = phys });
+        phys
+  in
+  let info = Hashtbl.find t.overflow_eus phys in
+  let addr = Chip.sector_of_block t.chip phys + info.next_idx in
+  Chip.write_sectors t.chip ~sector:addr sector_bytes;
+  info.next_idx <- info.next_idx + 1;
+  info.live <- info.live + 1;
+  eu.overflow_rev <- addr :: eu.overflow_rev;
+  Meta_log.log t.meta (Meta_log.Overflow_assign { data_eu = eu.phys; sector = addr });
+  t.c_overflow_sector_writes <- t.c_overflow_sector_writes + 1
+
+(* ------------------------------------------------------------------ *)
+(* Merge (Algorithms 1 and 3)                                          *)
+
+(* Split a unit's records by the status of their transactions. Preserves
+   order within each class. *)
+let classify t records =
+  let committed = ref [] and active = ref [] and dropped = ref 0 in
+  List.iter
+    (fun r ->
+      match t.txn_status r.Log_record.txid with
+      | Trx_log.Committed -> committed := r :: !committed
+      | Trx_log.Active -> active := r :: !active
+      | Trx_log.Aborted -> incr dropped)
+    records;
+  (List.rev !committed, List.rev !active, !dropped)
+
+(* Pack records into as few log sectors as possible (order preserved). *)
+let pack_sectors t records =
+  let sectors = ref [] in
+  let cur = ref (Log_sector.create ~capacity:(sector_size t)) in
+  List.iter
+    (fun r ->
+      match Log_sector.add !cur r with
+      | `Added -> ()
+      | `Full ->
+          sectors := Log_sector.serialize !cur :: !sectors;
+          cur := Log_sector.create ~capacity:(sector_size t);
+          match Log_sector.add !cur r with
+          | `Added -> ()
+          | `Full -> assert false)
+    records;
+  if not (Log_sector.is_empty !cur) then sectors := Log_sector.serialize !cur :: !sectors;
+  List.rev !sectors
+
+let merge t eu ~pending =
+  let new_phys = alloc_eu t in
+  let all = read_eu_log_records t eu @ pending in
+  let committed, carried, dropped = classify t all in
+  t.c_records_dropped <- t.c_records_dropped + dropped;
+  t.c_records_carried <- t.c_records_carried + List.length carried;
+  (* Rewrite every hosted page with its committed records applied. *)
+  Array.iteri
+    (fun idx pid ->
+      if pid >= 0 then begin
+        let page = read_raw_page t eu idx in
+        let mine = List.filter (fun r -> r.Log_record.page = pid) committed in
+        apply_records page mine;
+        t.c_records_applied <- t.c_records_applied + List.length mine;
+        write_data_page t new_phys idx page
+      end)
+    eu.pages;
+  (* Carry the still-active records into the new unit's log region,
+     compacted; spill to overflow if they exceed it (possible only with a
+     high tau). *)
+  let sectors = pack_sectors t carried in
+  let in_region, spill =
+    let rec split i acc = function
+      | [] -> (List.rev acc, [])
+      | s :: rest when i < t.log_sectors -> split (i + 1) (s :: acc) rest
+      | rest -> (List.rev acc, rest)
+    in
+    split 0 [] sectors
+  in
+  List.iteri
+    (fun i s -> Chip.write_sectors t.chip ~sector:(log_sector_addr t new_phys i) s)
+    in_region;
+  release_overflow t eu;
+  (* Publish the move, then reclaim the old unit. *)
+  Meta_log.log t.meta (Meta_log.Merge { old_eu = eu.phys; new_eu = new_phys });
+  Meta_log.force t.meta;
+  Chip.erase_block t.chip eu.phys;
+  Hashtbl.replace t.free eu.phys ();
+  Hashtbl.remove t.data_eus eu.phys;
+  eu.phys <- new_phys;
+  Hashtbl.replace t.data_eus new_phys eu;
+  eu.used_log <- List.length in_region;
+  Hashtbl.reset eu.txn_counts;
+  eu.total_records <- 0;
+  note_records eu carried;
+  (* Spilled carried sectors go to a fresh overflow area, oldest first. *)
+  List.iter (fun s -> overflow_write t eu s) spill;
+  gc_overflow t;
+  t.c_merges <- t.c_merges + 1
+
+(* ------------------------------------------------------------------ *)
+(* Log flushing                                                        *)
+
+let active_fraction t eu ~pending =
+  let active_of records =
+    List.fold_left
+      (fun acc r -> if t.txn_status r.Log_record.txid = Trx_log.Active then acc + 1 else acc)
+      0 records
+  in
+  let active_stored =
+    Hashtbl.fold
+      (fun txid n acc -> if t.txn_status txid = Trx_log.Active then acc + n else acc)
+      eu.txn_counts 0
+  in
+  let total = eu.total_records + List.length pending in
+  if total = 0 then 0.0
+  else float_of_int (active_stored + active_of pending) /. float_of_int total
+
+let flush_log t ~page records =
+  if records = [] then invalid_arg "Ipl_storage.flush_log: no records";
+  List.iter
+    (fun r ->
+      if r.Log_record.page <> page then
+        invalid_arg "Ipl_storage.flush_log: record for a different page")
+    records;
+  let eu, _ = lookup t page in
+  if eu.used_log < t.log_sectors then begin
+    let sector = serialize_records t records in
+    Chip.write_sectors t.chip ~sector:(log_sector_addr t eu.phys eu.used_log) sector;
+    eu.used_log <- eu.used_log + 1;
+    note_records eu records;
+    t.c_log_sector_writes <- t.c_log_sector_writes + 1
+  end
+  else if
+    t.config.Ipl_config.recovery_enabled
+    && active_fraction t eu ~pending:records > t.config.Ipl_config.selective_merge_threshold
+  then begin
+    let sector = serialize_records t records in
+    overflow_write t eu sector;
+    note_records eu records;
+    t.c_overflow_diversions <- t.c_overflow_diversions + 1
+  end
+  else merge t eu ~pending:records
+
+let merge_eu_of_page t pid =
+  let eu, _ = lookup t pid in
+  merge t eu ~pending:[]
+
+let merge_fullest t ~max =
+  if max <= 0 then 0
+  else begin
+    let candidates =
+      Hashtbl.fold
+        (fun _ eu acc ->
+          let load = eu.used_log + List.length eu.overflow_rev in
+          if load > 0 then (load, eu) :: acc else acc)
+        t.data_eus []
+    in
+    let sorted = List.sort (fun (a, _) (b, _) -> compare b a) candidates in
+    let rec go n = function
+      | (_, eu) :: rest when n < max ->
+          merge t eu ~pending:[];
+          go (n + 1) rest
+      | _ -> n
+    in
+    go 0 sorted
+  end
+
+let force_meta t = Meta_log.force t.meta
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                       *)
+
+let eu_of_page t pid = (fst (lookup t pid)).phys
+
+let used_log_sectors t ~eu =
+  match Hashtbl.find_opt t.data_eus eu with
+  | Some info -> info.used_log
+  | None -> invalid_arg "Ipl_storage.used_log_sectors: not a data erase unit"
+
+let overflow_sectors t ~eu =
+  match Hashtbl.find_opt t.data_eus eu with
+  | Some info -> List.length info.overflow_rev
+  | None -> invalid_arg "Ipl_storage.overflow_sectors: not a data erase unit"
+
+let free_eus t = Hashtbl.length t.free
+
+let stats t =
+  {
+    pages_allocated = t.c_pages_allocated;
+    page_reads = t.c_page_reads;
+    log_sector_writes = t.c_log_sector_writes;
+    overflow_sector_writes = t.c_overflow_sector_writes;
+    log_sector_reads = t.c_log_sector_reads;
+    merges = t.c_merges;
+    overflow_diversions = t.c_overflow_diversions;
+    records_applied_at_merge = t.c_records_applied;
+    records_dropped_aborted = t.c_records_dropped;
+    records_carried_over = t.c_records_carried;
+    erase_units_reclaimed = t.c_reclaimed;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Construction and crash recovery                                     *)
+
+let snapshot_fun t () =
+  let events = ref [] in
+  Hashtbl.iter
+    (fun phys _ -> events := Meta_log.Overflow_alloc { eu = phys } :: !events)
+    t.overflow_eus;
+  Hashtbl.iter
+    (fun phys eu ->
+      Array.iteri
+        (fun idx pid ->
+          if pid >= 0 then
+            events := Meta_log.Page_alloc { page = pid; eu = phys; idx } :: !events)
+        eu.pages;
+      List.iter
+        (fun addr ->
+          events := Meta_log.Overflow_assign { data_eu = phys; sector = addr } :: !events)
+        (List.rev eu.overflow_rev))
+    t.data_eus;
+  (* Overflow_alloc events were prepended last-first; order among allocs
+     does not matter, but assigns must follow allocs. *)
+  let allocs, rest =
+    List.partition (function Meta_log.Overflow_alloc _ -> true | _ -> false) !events
+  in
+  allocs @ List.rev rest
+
+let create ?config chip ~first_block ~num_blocks ~txn_status ~meta () =
+  let t = mk ?config chip ~first_block ~num_blocks ~txn_status ~meta in
+  for b = first_block to first_block + num_blocks - 1 do
+    Hashtbl.replace t.free b ()
+  done;
+  Meta_log.set_snapshot meta (snapshot_fun t);
+  t
+
+let recover ?config chip ~first_block ~num_blocks ~txn_status ~meta ~meta_events () =
+  let t = mk ?config chip ~first_block ~num_blocks ~txn_status ~meta in
+  (* Replay mapping events. *)
+  let get_eu phys =
+    match Hashtbl.find_opt t.data_eus phys with
+    | Some eu -> eu
+    | None ->
+        let eu = fresh_eu_info phys t.data_pages in
+        Hashtbl.replace t.data_eus phys eu;
+        eu
+  in
+  List.iter
+    (function
+      | Meta_log.Page_alloc { page; eu = phys; idx } ->
+          let eu = get_eu phys in
+          eu.pages.(idx) <- page;
+          Hashtbl.replace t.mapping page (eu, idx);
+          if page >= t.next_page then t.next_page <- page + 1
+      | Meta_log.Merge { old_eu; new_eu } -> (
+          match Hashtbl.find_opt t.data_eus old_eu with
+          | Some eu ->
+              Hashtbl.remove t.data_eus old_eu;
+              eu.phys <- new_eu;
+              Hashtbl.replace t.data_eus new_eu eu
+          | None -> failwith "Ipl_storage.recover: merge of unknown erase unit")
+      | Meta_log.Overflow_alloc { eu } ->
+          Hashtbl.replace t.overflow_eus eu { next_idx = 0; live = 0 }
+      | Meta_log.Overflow_assign { data_eu; sector } -> (
+          match Hashtbl.find_opt t.data_eus data_eu with
+          | Some eu ->
+              eu.overflow_rev <- sector :: eu.overflow_rev;
+              let block = Chip.block_of_sector chip sector in
+              (match Hashtbl.find_opt t.overflow_eus block with
+              | Some info -> info.live <- info.live + 1
+              | None -> ())
+          | None -> failwith "Ipl_storage.recover: overflow assign to unknown unit")
+      | Meta_log.Overflow_release { data_eu } -> (
+          match Hashtbl.find_opt t.data_eus data_eu with
+          | Some eu ->
+              List.iter
+                (fun addr ->
+                  let block = Chip.block_of_sector chip addr in
+                  match Hashtbl.find_opt t.overflow_eus block with
+                  | Some info -> info.live <- info.live - 1
+                  | None -> ())
+                eu.overflow_rev;
+              eu.overflow_rev <- []
+          | None -> ())
+      | Meta_log.Overflow_free { eu } -> Hashtbl.remove t.overflow_eus eu)
+    meta_events;
+  (* Rescan flash to rebuild log-sector usage and record counts. *)
+  Hashtbl.iter
+    (fun _ eu ->
+      let rec used i =
+        if i >= t.log_sectors then i
+        else if Chip.sector_state chip (log_sector_addr t eu.phys i) <> Chip.Free then
+          used (i + 1)
+        else i
+      in
+      eu.used_log <- used 0;
+      let records = read_eu_log_records t eu in
+      Hashtbl.reset eu.txn_counts;
+      eu.total_records <- 0;
+      note_records eu records)
+    t.data_eus;
+  Hashtbl.iter
+    (fun phys info ->
+      let base = Chip.sector_of_block chip phys in
+      let rec next i =
+        if i >= t.sectors_per_block then i
+        else if Chip.sector_state chip (base + i) <> Chip.Free then next (i + 1)
+        else i
+      in
+      info.next_idx <- next 0;
+      if info.next_idx < t.sectors_per_block && t.current_overflow = None then
+        t.current_overflow <- Some phys)
+    t.overflow_eus;
+  (* Free list + garbage collection of unreferenced half-written units
+     (a crash mid-merge leaves one). *)
+  for b = first_block to first_block + num_blocks - 1 do
+    if (not (Hashtbl.mem t.data_eus b)) && not (Hashtbl.mem t.overflow_eus b) then begin
+      if Chip.free_sectors_in_block chip b < t.sectors_per_block then Chip.erase_block chip b;
+      Hashtbl.replace t.free b ()
+    end
+  done;
+  (* Resume filling a unit with a usable free slot, if any. *)
+  (try
+     Hashtbl.iter
+       (fun _ eu -> if find_free_slot t eu <> None then begin
+            t.fill <- Some eu;
+            raise Exit
+          end)
+       t.data_eus
+   with Exit -> ());
+  Meta_log.set_snapshot meta (snapshot_fun t);
+  t

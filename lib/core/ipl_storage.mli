@@ -1,0 +1,108 @@
+(** The in-page logging storage manager (Sections 3.2, 3.3 and 5.3).
+
+    Every erase unit in the managed flash region is split into data pages
+    and log sectors. Data pages are written exactly once per residence in
+    an erase unit; all subsequent changes arrive as physiological log
+    records flushed — one flash sector at a time — into the {e same} erase
+    unit. Reading a page re-creates its current version on the fly by
+    applying its log records to the stored image. When an erase unit runs
+    out of log sectors, a merge (Algorithm 1; Algorithm 3 when recovery is
+    enabled) rewrites it into a freshly erased unit.
+
+    The logical-to-physical page mapping changes only on merges and is
+    persisted through a {!Meta_log.t}; crash recovery replays that log and
+    rescans the in-page log sectors.
+
+    Transaction-status filtering: log records of aborted transactions are
+    never applied (neither on read nor at merge); records of transactions
+    still active at merge time are carried over to the new erase unit, or
+    — when they would dominate the merge ([carry fraction > tau]) — the
+    incoming log sector is diverted to an overflow erase unit and the
+    merge is postponed. *)
+
+type t
+
+type stats = {
+  pages_allocated : int;
+  page_reads : int;  (** data-page fetches from flash *)
+  log_sector_writes : int;  (** in-page log sectors programmed *)
+  overflow_sector_writes : int;
+  log_sector_reads : int;
+  merges : int;
+  overflow_diversions : int;  (** flushes diverted because carry > tau *)
+  records_applied_at_merge : int;
+  records_dropped_aborted : int;
+  records_carried_over : int;
+  erase_units_reclaimed : int;  (** overflow areas garbage-collected *)
+}
+
+val create :
+  ?config:Ipl_config.t ->
+  Flash_sim.Flash_chip.t ->
+  first_block:int ->
+  num_blocks:int ->
+  txn_status:(int -> Trx_log.status) ->
+  meta:Meta_log.t ->
+  unit ->
+  t
+(** Manage blocks [first_block, first_block + num_blocks). All blocks are
+    erased. The [meta] log must be empty (fresh database). *)
+
+val recover :
+  ?config:Ipl_config.t ->
+  Flash_sim.Flash_chip.t ->
+  first_block:int ->
+  num_blocks:int ->
+  txn_status:(int -> Trx_log.status) ->
+  meta:Meta_log.t ->
+  meta_events:Meta_log.event list ->
+  unit ->
+  t
+(** Rebuild state after a crash from the replayed metadata events plus a
+    scan of the flash region. Unreferenced half-written erase units (from
+    a crash mid-merge) are erased. *)
+
+val config : t -> Ipl_config.t
+
+val allocate_page : t -> Storage.Page.t -> int
+(** Place a new logical page, writing its initial image; returns its id.
+    Durable once the metadata log is next forced. *)
+
+val page_exists : t -> int -> bool
+val num_pages : t -> int
+
+val read_page : t -> int -> Storage.Page.t
+(** Current version: stored image + all live log records (aborted
+    transactions' records are skipped). *)
+
+val flush_log : t -> page:int -> Log_record.t list -> unit
+(** Persist one in-memory log sector's records for [page]. Writes a log
+    sector in the page's erase unit, or — if none is free — merges the
+    unit (consuming the records) or diverts the sector to an overflow
+    area. [records] must be non-empty and fit one sector. *)
+
+val force_meta : t -> unit
+(** Make allocations/merges performed so far durable. *)
+
+val merge_fullest : t -> max:int -> int
+(** Merge up to [max] data erase units, fullest log region first, skipping
+    units with empty log regions. Returns the number merged. Used for
+    proactive (background) merging. *)
+
+val merge_eu_of_page : t -> int -> unit
+(** Force a merge of the erase unit containing a page (used by tests and
+    by checkpointing to purge old log records). *)
+
+val eu_of_page : t -> int -> int
+(** Physical erase unit currently hosting a page. *)
+
+val used_log_sectors : t -> eu:int -> int
+val overflow_sectors : t -> eu:int -> int
+(** Overflow log sectors currently assigned to data erase unit [eu]. *)
+
+val free_eus : t -> int
+val stats : t -> stats
+
+val live_log_records : t -> page:int -> Log_record.t list
+(** All live (non-aborted) flash log records of a page, in application
+    order — for tests and the recovery demo. *)

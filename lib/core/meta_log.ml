@@ -1,0 +1,93 @@
+type event =
+  | Page_alloc of { page : int; eu : int; idx : int }
+  | Merge of { old_eu : int; new_eu : int }
+  | Overflow_alloc of { eu : int }
+  | Overflow_assign of { data_eu : int; sector : int }
+  | Overflow_release of { data_eu : int }
+  | Overflow_free of { eu : int }
+
+type t = { log : Seq_log.t; mutable snapshot : (unit -> event list) option }
+
+let u32 b pos n = Bytes.set_int32_le b pos (Int32.of_int n)
+let g32 b pos = Int32.to_int (Bytes.get_int32_le b pos) land 0xFFFFFFFF
+
+let encode = function
+  | Page_alloc { page; eu; idx } ->
+      let b = Bytes.create 13 in
+      Bytes.set_uint8 b 0 0;
+      u32 b 1 page;
+      u32 b 5 eu;
+      u32 b 9 idx;
+      b
+  | Merge { old_eu; new_eu } ->
+      let b = Bytes.create 9 in
+      Bytes.set_uint8 b 0 1;
+      u32 b 1 old_eu;
+      u32 b 5 new_eu;
+      b
+  | Overflow_alloc { eu } ->
+      let b = Bytes.create 5 in
+      Bytes.set_uint8 b 0 2;
+      u32 b 1 eu;
+      b
+  | Overflow_assign { data_eu; sector } ->
+      let b = Bytes.create 9 in
+      Bytes.set_uint8 b 0 3;
+      u32 b 1 data_eu;
+      u32 b 5 sector;
+      b
+  | Overflow_release { data_eu } ->
+      let b = Bytes.create 5 in
+      Bytes.set_uint8 b 0 4;
+      u32 b 1 data_eu;
+      b
+  | Overflow_free { eu } ->
+      let b = Bytes.create 5 in
+      Bytes.set_uint8 b 0 5;
+      u32 b 1 eu;
+      b
+
+let decode b =
+  match Bytes.get_uint8 b 0 with
+  | 0 -> Page_alloc { page = g32 b 1; eu = g32 b 5; idx = g32 b 9 }
+  | 1 -> Merge { old_eu = g32 b 1; new_eu = g32 b 5 }
+  | 2 -> Overflow_alloc { eu = g32 b 1 }
+  | 3 -> Overflow_assign { data_eu = g32 b 1; sector = g32 b 5 }
+  | 4 -> Overflow_release { data_eu = g32 b 1 }
+  | 5 -> Overflow_free { eu = g32 b 1 }
+  | _ -> invalid_arg "Meta_log.decode: unknown tag"
+
+let create chip ~first_block ~num_blocks =
+  { log = Seq_log.create chip ~first_block ~num_blocks; snapshot = None }
+
+let recover chip ~first_block ~num_blocks =
+  let log = Seq_log.recover chip ~first_block ~num_blocks in
+  let events = List.map decode (Seq_log.records log) in
+  ({ log; snapshot = None }, events)
+
+let set_snapshot t f = t.snapshot <- Some f
+
+let compact t =
+  match t.snapshot with
+  | None -> failwith "Meta_log: region full and no snapshot function registered"
+  | Some f ->
+      let events = f () in
+      Seq_log.reset t.log;
+      List.iter
+        (fun e ->
+          match Seq_log.append t.log (encode e) with
+          | `Ok -> ()
+          | `Full -> failwith "Meta_log: region too small for snapshot")
+        events;
+      Seq_log.force t.log
+
+let log t event =
+  match Seq_log.append t.log (encode event) with
+  | `Ok -> ()
+  | `Full -> (
+      compact t;
+      match Seq_log.append t.log (encode event) with
+      | `Ok -> ()
+      | `Full -> failwith "Meta_log: region too small")
+
+let force t = Seq_log.force t.log

@@ -1,0 +1,43 @@
+(** Persistent logical-to-physical mapping metadata.
+
+    The paper (Section 3.3) notes that the mapping of data pages to erase
+    units is "maintained as meta-data by the flash translation layer" and
+    only changes on merges, so its maintenance cost is low. This module is
+    that metadata store: an append-only log of mapping events in a small
+    reserved flash region, compacted into a snapshot when full. Replaying
+    it after a crash (together with a scan of the in-page log sectors)
+    reconstructs the storage manager's state. *)
+
+type event =
+  | Page_alloc of { page : int; eu : int; idx : int }
+      (** logical page placed at data slot [idx] of erase unit [eu] *)
+  | Merge of { old_eu : int; new_eu : int }
+      (** all pages of [old_eu] moved, same slots, to [new_eu] *)
+  | Overflow_alloc of { eu : int }  (** [eu] becomes an overflow log area *)
+  | Overflow_assign of { data_eu : int; sector : int }
+      (** flat sector address [sector] (inside an overflow area) now holds
+          log records belonging to [data_eu] *)
+  | Overflow_release of { data_eu : int }
+      (** [data_eu] was merged; its overflow sectors are dead *)
+  | Overflow_free of { eu : int }  (** overflow area erased and freed *)
+
+type t
+
+val create : Flash_sim.Flash_chip.t -> first_block:int -> num_blocks:int -> t
+
+val recover : Flash_sim.Flash_chip.t -> first_block:int -> num_blocks:int -> t * event list
+(** Durable events in append order. *)
+
+val log : t -> event -> unit
+(** Appended buffered; see {!force}. When the region fills up the caller's
+    snapshot function (set via {!set_snapshot}) provides the compacted
+    state. *)
+
+val force : t -> unit
+
+val set_snapshot : t -> (unit -> event list) -> unit
+(** Register the function that dumps the current state as a minimal event
+    list, used for compaction. Must be set before the region can fill. *)
+
+val encode : event -> bytes
+val decode : bytes -> event

@@ -1,0 +1,119 @@
+module Chip = Flash_sim.Flash_chip
+module Config = Flash_sim.Flash_config
+
+(* Sector format: used:u16 (bytes of payload), then records, each
+   [len:u16][bytes]. 0xffff in the "used" field (erased flash) marks an
+   unwritten sector. *)
+
+type t = {
+  chip : Chip.t;
+  first_block : int;
+  num_blocks : int;
+  sector_size : int;
+  first_sector : int;
+  total_sectors : int;
+  buf : Buffer.t;  (* payload of the sector being assembled *)
+  mutable next_sector : int;  (* index within the region *)
+}
+
+exception Record_too_large of int
+
+let header_size = 2
+
+let make chip ~first_block ~num_blocks =
+  if num_blocks <= 0 then invalid_arg "Seq_log: need at least one block";
+  let c = Chip.config chip in
+  let spb = Config.sectors_per_block c in
+  {
+    chip;
+    first_block;
+    num_blocks;
+    sector_size = c.Config.sector_size;
+    first_sector = Chip.sector_of_block chip first_block;
+    total_sectors = spb * num_blocks;
+    buf = Buffer.create c.Config.sector_size;
+    next_sector = 0;
+  }
+
+let erase_region t =
+  for b = t.first_block to t.first_block + t.num_blocks - 1 do
+    Chip.erase_block t.chip b
+  done
+
+let create chip ~first_block ~num_blocks =
+  let t = make chip ~first_block ~num_blocks in
+  erase_region t;
+  t
+
+let sector_used t i =
+  Chip.sector_state t.chip (t.first_sector + i) <> Flash_sim.Flash_chip.Free
+
+let recover chip ~first_block ~num_blocks =
+  let t = make chip ~first_block ~num_blocks in
+  let rec scan i = if i < t.total_sectors && sector_used t i then scan (i + 1) else i in
+  t.next_sector <- scan 0;
+  t
+
+let force t =
+  if Buffer.length t.buf > 0 then begin
+    let payload = Buffer.to_bytes t.buf in
+    let sector = Bytes.make t.sector_size '\xff' in
+    Bytes.set_uint16_le sector 0 (Bytes.length payload);
+    Bytes.blit payload 0 sector header_size (Bytes.length payload);
+    Chip.write_sectors t.chip ~sector:(t.first_sector + t.next_sector) sector;
+    t.next_sector <- t.next_sector + 1;
+    Buffer.clear t.buf
+  end
+
+let payload_capacity t = t.sector_size - header_size
+
+let append t record =
+  let need = 2 + Bytes.length record in
+  if need > payload_capacity t then raise (Record_too_large (Bytes.length record));
+  if Buffer.length t.buf + need > payload_capacity t then begin
+    if t.next_sector >= t.total_sectors then `Full
+    else begin
+      force t;
+      if t.next_sector >= t.total_sectors then `Full
+      else begin
+        Buffer.add_uint16_le t.buf (Bytes.length record);
+        Buffer.add_bytes t.buf record;
+        `Ok
+      end
+    end
+  end
+  else begin
+    (* Even an empty region must be able to take the eventual force. *)
+    if t.next_sector >= t.total_sectors then `Full
+    else begin
+      Buffer.add_uint16_le t.buf (Bytes.length record);
+      Buffer.add_bytes t.buf record;
+      `Ok
+    end
+  end
+
+let reset t =
+  Buffer.clear t.buf;
+  erase_region t;
+  t.next_sector <- 0
+
+let records t =
+  let out = ref [] in
+  for i = 0 to t.next_sector - 1 do
+    if sector_used t i then begin
+      let sector = Chip.read_sectors t.chip ~sector:(t.first_sector + i) ~count:1 in
+      let used = Bytes.get_uint16_le sector 0 in
+      if used <> 0xFFFF && used <= t.sector_size - header_size then begin
+        let pos = ref header_size in
+        while !pos < header_size + used do
+          let len = Bytes.get_uint16_le sector !pos in
+          out := Bytes.sub sector (!pos + 2) len :: !out;
+          pos := !pos + 2 + len
+        done
+      end
+    end
+  done;
+  List.rev !out
+
+let sectors_written t = t.next_sector
+let sector_capacity t = t.total_sectors

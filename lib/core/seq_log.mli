@@ -1,0 +1,42 @@
+(** Append-only sequential log over a reserved range of erase units.
+
+    Used for the two small system logs the IPL design keeps {e outside}
+    the in-page log regions: the system-wide transaction log of Section 5.1
+    and the logical-to-physical mapping metadata that the paper delegates
+    to the FTL (Section 3.3).
+
+    Records are opaque byte strings buffered into one flash sector at a
+    time; {!force} makes everything appended so far durable (a partially
+    filled sector is written out and the writer moves to the next sector,
+    since flash sectors cannot be rewritten). *)
+
+type t
+
+exception Record_too_large of int
+
+val create : Flash_sim.Flash_chip.t -> first_block:int -> num_blocks:int -> t
+(** Start a fresh log; erases the region. *)
+
+val recover : Flash_sim.Flash_chip.t -> first_block:int -> num_blocks:int -> t
+(** Attach to an existing region after a crash: scans forward to find the
+    append position. Buffered-but-unforced records from before the crash
+    are gone, exactly as they would be on real hardware. *)
+
+val append : t -> bytes -> [ `Ok | `Full ]
+(** [`Full] means the region is out of space {e for this record}: the
+    record was not appended; the caller should compact (read survivors,
+    {!reset}, re-append). *)
+
+val force : t -> unit
+(** Flush the buffered partial sector, if any. *)
+
+val reset : t -> unit
+(** Erase the whole region and start over. *)
+
+val records : t -> bytes list
+(** All durable records in append order, read back from flash (does not
+    include buffered, unforced ones). *)
+
+val sectors_written : t -> int
+val sector_capacity : t -> int
+(** Total sectors in the region. *)

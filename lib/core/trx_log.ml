@@ -1,0 +1,81 @@
+type status = Active | Committed | Aborted
+
+type t = { log : Seq_log.t; statuses : (int, status) Hashtbl.t }
+
+(* Record format: tag:u8 (0 begin, 1 commit, 2 abort), txid:u32. *)
+let encode tag txid =
+  let b = Bytes.create 5 in
+  Bytes.set_uint8 b 0 tag;
+  Bytes.set_int32_le b 1 (Int32.of_int txid);
+  b
+
+let decode b =
+  if Bytes.length b <> 5 then invalid_arg "Trx_log: bad record";
+  (Bytes.get_uint8 b 0, Int32.to_int (Bytes.get_int32_le b 1) land 0xFFFFFFFF)
+
+let create chip ~first_block ~num_blocks =
+  { log = Seq_log.create chip ~first_block ~num_blocks; statuses = Hashtbl.create 256 }
+
+(* Compaction: committed history can be forgotten (unknown = committed),
+   but aborted ids must survive for as long as their in-page log records
+   might — we keep them all; active ones keep their begin records. *)
+let compact t =
+  Seq_log.reset t.log;
+  Hashtbl.iter
+    (fun txid status ->
+      let tag = match status with Active -> 0 | Aborted -> 2 | Committed -> 1 in
+      if status <> Committed then
+        match Seq_log.append t.log (encode tag txid) with
+        | `Ok -> ()
+        | `Full -> failwith "Trx_log: log region too small even after compaction")
+    t.statuses;
+  Hashtbl.filter_map_inplace
+    (fun _ status -> if status = Committed then None else Some status)
+    t.statuses
+
+let append t record =
+  match Seq_log.append t.log record with
+  | `Ok -> ()
+  | `Full -> (
+      compact t;
+      match Seq_log.append t.log record with
+      | `Ok -> ()
+      | `Full -> failwith "Trx_log: log region too small")
+
+let log_begin t txid =
+  Hashtbl.replace t.statuses txid Active;
+  append t (encode 0 txid)
+
+let log_commit ?(force = true) t txid =
+  Hashtbl.replace t.statuses txid Committed;
+  append t (encode 1 txid);
+  if force then Seq_log.force t.log
+
+let log_abort t txid =
+  Hashtbl.replace t.statuses txid Aborted;
+  append t (encode 2 txid);
+  Seq_log.force t.log
+
+let status t txid =
+  if txid = 0 then Committed
+  else match Hashtbl.find_opt t.statuses txid with Some s -> s | None -> Committed
+
+let active t =
+  Hashtbl.fold (fun txid s acc -> if s = Active then txid :: acc else acc) t.statuses []
+
+let max_txid t = Hashtbl.fold (fun txid _ acc -> max txid acc) t.statuses 0
+
+let force t = Seq_log.force t.log
+
+let recover chip ~first_block ~num_blocks =
+  let log = Seq_log.recover chip ~first_block ~num_blocks in
+  let t = { log; statuses = Hashtbl.create 256 } in
+  List.iter
+    (fun r ->
+      let tag, txid = decode r in
+      let status = match tag with 0 -> Active | 1 -> Committed | _ -> Aborted in
+      Hashtbl.replace t.statuses txid status)
+    (Seq_log.records log);
+  let incomplete = active t in
+  List.iter (fun txid -> log_abort t txid) incomplete;
+  (t, incomplete)

@@ -1,0 +1,39 @@
+(** System-wide transaction log (Section 5.1).
+
+    Its only job — like the transaction log of the Postgres no-overwrite
+    storage the paper cites — is to record the start and outcome of every
+    transaction so that, after a crash, the status of any transaction whose
+    physiological log records survive in flash can be decided. No per-update
+    records are ever written here; those live in the in-page logs.
+
+    Commit and abort records are forced immediately (they are the durability
+    point); begin records may ride along buffered. *)
+
+type status = Active | Committed | Aborted
+
+type t
+
+val create : Flash_sim.Flash_chip.t -> first_block:int -> num_blocks:int -> t
+
+val recover : Flash_sim.Flash_chip.t -> first_block:int -> num_blocks:int -> t * int list
+(** Rebuild the status table from flash. Transactions that were active at
+    the crash are closed with an abort record (written back to the log);
+    their ids are returned. *)
+
+val log_begin : t -> int -> unit
+
+val log_commit : ?force:bool -> t -> int -> unit
+(** [force] defaults to true (the durability point). Group commit passes
+    [~force:false] and forces once per batch. *)
+
+val log_abort : t -> int -> unit
+
+val status : t -> int -> status
+(** Status of a transaction id. Id 0 (non-transactional work) and ids
+    unknown to the log (compacted-away history) are [Committed]. *)
+
+val active : t -> int list
+val max_txid : t -> int
+(** Highest transaction id the log remembers; 0 if none. *)
+
+val force : t -> unit

@@ -1,0 +1,81 @@
+type stats = {
+  reads : int;
+  writes : int;
+  sequential_requests : int;
+  random_requests : int;
+  bytes_read : int;
+  bytes_written : int;
+  elapsed : float;
+}
+
+type t = {
+  config : Disk_config.t;
+  mutable head : int;  (* byte position just past the last request *)
+  mutable reads : int;
+  mutable writes : int;
+  mutable sequential_requests : int;
+  mutable random_requests : int;
+  mutable bytes_read : int;
+  mutable bytes_written : int;
+  mutable elapsed : float;
+}
+
+let create ?(config = Disk_config.default) () =
+  Disk_config.validate config;
+  {
+    config;
+    head = 0;
+    reads = 0;
+    writes = 0;
+    sequential_requests = 0;
+    random_requests = 0;
+    bytes_read = 0;
+    bytes_written = 0;
+    elapsed = 0.0;
+  }
+
+let config t = t.config
+
+let access t ~offset ~bytes ~curve ~rate =
+  if bytes <= 0 then invalid_arg "Disk: request size must be positive";
+  if offset < 0 || offset + bytes > t.config.capacity then
+    invalid_arg "Disk: request out of range";
+  let distance = abs (offset - t.head) in
+  if distance = 0 then t.sequential_requests <- t.sequential_requests + 1
+  else t.random_requests <- t.random_requests + 1;
+  let positioning = Disk_config.positioning curve distance in
+  let transfer = float_of_int bytes /. rate in
+  t.elapsed <- t.elapsed +. positioning +. transfer;
+  t.head <- offset + bytes
+
+let read t ~offset ~bytes =
+  access t ~offset ~bytes ~curve:t.config.read_positioning ~rate:t.config.read_rate;
+  t.reads <- t.reads + 1;
+  t.bytes_read <- t.bytes_read + bytes
+
+let write t ~offset ~bytes =
+  access t ~offset ~bytes ~curve:t.config.write_positioning ~rate:t.config.write_rate;
+  t.writes <- t.writes + 1;
+  t.bytes_written <- t.bytes_written + bytes
+
+let elapsed t = t.elapsed
+
+let stats t =
+  {
+    reads = t.reads;
+    writes = t.writes;
+    sequential_requests = t.sequential_requests;
+    random_requests = t.random_requests;
+    bytes_read = t.bytes_read;
+    bytes_written = t.bytes_written;
+    elapsed = t.elapsed;
+  }
+
+let reset_stats t =
+  t.reads <- 0;
+  t.writes <- 0;
+  t.sequential_requests <- 0;
+  t.random_requests <- 0;
+  t.bytes_read <- 0;
+  t.bytes_written <- 0;
+  t.elapsed <- 0.0

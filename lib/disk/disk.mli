@@ -1,0 +1,30 @@
+(** Magnetic-disk simulator (cost model).
+
+    Tracks the head position and charges positioning + transfer time per
+    request. Data contents are not stored: the disk is only ever used as a
+    timing baseline in this reproduction. *)
+
+type t
+
+type stats = {
+  reads : int;
+  writes : int;
+  sequential_requests : int;  (** requests that continued at the head *)
+  random_requests : int;
+  bytes_read : int;
+  bytes_written : int;
+  elapsed : float;
+}
+
+val create : ?config:Disk_config.t -> unit -> t
+val config : t -> Disk_config.t
+
+val read : t -> offset:int -> bytes:int -> unit
+(** Charge a read of [bytes] at byte [offset]. *)
+
+val write : t -> offset:int -> bytes:int -> unit
+
+val elapsed : t -> float
+val stats : t -> stats
+val reset_stats : t -> unit
+(** Resets counters and the clock; head position is kept. *)

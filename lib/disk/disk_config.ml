@@ -1,0 +1,65 @@
+type curve = (int * float) array
+
+type t = {
+  capacity : int;
+  read_rate : float;
+  write_rate : float;
+  read_positioning : curve;
+  write_positioning : curve;
+}
+
+(* Calibration targets (Table 3 of the paper, 8 KB pages, 64 000-page table):
+   - Q1 seq read 14.04 s        -> read_rate ~ 38 MB/s effective
+   - Q2 random 128 KB chunks    -> ~12 ms positioning at large distance
+   - Q3 stride 128 KB reads     -> ~2.5 ms positioning at 128 KB distance
+   - Q4 seq write 34.03 s       -> write_rate ~ 15.7 MB/s effective
+   - Q5 stride 128 KB writes    -> ~1.9 ms positioning
+   - Q6 stride 1 MB writes      -> ~4.8 ms positioning *)
+let mb = 1024 * 1024
+
+let default =
+  {
+    capacity = 80 * 1024 * mb;
+    read_rate = 38.0e6;
+    write_rate = 15.7e6;
+    read_positioning =
+      [| (64 * 1024, 2.0e-3); (128 * 1024, 2.5e-3); (mb, 4.9e-3); (16 * mb, 9.0e-3); (256 * mb, 12.0e-3) |];
+    write_positioning =
+      [| (64 * 1024, 1.5e-3); (128 * 1024, 1.9e-3); (mb, 4.8e-3); (16 * mb, 9.5e-3); (256 * mb, 13.0e-3) |];
+  }
+
+let positioning curve distance =
+  if distance <= 0 then 0.0
+  else begin
+    let n = Array.length curve in
+    let d_first, t_first = curve.(0) in
+    let d_last, t_last = curve.(n - 1) in
+    if distance <= d_first then t_first
+    else if distance >= d_last then t_last
+    else begin
+      (* Find the surrounding pair and interpolate in log(distance). *)
+      let rec find i = if fst curve.(i + 1) >= distance then i else find (i + 1) in
+      let i = find 0 in
+      let d0, t0 = curve.(i) and d1, t1 = curve.(i + 1) in
+      let frac =
+        (log (float_of_int distance) -. log (float_of_int d0))
+        /. (log (float_of_int d1) -. log (float_of_int d0))
+      in
+      t0 +. (frac *. (t1 -. t0))
+    end
+  end
+
+let validate t =
+  let check cond msg = if not cond then invalid_arg ("Disk_config: " ^ msg) in
+  check (t.capacity > 0) "capacity must be positive";
+  check (t.read_rate > 0.0 && t.write_rate > 0.0) "rates must be positive";
+  let check_curve c =
+    check (Array.length c > 0) "positioning curve must be non-empty";
+    Array.iteri
+      (fun i (d, s) ->
+        check (d > 0 && s >= 0.0) "curve entries must be positive";
+        if i > 0 then check (d > fst c.(i - 1)) "curve distances must increase")
+      c
+  in
+  check_curve t.read_positioning;
+  check_curve t.write_positioning

@@ -1,0 +1,34 @@
+(** Parameters of the magnetic-disk cost model.
+
+    The model follows the structure used by trace-driven disk simulators:
+    a request that continues exactly where the head stopped pays transfer
+    time only; any other request pays a positioning time (seek + rotational
+    latency) taken from a piecewise-log-linear curve over the byte distance
+    between the previous and the new position, plus transfer time.
+
+    Defaults are calibrated against the paper's Seagate Barracuda 7200.7
+    ST380011A measurements: 12.7 ms average random read of 2 KB and
+    13.7 ms average random write (Table 1), and the Q1–Q6 query times of
+    Table 3 (see EXPERIMENTS.md for the calibration). *)
+
+type curve = (int * float) array
+(** [(distance_bytes, positioning_seconds)] pairs, strictly increasing in
+    distance. Positioning for other distances is interpolated linearly in
+    [log distance]; distances beyond the last point use the last value. *)
+
+type t = {
+  capacity : int;  (** bytes *)
+  read_rate : float;  (** sequential read bandwidth, bytes/s *)
+  write_rate : float;  (** sequential write bandwidth, bytes/s *)
+  read_positioning : curve;
+  write_positioning : curve;
+}
+
+val default : t
+(** Barracuda 7200.7-style 80 GB drive. *)
+
+val positioning : curve -> int -> float
+(** [positioning curve distance] interpolates the curve; distance 0 is
+    free. *)
+
+val validate : t -> unit

@@ -1,0 +1,195 @@
+type sector_state = Free | Valid | Invalid
+
+exception Write_to_unerased of int
+exception Worn_out of int
+exception Out_of_range of int
+
+type t = {
+  config : Flash_config.t;
+  state : Bytes.t;  (* one byte per sector: 0 = Free, 1 = Valid, 2 = Invalid *)
+  data : (int, Bytes.t) Hashtbl.t;  (* block -> contents, only when materializing *)
+  erase_counts : int array;
+  mutable page_reads : int;
+  mutable page_writes : int;
+  mutable block_erases : int;
+  mutable sectors_read : int;
+  mutable sectors_written : int;
+  mutable elapsed : float;
+}
+
+let create config =
+  Flash_config.validate config;
+  let num_sectors = Flash_config.sectors_per_block config * config.num_blocks in
+  {
+    config;
+    state = Bytes.make num_sectors '\000';
+    data = Hashtbl.create (if config.materialize then 256 else 1);
+    erase_counts = Array.make config.num_blocks 0;
+    page_reads = 0;
+    page_writes = 0;
+    block_erases = 0;
+    sectors_read = 0;
+    sectors_written = 0;
+    elapsed = 0.0;
+  }
+
+let config t = t.config
+let num_sectors t = Bytes.length t.state
+
+let check_sector t s = if s < 0 || s >= num_sectors t then raise (Out_of_range s)
+
+let block_of_sector t s =
+  check_sector t s;
+  s / Flash_config.sectors_per_block t.config
+
+let sector_of_block t b =
+  if b < 0 || b >= t.config.num_blocks then raise (Out_of_range b);
+  b * Flash_config.sectors_per_block t.config
+
+let state_of_byte = function
+  | '\000' -> Free
+  | '\001' -> Valid
+  | _ -> Invalid
+
+let sector_state t s =
+  check_sector t s;
+  state_of_byte (Bytes.get t.state s)
+
+(* Number of distinct physical pages covered by [count] sectors at [sector]. *)
+let pages_touched t ~sector ~count =
+  let spp = Flash_config.sectors_per_page t.config in
+  let first = sector / spp and last = (sector + count - 1) / spp in
+  last - first + 1
+
+let block_data t b =
+  match Hashtbl.find_opt t.data b with
+  | Some bytes -> bytes
+  | None ->
+      let bytes = Bytes.make t.config.block_size '\xff' in
+      Hashtbl.add t.data b bytes;
+      bytes
+
+let read_sectors t ~sector ~count =
+  if count <= 0 then invalid_arg "Flash_chip.read_sectors: count must be positive";
+  check_sector t sector;
+  check_sector t (sector + count - 1);
+  let pages = pages_touched t ~sector ~count in
+  t.page_reads <- t.page_reads + pages;
+  t.sectors_read <- t.sectors_read + count;
+  t.elapsed <- t.elapsed +. (float_of_int pages *. t.config.t_read_page);
+  let ss = t.config.sector_size in
+  let out = Bytes.make (count * ss) '\xff' in
+  if t.config.materialize then begin
+    let spb = Flash_config.sectors_per_block t.config in
+    for i = 0 to count - 1 do
+      let s = sector + i in
+      if Bytes.get t.state s <> '\000' then begin
+        let b = s / spb and off = s mod spb in
+        Bytes.blit (block_data t b) (off * ss) out (i * ss) ss
+      end
+    done
+  end;
+  out
+
+let bump_wear t b =
+  t.erase_counts.(b) <- t.erase_counts.(b) + 1;
+  if t.config.fail_on_wear_out && t.erase_counts.(b) > t.config.max_erase_cycles then
+    raise (Worn_out b)
+
+let write_sectors t ~sector data =
+  let ss = t.config.sector_size in
+  let len = Bytes.length data in
+  if len <= 0 || len mod ss <> 0 then
+    invalid_arg "Flash_chip.write_sectors: length must be a positive multiple of sector size";
+  let count = len / ss in
+  check_sector t sector;
+  check_sector t (sector + count - 1);
+  for i = 0 to count - 1 do
+    if Bytes.get t.state (sector + i) <> '\000' then raise (Write_to_unerased (sector + i))
+  done;
+  for i = 0 to count - 1 do
+    Bytes.set t.state (sector + i) '\001'
+  done;
+  if t.config.materialize then begin
+    let spb = Flash_config.sectors_per_block t.config in
+    for i = 0 to count - 1 do
+      let s = sector + i in
+      let b = s / spb and off = s mod spb in
+      Bytes.blit data (i * ss) (block_data t b) (off * ss) ss
+    done
+  end;
+  let pages = pages_touched t ~sector ~count in
+  t.page_writes <- t.page_writes + pages;
+  t.sectors_written <- t.sectors_written + count;
+  t.elapsed <- t.elapsed +. (float_of_int pages *. t.config.t_write_page)
+
+let invalidate_sectors t ~sector ~count =
+  if count <= 0 then invalid_arg "Flash_chip.invalidate_sectors: count must be positive";
+  check_sector t sector;
+  check_sector t (sector + count - 1);
+  for i = 0 to count - 1 do
+    if Bytes.get t.state (sector + i) = '\001' then Bytes.set t.state (sector + i) '\002'
+  done
+
+let erase_block t b =
+  if b < 0 || b >= t.config.num_blocks then raise (Out_of_range b);
+  let spb = Flash_config.sectors_per_block t.config in
+  Bytes.fill t.state (b * spb) spb '\000';
+  if t.config.materialize then Hashtbl.remove t.data b;
+  bump_wear t b;
+  t.block_erases <- t.block_erases + 1;
+  t.elapsed <- t.elapsed +. t.config.t_erase_block
+
+let corrupt_sector ?(offset = 0) t s =
+  check_sector t s;
+  if not t.config.materialize then
+    invalid_arg "Flash_chip.corrupt_sector: requires a materializing chip";
+  if offset < 0 || offset >= t.config.sector_size then
+    invalid_arg "Flash_chip.corrupt_sector: offset outside the sector";
+  if Bytes.get t.state s = '\000' then
+    invalid_arg "Flash_chip.corrupt_sector: sector is erased";
+  let spb = Flash_config.sectors_per_block t.config in
+  let b = s / spb and off = s mod spb in
+  let data = block_data t b in
+  let pos = (off * t.config.sector_size) + offset in
+  Bytes.set data pos (Char.chr (Char.code (Bytes.get data pos) lxor 0x5A))
+
+let stats t : Flash_stats.t =
+  {
+    page_reads = t.page_reads;
+    page_writes = t.page_writes;
+    block_erases = t.block_erases;
+    sectors_read = t.sectors_read;
+    sectors_written = t.sectors_written;
+    elapsed = t.elapsed;
+  }
+
+let reset_stats t =
+  t.page_reads <- 0;
+  t.page_writes <- 0;
+  t.block_erases <- 0;
+  t.sectors_read <- 0;
+  t.sectors_written <- 0;
+  t.elapsed <- 0.0
+
+let elapsed t = t.elapsed
+let advance_time t dt = t.elapsed <- t.elapsed +. dt
+let erase_count t b =
+  if b < 0 || b >= t.config.num_blocks then raise (Out_of_range b);
+  t.erase_counts.(b)
+
+let erase_counts t = Array.copy t.erase_counts
+
+let live_sectors t =
+  let n = ref 0 in
+  Bytes.iter (fun c -> if c = '\001' then incr n) t.state;
+  !n
+
+let free_sectors_in_block t b =
+  let spb = Flash_config.sectors_per_block t.config in
+  let base = sector_of_block t b in
+  let n = ref 0 in
+  for s = base to base + spb - 1 do
+    if Bytes.get t.state s = '\000' then incr n
+  done;
+  !n

@@ -1,0 +1,82 @@
+(** Simulated NAND flash chip.
+
+    The chip enforces the erase-before-write discipline the paper's whole
+    design revolves around: a sector may only be programmed when it is in
+    the [Free] (erased) state; re-programming a written sector raises
+    {!Write_to_unerased}. Time is charged per physical page touched for
+    reads and programs and per block for erases, using the chip's
+    {!Flash_config.t}. *)
+
+type t
+
+type sector_state =
+  | Free  (** erased, programmable *)
+  | Valid  (** programmed, holds live data *)
+  | Invalid  (** programmed, data superseded; must be erased before reuse *)
+
+exception Write_to_unerased of int
+(** Raised with the offending flat sector address. *)
+
+exception Worn_out of int
+(** Raised with the block index when [fail_on_wear_out] is set and a block
+    exceeds its endurance. *)
+
+exception Out_of_range of int
+
+val create : Flash_config.t -> t
+val config : t -> Flash_config.t
+
+val num_sectors : t -> int
+
+(** {1 Addressing} *)
+
+val block_of_sector : t -> int -> int
+val sector_of_block : t -> int -> int
+(** First flat sector address of a block. *)
+
+(** {1 Operations} *)
+
+val read_sectors : t -> sector:int -> count:int -> bytes
+(** Read [count] sectors starting at flat address [sector]. Charges one
+    page-read per distinct physical page touched. Reading [Free] sectors
+    returns 0xFF bytes (erased state), as real NAND does. *)
+
+val write_sectors : t -> sector:int -> bytes -> unit
+(** Program [Bytes.length data / sector_size] sectors starting at [sector].
+    The length must be a positive multiple of the sector size. All target
+    sectors must be [Free]. Charges one page-program per distinct physical
+    page touched. *)
+
+val invalidate_sectors : t -> sector:int -> count:int -> unit
+(** Mark written sectors as [Invalid] (logical operation used by FTLs and
+    the IPL storage manager; free of charge, like updating an in-memory
+    validity bitmap). Invalidating a [Free] sector is a no-op. *)
+
+val erase_block : t -> int -> unit
+(** Erase a whole block: all its sectors become [Free]. *)
+
+val sector_state : t -> int -> sector_state
+
+(** {1 Accounting} *)
+
+val stats : t -> Flash_stats.t
+val reset_stats : t -> unit
+val elapsed : t -> float
+(** Simulated seconds accumulated so far (same as [(stats t).elapsed]). *)
+
+val advance_time : t -> float -> unit
+(** Add externally-modelled latency (e.g. host transfer) to the clock. *)
+
+val corrupt_sector : ?offset:int -> t -> int -> unit
+(** Fault injection for tests: flip bits at byte [offset] (default 0) of a
+    written sector's stored data. Requires a materializing chip and a
+    non-[Free] sector. *)
+
+val erase_count : t -> int -> int
+(** Number of erase cycles block [i] has been through. *)
+
+val erase_counts : t -> int array
+val live_sectors : t -> int
+(** Number of [Valid] sectors on the whole chip. *)
+
+val free_sectors_in_block : t -> int -> int

@@ -1,0 +1,33 @@
+type t = {
+  page_reads : int;
+  page_writes : int;
+  block_erases : int;
+  sectors_read : int;
+  sectors_written : int;
+  elapsed : float;
+}
+
+let zero =
+  {
+    page_reads = 0;
+    page_writes = 0;
+    block_erases = 0;
+    sectors_read = 0;
+    sectors_written = 0;
+    elapsed = 0.0;
+  }
+
+let diff a b =
+  {
+    page_reads = a.page_reads - b.page_reads;
+    page_writes = a.page_writes - b.page_writes;
+    block_erases = a.block_erases - b.block_erases;
+    sectors_read = a.sectors_read - b.sectors_read;
+    sectors_written = a.sectors_written - b.sectors_written;
+    elapsed = a.elapsed -. b.elapsed;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "reads=%d writes=%d erases=%d (sectors r=%d w=%d) elapsed=%a"
+    t.page_reads t.page_writes t.block_erases t.sectors_read t.sectors_written
+    Ipl_util.Size.pp_seconds t.elapsed

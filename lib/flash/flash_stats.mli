@@ -1,0 +1,16 @@
+(** Operation counters and simulated time of a flash chip. *)
+
+type t = {
+  page_reads : int;  (** physical-page read operations *)
+  page_writes : int;  (** physical-page program operations *)
+  block_erases : int;
+  sectors_read : int;
+  sectors_written : int;
+  elapsed : float;  (** simulated seconds spent in flash operations *)
+}
+
+val zero : t
+val diff : t -> t -> t
+(** [diff later earlier] is the per-field difference. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,287 @@
+module Chip = Flash_sim.Flash_chip
+module Config = Flash_sim.Flash_config
+
+type config = {
+  dram_segments : int;
+  segment_blocks : int;
+  channel_ways : int;
+  pipeline_depth : int;
+  host_read_overhead : float;
+  host_write_overhead : float;
+  host_rate : float;
+}
+
+let default_config =
+  {
+    dram_segments = 16;
+    segment_blocks = 8;
+    channel_ways = 4;
+    pipeline_depth = 8;
+    host_read_overhead = 20e-6;
+    host_write_overhead = 200e-6;
+    host_rate = 100.0e6;
+  }
+
+type stats = {
+  host_reads : int;
+  host_writes : int;
+  dram_read_hits : int;
+  segment_evictions : int;
+  block_rmws : int;
+  copyback_page_reads : int;
+}
+
+type segment = { dirty : bool array; mutable last_use : int }
+
+type t = {
+  config : config;
+  chip : Chip.t;
+  page_size : int;
+  pages_per_block : int;
+  num_logical_blocks : int;
+  map : int array;  (* logical block -> physical block *)
+  spares : int Queue.t;
+  live : Bytes.t;  (* one byte per logical page *)
+  segments : (int, segment) Hashtbl.t;
+  scratch : Bytes.t;  (* page-sized dummy payload *)
+  mutable tick : int;
+  mutable device_time : float;
+  mutable host_time : float;
+  mutable host_reads : int;
+  mutable host_writes : int;
+  mutable dram_read_hits : int;
+  mutable segment_evictions : int;
+  mutable block_rmws : int;
+  mutable copyback_page_reads : int;
+}
+
+let create ?(config = default_config) chip ~page_size =
+  let c = Chip.config chip in
+  if c.Config.block_size mod page_size <> 0 then
+    invalid_arg "Block_ftl: page size must divide the erase-unit size";
+  if page_size mod c.Config.sector_size <> 0 then
+    invalid_arg "Block_ftl: page size must be a multiple of the sector size";
+  let spare_count = config.segment_blocks in
+  if c.Config.num_blocks <= spare_count then
+    invalid_arg "Block_ftl: chip too small to leave spare blocks";
+  let num_logical_blocks = c.Config.num_blocks - spare_count in
+  let spares = Queue.create () in
+  for b = num_logical_blocks to c.Config.num_blocks - 1 do
+    Queue.add b spares
+  done;
+  let pages_per_block = c.Config.block_size / page_size in
+  {
+    config;
+    chip;
+    page_size;
+    pages_per_block;
+    num_logical_blocks;
+    map = Array.init num_logical_blocks Fun.id;
+    spares;
+    live = Bytes.make (num_logical_blocks * pages_per_block) '\000';
+    segments = Hashtbl.create 64;
+    scratch = Bytes.make page_size '\xff';
+    tick = 0;
+    device_time = 0.0;
+    host_time = 0.0;
+    host_reads = 0;
+    host_writes = 0;
+    dram_read_hits = 0;
+    segment_evictions = 0;
+    block_rmws = 0;
+    copyback_page_reads = 0;
+  }
+
+let chip t = t.chip
+let num_pages t = t.num_logical_blocks * t.pages_per_block
+let pages_per_segment t = t.config.segment_blocks * t.pages_per_block
+let elapsed t = t.device_time +. t.host_time
+
+let phys_pages_per_db_page t =
+  let c = Chip.config t.chip in
+  (t.page_size + c.Config.phys_page_size - 1) / c.Config.phys_page_size
+
+let is_live t p = Bytes.get t.live p = '\001'
+let set_live t p = Bytes.set t.live p '\001'
+
+(* Read-merge-write one logical block into a spare physical block.
+   [dirty_in_block i] tells whether logical page [i] of the block has fresh
+   content sitting in DRAM (no copy-back read needed for it).
+   Returns (phys_pages_read, phys_pages_written). *)
+let rmw_block t ~lblock ~dirty_in_block =
+  let c = Chip.config t.chip in
+  let old_phys = t.map.(lblock) in
+  let spare = Queue.take t.spares in
+  let sectors_per_db_page = t.page_size / c.Config.sector_size in
+  let ppdb = phys_pages_per_db_page t in
+  let reads = ref 0 and writes = ref 0 in
+  let old_base = Chip.sector_of_block t.chip old_phys in
+  let new_base = Chip.sector_of_block t.chip spare in
+  for i = 0 to t.pages_per_block - 1 do
+    let p = (lblock * t.pages_per_block) + i in
+    if is_live t p then begin
+      if not (dirty_in_block i) then begin
+        ignore
+          (Chip.read_sectors t.chip
+             ~sector:(old_base + (i * sectors_per_db_page))
+             ~count:sectors_per_db_page);
+        reads := !reads + ppdb
+      end;
+      Chip.write_sectors t.chip ~sector:(new_base + (i * sectors_per_db_page)) t.scratch;
+      writes := !writes + ppdb
+    end
+  done;
+  Chip.erase_block t.chip old_phys;
+  Queue.add old_phys t.spares;
+  t.map.(lblock) <- spare;
+  t.block_rmws <- t.block_rmws + 1;
+  t.copyback_page_reads <- t.copyback_page_reads + !reads;
+  (!reads, !writes)
+
+(* Flush a segment: rewrite each dirty erase unit. Contiguous units flushed
+   in one batch are pipelined: transfer time divides by
+   channel_ways * min(k, pipeline_depth); the k erases overlap up to
+   [pipeline_depth] ways. *)
+let flush_segment t seg_id seg =
+  let ppb = t.pages_per_block in
+  let first_block = seg_id * t.config.segment_blocks in
+  let dirty_blocks = ref [] in
+  for b = 0 to t.config.segment_blocks - 1 do
+    let lblock = first_block + b in
+    if lblock < t.num_logical_blocks then begin
+      let any = ref false in
+      for i = 0 to ppb - 1 do
+        if seg.dirty.((b * ppb) + i) then any := true
+      done;
+      if !any then dirty_blocks := (lblock, b) :: !dirty_blocks
+    end
+  done;
+  let k = List.length !dirty_blocks in
+  if k > 0 then begin
+    let c = Chip.config t.chip in
+    let total_reads = ref 0 and total_writes = ref 0 in
+    List.iter
+      (fun (lblock, b) ->
+        let dirty_in_block i = seg.dirty.((b * ppb) + i) in
+        let r, w = rmw_block t ~lblock ~dirty_in_block in
+        total_reads := !total_reads + r;
+        total_writes := !total_writes + w)
+      !dirty_blocks;
+    let batch = float_of_int (t.config.channel_ways * min k t.config.pipeline_depth) in
+    let erase_ways = float_of_int (min k t.config.pipeline_depth) in
+    t.device_time <-
+      t.device_time
+      +. ((float_of_int !total_reads *. c.Config.t_read_page) /. batch)
+      +. ((float_of_int !total_writes *. c.Config.t_write_page) /. batch)
+      +. (float_of_int k *. c.Config.t_erase_block /. erase_ways);
+    t.segment_evictions <- t.segment_evictions + 1
+  end;
+  Hashtbl.remove t.segments seg_id
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun id seg acc ->
+        match acc with
+        | Some (_, best) when best.last_use <= seg.last_use -> acc
+        | _ -> Some (id, seg))
+      t.segments None
+  in
+  match victim with
+  | Some (id, seg) -> flush_segment t id seg
+  | None -> ()
+
+let find_segment t seg_id =
+  t.tick <- t.tick + 1;
+  match Hashtbl.find_opt t.segments seg_id with
+  | Some seg ->
+      seg.last_use <- t.tick;
+      seg
+  | None ->
+      if Hashtbl.length t.segments >= t.config.dram_segments then evict_lru t;
+      let seg = { dirty = Array.make (pages_per_segment t) false; last_use = t.tick } in
+      Hashtbl.add t.segments seg_id seg;
+      seg
+
+let write_page t p =
+  if p < 0 || p >= num_pages t then invalid_arg "Block_ftl: page out of range";
+  t.host_time <-
+    t.host_time +. t.config.host_write_overhead
+    +. (float_of_int t.page_size /. t.config.host_rate);
+  t.host_writes <- t.host_writes + 1;
+  let pps = pages_per_segment t in
+  let seg = find_segment t (p / pps) in
+  seg.dirty.(p mod pps) <- true;
+  set_live t p
+
+let read_page t p =
+  if p < 0 || p >= num_pages t then invalid_arg "Block_ftl: page out of range";
+  t.host_time <-
+    t.host_time +. t.config.host_read_overhead
+    +. (float_of_int t.page_size /. t.config.host_rate);
+  t.host_reads <- t.host_reads + 1;
+  let pps = pages_per_segment t in
+  let in_dram =
+    match Hashtbl.find_opt t.segments (p / pps) with
+    | Some seg -> seg.dirty.(p mod pps)
+    | None -> false
+  in
+  if in_dram then t.dram_read_hits <- t.dram_read_hits + 1
+  else begin
+    let c = Chip.config t.chip in
+    let lblock = p / t.pages_per_block in
+    let base = Chip.sector_of_block t.chip t.map.(lblock) in
+    let sectors_per_db_page = t.page_size / c.Config.sector_size in
+    ignore
+      (Chip.read_sectors t.chip
+         ~sector:(base + (p mod t.pages_per_block * sectors_per_db_page))
+         ~count:sectors_per_db_page);
+    t.device_time <-
+      t.device_time
+      +. (float_of_int (phys_pages_per_db_page t)
+         *. c.Config.t_read_page
+         /. float_of_int t.config.channel_ways)
+  end
+
+let flush t =
+  let ids = Hashtbl.fold (fun id _ acc -> id :: acc) t.segments [] in
+  List.iter
+    (fun id ->
+      match Hashtbl.find_opt t.segments id with
+      | Some seg -> flush_segment t id seg
+      | None -> ())
+    ids
+
+let format t =
+  Bytes.fill t.live 0 (Bytes.length t.live) '\001';
+  Hashtbl.reset t.segments;
+  Chip.reset_stats t.chip;
+  t.device_time <- 0.0;
+  t.host_time <- 0.0;
+  t.host_reads <- 0;
+  t.host_writes <- 0;
+  t.dram_read_hits <- 0;
+  t.segment_evictions <- 0;
+  t.block_rmws <- 0;
+  t.copyback_page_reads <- 0
+
+let stats t =
+  {
+    host_reads = t.host_reads;
+    host_writes = t.host_writes;
+    dram_read_hits = t.dram_read_hits;
+    segment_evictions = t.segment_evictions;
+    block_rmws = t.block_rmws;
+    copyback_page_reads = t.copyback_page_reads;
+  }
+
+let device t : Device.t =
+  {
+    Device.name = "flash-ssd";
+    page_size = t.page_size;
+    num_pages = num_pages t;
+    read_page = (fun p -> read_page t p);
+    write_page = (fun p -> write_page t p);
+    flush = (fun () -> flush t);
+    elapsed = (fun () -> elapsed t);
+  }

@@ -1,0 +1,51 @@
+type t = {
+  name : string;
+  page_size : int;
+  num_pages : int;
+  read_page : int -> unit;
+  write_page : int -> unit;
+  flush : unit -> unit;
+  elapsed : unit -> float;
+}
+
+let check_page t p =
+  if p < 0 || p >= t.num_pages then invalid_arg (t.name ^ ": page out of range")
+
+let of_disk disk ~page_size ~num_pages =
+  let rec t =
+    {
+      name = "disk";
+      page_size;
+      num_pages;
+      read_page =
+        (fun p ->
+          check_page t p;
+          Disk_sim.Disk.read disk ~offset:(p * page_size) ~bytes:page_size);
+      write_page =
+        (fun p ->
+          check_page t p;
+          Disk_sim.Disk.write disk ~offset:(p * page_size) ~bytes:page_size);
+      flush = (fun () -> ());
+      elapsed = (fun () -> Disk_sim.Disk.elapsed disk);
+    }
+  in
+  t
+
+let null ~page_size ~num_pages =
+  let rec t =
+    {
+      name = "null";
+      page_size;
+      num_pages;
+      read_page = (fun p -> check_page t p);
+      write_page = (fun p -> check_page t p);
+      flush = (fun () -> ());
+      elapsed = (fun () -> 0.0);
+    }
+  in
+  t
+
+let read_range t ~first ~count =
+  for p = first to first + count - 1 do
+    t.read_page p
+  done

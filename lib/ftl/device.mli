@@ -1,0 +1,28 @@
+(** A disk-like block device exposing fixed-size logical pages.
+
+    This is the interface a {e conventional} database server sees: the
+    paper's Section 2 argument is that running an unmodified page-writing
+    server through such a device (disk, or flash behind an FTL) leaves
+    performance on the table, which IPL then recovers by talking to flash
+    natively. Devices here are timing models: they charge simulated time
+    and count operations but do not carry payload data. *)
+
+type t = {
+  name : string;
+  page_size : int;
+  num_pages : int;
+  read_page : int -> unit;  (** charge a read of one logical page *)
+  write_page : int -> unit;  (** charge a write of one logical page *)
+  flush : unit -> unit;  (** drain any write-back caching *)
+  elapsed : unit -> float;  (** simulated seconds so far *)
+}
+
+val of_disk : Disk_sim.Disk.t -> page_size:int -> num_pages:int -> t
+(** Pages laid out contiguously from byte offset 0 of the disk. *)
+
+val null : page_size:int -> num_pages:int -> t
+(** A free device: every operation succeeds instantly. Used when generating
+    logical traces where only the reference stream matters. *)
+
+val read_range : t -> first:int -> count:int -> unit
+(** Convenience: read [count] consecutive pages. *)

@@ -1,0 +1,141 @@
+module Engine = Ipl_core.Ipl_engine
+module Page = Storage.Page
+
+type rowid = int
+
+let rowid ~page ~slot = (page lsl 16) lor slot
+let page_of_rowid r = r lsr 16
+let slot_of_rowid r = r land 0xFFFF
+
+(* Directory pages hold the member-page list: slot 0 is a meta record
+   [magic:u8 0xHA][next_dir:u32], the other slots are 8-byte page ids. *)
+let dir_magic = 0xDA
+
+type t = {
+  engine : Engine.t;
+  header : int;
+  mutable dirs : int list;  (* directory chain, head first *)
+  mutable pages : int list;  (* member pages, allocation order (reversed) *)
+  mutable fill : int;  (* current fill page, -1 none *)
+}
+
+let encode_dir_meta ~next =
+  let b = Bytes.create 5 in
+  Bytes.set_uint8 b 0 dir_magic;
+  Bytes.set_int32_le b 1 (Int32.of_int next);
+  b
+
+let no_next = 0xFFFFFFFF
+
+let encode_page_id pid =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.of_int pid);
+  b
+
+let fail = function Ok v -> v | Error msg -> failwith ("Heap: " ^ msg)
+
+let new_dir_page t =
+  let pid = Engine.allocate_page t.engine in
+  (match Engine.insert t.engine ~tx:0 ~page:pid (encode_dir_meta ~next:no_next) with
+  | Ok 0 -> ()
+  | _ -> failwith "Heap: directory meta not at slot 0");
+  pid
+
+let create engine =
+  let t = { engine; header = 0; dirs = []; pages = []; fill = -1 } in
+  let head = new_dir_page t in
+  { t with header = head; dirs = [ head ] }
+
+let header t = t.header
+
+let dir_entries t dir =
+  Engine.with_page t.engine dir (fun p ->
+      let meta =
+        match Page.read p 0 with
+        | Some m when Bytes.get_uint8 m 0 = dir_magic ->
+            Int32.to_int (Bytes.get_int32_le m 1) land 0xFFFFFFFF
+        | _ -> failwith "Heap: bad directory page"
+      in
+      let pages = ref [] in
+      Page.iter
+        (fun slot data ->
+          if slot <> 0 then pages := Int64.to_int (Bytes.get_int64_le data 0) :: !pages)
+        p;
+      (meta, List.rev !pages))
+
+let attach engine ~header =
+  let t = { engine; header; dirs = []; pages = []; fill = -1 } in
+  let rec walk dir acc_dirs acc_pages =
+    let next, pages = dir_entries t dir in
+    let acc_dirs = dir :: acc_dirs and acc_pages = List.rev_append pages acc_pages in
+    if next = no_next then (List.rev acc_dirs, acc_pages) else walk next acc_dirs acc_pages
+  in
+  let dirs, pages_rev = walk header [] [] in
+  t.dirs <- dirs;
+  t.pages <- pages_rev;
+  (t.fill <- (match pages_rev with pid :: _ -> pid | [] -> -1));
+  t
+
+(* Register a fresh member page in the directory, growing the chain when
+   the tail directory page is full. *)
+let register_page t pid =
+  let tail = List.nth t.dirs (List.length t.dirs - 1) in
+  (match Engine.insert t.engine ~tx:0 ~page:tail (encode_page_id pid) with
+  | Ok _ -> ()
+  | Error _ ->
+      let fresh = new_dir_page t in
+      (* Link: patch the old tail's next pointer, then record the page. *)
+      let ptr = Bytes.create 4 in
+      Bytes.set_int32_le ptr 0 (Int32.of_int fresh);
+      fail (Engine.update_range t.engine ~tx:0 ~page:tail ~slot:0 ~offset:1 ptr);
+      t.dirs <- t.dirs @ [ fresh ];
+      ignore (fail (Engine.insert t.engine ~tx:0 ~page:fresh (encode_page_id pid))));
+  t.pages <- pid :: t.pages
+
+let insert t ~tx data =
+  let try_page pid =
+    match Engine.insert t.engine ~tx ~page:pid data with
+    | Ok slot -> Some (rowid ~page:pid ~slot)
+    | Error _ -> None
+  in
+  let from_fill = if t.fill >= 0 then try_page t.fill else None in
+  match from_fill with
+  | Some rid -> Ok rid
+  | None -> (
+      let pid = Engine.allocate_page t.engine in
+      register_page t pid;
+      t.fill <- pid;
+      match Engine.insert t.engine ~tx ~page:pid data with
+      | Ok slot -> Ok (rowid ~page:pid ~slot)
+      | Error msg -> Error msg)
+
+let read t rid = Engine.read t.engine ~page:(page_of_rowid rid) ~slot:(slot_of_rowid rid)
+
+let update t ~tx rid data =
+  Engine.update t.engine ~tx ~page:(page_of_rowid rid) ~slot:(slot_of_rowid rid) data
+
+let delete t ~tx rid =
+  Engine.delete t.engine ~tx ~page:(page_of_rowid rid) ~slot:(slot_of_rowid rid)
+
+let iter t f =
+  List.iter
+    (fun pid ->
+      (* Collect first: [f] may re-enter the engine, and pages must not be
+         mutated during iteration anyway. *)
+      let rows = ref [] in
+      Engine.with_page t.engine pid (fun p ->
+          Page.iter (fun slot data -> rows := (rowid ~page:pid ~slot, data) :: !rows) p);
+      List.iter (fun (rid, data) -> f rid data) (List.rev !rows))
+    (List.rev t.pages)
+
+let fold t ~init ~f =
+  let acc = ref init in
+  iter t (fun rid data -> acc := f !acc rid data);
+  !acc
+
+let page_count t = List.length t.pages
+
+let record_count t =
+  let n = ref 0 in
+  iter t (fun _ _ -> incr n);
+  !n

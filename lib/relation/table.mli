@@ -1,0 +1,39 @@
+(** Tables: a heap file of encoded rows plus a B+-tree primary index,
+    all living in IPL pages.
+
+    This is the access-method layer a flash-resident database exposes:
+    point lookups and ordered scans go through the index; full scans walk
+    the heap pages directly, which is the access pattern of the paper's
+    Q1-style queries. A table is identified by the pair of its heap and
+    index header page ids, so it can be re-attached after a restart. *)
+
+type t
+
+val create : Ipl_core.Ipl_engine.t -> t
+val attach : Ipl_core.Ipl_engine.t -> heap_header:int -> index_header:int -> t
+val heap_header : t -> int
+val index_header : t -> int
+
+val insert : t -> tx:int -> key:int -> Storage.Record.t -> (unit, string) result
+(** Fails on duplicate keys and oversized rows. *)
+
+val find : t -> int -> Storage.Record.t option
+val mem : t -> int -> bool
+
+val update : t -> tx:int -> key:int -> (Storage.Record.t -> Storage.Record.t) -> (bool, string) result
+(** [Ok false] when the key is absent. *)
+
+val delete : t -> tx:int -> key:int -> (bool, string) result
+
+val next_key_ge : t -> int -> int option
+
+val range : t -> lo:int -> hi:int -> (int * Storage.Record.t) list
+(** Index-ordered rows with [lo <= key <= hi]. *)
+
+val scan : t -> (Storage.Record.t -> unit) -> unit
+(** Full heap scan in physical order (no index involvement). *)
+
+val count : t -> int
+(** Rows in the table (index scan). *)
+
+val heap_pages : t -> int

@@ -1,0 +1,27 @@
+module FConfig = Flash_sim.Flash_config
+
+type t = { sector_write : float; merge : float }
+
+let default = { sector_write = 200e-6; merge = 20e-3 }
+
+let of_flash (c : FConfig.t) =
+  let pages = FConfig.pages_per_block c in
+  {
+    sector_write = c.FConfig.t_write_page;
+    merge =
+      (float_of_int pages *. (c.FConfig.t_read_page +. c.FConfig.t_write_page))
+      +. c.FConfig.t_erase_block;
+  }
+
+let t_ipl ?(model = default) ~sector_writes ~merges () =
+  (float_of_int sector_writes *. model.sector_write) +. (float_of_int merges *. model.merge)
+
+let t_conv ?(model = default) ~page_writes ~alpha () =
+  alpha *. float_of_int page_writes *. model.merge
+
+let db_size_bytes ~db_pages ~page_size ~eu_size ~log_region =
+  if log_region >= eu_size then invalid_arg "Cost_model.db_size_bytes: log region too large";
+  let pages_per_eu = (eu_size - log_region) / page_size in
+  if pages_per_eu <= 0 then invalid_arg "Cost_model.db_size_bytes: no data pages per erase unit";
+  let eus = (db_pages + pages_per_eu - 1) / pages_per_eu in
+  eus * eu_size

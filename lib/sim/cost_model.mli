@@ -1,0 +1,28 @@
+(** The write-time estimation formulas of Section 4.2.3.
+
+    t_IPL  = sector_writes * 200 us + merges * 20 ms
+    t_Conv = alpha * page_writes * 20 ms
+
+    where 200 us is the flash sector-program time (Table 1), 20 ms is the
+    cost of copying-and-erasing one 128 KB erase unit, and alpha is the
+    probability that a conventional server's page write causes its erase
+    unit to be copied and erased. *)
+
+type t = {
+  sector_write : float;  (** seconds per flash log-sector write *)
+  merge : float;  (** seconds per erase-unit merge *)
+}
+
+val default : t
+(** 200 us and 20 ms, as in the paper. *)
+
+val of_flash : Flash_sim.Flash_config.t -> t
+(** Derive the same quantities from a chip's timing parameters: a merge
+    reads and re-programs a whole erase unit and erases the old one. *)
+
+val t_ipl : ?model:t -> sector_writes:int -> merges:int -> unit -> float
+val t_conv : ?model:t -> page_writes:int -> alpha:float -> unit -> float
+
+val db_size_bytes : db_pages:int -> page_size:int -> eu_size:int -> log_region:int -> int
+(** Flash footprint of a database under IPL (Figure 6(b)): the data pages
+    spread over erase units that each sacrifice [log_region] bytes. *)

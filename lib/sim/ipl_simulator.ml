@@ -1,0 +1,111 @@
+module Trace = Reftrace.Trace
+
+type params = {
+  eu_size : int;
+  page_size : int;
+  sector_size : int;
+  log_region : int;
+  fill_policy : [ `Bytes | `Count of int ];
+  flush_empty_on_evict : bool;
+}
+
+let default_params =
+  {
+    eu_size = 128 * 1024;
+    page_size = 8192;
+    sector_size = 512;
+    log_region = 8192;
+    fill_policy = `Bytes;
+    flush_empty_on_evict = false;
+  }
+
+type result = {
+  params : params;
+  log_records : int;
+  page_write_events : int;
+  sector_writes : int;
+  merges : int;
+  db_pages : int;
+  erase_units : int;
+}
+
+let pages_per_eu p = (p.eu_size - p.log_region) / p.page_size
+let log_sectors_per_eu p = p.log_region / p.sector_size
+
+(* Usable payload of a flash log sector (the storage manager's sector
+   serialisation spends 8 bytes on a header (counts + CRC-32)). *)
+let sector_header_size = 8
+let sector_payload p = p.sector_size - sector_header_size
+
+let validate p =
+  let check cond msg = if not cond then invalid_arg ("Ipl_simulator: " ^ msg) in
+  check (p.log_region > 0 && p.log_region < p.eu_size) "log region must fit the erase unit";
+  check (p.log_region mod p.sector_size = 0) "log region must be sectors";
+  check ((p.eu_size - p.log_region) mod p.page_size = 0) "data region must be pages";
+  check (pages_per_eu p >= 1) "need at least one data page per erase unit"
+
+let run ?(params = default_params) trace =
+  validate params;
+  let p = params in
+  let db_pages = Trace.db_pages trace in
+  let ppe = pages_per_eu p in
+  let tau_e = log_sectors_per_eu p in
+  let erase_units = (db_pages + ppe - 1) / ppe in
+  (* Per-page in-memory log sector state; per-erase-unit consumed log
+     sectors. *)
+  let pending_bytes = Array.make db_pages 0 in
+  let pending_count = Array.make db_pages 0 in
+  let eu_sectors = Array.make erase_units 0 in
+  let sector_writes = ref 0 and merges = ref 0 in
+  let log_records = ref 0 and page_write_events = ref 0 in
+  let sector_write page =
+    (* Algorithm 2's SectorWrite handler: consume a log sector in the
+       page's erase unit; merge when the region is exhausted. *)
+    let eid = page / ppe in
+    if eu_sectors.(eid) >= tau_e then begin
+      incr merges;
+      eu_sectors.(eid) <- 0
+    end;
+    eu_sectors.(eid) <- eu_sectors.(eid) + 1;
+    incr sector_writes
+  in
+  let flush page =
+    if pending_count.(page) > 0 || p.flush_empty_on_evict then sector_write page;
+    pending_bytes.(page) <- 0;
+    pending_count.(page) <- 0
+  in
+  Trace.iter
+    (fun ev ->
+      match ev with
+      | Trace.Log { page; length; _ } ->
+          incr log_records;
+          if page < db_pages then begin
+            (match p.fill_policy with
+            | `Bytes ->
+                if pending_bytes.(page) + length > sector_payload p then flush page;
+                pending_bytes.(page) <- pending_bytes.(page) + length;
+                pending_count.(page) <- pending_count.(page) + 1
+            | `Count tau_s ->
+                if pending_count.(page) >= tau_s then flush page;
+                pending_count.(page) <- pending_count.(page) + 1;
+                pending_bytes.(page) <- pending_bytes.(page) + length)
+          end
+      | Trace.Page_write { page } ->
+          incr page_write_events;
+          if page < db_pages then flush page)
+    trace;
+  {
+    params = p;
+    log_records = !log_records;
+    page_write_events = !page_write_events;
+    sector_writes = !sector_writes;
+    merges = !merges;
+    db_pages;
+    erase_units;
+  }
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "log_region=%dKB logs=%d page_writes=%d sector_writes=%d merges=%d (db %d pages / %d EUs)"
+    (r.params.log_region / 1024) r.log_records r.page_write_events r.sector_writes r.merges
+    r.db_pages r.erase_units

@@ -1,0 +1,45 @@
+(** Event-driven IPL simulator — a faithful re-implementation of the
+    paper's Algorithm 2.
+
+    The simulator consumes a TPC-C-style update trace and counts, for a
+    given erase-unit log-region size, how many flash log-sector writes and
+    how many erase-unit merges the IPL buffer and storage managers would
+    perform. Combined with {!Cost_model.t_ipl} this reproduces Figures 5,
+    6 and 7. *)
+
+type params = {
+  eu_size : int;  (** 128 KB *)
+  page_size : int;  (** 8 KB *)
+  sector_size : int;  (** 512 B *)
+  log_region : int;  (** bytes of each erase unit devoted to log sectors *)
+  fill_policy : [ `Bytes | `Count of int ];
+      (** [`Bytes]: an in-memory log sector fills when the encoded records
+          exceed one flash sector (the real engine's behaviour).
+          [`Count tau_s]: the paper's pseudo-code, which flushes after a
+          fixed number of records. *)
+  flush_empty_on_evict : bool;
+      (** Algorithm 2 emits a sector write for every physical-page-write
+          trace record even if no log records are pending; the default
+          [false] suppresses those empty flushes. *)
+}
+
+val default_params : params
+(** 128 KB / 8 KB / 512 B geometry, 8 KB log region, byte-accurate fill,
+    no empty flushes. *)
+
+type result = {
+  params : params;
+  log_records : int;
+  page_write_events : int;
+  sector_writes : int;  (** total log sectors flushed to flash *)
+  merges : int;
+  db_pages : int;
+  erase_units : int;  (** erase units the database occupies *)
+}
+
+val run : ?params:params -> Reftrace.Trace.t -> result
+
+val pages_per_eu : params -> int
+val log_sectors_per_eu : params -> int
+
+val pp_result : Format.formatter -> result -> unit

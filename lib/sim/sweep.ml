@@ -1,0 +1,53 @@
+type point = {
+  log_region : int;
+  result : Ipl_simulator.result;
+  t_ipl : float;
+  db_size : int;
+}
+
+let default_regions = List.init 8 (fun i -> (i + 1) * 8192)
+
+let log_region_sweep ?model ?(regions = default_regions) trace =
+  List.map
+    (fun log_region ->
+      let params = { Ipl_simulator.default_params with Ipl_simulator.log_region } in
+      let result = Ipl_simulator.run ~params trace in
+      let t_ipl =
+        Cost_model.t_ipl ?model ~sector_writes:result.Ipl_simulator.sector_writes
+          ~merges:result.Ipl_simulator.merges ()
+      in
+      let db_size =
+        Cost_model.db_size_bytes
+          ~db_pages:result.Ipl_simulator.db_pages
+          ~page_size:params.Ipl_simulator.page_size ~eu_size:params.Ipl_simulator.eu_size
+          ~log_region
+      in
+      { log_region; result; t_ipl; db_size })
+    regions
+
+type buffer_point = {
+  label : string;
+  result : Ipl_simulator.result;
+  t_ipl : float;
+  t_conv_by_alpha : (float * float) list;
+}
+
+let buffer_series ?model ?(log_region = 8192) ?(alphas = [ 0.9; 0.5 ]) traces =
+  List.map
+    (fun (label, trace) ->
+      let params = { Ipl_simulator.default_params with Ipl_simulator.log_region } in
+      let result = Ipl_simulator.run ~params trace in
+      let t_ipl =
+        Cost_model.t_ipl ?model ~sector_writes:result.Ipl_simulator.sector_writes
+          ~merges:result.Ipl_simulator.merges ()
+      in
+      let t_conv_by_alpha =
+        List.map
+          (fun alpha ->
+            ( alpha,
+              Cost_model.t_conv ?model ~page_writes:result.Ipl_simulator.page_write_events
+                ~alpha () ))
+          alphas
+      in
+      { label; result; t_ipl; t_conv_by_alpha })
+    traces

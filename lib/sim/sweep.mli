@@ -1,0 +1,30 @@
+(** Parameter sweeps for the simulation study (Figures 5, 6 and 7). *)
+
+type point = {
+  log_region : int;  (** bytes *)
+  result : Ipl_simulator.result;
+  t_ipl : float;  (** estimated write time, seconds *)
+  db_size : int;  (** flash footprint, bytes *)
+}
+
+val log_region_sweep :
+  ?model:Cost_model.t -> ?regions:int list -> Reftrace.Trace.t -> point list
+(** Run the simulator over a set of log-region sizes (default: the paper's
+    8 KB to 64 KB in 8 KB steps). *)
+
+type buffer_point = {
+  label : string;  (** e.g. "20MB" *)
+  result : Ipl_simulator.result;
+  t_ipl : float;
+  t_conv_by_alpha : (float * float) list;  (** (alpha, estimated seconds) *)
+}
+
+val buffer_series :
+  ?model:Cost_model.t ->
+  ?log_region:int ->
+  ?alphas:float list ->
+  (string * Reftrace.Trace.t) list ->
+  buffer_point list
+(** Figure 7: one trace per buffer-pool size; IPL estimated write time
+    against the conventional server's [t_conv] for each alpha (the paper
+    uses 0.9 and 0.5). *)

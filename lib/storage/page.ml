@@ -1,0 +1,211 @@
+(* Page layout:
+     [0..1]   slot_count   (u16)
+     [2..3]   free_start   (u16) first unused byte of the payload area
+     [4..5]   live_count   (u16)
+     [6..7]   magic 0x1b50 ("IPL page")
+   Payload area: [header_size .. free_start).
+   Slot directory: entries of 4 bytes (u16 offset, u16 length) growing down
+   from the end; slot i lives at [size - 4*(i+1)]. length 0 = empty slot. *)
+
+type t = bytes
+
+let header_size = 8
+let slot_entry_size = 4
+let magic = 0x1b50
+
+let size = Bytes.length
+let slot_count p = Bytes.get_uint16_le p 0
+let free_start p = Bytes.get_uint16_le p 2
+let live_records p = Bytes.get_uint16_le p 4
+
+let set_slot_count p n = Bytes.set_uint16_le p 0 n
+let set_free_start p n = Bytes.set_uint16_le p 2 n
+let set_live p n = Bytes.set_uint16_le p 4 n
+
+let create sz =
+  if sz < 64 || sz > 65528 then invalid_arg "Page.create: unsupported page size";
+  let p = Bytes.make sz '\000' in
+  set_free_start p header_size;
+  Bytes.set_uint16_le p 6 magic;
+  p
+
+let of_bytes b =
+  if Bytes.length b < 64 then invalid_arg "Page.of_bytes: too small";
+  if Bytes.get_uint16_le b 6 <> magic then invalid_arg "Page.of_bytes: bad magic";
+  b
+
+let to_bytes p = p
+let copy = Bytes.copy
+
+let slot_pos p i = size p - (slot_entry_size * (i + 1))
+
+let slot p i =
+  let pos = slot_pos p i in
+  (Bytes.get_uint16_le p pos, Bytes.get_uint16_le p (pos + 2))
+
+let set_slot p i ~off ~len =
+  let pos = slot_pos p i in
+  Bytes.set_uint16_le p pos off;
+  Bytes.set_uint16_le p (pos + 2) len
+
+let dir_start p = size p - (slot_entry_size * slot_count p)
+
+let is_live p i = i >= 0 && i < slot_count p && snd (slot p i) > 0
+
+let read p i = if is_live p i then
+    let off, len = slot p i in
+    Some (Bytes.sub p off len)
+  else None
+
+(* Payload bytes recoverable by compaction: everything in the payload area
+   not covered by a live record. *)
+let compact p =
+  let n = slot_count p in
+  let live = ref [] in
+  for i = 0 to n - 1 do
+    let off, len = slot p i in
+    if len > 0 then live := (off, i, len) :: !live
+  done;
+  let live = List.sort compare !live in
+  let cursor = ref header_size in
+  let scratch = Bytes.create (size p) in
+  List.iter
+    (fun (off, i, len) ->
+      Bytes.blit p off scratch !cursor len;
+      set_slot p i ~off:!cursor ~len;
+      cursor := !cursor + len)
+    live;
+  Bytes.blit scratch header_size p header_size (!cursor - header_size);
+  set_free_start p !cursor
+
+let used_payload p =
+  let n = slot_count p in
+  let total = ref 0 in
+  for i = 0 to n - 1 do
+    let _, len = slot p i in
+    total := !total + len
+  done;
+  !total
+
+let free_space p =
+  let used = used_payload p in
+  let dir = slot_entry_size * slot_count p in
+  max 0 (size p - header_size - used - dir - slot_entry_size)
+
+(* Contiguous room right now, without compaction, for [extra_slots] new
+   directory entries and [len] payload bytes. *)
+let contiguous_room p ~extra_slots ~len =
+  dir_start p - (slot_entry_size * extra_slots) - free_start p >= len
+
+let ensure_room p ~extra_slots ~len =
+  if contiguous_room p ~extra_slots ~len then true
+  else begin
+    compact p;
+    contiguous_room p ~extra_slots ~len
+  end
+
+let first_empty_slot p =
+  let n = slot_count p in
+  let rec find i = if i >= n then None else if not (is_live p i) then Some i else find (i + 1) in
+  find 0
+
+let append_payload p data =
+  let off = free_start p in
+  Bytes.blit data 0 p off (Bytes.length data);
+  set_free_start p (off + Bytes.length data);
+  off
+
+let insert p data =
+  let len = Bytes.length data in
+  if len = 0 || len > 0xFFFF then invalid_arg "Page.insert: bad record length";
+  let reuse = first_empty_slot p in
+  let extra_slots = match reuse with Some _ -> 0 | None -> 1 in
+  if not (ensure_room p ~extra_slots ~len) then None
+  else begin
+    let i = match reuse with Some i -> i | None -> let i = slot_count p in set_slot_count p (i + 1); i in
+    let off = append_payload p data in
+    set_slot p i ~off ~len;
+    set_live p (live_records p + 1);
+    Some i
+  end
+
+let insert_at p i data =
+  let len = Bytes.length data in
+  if len = 0 || len > 0xFFFF then Error "bad record length"
+  else if i < 0 then Error "negative slot"
+  else if is_live p i then Error "slot already live"
+  else begin
+    let extra_slots = max 0 (i + 1 - slot_count p) in
+    if not (ensure_room p ~extra_slots ~len) then Error "page full"
+    else begin
+      if i >= slot_count p then begin
+        for j = slot_count p to i do
+          set_slot_count p (j + 1);
+          set_slot p j ~off:0 ~len:0
+        done
+      end;
+      let off = append_payload p data in
+      set_slot p i ~off ~len;
+      set_live p (live_records p + 1);
+      Ok ()
+    end
+  end
+
+let update p i data =
+  let len = Bytes.length data in
+  if len = 0 || len > 0xFFFF then Error "bad record length"
+  else if not (is_live p i) then Error "slot not live"
+  else begin
+    let off, old_len = slot p i in
+    if len <= old_len then begin
+      Bytes.blit data 0 p off len;
+      set_slot p i ~off ~len;
+      Ok ()
+    end
+    else begin
+      (* Relocate: drop the old copy, append the new one. *)
+      set_slot p i ~off:0 ~len:0;
+      if not (ensure_room p ~extra_slots:0 ~len) then begin
+        set_slot p i ~off ~len:old_len;
+        Error "page full"
+      end
+      else begin
+        let off' = append_payload p data in
+        set_slot p i ~off:off' ~len;
+        Ok ()
+      end
+    end
+  end
+
+let update_bytes p ~slot:i ~offset data =
+  if not (is_live p i) then Error "slot not live"
+  else begin
+    let off, len = slot p i in
+    let dlen = Bytes.length data in
+    if offset < 0 || offset + dlen > len then Error "range outside record"
+    else begin
+      Bytes.blit data 0 p (off + offset) dlen;
+      Ok ()
+    end
+  end
+
+let delete p i =
+  if not (is_live p i) then Error "slot not live"
+  else begin
+    set_slot p i ~off:0 ~len:0;
+    set_live p (live_records p - 1);
+    Ok ()
+  end
+
+let iter f p =
+  for i = 0 to slot_count p - 1 do
+    match read p i with Some data -> f i data | None -> ()
+  done
+
+let equal_content a b =
+  let slots p =
+    let acc = ref [] in
+    iter (fun i data -> acc := (i, data) :: !acc) p;
+    List.sort compare !acc
+  in
+  slots a = slots b

@@ -1,0 +1,75 @@
+(** Slotted data pages.
+
+    A page holds variable-length records addressed by a stable slot number.
+    Record payloads grow upward from the header; the slot directory grows
+    downward from the end of the page. Deleting or shrinking records leaves
+    holes that {!compact} reclaims (and {!insert}/{!update} compact
+    automatically when needed).
+
+    Slot numbers are stable across compaction — they are the physical half
+    of the "physiological" log records of the paper (page id + slot id +
+    payload), so replaying a page's log against an older version of the
+    page must land on the same slots. *)
+
+type t
+
+val header_size : int
+val slot_entry_size : int
+
+val create : int -> t
+(** [create size] is an empty page of [size] bytes. [size] must be at
+    least 64 and at most 65528. *)
+
+val of_bytes : bytes -> t
+(** Adopt (not copy) an existing page image. *)
+
+val to_bytes : t -> bytes
+(** The underlying image (not a copy). *)
+
+val copy : t -> t
+val size : t -> int
+val slot_count : t -> int
+(** Number of slot directory entries, including deleted ones. *)
+
+val live_records : t -> int
+val free_space : t -> int
+(** Bytes available for a new record's payload, assuming one new slot
+    entry and full compaction. *)
+
+val is_live : t -> int -> bool
+(** [is_live p slot] is false for deleted or out-of-range slots. *)
+
+val read : t -> int -> bytes option
+(** Payload of a live slot; [None] for deleted or out-of-range slots. *)
+
+val insert : t -> bytes -> int option
+(** Add a record, reusing the lowest deleted slot if any. Returns the slot
+    number, or [None] when the page cannot fit the payload. *)
+
+val insert_at : t -> int -> bytes -> (unit, string) result
+(** Place a record at a specific slot (used when replaying log records).
+    The slot must not currently be live; the directory is extended with
+    empty slots as needed. *)
+
+val update : t -> int -> bytes -> (unit, string) result
+(** Replace the payload of a live slot, relocating within the page if the
+    new payload is larger. Fails if the slot is not live or the page is
+    full. *)
+
+val update_bytes : t -> slot:int -> offset:int -> bytes -> (unit, string) result
+(** Overwrite part of a live record in place: [offset] is relative to the
+    record payload and the written range must fall inside it. This is the
+    byte-range delta form of update that keeps physiological log records
+    small. *)
+
+val delete : t -> int -> (unit, string) result
+(** Remove a live record; its slot number may be reused by later inserts. *)
+
+val compact : t -> unit
+(** Squeeze out holes; slot numbers and payloads are unchanged. *)
+
+val iter : (int -> bytes -> unit) -> t -> unit
+(** Apply to every live (slot, payload). *)
+
+val equal_content : t -> t -> bool
+(** Same live slots with the same payloads (layout may differ). *)

@@ -1,0 +1,79 @@
+type field = I of int | F of float | S of string
+type t = field list
+
+(* Tags: 0 = int (8-byte LE), 1 = float (8-byte LE bits), 2 = string
+   (u16 length + bytes). *)
+
+let encoded_size row =
+  List.fold_left
+    (fun acc f ->
+      acc
+      + match f with I _ -> 9 | F _ -> 9 | S s -> 3 + String.length s)
+    0 row
+
+let encode row =
+  let buf = Buffer.create (encoded_size row) in
+  List.iter
+    (fun f ->
+      match f with
+      | I n ->
+          Buffer.add_char buf '\000';
+          Buffer.add_int64_le buf (Int64.of_int n)
+      | F x ->
+          Buffer.add_char buf '\001';
+          Buffer.add_int64_le buf (Int64.bits_of_float x)
+      | S s ->
+          if String.length s > 0xFFFF then invalid_arg "Record.encode: string too long";
+          Buffer.add_char buf '\002';
+          Buffer.add_uint16_le buf (String.length s);
+          Buffer.add_string buf s)
+    row;
+  Buffer.to_bytes buf
+
+let decode b =
+  let len = Bytes.length b in
+  let rec go pos acc =
+    if pos >= len then List.rev acc
+    else if pos + 1 > len then invalid_arg "Record.decode: truncated"
+    else
+      match Bytes.get b pos with
+      | '\000' ->
+          if pos + 9 > len then invalid_arg "Record.decode: truncated int";
+          go (pos + 9) (I (Int64.to_int (Bytes.get_int64_le b (pos + 1))) :: acc)
+      | '\001' ->
+          if pos + 9 > len then invalid_arg "Record.decode: truncated float";
+          go (pos + 9) (F (Int64.float_of_bits (Bytes.get_int64_le b (pos + 1))) :: acc)
+      | '\002' ->
+          if pos + 3 > len then invalid_arg "Record.decode: truncated string header";
+          let slen = Bytes.get_uint16_le b (pos + 1) in
+          if pos + 3 + slen > len then invalid_arg "Record.decode: truncated string";
+          go (pos + 3 + slen) (S (Bytes.sub_string b (pos + 3) slen) :: acc)
+      | _ -> invalid_arg "Record.decode: unknown tag"
+  in
+  go 0 []
+
+let get row i =
+  match List.nth_opt row i with
+  | Some f -> f
+  | None -> invalid_arg "Record: field index out of range"
+
+let get_int row i =
+  match get row i with I n -> n | _ -> invalid_arg "Record.get_int: not an int"
+
+let get_float row i =
+  match get row i with F x -> x | _ -> invalid_arg "Record.get_float: not a float"
+
+let get_string row i =
+  match get row i with S s -> s | _ -> invalid_arg "Record.get_string: not a string"
+
+let set row i f =
+  if i < 0 || i >= List.length row then invalid_arg "Record.set: field index out of range";
+  List.mapi (fun j g -> if j = i then f else g) row
+
+let pp_field ppf = function
+  | I n -> Format.fprintf ppf "%d" n
+  | F x -> Format.fprintf ppf "%g" x
+  | S s -> Format.fprintf ppf "%S" s
+
+let pp ppf row =
+  Format.fprintf ppf "(%a)" (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_field) row

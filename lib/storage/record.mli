@@ -1,0 +1,29 @@
+(** A small self-describing record codec for table rows.
+
+    Rows are field lists; the encoding is compact and deterministic so the
+    same row always produces the same bytes (important for tests that
+    compare page contents after log replay). *)
+
+type field =
+  | I of int  (** 63-bit integer *)
+  | F of float
+  | S of string
+
+type t = field list
+
+val encode : t -> bytes
+val decode : bytes -> t
+(** Raises [Invalid_argument] on malformed input. *)
+
+val encoded_size : t -> int
+
+val get_int : t -> int -> int
+(** [get_int row i] is field [i], which must be an [I]. *)
+
+val get_float : t -> int -> float
+val get_string : t -> int -> string
+
+val set : t -> int -> field -> t
+(** Functional update of field [i]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,35 @@
+(** Logical TPC-C store for reference-trace generation (Section 4.2.1).
+
+    Rows are kept in memory; what is modelled faithfully is the {e page
+    layout} (rows packed into 8 KB heap pages per table, index entries
+    packed into leaf pages by key proximity) and the {e buffer pool}
+    (LRU over all pages, physical page writes on dirty eviction). Every
+    mutation emits a physiological log event sized exactly as the IPL
+    engine would encode it; every dirty eviction emits a physical
+    page-write event — together these form the same kind of trace the
+    paper collected from a commercial server under Hammerora.
+
+    [next_key_ge] is only supported for the [New_order] table (the one
+    Delivery needs ordered access to). *)
+
+include Tpcc_store.S
+
+val create : ?page_size:int -> buffer_bytes:int -> name:string -> unit -> t
+
+val set_buffer_bytes : t -> int -> unit
+(** Swap in a fresh (cold) buffer pool of the given size. Used to generate
+    traces for several pool sizes from one loaded database. *)
+
+val begin_tracing : t -> unit
+(** Discard all events recorded so far. Called after the bulk load so the
+    trace covers only the benchmark run, as the paper's traces do. *)
+
+val finish : t -> Reftrace.Trace.t
+(** Flush the buffer pool and build the trace. The store must not be used
+    afterwards. *)
+
+val db_pages : t -> int
+(** Pages allocated so far (heap + index leaves). *)
+
+val transactions : t -> int
+(** Committed transactions. *)

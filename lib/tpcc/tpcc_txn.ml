@@ -1,0 +1,356 @@
+module Rng = Ipl_util.Rng
+module Schema = Tpcc_schema
+open Storage.Record
+
+type sizing = {
+  warehouses : int;
+  districts : int;
+  customers : int;
+  items : int;
+  orders : int;
+}
+
+let spec_sizing ~warehouses =
+  {
+    warehouses;
+    districts = Schema.districts_per_warehouse;
+    customers = Schema.customers_per_district;
+    items = Schema.items;
+    orders = Schema.initial_orders_per_district;
+  }
+
+let mini_sizing = { warehouses = 1; districts = 2; customers = 60; items = 200; orders = 30 }
+
+type counts = {
+  mutable new_order : int;
+  mutable payment : int;
+  mutable order_status : int;
+  mutable delivery : int;
+  mutable stock_level : int;
+  mutable rollbacks : int;
+}
+
+module Make (S : Tpcc_store.S) = struct
+  type ctx = {
+    store : S.t;
+    rng : Rng.t;
+    sizing : sizing;
+    rollback_rate : float;
+    mutable history_seq : int;
+    counts : counts;
+  }
+
+  let make_ctx ?(rollback_rate = 0.01) store ~seed sizing =
+    {
+      store;
+      rng = Rng.of_int seed;
+      sizing;
+      rollback_rate;
+      history_seq = 0;
+      counts =
+        {
+          new_order = 0;
+          payment = 0;
+          order_status = 0;
+          delivery = 0;
+          stock_level = 0;
+          rollbacks = 0;
+        };
+    }
+
+  let counts ctx = ctx.counts
+  let store ctx = ctx.store
+
+  let rand_w ctx = 1 + Rng.int ctx.rng ctx.sizing.warehouses
+  let rand_d ctx = 1 + Rng.int ctx.rng ctx.sizing.districts
+
+  let nurand_customer ctx = Rng.nurand ctx.rng ~a:1023 ~x:1 ~y:ctx.sizing.customers ~c:259
+  let nurand_item ctx = Rng.nurand ctx.rng ~a:8191 ~x:1 ~y:ctx.sizing.items ~c:7911
+
+  (* Clause 2.5.2.2 / 2.6.2.2: 60 % of Payment and Order-Status select the
+     customer by last name (middle match), 40 % by number. *)
+  let select_customer ctx ~w ~d =
+    if Rng.chance ctx.rng 0.6 then begin
+      let name = Rng.last_name (Rng.nurand ctx.rng ~a:255 ~x:0 ~y:999 ~c:123) in
+      match S.customer_by_last_name ctx.store ~w ~d ~last:name with
+      | Some (c, _row) -> c
+      | None -> nurand_customer ctx
+    end
+    else nurand_customer ctx
+
+  let next_history_key ctx =
+    ctx.history_seq <- ctx.history_seq + 1;
+    ctx.history_seq
+
+  (* ------------------------------------------------------------------ *)
+  (* Population (clause 4.3)                                             *)
+
+  let load ctx =
+    let s = ctx.sizing and rng = ctx.rng and st = ctx.store in
+    for i = 1 to s.items do
+      S.insert st ~tx:0 Schema.Item ~key:(Schema.item_key ~i) (Schema.item_row rng ~i)
+    done;
+    for w = 1 to s.warehouses do
+      S.insert st ~tx:0 Schema.Warehouse ~key:(Schema.warehouse_key ~w)
+        (Schema.warehouse_row rng ~w);
+      for i = 1 to s.items do
+        S.insert st ~tx:0 Schema.Stock ~key:(Schema.stock_key ~w ~i) (Schema.stock_row rng ~w ~i)
+      done;
+      for d = 1 to s.districts do
+        let district = Schema.district_row rng ~w ~d in
+        (* d_next_o_id must reflect the sizing, not the spec constant. *)
+        let district = Storage.Record.set district Schema.F.d_next_o_id (I (s.orders + 1)) in
+        S.insert st ~tx:0 Schema.District ~key:(Schema.district_key ~w ~d) district;
+        for c = 1 to s.customers do
+          S.insert st ~tx:0 Schema.Customer ~key:(Schema.customer_key ~w ~d ~c)
+            (Schema.customer_row rng ~w ~d ~c);
+          S.insert st ~tx:0 Schema.History ~key:(next_history_key ctx)
+            (Schema.history_row rng ~w ~d ~c ~amount:10.0)
+        done;
+        (* Initial orders reference customers in a random permutation. *)
+        let perm = Array.init s.customers (fun i -> i + 1) in
+        Rng.shuffle rng perm;
+        for o = 1 to s.orders do
+          let c = perm.((o - 1) mod s.customers) in
+          let ol_cnt = Rng.int_in rng 5 15 in
+          S.insert st ~tx:0 Schema.Orders ~key:(Schema.orders_key ~w ~d ~o)
+            (Schema.orders_row rng ~w ~d ~o ~c ~ol_cnt);
+          for ol = 1 to ol_cnt do
+            let i = 1 + Rng.int rng s.items in
+            S.insert st ~tx:0 Schema.Order_line ~key:(Schema.order_line_key ~w ~d ~o ~ol)
+              (Schema.order_line_row rng ~w ~d ~o ~ol ~i ~qty:5)
+          done;
+          (* The most recent 30 % of orders are still undelivered. *)
+          if o > s.orders - (s.orders * 3 / 10) then
+            S.insert st ~tx:0 Schema.New_order ~key:(Schema.new_order_key ~w ~d ~o)
+              (Schema.new_order_row ~w ~d ~o)
+        done
+      done
+    done
+
+  (* ------------------------------------------------------------------ *)
+  (* New-Order (clause 2.4): 45 % of the mix                             *)
+
+  let new_order ctx =
+    let s = ctx.sizing and rng = ctx.rng and st = ctx.store in
+    let w = rand_w ctx and d = rand_d ctx in
+    let c = nurand_customer ctx in
+    let tx = S.begin_txn st in
+    ignore (S.lookup st Schema.Warehouse ~key:(Schema.warehouse_key ~w));
+    ignore (S.lookup st Schema.Customer ~key:(Schema.customer_key ~w ~d ~c));
+    let o = ref 0 in
+    let updated =
+      S.update st ~tx Schema.District ~key:(Schema.district_key ~w ~d) (fun row ->
+          o := get_int row Schema.F.d_next_o_id;
+          set row Schema.F.d_next_o_id (I (!o + 1)))
+    in
+    assert updated;
+    let o = !o in
+    let ol_cnt = Rng.int_in rng 5 15 in
+    let rollback = Rng.chance rng ctx.rollback_rate in
+    let aborted = ref false in
+    (try
+       for ol = 1 to ol_cnt do
+         if rollback && ol = ol_cnt then begin
+           (* Invalid item: the transaction rolls back (clause 2.4.1.4). *)
+           S.abort st tx;
+           ctx.counts.rollbacks <- ctx.counts.rollbacks + 1;
+           aborted := true;
+           raise Exit
+         end;
+         let i = nurand_item ctx in
+         ignore (S.lookup st Schema.Item ~key:(Schema.item_key ~i));
+         let supply_w =
+           if s.warehouses > 1 && Rng.chance rng 0.01 then 1 + Rng.int rng s.warehouses else w
+         in
+         let qty = Rng.int_in rng 1 10 in
+         let ok =
+           S.update st ~tx Schema.Stock ~key:(Schema.stock_key ~w:supply_w ~i) (fun row ->
+               let q = get_int row Schema.F.s_quantity in
+               let q' = if q >= qty + 10 then q - qty else q - qty + 91 in
+               let row = set row Schema.F.s_quantity (I q') in
+               let row =
+                 set row Schema.F.s_ytd (F (get_float row Schema.F.s_ytd +. float_of_int qty))
+               in
+               let row =
+                 set row Schema.F.s_order_cnt (I (get_int row Schema.F.s_order_cnt + 1))
+               in
+               if supply_w <> w then
+                 set row Schema.F.s_remote_cnt (I (get_int row Schema.F.s_remote_cnt + 1))
+               else row)
+         in
+         assert ok;
+         S.insert st ~tx Schema.Order_line ~key:(Schema.order_line_key ~w ~d ~o ~ol)
+           (Schema.order_line_row rng ~w ~d ~o ~ol ~i ~qty)
+       done
+     with Exit -> ());
+    if not !aborted then begin
+      S.insert st ~tx Schema.Orders ~key:(Schema.orders_key ~w ~d ~o)
+        (Schema.orders_row rng ~w ~d ~o ~c ~ol_cnt);
+      S.insert st ~tx Schema.New_order ~key:(Schema.new_order_key ~w ~d ~o)
+        (Schema.new_order_row ~w ~d ~o);
+      S.commit st tx;
+      ctx.counts.new_order <- ctx.counts.new_order + 1
+    end
+
+  (* ------------------------------------------------------------------ *)
+  (* Payment (clause 2.5): 43 %                                          *)
+
+  let payment ctx =
+    let rng = ctx.rng and st = ctx.store in
+    let w = rand_w ctx and d = rand_d ctx in
+    let c = select_customer ctx ~w ~d in
+    let amount = 1.0 +. Rng.float rng 4999.0 in
+    let tx = S.begin_txn st in
+    let ok =
+      S.update st ~tx Schema.Warehouse ~key:(Schema.warehouse_key ~w) (fun row ->
+          set row Schema.F.w_ytd (F (get_float row Schema.F.w_ytd +. amount)))
+    in
+    assert ok;
+    let ok =
+      S.update st ~tx Schema.District ~key:(Schema.district_key ~w ~d) (fun row ->
+          set row Schema.F.d_ytd (F (get_float row Schema.F.d_ytd +. amount)))
+    in
+    assert ok;
+    let ok =
+      S.update st ~tx Schema.Customer ~key:(Schema.customer_key ~w ~d ~c) (fun row ->
+          let row = set row Schema.F.c_balance (F (get_float row Schema.F.c_balance -. amount)) in
+          let row =
+            set row Schema.F.c_ytd_payment
+              (F (get_float row Schema.F.c_ytd_payment +. amount))
+          in
+          let row =
+            set row Schema.F.c_payment_cnt (I (get_int row Schema.F.c_payment_cnt + 1))
+          in
+          if get_string row Schema.F.c_credit = "BC" then begin
+            (* Bad credit: record the payment in c_data. A fixed 24-byte
+               window is rewritten so the update log record stays small. *)
+            let data = get_string row Schema.F.c_data in
+            let info = Printf.sprintf "%04d%02d%05d%010.2f" w d c amount in
+            let info = String.sub info 0 (min 24 (String.length info)) in
+            let data' =
+              if String.length data <= String.length info then info
+              else info ^ String.sub data (String.length info) (String.length data - String.length info)
+            in
+            set row Schema.F.c_data (S data')
+          end
+          else row)
+    in
+    assert ok;
+    S.insert st ~tx Schema.History ~key:(next_history_key ctx)
+      (Schema.history_row rng ~w ~d ~c ~amount);
+    S.commit st tx;
+    ctx.counts.payment <- ctx.counts.payment + 1
+
+  (* ------------------------------------------------------------------ *)
+  (* Order-Status (clause 2.6): 4 %, read-only                           *)
+
+  let order_status ctx =
+    let rng = ctx.rng and st = ctx.store in
+    let w = rand_w ctx and d = rand_d ctx in
+    let c = select_customer ctx ~w ~d in
+    ignore (S.lookup st Schema.Customer ~key:(Schema.customer_key ~w ~d ~c));
+    (match S.lookup st Schema.District ~key:(Schema.district_key ~w ~d) with
+    | None -> ()
+    | Some district ->
+        let next_o = get_int district Schema.F.d_next_o_id in
+        let o = max 1 (next_o - 1 - Rng.int rng 20) in
+        (match S.lookup st Schema.Orders ~key:(Schema.orders_key ~w ~d ~o) with
+        | None -> ()
+        | Some order ->
+            let ol_cnt = get_int order 6 in
+            for ol = 1 to ol_cnt do
+              ignore (S.lookup st Schema.Order_line ~key:(Schema.order_line_key ~w ~d ~o ~ol))
+            done));
+    ctx.counts.order_status <- ctx.counts.order_status + 1
+
+  (* ------------------------------------------------------------------ *)
+  (* Delivery (clause 2.7): 4 %                                          *)
+
+  let delivery ctx =
+    let rng = ctx.rng and st = ctx.store in
+    let w = rand_w ctx in
+    let carrier = Rng.int_in rng 1 10 in
+    let tx = S.begin_txn st in
+    for d = 1 to ctx.sizing.districts do
+      let lo = Schema.new_order_key ~w ~d ~o:0 in
+      let hi = lo + 100_000_000 in
+      match S.next_key_ge st Schema.New_order ~key:lo with
+      | Some no_key when no_key < hi ->
+          let o = Schema.orders_key_o no_key in
+          ignore (S.delete st ~tx Schema.New_order ~key:no_key);
+          let customer = ref 0 and ol_cnt = ref 0 in
+          let ok =
+            S.update st ~tx Schema.Orders ~key:(Schema.orders_key ~w ~d ~o) (fun row ->
+                customer := get_int row 3;
+                ol_cnt := get_int row 6;
+                set row Schema.F.o_carrier_id (I carrier))
+          in
+          assert ok;
+          let total = ref 0.0 in
+          for ol = 1 to !ol_cnt do
+            ignore
+              (S.update st ~tx Schema.Order_line ~key:(Schema.order_line_key ~w ~d ~o ~ol)
+                 (fun row ->
+                   total := !total +. get_float row Schema.F.ol_amount;
+                   set row Schema.F.ol_delivery_d (I 20070612)))
+          done;
+          ignore
+            (S.update st ~tx Schema.Customer
+               ~key:(Schema.customer_key ~w ~d ~c:!customer)
+               (fun row ->
+                 let row =
+                   set row Schema.F.c_balance (F (get_float row Schema.F.c_balance +. !total))
+                 in
+                 set row Schema.F.c_delivery_cnt (I (get_int row Schema.F.c_delivery_cnt + 1))))
+      | _ -> ()
+    done;
+    S.commit st tx;
+    ctx.counts.delivery <- ctx.counts.delivery + 1
+
+  (* ------------------------------------------------------------------ *)
+  (* Stock-Level (clause 2.8): 4 %, read-only                            *)
+
+  let stock_level ctx =
+    let rng = ctx.rng and st = ctx.store in
+    let w = rand_w ctx and d = rand_d ctx in
+    let threshold = Rng.int_in rng 10 20 in
+    (match S.lookup st Schema.District ~key:(Schema.district_key ~w ~d) with
+    | None -> ()
+    | Some district ->
+        let next_o = get_int district Schema.F.d_next_o_id in
+        let low = ref 0 in
+        for o = max 1 (next_o - 20) to next_o - 1 do
+          match S.lookup st Schema.Orders ~key:(Schema.orders_key ~w ~d ~o) with
+          | None -> ()
+          | Some order ->
+              let ol_cnt = get_int order 6 in
+              for ol = 1 to ol_cnt do
+                match S.lookup st Schema.Order_line ~key:(Schema.order_line_key ~w ~d ~o ~ol) with
+                | None -> ()
+                | Some line -> (
+                    let i = get_int line 4 in
+                    match S.lookup st Schema.Stock ~key:(Schema.stock_key ~w ~i) with
+                    | Some stock ->
+                        if get_int stock Schema.F.s_quantity < threshold then incr low
+                    | None -> ())
+              done
+        done);
+    ctx.counts.stock_level <- ctx.counts.stock_level + 1
+
+  (* ------------------------------------------------------------------ *)
+  (* Mix                                                                 *)
+
+  let run_transaction ctx =
+    let p = Rng.int ctx.rng 100 in
+    if p < 45 then new_order ctx
+    else if p < 88 then payment ctx
+    else if p < 92 then order_status ctx
+    else if p < 96 then delivery ctx
+    else stock_level ctx
+
+  let run ctx ~n =
+    for _ = 1 to n do
+      run_transaction ctx
+    done
+end

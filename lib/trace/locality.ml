@@ -1,0 +1,89 @@
+module Histogram = Ipl_util.Histogram
+module Stats = Ipl_util.Stats
+
+type skew = {
+  top_counts : int array;
+  top_share : float;
+  distinct : int;
+  total : int;
+  gini : float;
+}
+
+let skew_of_histogram h ~top =
+  let counts = Histogram.counts_desc h in
+  let n = min top (Array.length counts) in
+  let top_counts = Array.sub counts 0 n in
+  let total = Histogram.total h in
+  let top_total = Array.fold_left ( + ) 0 top_counts in
+  {
+    top_counts;
+    top_share = (if total = 0 then 0.0 else float_of_int top_total /. float_of_int total);
+    distinct = Histogram.distinct h;
+    total;
+    gini =
+      (if Array.length counts = 0 then 0.0 else Stats.gini (Array.map float_of_int counts));
+  }
+
+let log_reference_skew t ~top =
+  let h = Histogram.create () in
+  Trace.iter (function Trace.Log { page; _ } -> Histogram.incr h page | Trace.Page_write _ -> ()) t;
+  skew_of_histogram h ~top
+
+let page_write_skew t ~top =
+  let h = Histogram.create () in
+  Trace.iter (function Trace.Page_write { page } -> Histogram.incr h page | Trace.Log _ -> ()) t;
+  skew_of_histogram h ~top
+
+let erase_skew t ~top ~pages_per_eu =
+  if pages_per_eu <= 0 then invalid_arg "Locality.erase_skew: pages_per_eu must be positive";
+  let h = Histogram.create () in
+  Trace.iter
+    (function
+      | Trace.Page_write { page } -> Histogram.incr h (page / pages_per_eu) | Trace.Log _ -> ())
+    t;
+  skew_of_histogram h ~top
+
+let sliding_window_distinct t ~window target =
+  if window <= 0 then invalid_arg "Locality.sliding_window_distinct: window must be positive";
+  let writes = ref [] in
+  Trace.iter
+    (function
+      | Trace.Page_write { page } ->
+          let key =
+            match target with `Pages -> page | `Erase_units ppe -> page / ppe
+          in
+          writes := key :: !writes
+      | Trace.Log _ -> ())
+    t;
+  let writes = Array.of_list (List.rev !writes) in
+  let n = Array.length writes in
+  if n < window then 0.0
+  else begin
+    (* Maintain counts incrementally over the sliding window. *)
+    let counts = Hashtbl.create 64 in
+    let distinct = ref 0 in
+    let add k =
+      let c = Option.value ~default:0 (Hashtbl.find_opt counts k) in
+      if c = 0 then incr distinct;
+      Hashtbl.replace counts k (c + 1)
+    in
+    let remove k =
+      match Hashtbl.find_opt counts k with
+      | Some 1 ->
+          Hashtbl.remove counts k;
+          decr distinct
+      | Some c -> Hashtbl.replace counts k (c - 1)
+      | None -> assert false
+    in
+    let sum = ref 0 in
+    for i = 0 to n - 1 do
+      add writes.(i);
+      if i >= window then remove writes.(i - window);
+      if i >= window - 1 then sum := !sum + !distinct
+    done;
+    float_of_int !sum /. float_of_int (n - window + 1)
+  end
+
+let pp_skew ppf s =
+  Format.fprintf ppf "top-%d keys take %.1f%% of %d refs (%d distinct, gini %.3f)"
+    (Array.length s.top_counts) (100.0 *. s.top_share) s.total s.distinct s.gini

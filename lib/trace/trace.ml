@@ -1,0 +1,122 @@
+type op = Insert | Delete | Update
+
+type event = Log of { op : op; page : int; length : int } | Page_write of { page : int }
+
+(* Columnar storage: kinds.(i) is 0/1/2 for log insert/delete/update and
+   3 for a physical page write; lengths are 0 for page writes. *)
+type t = { name : string; db_pages : int; kinds : Bytes.t; pages : int array; lengths : int array }
+
+let name t = t.name
+let rename t name = { t with name }
+let db_pages t = t.db_pages
+let length t = Array.length t.pages
+
+let event_of_kind kind page length =
+  match kind with
+  | '\000' -> Log { op = Insert; page; length }
+  | '\001' -> Log { op = Delete; page; length }
+  | '\002' -> Log { op = Update; page; length }
+  | _ -> Page_write { page }
+
+let get t i = event_of_kind (Bytes.get t.kinds i) t.pages.(i) t.lengths.(i)
+
+let iter f t =
+  for i = 0 to length t - 1 do
+    f (get t i)
+  done
+
+type builder = {
+  b_name : string;
+  b_db_pages : int;
+  kinds_buf : Buffer.t;
+  mutable pages_arr : int array;
+  mutable lengths_arr : int array;
+  mutable n : int;
+}
+
+let builder ~name ~db_pages =
+  {
+    b_name = name;
+    b_db_pages = db_pages;
+    kinds_buf = Buffer.create 4096;
+    pages_arr = Array.make 4096 0;
+    lengths_arr = Array.make 4096 0;
+    n = 0;
+  }
+
+let ensure b =
+  if b.n >= Array.length b.pages_arr then begin
+    let grow a = Array.append a (Array.make (Array.length a) 0) in
+    b.pages_arr <- grow b.pages_arr;
+    b.lengths_arr <- grow b.lengths_arr
+  end
+
+let add_event b kind page length =
+  ensure b;
+  Buffer.add_char b.kinds_buf kind;
+  b.pages_arr.(b.n) <- page;
+  b.lengths_arr.(b.n) <- length;
+  b.n <- b.n + 1
+
+let add_log b ~op ~page ~length =
+  let kind = match op with Insert -> '\000' | Delete -> '\001' | Update -> '\002' in
+  add_event b kind page length
+
+let add_page_write b ~page = add_event b '\003' page 0
+
+let build ?db_pages b =
+  {
+    name = b.b_name;
+    db_pages = Option.value ~default:b.b_db_pages db_pages;
+    kinds = Buffer.to_bytes b.kinds_buf;
+    pages = Array.sub b.pages_arr 0 b.n;
+    lengths = Array.sub b.lengths_arr 0 b.n;
+  }
+
+type op_stats = { occurrences : int; avg_length : float }
+
+type stats = {
+  insert : op_stats;
+  delete : op_stats;
+  update : op_stats;
+  total_logs : int;
+  avg_log_length : float;
+  page_writes : int;
+}
+
+let stats t =
+  let counts = Array.make 4 0 and sums = Array.make 4 0 in
+  for i = 0 to length t - 1 do
+    let k = Char.code (Bytes.get t.kinds i) in
+    counts.(k) <- counts.(k) + 1;
+    sums.(k) <- sums.(k) + t.lengths.(i)
+  done;
+  let mk k =
+    {
+      occurrences = counts.(k);
+      avg_length = (if counts.(k) = 0 then 0.0 else float_of_int sums.(k) /. float_of_int counts.(k));
+    }
+  in
+  let total_logs = counts.(0) + counts.(1) + counts.(2) in
+  let total_len = sums.(0) + sums.(1) + sums.(2) in
+  {
+    insert = mk 0;
+    delete = mk 1;
+    update = mk 2;
+    total_logs;
+    avg_log_length =
+      (if total_logs = 0 then 0.0 else float_of_int total_len /. float_of_int total_logs);
+    page_writes = counts.(3);
+  }
+
+let pp_stats ppf s =
+  let pct n = if s.total_logs = 0 then 0.0 else 100.0 *. float_of_int n /. float_of_int s.total_logs in
+  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf "Insert %8d (%5.2f%%)  avg %5.1f@," s.insert.occurrences
+    (pct s.insert.occurrences) s.insert.avg_length;
+  Format.fprintf ppf "Delete %8d (%5.2f%%)  avg %5.1f@," s.delete.occurrences
+    (pct s.delete.occurrences) s.delete.avg_length;
+  Format.fprintf ppf "Update %8d (%5.2f%%)  avg %5.1f@," s.update.occurrences
+    (pct s.update.occurrences) s.update.avg_length;
+  Format.fprintf ppf "Total  %8d (100.00%%)  avg %5.1f@," s.total_logs s.avg_log_length;
+  Format.fprintf ppf "Physical page writes: %d@]" s.page_writes

@@ -1,0 +1,59 @@
+(** Update reference traces (Section 4.2.1 of the paper).
+
+    A trace is the stream a database server emits while running a write
+    workload: one event per physiological log record (insert / delete /
+    update, with its encoded length and the data page it belongs to), plus
+    one event per {e physical page write} — a dirty page leaving the buffer
+    pool. The paper's simulation study consumes exactly this: the traces
+    contain no read information.
+
+    Events are stored columnarly so multi-million-event traces stay
+    compact. *)
+
+type op = Insert | Delete | Update
+
+type event =
+  | Log of { op : op; page : int; length : int }
+  | Page_write of { page : int }
+
+type t
+
+val name : t -> string
+val db_pages : t -> int
+(** Number of pages in the traced database. *)
+
+val length : t -> int
+(** Total number of events. *)
+
+val rename : t -> string -> t
+
+val get : t -> int -> event
+val iter : (event -> unit) -> t -> unit
+
+(** {1 Building} *)
+
+type builder
+
+val builder : name:string -> db_pages:int -> builder
+val add_log : builder -> op:op -> page:int -> length:int -> unit
+val add_page_write : builder -> page:int -> unit
+
+val build : ?db_pages:int -> builder -> t
+(** [db_pages] overrides the page count given at builder creation (for
+    generators that only know the final database size at the end). *)
+
+(** {1 Statistics — Table 4 of the paper} *)
+
+type op_stats = { occurrences : int; avg_length : float }
+
+type stats = {
+  insert : op_stats;
+  delete : op_stats;
+  update : op_stats;
+  total_logs : int;
+  avg_log_length : float;
+  page_writes : int;
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit

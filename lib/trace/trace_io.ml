@@ -1,0 +1,63 @@
+let magic = "IPLTRACE"
+
+let save t path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc magic;
+      let name = Trace.name t in
+      let b = Bytes.create 4 in
+      Bytes.set_int32_le b 0 (Int32.of_int (String.length name));
+      output_bytes oc b;
+      output_string oc name;
+      Bytes.set_int32_le b 0 (Int32.of_int (Trace.db_pages t));
+      output_bytes oc b;
+      Bytes.set_int32_le b 0 (Int32.of_int (Trace.length t));
+      output_bytes oc b;
+      let rec_buf = Bytes.create 7 in
+      Trace.iter
+        (fun ev ->
+          let kind, page, length =
+            match ev with
+            | Trace.Log { op = Trace.Insert; page; length } -> (0, page, length)
+            | Trace.Log { op = Trace.Delete; page; length } -> (1, page, length)
+            | Trace.Log { op = Trace.Update; page; length } -> (2, page, length)
+            | Trace.Page_write { page } -> (3, page, 0)
+          in
+          Bytes.set_uint8 rec_buf 0 kind;
+          Bytes.set_int32_le rec_buf 1 (Int32.of_int page);
+          Bytes.set_uint16_le rec_buf 5 length;
+          output_bytes oc rec_buf)
+        t)
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let m = really_input_string ic (String.length magic) in
+      if m <> magic then invalid_arg "Trace_io.load: not a trace file";
+      let read_u32 () =
+        let b = Bytes.create 4 in
+        really_input ic b 0 4;
+        Int32.to_int (Bytes.get_int32_le b 0) land 0xFFFFFFFF
+      in
+      let name_len = read_u32 () in
+      let name = really_input_string ic name_len in
+      let db_pages = read_u32 () in
+      let count = read_u32 () in
+      let b = Trace.builder ~name ~db_pages in
+      let rec_buf = Bytes.create 7 in
+      for _ = 1 to count do
+        really_input ic rec_buf 0 7;
+        let page = Int32.to_int (Bytes.get_int32_le rec_buf 1) land 0xFFFFFFFF in
+        let length = Bytes.get_uint16_le rec_buf 5 in
+        match Bytes.get_uint8 rec_buf 0 with
+        | 0 -> Trace.add_log b ~op:Trace.Insert ~page ~length
+        | 1 -> Trace.add_log b ~op:Trace.Delete ~page ~length
+        | 2 -> Trace.add_log b ~op:Trace.Update ~page ~length
+        | 3 -> Trace.add_page_write b ~page
+        | _ -> invalid_arg "Trace_io.load: corrupt event"
+      done;
+      Trace.build b)

@@ -1,0 +1,9 @@
+(** Binary persistence for traces.
+
+    Format: a short header (magic, name, database page count, event count)
+    followed by one 7-byte little-endian triple per event
+    [kind:u8][page:u32][length:u16]. *)
+
+val save : Trace.t -> string -> unit
+val load : string -> Trace.t
+(** Raises [Invalid_argument] if the file is not a trace. *)

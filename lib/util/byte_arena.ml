@@ -1,0 +1,60 @@
+(* Handle layout: [offset:53][len:10] — offsets address a virtual byte
+   space split into fixed-size chunks. *)
+
+let len_bits = 10
+let max_len = (1 lsl len_bits) - 1
+
+type t = {
+  chunk_size : int;
+  mutable chunks : Bytes.t array;
+  mutable num_chunks : int;
+  mutable cursor : int;  (* virtual offset of the next free byte *)
+}
+
+let create ?(chunk_size = 64 * 1024 * 1024) () =
+  if chunk_size <= 0 then invalid_arg "Byte_arena.create: chunk size must be positive";
+  { chunk_size; chunks = [||]; num_chunks = 0; cursor = 0 }
+
+let ensure_chunk t i =
+  if i >= t.num_chunks then begin
+    if i >= Array.length t.chunks then begin
+      let grown = Array.make (max 4 (2 * (i + 1))) Bytes.empty in
+      Array.blit t.chunks 0 grown 0 t.num_chunks;
+      t.chunks <- grown
+    end;
+    for j = t.num_chunks to i do
+      t.chunks.(j) <- Bytes.create t.chunk_size
+    done;
+    t.num_chunks <- i + 1
+  end
+
+let add t data =
+  let len = Bytes.length data in
+  if len > max_len then invalid_arg "Byte_arena.add: value too long";
+  if len >= t.chunk_size then invalid_arg "Byte_arena.add: value exceeds chunk size";
+  (* Never straddle a chunk boundary. *)
+  let within = t.cursor mod t.chunk_size in
+  if within + len > t.chunk_size then t.cursor <- t.cursor + (t.chunk_size - within);
+  let offset = t.cursor in
+  ensure_chunk t (offset / t.chunk_size);
+  Bytes.blit data 0 t.chunks.(offset / t.chunk_size) (offset mod t.chunk_size) len;
+  t.cursor <- t.cursor + len;
+  (offset lsl len_bits) lor len
+
+let decode handle = (handle lsr len_bits, handle land max_len)
+
+let length _t handle = snd (decode handle)
+
+let get t handle =
+  let offset, len = decode handle in
+  Bytes.sub t.chunks.(offset / t.chunk_size) (offset mod t.chunk_size) len
+
+let set t handle data =
+  let offset, len = decode handle in
+  if Bytes.length data = len then begin
+    Bytes.blit data 0 t.chunks.(offset / t.chunk_size) (offset mod t.chunk_size) len;
+    handle
+  end
+  else add t data
+
+let stored_bytes t = t.cursor

@@ -1,0 +1,33 @@
+let ranges ?(gap = 16) a b =
+  let n = Bytes.length a in
+  if Bytes.length b <> n then invalid_arg "Diff.ranges: length mismatch";
+  let out = ref [] in
+  let start = ref (-1) and last = ref (-1) in
+  let close () =
+    if !start >= 0 then out := (!start, !last - !start + 1) :: !out;
+    start := -1
+  in
+  for i = 0 to n - 1 do
+    if Bytes.get a i <> Bytes.get b i then begin
+      if !start < 0 then start := i
+      else if i - !last > gap + 1 then begin
+        close ();
+        start := i
+      end;
+      last := i
+    end
+  done;
+  close ();
+  List.rev !out
+
+let minimal_range a b =
+  let n = Bytes.length a in
+  if Bytes.length b <> n then invalid_arg "Diff.minimal_range: length mismatch";
+  let rec first i = if i < n && Bytes.get a i = Bytes.get b i then first (i + 1) else i in
+  let lo = first 0 in
+  if lo = n then None
+  else begin
+    let rec last i = if Bytes.get a i = Bytes.get b i then last (i - 1) else i in
+    let hi = last (n - 1) in
+    Some (lo, hi - lo + 1)
+  end

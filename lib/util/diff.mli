@@ -1,0 +1,18 @@
+(** Minimal byte-range differences.
+
+    Physiological update log records stay small because only the byte
+    range that actually changed is logged; both the IPL engine and the
+    trace generators size their update records with this function. *)
+
+val minimal_range : bytes -> bytes -> (int * int) option
+(** [minimal_range a b], for equal-length payloads, is [Some (offset,
+    length)] of the smallest range covering every differing byte, or
+    [None] if the payloads are equal. Raises [Invalid_argument] on length
+    mismatch. *)
+
+val ranges : ?gap:int -> bytes -> bytes -> (int * int) list
+(** [ranges a b] lists the disjoint differing ranges of two equal-length
+    payloads, in ascending order. Runs of up to [gap] (default 16) equal
+    bytes between two differing ranges are absorbed into one range — each
+    range costs a log-record header, so small gaps are cheaper to carry
+    than to split on. Empty list iff the payloads are equal. *)

@@ -1,0 +1,38 @@
+type t = (int, int ref) Hashtbl.t
+
+let create ?(initial_size = 1024) () = Hashtbl.create initial_size
+
+let add t key n =
+  match Hashtbl.find_opt t key with
+  | Some r -> r := !r + n
+  | None -> Hashtbl.add t key (ref n)
+
+let incr t key = add t key 1
+
+let count t key = match Hashtbl.find_opt t key with Some r -> !r | None -> 0
+
+let distinct t = Hashtbl.length t
+
+let total t = Hashtbl.fold (fun _ r acc -> acc + !r) t 0
+
+let to_array t =
+  let a = Array.make (Hashtbl.length t) (0, 0) in
+  let i = ref 0 in
+  Hashtbl.iter
+    (fun k r ->
+      a.(!i) <- (k, !r);
+      Stdlib.incr i)
+    t;
+  a
+
+let top t n =
+  let a = to_array t in
+  Array.sort (fun (k1, c1) (k2, c2) -> if c2 <> c1 then compare c2 c1 else compare k1 k2) a;
+  Array.sub a 0 (min n (Array.length a))
+
+let counts_desc t =
+  let a = Array.map snd (to_array t) in
+  Array.sort (fun a b -> compare b a) a;
+  a
+
+let fold f t init = Hashtbl.fold (fun k r acc -> f k !r acc) t init

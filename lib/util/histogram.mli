@@ -1,0 +1,33 @@
+(** Integer-keyed frequency counters.
+
+    Used throughout the trace analyses: update counts per page, physical
+    writes per page, erases per erase unit (Figure 4 of the paper). *)
+
+type t
+
+val create : ?initial_size:int -> unit -> t
+
+val incr : t -> int -> unit
+(** Add one to the count of a key. *)
+
+val add : t -> int -> int -> unit
+(** [add t key n] adds [n] to the count of [key]. *)
+
+val count : t -> int -> int
+(** Count of a key, 0 if never seen. *)
+
+val distinct : t -> int
+(** Number of distinct keys seen. *)
+
+val total : t -> int
+(** Sum of all counts. *)
+
+val top : t -> int -> (int * int) array
+(** [top t n] is the [n] (or fewer) keys with highest counts, as
+    [(key, count)] sorted by descending count (ties by ascending key). *)
+
+val counts_desc : t -> int array
+(** All counts, sorted descending. *)
+
+val fold : (int -> int -> 'a -> 'a) -> t -> 'a -> 'a
+(** [fold f t init] folds [f key count] over all keys. *)

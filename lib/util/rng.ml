@@ -1,0 +1,69 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let of_int seed = create (Int64.of_int seed)
+
+let copy t = { state = t.state }
+
+let mix z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t = create (next_int64 t)
+
+let int t bound =
+  assert (bound > 0);
+  let r = Int64.to_int (next_int64 t) land max_int in
+  r mod bound
+
+let int_in t lo hi =
+  assert (hi >= lo);
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  let r = Int64.to_int (next_int64 t) land max_int in
+  bound *. (float_of_int r /. float_of_int max_int)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let chance t p = float t 1.0 < p
+
+let pick t a =
+  assert (Array.length a > 0);
+  a.(int t (Array.length a))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let nurand t ~a ~x ~y ~c =
+  (((int_in t 0 a lor int_in t x y) + c) mod (y - x + 1)) + x
+
+let alpha_chars = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+
+let alpha_string t ~min ~max =
+  let len = int_in t min max in
+  String.init len (fun _ -> alpha_chars.[int t (String.length alpha_chars)])
+
+let numeric_string t ~len = String.init len (fun _ -> Char.chr (Char.code '0' + int t 10))
+
+(* TPC-C clause 4.3.2.3 last-name syllables. *)
+let syllables =
+  [| "BAR"; "OUGHT"; "ABLE"; "PRI"; "PRES"; "ESE"; "ANTI"; "CALLY"; "ATION"; "EING" |]
+
+let last_name n =
+  assert (n >= 0 && n <= 999);
+  syllables.(n / 100) ^ syllables.(n / 10 mod 10) ^ syllables.(n mod 10)

@@ -1,0 +1,56 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    All simulations and workload generators in this repository draw their
+    randomness from this module so that every experiment is reproducible
+    from a seed. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] returns a fresh generator. Equal seeds yield equal
+    streams. *)
+
+val of_int : int -> t
+(** [of_int seed] is [create (Int64.of_int seed)]. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator with the same current state. *)
+
+val split : t -> t
+(** [split t] derives a new generator from [t], advancing [t]. Streams of
+    the parent and child are statistically independent. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] (inclusive). *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val chance : t -> float -> bool
+(** [chance t p] is [true] with probability [p]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniformly chosen element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val nurand : t -> a:int -> x:int -> y:int -> c:int -> int
+(** TPC-C non-uniform random: [(((int(0..a) | int(x..y)) + c) mod (y-x+1)) + x]. *)
+
+val alpha_string : t -> min:int -> max:int -> string
+(** Random a-string (letters and digits) of length uniform in [\[min,max\]]. *)
+
+val numeric_string : t -> len:int -> string
+(** Random n-string (digits) of exactly [len] characters. *)
+
+val last_name : int -> string
+(** TPC-C customer last name for a number in [\[0,999\]]. *)

@@ -1,0 +1,15 @@
+let kib n = n * 1024
+let mib n = n * 1024 * 1024
+let gib n = n * 1024 * 1024 * 1024
+
+let pp_bytes ppf n =
+  let f = float_of_int n in
+  if n >= gib 1 then Format.fprintf ppf "%.2f GB" (f /. float_of_int (gib 1))
+  else if n >= mib 1 then Format.fprintf ppf "%.2f MB" (f /. float_of_int (mib 1))
+  else if n >= kib 1 then Format.fprintf ppf "%.1f KB" (f /. float_of_int (kib 1))
+  else Format.fprintf ppf "%d B" n
+
+let pp_seconds ppf s =
+  if s >= 1.0 then Format.fprintf ppf "%.2f s" s
+  else if s >= 1e-3 then Format.fprintf ppf "%.2f ms" (s *. 1e3)
+  else Format.fprintf ppf "%.1f us" (s *. 1e6)

@@ -1,0 +1,252 @@
+(* Tests for the baseline stores (LFS, in-place) and the DRAM-buffered
+   block FTL, plus the Q1-Q6 workload harness. *)
+
+module Chip = Flash_sim.Flash_chip
+module FConfig = Flash_sim.Flash_config
+module FStats = Flash_sim.Flash_stats
+module Lfs = Baseline.Lfs_store
+module Inplace = Baseline.Inplace_store
+module Bftl = Ftl.Block_ftl
+module Dev = Ftl.Device
+module Q = Workload.Queries
+
+let mk_chip ?(blocks = 64) () =
+  Chip.create (FConfig.default ~num_blocks:blocks ~materialize:false ())
+
+(* ------------------------------------------------------------------ *)
+(* LFS store                                                           *)
+
+let test_lfs_sequential_writes_no_gc () =
+  let chip = mk_chip () in
+  let lfs = Lfs.create chip ~page_size:8192 in
+  (* Write fewer pages than capacity once: pure appends, no GC. *)
+  for p = 0 to (Lfs.num_pages lfs / 2) - 1 do
+    Lfs.write_page lfs p
+  done;
+  let s = Lfs.stats lfs in
+  Alcotest.(check int) "no gc" 0 s.Lfs.gc_runs;
+  Alcotest.(check int) "no erases" 0 s.Lfs.erases
+
+let test_lfs_overwrites_trigger_gc () =
+  let chip = mk_chip () in
+  let lfs = Lfs.create chip ~page_size:8192 in
+  Lfs.format lfs;
+  (* Hammer one page far beyond the free-block budget. *)
+  for _ = 1 to 10 * Lfs.num_pages lfs do
+    Lfs.write_page lfs 0
+  done;
+  let s = Lfs.stats lfs in
+  Alcotest.(check bool) "gc ran" true (s.Lfs.gc_runs > 0);
+  Alcotest.(check bool) "erases happened" true (s.Lfs.erases > 0)
+
+let test_lfs_gc_copies_live_data () =
+  let chip = mk_chip () in
+  let lfs = Lfs.create chip ~page_size:8192 in
+  Lfs.format lfs;
+  (* Random overwrites: victims contain live pages, which must be moved. *)
+  let rng = Ipl_util.Rng.of_int 3 in
+  for _ = 1 to 5 * Lfs.num_pages lfs do
+    Lfs.write_page lfs (Ipl_util.Rng.int rng (Lfs.num_pages lfs))
+  done;
+  let s = Lfs.stats lfs in
+  Alcotest.(check bool) "live pages moved" true (s.Lfs.gc_page_moves > 0);
+  (* Every logical page still readable (mapping consistent). *)
+  for p = 0 to Lfs.num_pages lfs - 1 do
+    Lfs.read_page lfs p
+  done
+
+let test_lfs_write_cost_uniform () =
+  (* The LFS selling point: sequential and random writes cost the same
+     until GC kicks in. *)
+  let cost pattern =
+    let chip = mk_chip () in
+    let lfs = Lfs.create chip ~page_size:8192 in
+    let n = Lfs.num_pages lfs / 2 in
+    List.iter (Lfs.write_page lfs) (pattern n);
+    Lfs.elapsed lfs
+  in
+  let seq = cost (fun n -> List.init n Fun.id) in
+  let rnd =
+    cost (fun n ->
+        let a = Array.init n Fun.id in
+        Ipl_util.Rng.shuffle (Ipl_util.Rng.of_int 9) a;
+        Array.to_list a)
+  in
+  Alcotest.(check (float 1e-9)) "identical cost" seq rnd
+
+(* ------------------------------------------------------------------ *)
+(* In-place store                                                      *)
+
+let test_inplace_every_write_erases () =
+  let chip = mk_chip () in
+  let store = Inplace.create chip ~page_size:8192 in
+  Inplace.format store;
+  for i = 0 to 9 do
+    Inplace.write_page store (i * 16)
+  done;
+  let s = Inplace.stats store in
+  Alcotest.(check int) "one erase per write" 10 s.Inplace.erases;
+  (* Each write costs roughly one full-unit merge (~20 ms). *)
+  let per_write = Inplace.elapsed store /. 10.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "write cost %.1f ms" (per_write *. 1e3))
+    true
+    (per_write > 0.015 && per_write < 0.025)
+
+(* ------------------------------------------------------------------ *)
+(* DRAM-buffered block FTL                                             *)
+
+let test_ftl_sequential_fills_segments () =
+  let chip = mk_chip ~blocks:64 () in
+  let ftl = Bftl.create chip ~page_size:8192 in
+  Bftl.format ftl;
+  let device = Bftl.device ftl in
+  (* Fill 32 blocks sequentially = 4 segments. *)
+  for p = 0 to (32 * 16) - 1 do
+    device.Dev.write_page p
+  done
+  [@warning "-26"];
+  device.Dev.flush ();
+  let s = Bftl.stats ftl in
+  Alcotest.(check int) "evictions = segments" 4 s.Bftl.segment_evictions;
+  Alcotest.(check int) "rmws = blocks" 32 s.Bftl.block_rmws;
+  (* Fully-dirty blocks need no copy-back reads. *)
+  Alcotest.(check int) "no copyback" 0 s.Bftl.copyback_page_reads
+
+let test_ftl_scattered_writes_cost_copyback () =
+  let chip = mk_chip ~blocks:256 () in
+  let ftl = Bftl.create chip ~page_size:8192 in
+  Bftl.format ftl;
+  let device = Bftl.device ftl in
+  (* One page per segment, spread over many segments: every flush is a
+     1-dirty-page RMW. *)
+  for seg = 0 to 20 do
+    device.Dev.write_page (seg * 128)
+  done;
+  device.Dev.flush ();
+  let s = Bftl.stats ftl in
+  Alcotest.(check bool) "copyback reads" true (s.Bftl.copyback_page_reads > 0);
+  Alcotest.(check int) "one rmw per write" 21 s.Bftl.block_rmws
+
+let test_device_read_range () =
+  let chip = mk_chip () in
+  let ftl = Bftl.create chip ~page_size:8192 in
+  Bftl.format ftl;
+  let device = Bftl.device ftl in
+  Dev.read_range device ~first:0 ~count:16;
+  let s = Bftl.stats ftl in
+  Alcotest.(check int) "sixteen reads" 16 s.Bftl.host_reads
+
+let test_ftl_dram_read_hit () =
+  let chip = mk_chip () in
+  let ftl = Bftl.create chip ~page_size:8192 in
+  Bftl.format ftl;
+  let device = Bftl.device ftl in
+  device.Dev.write_page 5;
+  device.Dev.read_page 5;
+  let s = Bftl.stats ftl in
+  Alcotest.(check int) "dram hit" 1 s.Bftl.dram_read_hits
+
+let test_ftl_erase_state_machine_clean () =
+  (* Mixed workload: the FTL must never violate erase-before-write (the
+     chip would raise). *)
+  let chip = mk_chip () in
+  let ftl = Bftl.create chip ~page_size:8192 in
+  Bftl.format ftl;
+  let device = Bftl.device ftl in
+  let rng = Ipl_util.Rng.of_int 4 in
+  for _ = 1 to 5000 do
+    let p = Ipl_util.Rng.int rng device.Dev.num_pages in
+    if Ipl_util.Rng.bool rng then device.Dev.write_page p
+    else device.Dev.read_page p
+  done;
+  device.Dev.flush ()
+
+(* ------------------------------------------------------------------ *)
+(* Q1-Q6 workload (Table 3 / Table 2 shape)                            *)
+
+let test_patterns_cover_table () =
+  List.iter
+    (fun q ->
+      let seen = Array.make Q.table_pages false in
+      Seq.iter
+        (fun (first, count) ->
+          for p = first to first + count - 1 do
+            if seen.(p) then Alcotest.failf "%s touches page %d twice" (Q.name q) p;
+            seen.(p) <- true
+          done)
+        (Q.pattern q);
+      if not (Array.for_all Fun.id seen) then Alcotest.failf "%s misses pages" (Q.name q))
+    Q.all
+
+let test_table3_shape () =
+  let results = Q.table3 () in
+  let get q =
+    let _, d, f = List.find (fun (q', _, _) -> q' = q) results in
+    (d.Q.elapsed, f.Q.elapsed)
+  in
+  let d1, f1 = get Q.Q1 and d2, f2 = get Q.Q2 and d3, f3 = get Q.Q3 in
+  let d4, f4 = get Q.Q4 and d5, f5 = get Q.Q5 and d6, f6 = get Q.Q6 in
+  (* Disk: random much slower than sequential, for reads and writes. *)
+  Alcotest.(check bool) "disk reads degrade" true (d1 < d2 && d2 < d3);
+  Alcotest.(check bool) "disk writes degrade" true (d4 < d5 && d5 < d6);
+  (* Flash reads are insensitive to access pattern. *)
+  Alcotest.(check bool) "flash reads flat" true (f3 /. f1 < 1.3 && f2 /. f1 < 1.3);
+  (* Flash writes degrade sharply with scatter... *)
+  Alcotest.(check bool) "flash writes degrade" true (f4 < f5 && f5 < f6);
+  (* ...to the point of losing to the disk on Q6 (the paper's headline). *)
+  Alcotest.(check bool) "flash worse than disk on Q6" true (f6 > d6);
+  (* But flash wins the other write patterns. *)
+  Alcotest.(check bool) "flash wins Q4/Q5" true (f4 < d4 && f5 < d5)
+
+let test_table2_ratios () =
+  let results = Q.table3 () in
+  let lo, hi = Q.random_to_sequential_ratios results `Read `Disk in
+  Alcotest.(check bool) "disk read ratio high" true (lo > 3.0 && hi > 8.0);
+  let lo, hi = Q.random_to_sequential_ratios results `Read `Flash in
+  Alcotest.(check bool) "flash read ratio ~1" true (lo < 1.3 && hi < 1.3);
+  let lo, hi = Q.random_to_sequential_ratios results `Write `Flash in
+  Alcotest.(check bool)
+    (Printf.sprintf "flash write ratio spread (%.1f-%.1f)" lo hi)
+    true
+    (lo > 1.5 && hi > 8.0)
+
+let test_q_erase_counts_match_paper_analysis () =
+  (* Section 4.1.3: Q4 erases each of the 4000 units once; Q5 evicts a
+     segment every 8 updates (8000); Q6 every update (64000). *)
+  let flash q = let _, _, f = List.find (fun (q', _, _) -> q' = q) (Q.table3 ()) in f in
+  let m4 = Q.run_on_flash Q.Q4 and m5 = Q.run_on_flash Q.Q5 and m6 = Q.run_on_flash Q.Q6 in
+  ignore flash;
+  Alcotest.(check int) "Q4 erases" 4000 m4.Q.erases;
+  Alcotest.(check int) "Q4 evictions" 500 m4.Q.segment_evictions;
+  Alcotest.(check int) "Q5 evictions" 8000 m5.Q.segment_evictions;
+  Alcotest.(check int) "Q6 evictions" 64000 m6.Q.segment_evictions
+
+let () =
+  Alcotest.run "baseline+workload"
+    [
+      ( "lfs",
+        [
+          Alcotest.test_case "sequential no gc" `Quick test_lfs_sequential_writes_no_gc;
+          Alcotest.test_case "overwrites trigger gc" `Quick test_lfs_overwrites_trigger_gc;
+          Alcotest.test_case "gc preserves live data" `Quick test_lfs_gc_copies_live_data;
+          Alcotest.test_case "uniform write cost" `Quick test_lfs_write_cost_uniform;
+        ] );
+      ( "inplace",
+        [ Alcotest.test_case "every write erases" `Quick test_inplace_every_write_erases ] );
+      ( "block ftl",
+        [
+          Alcotest.test_case "sequential fills segments" `Quick test_ftl_sequential_fills_segments;
+          Alcotest.test_case "scattered copyback" `Quick test_ftl_scattered_writes_cost_copyback;
+          Alcotest.test_case "dram read hit" `Quick test_ftl_dram_read_hit;
+          Alcotest.test_case "device read_range" `Quick test_device_read_range;
+          Alcotest.test_case "state machine clean" `Quick test_ftl_erase_state_machine_clean;
+        ] );
+      ( "queries",
+        [
+          Alcotest.test_case "patterns cover table" `Slow test_patterns_cover_table;
+          Alcotest.test_case "Table 3 shape" `Slow test_table3_shape;
+          Alcotest.test_case "Table 2 ratios" `Slow test_table2_ratios;
+          Alcotest.test_case "Section 4.1.3 erase analysis" `Slow test_q_erase_counts_match_paper_analysis;
+        ] );
+    ]

@@ -1,0 +1,209 @@
+(* Tests for the B+-tree built on IPL-managed pages. *)
+
+module Chip = Flash_sim.Flash_chip
+module FConfig = Flash_sim.Flash_config
+module Engine = Ipl_core.Ipl_engine
+module Config = Ipl_core.Ipl_config
+module B = Btree.Bptree
+
+let mk ?(blocks = 256) ?(buffer_pages = 64) () =
+  let chip = Chip.create (FConfig.default ~num_blocks:blocks ()) in
+  let config = { Config.default with Config.buffer_pages } in
+  let e = Engine.create ~config chip in
+  (chip, config, e, B.create e)
+
+let ok = function Ok () -> () | Error e -> Alcotest.failf "unexpected error: %s" e
+
+let test_empty () =
+  let _, _, _, t = mk () in
+  Alcotest.(check (option int)) "find" None (B.find t 42);
+  Alcotest.(check int) "cardinal" 0 (B.cardinal t);
+  Alcotest.(check int) "height" 1 (B.height t);
+  Alcotest.(check (option int)) "min" None (B.min_key t);
+  Alcotest.(check (option int)) "max" None (B.max_key t);
+  Alcotest.(check (result unit string)) "invariants" (Ok ()) (B.check_invariants t)
+
+let test_insert_find () =
+  let _, _, _, t = mk () in
+  ok (B.insert t ~tx:0 ~key:5 ~value:50);
+  ok (B.insert t ~tx:0 ~key:1 ~value:10);
+  ok (B.insert t ~tx:0 ~key:9 ~value:90);
+  Alcotest.(check (option int)) "find 5" (Some 50) (B.find t 5);
+  Alcotest.(check (option int)) "find 1" (Some 10) (B.find t 1);
+  Alcotest.(check (option int)) "find 9" (Some 90) (B.find t 9);
+  Alcotest.(check (option int)) "absent" None (B.find t 7);
+  Alcotest.(check bool) "mem" true (B.mem t 5);
+  Alcotest.(check int) "cardinal" 3 (B.cardinal t)
+
+let test_duplicate_and_set () =
+  let _, _, _, t = mk () in
+  ok (B.insert t ~tx:0 ~key:3 ~value:30);
+  (match B.insert t ~tx:0 ~key:3 ~value:31 with
+  | Error "duplicate key" -> ()
+  | _ -> Alcotest.fail "expected duplicate error");
+  ok (B.set t ~tx:0 ~key:3 ~value:33);
+  Alcotest.(check (option int)) "overwritten" (Some 33) (B.find t 3);
+  ok (B.set t ~tx:0 ~key:4 ~value:44);
+  Alcotest.(check (option int)) "upserted" (Some 44) (B.find t 4)
+
+let test_delete () =
+  let _, _, _, t = mk () in
+  for k = 1 to 20 do
+    ok (B.insert t ~tx:0 ~key:k ~value:(k * 10))
+  done;
+  ok (B.delete t ~tx:0 ~key:10);
+  Alcotest.(check (option int)) "deleted" None (B.find t 10);
+  Alcotest.(check int) "cardinal" 19 (B.cardinal t);
+  (match B.delete t ~tx:0 ~key:10 with
+  | Error "not found" -> ()
+  | _ -> Alcotest.fail "expected not found");
+  Alcotest.(check (result unit string)) "invariants" (Ok ()) (B.check_invariants t)
+
+let test_splits_and_growth () =
+  let _, _, _, t = mk () in
+  let n = 5_000 in
+  for k = 1 to n do
+    ok (B.insert t ~tx:0 ~key:k ~value:(k * 2))
+  done;
+  Alcotest.(check int) "cardinal" n (B.cardinal t);
+  Alcotest.(check bool) "tree grew" true (B.height t >= 2);
+  Alcotest.(check (result unit string)) "invariants" (Ok ()) (B.check_invariants t);
+  for k = 1 to n do
+    if B.find t k <> Some (k * 2) then Alcotest.failf "lost key %d" k
+  done
+
+let test_reverse_and_random_orders () =
+  let _, _, _, t = mk () in
+  let keys = Array.init 2000 (fun i -> i * 7) in
+  Ipl_util.Rng.shuffle (Ipl_util.Rng.of_int 5) keys;
+  Array.iter (fun k -> ok (B.insert t ~tx:0 ~key:k ~value:(k + 1))) keys;
+  Alcotest.(check (result unit string)) "invariants" (Ok ()) (B.check_invariants t);
+  Alcotest.(check (option int)) "min" (Some 0) (B.min_key t);
+  Alcotest.(check (option int)) "max" (Some (1999 * 7)) (B.max_key t);
+  Array.iter
+    (fun k -> if B.find t k <> Some (k + 1) then Alcotest.failf "lost key %d" k)
+    keys
+
+let test_range () =
+  let _, _, _, t = mk () in
+  for k = 0 to 999 do
+    ok (B.insert t ~tx:0 ~key:(k * 2) ~value:k)
+  done;
+  let r = B.range t ~lo:10 ~hi:20 in
+  Alcotest.(check (list (pair int int))) "range" [ (10, 5); (12, 6); (14, 7); (16, 8); (18, 9); (20, 10) ] r;
+  Alcotest.(check int) "full range" 1000 (List.length (B.range t ~lo:min_int ~hi:max_int));
+  Alcotest.(check (list (pair int int))) "empty range" [] (B.range t ~lo:11 ~hi:11)
+
+let test_iter_sorted () =
+  let _, _, _, t = mk () in
+  let keys = Array.init 3000 (fun i -> i) in
+  Ipl_util.Rng.shuffle (Ipl_util.Rng.of_int 17) keys;
+  Array.iter (fun k -> ok (B.insert t ~tx:0 ~key:k ~value:k)) keys;
+  let prev = ref (-1) and count = ref 0 in
+  B.iter t (fun ~key ~value ->
+      Alcotest.(check int) "value" key value;
+      if key <= !prev then Alcotest.failf "out of order at %d" key;
+      prev := key;
+      incr count);
+  Alcotest.(check int) "count" 3000 !count
+
+let test_negative_keys () =
+  let _, _, _, t = mk () in
+  List.iter (fun k -> ok (B.insert t ~tx:0 ~key:k ~value:(k * 3))) [ -5; -1; 0; 3; -100 ];
+  Alcotest.(check (option int)) "find -5" (Some (-15)) (B.find t (-5));
+  Alcotest.(check (option int)) "find -100" (Some (-300)) (B.find t (-100));
+  Alcotest.(check (option int)) "min" (Some (-100)) (B.min_key t)
+
+let test_survives_restart () =
+  let chip = Chip.create (FConfig.default ~num_blocks:256 ()) in
+  let config = { Config.default with Config.buffer_pages = 32 } in
+  let e = Engine.create ~config chip in
+  let t = B.create e in
+  for k = 1 to 1500 do
+    ok (B.insert t ~tx:0 ~key:k ~value:(k * 5))
+  done;
+  Engine.checkpoint e;
+  let header = B.header_page t in
+  let e', _ = Engine.restart ~config chip in
+  let t' = B.attach e' ~header in
+  Alcotest.(check (result unit string)) "invariants" (Ok ()) (B.check_invariants t');
+  Alcotest.(check int) "cardinal" 1500 (B.cardinal t');
+  for k = 1 to 1500 do
+    if B.find t' k <> Some (k * 5) then Alcotest.failf "lost key %d after restart" k
+  done
+
+let test_transactional_abort_rolls_back_index () =
+  let chip = Chip.create (FConfig.default ~num_blocks:256 ()) in
+  let config = { Config.default with Config.recovery_enabled = true; buffer_pages = 32 } in
+  let e = Engine.create ~config chip in
+  let t = B.create e in
+  for k = 1 to 100 do
+    ok (B.insert t ~tx:0 ~key:k ~value:k)
+  done;
+  let tx = Engine.begin_txn e in
+  ok (B.insert t ~tx ~key:1000 ~value:1);
+  ok (B.delete t ~tx ~key:50);
+  Engine.abort e tx;
+  Alcotest.(check (option int)) "insert rolled back" None (B.find t 1000);
+  Alcotest.(check (option int)) "delete rolled back" (Some 50) (B.find t 50);
+  Alcotest.(check (result unit string)) "invariants" (Ok ()) (B.check_invariants t)
+
+(* Property: tree matches a model map under random insert/set/delete. *)
+let prop_tree_vs_model =
+  let gen_op =
+    QCheck.Gen.(
+      frequency
+        [
+          (5, map2 (fun k v -> `Insert (k, v)) (int_bound 500) (int_bound 10_000));
+          (2, map2 (fun k v -> `Set (k, v)) (int_bound 500) (int_bound 10_000));
+          (2, map (fun k -> `Delete k) (int_bound 500));
+        ])
+  in
+  QCheck.Test.make ~name:"btree matches model map" ~count:30
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 300) gen_op))
+    (fun ops ->
+      let _, _, _, t = mk ~blocks:128 ~buffer_pages:32 () in
+      let model = Hashtbl.create 64 in
+      List.iter
+        (fun op ->
+          match op with
+          | `Insert (k, v) -> (
+              match B.insert t ~tx:0 ~key:k ~value:v with
+              | Ok () ->
+                  assert (not (Hashtbl.mem model k));
+                  Hashtbl.replace model k v
+              | Error _ -> assert (Hashtbl.mem model k))
+          | `Set (k, v) -> (
+              match B.set t ~tx:0 ~key:k ~value:v with
+              | Ok () -> Hashtbl.replace model k v
+              | Error _ -> assert false)
+          | `Delete k -> (
+              match B.delete t ~tx:0 ~key:k with
+              | Ok () ->
+                  assert (Hashtbl.mem model k);
+                  Hashtbl.remove model k
+              | Error _ -> assert (not (Hashtbl.mem model k))))
+        ops;
+      B.check_invariants t = Ok ()
+      && Hashtbl.fold (fun k v acc -> acc && B.find t k = Some v) model true
+      && B.cardinal t = Hashtbl.length model)
+
+let () =
+  Alcotest.run "btree"
+    [
+      ( "bptree",
+        [
+          Alcotest.test_case "empty tree" `Quick test_empty;
+          Alcotest.test_case "insert & find" `Quick test_insert_find;
+          Alcotest.test_case "duplicates & set" `Quick test_duplicate_and_set;
+          Alcotest.test_case "delete" `Quick test_delete;
+          Alcotest.test_case "splits & growth" `Slow test_splits_and_growth;
+          Alcotest.test_case "random insert order" `Quick test_reverse_and_random_orders;
+          Alcotest.test_case "range scan" `Quick test_range;
+          Alcotest.test_case "iter sorted" `Quick test_iter_sorted;
+          Alcotest.test_case "negative keys" `Quick test_negative_keys;
+          Alcotest.test_case "survives restart" `Slow test_survives_restart;
+          Alcotest.test_case "abort rolls back" `Quick test_transactional_abort_rolls_back_index;
+          QCheck_alcotest.to_alcotest prop_tree_vs_model;
+        ] );
+    ]

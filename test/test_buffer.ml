@@ -1,0 +1,153 @@
+(* Tests for the LRU buffer pool. *)
+
+module Pool = Bufmgr.Buffer_pool
+
+let mk ?(capacity = 3) () =
+  let fetched = ref [] and written = ref [] in
+  let pool =
+    Pool.create ~capacity
+      ~fetch:(fun k ->
+        fetched := k :: !fetched;
+        ref (k * 10))
+      ~write_back:(fun k v -> written := (k, !v) :: !written)
+      ()
+  in
+  (pool, fetched, written)
+
+let test_fetch_on_miss_then_hit () =
+  let pool, fetched, _ = mk () in
+  let v = Pool.with_page pool 1 (fun v -> !v) in
+  Alcotest.(check int) "value" 10 v;
+  ignore (Pool.with_page pool 1 (fun v -> !v));
+  Alcotest.(check (list int)) "fetched once" [ 1 ] !fetched;
+  let s = Pool.stats pool in
+  Alcotest.(check int) "hits" 1 s.Pool.hits;
+  Alcotest.(check int) "misses" 1 s.Pool.misses
+
+let test_lru_eviction_order () =
+  let pool, fetched, _ = mk ~capacity:2 () in
+  ignore (Pool.with_page pool 1 (fun _ -> ()));
+  ignore (Pool.with_page pool 2 (fun _ -> ()));
+  ignore (Pool.with_page pool 1 (fun _ -> ()));
+  (* touch 1: now 2 is LRU *)
+  ignore (Pool.with_page pool 3 (fun _ -> ()));
+  (* evicts 2 *)
+  Alcotest.(check bool) "1 cached" true (Pool.contains pool 1);
+  Alcotest.(check bool) "2 evicted" false (Pool.contains pool 2);
+  Alcotest.(check bool) "3 cached" true (Pool.contains pool 3);
+  ignore (Pool.with_page pool 2 (fun _ -> ()));
+  Alcotest.(check (list int)) "refetch order" [ 2; 3; 2; 1 ] !fetched
+
+let test_dirty_write_back_on_eviction () =
+  let pool, _, written = mk ~capacity:1 () in
+  ignore (Pool.with_page pool 5 ~dirty:true (fun v -> v := 99));
+  ignore (Pool.with_page pool 6 (fun _ -> ()));
+  Alcotest.(check (list (pair int int))) "written on evict" [ (5, 99) ] !written
+
+let test_clean_eviction_no_write_back () =
+  let pool, _, written = mk ~capacity:1 () in
+  ignore (Pool.with_page pool 5 (fun _ -> ()));
+  ignore (Pool.with_page pool 6 (fun _ -> ()));
+  Alcotest.(check (list (pair int int))) "no write back" [] !written
+
+let test_flush_all () =
+  let pool, _, written = mk () in
+  ignore (Pool.with_page pool 1 ~dirty:true (fun _ -> ()));
+  ignore (Pool.with_page pool 2 ~dirty:true (fun _ -> ()));
+  ignore (Pool.with_page pool 3 (fun _ -> ()));
+  Pool.flush_all pool;
+  Alcotest.(check int) "two write backs" 2 (List.length !written);
+  Alcotest.(check int) "none dirty" 0 (Pool.dirty_count pool);
+  Alcotest.(check int) "still cached" 3 (Pool.cached pool);
+  (* Flushing again writes nothing. *)
+  Pool.flush_all pool;
+  Alcotest.(check int) "idempotent" 2 (List.length !written)
+
+let test_drop_all () =
+  let pool, _, written = mk () in
+  ignore (Pool.with_page pool 1 ~dirty:true (fun _ -> ()));
+  Pool.drop_all pool;
+  Alcotest.(check int) "flushed" 1 (List.length !written);
+  Alcotest.(check int) "empty" 0 (Pool.cached pool)
+
+let test_pinned_not_evicted () =
+  let pool, _, _ = mk ~capacity:2 () in
+  Pool.with_page pool 1 (fun _ ->
+      (* 1 is pinned during this nested work; filling the pool must evict 2,
+         not 1. *)
+      ignore (Pool.with_page pool 2 (fun _ -> ()));
+      ignore (Pool.with_page pool 3 (fun _ -> ()));
+      Alcotest.(check bool) "pinned stays" true (Pool.contains pool 1);
+      Alcotest.(check bool) "unpinned evicted" false (Pool.contains pool 2))
+
+let test_all_pinned_fails () =
+  let pool, _, _ = mk ~capacity:1 () in
+  Pool.with_page pool 1 (fun _ ->
+      match Pool.with_page pool 2 (fun _ -> ()) with
+      | () -> Alcotest.fail "expected failure"
+      | exception Failure _ -> ())
+
+let test_mark_dirty_and_clean () =
+  let pool, _, written = mk () in
+  ignore (Pool.with_page pool 1 (fun _ -> ()));
+  Pool.mark_dirty pool 1;
+  Alcotest.(check bool) "dirty" true (Pool.is_dirty pool 1);
+  Pool.clean pool 1;
+  Alcotest.(check bool) "cleaned" false (Pool.is_dirty pool 1);
+  Pool.flush_all pool;
+  Alcotest.(check int) "clean suppressed write back" 0 (List.length !written);
+  Alcotest.check_raises "mark absent" Not_found (fun () -> Pool.mark_dirty pool 99)
+
+let test_find_does_not_touch () =
+  let pool, _, _ = mk ~capacity:2 () in
+  ignore (Pool.with_page pool 1 (fun _ -> ()));
+  ignore (Pool.with_page pool 2 (fun _ -> ()));
+  (* Peek at 1: must NOT make it MRU. *)
+  Alcotest.(check bool) "peek" true (Pool.find pool 1 <> None);
+  ignore (Pool.with_page pool 3 (fun _ -> ()));
+  Alcotest.(check bool) "1 still evicted first" false (Pool.contains pool 1)
+
+let test_write_back_once_per_cleaning () =
+  let pool, _, written = mk ~capacity:2 () in
+  ignore (Pool.with_page pool 1 ~dirty:true (fun _ -> ()));
+  Pool.flush_all pool;
+  (* Evicting the now-clean frame must not write again. *)
+  ignore (Pool.with_page pool 2 (fun _ -> ()));
+  ignore (Pool.with_page pool 3 (fun _ -> ()));
+  Alcotest.(check int) "single write back" 1 (List.length !written)
+
+(* Property: hit+miss accounting and capacity invariant under random access. *)
+let prop_capacity_invariant =
+  QCheck.Test.make ~name:"never exceeds capacity; stats consistent" ~count:100
+    QCheck.(pair (int_range 1 8) (small_list (pair (int_bound 20) bool)))
+    (fun (cap, accesses) ->
+      let pool =
+        Pool.create ~capacity:cap ~fetch:(fun k -> k) ~write_back:(fun _ _ -> ()) ()
+      in
+      List.iter
+        (fun (k, dirty) -> ignore (Pool.with_page pool k ~dirty (fun v -> v)))
+        accesses;
+      let s = Pool.stats pool in
+      Pool.cached pool <= cap
+      && s.Pool.hits + s.Pool.misses = List.length accesses
+      && s.Pool.misses >= Pool.cached pool)
+
+let () =
+  Alcotest.run "bufmgr"
+    [
+      ( "buffer pool",
+        [
+          Alcotest.test_case "fetch then hit" `Quick test_fetch_on_miss_then_hit;
+          Alcotest.test_case "LRU eviction order" `Quick test_lru_eviction_order;
+          Alcotest.test_case "dirty write back" `Quick test_dirty_write_back_on_eviction;
+          Alcotest.test_case "clean no write back" `Quick test_clean_eviction_no_write_back;
+          Alcotest.test_case "flush_all" `Quick test_flush_all;
+          Alcotest.test_case "drop_all" `Quick test_drop_all;
+          Alcotest.test_case "pinned not evicted" `Quick test_pinned_not_evicted;
+          Alcotest.test_case "all pinned fails" `Quick test_all_pinned_fails;
+          Alcotest.test_case "mark dirty / clean" `Quick test_mark_dirty_and_clean;
+          Alcotest.test_case "find does not touch" `Quick test_find_does_not_touch;
+          Alcotest.test_case "write back once" `Quick test_write_back_once_per_cleaning;
+          QCheck_alcotest.to_alcotest prop_capacity_invariant;
+        ] );
+    ]

@@ -1,0 +1,122 @@
+(* Tests for the magnetic-disk cost model. *)
+
+module Disk = Disk_sim.Disk
+module Config = Disk_sim.Disk_config
+
+let mk () = Disk.create ()
+
+let test_sequential_is_transfer_bound () =
+  let d = mk () in
+  (* First request positions the head; subsequent contiguous ones don't. *)
+  Disk.read d ~offset:0 ~bytes:8192;
+  let after_first = Disk.elapsed d in
+  Disk.read d ~offset:8192 ~bytes:8192;
+  let seq_cost = Disk.elapsed d -. after_first in
+  let transfer = 8192.0 /. (Disk.config d).Config.read_rate in
+  Alcotest.(check (float 1e-9)) "contiguous read = transfer only" transfer seq_cost
+
+let test_random_pays_positioning () =
+  let d = mk () in
+  Disk.read d ~offset:0 ~bytes:8192;
+  let t0 = Disk.elapsed d in
+  Disk.read d ~offset:(1 lsl 30) ~bytes:8192;
+  let cost = Disk.elapsed d -. t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "long-seek read %.2f ms > 10 ms" (cost *. 1e3))
+    true (cost > 10e-3)
+
+let test_positioning_monotone_in_distance () =
+  let curve = Config.default.Config.read_positioning in
+  let p128k = Config.positioning curve (128 * 1024) in
+  let p1m = Config.positioning curve (1024 * 1024) in
+  let pbig = Config.positioning curve (1 lsl 30) in
+  Alcotest.(check bool) "128K < 1M" true (p128k < p1m);
+  Alcotest.(check bool) "1M < full stroke" true (p1m < pbig);
+  Alcotest.(check (float 1e-12)) "distance 0 free" 0.0 (Config.positioning curve 0)
+
+let test_positioning_interpolates () =
+  let curve = [| (1024, 1e-3); (1024 * 1024, 3e-3) |] in
+  let mid = Config.positioning curve 32768 in
+  Alcotest.(check (float 1e-6)) "log-midpoint" 2e-3 mid;
+  (* Beyond the last point: clamped. *)
+  Alcotest.(check (float 1e-12)) "clamp high" 3e-3 (Config.positioning curve (1 lsl 40));
+  Alcotest.(check (float 1e-12)) "clamp low" 1e-3 (Config.positioning curve 1)
+
+let test_write_slower_than_read () =
+  let dr = mk () and dw = mk () in
+  for i = 0 to 99 do
+    Disk.read dr ~offset:(i * 8192) ~bytes:8192;
+    Disk.write dw ~offset:(i * 8192) ~bytes:8192
+  done;
+  Alcotest.(check bool) "sequential write slower" true (Disk.elapsed dw > Disk.elapsed dr)
+
+let test_stats () =
+  let d = mk () in
+  Disk.read d ~offset:0 ~bytes:4096;
+  Disk.read d ~offset:4096 ~bytes:4096;
+  Disk.write d ~offset:(1 lsl 20) ~bytes:8192;
+  let s = Disk.stats d in
+  Alcotest.(check int) "reads" 2 s.Disk.reads;
+  Alcotest.(check int) "writes" 1 s.Disk.writes;
+  (* The head starts at offset 0, so the first request is also "sequential". *)
+  Alcotest.(check int) "sequential" 2 s.Disk.sequential_requests;
+  Alcotest.(check int) "random" 1 s.Disk.random_requests;
+  Alcotest.(check int) "bytes read" 8192 s.Disk.bytes_read;
+  Alcotest.(check int) "bytes written" 8192 s.Disk.bytes_written
+
+let test_out_of_range () =
+  let d = mk () in
+  Alcotest.check_raises "oob" (Invalid_argument "Disk: request out of range") (fun () ->
+      Disk.read d ~offset:(Config.default.Config.capacity) ~bytes:1);
+  Alcotest.check_raises "bad size" (Invalid_argument "Disk: request size must be positive")
+    (fun () -> Disk.read d ~offset:0 ~bytes:0)
+
+(* The ratios that motivate the paper (Table 2, disk row): random reads and
+   writes are several times slower than sequential ones. *)
+let test_random_to_sequential_ratio () =
+  let seq = mk () in
+  for i = 0 to 999 do
+    Disk.read seq ~offset:(i * 8192) ~bytes:8192
+  done;
+  let rnd = mk () in
+  let rng = Ipl_util.Rng.of_int 11 in
+  for _ = 0 to 999 do
+    Disk.read rnd ~offset:(Ipl_util.Rng.int rng 10_000_000 * 8192) ~bytes:8192
+  done;
+  let ratio = Disk.elapsed rnd /. Disk.elapsed seq in
+  Alcotest.(check bool)
+    (Printf.sprintf "random/sequential read ratio %.1f in [4, 200]" ratio)
+    true
+    (ratio > 4.0 && ratio < 200.0)
+
+let prop_elapsed_monotone =
+  QCheck.Test.make ~name:"elapsed time is monotone" ~count:100
+    QCheck.(small_list (pair (int_bound 1_000_000) (int_range 1 64)))
+    (fun reqs ->
+      let d = mk () in
+      List.for_all
+        (fun (page, npages) ->
+          let before = Disk.elapsed d in
+          Disk.read d ~offset:(page * 8192) ~bytes:(npages * 512);
+          Disk.elapsed d >= before)
+        reqs)
+
+let () =
+  Alcotest.run "disk_sim"
+    [
+      ( "cost model",
+        [
+          Alcotest.test_case "sequential transfer-bound" `Quick test_sequential_is_transfer_bound;
+          Alcotest.test_case "random pays positioning" `Quick test_random_pays_positioning;
+          Alcotest.test_case "positioning monotone" `Quick test_positioning_monotone_in_distance;
+          Alcotest.test_case "curve interpolation" `Quick test_positioning_interpolates;
+          Alcotest.test_case "write slower than read" `Quick test_write_slower_than_read;
+          Alcotest.test_case "random/seq ratio (Table 2)" `Quick test_random_to_sequential_ratio;
+          QCheck_alcotest.to_alcotest prop_elapsed_monotone;
+        ] );
+      ( "bookkeeping",
+        [
+          Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "bounds checking" `Quick test_out_of_range;
+        ] );
+    ]

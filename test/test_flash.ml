@@ -1,0 +1,236 @@
+(* Tests for the NAND flash chip simulator: erase-before-write discipline,
+   timing accounting, wear tracking, data round-trips. *)
+
+module Config = Flash_sim.Flash_config
+module Chip = Flash_sim.Flash_chip
+module Stats = Flash_sim.Flash_stats
+
+let small_config ?(materialize = true) () = Config.default ~num_blocks:8 ~materialize ()
+
+let mk ?materialize () = Chip.create (small_config ?materialize ())
+
+let sector_bytes chip n =
+  Bytes.make ((Chip.config chip).Config.sector_size * n) 'x'
+
+let test_geometry () =
+  let c = small_config () in
+  Alcotest.(check int) "sectors/page" 4 (Config.sectors_per_page c);
+  Alcotest.(check int) "sectors/block" 256 (Config.sectors_per_block c);
+  Alcotest.(check int) "pages/block" 64 (Config.pages_per_block c);
+  Alcotest.(check int) "capacity" (8 * 128 * 1024) (Config.capacity_bytes c)
+
+let test_fresh_state () =
+  let chip = mk () in
+  Alcotest.(check int) "num sectors" (8 * 256) (Chip.num_sectors chip);
+  for s = 0 to Chip.num_sectors chip - 1 do
+    assert (Chip.sector_state chip s = Chip.Free)
+  done;
+  Alcotest.(check int) "no live sectors" 0 (Chip.live_sectors chip)
+
+let test_write_read_roundtrip () =
+  let chip = mk () in
+  let data = Bytes.init 512 (fun i -> Char.chr (i mod 256)) in
+  Chip.write_sectors chip ~sector:10 data;
+  let got = Chip.read_sectors chip ~sector:10 ~count:1 in
+  Alcotest.(check bytes) "roundtrip" data got;
+  Alcotest.(check bool) "state valid" true (Chip.sector_state chip 10 = Chip.Valid)
+
+let test_read_erased_is_ff () =
+  let chip = mk () in
+  let got = Chip.read_sectors chip ~sector:0 ~count:2 in
+  Bytes.iter (fun c -> assert (c = '\xff')) got;
+  Alcotest.(check int) "length" 1024 (Bytes.length got)
+
+let test_erase_before_write_enforced () =
+  let chip = mk () in
+  Chip.write_sectors chip ~sector:5 (sector_bytes chip 1);
+  (try
+     Chip.write_sectors chip ~sector:5 (sector_bytes chip 1);
+     Alcotest.fail "expected Write_to_unerased"
+   with Chip.Write_to_unerased s -> Alcotest.(check int) "offending sector" 5 s);
+  (* After erasing the block the sector is programmable again. *)
+  Chip.erase_block chip 0;
+  Chip.write_sectors chip ~sector:5 (sector_bytes chip 1)
+
+let test_overwrite_detected_mid_range () =
+  let chip = mk () in
+  Chip.write_sectors chip ~sector:7 (sector_bytes chip 1);
+  try
+    Chip.write_sectors chip ~sector:6 (sector_bytes chip 3);
+    Alcotest.fail "expected Write_to_unerased"
+  with Chip.Write_to_unerased s -> Alcotest.(check int) "offending sector" 7 s
+
+let test_erase_resets_block () =
+  let chip = mk () in
+  Chip.write_sectors chip ~sector:0 (sector_bytes chip 8);
+  Chip.erase_block chip 0;
+  for s = 0 to 255 do
+    assert (Chip.sector_state chip s = Chip.Free)
+  done;
+  let got = Chip.read_sectors chip ~sector:0 ~count:1 in
+  Bytes.iter (fun c -> assert (c = '\xff')) got
+
+let test_invalidate () =
+  let chip = mk () in
+  Chip.write_sectors chip ~sector:3 (sector_bytes chip 2);
+  Chip.invalidate_sectors chip ~sector:3 ~count:1;
+  Alcotest.(check bool) "invalid" true (Chip.sector_state chip 3 = Chip.Invalid);
+  Alcotest.(check bool) "other still valid" true (Chip.sector_state chip 4 = Chip.Valid);
+  (* Invalidating a free sector is a no-op. *)
+  Chip.invalidate_sectors chip ~sector:100 ~count:1;
+  Alcotest.(check bool) "free unchanged" true (Chip.sector_state chip 100 = Chip.Free)
+
+let test_timing_read_write_erase () =
+  let chip = mk () in
+  let c = Chip.config chip in
+  (* One sector write costs a full physical-page program (footnote 5). *)
+  Chip.write_sectors chip ~sector:0 (sector_bytes chip 1);
+  Alcotest.(check (float 1e-12)) "sector write = page program" c.Config.t_write_page
+    (Chip.elapsed chip);
+  Chip.reset_stats chip;
+  (* Reading 4 sectors within one physical page costs one page read. *)
+  ignore (Chip.read_sectors chip ~sector:0 ~count:4);
+  Alcotest.(check (float 1e-12)) "aligned 2K read" c.Config.t_read_page (Chip.elapsed chip);
+  Chip.reset_stats chip;
+  (* A misaligned 4-sector read spans two physical pages. *)
+  ignore (Chip.read_sectors chip ~sector:2 ~count:4);
+  Alcotest.(check (float 1e-12)) "straddling read" (2.0 *. c.Config.t_read_page)
+    (Chip.elapsed chip);
+  Chip.reset_stats chip;
+  Chip.erase_block chip 1;
+  Alcotest.(check (float 1e-12)) "erase" c.Config.t_erase_block (Chip.elapsed chip)
+
+let test_merge_cost_is_about_20ms () =
+  (* The paper (Section 4.2.3) estimates a full erase-unit merge at ~20 ms:
+     read 128 KB + write 128 KB + erase. Verify our chip reproduces it. *)
+  let chip = mk () in
+  Chip.reset_stats chip;
+  ignore (Chip.read_sectors chip ~sector:0 ~count:256);
+  Chip.write_sectors chip ~sector:256 (Bytes.make (128 * 1024) 'm');
+  Chip.erase_block chip 0;
+  let t = Chip.elapsed chip in
+  Alcotest.(check bool)
+    (Printf.sprintf "merge cost %.1f ms in [18,21]" (t *. 1e3))
+    true
+    (t > 0.018 && t < 0.021)
+
+let test_stats_counters () =
+  let chip = mk () in
+  ignore (Chip.read_sectors chip ~sector:0 ~count:8);
+  Chip.write_sectors chip ~sector:16 (sector_bytes chip 4);
+  Chip.erase_block chip 2;
+  let s = Chip.stats chip in
+  Alcotest.(check int) "page reads" 2 s.Stats.page_reads;
+  Alcotest.(check int) "page writes" 1 s.Stats.page_writes;
+  Alcotest.(check int) "erases" 1 s.Stats.block_erases;
+  Alcotest.(check int) "sectors read" 8 s.Stats.sectors_read;
+  Alcotest.(check int) "sectors written" 4 s.Stats.sectors_written
+
+let test_wear_tracking () =
+  let chip = mk () in
+  for _ = 1 to 5 do
+    Chip.erase_block chip 3
+  done;
+  Chip.erase_block chip 4;
+  Alcotest.(check int) "block 3 wear" 5 (Chip.erase_count chip 3);
+  Alcotest.(check int) "block 4 wear" 1 (Chip.erase_count chip 4);
+  Alcotest.(check int) "block 0 wear" 0 (Chip.erase_count chip 0)
+
+let test_wear_out_raises () =
+  let config =
+    { (small_config ()) with Config.max_erase_cycles = 3; fail_on_wear_out = true }
+  in
+  let chip = Chip.create config in
+  for _ = 1 to 3 do
+    Chip.erase_block chip 0
+  done;
+  try
+    Chip.erase_block chip 0;
+    Alcotest.fail "expected Worn_out"
+  with Chip.Worn_out b -> Alcotest.(check int) "block" 0 b
+
+let test_out_of_range () =
+  let chip = mk () in
+  Alcotest.check_raises "read oob" (Chip.Out_of_range 4096) (fun () ->
+      ignore (Chip.read_sectors chip ~sector:4096 ~count:1));
+  Alcotest.check_raises "erase oob" (Chip.Out_of_range 8) (fun () -> Chip.erase_block chip 8)
+
+let test_counter_mode_no_data () =
+  let chip = mk ~materialize:false () in
+  Chip.write_sectors chip ~sector:0 (sector_bytes chip 1);
+  (* Counter-only chips still enforce the state machine... *)
+  (try
+     Chip.write_sectors chip ~sector:0 (sector_bytes chip 1);
+     Alcotest.fail "expected Write_to_unerased"
+   with Chip.Write_to_unerased _ -> ());
+  (* ...but return erased-looking data. *)
+  let got = Chip.read_sectors chip ~sector:0 ~count:1 in
+  Bytes.iter (fun c -> assert (c = '\xff')) got
+
+let test_free_sectors_in_block () =
+  let chip = mk () in
+  Alcotest.(check int) "all free" 256 (Chip.free_sectors_in_block chip 0);
+  Chip.write_sectors chip ~sector:0 (sector_bytes chip 10);
+  Alcotest.(check int) "ten used" 246 (Chip.free_sectors_in_block chip 0)
+
+(* Property: any interleaving of valid writes and erases keeps the
+   state machine consistent (writes only into Free, erases reset). *)
+let prop_state_machine =
+  QCheck.Test.make ~name:"random ops keep state machine consistent" ~count:50
+    QCheck.(small_list (pair (int_bound 7) bool))
+    (fun ops ->
+      let chip = mk () in
+      List.iter
+        (fun (block, do_erase) ->
+          if do_erase then Chip.erase_block chip block
+          else begin
+            (* Write the first free sector of the block, if any. *)
+            let base = Chip.sector_of_block chip block in
+            let rec find s =
+              if s >= base + 256 then None
+              else if Chip.sector_state chip s = Chip.Free then Some s
+              else find (s + 1)
+            in
+            match find base with
+            | Some s -> Chip.write_sectors chip ~sector:s (sector_bytes chip 1)
+            | None -> ()
+          end)
+        ops;
+      (* Invariant: live + free + invalid = total, and data in valid
+         sectors is readable. *)
+      let live = Chip.live_sectors chip in
+      live >= 0 && live <= Chip.num_sectors chip)
+
+let () =
+  Alcotest.run "flash_sim"
+    [
+      ( "geometry",
+        [
+          Alcotest.test_case "derived sizes" `Quick test_geometry;
+          Alcotest.test_case "fresh state" `Quick test_fresh_state;
+        ] );
+      ( "data",
+        [
+          Alcotest.test_case "write/read roundtrip" `Quick test_write_read_roundtrip;
+          Alcotest.test_case "erased reads 0xff" `Quick test_read_erased_is_ff;
+          Alcotest.test_case "counter mode" `Quick test_counter_mode_no_data;
+        ] );
+      ( "state machine",
+        [
+          Alcotest.test_case "erase-before-write" `Quick test_erase_before_write_enforced;
+          Alcotest.test_case "overwrite mid-range" `Quick test_overwrite_detected_mid_range;
+          Alcotest.test_case "erase resets block" `Quick test_erase_resets_block;
+          Alcotest.test_case "invalidate" `Quick test_invalidate;
+          Alcotest.test_case "out of range" `Quick test_out_of_range;
+          Alcotest.test_case "free sector count" `Quick test_free_sectors_in_block;
+          QCheck_alcotest.to_alcotest prop_state_machine;
+        ] );
+      ( "timing & wear",
+        [
+          Alcotest.test_case "operation timing" `Quick test_timing_read_write_erase;
+          Alcotest.test_case "merge ~20ms (paper)" `Quick test_merge_cost_is_about_20ms;
+          Alcotest.test_case "stats counters" `Quick test_stats_counters;
+          Alcotest.test_case "wear tracking" `Quick test_wear_tracking;
+          Alcotest.test_case "wear-out raises" `Quick test_wear_out_raises;
+        ] );
+    ]

@@ -1,0 +1,169 @@
+(* Tests for the Algorithm 2 simulator, the cost model, and the sweeps. *)
+
+module Trace = Reftrace.Trace
+module Sim = Iplsim.Ipl_simulator
+module Cost = Iplsim.Cost_model
+module Sweep = Iplsim.Sweep
+
+let mk_trace ?(db_pages = 150) events =
+  let b = Trace.builder ~name:"t" ~db_pages in
+  List.iter
+    (fun ev ->
+      match ev with
+      | `L (page, length) -> Trace.add_log b ~op:Trace.Update ~page ~length
+      | `W page -> Trace.add_page_write b ~page)
+    events;
+  Trace.build b
+
+let test_geometry () =
+  let p = Sim.default_params in
+  Alcotest.(check int) "15 data pages per EU" 15 (Sim.pages_per_eu p);
+  Alcotest.(check int) "16 log sectors per EU" 16 (Sim.log_sectors_per_eu p);
+  let p64 = { p with Sim.log_region = 64 * 1024 } in
+  Alcotest.(check int) "8 data pages at 64KB region" 8 (Sim.pages_per_eu p64);
+  Alcotest.(check int) "128 log sectors" 128 (Sim.log_sectors_per_eu p64)
+
+let test_sector_write_on_fill () =
+  (* 508-byte payload: ten 50-byte records fit, the 11th forces a flush. *)
+  let events = List.init 11 (fun _ -> `L (0, 50)) in
+  let r = Sim.run (mk_trace events) in
+  Alcotest.(check int) "one sector write" 1 r.Sim.sector_writes;
+  Alcotest.(check int) "no merges" 0 r.Sim.merges;
+  Alcotest.(check int) "log records" 11 r.Sim.log_records
+
+let test_flush_on_eviction () =
+  let events = [ `L (0, 50); `W 0; `L (0, 50); `W 0 ] in
+  let r = Sim.run (mk_trace events) in
+  Alcotest.(check int) "two sector writes" 2 r.Sim.sector_writes;
+  Alcotest.(check int) "page write events" 2 r.Sim.page_write_events
+
+let test_empty_eviction_policy () =
+  let events = [ `W 0; `W 0 ] in
+  let r = Sim.run (mk_trace events) in
+  Alcotest.(check int) "suppressed empty flushes" 0 r.Sim.sector_writes;
+  let params = { Sim.default_params with Sim.flush_empty_on_evict = true } in
+  let r' = Sim.run ~params (mk_trace events) in
+  Alcotest.(check int) "paper pseudo-code flushes anyway" 2 r'.Sim.sector_writes
+
+let test_merge_when_log_region_full () =
+  (* Page 0 lives in EU 0 (15 pages/EU). 16 sectors fit; the 17th flush
+     triggers a merge. Force one flush per record via eviction. *)
+  let events = List.concat (List.init 17 (fun _ -> [ `L (0, 50); `W 0 ])) in
+  let r = Sim.run (mk_trace events) in
+  Alcotest.(check int) "sector writes" 17 r.Sim.sector_writes;
+  Alcotest.(check int) "one merge" 1 r.Sim.merges
+
+let test_merges_drop_with_bigger_log_region () =
+  (* Hot page hammered: more log sectors per EU means fewer merges —
+     the Figure 5 effect. *)
+  let events = List.concat (List.init 200 (fun _ -> [ `L (0, 50); `W 0 ])) in
+  let t = mk_trace events in
+  let merges region =
+    (Sim.run ~params:{ Sim.default_params with Sim.log_region = region } t).Sim.merges
+  in
+  let m8 = merges 8192 and m32 = merges (32 * 1024) and m64 = merges (64 * 1024) in
+  Alcotest.(check bool) (Printf.sprintf "%d > %d > %d" m8 m32 m64) true (m8 > m32 && m32 > m64);
+  (* Sector writes are independent of the log-region size. *)
+  let sw region =
+    (Sim.run ~params:{ Sim.default_params with Sim.log_region = region } t).Sim.sector_writes
+  in
+  Alcotest.(check int) "sector writes invariant" (sw 8192) (sw (64 * 1024))
+
+let test_count_policy_matches_paper_pseudocode () =
+  (* tau_s = 3: a flush happens when a 4th record arrives. *)
+  let params = { Sim.default_params with Sim.fill_policy = `Count 3 } in
+  let events = List.init 10 (fun _ -> `L (0, 500)) in
+  let r = Sim.run ~params (mk_trace events) in
+  (* records 1,2,3 accumulate; 4th triggers flush (3 flushed) ... -> 3 full
+     flushes at records 4, 7, 10. *)
+  Alcotest.(check int) "flushes" 3 r.Sim.sector_writes
+
+let test_pages_map_to_eus () =
+  (* Updates to pages 0 and 14 share EU 0; page 15 is in EU 1. Filling 16
+     sectors from both EU-0 pages triggers exactly one merge. *)
+  let events =
+    List.concat
+      (List.init 9 (fun _ -> [ `L (0, 50); `W 0; `L (14, 50); `W 14 ]))
+  in
+  let r = Sim.run (mk_trace events) in
+  Alcotest.(check int) "sector writes" 18 r.Sim.sector_writes;
+  Alcotest.(check int) "merge in shared EU" 1 r.Sim.merges;
+  let events' = List.concat (List.init 9 (fun _ -> [ `L (0, 50); `W 0; `L (15, 50); `W 15 ])) in
+  let r' = Sim.run (mk_trace events') in
+  Alcotest.(check int) "no merge across EUs" 0 r'.Sim.merges
+
+let test_cost_model_formulas () =
+  Alcotest.(check (float 1e-9)) "t_ipl" (100.0 *. 200e-6 +. 2.0 *. 20e-3)
+    (Cost.t_ipl ~sector_writes:100 ~merges:2 ());
+  Alcotest.(check (float 1e-9)) "t_conv" (0.9 *. 1000.0 *. 20e-3)
+    (Cost.t_conv ~page_writes:1000 ~alpha:0.9 ());
+  (* Derived from chip timing: 64 x (80+200)us + 1.5ms = 19.42 ms. *)
+  let m = Cost.of_flash (Flash_sim.Flash_config.default ()) in
+  Alcotest.(check (float 1e-6)) "merge from chip" 19.42e-3 m.Cost.merge;
+  Alcotest.(check (float 1e-12)) "sector write from chip" 200e-6 m.Cost.sector_write
+
+let test_db_size () =
+  (* Figure 6(b): 1 GB of pages at 8KB log region -> 128K pages / 15 per EU. *)
+  let sz =
+    Cost.db_size_bytes ~db_pages:131072 ~page_size:8192 ~eu_size:(128 * 1024) ~log_region:8192
+  in
+  Alcotest.(check int) "eus" (((131072 + 14) / 15) * 128 * 1024) sz;
+  let sz64 =
+    Cost.db_size_bytes ~db_pages:131072 ~page_size:8192 ~eu_size:(128 * 1024)
+      ~log_region:(64 * 1024)
+  in
+  Alcotest.(check bool) "bigger region costs space" true (sz64 > sz)
+
+let test_sweep () =
+  let events = List.concat (List.init 100 (fun _ -> [ `L (0, 50); `W 0 ])) in
+  let t = mk_trace events in
+  let points = Sweep.log_region_sweep t in
+  Alcotest.(check int) "8 points" 8 (List.length points);
+  let merges = List.map (fun (p : Sweep.point) -> p.Sweep.result.Sim.merges) points in
+  let sorted_desc = List.sort (fun a b -> compare b a) merges in
+  Alcotest.(check (list int)) "merges non-increasing" sorted_desc merges;
+  let sizes = List.map (fun (p : Sweep.point) -> p.Sweep.db_size) points in
+  Alcotest.(check bool) "sizes non-decreasing" true
+    (List.for_all2 ( <= ) (List.filteri (fun i _ -> i < 7) sizes) (List.tl sizes))
+
+let test_buffer_series () =
+  let mk n =
+    mk_trace (List.concat (List.init n (fun i -> [ `L (i mod 10, 50); `W (i mod 10) ])))
+  in
+  let series = Sweep.buffer_series [ ("20MB", mk 200); ("40MB", mk 100) ] in
+  (match series with
+  | [ p20; p40 ] ->
+      Alcotest.(check string) "label" "20MB" p20.Sweep.label;
+      Alcotest.(check bool) "smaller buffer writes more" true (p20.Sweep.t_ipl > p40.Sweep.t_ipl);
+      List.iter
+        (fun (alpha, t) ->
+          Alcotest.(check bool) "t_conv positive" true (t > 0.0);
+          Alcotest.(check bool) "alpha recorded" true (alpha = 0.9 || alpha = 0.5))
+        p20.Sweep.t_conv_by_alpha
+  | _ -> Alcotest.fail "expected two points")
+
+let () =
+  Alcotest.run "iplsim"
+    [
+      ( "simulator",
+        [
+          Alcotest.test_case "geometry" `Quick test_geometry;
+          Alcotest.test_case "sector write on fill" `Quick test_sector_write_on_fill;
+          Alcotest.test_case "flush on eviction" `Quick test_flush_on_eviction;
+          Alcotest.test_case "empty-eviction policy" `Quick test_empty_eviction_policy;
+          Alcotest.test_case "merge on full log region" `Quick test_merge_when_log_region_full;
+          Alcotest.test_case "Figure 5 effect" `Quick test_merges_drop_with_bigger_log_region;
+          Alcotest.test_case "count policy (tau_s)" `Quick test_count_policy_matches_paper_pseudocode;
+          Alcotest.test_case "page-to-EU mapping" `Quick test_pages_map_to_eus;
+        ] );
+      ( "cost model",
+        [
+          Alcotest.test_case "formulas" `Quick test_cost_model_formulas;
+          Alcotest.test_case "db size (Fig 6b)" `Quick test_db_size;
+        ] );
+      ( "sweeps",
+        [
+          Alcotest.test_case "log-region sweep" `Quick test_sweep;
+          Alcotest.test_case "buffer series" `Quick test_buffer_series;
+        ] );
+    ]

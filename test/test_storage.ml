@@ -1,0 +1,237 @@
+(* Tests for slotted pages and the record codec. *)
+
+module Page = Storage.Page
+module Record = Storage.Record
+
+let mk () = Page.create 8192
+
+let bytes_of_string = Bytes.of_string
+
+let test_empty_page () =
+  let p = mk () in
+  Alcotest.(check int) "size" 8192 (Page.size p);
+  Alcotest.(check int) "slots" 0 (Page.slot_count p);
+  Alcotest.(check int) "live" 0 (Page.live_records p);
+  Alcotest.(check bool) "slot 0 not live" false (Page.is_live p 0)
+
+let test_insert_read () =
+  let p = mk () in
+  let s1 = Option.get (Page.insert p (bytes_of_string "hello")) in
+  let s2 = Option.get (Page.insert p (bytes_of_string "world!")) in
+  Alcotest.(check int) "first slot" 0 s1;
+  Alcotest.(check int) "second slot" 1 s2;
+  Alcotest.(check (option bytes)) "read 0" (Some (bytes_of_string "hello")) (Page.read p 0);
+  Alcotest.(check (option bytes)) "read 1" (Some (bytes_of_string "world!")) (Page.read p 1);
+  Alcotest.(check int) "live" 2 (Page.live_records p)
+
+let test_delete_and_slot_reuse () =
+  let p = mk () in
+  ignore (Page.insert p (bytes_of_string "a"));
+  ignore (Page.insert p (bytes_of_string "b"));
+  Alcotest.(check (result unit string)) "delete ok" (Ok ()) (Page.delete p 0);
+  Alcotest.(check (option bytes)) "deleted" None (Page.read p 0);
+  Alcotest.(check int) "live" 1 (Page.live_records p);
+  (* The freed slot is reused. *)
+  let s = Option.get (Page.insert p (bytes_of_string "c")) in
+  Alcotest.(check int) "slot reused" 0 s;
+  Alcotest.(check (result unit string)) "double delete fails" (Error "slot not live")
+    (Page.delete p 5)
+
+let test_update_in_place_and_relocating () =
+  let p = mk () in
+  ignore (Page.insert p (bytes_of_string "abcdef"));
+  (* Shrinking update stays in place. *)
+  Alcotest.(check (result unit string)) "shrink" (Ok ()) (Page.update p 0 (bytes_of_string "xy"));
+  Alcotest.(check (option bytes)) "shrunk" (Some (bytes_of_string "xy")) (Page.read p 0);
+  (* Growing update relocates. *)
+  Alcotest.(check (result unit string)) "grow" (Ok ())
+    (Page.update p 0 (bytes_of_string "0123456789"));
+  Alcotest.(check (option bytes)) "grown" (Some (bytes_of_string "0123456789")) (Page.read p 0);
+  Alcotest.(check (result unit string)) "update dead slot" (Error "slot not live")
+    (Page.update p 3 (bytes_of_string "z"))
+
+let test_update_bytes () =
+  let p = mk () in
+  ignore (Page.insert p (bytes_of_string "abcdefgh"));
+  Alcotest.(check (result unit string)) "patch" (Ok ())
+    (Page.update_bytes p ~slot:0 ~offset:2 (bytes_of_string "XY"));
+  Alcotest.(check (option bytes)) "patched" (Some (bytes_of_string "abXYefgh")) (Page.read p 0);
+  Alcotest.(check (result unit string)) "out of range" (Error "range outside record")
+    (Page.update_bytes p ~slot:0 ~offset:7 (bytes_of_string "XY"))
+
+let test_insert_at () =
+  let p = mk () in
+  Alcotest.(check (result unit string)) "insert at 3" (Ok ())
+    (Page.insert_at p 3 (bytes_of_string "three"));
+  Alcotest.(check int) "slot count extended" 4 (Page.slot_count p);
+  Alcotest.(check (option bytes)) "read back" (Some (bytes_of_string "three")) (Page.read p 3);
+  Alcotest.(check bool) "intermediate empty" false (Page.is_live p 1);
+  Alcotest.(check (result unit string)) "occupied" (Error "slot already live")
+    (Page.insert_at p 3 (bytes_of_string "x"));
+  (* Replay-style: fill an intermediate slot later. *)
+  Alcotest.(check (result unit string)) "fill hole" (Ok ())
+    (Page.insert_at p 1 (bytes_of_string "one"))
+
+let test_fill_until_full () =
+  let p = Page.create 512 in
+  let payload = Bytes.make 60 'r' in
+  let rec fill n = match Page.insert p payload with Some _ -> fill (n + 1) | None -> n in
+  let n = fill 0 in
+  (* 512 bytes: 8 header + n*(60+4) <= 512 -> n = 7 *)
+  Alcotest.(check int) "records fitted" 7 n;
+  Alcotest.(check bool) "free space too small" true (Page.free_space p < 60)
+
+let test_compaction_reclaims () =
+  let p = Page.create 512 in
+  let payload = Bytes.make 60 'r' in
+  for _ = 1 to 7 do
+    ignore (Page.insert p payload)
+  done;
+  (* Delete every other record, then a 100-byte record must fit via
+     compaction. *)
+  List.iter (fun i -> ignore (Page.delete p i)) [ 0; 2; 4 ];
+  let big = Bytes.make 100 'B' in
+  (match Page.insert p big with
+  | Some _ -> ()
+  | None -> Alcotest.fail "insert after compaction should fit");
+  Alcotest.(check (option bytes)) "old record intact" (Some payload) (Page.read p 1)
+
+let test_compact_preserves_content () =
+  let p = mk () in
+  for i = 0 to 19 do
+    ignore (Page.insert p (Bytes.make (10 + i) (Char.chr (65 + i))))
+  done;
+  List.iter (fun i -> ignore (Page.delete p i)) [ 1; 5; 9; 13 ];
+  let before = Page.copy p in
+  Page.compact p;
+  Alcotest.(check bool) "content equal" true (Page.equal_content before p)
+
+let test_serialization_roundtrip () =
+  let p = mk () in
+  ignore (Page.insert p (bytes_of_string "persist me"));
+  let q = Page.of_bytes (Bytes.copy (Page.to_bytes p)) in
+  Alcotest.(check bool) "roundtrip equal" true (Page.equal_content p q)
+
+let test_bad_magic () =
+  Alcotest.check_raises "bad magic" (Invalid_argument "Page.of_bytes: bad magic") (fun () ->
+      ignore (Page.of_bytes (Bytes.make 512 '\000')))
+
+let test_iter () =
+  let p = mk () in
+  ignore (Page.insert p (bytes_of_string "a"));
+  ignore (Page.insert p (bytes_of_string "b"));
+  ignore (Page.delete p 0);
+  let seen = ref [] in
+  Page.iter (fun slot data -> seen := (slot, Bytes.to_string data) :: !seen) p;
+  Alcotest.(check (list (pair int string))) "live only" [ (1, "b") ] !seen
+
+(* Property: a random sequence of inserts/updates/deletes tracked against a
+   model Hashtbl always matches the page contents. *)
+let prop_page_vs_model =
+  let gen_op =
+    QCheck.Gen.(
+      frequency
+        [
+          (4, map (fun s -> `Insert s) (string_size (int_range 1 40)));
+          (2, map2 (fun i s -> `Update (i, s)) (int_bound 30) (string_size (int_range 1 40)));
+          (2, map (fun i -> `Delete i) (int_bound 30));
+        ])
+  in
+  QCheck.Test.make ~name:"page matches model under random ops" ~count:200
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 60) gen_op))
+    (fun ops ->
+      let p = Page.create 4096 in
+      let model : (int, string) Hashtbl.t = Hashtbl.create 16 in
+      List.iter
+        (fun op ->
+          match op with
+          | `Insert s -> (
+              match Page.insert p (bytes_of_string s) with
+              | Some slot -> Hashtbl.replace model slot s
+              | None -> ())
+          | `Update (slot, s) -> (
+              match Page.update p slot (bytes_of_string s) with
+              | Ok () ->
+                  assert (Hashtbl.mem model slot);
+                  Hashtbl.replace model slot s
+              | Error _ -> assert (not (Hashtbl.mem model slot)))
+          | `Delete slot -> (
+              match Page.delete p slot with
+              | Ok () ->
+                  assert (Hashtbl.mem model slot);
+                  Hashtbl.remove model slot
+              | Error _ -> assert (not (Hashtbl.mem model slot))))
+        ops;
+      (* Compare. *)
+      Hashtbl.iter
+        (fun slot s ->
+          match Page.read p slot with
+          | Some data -> assert (Bytes.to_string data = s)
+          | None -> assert false)
+        model;
+      Page.live_records p = Hashtbl.length model)
+
+let test_record_roundtrip () =
+  let row = Record.[ I 42; S "hello"; F 3.25; I (-7); S "" ] in
+  let b = Record.encode row in
+  Alcotest.(check int) "size" (Record.encoded_size row) (Bytes.length b);
+  let row' = Record.decode b in
+  Alcotest.(check bool) "roundtrip" true (row = row')
+
+let test_record_accessors () =
+  let row = Record.[ I 1; S "two"; F 3.0 ] in
+  Alcotest.(check int) "int" 1 (Record.get_int row 0);
+  Alcotest.(check string) "string" "two" (Record.get_string row 1);
+  Alcotest.(check (float 0.0)) "float" 3.0 (Record.get_float row 2);
+  let row' = Record.set row 0 (Record.I 9) in
+  Alcotest.(check int) "set" 9 (Record.get_int row' 0);
+  Alcotest.check_raises "type error" (Invalid_argument "Record.get_int: not an int")
+    (fun () -> ignore (Record.get_int row 1))
+
+let test_record_malformed () =
+  Alcotest.check_raises "unknown tag" (Invalid_argument "Record.decode: unknown tag")
+    (fun () -> ignore (Record.decode (Bytes.make 3 '\009')));
+  Alcotest.check_raises "truncated" (Invalid_argument "Record.decode: truncated int")
+    (fun () -> ignore (Record.decode (Bytes.make 4 '\000')))
+
+let prop_record_roundtrip =
+  let gen_field =
+    QCheck.Gen.(
+      frequency
+        [
+          (3, map (fun n -> Record.I n) int);
+          (1, map (fun f -> Record.F f) (float_bound_exclusive 1e12));
+          (3, map (fun s -> Record.S s) (string_size (int_range 0 100)));
+        ])
+  in
+  QCheck.Test.make ~name:"record codec roundtrips" ~count:300
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 20) gen_field))
+    (fun row -> Record.decode (Record.encode row) = row)
+
+let () =
+  Alcotest.run "storage"
+    [
+      ( "page",
+        [
+          Alcotest.test_case "empty page" `Quick test_empty_page;
+          Alcotest.test_case "insert/read" `Quick test_insert_read;
+          Alcotest.test_case "delete & slot reuse" `Quick test_delete_and_slot_reuse;
+          Alcotest.test_case "update in place & relocate" `Quick test_update_in_place_and_relocating;
+          Alcotest.test_case "byte-range update" `Quick test_update_bytes;
+          Alcotest.test_case "insert_at (replay)" `Quick test_insert_at;
+          Alcotest.test_case "fill until full" `Quick test_fill_until_full;
+          Alcotest.test_case "compaction reclaims" `Quick test_compaction_reclaims;
+          Alcotest.test_case "compact preserves content" `Quick test_compact_preserves_content;
+          Alcotest.test_case "serialization roundtrip" `Quick test_serialization_roundtrip;
+          Alcotest.test_case "bad magic rejected" `Quick test_bad_magic;
+          Alcotest.test_case "iter over live" `Quick test_iter;
+          QCheck_alcotest.to_alcotest prop_page_vs_model;
+        ] );
+      ( "record",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_record_roundtrip;
+          Alcotest.test_case "accessors" `Quick test_record_accessors;
+          Alcotest.test_case "malformed input" `Quick test_record_malformed;
+          QCheck_alcotest.to_alcotest prop_record_roundtrip;
+        ] );
+    ]

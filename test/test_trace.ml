@@ -1,0 +1,188 @@
+(* Tests for traces, their statistics, locality analyses and file I/O. *)
+
+module Trace = Reftrace.Trace
+module Trace_io = Reftrace.Trace_io
+module Locality = Reftrace.Locality
+
+let mk_trace events =
+  let b = Trace.builder ~name:"test" ~db_pages:100 in
+  List.iter
+    (fun ev ->
+      match ev with
+      | `L (op, page, length) -> Trace.add_log b ~op ~page ~length
+      | `W page -> Trace.add_page_write b ~page)
+    events;
+  Trace.build b
+
+let test_build_and_iter () =
+  let t =
+    mk_trace [ `L (Trace.Insert, 1, 40); `W 1; `L (Trace.Update, 2, 30); `L (Trace.Delete, 1, 20) ]
+  in
+  Alcotest.(check int) "length" 4 (Trace.length t);
+  Alcotest.(check string) "name" "test" (Trace.name t);
+  Alcotest.(check int) "db pages" 100 (Trace.db_pages t);
+  (match Trace.get t 0 with
+  | Trace.Log { op = Trace.Insert; page = 1; length = 40 } -> ()
+  | _ -> Alcotest.fail "event 0 mismatch");
+  match Trace.get t 1 with
+  | Trace.Page_write { page = 1 } -> ()
+  | _ -> Alcotest.fail "event 1 mismatch"
+
+let test_builder_growth () =
+  let b = Trace.builder ~name:"big" ~db_pages:10 in
+  for i = 0 to 9_999 do
+    Trace.add_log b ~op:Trace.Update ~page:(i mod 10) ~length:i
+  done;
+  let t = Trace.build b in
+  Alcotest.(check int) "length" 10_000 (Trace.length t);
+  match Trace.get t 9_999 with
+  | Trace.Log { length = 9_999; _ } -> ()
+  | _ -> Alcotest.fail "last event mismatch"
+
+let test_stats_table4_shape () =
+  let t =
+    mk_trace
+      [
+        `L (Trace.Insert, 0, 40);
+        `L (Trace.Update, 1, 50);
+        `L (Trace.Update, 2, 60);
+        `L (Trace.Delete, 3, 20);
+        `W 0;
+        `W 1;
+      ]
+  in
+  let s = Trace.stats t in
+  Alcotest.(check int) "inserts" 1 s.Trace.insert.Trace.occurrences;
+  Alcotest.(check int) "updates" 2 s.Trace.update.Trace.occurrences;
+  Alcotest.(check int) "deletes" 1 s.Trace.delete.Trace.occurrences;
+  Alcotest.(check int) "total" 4 s.Trace.total_logs;
+  Alcotest.(check (float 1e-9)) "update avg" 55.0 s.Trace.update.Trace.avg_length;
+  Alcotest.(check (float 1e-9)) "overall avg" 42.5 s.Trace.avg_log_length;
+  Alcotest.(check int) "page writes" 2 s.Trace.page_writes
+
+let test_io_roundtrip () =
+  let t =
+    mk_trace
+      [ `L (Trace.Insert, 5, 33); `W 5; `L (Trace.Delete, 7, 21); `L (Trace.Update, 5, 48) ]
+  in
+  let path = Filename.temp_file "ipl" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace_io.save t path;
+      let t' = Trace_io.load path in
+      Alcotest.(check string) "name" (Trace.name t) (Trace.name t');
+      Alcotest.(check int) "db pages" (Trace.db_pages t) (Trace.db_pages t');
+      Alcotest.(check int) "length" (Trace.length t) (Trace.length t');
+      for i = 0 to Trace.length t - 1 do
+        if Trace.get t i <> Trace.get t' i then Alcotest.failf "event %d differs" i
+      done)
+
+let test_io_rejects_garbage () =
+  let path = Filename.temp_file "ipl" ".notatrace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "garbage!";
+      close_out oc;
+      try
+        ignore (Trace_io.load path);
+        Alcotest.fail "expected rejection"
+      with Invalid_argument _ | End_of_file -> ())
+
+let test_locality_skew () =
+  (* Page 0 gets 90 updates, pages 1..9 one each: heavy skew. *)
+  let events =
+    List.init 90 (fun _ -> `L (Trace.Update, 0, 50))
+    @ List.init 9 (fun i -> `L (Trace.Update, i + 1, 50))
+  in
+  let t = mk_trace events in
+  let s = Locality.log_reference_skew t ~top:1 in
+  Alcotest.(check int) "distinct" 10 s.Locality.distinct;
+  Alcotest.(check int) "total" 99 s.Locality.total;
+  Alcotest.(check (float 1e-6)) "top share" (90.0 /. 99.0) s.Locality.top_share;
+  Alcotest.(check bool) "gini high" true (s.Locality.gini > 0.7);
+  (* Uniform references: near-zero gini. *)
+  let u = mk_trace (List.init 100 (fun i -> `L (Trace.Update, i mod 10, 50))) in
+  let su = Locality.log_reference_skew u ~top:5 in
+  Alcotest.(check (float 1e-9)) "uniform gini" 0.0 su.Locality.gini
+
+let test_erase_skew_folding () =
+  (* Writes to pages 0..14 all fold onto erase unit 0 with 15 pages/EU. *)
+  let t = mk_trace (List.init 15 (fun i -> `W i) @ [ `W 15 ]) in
+  let s = Locality.erase_skew t ~top:2 ~pages_per_eu:15 in
+  Alcotest.(check int) "distinct EUs" 2 s.Locality.distinct;
+  Alcotest.(check (array int)) "counts" [| 15; 1 |] s.Locality.top_counts
+
+let test_sliding_window () =
+  (* All-distinct stream: every window holds [window] distinct pages. *)
+  let t = mk_trace (List.init 64 (fun i -> `W i)) in
+  Alcotest.(check (float 1e-9)) "distinct" 16.0
+    (Locality.sliding_window_distinct t ~window:16 `Pages);
+  (* Constant stream: 1 distinct page. *)
+  let c = mk_trace (List.init 64 (fun _ -> `W 3)) in
+  Alcotest.(check (float 1e-9)) "constant" 1.0
+    (Locality.sliding_window_distinct c ~window:16 `Pages);
+  (* Erase-unit folding halves distinctness when pages pair up. *)
+  let t2 = mk_trace (List.init 64 (fun i -> `W i)) in
+  (* Windows at even offsets cover 8 whole page-pairs; odd offsets span 9
+     erase units: (25*8 + 24*9) / 49. *)
+  Alcotest.(check (float 1e-4)) "eu folding" (416.0 /. 49.0)
+    (Locality.sliding_window_distinct t2 ~window:16 (`Erase_units 2))
+
+let test_sliding_window_short_stream () =
+  let t = mk_trace [ `W 0; `W 1 ] in
+  Alcotest.(check (float 1e-9)) "too short" 0.0
+    (Locality.sliding_window_distinct t ~window:16 `Pages)
+
+let prop_io_roundtrip =
+  let gen_event =
+    QCheck.Gen.(
+      frequency
+        [
+          ( 3,
+            map3
+              (fun op page length -> `L ((match op with 0 -> Trace.Insert | 1 -> Trace.Delete | _ -> Trace.Update), page, length))
+              (int_bound 2) (int_bound 1000) (int_bound 600) );
+          (1, map (fun p -> `W p) (int_bound 1000));
+        ])
+  in
+  QCheck.Test.make ~name:"trace file roundtrip" ~count:30
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 200) gen_event))
+    (fun events ->
+      let t = mk_trace events in
+      let path = Filename.temp_file "iplq" ".trace" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Trace_io.save t path;
+          let t' = Trace_io.load path in
+          Trace.length t = Trace.length t'
+          && List.for_all
+               (fun i -> Trace.get t i = Trace.get t' i)
+               (List.init (Trace.length t) Fun.id)))
+
+let () =
+  Alcotest.run "reftrace"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "build & iter" `Quick test_build_and_iter;
+          Alcotest.test_case "builder growth" `Quick test_builder_growth;
+          Alcotest.test_case "stats (Table 4 shape)" `Quick test_stats_table4_shape;
+        ] );
+      ( "io",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_io_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_io_rejects_garbage;
+          QCheck_alcotest.to_alcotest prop_io_roundtrip;
+        ] );
+      ( "locality",
+        [
+          Alcotest.test_case "reference skew" `Quick test_locality_skew;
+          Alcotest.test_case "erase-unit folding" `Quick test_erase_skew_folding;
+          Alcotest.test_case "sliding window" `Quick test_sliding_window;
+          Alcotest.test_case "short stream" `Quick test_sliding_window_short_stream;
+        ] );
+    ]
