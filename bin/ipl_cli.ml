@@ -186,6 +186,61 @@ let replay_cmd =
     (Cmd.info "replay" ~doc:"Replay a trace's write stream on a storage design.")
     Term.(const replay $ trace_arg $ design_t)
 
+(* ---------------- faultcheck ---------------- *)
+
+let faultcheck ops sample seed transactions pages no_tear broken =
+  let spec = { Fault.Workload.default with Fault.Workload.seed; transactions; pages } in
+  let report = Fault.Campaign.run ~tear:(not no_tear) ~broken ~max_ops:ops ~sample spec in
+  Format.printf "%a@." Fault.Campaign.pp_report report;
+  let nviol = List.length report.Fault.Campaign.violations in
+  if broken then
+    if nviol > 0 then begin
+      Printf.printf "broken-commit mode: checker caught the unsound configuration, as expected\n";
+      exit 0
+    end
+    else begin
+      Printf.printf "broken-commit mode: checker FAILED to catch the unsound configuration\n";
+      exit 1
+    end
+  else if nviol > 0 then exit 1
+
+let ops_t =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "ops" ]
+        ~doc:"Consider only the first $(docv) flash operations after setup as crash points (0 = all).")
+
+let sample_t =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "sample" ] ~doc:"Test only $(docv) crash points, spread evenly (0 = every point).")
+
+let fc_transactions_t =
+  Arg.(value & opt int 200 & info [ "n"; "transactions" ] ~doc:"Transactions in the workload.")
+
+let fc_pages_t = Arg.(value & opt int 6 & info [ "pages" ] ~doc:"Data pages in the workload.")
+
+let no_tear_t =
+  Arg.(
+    value & flag
+    & info [ "no-tear" ] ~doc:"Fail cleanly before the fatal program instead of tearing it.")
+
+let broken_t =
+  Arg.(
+    value & flag
+    & info [ "broken" ]
+        ~doc:"Self-test: disable commit-time log forcing and verify the checker flags the lost transactions (exits 0 only if it does).")
+
+let faultcheck_cmd =
+  Cmd.v
+    (Cmd.info "faultcheck"
+       ~doc:"Crash-point campaign: crash at every flash operation, restart, verify recovery against a model oracle.")
+    Term.(
+      const faultcheck $ ops_t $ sample_t $ seed_t $ fc_transactions_t $ fc_pages_t $ no_tear_t
+      $ broken_t)
+
 (* ---------------- queries ---------------- *)
 
 let queries () =
@@ -206,6 +261,6 @@ let main_cmd =
   Cmd.group
     (Cmd.info "ipl_cli" ~version:"1.0"
        ~doc:"In-page logging (SIGMOD 2007) reproduction toolkit.")
-    [ gen_cmd; stats_cmd; simulate_cmd; sweep_cmd; replay_cmd; queries_cmd ]
+    [ gen_cmd; stats_cmd; simulate_cmd; sweep_cmd; replay_cmd; faultcheck_cmd; queries_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

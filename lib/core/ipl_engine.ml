@@ -200,11 +200,29 @@ let page_count t = Ipl_storage.num_pages t.store
 let note_dirty t ~tx ~page =
   if tx <> 0 then Hashtbl.replace (txn_info t tx).dirty_pages page ()
 
+(* Rebuild a frame's page image from flash plus its surviving buffered
+   records. Used when a mutation already applied to the in-memory page
+   cannot be logged (the flush of a full log sector failed): dropping the
+   unlogged mutation keeps the invariant that the image always equals the
+   flash state plus the in-memory log sector. On a dead chip the re-read
+   itself fails; that is fine — every subsequent operation fails too and
+   restart recovery reads only flash. *)
+let restore_frame t ~page frame =
+  try
+    let fresh = Ipl_storage.read_page t.store page in
+    Bytes.blit (Page.to_bytes fresh) 0 (Page.to_bytes frame.page) 0
+      (Bytes.length (Page.to_bytes fresh));
+    List.iter (fun r -> ignore (Log_record.apply frame.page r)) (Log_sector.records frame.log)
+  with _ -> ()
+
 let add_record t frame ~page record =
   match Log_sector.add frame.log record with
   | `Added -> ()
   | `Full -> (
-      flush_frame t.store t.trx page frame;
+      (try flush_frame t.store t.trx page frame
+       with e ->
+         restore_frame t ~page frame;
+         raise e);
       match Log_sector.add frame.log record with
       | `Added -> ()
       | `Full -> assert false (* empty sector accepts any record Log_sector admits *))
@@ -284,12 +302,16 @@ let update t ~tx ~page ~slot data =
             match update_range_records t ~tx ~page ~slot ~before ~data with
             | [] -> Ok () (* no change: nothing to apply or log *)
             | records ->
+                (* Log before applying: [add_record] never touches the page,
+                   so if the log sector's flush fails mid-way the page image
+                   covers exactly the records logged so far and nothing
+                   half-applied. *)
                 List.iter
                   (fun r ->
-                    (match Log_record.apply frame.page r with
+                    add_record t frame ~page r;
+                    match Log_record.apply frame.page r with
                     | Ok () -> ()
-                    | Error msg -> failwith ("Ipl_engine.update: " ^ msg));
-                    add_record t frame ~page r)
+                    | Error msg -> failwith ("Ipl_engine.update: " ^ msg))
                   records;
                 Pool.mark_dirty t.pool page;
                 note_dirty t ~tx ~page;

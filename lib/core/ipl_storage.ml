@@ -356,55 +356,104 @@ let pack_sectors t records =
   if not (Log_sector.is_empty !cur) then sectors := Log_sector.serialize !cur :: !sectors;
   List.rev !sectors
 
+(* Undo an in-merge [release_overflow]: re-attach the sectors and their
+   live counts. The sectors were already invalidated on the chip, but
+   reads of [Invalid] sectors return the stale programmed data (documented
+   Flash_chip behaviour), so the records stay reachable. *)
+let reattach_overflow t eu saved =
+  eu.overflow_rev <- saved;
+  List.iter
+    (fun addr ->
+      let block = Chip.block_of_sector t.chip addr in
+      match Hashtbl.find_opt t.overflow_eus block with
+      | Some info -> info.live <- info.live + 1
+      | None -> ())
+    saved
+
+(* A merge is atomic at the durability point — the metadata-log force that
+   publishes the Merge event. An exception before that point (an injected
+   power loss, a worn-out block, a corrupt log sector) must leave the
+   in-memory mapping, overflow assignment and free list exactly as they
+   were, so a caller that survives the exception keeps a consistent
+   engine; after the point, the in-memory switch-over is completed before
+   any further fallible flash work. *)
 let merge t eu ~pending =
   let new_phys = alloc_eu t in
-  let all = read_eu_log_records t eu @ pending in
-  let committed, carried, dropped = classify t all in
-  t.c_records_dropped <- t.c_records_dropped + dropped;
-  t.c_records_carried <- t.c_records_carried + List.length carried;
-  (* Rewrite every hosted page with its committed records applied. *)
-  Array.iteri
-    (fun idx pid ->
-      if pid >= 0 then begin
-        let page = read_raw_page t eu idx in
-        let mine = List.filter (fun r -> r.Log_record.page = pid) committed in
-        apply_records page mine;
-        t.c_records_applied <- t.c_records_applied + List.length mine;
-        write_data_page t new_phys idx page
-      end)
-    eu.pages;
-  (* Carry the still-active records into the new unit's log region,
-     compacted; spill to overflow if they exceed it (possible only with a
-     high tau). *)
-  let sectors = pack_sectors t carried in
-  let in_region, spill =
-    let rec split i acc = function
-      | [] -> (List.rev acc, [])
-      | s :: rest when i < t.log_sectors -> split (i + 1) (s :: acc) rest
-      | rest -> (List.rev acc, rest)
+  let meta_mark = Meta_log.mark t.meta in
+  let saved_overflow = eu.overflow_rev in
+  let released = ref false in
+  let durable = ref false in
+  try
+    let all = read_eu_log_records t eu @ pending in
+    let committed, carried, dropped = classify t all in
+    (* Rewrite every hosted page with its committed records applied. *)
+    let applied = ref 0 in
+    Array.iteri
+      (fun idx pid ->
+        if pid >= 0 then begin
+          let page = read_raw_page t eu idx in
+          let mine = List.filter (fun r -> r.Log_record.page = pid) committed in
+          apply_records page mine;
+          applied := !applied + List.length mine;
+          write_data_page t new_phys idx page
+        end)
+      eu.pages;
+    (* Carry the still-active records into the new unit's log region,
+       compacted; spill to overflow if they exceed it (possible only with a
+       high tau). *)
+    let sectors = pack_sectors t carried in
+    let in_region, spill =
+      let rec split i acc = function
+        | [] -> (List.rev acc, [])
+        | s :: rest when i < t.log_sectors -> split (i + 1) (s :: acc) rest
+        | rest -> (List.rev acc, rest)
+      in
+      split 0 [] sectors
     in
-    split 0 [] sectors
-  in
-  List.iteri
-    (fun i s -> Chip.write_sectors t.chip ~sector:(log_sector_addr t new_phys i) s)
-    in_region;
-  release_overflow t eu;
-  (* Publish the move, then reclaim the old unit. *)
-  Meta_log.log t.meta (Meta_log.Merge { old_eu = eu.phys; new_eu = new_phys });
-  Meta_log.force t.meta;
-  Chip.erase_block t.chip eu.phys;
-  Hashtbl.replace t.free eu.phys ();
-  Hashtbl.remove t.data_eus eu.phys;
-  eu.phys <- new_phys;
-  Hashtbl.replace t.data_eus new_phys eu;
-  eu.used_log <- List.length in_region;
-  Hashtbl.reset eu.txn_counts;
-  eu.total_records <- 0;
-  note_records eu carried;
-  (* Spilled carried sectors go to a fresh overflow area, oldest first. *)
-  List.iter (fun s -> overflow_write t eu s) spill;
-  gc_overflow t;
-  t.c_merges <- t.c_merges + 1
+    List.iteri
+      (fun i s -> Chip.write_sectors t.chip ~sector:(log_sector_addr t new_phys i) s)
+      in_region;
+    release_overflow t eu;
+    released := true;
+    (* Publish the move: the durability point. *)
+    Meta_log.log t.meta (Meta_log.Merge { old_eu = eu.phys; new_eu = new_phys });
+    Meta_log.force t.meta;
+    durable := true;
+    (* Complete the in-memory switch-over (pure RAM, cannot fail), then
+       reclaim the old unit. *)
+    let old_phys = eu.phys in
+    Hashtbl.remove t.data_eus old_phys;
+    eu.phys <- new_phys;
+    Hashtbl.replace t.data_eus new_phys eu;
+    eu.used_log <- List.length in_region;
+    Hashtbl.reset eu.txn_counts;
+    eu.total_records <- 0;
+    note_records eu carried;
+    t.c_records_dropped <- t.c_records_dropped + dropped;
+    t.c_records_carried <- t.c_records_carried + List.length carried;
+    t.c_records_applied <- t.c_records_applied + !applied;
+    t.c_merges <- t.c_merges + 1;
+    (* A failed reclaim merely leaks the old block until the next restart's
+       garbage collection erases it. *)
+    (try
+       Chip.erase_block t.chip old_phys;
+       Hashtbl.replace t.free old_phys ()
+     with Chip.Worn_out _ -> ());
+    (* Spilled carried sectors go to a fresh overflow area, oldest first. *)
+    List.iter (fun s -> overflow_write t eu s) spill;
+    gc_overflow t
+  with e when not !durable ->
+    if !released then reattach_overflow t eu saved_overflow;
+    if not (Meta_log.rollback t.meta meta_mark) then
+      (* The region compacted mid-merge; rewrite it from the restored
+         in-memory state (best-effort: on a dead chip restart recovery
+         rebuilds from the durable crash state anyway). *)
+      (try Meta_log.recompact t.meta with _ -> ());
+    (try
+       Chip.erase_block t.chip new_phys;
+       Hashtbl.replace t.free new_phys ()
+     with _ -> ());
+    raise e
 
 (* ------------------------------------------------------------------ *)
 (* Log flushing                                                        *)

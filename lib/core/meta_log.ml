@@ -91,3 +91,9 @@ let log t event =
       | `Full -> failwith "Meta_log: region too small")
 
 let force t = Seq_log.force t.log
+
+type mark = Seq_log.mark
+
+let mark t = Seq_log.mark t.log
+let rollback t m = Seq_log.rollback t.log m
+let recompact t = compact t

@@ -39,5 +39,25 @@ val set_snapshot : t -> (unit -> event list) -> unit
 (** Register the function that dumps the current state as a minimal event
     list, used for compaction. Must be set before the region can fill. *)
 
+(** {1 Exception-safe callers}
+
+    The merge path buffers several events before forcing them as one
+    atomic step. If the merge fails part-way (an injected power loss, a
+    worn-out block), the buffered events describe a merge that never
+    happened; {!mark}/{!rollback} discard them. *)
+
+type mark
+
+val mark : t -> mark
+
+val rollback : t -> mark -> bool
+(** Discard events logged since [mark]; [false] if a sector was forced in
+    between (e.g. the region compacted), in which case use {!recompact}
+    once the in-memory state has been restored. *)
+
+val recompact : t -> unit
+(** Rewrite the region from the registered snapshot function — the
+    recovery hammer when {!rollback} cannot undo buffered events. *)
+
 val encode : event -> bytes
 val decode : bytes -> event

@@ -1,9 +1,11 @@
 module Chip = Flash_sim.Flash_chip
 module Config = Flash_sim.Flash_config
 
-(* Sector format: used:u16 (bytes of payload), then records, each
-   [len:u16][bytes]. 0xffff in the "used" field (erased flash) marks an
-   unwritten sector. *)
+(* Sector format: used:u16 (bytes of payload), crc:u32 (CRC-32 of the
+   payload), then records, each [len:u16][bytes]. 0xffff in the "used"
+   field (erased flash) marks an unwritten sector. The checksum lets
+   recovery detect a torn or bit-flipped sector and discard its records
+   instead of replaying garbage. *)
 
 type t = {
   chip : Chip.t;
@@ -18,7 +20,7 @@ type t = {
 
 exception Record_too_large of int
 
-let header_size = 2
+let header_size = 6
 
 let make chip ~first_block ~num_blocks =
   if num_blocks <= 0 then invalid_arg "Seq_log: need at least one block";
@@ -60,6 +62,8 @@ let force t =
     let sector = Bytes.make t.sector_size '\xff' in
     Bytes.set_uint16_le sector 0 (Bytes.length payload);
     Bytes.blit payload 0 sector header_size (Bytes.length payload);
+    let crc = Ipl_util.Checksum.crc32 sector ~pos:header_size ~len:(Bytes.length payload) in
+    Bytes.set_int32_le sector 2 (Int32.of_int crc);
     Chip.write_sectors t.chip ~sector:(t.first_sector + t.next_sector) sector;
     t.next_sector <- t.next_sector + 1;
     Buffer.clear t.buf
@@ -97,23 +101,58 @@ let reset t =
   erase_region t;
   t.next_sector <- 0
 
+(* Decode one sector defensively: a corrupt sector (bad checksum, lying
+   length fields) contributes nothing instead of raising. Returns the
+   records in order, or None when the sector fails validation. *)
+let decode_sector t sector =
+  let used = Bytes.get_uint16_le sector 0 in
+  if used = 0xFFFF || used > t.sector_size - header_size then None
+  else begin
+    let stored = Int32.to_int (Bytes.get_int32_le sector 2) land 0xFFFFFFFF in
+    let actual = Ipl_util.Checksum.crc32 sector ~pos:header_size ~len:used in
+    if stored <> actual then None
+    else begin
+      let fin = header_size + used in
+      let out = ref [] in
+      let pos = ref header_size in
+      let ok = ref true in
+      while !ok && !pos + 2 <= fin do
+        let len = Bytes.get_uint16_le sector !pos in
+        if !pos + 2 + len > fin then ok := false (* truncated record: discard the rest *)
+        else begin
+          out := Bytes.sub sector (!pos + 2) len :: !out;
+          pos := !pos + 2 + len
+        end
+      done;
+      Some (List.rev !out)
+    end
+  end
+
 let records t =
   let out = ref [] in
   for i = 0 to t.next_sector - 1 do
     if sector_used t i then begin
       let sector = Chip.read_sectors t.chip ~sector:(t.first_sector + i) ~count:1 in
-      let used = Bytes.get_uint16_le sector 0 in
-      if used <> 0xFFFF && used <= t.sector_size - header_size then begin
-        let pos = ref header_size in
-        while !pos < header_size + used do
-          let len = Bytes.get_uint16_le sector !pos in
-          out := Bytes.sub sector (!pos + 2) len :: !out;
-          pos := !pos + 2 + len
-        done
-      end
+      match decode_sector t sector with
+      | Some rs -> out := List.rev_append rs !out
+      | None -> () (* torn or bit-flipped sector: its records are discarded *)
     end
   done;
   List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Buffered-append rollback (exception-safe callers)                   *)
+
+type mark = { m_next : int; m_buf : int }
+
+let mark t = { m_next = t.next_sector; m_buf = Buffer.length t.buf }
+
+let rollback t m =
+  if t.next_sector <> m.m_next || Buffer.length t.buf < m.m_buf then false
+  else begin
+    Buffer.truncate t.buf m.m_buf;
+    true
+  end
 
 let sectors_written t = t.next_sector
 let sector_capacity t = t.total_sectors

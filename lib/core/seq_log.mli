@@ -35,7 +35,27 @@ val reset : t -> unit
 
 val records : t -> bytes list
 (** All durable records in append order, read back from flash (does not
-    include buffered, unforced ones). *)
+    include buffered, unforced ones). Each sector carries a CRC-32 of its
+    payload; a torn or bit-flipped sector fails the check and its records
+    are silently discarded rather than decoded as garbage — the
+    implicit-UNDO contract for a commit record whose sector rotted is that
+    the transaction reverts to its pre-crash status. *)
+
+(** {1 Rollback of buffered appends}
+
+    Callers that interleave appends with fallible work (the merge path)
+    can take a {!mark} first and roll the buffered-but-unforced appends
+    back if the work fails, keeping the in-memory log consistent with
+    what actually happened. *)
+
+type mark
+
+val mark : t -> mark
+
+val rollback : t -> mark -> bool
+(** Discard appends made since [mark]. Returns [false] — and changes
+    nothing — when a sector was forced to flash in between (flash cannot
+    be un-written); the caller must then rebuild by other means. *)
 
 val sectors_written : t -> int
 val sector_capacity : t -> int

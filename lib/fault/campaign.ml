@@ -1,0 +1,102 @@
+module Chip = Flash_sim.Flash_chip
+module FConfig = Flash_sim.Flash_config
+module FStats = Flash_sim.Flash_stats
+module Engine = Ipl_core.Ipl_engine
+module Config = Ipl_core.Ipl_config
+
+type report = {
+  total_ops : int;
+  setup_ops : int;
+  crash_points : int;
+  recovered : int;
+  in_doubt : int;
+  violations : (int * string list) list;
+  max_wear : int;
+  mean_wear : float;
+}
+
+(* Small pool so evictions (and their log-sector flushes) happen mid-run;
+   group_commit = huge in broken mode means commits are recorded but never
+   forced — the deliberately unsound configuration the checker must catch. *)
+let engine_config ~broken =
+  {
+    Config.default with
+    Config.recovery_enabled = true;
+    buffer_pages = 8;
+    group_commit = (if broken then 1_000_000 else 0);
+  }
+
+let chip_config () = FConfig.default ~num_blocks:32 ()
+
+let fresh ~broken spec =
+  let chip = Chip.create (chip_config ()) in
+  let engine = Engine.create ~config:(engine_config ~broken) chip in
+  let oracle = Oracle.create () in
+  let pages = Workload.setup engine oracle spec in
+  (chip, engine, oracle, pages)
+
+(* [n] indices spread evenly across [lo, hi). *)
+let spread ~lo ~hi n =
+  let total = hi - lo in
+  if n <= 0 || n >= total then List.init total (fun i -> lo + i)
+  else List.init n (fun i -> lo + (i * total / n))
+
+let run ?(tear = true) ?(broken = false) ?(max_ops = 0) ?(sample = 0) spec =
+  (* Golden run: same spec, no faults — just count the flash operations. *)
+  let chip, engine, oracle, pages = fresh ~broken spec in
+  let setup_ops = Chip.op_count chip in
+  Workload.run engine oracle spec ~pages;
+  let total_ops = Chip.op_count chip in
+  let gstats = Chip.stats chip in
+  let hi = if max_ops > 0 then min total_ops (setup_ops + max_ops) else total_ops in
+  let points = spread ~lo:setup_ops ~hi sample in
+  let recovered = ref 0 in
+  let in_doubt = ref 0 in
+  let violations = ref [] in
+  List.iter
+    (fun point ->
+      let chip, engine, oracle, pages = fresh ~broken spec in
+      Fault_plan.install chip (Fault_plan.crash_at ~tear point);
+      (try Workload.run engine oracle spec ~pages with Chip.Power_loss _ -> ());
+      Fault_plan.clear chip;
+      (match Oracle.crash oracle with
+      | Oracle.In_doubt -> incr in_doubt
+      | Oracle.Rolled_back -> ());
+      match Engine.restart ~config:(engine_config ~broken) chip with
+      | exception e ->
+          violations :=
+            (point, [ "restart raised: " ^ Printexc.to_string e ]) :: !violations
+      | engine', _aborted ->
+          incr recovered;
+          let vs =
+            Oracle.check oracle
+              ~read:(fun ~page ~slot -> Engine.read engine' ~page ~slot)
+              ~pages:(Array.to_list pages) ~slots:(Workload.max_slots spec)
+          in
+          if vs <> [] then violations := (point, vs) :: !violations)
+    points;
+  {
+    total_ops;
+    setup_ops;
+    crash_points = List.length points;
+    recovered = !recovered;
+    in_doubt = !in_doubt;
+    violations = List.rev !violations;
+    max_wear = gstats.FStats.max_wear;
+    mean_wear = gstats.FStats.mean_wear;
+  }
+
+let pp_report ppf r =
+  Fmt.pf ppf
+    "@[<v>flash ops: %d (%d setup + %d workload)@,\
+     crash points tested: %d (recovered: %d, in-doubt commits: %d)@,\
+     violations: %d@,\
+     golden-run wear: max=%d mean=%.2f@]"
+    r.total_ops r.setup_ops (r.total_ops - r.setup_ops) r.crash_points r.recovered r.in_doubt
+    (List.length r.violations) r.max_wear r.mean_wear;
+  List.iter
+    (fun (point, vs) ->
+      Fmt.pf ppf "@,@[<v 2>crash at op %d:%a@]" point
+        (fun ppf -> List.iter (fun v -> Fmt.pf ppf "@,- %s" v))
+        vs)
+    r.violations

@@ -1,0 +1,33 @@
+(** Systematic crash-point campaign.
+
+    One golden run of the deterministic {!Workload} counts the chip's
+    flash operations. The campaign then re-runs the workload once per
+    crash point: a fresh chip and engine, a {!Fault_plan.crash_at} pinned
+    to that operation index (tearing multi-sector programs when [tear]),
+    the power loss caught, the chip revived, the database reopened with
+    [Ipl_engine.restart], and the recovered state compared against the
+    {!Oracle} — committed transactions durable, uncommitted ones rolled
+    back, in-doubt commits atomic, every page readable. *)
+
+type report = {
+  total_ops : int;  (** flash operations in the golden run *)
+  setup_ops : int;  (** of which setup (not eligible as crash points) *)
+  crash_points : int;  (** crash points actually tested *)
+  recovered : int;  (** restarts that completed *)
+  in_doubt : int;  (** crash points that hit mid-commit *)
+  violations : (int * string list) list;  (** crash point -> violations *)
+  max_wear : int;
+  mean_wear : float;  (** per-block erase wear of the golden run *)
+}
+
+val run : ?tear:bool -> ?broken:bool -> ?max_ops:int -> ?sample:int -> Workload.spec -> report
+(** [tear] (default [true]) tears multi-sector programs at the crash
+    point instead of failing cleanly before them. [broken] (default
+    [false]) runs the engine with commit-time log forcing effectively
+    disabled (an enormous group-commit window) — a deliberately unsound
+    recovery configuration that the checker must flag, used to validate
+    the checker itself. [max_ops] (0 = no cap) bounds how far past setup
+    crash points may fall; [sample] (0 = all) tests only that many
+    points, spread evenly. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,39 @@
+module Chip = Flash_sim.Flash_chip
+
+type t = int -> Chip.op -> Chip.fault_action
+
+let none : t = fun _ _ -> Chip.Proceed
+
+let crash_at ?(tear = false) point : t =
+ fun idx op ->
+  if idx < point then Chip.Proceed
+  else
+    match op with
+    | Chip.Op_program { count; _ } when tear && count > 1 ->
+        (* Tear the program in half: the first sectors land, the rest stay
+           erased, and the chip dies — the worst-case partial page write. *)
+        Chip.Tear (count / 2)
+    | _ -> Chip.Fail_stop
+
+let flip_bit ~point ~bit : t =
+ fun idx op ->
+  match op with
+  | Chip.Op_program _ when idx = point -> Chip.Flip_bit bit
+  | _ -> Chip.Proceed
+
+let transient_read ~point : t =
+ fun idx op ->
+  match op with
+  | Chip.Op_read _ when idx = point -> Chip.Read_fault
+  | _ -> Chip.Proceed
+
+let seq (plans : t list) : t =
+ fun idx op ->
+  let rec first = function
+    | [] -> Chip.Proceed
+    | p :: rest -> ( match p idx op with Chip.Proceed -> first rest | a -> a)
+  in
+  first plans
+
+let install chip (plan : t) = Chip.set_fault_hook chip (Some plan)
+let clear chip = Chip.set_fault_hook chip None

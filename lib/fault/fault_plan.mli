@@ -1,0 +1,34 @@
+(** Deterministic fault plans for {!Flash_sim.Flash_chip.set_fault_hook}.
+
+    A plan is a pure function from the chip's monotonically increasing
+    operation index (and the operation about to run) to a fault action.
+    Because the index stream of a deterministic workload is reproducible,
+    a plan pins a fault to an exact point in an execution — the basis of
+    the crash-point campaign in {!Campaign}. *)
+
+type t = int -> Flash_sim.Flash_chip.op -> Flash_sim.Flash_chip.fault_action
+
+val none : t
+
+val crash_at : ?tear:bool -> int -> t
+(** [crash_at n] power-fails the chip at operation index [n] (and keeps it
+    dead for every later operation). With [~tear:true], if the fatal
+    operation is a multi-sector program it is torn half-way first, so the
+    surviving flash state contains a partially programmed page. *)
+
+val flip_bit : point:int -> bit:int -> t
+(** Silently corrupt one bit of the data programmed at operation index
+    [point] (no exception — the damage is only found by checksums). *)
+
+val transient_read : point:int -> t
+(** Fail the read at operation index [point] with
+    {!Flash_sim.Flash_chip.Read_error}; the data is intact and later
+    reads succeed. *)
+
+val seq : t list -> t
+(** First non-[Proceed] answer wins. *)
+
+val install : Flash_sim.Flash_chip.t -> t -> unit
+val clear : Flash_sim.Flash_chip.t -> unit
+(** [clear] also revives a chip killed by a fail-stop, modelling power
+    coming back on before restart recovery. *)

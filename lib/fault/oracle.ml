@@ -1,0 +1,108 @@
+type key = int * int (* page, slot *)
+
+type t = {
+  committed : (key, bytes) Hashtbl.t;
+  mutable pending : (key * bytes option) list; (* newest first; None = deleted *)
+  mutable in_txn : bool;
+  mutable committing : bool;
+}
+
+type outcome = Rolled_back | In_doubt
+
+let create () =
+  { committed = Hashtbl.create 256; pending = []; in_txn = false; committing = false }
+
+let seed t ~page ~slot data = Hashtbl.replace t.committed (page, slot) data
+
+let begin_txn t =
+  t.pending <- [];
+  t.in_txn <- true;
+  t.committing <- false
+
+let note t ~page ~slot value =
+  if t.in_txn then t.pending <- ((page, slot), value) :: t.pending
+  else
+    match value with
+    | Some b -> Hashtbl.replace t.committed (page, slot) b
+    | None -> Hashtbl.remove t.committed (page, slot)
+
+let current t ~page ~slot =
+  match List.assoc_opt (page, slot) t.pending with
+  | Some v -> v
+  | None -> Hashtbl.find_opt t.committed (page, slot)
+
+let apply_pending committed pending =
+  List.iter
+    (fun (k, v) ->
+      match v with
+      | Some b -> Hashtbl.replace committed k b
+      | None -> Hashtbl.remove committed k)
+    (List.rev pending)
+
+let start_commit t = t.committing <- true
+
+let end_commit t =
+  apply_pending t.committed t.pending;
+  t.pending <- [];
+  t.in_txn <- false;
+  t.committing <- false
+
+let abort t =
+  t.pending <- [];
+  t.in_txn <- false;
+  t.committing <- false
+
+let crash t =
+  t.in_txn <- false;
+  if t.committing && t.pending <> [] then In_doubt
+  else begin
+    t.pending <- [];
+    t.committing <- false;
+    Rolled_back
+  end
+
+(* Compare the reopened database against the model. A transaction caught
+   mid-commit is in doubt: recovery may legitimately land on either side of
+   the commit, but must land on exactly one side for every record — so the
+   database must match the pre-commit state in full OR the post-commit
+   state in full. Anything else (a lost committed update, a surviving
+   uncommitted one, a half-applied commit) is a violation. *)
+let check t ~read ~pages ~slots =
+  let post =
+    if t.committing && t.pending <> [] then begin
+      let h = Hashtbl.copy t.committed in
+      apply_pending h t.pending;
+      Some h
+    end
+    else None
+  in
+  let show = function
+    | None -> "<absent>"
+    | Some b -> Printf.sprintf "%d bytes (%08x)" (Bytes.length b) (Hashtbl.hash b)
+  in
+  let v_pre = ref [] and v_post = ref [] in
+  List.iter
+    (fun page ->
+      for slot = 0 to slots - 1 do
+        match (try Ok (read ~page ~slot) with e -> Error (Printexc.to_string e)) with
+        | Error msg ->
+            let v = Printf.sprintf "page %d slot %d: read raised %s" page slot msg in
+            v_pre := v :: !v_pre;
+            v_post := v :: !v_post
+        | Ok actual ->
+            let cmp map acc =
+              let expect = Hashtbl.find_opt map (page, slot) in
+              if actual <> expect then
+                acc :=
+                  Printf.sprintf "page %d slot %d: expected %s, found %s" page slot
+                    (show expect) (show actual)
+                  :: !acc
+            in
+            cmp t.committed v_pre;
+            Option.iter (fun m -> cmp m v_post) post
+      done)
+    pages;
+  match (List.rev !v_pre, post) with
+  | [], _ -> []
+  | _, Some _ when !v_post = [] -> []
+  | pre, _ -> pre

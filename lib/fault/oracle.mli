@@ -1,0 +1,50 @@
+(** Model-based recovery oracle.
+
+    A plain hash table tracks what every (page, slot) must hold after a
+    crash and restart: the committed state, plus — for a single active
+    transaction — its pending writes, which must vanish on rollback and
+    must appear atomically on commit. The workload driver mirrors every
+    {e successful} engine call into the oracle; after a crash,
+    {!check} compares the reopened engine against the model. *)
+
+type t
+
+type outcome =
+  | Rolled_back  (** the active transaction must be gone after recovery *)
+  | In_doubt
+      (** the crash hit during commit: recovery may keep or drop the
+          transaction, but must do so atomically *)
+
+val create : unit -> t
+
+val seed : t -> page:int -> slot:int -> bytes -> unit
+(** Record a setup-time value that is already durable (pre-campaign). *)
+
+val begin_txn : t -> unit
+
+val note : t -> page:int -> slot:int -> bytes option -> unit
+(** Mirror one successful engine mutation: [Some data] for insert/update,
+    [None] for delete. Inside a transaction the write is pending;
+    outside, it is applied to the committed state directly. *)
+
+val current : t -> page:int -> slot:int -> bytes option
+(** The transaction's own view (pending overlaid on committed) — what a
+    read through the engine would return right now. *)
+
+val start_commit : t -> unit
+(** Call immediately before [Ipl_engine.commit]: from here until
+    {!end_commit} the transaction is in doubt. *)
+
+val end_commit : t -> unit
+val abort : t -> unit
+
+val crash : t -> outcome
+(** Resolve the model after a power loss. *)
+
+val check :
+  t -> read:(page:int -> slot:int -> bytes option) -> pages:int list -> slots:int -> string list
+(** Read back slots [0..slots-1] of every page through [read] (normally
+    [Ipl_engine.read] on the restarted engine) and return human-readable
+    violations; [[]] means the recovered state is exactly the model (or,
+    for an in-doubt transaction, exactly one of its two legal states).
+    A [read] that raises is itself a violation. *)

@@ -1,0 +1,91 @@
+module Engine = Ipl_core.Ipl_engine
+module Rng = Ipl_util.Rng
+
+type spec = {
+  seed : int;
+  transactions : int;
+  pages : int;
+  slots_per_page : int;
+  payload : int;
+  abort_fraction : float;
+}
+
+let default =
+  { seed = 7; transactions = 60; pages = 6; slots_per_page = 8; payload = 48; abort_fraction = 0.15 }
+
+(* Upper bound on the slot numbers a run can produce: every insert either
+   reuses a freed slot or appends one. The oracle sweeps this range. *)
+let max_slots spec = spec.slots_per_page + (spec.transactions * 4)
+
+let bytes_of rng len = Bytes.of_string (Rng.alpha_string rng ~min:len ~max:len)
+
+let setup engine oracle spec =
+  let pages = Array.init spec.pages (fun _ -> Engine.allocate_page engine) in
+  let rng = Rng.of_int (spec.seed lxor 0x5eed) in
+  let tx = Engine.begin_txn engine in
+  Array.iter
+    (fun p ->
+      for _ = 1 to spec.slots_per_page do
+        let data = bytes_of rng spec.payload in
+        match Engine.insert engine ~tx ~page:p data with
+        | Ok slot -> Oracle.seed oracle ~page:p ~slot data
+        | Error msg -> failwith ("Workload.setup: " ^ msg)
+      done)
+    pages;
+  Engine.commit engine tx;
+  Engine.checkpoint engine;
+  pages
+
+(* One OLTP-ish mix, driven purely by the seed: short transactions of 1-4
+   record operations (55% update / 30% insert / 15% delete), 15% of them
+   aborted. Every successful engine call is mirrored into the oracle, so
+   the model tracks the engine exactly up to the crash, wherever it
+   falls. Determinism matters: the golden run and every crash re-run draw
+   the same stream, so operation index N is the same flash operation in
+   each. *)
+let run engine oracle spec ~pages =
+  let rng = Rng.of_int spec.seed in
+  for _ = 1 to spec.transactions do
+    let tx = Engine.begin_txn engine in
+    Oracle.begin_txn oracle;
+    let nops = 1 + Rng.int rng 4 in
+    for _ = 1 to nops do
+      let page = pages.(Rng.int rng (Array.length pages)) in
+      let slot = Rng.int rng (spec.slots_per_page * 2) in
+      let r = Rng.float rng 1.0 in
+      if r < 0.55 then (
+        match Oracle.current oracle ~page ~slot with
+        | None -> () (* nothing there to update *)
+        | Some old ->
+            (* Mostly equal-length (logged as byte-range deltas); a quarter
+               change size to exercise the full-image / delete+insert
+               logging paths. *)
+            let len =
+              if Rng.chance rng 0.25 then 1 + Rng.int rng (2 * spec.payload)
+              else Bytes.length old
+            in
+            let data = bytes_of rng len in
+            (match Engine.update engine ~tx ~page ~slot data with
+            | Ok () -> Oracle.note oracle ~page ~slot (Some data)
+            | Error _ -> ()))
+      else if r < 0.85 then begin
+        let data = bytes_of rng spec.payload in
+        match Engine.insert engine ~tx ~page data with
+        | Ok slot -> Oracle.note oracle ~page ~slot (Some data)
+        | Error _ -> ()
+      end
+      else
+        match Engine.delete engine ~tx ~page ~slot with
+        | Ok () -> Oracle.note oracle ~page ~slot None
+        | Error _ -> ()
+    done;
+    if Rng.chance rng spec.abort_fraction then begin
+      Engine.abort engine tx;
+      Oracle.abort oracle
+    end
+    else begin
+      Oracle.start_commit oracle;
+      Engine.commit engine tx;
+      Oracle.end_commit oracle
+    end
+  done

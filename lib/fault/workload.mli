@@ -1,0 +1,30 @@
+(** Deterministic transactional workload for the crash campaign.
+
+    The same [spec] always produces the same stream of engine calls —
+    and therefore the same stream of flash operations — which is what
+    lets {!Campaign} count operations once and then crash at each index. *)
+
+type spec = {
+  seed : int;
+  transactions : int;
+  pages : int;
+  slots_per_page : int;  (** records pre-loaded per page during setup *)
+  payload : int;  (** record size in bytes *)
+  abort_fraction : float;
+}
+
+val default : spec
+
+val max_slots : spec -> int
+(** Upper bound on slot numbers the run can create; the oracle's sweep
+    range. *)
+
+val setup : Ipl_core.Ipl_engine.t -> Oracle.t -> spec -> int array
+(** Allocate the pages, load the initial records (mirrored into the
+    oracle as already-committed), commit and checkpoint. Returns the page
+    ids the run will use. *)
+
+val run : Ipl_core.Ipl_engine.t -> Oracle.t -> spec -> pages:int array -> unit
+(** Execute the transaction mix, mirroring every successful engine call
+    into the oracle. Raises whatever the engine raises — under a fault
+    plan, typically {!Flash_sim.Flash_chip.Power_loss}. *)

@@ -3,6 +3,20 @@ type sector_state = Free | Valid | Invalid
 exception Write_to_unerased of int
 exception Worn_out of int
 exception Out_of_range of int
+exception Power_loss of int
+exception Read_error of int
+
+type op =
+  | Op_read of { sector : int; count : int }
+  | Op_program of { sector : int; count : int }
+  | Op_erase of { block : int }
+
+type fault_action =
+  | Proceed
+  | Fail_stop
+  | Tear of int
+  | Flip_bit of int
+  | Read_fault
 
 type t = {
   config : Flash_config.t;
@@ -15,6 +29,9 @@ type t = {
   mutable sectors_read : int;
   mutable sectors_written : int;
   mutable elapsed : float;
+  mutable fault_hook : (int -> op -> fault_action) option;
+  mutable ops : int;
+  mutable dead : bool;
 }
 
 let create config =
@@ -31,7 +48,30 @@ let create config =
     sectors_read = 0;
     sectors_written = 0;
     elapsed = 0.0;
+    fault_hook = None;
+    ops = 0;
+    dead = false;
   }
+
+let op_count t = t.ops
+let is_dead t = t.dead
+
+let set_fault_hook t hook =
+  t.fault_hook <- hook;
+  match hook with None -> t.dead <- false | Some _ -> ()
+
+(* Every read/program/erase is numbered and offered to the installed fault
+   hook. After a fail-stop the chip is dead: all further operations raise
+   Power_loss until the hook is cleared. *)
+let consult t op =
+  if t.dead then raise (Power_loss t.ops);
+  let idx = t.ops in
+  t.ops <- idx + 1;
+  match t.fault_hook with None -> Proceed | Some f -> f idx op
+
+let die t =
+  t.dead <- true;
+  raise (Power_loss (t.ops - 1))
 
 let config t = t.config
 let num_sectors t = Bytes.length t.state
@@ -73,6 +113,10 @@ let read_sectors t ~sector ~count =
   if count <= 0 then invalid_arg "Flash_chip.read_sectors: count must be positive";
   check_sector t sector;
   check_sector t (sector + count - 1);
+  (match consult t (Op_read { sector; count }) with
+  | Fail_stop -> die t
+  | Read_fault -> raise (Read_error sector)
+  | Proceed | Tear _ | Flip_bit _ -> ());
   let pages = pages_touched t ~sector ~count in
   t.page_reads <- t.page_reads + pages;
   t.sectors_read <- t.sectors_read + count;
@@ -104,24 +148,46 @@ let write_sectors t ~sector data =
   let count = len / ss in
   check_sector t sector;
   check_sector t (sector + count - 1);
+  let action = consult t (Op_program { sector; count }) in
+  (match action with Fail_stop -> die t | _ -> ());
   for i = 0 to count - 1 do
     if Bytes.get t.state (sector + i) <> '\000' then raise (Write_to_unerased (sector + i))
   done;
-  for i = 0 to count - 1 do
+  (* A torn program completes only the first [k] sectors before the power
+     fails; the rest stay erased, as on a real interrupted multi-sector
+     program. *)
+  let programmed =
+    match action with Tear k -> max 0 (min k count) | _ -> count
+  in
+  for i = 0 to programmed - 1 do
     Bytes.set t.state (sector + i) '\001'
   done;
-  if t.config.materialize then begin
+  if t.config.materialize && programmed > 0 then begin
     let spb = Flash_config.sectors_per_block t.config in
-    for i = 0 to count - 1 do
+    for i = 0 to programmed - 1 do
       let s = sector + i in
       let b = s / spb and off = s mod spb in
       Bytes.blit data (i * ss) (block_data t b) (off * ss) ss
     done
   end;
-  let pages = pages_touched t ~sector ~count in
-  t.page_writes <- t.page_writes + pages;
-  t.sectors_written <- t.sectors_written + count;
-  t.elapsed <- t.elapsed +. (float_of_int pages *. t.config.t_write_page)
+  if programmed > 0 then begin
+    let pages = pages_touched t ~sector ~count:programmed in
+    t.page_writes <- t.page_writes + pages;
+    t.sectors_written <- t.sectors_written + programmed;
+    t.elapsed <- t.elapsed +. (float_of_int pages *. t.config.t_write_page)
+  end;
+  match action with
+  | Tear _ -> die t
+  | Flip_bit off when t.config.materialize ->
+      (* Silent corruption: flip one bit of the just-programmed data. Only
+         detectable later through the log-sector checksums. *)
+      let off = ((off mod len) + len) mod len in
+      let s = sector + (off / ss) in
+      let spb = Flash_config.sectors_per_block t.config in
+      let b = s / spb and boff = ((s mod spb) * ss) + (off mod ss) in
+      let stored = block_data t b in
+      Bytes.set stored boff (Char.chr (Char.code (Bytes.get stored boff) lxor 0x10))
+  | _ -> ()
 
 let invalidate_sectors t ~sector ~count =
   if count <= 0 then invalid_arg "Flash_chip.invalidate_sectors: count must be positive";
@@ -133,6 +199,9 @@ let invalidate_sectors t ~sector ~count =
 
 let erase_block t b =
   if b < 0 || b >= t.config.num_blocks then raise (Out_of_range b);
+  (match consult t (Op_erase { block = b }) with
+  | Fail_stop | Tear _ -> die t
+  | Proceed | Flip_bit _ | Read_fault -> ());
   let spb = Flash_config.sectors_per_block t.config in
   Bytes.fill t.state (b * spb) spb '\000';
   if t.config.materialize then Hashtbl.remove t.data b;
@@ -162,6 +231,10 @@ let stats t : Flash_stats.t =
     sectors_read = t.sectors_read;
     sectors_written = t.sectors_written;
     elapsed = t.elapsed;
+    max_wear = Array.fold_left max 0 t.erase_counts;
+    mean_wear =
+      float_of_int (Array.fold_left ( + ) 0 t.erase_counts)
+      /. float_of_int t.config.num_blocks;
   }
 
 let reset_stats t =
@@ -179,6 +252,11 @@ let erase_count t b =
   t.erase_counts.(b)
 
 let erase_counts t = Array.copy t.erase_counts
+
+let wear_histogram t =
+  let h = Ipl_util.Histogram.create ~initial_size:t.config.num_blocks () in
+  Array.iteri (fun b n -> Ipl_util.Histogram.add h b n) t.erase_counts;
+  h
 
 let live_sectors t =
   let n = ref 0 in

@@ -23,6 +23,55 @@ exception Worn_out of int
 
 exception Out_of_range of int
 
+exception Power_loss of int
+(** Fail-stop power failure injected by the fault hook; carries the index
+    of the operation at which the power failed. Once raised, every further
+    operation on the chip raises it too (the machine is off) until the
+    hook is cleared with {!set_fault_hook}[ t None]. *)
+
+exception Read_error of int
+(** Transient read failure injected by the fault hook; carries the first
+    sector of the failed read. The operation had no effect; a retry is a
+    new operation and may succeed. *)
+
+(** {1 Fault injection}
+
+    Every read, program and erase is assigned a monotonically increasing
+    operation index and offered to an installable hook before it executes.
+    The hook decides the operation's fate; [lib/fault] builds deterministic
+    crash-point campaigns on top of this. *)
+
+type op =
+  | Op_read of { sector : int; count : int }
+  | Op_program of { sector : int; count : int }
+  | Op_erase of { block : int }
+
+type fault_action =
+  | Proceed  (** execute normally *)
+  | Fail_stop  (** power fails before the operation: raise {!Power_loss} *)
+  | Tear of int
+      (** programs only: complete the first [k] sectors, then power fails.
+          Ignored (= [Proceed]) on reads; on erases it behaves like
+          [Fail_stop]. *)
+  | Flip_bit of int
+      (** programs only (materializing chips): complete the program, then
+          silently flip one bit at the given byte offset within the written
+          data — bit rot caught only by checksums. Ignored elsewhere. *)
+  | Read_fault  (** reads only: raise {!Read_error}. Ignored elsewhere. *)
+
+val set_fault_hook : t -> (int -> op -> fault_action) option -> unit
+(** Install or clear the fault hook (called as [hook op_index op]).
+    Clearing the hook also revives a chip killed by a fail-stop, so tests
+    can inspect or restart from the surviving state. *)
+
+val op_count : t -> int
+(** Total operations issued so far (including failed ones). Deterministic
+    workloads yield identical operation numbering across runs, which is
+    what makes systematic crash-point enumeration possible. *)
+
+val is_dead : t -> bool
+(** True after an injected fail-stop until the hook is cleared. *)
+
 val create : Flash_config.t -> t
 val config : t -> Flash_config.t
 
@@ -39,7 +88,12 @@ val sector_of_block : t -> int -> int
 val read_sectors : t -> sector:int -> count:int -> bytes
 (** Read [count] sectors starting at flat address [sector]. Charges one
     page-read per distinct physical page touched. Reading [Free] sectors
-    returns 0xFF bytes (erased state), as real NAND does. *)
+    returns 0xFF bytes (erased state), as real NAND does. Reading
+    [Invalid] sectors returns the {e stale programmed data}: invalidation
+    is a host-side bookkeeping mark, the charge stays trapped in the cells
+    until the block is erased. Recovery and the fault-injection layer rely
+    on this (e.g. overflow log sectors invalidated by a merge whose
+    metadata never became durable are still readable after restart). *)
 
 val write_sectors : t -> sector:int -> bytes -> unit
 (** Program [Bytes.length data / sector_size] sectors starting at [sector].
@@ -76,6 +130,12 @@ val erase_count : t -> int -> int
 (** Number of erase cycles block [i] has been through. *)
 
 val erase_counts : t -> int array
+
+val wear_histogram : t -> Ipl_util.Histogram.t
+(** Erase cycles per block, keyed by block index (every block is present,
+    including never-erased ones). Feeds the wear section of campaign
+    reports and Figure-4-style analyses. *)
+
 val live_sectors : t -> int
 (** Number of [Valid] sectors on the whole chip. *)
 

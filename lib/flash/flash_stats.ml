@@ -5,6 +5,8 @@ type t = {
   sectors_read : int;
   sectors_written : int;
   elapsed : float;
+  max_wear : int;
+  mean_wear : float;
 }
 
 let zero =
@@ -15,6 +17,8 @@ let zero =
     sectors_read = 0;
     sectors_written = 0;
     elapsed = 0.0;
+    max_wear = 0;
+    mean_wear = 0.0;
   }
 
 let diff a b =
@@ -25,9 +29,12 @@ let diff a b =
     sectors_read = a.sectors_read - b.sectors_read;
     sectors_written = a.sectors_written - b.sectors_written;
     elapsed = a.elapsed -. b.elapsed;
+    max_wear = a.max_wear - b.max_wear;
+    mean_wear = a.mean_wear -. b.mean_wear;
   }
 
 let pp ppf t =
-  Format.fprintf ppf "reads=%d writes=%d erases=%d (sectors r=%d w=%d) elapsed=%a"
-    t.page_reads t.page_writes t.block_erases t.sectors_read t.sectors_written
-    Ipl_util.Size.pp_seconds t.elapsed
+  Format.fprintf ppf
+    "reads=%d writes=%d erases=%d (sectors r=%d w=%d) wear max=%d mean=%.2f elapsed=%a"
+    t.page_reads t.page_writes t.block_erases t.sectors_read t.sectors_written t.max_wear
+    t.mean_wear Ipl_util.Size.pp_seconds t.elapsed

@@ -7,6 +7,8 @@ type t = {
   sectors_read : int;
   sectors_written : int;
   elapsed : float;  (** simulated seconds spent in flash operations *)
+  max_wear : int;  (** highest per-block erase count *)
+  mean_wear : float;  (** mean erase count over all blocks *)
 }
 
 val zero : t

@@ -201,6 +201,102 @@ let prop_state_machine =
       let live = Chip.live_sectors chip in
       live >= 0 && live <= Chip.num_sectors chip)
 
+(* ---------------- fault injection ---------------- *)
+
+let test_invalid_read_stale () =
+  let chip = mk () in
+  let data = Bytes.init 512 (fun i -> Char.chr (i mod 256)) in
+  Chip.write_sectors chip ~sector:3 data;
+  Chip.invalidate_sectors chip ~sector:3 ~count:1;
+  Alcotest.(check bool) "state invalid" true (Chip.sector_state chip 3 = Chip.Invalid);
+  (* Documented contract: Invalid sectors return their stale programmed
+     data (merge rollback and the overflow read path depend on it). *)
+  Alcotest.(check bytes) "stale data readable" data (Chip.read_sectors chip ~sector:3 ~count:1)
+
+let test_fault_fail_stop () =
+  let chip = mk () in
+  let data = Bytes.init 512 (fun i -> Char.chr (i mod 7)) in
+  Chip.write_sectors chip ~sector:0 data;
+  Chip.set_fault_hook chip
+    (Some (fun idx _ -> if idx = 2 then Chip.Fail_stop else Chip.Proceed));
+  ignore (Chip.read_sectors chip ~sector:0 ~count:1);
+  (* op 1 *)
+  (try
+     ignore (Chip.read_sectors chip ~sector:0 ~count:1);
+     Alcotest.fail "expected Power_loss"
+   with Chip.Power_loss n -> Alcotest.(check int) "op index" 2 n);
+  Alcotest.(check bool) "dead" true (Chip.is_dead chip);
+  (try
+     ignore (Chip.read_sectors chip ~sector:0 ~count:1);
+     Alcotest.fail "dead chip must refuse all operations"
+   with Chip.Power_loss _ -> ());
+  (* Clearing the hook models power coming back on. *)
+  Chip.set_fault_hook chip None;
+  Alcotest.(check bool) "revived" false (Chip.is_dead chip);
+  Alcotest.(check bytes) "data intact" data (Chip.read_sectors chip ~sector:0 ~count:1)
+
+let test_fault_torn_program () =
+  let chip = mk () in
+  Chip.set_fault_hook chip
+    (Some
+       (fun _ op ->
+         match op with
+         | Chip.Op_program { count; _ } when count = 4 -> Chip.Tear 2
+         | _ -> Chip.Proceed));
+  (try
+     Chip.write_sectors chip ~sector:8 (sector_bytes chip 4);
+     Alcotest.fail "expected Power_loss"
+   with Chip.Power_loss _ -> ());
+  Chip.set_fault_hook chip None;
+  Alcotest.(check bool) "first half programmed" true
+    (Chip.sector_state chip 8 = Chip.Valid && Chip.sector_state chip 9 = Chip.Valid);
+  Alcotest.(check bool) "second half still erased" true
+    (Chip.sector_state chip 10 = Chip.Free && Chip.sector_state chip 11 = Chip.Free)
+
+let test_fault_flip_bit () =
+  let chip = mk () in
+  let data = Bytes.make 512 'a' in
+  Chip.set_fault_hook chip
+    (Some
+       (fun _ op ->
+         match op with Chip.Op_program _ -> Chip.Flip_bit 100 | _ -> Chip.Proceed));
+  (* Silent: the program itself succeeds. *)
+  Chip.write_sectors chip ~sector:0 data;
+  Chip.set_fault_hook chip None;
+  let got = Chip.read_sectors chip ~sector:0 ~count:1 in
+  let differing = ref 0 in
+  Bytes.iteri (fun i c -> if c <> Bytes.get data i then incr differing) got;
+  Alcotest.(check int) "exactly one byte corrupted" 1 !differing
+
+let test_fault_transient_read () =
+  let chip = mk () in
+  let data = Bytes.init 512 (fun i -> Char.chr (i mod 11)) in
+  Chip.write_sectors chip ~sector:5 data;
+  Chip.set_fault_hook chip
+    (Some
+       (fun idx op ->
+         match op with Chip.Op_read _ when idx = 1 -> Chip.Read_fault | _ -> Chip.Proceed));
+  (try
+     ignore (Chip.read_sectors chip ~sector:5 ~count:1);
+     Alcotest.fail "expected Read_error"
+   with Chip.Read_error s -> Alcotest.(check int) "failing sector" 5 s);
+  Alcotest.(check bool) "transient: chip still alive" false (Chip.is_dead chip);
+  Alcotest.(check bytes) "retry succeeds" data (Chip.read_sectors chip ~sector:5 ~count:1);
+  Chip.set_fault_hook chip None
+
+let test_wear_histogram () =
+  let chip = mk () in
+  Chip.erase_block chip 0;
+  Chip.erase_block chip 0;
+  Chip.erase_block chip 3;
+  let h = Chip.wear_histogram chip in
+  Alcotest.(check int) "block 0 wear" 2 (Ipl_util.Histogram.count h 0);
+  Alcotest.(check int) "block 3 wear" 1 (Ipl_util.Histogram.count h 3);
+  Alcotest.(check int) "total erases" 3 (Ipl_util.Histogram.total h);
+  let s = Chip.stats chip in
+  Alcotest.(check int) "max wear in stats" 2 s.Stats.max_wear;
+  Alcotest.(check (float 0.001)) "mean wear in stats" (3.0 /. 8.0) s.Stats.mean_wear
+
 let () =
   Alcotest.run "flash_sim"
     [
@@ -224,6 +320,15 @@ let () =
           Alcotest.test_case "out of range" `Quick test_out_of_range;
           Alcotest.test_case "free sector count" `Quick test_free_sectors_in_block;
           QCheck_alcotest.to_alcotest prop_state_machine;
+        ] );
+      ( "fault injection",
+        [
+          Alcotest.test_case "invalid sector reads stale data" `Quick test_invalid_read_stale;
+          Alcotest.test_case "fail-stop kills and revives" `Quick test_fault_fail_stop;
+          Alcotest.test_case "torn multi-sector program" `Quick test_fault_torn_program;
+          Alcotest.test_case "silent bit flip" `Quick test_fault_flip_bit;
+          Alcotest.test_case "transient read error" `Quick test_fault_transient_read;
+          Alcotest.test_case "wear histogram" `Quick test_wear_histogram;
         ] );
       ( "timing & wear",
         [
