@@ -24,6 +24,9 @@ module Sweep = Iplsim.Sweep
 module Engine = Ipl_core.Ipl_engine
 module Store = Ipl_core.Ipl_storage
 
+(* Database page size shared by every storage design under test. *)
+let db_page_size = Ipl_core.Ipl_config.default.Ipl_core.Ipl_config.page_size
+
 let quick = Array.exists (( = ) "--quick") Sys.argv
 let skip_micro = Array.exists (( = ) "--skip-micro") Sys.argv
 
@@ -330,15 +333,15 @@ let ablation_baseline_replay study =
   let stats = Trace.stats trace in
   let blocks = (db_pages / 16 * 115 / 100) + 32 in
   let chip_ftl = Chip.create (FConfig.default ~num_blocks:blocks ~materialize:false ()) in
-  let ftl = Ftl.Block_ftl.create chip_ftl ~page_size:8192 in
+  let ftl = Ftl.Block_ftl.create chip_ftl ~page_size:db_page_size in
   Ftl.Block_ftl.format ftl;
   let t_ftl = Baseline.Replay.run trace (Ftl.Block_ftl.device ftl) in
   let chip_lfs = Chip.create (FConfig.default ~num_blocks:blocks ~materialize:false ()) in
-  let lfs = Baseline.Lfs_store.create chip_lfs ~page_size:8192 in
+  let lfs = Baseline.Lfs_store.create chip_lfs ~page_size:db_page_size in
   Baseline.Lfs_store.format lfs;
   let t_lfs = Baseline.Replay.run trace (Baseline.Lfs_store.device lfs) in
   let chip_ip = Chip.create (FConfig.default ~num_blocks:blocks ~materialize:false ()) in
-  let ip = Baseline.Inplace_store.create chip_ip ~page_size:8192 in
+  let ip = Baseline.Inplace_store.create chip_ip ~page_size:db_page_size in
   Baseline.Inplace_store.format ip;
   let t_ip = Baseline.Replay.run trace (Baseline.Inplace_store.device ip) in
   let r = Sim.run trace in
@@ -600,7 +603,7 @@ let micro () =
       chip
   in
   let page_bench =
-    let p = Storage.Page.create 8192 in
+    let p = Storage.Page.create db_page_size in
     let payload = Bytes.make 64 'r' in
     Test.make ~name:"page/insert+delete"
       (Staged.stage (fun () ->
@@ -624,16 +627,21 @@ let micro () =
            Buffer.clear buf;
            Ipl_core.Log_record.encode buf r))
   in
+  (* Raw-chip microbench: measures the device itself, so it bypasses the
+     storage managers and drives the chip directly. *)
   let chip_bench =
-    let chip = Chip.create (FConfig.default ~num_blocks:8 ~materialize:false ()) in
-    let sector = Bytes.make 512 's' in
+    let config = FConfig.default ~num_blocks:8 ~materialize:false () in
+    let chip = Chip.create config in
+    let sector = Bytes.make config.FConfig.sector_size 's' in
+    let sectors_per_block = config.FConfig.block_size / config.FConfig.sector_size in
     let i = ref 0 in
     Test.make ~name:"flash/sector-write (table 1)"
       (Staged.stage (fun () ->
-           let s = !i mod 256 in
+           let s = !i mod sectors_per_block in
            if s = 0 && !i > 0 then Chip.erase_block chip 0;
            Chip.write_sectors chip ~sector:s sector;
            incr i))
+    [@lint.allow "flash-call"]
   in
   let engine_bench =
     let engine = mk_engine () in

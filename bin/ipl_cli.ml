@@ -145,6 +145,7 @@ let sweep_cmd =
 let replay file design =
   let trace = Trace_io.load file in
   let db_pages = Trace.db_pages trace in
+  let db_page_size = Ipl_core.Ipl_config.default.Ipl_core.Ipl_config.page_size in
   let blocks = (db_pages / 16 * 115 / 100) + 32 in
   let chip =
     Flash_sim.Flash_chip.create
@@ -153,17 +154,17 @@ let replay file design =
   let time, erases =
     match design with
     | "ftl" ->
-        let ftl = Ftl.Block_ftl.create chip ~page_size:8192 in
+        let ftl = Ftl.Block_ftl.create chip ~page_size:db_page_size in
         Ftl.Block_ftl.format ftl;
         ( Baseline.Replay.run trace (Ftl.Block_ftl.device ftl),
           (Flash_sim.Flash_chip.stats chip).Flash_sim.Flash_stats.block_erases )
     | "lfs" ->
-        let lfs = Baseline.Lfs_store.create chip ~page_size:8192 in
+        let lfs = Baseline.Lfs_store.create chip ~page_size:db_page_size in
         Baseline.Lfs_store.format lfs;
         ( Baseline.Replay.run trace (Baseline.Lfs_store.device lfs),
           (Flash_sim.Flash_chip.stats chip).Flash_sim.Flash_stats.block_erases )
     | "inplace" ->
-        let ip = Baseline.Inplace_store.create chip ~page_size:8192 in
+        let ip = Baseline.Inplace_store.create chip ~page_size:db_page_size in
         Baseline.Inplace_store.format ip;
         ( Baseline.Replay.run trace (Baseline.Inplace_store.device ip),
           (Flash_sim.Flash_chip.stats chip).Flash_sim.Flash_stats.block_erases )
@@ -255,12 +256,31 @@ let queries_cmd =
     (Cmd.info "queries" ~doc:"Tables 2/3: run Q1-Q6 on the disk and flash-SSD models.")
     Term.(const queries $ const ())
 
+(* ---------------- lint ---------------- *)
+
+let lint roots = exit (Lint.Lint_driver.main roots)
+
+let lint_roots_t =
+  Arg.(
+    value & pos_all string []
+    & info [] ~docv:"DIR"
+        ~doc:"Directories (or files) to lint; defaults to lib, bin and bench.")
+
+let lint_cmd =
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Static-analysis gate: flash-safety and layering invariants (layering, flash-call, \
+          no-silent-swallow, no-ignored-flash-result, no-magic-geometry, banned-construct, \
+          mli-coverage). Exits 1 on any error-severity finding.")
+    Term.(const lint $ lint_roots_t)
+
 (* ---------------- main ---------------- *)
 
 let main_cmd =
   Cmd.group
     (Cmd.info "ipl_cli" ~version:"1.0"
        ~doc:"In-page logging (SIGMOD 2007) reproduction toolkit.")
-    [ gen_cmd; stats_cmd; simulate_cmd; sweep_cmd; replay_cmd; faultcheck_cmd; queries_cmd ]
+    [ gen_cmd; stats_cmd; simulate_cmd; sweep_cmd; replay_cmd; faultcheck_cmd; queries_cmd; lint_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,10 @@
+(* Repo static-analysis gate: flash-safety and layering invariants.
+
+     ipl_lint [DIR|FILE]...     (default: lib bin bench)
+
+   Prints findings as "file:line rule-id message" and exits 1 when any
+   error-severity finding remains unsuppressed. *)
+
+let () =
+  let roots = List.tl (Array.to_list Sys.argv) in
+  exit (Lint.Lint_driver.main roots)

@@ -49,9 +49,12 @@ let write_page t p =
   let block = p / t.pages_per_block in
   let base = block * t.pages_per_block in
   for i = 0 to t.pages_per_block - 1 do
-    if base + i <> p then
-      ignore
-        (Chip.read_sectors t.chip ~sector:(sector_of_page t (base + i)) ~count:t.sectors_per_page)
+    if base + i <> p then begin
+      let data =
+        Chip.read_sectors t.chip ~sector:(sector_of_page t (base + i)) ~count:t.sectors_per_page
+      in
+      assert (Bytes.length data = t.page_size)
+    end
   done;
   Chip.erase_block t.chip block;
   for i = 0 to t.pages_per_block - 1 do
@@ -61,7 +64,8 @@ let write_page t p =
 let read_page t p =
   if p < 0 || p >= t.num_pages then invalid_arg "Inplace_store: page out of range";
   t.page_reads <- t.page_reads + 1;
-  ignore (Chip.read_sectors t.chip ~sector:(sector_of_page t p) ~count:t.sectors_per_page)
+  let data = Chip.read_sectors t.chip ~sector:(sector_of_page t p) ~count:t.sectors_per_page in
+  assert (Bytes.length data = t.page_size)
 
 let stats t =
   {

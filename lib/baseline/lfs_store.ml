@@ -133,7 +133,10 @@ and collect t =
     let slot = (victim * t.pages_per_block) + i in
     let logical = t.reverse.(slot) in
     if logical >= 0 then begin
-      ignore (Chip.read_sectors t.chip ~sector:(phys_sector t slot) ~count:t.sectors_per_page);
+      (* The read is part of the GC copy cost; a short result would mean the
+         chip lied about the geometry, so check it instead of discarding. *)
+      let data = Chip.read_sectors t.chip ~sector:(phys_sector t slot) ~count:t.sectors_per_page in
+      assert (Bytes.length data = t.page_size);
       append t logical;
       t.gc_page_moves <- t.gc_page_moves + 1
     end
@@ -152,7 +155,9 @@ let read_page t p =
   t.page_reads <- t.page_reads + 1;
   match t.mapping.(p) with
   | -1 -> ()
-  | slot -> ignore (Chip.read_sectors t.chip ~sector:(phys_sector t slot) ~count:t.sectors_per_page)
+  | slot ->
+      let data = Chip.read_sectors t.chip ~sector:(phys_sector t slot) ~count:t.sectors_per_page in
+      assert (Bytes.length data = t.page_size)
 
 let format t =
   for p = 0 to t.num_pages - 1 do

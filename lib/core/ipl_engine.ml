@@ -213,7 +213,11 @@ let restore_frame t ~page frame =
     Bytes.blit (Page.to_bytes fresh) 0 (Page.to_bytes frame.page) 0
       (Bytes.length (Page.to_bytes fresh));
     List.iter (fun r -> ignore (Log_record.apply frame.page r)) (Log_sector.records frame.log)
-  with _ -> ()
+  with
+  | Chip.Power_loss _ | Chip.Read_error _ -> ()
+  | exn ->
+      Logs.warn (fun m ->
+          m "restore_frame: page %d re-read failed: %s" page (Printexc.to_string exn))
 
 let add_record t frame ~page record =
   match Log_sector.add frame.log record with

@@ -79,9 +79,9 @@ let mk ?(config = Ipl_config.default) chip ~first_block ~num_blocks ~txn_status 
     txn_status;
     meta;
     mapping = Hashtbl.create 4096;
-    data_eus = Hashtbl.create 512;
+    data_eus = Hashtbl.create 512 [@lint.allow "no-magic-geometry"] (* table capacity *);
     overflow_eus = Hashtbl.create 16;
-    free = Hashtbl.create 512;
+    free = Hashtbl.create 512 [@lint.allow "no-magic-geometry"] (* table capacity *);
     current_overflow = None;
     fill = None;
     next_page = 0;
@@ -448,11 +448,19 @@ let merge t eu ~pending =
       (* The region compacted mid-merge; rewrite it from the restored
          in-memory state (best-effort: on a dead chip restart recovery
          rebuilds from the durable crash state anyway). *)
-      (try Meta_log.recompact t.meta with _ -> ());
+      (try Meta_log.recompact t.meta with
+      | Chip.Power_loss _ | Chip.Worn_out _ -> ()
+      | exn ->
+          Logs.warn (fun m ->
+              m "merge rollback: meta-log recompaction failed: %s" (Printexc.to_string exn)));
     (try
        Chip.erase_block t.chip new_phys;
        Hashtbl.replace t.free new_phys ()
-     with _ -> ());
+     with
+    | Chip.Power_loss _ | Chip.Worn_out _ -> ()
+    | exn ->
+        Logs.warn (fun m ->
+            m "merge rollback: could not reclaim unit %d: %s" new_phys (Printexc.to_string exn)));
     raise e
 
 (* ------------------------------------------------------------------ *)

@@ -121,10 +121,12 @@ let rmw_block t ~lblock ~dirty_in_block =
     let p = (lblock * t.pages_per_block) + i in
     if is_live t p then begin
       if not (dirty_in_block i) then begin
-        ignore
-          (Chip.read_sectors t.chip
-             ~sector:(old_base + (i * sectors_per_db_page))
-             ~count:sectors_per_db_page);
+        let data =
+          Chip.read_sectors t.chip
+            ~sector:(old_base + (i * sectors_per_db_page))
+            ~count:sectors_per_db_page
+        in
+        assert (Bytes.length data = t.page_size);
         reads := !reads + ppdb
       end;
       Chip.write_sectors t.chip ~sector:(new_base + (i * sectors_per_db_page)) t.scratch;
@@ -232,10 +234,12 @@ let read_page t p =
     let lblock = p / t.pages_per_block in
     let base = Chip.sector_of_block t.chip t.map.(lblock) in
     let sectors_per_db_page = t.page_size / c.Config.sector_size in
-    ignore
-      (Chip.read_sectors t.chip
-         ~sector:(base + (p mod t.pages_per_block * sectors_per_db_page))
-         ~count:sectors_per_db_page);
+    let data =
+      Chip.read_sectors t.chip
+        ~sector:(base + (p mod t.pages_per_block * sectors_per_db_page))
+        ~count:sectors_per_db_page
+    in
+    assert (Bytes.length data = t.page_size);
     t.device_time <-
       t.device_time
       +. (float_of_int (phys_pages_per_db_page t)

@@ -1,0 +1,35 @@
+(** Rule registry and repo-specific tables: the layering diagram, geometry
+    literals, restricted flash entry points and file allowlists. *)
+
+type rule = { id : string; severity : Lint_finding.severity; doc : string }
+
+val rules : rule list
+val find_rule : string -> rule option
+val severity_of : string -> Lint_finding.severity
+
+val geometry_literals : int list
+val geometry_config_files : string list
+(** Basenames allowed to contain raw geometry literals. *)
+
+val flash_mutators : string list
+(** Flash_chip operations only the storage layers may call directly. *)
+
+val flash_ops : string list
+(** Flash_chip operations whose results must not be discarded. *)
+
+val chip_module_names : string list
+(** Module path components identifying the chip ([Chip], [Flash_chip]). *)
+
+val flash_call_allowed_dirs : string list
+val bytes_unsafe_allowed_files : string list
+
+type library = { dir : string; wrapper : string; allowed : string list }
+
+val libraries : library list
+(** The layering diagram: one entry per internal library with the wrapper
+    modules it may reference. *)
+
+val library_of_dir : string -> library option
+val wrapper_names : string list
+
+val mli_exempt_files : string list

@@ -1,0 +1,27 @@
+let lint_file ?(siblings = []) (f : Lint_source.file) =
+  let source = Lint_source.read_file f.Lint_source.path in
+  let r = Lint_walker.walk ~file:f.Lint_source.path source in
+  let layering =
+    Lint_deps.check_file ~siblings ~dir:f.Lint_source.dir ~file:f.Lint_source.path
+      r.Lint_walker.refs
+  in
+  Lint_walker.apply_suppressions r.Lint_walker.suppressions
+    (r.Lint_walker.findings @ layering)
+
+let run roots =
+  let files = Lint_source.scan roots in
+  let per_file =
+    List.concat_map (fun f -> lint_file ~siblings:(Lint_source.siblings files f.Lint_source.dir) f) files
+  in
+  List.sort_uniq
+    (fun a b ->
+      match Lint_finding.compare a b with
+      | 0 -> String.compare a.Lint_finding.message b.Lint_finding.message
+      | c -> c)
+    (per_file @ Lint_source.mli_coverage files)
+
+let main ?(ppf = Format.std_formatter) roots =
+  let roots = if roots = [] then [ "lib"; "bin"; "bench" ] else roots in
+  let findings = run roots in
+  Lint_finding.print_report ppf findings;
+  if Lint_finding.has_errors findings then 1 else 0

@@ -1,0 +1,31 @@
+type severity = Error | Warning
+
+type t = {
+  rule : string;
+  severity : severity;
+  file : string;
+  line : int;
+  message : string;
+}
+
+let make ~rule ~severity ~file ~line message = { rule; severity; file; line; message }
+
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> ( match Int.compare a.line b.line with 0 -> String.compare a.rule b.rule | c -> c)
+  | c -> c
+
+let severity_tag = function Error -> "error" | Warning -> "warning"
+
+let pp ppf t =
+  Format.fprintf ppf "%s:%d %s %s [%s]" t.file t.line t.rule t.message (severity_tag t.severity)
+
+let print_report ppf findings =
+  let findings = List.sort compare findings in
+  List.iter (fun f -> Format.fprintf ppf "%a@." pp f) findings;
+  let errors = List.length (List.filter (fun f -> f.severity = Error) findings) in
+  let warnings = List.length findings - errors in
+  if findings = [] then Format.fprintf ppf "ipl_lint: no findings@."
+  else Format.fprintf ppf "ipl_lint: %d error(s), %d warning(s)@." errors warnings
+
+let has_errors findings = List.exists (fun f -> f.severity = Error) findings

@@ -1,0 +1,23 @@
+(** Lint findings and the [file:line rule-id message] reporter. *)
+
+type severity = Error | Warning
+
+type t = {
+  rule : string;
+  severity : severity;
+  file : string;
+  line : int;
+  message : string;
+}
+
+val make : rule:string -> severity:severity -> file:string -> line:int -> string -> t
+
+val compare : t -> t -> int
+(** Order by file, then line, then rule id. *)
+
+val pp : Format.formatter -> t -> unit
+
+val print_report : Format.formatter -> t list -> unit
+(** Sorted findings, one per line, followed by a one-line summary. *)
+
+val has_errors : t list -> bool

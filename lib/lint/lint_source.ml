@@ -1,0 +1,83 @@
+type kind = Impl | Intf
+
+type file = { path : string; kind : kind; dir : string }
+
+let normalize path =
+  let path =
+    if String.length path > 2 && String.sub path 0 2 = "./" then
+      String.sub path 2 (String.length path - 2)
+    else path
+  in
+  (* Collapse any trailing '/' so "lib/" and "lib" classify alike. *)
+  if String.length path > 1 && path.[String.length path - 1] = '/' then
+    String.sub path 0 (String.length path - 1)
+  else path
+
+let kind_of_path path =
+  if Filename.check_suffix path ".ml" then Some Impl
+  else if Filename.check_suffix path ".mli" then Some Intf
+  else None
+
+let rec scan_dir acc dir =
+  let entries = try Sys.readdir dir with Sys_error _ -> [||] in
+  Array.sort String.compare entries;
+  Array.fold_left
+    (fun acc entry ->
+      if String.length entry > 0 && entry.[0] = '.' then acc (* _build object dirs etc. *)
+      else
+        let path = Filename.concat dir entry in
+        if Sys.is_directory path then scan_dir acc path
+        else
+          match kind_of_path path with
+          | Some kind -> { path; kind; dir } :: acc
+          | None -> acc)
+    acc entries
+
+let scan roots =
+  let roots = List.map normalize roots in
+  let files =
+    List.fold_left
+      (fun acc root ->
+        if not (Sys.file_exists root) then acc
+        else if Sys.is_directory root then scan_dir acc root
+        else
+          match kind_of_path root with
+          | Some kind -> { path = root; kind; dir = Filename.dirname root } :: acc
+          | None -> acc)
+      [] roots
+  in
+  List.sort (fun a b -> String.compare a.path b.path) files
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let module_name f =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename f.path))
+
+let siblings files dir =
+  List.filter_map (fun f -> if f.dir = dir then Some (module_name f) else None) files
+  |> List.sort_uniq String.compare
+
+let in_lib f =
+  String.length f.dir >= 4 && (String.sub f.dir 0 4 = "lib/" || f.dir = "lib")
+
+(* Every lib implementation must come with an interface. *)
+let mli_coverage files =
+  let intfs = Hashtbl.create 64 in
+  List.iter (fun f -> if f.kind = Intf then Hashtbl.replace intfs f.path ()) files;
+  List.filter_map
+    (fun f ->
+      if
+        f.kind = Impl && in_lib f
+        && (not (Hashtbl.mem intfs (f.path ^ "i")))
+        && not (List.mem f.path Lint_config.mli_exempt_files)
+      then
+        Some
+          (Lint_finding.make ~rule:"mli-coverage"
+             ~severity:(Lint_config.severity_of "mli-coverage") ~file:f.path ~line:1
+             (Printf.sprintf "missing interface %si" f.path))
+      else None)
+    files

@@ -1,0 +1,300 @@
+open Parsetree
+
+type ref_site = { head : string; line : int }
+
+type suppression = { rule : string; first_line : int; last_line : int }
+
+type result = {
+  findings : Lint_finding.t list;
+  refs : ref_site list;
+  suppressions : suppression list;
+}
+
+let line_of (loc : Location.t) = loc.loc_start.Lexing.pos_lnum
+let last_line_of (loc : Location.t) = loc.loc_end.Lexing.pos_lnum
+
+let rec flatten = function
+  | Longident.Lident s -> [ s ]
+  | Longident.Ldot (l, s) -> flatten l @ [ s ]
+  | Longident.Lapply (a, _) -> flatten a
+
+(* [@lint.allow "rule-id"] / [@lint.allow "a, b"]; a bare [@lint.allow]
+   suppresses every rule over the attributed node. *)
+let allow_rules_of_attr (attr : attribute) =
+  if attr.attr_name.txt <> "lint.allow" then []
+  else
+    match attr.attr_payload with
+    | PStr
+        [
+          {
+            pstr_desc =
+              Pstr_eval ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+            _;
+          };
+        ] ->
+        String.split_on_char ',' s |> List.map String.trim |> List.filter (fun r -> r <> "")
+    | _ -> [ "*" ]
+
+let dir_allows_flash_calls dir =
+  List.exists
+    (fun d -> d = dir || String.length dir > String.length d && String.sub dir 0 (String.length d + 1) = d ^ "/")
+    Lint_config.flash_call_allowed_dirs
+
+let walk ~file source =
+  let findings = ref [] in
+  let refs = ref [] in
+  let suppressions = ref [] in
+  let add_finding ~rule ~line msg =
+    findings :=
+      Lint_finding.make ~rule ~severity:(Lint_config.severity_of rule) ~file ~line msg
+      :: !findings
+  in
+  let note_lid lid loc =
+    match flatten lid with
+    | head :: _ :: _ when head <> "" && head.[0] >= 'A' && head.[0] <= 'Z' ->
+        refs := { head; line = line_of loc } :: !refs
+    | _ -> ()
+  in
+  let note_suppress attrs (loc : Location.t) =
+    List.iter
+      (fun attr ->
+        List.iter
+          (fun rule ->
+            suppressions :=
+              { rule; first_line = line_of loc; last_line = last_line_of loc } :: !suppressions)
+          (allow_rules_of_attr attr))
+      attrs
+  in
+  let basename = Filename.basename file in
+  let dir = Filename.dirname file in
+
+  (* ---- rule helpers ------------------------------------------------ *)
+  let check_geometry s loc =
+    match int_of_string_opt s with
+    | Some n
+      when List.mem n Lint_config.geometry_literals
+           && not (List.mem basename Lint_config.geometry_config_files) ->
+        add_finding ~rule:"no-magic-geometry" ~line:(line_of loc)
+          (Printf.sprintf
+             "raw geometry literal %d; derive it from Flash_config/Ipl_config/Disk_config" n)
+    | _ -> ()
+  in
+  let check_banned_ident lid loc =
+    match flatten lid with
+    | [ "Obj"; "magic" ] ->
+        add_finding ~rule:"banned-construct" ~line:(line_of loc) "Obj.magic is forbidden"
+    | [ "Bytes"; fn ]
+      when String.length fn > 7
+           && String.sub fn 0 7 = "unsafe_"
+           && not (List.mem file Lint_config.bytes_unsafe_allowed_files) ->
+        add_finding ~rule:"banned-construct" ~line:(line_of loc)
+          (Printf.sprintf "Bytes.%s outside lib/util/byte_arena.ml" fn)
+    | _ -> ()
+  in
+  let fn_lid e = match e.pexp_desc with Pexp_ident l -> Some l.txt | _ -> None in
+  let flash_op_app ops e =
+    match e.pexp_desc with
+    | Pexp_apply (fn, _) -> (
+        match fn_lid fn with
+        | Some lid -> (
+            match List.rev (flatten lid) with
+            | op :: m :: _ when List.mem op ops && List.mem m Lint_config.chip_module_names ->
+                Some op
+            | _ -> None)
+        | None -> None)
+    | _ -> None
+  in
+  (* Only Bytes operations that return a fresh bytes value: comparing their
+     result polymorphically compares contents structurally. Int/char-returning
+     accessors (length, get, get_uint8, ...) compare scalars and are fine. *)
+  let bytes_returning =
+    [ "sub"; "create"; "make"; "copy"; "cat"; "concat"; "of_string"; "init"; "extend"; "map"; "mapi" ]
+  in
+  let is_bytes_app e =
+    match e.pexp_desc with
+    | Pexp_apply (fn, _) -> (
+        match fn_lid fn with
+        | Some lid -> (
+            match flatten lid with
+            | [ "Bytes"; op ] -> List.mem op bytes_returning
+            | _ -> false)
+        | None -> false)
+    | _ -> false
+  in
+  let check_apply e =
+    (match e.pexp_desc with
+    | Pexp_apply
+        ({ pexp_desc = Pexp_ident { txt = Longident.Lident "ignore"; _ }; _ }, [ (_, arg) ]) -> (
+        match flash_op_app Lint_config.flash_ops arg with
+        | Some op ->
+            add_finding ~rule:"no-ignored-flash-result" ~line:(line_of e.pexp_loc)
+              (Printf.sprintf "result of Chip.%s discarded with ignore; bind and check it" op)
+        | None -> ())
+    | _ -> ());
+    (match flash_op_app Lint_config.flash_mutators e with
+    | Some op when not (dir_allows_flash_calls dir) ->
+        add_finding ~rule:"flash-call" ~line:(line_of e.pexp_loc)
+          (Printf.sprintf
+             "direct call to Chip.%s outside the storage layers (lib/core, lib/baseline, lib/ftl)"
+             op)
+    | _ -> ());
+    match e.pexp_desc with
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt = cmp; _ }; _ }, args)
+      when (match cmp with
+           | Longident.Lident ("=" | "<>" | "compare") -> true
+           | Longident.Ldot (Longident.Lident "Stdlib", ("=" | "<>" | "compare")) -> true
+           | _ -> false)
+           && List.exists (fun (_, a) -> is_bytes_app a) args ->
+        add_finding ~rule:"banned-construct" ~line:(line_of e.pexp_loc)
+          "polymorphic compare on a Bytes value; use Bytes.equal / Bytes.compare"
+    | _ -> ()
+  in
+  let rec catch_all p =
+    match p.ppat_desc with
+    | Ppat_any -> Some None
+    | Ppat_var v -> Some (Some v.txt)
+    | Ppat_alias (inner, v) -> (
+        match catch_all inner with Some _ -> Some (Some v.txt) | None -> None)
+    | Ppat_or (a, b) -> ( match catch_all a with Some r -> Some r | None -> catch_all b)
+    | Ppat_constraint (inner, _) -> catch_all inner
+    | _ -> None
+  in
+  let uses_var name e =
+    let found = ref false in
+    let it =
+      {
+        Ast_iterator.default_iterator with
+        expr =
+          (fun self ex ->
+            (match ex.pexp_desc with
+            | Pexp_ident { txt = Longident.Lident n; _ } when n = name -> found := true
+            | _ -> ());
+            Ast_iterator.default_iterator.expr self ex);
+      }
+    in
+    it.expr it e;
+    !found
+  in
+  let check_try_case c =
+    if c.pc_guard = None then
+      match catch_all c.pc_lhs with
+      | Some name ->
+          let discards =
+            match name with None -> true | Some n -> not (uses_var n c.pc_rhs)
+          in
+          if discards then
+            add_finding ~rule:"no-silent-swallow" ~line:(line_of c.pc_lhs.ppat_loc)
+              "catch-all exception handler discards the exception; narrow it or report via \
+               Logs.warn"
+      | None -> ()
+  in
+
+  (* ---- iterator ---------------------------------------------------- *)
+  let default = Ast_iterator.default_iterator in
+  let iterator =
+    {
+      default with
+      expr =
+        (fun self e ->
+          note_suppress e.pexp_attributes e.pexp_loc;
+          (match e.pexp_desc with
+          | Pexp_ident lid ->
+              note_lid lid.txt lid.loc;
+              check_banned_ident lid.txt lid.loc
+          | Pexp_construct (lid, _) -> note_lid lid.txt lid.loc
+          | Pexp_field (_, lid) -> note_lid lid.txt lid.loc
+          | Pexp_setfield (_, lid, _) -> note_lid lid.txt lid.loc
+          | Pexp_record (fields, _) ->
+              List.iter (fun (lid, _) -> note_lid lid.Location.txt lid.Location.loc) fields
+          | Pexp_constant (Pconst_integer (s, None)) -> check_geometry s e.pexp_loc
+          | Pexp_try (_, cases) -> List.iter check_try_case cases
+          | Pexp_apply _ -> check_apply e
+          | _ -> ());
+          default.expr self e);
+      pat =
+        (fun self p ->
+          note_suppress p.ppat_attributes p.ppat_loc;
+          (match p.ppat_desc with
+          | Ppat_construct (lid, _) -> note_lid lid.txt lid.loc
+          | Ppat_record (fields, _) ->
+              List.iter (fun (lid, _) -> note_lid lid.Location.txt lid.Location.loc) fields
+          | _ -> ());
+          default.pat self p);
+      typ =
+        (fun self t ->
+          (match t.ptyp_desc with
+          | Ptyp_constr (lid, _) | Ptyp_class (lid, _) -> note_lid lid.txt lid.loc
+          | _ -> ());
+          default.typ self t);
+      module_expr =
+        (fun self m ->
+          note_suppress m.pmod_attributes m.pmod_loc;
+          (match m.pmod_desc with Pmod_ident lid -> note_lid lid.txt lid.loc | _ -> ());
+          default.module_expr self m);
+      module_type =
+        (fun self m ->
+          (match m.pmty_desc with
+          | Pmty_ident lid | Pmty_alias lid -> note_lid lid.txt lid.loc
+          | _ -> ());
+          default.module_type self m);
+      value_binding =
+        (fun self vb ->
+          note_suppress vb.pvb_attributes vb.pvb_loc;
+          (match vb.pvb_pat.ppat_desc with
+          | Ppat_any -> (
+              match flash_op_app Lint_config.flash_ops vb.pvb_expr with
+              | Some op ->
+                  add_finding ~rule:"no-ignored-flash-result" ~line:(line_of vb.pvb_loc)
+                    (Printf.sprintf "result of Chip.%s discarded with 'let _'; bind and check it"
+                       op)
+              | None -> ())
+          | _ -> ());
+          default.value_binding self vb);
+      module_binding =
+        (fun self mb ->
+          note_suppress mb.pmb_attributes mb.pmb_loc;
+          default.module_binding self mb);
+      structure_item =
+        (fun self si ->
+          (match si.pstr_desc with
+          | Pstr_attribute attr ->
+              (* [@@@lint.allow "rule"] suppresses for the whole file. *)
+              List.iter
+                (fun rule ->
+                  suppressions := { rule; first_line = 1; last_line = max_int } :: !suppressions)
+                (allow_rules_of_attr attr)
+          | _ -> ());
+          default.structure_item self si);
+      signature_item =
+        (fun self si ->
+          (match si.psig_desc with
+          | Psig_attribute attr ->
+              List.iter
+                (fun rule ->
+                  suppressions := { rule; first_line = 1; last_line = max_int } :: !suppressions)
+                (allow_rules_of_attr attr)
+          | _ -> ());
+          default.signature_item self si);
+    }
+  in
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf file;
+  (try
+     if Filename.check_suffix file ".mli" then
+       iterator.signature iterator (Parse.interface lexbuf)
+     else iterator.structure iterator (Parse.implementation lexbuf)
+   with exn ->
+     add_finding ~rule:"parse-error" ~line:(line_of (Location.curr lexbuf))
+       (Printexc.to_string exn));
+  { findings = !findings; refs = !refs; suppressions = !suppressions }
+
+let suppressed suppressions (f : Lint_finding.t) =
+  List.exists
+    (fun s ->
+      (s.rule = "*" || s.rule = f.Lint_finding.rule)
+      && f.Lint_finding.line >= s.first_line
+      && f.Lint_finding.line <= s.last_line)
+    suppressions
+
+let apply_suppressions suppressions findings =
+  List.filter (fun f -> not (suppressed suppressions f)) findings

@@ -1,0 +1,26 @@
+(** Parsetree pass: parses one .ml/.mli and runs the per-AST rules
+    (no-silent-swallow, no-ignored-flash-result, no-magic-geometry,
+    banned-construct, flash-call), while collecting the qualified module
+    references the dependency checker consumes and the spans covered by
+    [@lint.allow] suppressions. *)
+
+type ref_site = { head : string; line : int }
+(** A qualified reference [Head.rest...] at [line]. *)
+
+type suppression = { rule : string; first_line : int; last_line : int }
+(** [@lint.allow "rule"] over a node spanning the given lines; rule ["*"]
+    (a bare [@lint.allow]) suppresses every rule. *)
+
+type result = {
+  findings : Lint_finding.t list;  (** raw, before suppression *)
+  refs : ref_site list;
+  suppressions : suppression list;
+}
+
+val walk : file:string -> string -> result
+(** Parse [source] (interface when [file] ends in .mli, implementation
+    otherwise) and run the AST rules. Parse failures yield a single
+    [parse-error] finding. The geometry, Bytes.unsafe and flash-call
+    allowlists are keyed on [file]. *)
+
+val apply_suppressions : suppression list -> Lint_finding.t list -> Lint_finding.t list

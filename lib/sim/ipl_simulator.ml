@@ -9,12 +9,17 @@ type params = {
   flush_empty_on_evict : bool;
 }
 
+(* The paper's 128 KB / 8 KB / 512 B geometry, taken from the same config
+   modules the storage manager runs on so a chip-config change moves the
+   simulator with it. *)
 let default_params =
+  let fc = Flash_sim.Flash_config.default () in
+  let ic = Ipl_core.Ipl_config.default in
   {
-    eu_size = 128 * 1024;
-    page_size = 8192;
-    sector_size = 512;
-    log_region = 8192;
+    eu_size = fc.Flash_sim.Flash_config.block_size;
+    page_size = ic.Ipl_core.Ipl_config.page_size;
+    sector_size = fc.Flash_sim.Flash_config.sector_size;
+    log_region = ic.Ipl_core.Ipl_config.log_region_bytes;
     fill_policy = `Bytes;
     flush_empty_on_evict = false;
   }

@@ -5,7 +5,9 @@ type point = {
   db_size : int;
 }
 
-let default_regions = List.init 8 (fun i -> (i + 1) * 8192)
+(* 8KB..64KB in one-log-region steps (Figure 5's x-axis). *)
+let region_step = Ipl_core.Ipl_config.default.Ipl_core.Ipl_config.log_region_bytes
+let default_regions = List.init 8 (fun i -> (i + 1) * region_step)
 
 let log_region_sweep ?model ?(regions = default_regions) trace =
   List.map
@@ -32,7 +34,7 @@ type buffer_point = {
   t_conv_by_alpha : (float * float) list;
 }
 
-let buffer_series ?model ?(log_region = 8192) ?(alphas = [ 0.9; 0.5 ]) traces =
+let buffer_series ?model ?(log_region = region_step) ?(alphas = [ 0.9; 0.5 ]) traces =
   List.map
     (fun (label, trace) ->
       let params = { Ipl_simulator.default_params with Ipl_simulator.log_region } in

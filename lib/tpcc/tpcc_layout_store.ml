@@ -50,7 +50,8 @@ let update_range_log_size dlen = 11 + 4 + (2 * dlen)
 let update_full_log_size before after = 11 + 4 + before + after
 let index_entry_log_size = 11 + 2 + 16 (* 16-byte (key, rowid) entries *)
 
-let create ?(page_size = 8192) ~buffer_bytes ~name () =
+let create ?(page_size = Ipl_core.Ipl_config.default.Ipl_core.Ipl_config.page_size) ~buffer_bytes
+    ~name () =
   let capacity = max 1 (buffer_bytes / page_size) in
   let builder = Trace.builder ~name ~db_pages:0 in
   let rec t =

@@ -26,6 +26,18 @@ let table_name = function
   | Item -> "item"
   | Stock -> "stock"
 
+(* c_data is the longest mutable string: a full-field rewrite logs a
+   before+after image, and both must fit one flash log sector together
+   with the record framing. Checked against the real chip geometry
+   instead of assuming 512. *)
+let c_data_cap = 200
+
+let () =
+  let sector =
+    (Flash_sim.Flash_config.default ()).Flash_sim.Flash_config.sector_size
+  in
+  assert (2 * c_data_cap < sector)
+
 let districts_per_warehouse = 10
 let customers_per_district = 3000
 let items = 100_000
@@ -107,7 +119,7 @@ let customer_row rng ~w ~d ~c =
       (* c_payment_cnt *)
       I 0;
       (* c_delivery_cnt *)
-      S (Rng.alpha_string rng ~min:50 ~max:200) (* c_data, capped *);
+      S (Rng.alpha_string rng ~min:50 ~max:c_data_cap) (* c_data, capped *);
     ]
 
 let history_row rng ~w ~d ~c ~amount =
@@ -158,7 +170,7 @@ let item_row rng ~i =
 (* The four mutable stock counters sit together right after the key
    columns: a New-Order stock update then patches one small contiguous
    byte range instead of a range spanning the ten 24-byte district-info
-   strings (which would not fit a 512-byte log sector). *)
+   strings (which would not fit a log sector; see [c_data_cap]). *)
 let stock_row rng ~w ~i =
   [
     I i;

@@ -1,0 +1,35 @@
+(** The storage interface the TPC-C transactions run against.
+
+    Two implementations exist: {!Tpcc_engine_store} executes everything on
+    the real IPL engine (rows in slotted pages, one B+-tree per table),
+    and {!Tpcc_layout_store} is the logical model used to generate the
+    paper's 1 GB reference traces without materialising a 1 GB database. *)
+
+module type S = sig
+  type t
+
+  val begin_txn : t -> int
+  val commit : t -> int -> unit
+  val abort : t -> int -> unit
+
+  val insert : t -> tx:int -> Tpcc_schema.table -> key:int -> Storage.Record.t -> unit
+  (** [key] must be fresh in the table. *)
+
+  val lookup : t -> Tpcc_schema.table -> key:int -> Storage.Record.t option
+
+  val update :
+    t -> tx:int -> Tpcc_schema.table -> key:int -> (Storage.Record.t -> Storage.Record.t) -> bool
+  (** Returns false when the key is absent. *)
+
+  val delete : t -> tx:int -> Tpcc_schema.table -> key:int -> bool
+
+  val next_key_ge : t -> Tpcc_schema.table -> key:int -> int option
+  (** Smallest key [>=] the argument (used by Delivery to pick the oldest
+      undelivered order). *)
+
+  val customer_by_last_name : t -> w:int -> d:int -> last:string -> (int * Storage.Record.t) option
+  (** Clause 2.5.2.2: the position [ceil(n/2)] customer (by customer
+      number) among those of the district sharing the last name, with its
+      row; [None] if the name has no match. Served from a secondary
+      index. *)
+end

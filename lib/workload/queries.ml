@@ -16,7 +16,7 @@ let name = function
 let is_write = function Q1 | Q2 | Q3 -> false | Q4 | Q5 | Q6 -> true
 
 let table_pages = 64_000
-let page_size = 8192
+let page_size = Ipl_core.Ipl_config.default.Ipl_core.Ipl_config.page_size
 
 (* Stride pattern: 0, s, 2s, ..., then 1, s+1, ... — every page once. *)
 let stride_pattern s =
@@ -60,8 +60,9 @@ let run_on_disk ?config q =
 
 let run_on_flash ?config q =
   (* 4 000 blocks hold the table; leave spares for the FTL. *)
-  let blocks = (table_pages * page_size / (128 * 1024)) + 16 in
-  let chip = Chip.create (FConfig.default ~num_blocks:blocks ~materialize:false ()) in
+  let base = FConfig.default ~materialize:false () in
+  let blocks = (table_pages * page_size / base.FConfig.block_size) + 16 in
+  let chip = Chip.create { base with FConfig.num_blocks = blocks } in
   let ftl = Ftl.Block_ftl.create ?config chip ~page_size in
   Ftl.Block_ftl.format ftl;
   run q (Ftl.Block_ftl.device ftl)

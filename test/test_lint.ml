@@ -1,0 +1,208 @@
+(* ipl_lint: one fixture per rule family (a violating snippet and a clean
+   one), the [@lint.allow] suppression mechanism, and the dependency-graph
+   checker fed fabricated cross-layer edges. *)
+
+module Walker = Lint.Lint_walker
+module Deps = Lint.Lint_deps
+module Source = Lint.Lint_source
+module Finding = Lint.Lint_finding
+
+(* Walk an in-memory snippet as if it lived at [file], suppressions applied
+   — exactly what the driver does minus the dependency pass. *)
+let walk ~file src =
+  let r = Walker.walk ~file src in
+  Walker.apply_suppressions r.Walker.suppressions r.Walker.findings
+
+let ids findings =
+  List.sort compare (List.map (fun f -> (f.Finding.rule, f.Finding.line)) findings)
+
+let check_findings msg expected findings =
+  Alcotest.(check (list (pair string int))) msg (List.sort compare expected) (ids findings)
+
+(* ---- no-silent-swallow ---------------------------------------------- *)
+
+let test_swallow () =
+  check_findings "wildcard handler"
+    [ ("no-silent-swallow", 1) ]
+    (walk ~file:"lib/core/fake.ml" "let f g = try g () with _ -> ()\n");
+  check_findings "named-but-unused exception"
+    [ ("no-silent-swallow", 2) ]
+    (walk ~file:"lib/core/fake.ml" "let f g =\n  try g () with e -> ()\n");
+  check_findings "specific exception is fine" []
+    (walk ~file:"lib/core/fake.ml" "let f g = try g () with Not_found -> ()\n");
+  check_findings "re-raised exception is fine" []
+    (walk ~file:"lib/core/fake.ml" "let f g = try g () with e -> raise e\n");
+  check_findings "or-pattern ending in wildcard"
+    [ ("no-silent-swallow", 1) ]
+    (walk ~file:"lib/core/fake.ml" "let f g = try g () with Not_found | _ -> ()\n")
+
+(* ---- no-ignored-flash-result ---------------------------------------- *)
+
+let test_ignored_flash () =
+  check_findings "ignore (Chip.read_sectors ...)"
+    [ ("no-ignored-flash-result", 1) ]
+    (walk ~file:"lib/core/fake.ml" "let f chip = ignore (Chip.read_sectors chip ~sector:0 8)\n");
+  check_findings "let _ = Chip.read_sectors ..."
+    [ ("no-ignored-flash-result", 1) ]
+    (walk ~file:"lib/core/fake.ml"
+       "let f chip = let _ = Chip.read_sectors chip ~sector:0 8 in ()\n");
+  check_findings "bound and checked result is fine" []
+    (walk ~file:"lib/core/fake.ml"
+       "let f chip =\n\
+        \  let data = Chip.read_sectors chip ~sector:0 8 in\n\
+        \  Bytes.length data\n");
+  check_findings "ignore of a non-flash call is fine" []
+    (walk ~file:"lib/core/fake.ml" "let f x = ignore (List.length x)\n")
+
+(* ---- no-magic-geometry ----------------------------------------------- *)
+
+let test_geometry () =
+  check_findings "page and sector literals"
+    [ ("no-magic-geometry", 1); ("no-magic-geometry", 2) ]
+    (walk ~file:"lib/core/fake.ml" "let page_size = 8192\nlet sector = 512\n");
+  check_findings "block-size literal"
+    [ ("no-magic-geometry", 1) ]
+    (walk ~file:"lib/sim/fake.ml" "let eu = 131072\n");
+  check_findings "config modules may define geometry" []
+    (walk ~file:"lib/core/ipl_config.ml" "let page_size = 8192\n");
+  check_findings "non-geometry literals are fine" []
+    (walk ~file:"lib/core/fake.ml" "let a = 4096\nlet b = 100\n")
+
+(* ---- flash-call ------------------------------------------------------- *)
+
+let test_flash_call () =
+  check_findings "write outside the storage layers"
+    [ ("flash-call", 1) ]
+    (walk ~file:"lib/workload/fake.ml" "let f chip s = Chip.write_sectors chip ~sector:0 s\n");
+  check_findings "erase outside the storage layers"
+    [ ("flash-call", 1) ]
+    (walk ~file:"lib/tpcc/fake.ml" "let f chip = Flash_chip.erase_block chip 0\n");
+  check_findings "storage layers may program the chip" []
+    (walk ~file:"lib/core/fake.ml" "let f chip s = Chip.write_sectors chip ~sector:0 s\n");
+  check_findings "reads are allowed anywhere" []
+    (walk ~file:"lib/workload/fake.ml"
+       "let f chip = Bytes.length (Chip.read_sectors chip ~sector:0 1)\n")
+
+(* ---- banned-construct ------------------------------------------------- *)
+
+let test_banned () =
+  check_findings "Obj.magic"
+    [ ("banned-construct", 1) ]
+    (walk ~file:"lib/util/fake.ml" "let f x = Obj.magic x\n");
+  check_findings "Bytes.unsafe_get outside the arena"
+    [ ("banned-construct", 1) ]
+    (walk ~file:"lib/storage/fake.ml" "let f b = Bytes.unsafe_get b 0\n");
+  check_findings "Bytes.unsafe_* inside byte_arena.ml" []
+    (walk ~file:"lib/util/byte_arena.ml" "let f b = Bytes.unsafe_get b 0\n");
+  check_findings "polymorphic compare on a bytes value"
+    [ ("banned-construct", 1) ]
+    (walk ~file:"lib/core/fake.ml" "let f a b = Bytes.sub a 0 4 = b\n");
+  check_findings "scalar bytes accessors compare fine" []
+    (walk ~file:"lib/core/fake.ml" "let f a n = Bytes.length a = n\n");
+  check_findings "Bytes.equal is the blessed form" []
+    (walk ~file:"lib/core/fake.ml" "let f a b = Bytes.equal (Bytes.sub a 0 4) b\n")
+
+(* ---- suppressions ----------------------------------------------------- *)
+
+let test_suppression () =
+  check_findings "[@lint.allow rule] silences that rule" []
+    (walk ~file:"lib/core/fake.ml"
+       "let cap = 8192 [@lint.allow \"no-magic-geometry\"]\n");
+  check_findings "a different rule id does not silence it"
+    [ ("no-magic-geometry", 1) ]
+    (walk ~file:"lib/core/fake.ml" "let cap = 8192 [@lint.allow \"flash-call\"]\n");
+  check_findings "bare [@lint.allow] silences everything on the node" []
+    (walk ~file:"lib/core/fake.ml" "let f g = (try g () with _ -> ()) [@lint.allow]\n");
+  check_findings "suppression is scoped to the attributed node's lines"
+    [ ("no-magic-geometry", 2) ]
+    (walk ~file:"lib/core/fake.ml"
+       "let a = 8192 [@lint.allow \"no-magic-geometry\"]\nlet b = 8192\n");
+  check_findings "[@@@lint.allow] covers the whole file" []
+    (walk ~file:"lib/core/fake.ml"
+       "[@@@lint.allow \"no-magic-geometry\"]\nlet a = 8192\nlet b = 131072\n")
+
+(* ---- layering (dependency graph) -------------------------------------- *)
+
+let dep_findings ?(siblings = []) ~dir ~file src =
+  let r = Walker.walk ~file src in
+  Deps.check_file ~siblings ~dir ~file r.Walker.refs
+
+let test_layering () =
+  check_findings "fabricated util -> core edge is rejected"
+    [ ("layering", 1) ]
+    (dep_findings ~dir:"lib/util" ~file:"lib/util/fake.ml"
+       "let x = Ipl_core.Ipl_config.default\n");
+  check_findings "flash may not reach back into the engine"
+    [ ("layering", 2) ]
+    (dep_findings ~dir:"lib/flash" ~file:"lib/flash/fake.ml"
+       "let a = 1\nlet x = Ipl_core.Ipl_config.default\n");
+  check_findings "core -> flash is a whitelisted edge" []
+    (dep_findings ~dir:"lib/core" ~file:"lib/core/fake.ml"
+       "let mk () = Flash_sim.Flash_chip.create (Flash_sim.Flash_config.default ())\n");
+  check_findings "unregistered lib directory must be added to the table"
+    [ ("layering", 1) ]
+    (dep_findings ~dir:"lib/zzz" ~file:"lib/zzz/fake.ml" "let x = 1\n");
+  check_findings "bin may use every library" []
+    (dep_findings ~dir:"bin" ~file:"bin/fake.ml" "let x = Ipl_core.Ipl_config.default\n");
+  check_findings "a sibling module shadows a like-named wrapper"
+    [] (* Fault.Workload, not the workload library *)
+    (dep_findings ~siblings:[ "Workload" ] ~dir:"lib/fault" ~file:"lib/fault/fake.ml"
+       "let x = Workload.step ()\n");
+  check_findings "without the sibling the same reference is an edge"
+    [ ("layering", 1) ]
+    (dep_findings ~dir:"lib/fault" ~file:"lib/fault/fake.ml" "let x = Workload.step ()\n")
+
+(* ---- mli-coverage ------------------------------------------------------ *)
+
+let file path kind dir = { Source.path; kind; dir }
+
+let test_mli_coverage () =
+  check_findings "lib implementation without an interface"
+    [ ("mli-coverage", 1) ]
+    (Source.mli_coverage [ file "lib/x/a.ml" Source.Impl "lib/x" ]);
+  check_findings "matching .mli satisfies the rule" []
+    (Source.mli_coverage
+       [ file "lib/x/a.ml" Source.Impl "lib/x"; file "lib/x/a.mli" Source.Intf "lib/x" ]);
+  check_findings "executables are exempt" []
+    (Source.mli_coverage [ file "bin/a.ml" Source.Impl "bin" ])
+
+(* ---- parse errors ------------------------------------------------------ *)
+
+let test_parse_error () =
+  match walk ~file:"lib/core/fake.ml" "let = = =\n" with
+  | [ f ] -> Alcotest.(check string) "rule id" "parse-error" f.Finding.rule
+  | fs -> Alcotest.failf "expected one parse-error finding, got %d" (List.length fs)
+
+(* ---- reporter ---------------------------------------------------------- *)
+
+let test_report_format () =
+  let f =
+    Finding.make ~rule:"no-magic-geometry" ~severity:Finding.Error ~file:"lib/core/fake.ml"
+      ~line:7 "raw geometry literal 8192"
+  in
+  Alcotest.(check string)
+    "file:line rule-id message" "lib/core/fake.ml:7 no-magic-geometry raw geometry literal 8192 [error]"
+    (Format.asprintf "%a" Finding.pp f);
+  Alcotest.(check bool) "error findings gate the exit code" true (Finding.has_errors [ f ])
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "no-silent-swallow" `Quick test_swallow;
+          Alcotest.test_case "no-ignored-flash-result" `Quick test_ignored_flash;
+          Alcotest.test_case "no-magic-geometry" `Quick test_geometry;
+          Alcotest.test_case "flash-call" `Quick test_flash_call;
+          Alcotest.test_case "banned-construct" `Quick test_banned;
+          Alcotest.test_case "parse-error" `Quick test_parse_error;
+        ] );
+      ( "suppressions",
+        [ Alcotest.test_case "lint.allow attribute" `Quick test_suppression ] );
+      ( "layering",
+        [
+          Alcotest.test_case "dependency graph" `Quick test_layering;
+          Alcotest.test_case "mli coverage" `Quick test_mli_coverage;
+        ] );
+      ( "reporting", [ Alcotest.test_case "finding format" `Quick test_report_format ] );
+    ]
