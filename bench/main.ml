@@ -389,13 +389,13 @@ let ablation_wear () =
     let page = Engine.allocate_page engine in
     (match Engine.insert engine ~tx:0 ~page (Bytes.make 64 'x') with
     | Ok _ -> ()
-    | Error e -> failwith e);
+    | Error e -> failwith (Engine.error_to_string e));
     for i = 1 to 30_000 do
       match
         Engine.update engine ~tx:0 ~page ~slot:0 (Bytes.of_string (Printf.sprintf "%064d" i))
       with
       | Ok () -> ()
-      | Error e -> failwith e
+      | Error e -> failwith (Engine.error_to_string e)
     done;
     Engine.checkpoint engine;
     let wear = Chip.erase_counts chip in
@@ -455,7 +455,7 @@ let ablation_read_amplification () =
   let page = Engine.allocate_page engine in
   (match Engine.insert engine ~tx:0 ~page (Bytes.make 64 'r') with
   | Ok _ -> ()
-  | Error e -> failwith e);
+  | Error e -> failwith (Engine.error_to_string e));
   Engine.checkpoint engine;
   let store = Engine.storage engine in
   Printf.printf "  %-18s %14s %16s\n" "log sectors used" "read cost" "vs clean page";
@@ -525,7 +525,7 @@ let ablation_background_merge () =
       (fun page ->
         match Engine.insert engine ~tx:0 ~page (Bytes.make 32 'x') with
         | Ok _ -> ()
-        | Error e -> failwith e)
+        | Error e -> failwith (Engine.error_to_string e))
       pages;
     Engine.checkpoint engine;
     let worst = ref 0.0 and total0 = ref (Chip.elapsed chip) in
@@ -537,7 +537,7 @@ let ablation_background_merge () =
          Engine.update engine ~tx:0 ~page ~slot:0 (Bytes.of_string (Printf.sprintf "%032d" i))
        with
       | Ok () -> ()
-      | Error e -> failwith e);
+      | Error e -> failwith (Engine.error_to_string e));
       worst := Float.max !worst (Chip.elapsed chip -. before);
       (* An idle moment every [compact_every] operations. *)
       if compact_every > 0 && i mod compact_every = 0 then
@@ -573,7 +573,7 @@ let ablation_selective_merge_threshold () =
       let page = Engine.allocate_page engine in
       (match Engine.insert engine ~tx:0 ~page (Bytes.make 16 'v') with
       | Ok _ -> ()
-      | Error e -> failwith e);
+      | Error e -> failwith (Engine.error_to_string e));
       Engine.checkpoint engine;
       let tx = Engine.begin_txn engine in
       for i = 1 to 2_000 do
@@ -581,7 +581,7 @@ let ablation_selective_merge_threshold () =
           Engine.update engine ~tx ~page ~slot:0 (Bytes.of_string (Printf.sprintf "%016d" i))
         with
         | Ok () -> ()
-        | Error e -> failwith e
+        | Error e -> failwith (Engine.error_to_string e)
       done;
       Engine.commit engine tx;
       let s = (Engine.stats engine).Engine.storage in
@@ -589,6 +589,42 @@ let ablation_selective_merge_threshold () =
         "  tau %4.2f: %5d merges, %5d diversions to overflow, %6d records carried over\n" tau
         s.Store.merges s.Store.overflow_diversions s.Store.records_carried_over)
     [ 0.0; 0.25; 0.5; 0.75; 1.0 ]
+
+(* ------------------------------------------------------------------ *)
+(* Instrumented backend comparison → BENCH_ipl.json                    *)
+
+let obs_bench_export () =
+  section "Instrumented backend comparison (lib/obs)";
+  let spec = if quick then Workload.Obs_bench.quick else Workload.Obs_bench.default in
+  let r = Workload.Obs_bench.run ~spec () in
+  let tracer = r.Workload.Obs_bench.tracer in
+  note "workload: %d transactions; trace: %d events (%d dropped)"
+    spec.Workload.Obs_bench.transactions
+    (Obs.Tracer.emitted tracer) (Obs.Tracer.dropped tracer);
+  note "storage: %d log flushes, %d merges, %d overflow diversions"
+    (Obs.Tracer.count_kind tracer "log_flush")
+    (Obs.Tracer.count_kind tracer "merge")
+    (Obs.Tracer.count_kind tracer "overflow_diversion");
+  (match Ipl_util.Json.member "backends" r.Workload.Obs_bench.json with
+  | Some (Ipl_util.Json.List backends) ->
+      List.iter
+        (fun b ->
+          let name =
+            match Ipl_util.Json.member "name" b with
+            | Some (Ipl_util.Json.String s) -> s
+            | _ -> "?"
+          in
+          let elapsed =
+            match Option.bind (Ipl_util.Json.member "flash" b) (Ipl_util.Json.member "elapsed_s") with
+            | Some (Ipl_util.Json.Float f) -> f
+            | Some (Ipl_util.Json.Int n) -> float_of_int n
+            | _ -> Float.nan
+          in
+          note "%-8s flash time %.4f s" name elapsed)
+        backends
+  | _ -> ());
+  Workload.Obs_bench.write_json "BENCH_ipl.json" r;
+  note "wrote BENCH_ipl.json (schema %s)" Workload.Obs_bench.schema_version
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
@@ -648,7 +684,7 @@ let micro () =
     let page = Engine.allocate_page engine in
     (match Engine.insert engine ~tx:0 ~page (Bytes.make 64 'x') with
     | Ok _ -> ()
-    | Error e -> failwith e);
+    | Error e -> failwith (Engine.error_to_string e));
     let i = ref 0 in
     Test.make ~name:"engine/update (tables 4-5)"
       (Staged.stage (fun () ->
@@ -658,7 +694,7 @@ let micro () =
                (Bytes.of_string (Printf.sprintf "%064d" !i))
            with
            | Ok () -> ()
-           | Error e -> failwith e))
+           | Error e -> failwith (Engine.error_to_string e)))
   in
   let btree_bench =
     let engine = mk_engine () in
@@ -740,5 +776,6 @@ let () =
   ablation_group_commit ();
   ablation_background_merge ();
   ablation_selective_merge_threshold ();
+  obs_bench_export ();
   if not skip_micro then micro ();
   Printf.printf "\nDone.\n"

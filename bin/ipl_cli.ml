@@ -242,6 +242,139 @@ let faultcheck_cmd =
       const faultcheck $ ops_t $ sample_t $ seed_t $ fc_transactions_t $ fc_pages_t $ no_tear_t
       $ broken_t)
 
+(* ---------------- observe ---------------- *)
+
+let obs_spec transactions seed quick =
+  let base = if quick then Workload.Obs_bench.quick else Workload.Obs_bench.default in
+  let base = match transactions with None -> base | Some n -> { base with Workload.Obs_bench.transactions = n } in
+  { base with Workload.Obs_bench.seed }
+
+let observe transactions seed quick tail json_out csv_out =
+  let spec = obs_spec transactions seed quick in
+  let r = Workload.Obs_bench.run ~spec () in
+  let tracer = r.Workload.Obs_bench.tracer and metrics = r.Workload.Obs_bench.metrics in
+  Printf.printf "workload: %d transactions, seed %d\n" spec.Workload.Obs_bench.transactions
+    spec.Workload.Obs_bench.seed;
+  Printf.printf "trace: %d events emitted, %d retained, %d dropped\n"
+    (Obs.Tracer.emitted tracer) (Obs.Tracer.length tracer) (Obs.Tracer.dropped tracer);
+  List.iter
+    (fun kind ->
+      let n = Obs.Tracer.count_kind tracer kind in
+      if n > 0 then Printf.printf "  %-20s %8d\n" kind n)
+    Obs.Event.kinds;
+  if tail > 0 then begin
+    let keep = ref [] and len = ref 0 in
+    Obs.Tracer.iter
+      (fun e ->
+        keep := e :: !keep;
+        incr len;
+        if !len > tail then keep := List.filteri (fun i _ -> i < tail) !keep)
+      tracer;
+    Printf.printf "last %d events:\n" (min tail !len);
+    List.iter
+      (fun (e : Obs.Tracer.entry) ->
+        Format.printf "  %6d %.6f %a@." e.Obs.Tracer.seq e.Obs.Tracer.time Obs.Event.pp
+          e.Obs.Tracer.event)
+      (List.rev !keep)
+  end;
+  print_string (Obs.Export.metrics_csv metrics);
+  (match json_out with
+  | None -> ()
+  | Some path ->
+      let doc =
+        Ipl_util.Json.Obj
+          [
+            ("metrics", Obs.Export.metrics_json metrics);
+            ("trace", Obs.Export.trace_json tracer);
+          ]
+      in
+      Obs.Export.to_file path (Ipl_util.Json.to_string doc ^ "\n");
+      Printf.printf "wrote %s\n" path);
+  match csv_out with
+  | None -> ()
+  | Some path ->
+      Obs.Export.to_file path (Obs.Export.trace_csv tracer);
+      Printf.printf "wrote %s\n" path
+
+let obs_transactions_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "n"; "transactions" ] ~doc:"Transactions in the instrumented workload.")
+
+let obs_quick_t = Arg.(value & flag & info [ "quick" ] ~doc:"Smaller workload for smoke runs.")
+
+let tail_t =
+  Arg.(value & opt int 0 & info [ "tail" ] ~doc:"Print the last $(docv) trace events.")
+
+let obs_json_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~doc:"Write the full trace and metrics as JSON to $(docv).")
+
+let obs_csv_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~doc:"Write the trace as CSV to $(docv).")
+
+let observe_cmd =
+  Cmd.v
+    (Cmd.info "observe"
+       ~doc:
+         "Run the instrumented engine workload and dump its event trace and latency metrics \
+          (lib/obs).")
+    Term.(
+      const observe $ obs_transactions_t $ seed_t $ obs_quick_t $ tail_t $ obs_json_t $ obs_csv_t)
+
+(* ---------------- bench ---------------- *)
+
+let bench transactions seed quick json out =
+  let spec = obs_spec transactions seed quick in
+  let r = Workload.Obs_bench.run ~spec () in
+  let member = Ipl_util.Json.member in
+  let backends =
+    match member "backends" r.Workload.Obs_bench.json with
+    | Some (Ipl_util.Json.List l) -> l
+    | _ -> []
+  in
+  Printf.printf "%-10s %14s %14s %12s\n" "backend" "flash time (s)" "erases" "writes";
+  List.iter
+    (fun b ->
+      let str k = match member k b with Some (Ipl_util.Json.String s) -> s | _ -> "?" in
+      let flash = Option.value ~default:Ipl_util.Json.Null (member "flash" b) in
+      let num k =
+        match member k flash with
+        | Some (Ipl_util.Json.Int n) -> float_of_int n
+        | Some (Ipl_util.Json.Float f) -> f
+        | _ -> Float.nan
+      in
+      Printf.printf "%-10s %14.4f %14.0f %12.0f\n" (str "name") (num "elapsed_s")
+        (num "block_erases") (num "page_writes"))
+    backends;
+  if json then begin
+    Workload.Obs_bench.write_json out r;
+    Printf.printf "wrote %s\n" out
+  end
+
+let bench_json_t =
+  Arg.(value & flag & info [ "json" ] ~doc:"Also write the full benchmark document as JSON.")
+
+let bench_out_t =
+  Arg.(
+    value
+    & opt string "BENCH_ipl.json"
+    & info [ "o"; "output" ] ~doc:"Where $(b,--json) writes the document.")
+
+let bench_cmd =
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Instrumented three-backend benchmark (IPL vs sequential-logging vs in-place); \
+          $(b,--json) writes the schema-stable BENCH_ipl.json.")
+    Term.(const bench $ obs_transactions_t $ seed_t $ obs_quick_t $ bench_json_t $ bench_out_t)
+
 (* ---------------- queries ---------------- *)
 
 let queries () =
@@ -281,6 +414,17 @@ let main_cmd =
   Cmd.group
     (Cmd.info "ipl_cli" ~version:"1.0"
        ~doc:"In-page logging (SIGMOD 2007) reproduction toolkit.")
-    [ gen_cmd; stats_cmd; simulate_cmd; sweep_cmd; replay_cmd; faultcheck_cmd; queries_cmd; lint_cmd ]
+    [
+      gen_cmd;
+      stats_cmd;
+      simulate_cmd;
+      sweep_cmd;
+      replay_cmd;
+      faultcheck_cmd;
+      observe_cmd;
+      bench_cmd;
+      queries_cmd;
+      lint_cmd;
+    ]
 
 let () = exit (Cmd.eval main_cmd)

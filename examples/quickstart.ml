@@ -12,7 +12,7 @@ module Config = Flash_sim.Flash_config
 module Engine = Ipl_core.Ipl_engine
 module Store = Ipl_core.Ipl_storage
 
-let ok = function Ok v -> v | Error e -> failwith e
+let ok = function Ok v -> v | Error e -> failwith (Engine.error_to_string e)
 
 let show_flash chip label =
   let s = Chip.stats chip in

@@ -16,7 +16,7 @@ module Engine = Ipl_core.Ipl_engine
 module Config = Ipl_core.Ipl_config
 module Trx_log = Ipl_core.Trx_log
 
-let ok = function Ok v -> v | Error e -> failwith e
+let ok = function Ok v -> v | Error e -> failwith (Engine.error_to_string e)
 let read engine ~page ~slot =
   match Engine.read engine ~page ~slot with
   | Some b -> Bytes.to_string b

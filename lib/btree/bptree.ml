@@ -36,7 +36,7 @@ type node = {
 
 let fail_on_error = function
   | Ok x -> x
-  | Error msg -> failwith ("Bptree: unexpected engine error: " ^ msg)
+  | Error e -> failwith ("Bptree: unexpected engine error: " ^ Engine.error_to_string e)
 
 let read_node t pid =
   Engine.with_page t.engine pid (fun p ->
@@ -63,7 +63,7 @@ let new_node t ~tx ~is_leaf ~next_leaf =
   (match Engine.insert t.engine ~tx ~page:pid (encode_meta ~is_leaf ~next_leaf) with
   | Ok 0 -> ()
   | Ok _ -> failwith "Bptree: meta not at slot 0"
-  | Error msg -> failwith ("Bptree: " ^ msg));
+  | Error e -> failwith ("Bptree: " ^ Engine.error_to_string e));
   pid
 
 let set_next_leaf t ~tx pid next =
@@ -206,7 +206,9 @@ let rec insert_leafward t ~tx key value ~overwrite =
   let existing = Array.find_opt (fun (k, _, _) -> k = key) node.entries in
   match existing with
   | Some (_, _, slot) ->
-      if overwrite then Engine.update t.engine ~tx ~page:pid ~slot (encode_entry key value)
+      if overwrite then
+        Result.map_error Engine.error_to_string
+          (Engine.update t.engine ~tx ~page:pid ~slot (encode_entry key value))
       else Error "duplicate key"
   | None -> (
       match Engine.insert t.engine ~tx ~page:pid (encode_entry key value) with
@@ -225,7 +227,8 @@ let delete t ~tx ~key =
   let pid, node, _ = find_leaf t key in
   match Array.find_opt (fun (k, _, _) -> k = key) node.entries with
   | None -> Error "not found"
-  | Some (_, _, slot) -> Engine.delete t.engine ~tx ~page:pid ~slot
+  | Some (_, _, slot) ->
+      Result.map_error Engine.error_to_string (Engine.delete t.engine ~tx ~page:pid ~slot)
 
 let rec leftmost_leaf t pid =
   let node = read_node t pid in

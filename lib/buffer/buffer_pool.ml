@@ -20,6 +20,7 @@ type 'a t = {
   mutable misses : int;
   mutable evictions : int;
   mutable dirty_write_backs : int;
+  mutable trace : (Obs.Event.t -> unit) option;
 }
 
 let create ~capacity ~fetch ~write_back () =
@@ -35,7 +36,10 @@ let create ~capacity ~fetch ~write_back () =
     misses = 0;
     evictions = 0;
     dirty_write_backs = 0;
+    trace = None;
   }
+
+let set_trace t trace = t.trace <- trace
 
 let unlink t f =
   (match f.prev with Some p -> p.next <- f.next | None -> t.mru <- f.next);
@@ -59,7 +63,10 @@ let write_back_frame t f =
   if f.dirty then begin
     t.write_back f.key f.value;
     t.dirty_write_backs <- t.dirty_write_backs + 1;
-    f.dirty <- false
+    f.dirty <- false;
+    match t.trace with
+    | None -> ()
+    | Some emit -> emit (Obs.Event.Write_back { page = f.key })
   end
 
 (* Evict the least-recently-used unpinned frame. *)
@@ -72,7 +79,10 @@ let evict_one t =
   write_back_frame t victim;
   unlink t victim;
   Hashtbl.remove t.table victim.key;
-  t.evictions <- t.evictions + 1
+  t.evictions <- t.evictions + 1;
+  match t.trace with
+  | None -> ()
+  | Some emit -> emit (Obs.Event.Evict { page = victim.key })
 
 let get_frame t key =
   match Hashtbl.find_opt t.table key with
@@ -127,3 +137,38 @@ let iter f t = Hashtbl.iter (fun key fr -> f key fr.value ~dirty:fr.dirty) t.tab
 
 let stats t =
   { hits = t.hits; misses = t.misses; evictions = t.evictions; dirty_write_backs = t.dirty_write_backs }
+
+module Stats = struct
+  type t = stats
+
+  let zero = { hits = 0; misses = 0; evictions = 0; dirty_write_backs = 0 }
+
+  let add (a : t) (b : t) : t =
+    {
+      hits = a.hits + b.hits;
+      misses = a.misses + b.misses;
+      evictions = a.evictions + b.evictions;
+      dirty_write_backs = a.dirty_write_backs + b.dirty_write_backs;
+    }
+
+  let diff (a : t) (b : t) : t =
+    {
+      hits = a.hits - b.hits;
+      misses = a.misses - b.misses;
+      evictions = a.evictions - b.evictions;
+      dirty_write_backs = a.dirty_write_backs - b.dirty_write_backs;
+    }
+
+  let pp ppf (t : t) =
+    Format.fprintf ppf "hits=%d misses=%d evictions=%d dirty_write_backs=%d" t.hits
+      t.misses t.evictions t.dirty_write_backs
+
+  let to_json (t : t) =
+    Ipl_util.Json.Obj
+      [
+        ("hits", Ipl_util.Json.Int t.hits);
+        ("misses", Ipl_util.Json.Int t.misses);
+        ("evictions", Ipl_util.Json.Int t.evictions);
+        ("dirty_write_backs", Ipl_util.Json.Int t.dirty_write_backs);
+      ]
+end

@@ -51,3 +51,12 @@ val drop_all : 'a t -> unit
 
 val iter : (int -> 'a -> dirty:bool -> unit) -> 'a t -> unit
 val stats : 'a t -> stats
+
+val set_trace : 'a t -> (Obs.Event.t -> unit) option -> unit
+(** Install or clear a trace sink. The pool emits {!Obs.Event.Write_back}
+    each time a dirty frame is cleaned and {!Obs.Event.Evict} on each
+    eviction. The pool is clock-agnostic, so the sink (typically installed
+    by the engine) supplies the timestamp. With no sink installed each
+    hook site is a single option check. *)
+
+module Stats : Ipl_util.Stats_intf.S with type t = stats

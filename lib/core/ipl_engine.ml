@@ -13,6 +13,36 @@ type combined_stats = {
   flash : Flash_sim.Flash_stats.t;
 }
 
+type error =
+  | Page_full
+  | Record_too_large
+  | Range_too_large
+  | No_such_slot
+  | Range_out_of_bounds
+  | Bad_record_length
+
+(* The strings reproduce the pre-typed-error API exactly, so callers that
+   formatted engine errors keep their output. *)
+let error_to_string = function
+  | Page_full -> "page full"
+  | Record_too_large -> "record too large to log"
+  | Range_too_large -> "range too large to log"
+  | No_such_slot -> "slot not live"
+  | Range_out_of_bounds -> "range outside record"
+  | Bad_record_length -> "bad record length"
+
+let pp_error ppf e = Format.pp_print_string ppf (error_to_string e)
+
+(* Map the page layer's string errors onto the typed surface. Only the
+   errors its update/delete entry points can produce appear here; anything
+   else is a bug in this mapping. *)
+let of_page_error = function
+  | "page full" -> Page_full
+  | "slot not live" -> No_such_slot
+  | "range outside record" -> Range_out_of_bounds
+  | "bad record length" -> Bad_record_length
+  | s -> failwith ("Ipl_engine: unexpected page error: " ^ s)
+
 type t = {
   config : Ipl_config.t;
   chip : Chip.t;
@@ -22,6 +52,7 @@ type t = {
   txns : (int, txn_info) Hashtbl.t;
   mutable next_txid : int;
   mutable pending_commits : int;
+  mutable tracer : Obs.Tracer.t option;
 }
 
 let config t = t.config
@@ -56,7 +87,36 @@ let build config chip store trx =
       ~write_back:(fun pid frame -> flush_frame store trx pid frame)
       ()
   in
-  { config; chip; store; trx; pool; txns = Hashtbl.create 64; next_txid = 1; pending_commits = 0 }
+  {
+    config;
+    chip;
+    store;
+    trx;
+    pool;
+    txns = Hashtbl.create 64;
+    next_txid = 1;
+    pending_commits = 0;
+    tracer = None;
+  }
+
+(* Installing a tracer wires every layer to the same ring: the chip and
+   storage manager stamp events themselves; the clock-agnostic buffer pool
+   gets a closure that stamps with the chip's simulated time. *)
+let set_tracer t tracer =
+  t.tracer <- tracer;
+  Chip.set_tracer t.chip tracer;
+  Ipl_storage.set_tracer t.store tracer;
+  Pool.set_trace t.pool
+    (match tracer with
+    | None -> None
+    | Some tr -> Some (fun ev -> Obs.Tracer.emit tr ~time:(Chip.elapsed t.chip) ev))
+
+let tracer t = t.tracer
+
+let emit_txn_event t ev =
+  match t.tracer with
+  | None -> ()
+  | Some tr -> Obs.Tracer.emit tr ~time:(Chip.elapsed t.chip) ev
 
 let create ?(config = Ipl_config.default) ?(meta_blocks = 4) ?(trx_blocks = 4) chip =
   let fc = Chip.config chip in
@@ -144,7 +204,8 @@ let commit t txid =
     (match t.trx with Some log -> Trx_log.log_commit ~force:false log txid | None -> ());
     Hashtbl.remove t.txns txid;
     t.pending_commits <- t.pending_commits + 1;
-    if t.pending_commits >= group then flush_commits t
+    if t.pending_commits >= group then flush_commits t;
+    emit_txn_event t (Obs.Event.Commit { tx = txid })
   end
   else begin
     (* Force every in-memory log sector holding one of our records. *)
@@ -158,7 +219,8 @@ let commit t txid =
       info.dirty_pages;
     Ipl_storage.force_meta t.store;
     (match t.trx with Some log -> Trx_log.log_commit log txid | None -> ());
-    Hashtbl.remove t.txns txid
+    Hashtbl.remove t.txns txid;
+    emit_txn_event t (Obs.Event.Commit { tx = txid })
   end
 
 let abort t txid =
@@ -186,7 +248,8 @@ let abort t txid =
           if Log_sector.is_empty frame.log then Pool.clean t.pool pid
       | None -> ())
     info.dirty_pages;
-  Hashtbl.remove t.txns txid
+  Hashtbl.remove t.txns txid;
+  emit_txn_event t (Obs.Event.Abort { tx = txid })
 
 (* ------------------------------------------------------------------ *)
 (* Page operations                                                     *)
@@ -246,11 +309,11 @@ let max_record_payload t =
   t.config.Ipl_config.in_memory_log_bytes - Log_sector.header_size - 13
 
 let insert t ~tx ~page data =
-  if Bytes.length data > max_record_payload t then Error "record too large to log"
+  if Bytes.length data > max_record_payload t then Error Record_too_large
   else
     Pool.with_page t.pool page ~dirty:true (fun frame ->
         match Page.insert frame.page data with
-        | None -> Error "page full"
+        | None -> Error Page_full
         | Some slot ->
             add_record t frame ~page
               { Log_record.txid = tx; page; op = Log_record.Insert { slot; record = data } };
@@ -260,10 +323,10 @@ let insert t ~tx ~page data =
 let delete t ~tx ~page ~slot =
   mutate t ~tx ~page (fun p ->
       match Page.read p slot with
-      | None -> Error "slot not live"
+      | None -> Error No_such_slot
       | Some before -> (
           match Page.delete p slot with
-          | Error _ as e -> e
+          | Error e -> Error (of_page_error e)
           | Ok () ->
               Ok { Log_record.txid = tx; page; op = Log_record.Delete { slot; before } }))
 
@@ -300,7 +363,7 @@ let update_range_records t ~tx ~page ~slot ~before ~data =
 let update t ~tx ~page ~slot data =
   Pool.with_page t.pool page (fun frame ->
       match Page.read frame.page slot with
-      | None -> Error "slot not live"
+      | None -> Error No_such_slot
       | Some before ->
           if Bytes.length before = Bytes.length data then begin
             match update_range_records t ~tx ~page ~slot ~before ~data with
@@ -321,13 +384,13 @@ let update t ~tx ~page ~slot data =
                 note_dirty t ~tx ~page;
                 Ok ()
           end
-          else if Bytes.length data > max_record_payload t then Error "record too large to log"
+          else if Bytes.length data > max_record_payload t then Error Record_too_large
           else begin
             (* Size-changing replacement. When the combined before/after
                image fits one record, log Update_full; otherwise log it as
                a delete + insert pair (same replay semantics). *)
             match Page.update frame.page slot data with
-            | Error _ as e -> e
+            | Error e -> Error (of_page_error e)
             | Ok () ->
                 let combined = 15 + Bytes.length before + Bytes.length data in
                 if combined <= max_record_payload t + 13 then
@@ -351,15 +414,15 @@ let update t ~tx ~page ~slot data =
 let update_range t ~tx ~page ~slot ~offset data =
   mutate t ~tx ~page (fun p ->
       match Page.read p slot with
-      | None -> Error "slot not live"
+      | None -> Error No_such_slot
       | Some record ->
           let len = Bytes.length data in
-          if offset < 0 || offset + len > Bytes.length record then Error "range outside record"
-          else if (2 * len) + 15 > max_record_payload t + 13 then Error "range too large to log"
+          if offset < 0 || offset + len > Bytes.length record then Error Range_out_of_bounds
+          else if (2 * len) + 15 > max_record_payload t + 13 then Error Range_too_large
           else begin
             let before = Bytes.sub record offset len in
             match Page.update_bytes p ~slot ~offset data with
-            | Error _ as e -> e
+            | Error e -> Error (of_page_error e)
             | Ok () ->
                 Ok
                   {
@@ -382,14 +445,15 @@ let checkpoint t =
   t.pending_commits <- 0;
   Pool.flush_all t.pool;
   Ipl_storage.force_meta t.store;
-  (match t.trx with Some log -> Trx_log.force log | None -> ())
+  (match t.trx with Some log -> Trx_log.force log | None -> ());
+  emit_txn_event t Obs.Event.Checkpoint
 
 let compact t ~max_merges =
   (* Proactive background merging: take the merge cost off the next
      unlucky writer's critical path. Flush first so pending records are
      included. *)
   Pool.flush_all t.pool;
-  Ipl_storage.merge_fullest t.store ~max:max_merges
+  Ipl_storage.merge_fullest t.store ~max_merges
 
 let stats t =
   {
@@ -397,3 +461,40 @@ let stats t =
     pool = Pool.stats t.pool;
     flash = Chip.stats t.chip;
   }
+
+module Stats = struct
+  type t = combined_stats
+
+  let zero =
+    {
+      storage = Ipl_storage.Stats.zero;
+      pool = Pool.Stats.zero;
+      flash = Flash_sim.Flash_stats.zero;
+    }
+
+  let add a b =
+    {
+      storage = Ipl_storage.Stats.add a.storage b.storage;
+      pool = Pool.Stats.add a.pool b.pool;
+      flash = Flash_sim.Flash_stats.add a.flash b.flash;
+    }
+
+  let diff a b =
+    {
+      storage = Ipl_storage.Stats.diff a.storage b.storage;
+      pool = Pool.Stats.diff a.pool b.pool;
+      flash = Flash_sim.Flash_stats.diff a.flash b.flash;
+    }
+
+  let pp ppf t =
+    Format.fprintf ppf "@[<v>flash: %a@,%a@,pool: %a@]" Flash_sim.Flash_stats.pp t.flash
+      Ipl_storage.Stats.pp t.storage Pool.Stats.pp t.pool
+
+  let to_json t =
+    Ipl_util.Json.Obj
+      [
+        ("storage", Ipl_storage.Stats.to_json t.storage);
+        ("pool", Pool.Stats.to_json t.pool);
+        ("flash", Flash_sim.Flash_stats.to_json t.flash);
+      ]
+end

@@ -22,6 +22,20 @@ type combined_stats = {
   flash : Flash_sim.Flash_stats.t;
 }
 
+type error =
+  | Page_full  (** the target page has no room for the record *)
+  | Record_too_large  (** payload exceeds {!max_record_payload} *)
+  | Range_too_large  (** byte range exceeds one log record *)
+  | No_such_slot  (** slot is not live on the page *)
+  | Range_out_of_bounds  (** byte range falls outside the record *)
+  | Bad_record_length  (** zero-length or oversized record payload *)
+
+val error_to_string : error -> string
+(** The exact strings of the pre-typed-error API ("page full",
+    "slot not live", …), for callers that surface engine errors as text. *)
+
+val pp_error : Format.formatter -> error -> unit
+
 val create :
   ?config:Ipl_config.t ->
   ?meta_blocks:int ->
@@ -74,10 +88,10 @@ val allocate_page_with : t -> Storage.Page.t -> int
 
 val page_count : t -> int
 
-val insert : t -> tx:int -> page:int -> bytes -> (int, string) result
-val delete : t -> tx:int -> page:int -> slot:int -> (unit, string) result
+val insert : t -> tx:int -> page:int -> bytes -> (int, error) result
+val delete : t -> tx:int -> page:int -> slot:int -> (unit, error) result
 
-val update : t -> tx:int -> page:int -> slot:int -> bytes -> (unit, string) result
+val update : t -> tx:int -> page:int -> slot:int -> bytes -> (unit, error) result
 (** Replace a record's payload. Equal-length replacements are logged as
     byte-range deltas — one record per differing range, chunked to fit log
     sectors; identical payloads log nothing. Size-changing replacements
@@ -85,12 +99,12 @@ val update : t -> tx:int -> page:int -> slot:int -> bytes -> (unit, string) resu
     would not fit one log sector. *)
 
 val update_range :
-  t -> tx:int -> page:int -> slot:int -> offset:int -> bytes -> (unit, string) result
+  t -> tx:int -> page:int -> slot:int -> offset:int -> bytes -> (unit, error) result
 (** Overwrite a byte range of the record in place (smallest log records). *)
 
 val max_record_payload : t -> int
 (** Largest record (or insert payload) the logging path accepts; larger
-    inserts return [Error "record too large to log"]. *)
+    inserts return [Error Record_too_large]. *)
 
 val read : t -> page:int -> slot:int -> bytes option
 val with_page : t -> int -> (Storage.Page.t -> 'a) -> 'a
@@ -111,3 +125,18 @@ val compact : t -> max_merges:int -> int
     at idle moments moves merge latency off the update path. *)
 
 val stats : t -> combined_stats
+
+module Stats : Ipl_util.Stats_intf.S with type t = combined_stats
+(** Interval measurement, aggregation and JSON export over the combined
+    record, composed field-wise from the three layer [Stats] modules. *)
+
+(** {1 Observability} *)
+
+val set_tracer : t -> Obs.Tracer.t option -> unit
+(** Install (or clear) one {!Obs.Tracer.t} across the whole stack: the
+    flash chip (physical ops), the storage manager (log flushes, merges,
+    diversions, page events), the buffer pool (evictions, write-backs —
+    timestamped here with the chip's simulated clock) and the engine
+    itself ({!Obs.Event.Commit}, [Abort], [Checkpoint]). *)
+
+val tracer : t -> Obs.Tracer.t option

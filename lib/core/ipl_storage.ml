@@ -59,6 +59,7 @@ type t = {
   mutable c_records_dropped : int;
   mutable c_records_carried : int;
   mutable c_reclaimed : int;
+  mutable tracer : Obs.Tracer.t option;
 }
 
 let config t = t.config
@@ -102,7 +103,10 @@ let mk ?(config = Ipl_config.default) chip ~first_block ~num_blocks ~txn_status 
     c_records_dropped = 0;
     c_records_carried = 0;
     c_reclaimed = 0;
+    tracer = None;
   }
+
+let set_tracer t tracer = t.tracer <- tracer
 
 let fresh_eu_info phys data_pages =
   {
@@ -232,6 +236,11 @@ let allocate_page t page =
   Hashtbl.replace t.mapping pid (eu, idx);
   Meta_log.log t.meta (Meta_log.Page_alloc { page = pid; eu = eu.phys; idx });
   t.c_pages_allocated <- t.c_pages_allocated + 1;
+  (match t.tracer with
+  | None -> ()
+  | Some tr ->
+      Obs.Tracer.emit tr ~time:(Chip.elapsed t.chip)
+        (Obs.Event.Page_alloc { page = pid; eu = eu.phys }));
   pid
 
 let page_exists t pid = Hashtbl.mem t.mapping pid
@@ -264,6 +273,11 @@ let read_page t pid =
   let eu, idx = lookup t pid in
   let page = read_raw_page t eu idx in
   apply_records page (live_records_of_page t eu pid);
+  (match t.tracer with
+  | None -> ()
+  | Some tr ->
+      Obs.Tracer.emit tr ~time:(Chip.elapsed t.chip)
+        (Obs.Event.Page_read { page = pid; eu = eu.phys }));
   page
 
 let live_log_records t ~page = let eu, _ = lookup t page in live_records_of_page t eu page
@@ -433,6 +447,18 @@ let merge t eu ~pending =
     t.c_records_carried <- t.c_records_carried + List.length carried;
     t.c_records_applied <- t.c_records_applied + !applied;
     t.c_merges <- t.c_merges + 1;
+    (match t.tracer with
+    | None -> ()
+    | Some tr ->
+        Obs.Tracer.emit tr ~time:(Chip.elapsed t.chip)
+          (Obs.Event.Merge
+             {
+               eu = old_phys;
+               new_eu = new_phys;
+               applied = !applied;
+               carried = List.length carried;
+               dropped;
+             }));
     (* A failed reclaim merely leaks the old block until the next restart's
        garbage collection erases it. *)
     (try
@@ -494,7 +520,12 @@ let flush_log t ~page records =
     Chip.write_sectors t.chip ~sector:(log_sector_addr t eu.phys eu.used_log) sector;
     eu.used_log <- eu.used_log + 1;
     note_records eu records;
-    t.c_log_sector_writes <- t.c_log_sector_writes + 1
+    t.c_log_sector_writes <- t.c_log_sector_writes + 1;
+    match t.tracer with
+    | None -> ()
+    | Some tr ->
+        Obs.Tracer.emit tr ~time:(Chip.elapsed t.chip)
+          (Obs.Event.Log_flush { page; eu = eu.phys; records = List.length records })
   end
   else if
     t.config.Ipl_config.recovery_enabled
@@ -503,7 +534,13 @@ let flush_log t ~page records =
     let sector = serialize_records t records in
     overflow_write t eu sector;
     note_records eu records;
-    t.c_overflow_diversions <- t.c_overflow_diversions + 1
+    t.c_overflow_diversions <- t.c_overflow_diversions + 1;
+    match t.tracer with
+    | None -> ()
+    | Some tr ->
+        Obs.Tracer.emit tr ~time:(Chip.elapsed t.chip)
+          (Obs.Event.Overflow_diversion
+             { page; eu = eu.phys; records = List.length records })
   end
   else merge t eu ~pending:records
 
@@ -511,8 +548,8 @@ let merge_eu_of_page t pid =
   let eu, _ = lookup t pid in
   merge t eu ~pending:[]
 
-let merge_fullest t ~max =
-  if max <= 0 then 0
+let merge_fullest t ~max_merges =
+  if max_merges <= 0 then 0
   else begin
     let candidates =
       Hashtbl.fold
@@ -523,7 +560,7 @@ let merge_fullest t ~max =
     in
     let sorted = List.sort (fun (a, _) (b, _) -> compare b a) candidates in
     let rec go n = function
-      | (_, eu) :: rest when n < max ->
+      | (_, eu) :: rest when n < max_merges ->
           merge t eu ~pending:[];
           go (n + 1) rest
       | _ -> n
@@ -564,6 +601,65 @@ let stats t =
     records_carried_over = t.c_records_carried;
     erase_units_reclaimed = t.c_reclaimed;
   }
+
+module Stats = struct
+  type t = stats
+
+  let zero =
+    {
+      pages_allocated = 0;
+      page_reads = 0;
+      log_sector_writes = 0;
+      overflow_sector_writes = 0;
+      log_sector_reads = 0;
+      merges = 0;
+      overflow_diversions = 0;
+      records_applied_at_merge = 0;
+      records_dropped_aborted = 0;
+      records_carried_over = 0;
+      erase_units_reclaimed = 0;
+    }
+
+  let map2 f (a : t) (b : t) : t =
+    {
+      pages_allocated = f a.pages_allocated b.pages_allocated;
+      page_reads = f a.page_reads b.page_reads;
+      log_sector_writes = f a.log_sector_writes b.log_sector_writes;
+      overflow_sector_writes = f a.overflow_sector_writes b.overflow_sector_writes;
+      log_sector_reads = f a.log_sector_reads b.log_sector_reads;
+      merges = f a.merges b.merges;
+      overflow_diversions = f a.overflow_diversions b.overflow_diversions;
+      records_applied_at_merge = f a.records_applied_at_merge b.records_applied_at_merge;
+      records_dropped_aborted = f a.records_dropped_aborted b.records_dropped_aborted;
+      records_carried_over = f a.records_carried_over b.records_carried_over;
+      erase_units_reclaimed = f a.erase_units_reclaimed b.erase_units_reclaimed;
+    }
+
+  let add = map2 ( + )
+  let diff = map2 ( - )
+
+  let fields (t : t) =
+    [
+      ("pages_allocated", t.pages_allocated);
+      ("page_reads", t.page_reads);
+      ("log_sector_writes", t.log_sector_writes);
+      ("overflow_sector_writes", t.overflow_sector_writes);
+      ("log_sector_reads", t.log_sector_reads);
+      ("merges", t.merges);
+      ("overflow_diversions", t.overflow_diversions);
+      ("records_applied_at_merge", t.records_applied_at_merge);
+      ("records_dropped_aborted", t.records_dropped_aborted);
+      ("records_carried_over", t.records_carried_over);
+      ("erase_units_reclaimed", t.erase_units_reclaimed);
+    ]
+
+  let pp ppf t =
+    Format.pp_print_string ppf "storage:";
+    List.iter (fun (k, v) -> Format.fprintf ppf " %s=%d" k v) (fields t)
+
+  let to_json t =
+    Ipl_util.Json.Obj (List.map (fun (k, v) -> (k, Ipl_util.Json.Int v)) (fields t))
+end
 
 (* ------------------------------------------------------------------ *)
 (* Construction and crash recovery                                     *)

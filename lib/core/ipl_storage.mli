@@ -84,10 +84,10 @@ val flush_log : t -> page:int -> Log_record.t list -> unit
 val force_meta : t -> unit
 (** Make allocations/merges performed so far durable. *)
 
-val merge_fullest : t -> max:int -> int
-(** Merge up to [max] data erase units, fullest log region first, skipping
-    units with empty log regions. Returns the number merged. Used for
-    proactive (background) merging. *)
+val merge_fullest : t -> max_merges:int -> int
+(** Merge up to [max_merges] data erase units, fullest log region first,
+    skipping units with empty log regions. Returns the number merged. Used
+    for proactive (background) merging. *)
 
 val merge_eu_of_page : t -> int -> unit
 (** Force a merge of the erase unit containing a page (used by tests and
@@ -102,6 +102,15 @@ val overflow_sectors : t -> eu:int -> int
 
 val free_eus : t -> int
 val stats : t -> stats
+
+module Stats : Ipl_util.Stats_intf.S with type t = stats
+
+val set_tracer : t -> Obs.Tracer.t option -> unit
+(** Install or clear a trace sink for storage-level events:
+    {!Obs.Event.Page_alloc}, [Page_read], [Log_flush],
+    [Overflow_diversion] and [Merge], timestamped with the chip's
+    simulated clock. Each hook site is a single option check when no
+    tracer is installed. *)
 
 val live_log_records : t -> page:int -> Log_record.t list
 (** All live (non-aborted) flash log records of a page, in application

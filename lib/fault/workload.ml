@@ -29,7 +29,7 @@ let setup engine oracle spec =
         let data = bytes_of rng spec.payload in
         match Engine.insert engine ~tx ~page:p data with
         | Ok slot -> Oracle.seed oracle ~page:p ~slot data
-        | Error msg -> failwith ("Workload.setup: " ^ msg)
+        | Error e -> failwith ("Workload.setup: " ^ Engine.error_to_string e)
       done)
     pages;
   Engine.commit engine tx;

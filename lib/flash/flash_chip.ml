@@ -30,6 +30,7 @@ type t = {
   mutable sectors_written : int;
   mutable elapsed : float;
   mutable fault_hook : (int -> op -> fault_action) option;
+  mutable tracer : Obs.Tracer.t option;
   mutable ops : int;
   mutable dead : bool;
 }
@@ -49,12 +50,16 @@ let create config =
     sectors_written = 0;
     elapsed = 0.0;
     fault_hook = None;
+    tracer = None;
     ops = 0;
     dead = false;
   }
 
 let op_count t = t.ops
 let is_dead t = t.dead
+
+let set_tracer t tracer = t.tracer <- tracer
+let tracer t = t.tracer
 
 let set_fault_hook t hook =
   t.fault_hook <- hook;
@@ -121,6 +126,11 @@ let read_sectors t ~sector ~count =
   t.page_reads <- t.page_reads + pages;
   t.sectors_read <- t.sectors_read + count;
   t.elapsed <- t.elapsed +. (float_of_int pages *. t.config.t_read_page);
+  (* One option check when tracing is off; the event is constructed only
+     inside the [Some] branch. *)
+  (match t.tracer with
+  | None -> ()
+  | Some tr -> Obs.Tracer.emit tr ~time:t.elapsed (Obs.Event.Read_sector { sector; count }));
   let ss = t.config.sector_size in
   let out = Bytes.make (count * ss) '\xff' in
   if t.config.materialize then begin
@@ -174,7 +184,12 @@ let write_sectors t ~sector data =
     let pages = pages_touched t ~sector ~count:programmed in
     t.page_writes <- t.page_writes + pages;
     t.sectors_written <- t.sectors_written + programmed;
-    t.elapsed <- t.elapsed +. (float_of_int pages *. t.config.t_write_page)
+    t.elapsed <- t.elapsed +. (float_of_int pages *. t.config.t_write_page);
+    match t.tracer with
+    | None -> ()
+    | Some tr ->
+        Obs.Tracer.emit tr ~time:t.elapsed
+          (Obs.Event.Program_sector { sector; count = programmed })
   end;
   match action with
   | Tear _ -> die t
@@ -207,7 +222,10 @@ let erase_block t b =
   if t.config.materialize then Hashtbl.remove t.data b;
   bump_wear t b;
   t.block_erases <- t.block_erases + 1;
-  t.elapsed <- t.elapsed +. t.config.t_erase_block
+  t.elapsed <- t.elapsed +. t.config.t_erase_block;
+  match t.tracer with
+  | None -> ()
+  | Some tr -> Obs.Tracer.emit tr ~time:t.elapsed (Obs.Event.Erase_block { block = b })
 
 let corrupt_sector ?(offset = 0) t s =
   check_sector t s;

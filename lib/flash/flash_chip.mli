@@ -59,6 +59,17 @@ type fault_action =
           data — bit rot caught only by checksums. Ignored elsewhere. *)
   | Read_fault  (** reads only: raise {!Read_error}. Ignored elsewhere. *)
 
+(** {1 Tracing}
+
+    Independent of fault injection: an optional {!Obs.Tracer.t} receives a
+    {!Obs.Event.Read_sector} / [Program_sector] / [Erase_block] event,
+    stamped with the simulated clock, after each successful physical
+    operation (torn programs report the sectors actually programmed).
+    With no tracer installed the hook sites cost one option check. *)
+
+val set_tracer : t -> Obs.Tracer.t option -> unit
+val tracer : t -> Obs.Tracer.t option
+
 val set_fault_hook : t -> (int -> op -> fault_action) option -> unit
 (** Install or clear the fault hook (called as [hook op_index op]).
     Clearing the hook also revives a chip killed by a fail-stop, so tests

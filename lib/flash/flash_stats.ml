@@ -21,6 +21,18 @@ let zero =
     mean_wear = 0.0;
   }
 
+let add a b =
+  {
+    page_reads = a.page_reads + b.page_reads;
+    page_writes = a.page_writes + b.page_writes;
+    block_erases = a.block_erases + b.block_erases;
+    sectors_read = a.sectors_read + b.sectors_read;
+    sectors_written = a.sectors_written + b.sectors_written;
+    elapsed = a.elapsed +. b.elapsed;
+    max_wear = max a.max_wear b.max_wear;
+    mean_wear = a.mean_wear +. b.mean_wear;
+  }
+
 let diff a b =
   {
     page_reads = a.page_reads - b.page_reads;
@@ -38,3 +50,16 @@ let pp ppf t =
     "reads=%d writes=%d erases=%d (sectors r=%d w=%d) wear max=%d mean=%.2f elapsed=%a"
     t.page_reads t.page_writes t.block_erases t.sectors_read t.sectors_written t.max_wear
     t.mean_wear Ipl_util.Size.pp_seconds t.elapsed
+
+let to_json t =
+  Ipl_util.Json.Obj
+    [
+      ("page_reads", Ipl_util.Json.Int t.page_reads);
+      ("page_writes", Ipl_util.Json.Int t.page_writes);
+      ("block_erases", Ipl_util.Json.Int t.block_erases);
+      ("sectors_read", Ipl_util.Json.Int t.sectors_read);
+      ("sectors_written", Ipl_util.Json.Int t.sectors_written);
+      ("elapsed_s", Ipl_util.Json.Float t.elapsed);
+      ("max_wear", Ipl_util.Json.Int t.max_wear);
+      ("mean_wear", Ipl_util.Json.Float t.mean_wear);
+    ]

@@ -11,8 +11,16 @@ type t = {
   mean_wear : float;  (** mean erase count over all blocks *)
 }
 
+(** This module satisfies {!Ipl_util.Stats_intf.S}. *)
+
 val zero : t
+
+val add : t -> t -> t
+(** Field-wise sum; [max_wear] takes the max, [mean_wear] the sum (useful
+    only for accumulating diffs). *)
+
 val diff : t -> t -> t
 (** [diff later earlier] is the per-field difference. *)
 
 val pp : Format.formatter -> t -> unit
+val to_json : t -> Ipl_util.Json.t

@@ -102,15 +102,16 @@ let libraries =
   [
     { dir = "lib/util"; wrapper = "Ipl_util"; allowed = [] };
     { dir = "lib/lint"; wrapper = "Lint"; allowed = [] };
-    { dir = "lib/flash"; wrapper = "Flash_sim"; allowed = [ "Ipl_util" ] };
+    { dir = "lib/obs"; wrapper = "Obs"; allowed = [ "Ipl_util" ] };
+    { dir = "lib/flash"; wrapper = "Flash_sim"; allowed = [ "Ipl_util"; "Obs" ] };
     { dir = "lib/disk"; wrapper = "Disk_sim"; allowed = [ "Ipl_util" ] };
     { dir = "lib/storage"; wrapper = "Storage"; allowed = [ "Ipl_util" ] };
-    { dir = "lib/buffer"; wrapper = "Bufmgr"; allowed = [ "Ipl_util" ] };
+    { dir = "lib/buffer"; wrapper = "Bufmgr"; allowed = [ "Ipl_util"; "Obs" ] };
     { dir = "lib/trace"; wrapper = "Reftrace"; allowed = [ "Ipl_util" ] };
     {
       dir = "lib/core";
       wrapper = "Ipl_core";
-      allowed = [ "Ipl_util"; "Flash_sim"; "Storage"; "Bufmgr" ];
+      allowed = [ "Ipl_util"; "Obs"; "Flash_sim"; "Storage"; "Bufmgr" ];
     };
     { dir = "lib/btree"; wrapper = "Btree"; allowed = [ "Ipl_util"; "Storage"; "Ipl_core" ] };
     { dir = "lib/ftl"; wrapper = "Ftl"; allowed = [ "Ipl_util"; "Flash_sim"; "Disk_sim" ] };
@@ -138,7 +139,8 @@ let libraries =
     {
       dir = "lib/workload";
       wrapper = "Workload";
-      allowed = [ "Ipl_util"; "Flash_sim"; "Disk_sim"; "Ftl"; "Ipl_core" ];
+      allowed =
+        [ "Ipl_util"; "Obs"; "Flash_sim"; "Disk_sim"; "Ftl"; "Ipl_core"; "Baseline" ];
     };
     {
       dir = "lib/fault";

@@ -1,0 +1,78 @@
+type t =
+  | Read_sector of { sector : int; count : int }
+  | Program_sector of { sector : int; count : int }
+  | Erase_block of { block : int }
+  | Page_alloc of { page : int; eu : int }
+  | Page_read of { page : int; eu : int }
+  | Log_flush of { page : int; eu : int; records : int }
+  | Overflow_diversion of { page : int; eu : int; records : int }
+  | Merge of { eu : int; new_eu : int; applied : int; carried : int; dropped : int }
+  | Evict of { page : int }
+  | Write_back of { page : int }
+  | Commit of { tx : int }
+  | Abort of { tx : int }
+  | Checkpoint
+
+let kind = function
+  | Read_sector _ -> "read_sector"
+  | Program_sector _ -> "program_sector"
+  | Erase_block _ -> "erase_block"
+  | Page_alloc _ -> "page_alloc"
+  | Page_read _ -> "page_read"
+  | Log_flush _ -> "log_flush"
+  | Overflow_diversion _ -> "overflow_diversion"
+  | Merge _ -> "merge"
+  | Evict _ -> "evict"
+  | Write_back _ -> "write_back"
+  | Commit _ -> "commit"
+  | Abort _ -> "abort"
+  | Checkpoint -> "checkpoint"
+
+(* Every kind tag, in declaration order — the stable key order for
+   aggregated per-kind reports. *)
+let kinds =
+  [
+    "read_sector";
+    "program_sector";
+    "erase_block";
+    "page_alloc";
+    "page_read";
+    "log_flush";
+    "overflow_diversion";
+    "merge";
+    "evict";
+    "write_back";
+    "commit";
+    "abort";
+    "checkpoint";
+  ]
+
+(* Payload as ordered (field, value) pairs — single source for JSON, CSV
+   and pretty-printing. *)
+let fields = function
+  | Read_sector { sector; count } | Program_sector { sector; count } ->
+      [ ("sector", sector); ("count", count) ]
+  | Erase_block { block } -> [ ("block", block) ]
+  | Page_alloc { page; eu } | Page_read { page; eu } -> [ ("page", page); ("eu", eu) ]
+  | Log_flush { page; eu; records } | Overflow_diversion { page; eu; records } ->
+      [ ("page", page); ("eu", eu); ("records", records) ]
+  | Merge { eu; new_eu; applied; carried; dropped } ->
+      [
+        ("eu", eu);
+        ("new_eu", new_eu);
+        ("applied", applied);
+        ("carried", carried);
+        ("dropped", dropped);
+      ]
+  | Evict { page } | Write_back { page } -> [ ("page", page) ]
+  | Commit { tx } | Abort { tx } -> [ ("tx", tx) ]
+  | Checkpoint -> []
+
+let to_json ev =
+  Ipl_util.Json.Obj
+    (("kind", Ipl_util.Json.String (kind ev))
+    :: List.map (fun (k, v) -> (k, Ipl_util.Json.Int v)) (fields ev))
+
+let pp ppf ev =
+  Format.pp_print_string ppf (kind ev);
+  List.iter (fun (k, v) -> Format.fprintf ppf " %s=%d" k v) (fields ev)

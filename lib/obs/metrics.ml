@@ -1,0 +1,149 @@
+module Json = Ipl_util.Json
+
+module Counter = struct
+  type t = { mutable n : int }
+
+  let create () = { n = 0 }
+  let incr t = t.n <- t.n + 1
+  let add t k = t.n <- t.n + k
+  let value t = t.n
+end
+
+module Latency = struct
+  (* Exact count/sum/min/max plus a power-of-two nanosecond bucket
+     frequency table: bucket [k] holds observations in [2^k, 2^(k+1)) ns.
+     Percentiles are read off the cumulative bucket counts, so they are
+     upper bounds with at most 2x relative error — plenty for latency
+     profiles, and the representation is a handful of ints no matter how
+     many observations arrive. *)
+  type t = {
+    buckets : Ipl_util.Histogram.t;
+    mutable count : int;
+    mutable sum : float;
+    mutable min_v : float;
+    mutable max_v : float;
+  }
+
+  let create () =
+    {
+      buckets = Ipl_util.Histogram.create ~initial_size:64 ();
+      count = 0;
+      sum = 0.0;
+      min_v = Float.infinity;
+      max_v = Float.neg_infinity;
+    }
+
+  (* floor(log2 ns) computed on the truncated integer — exact, no float
+     log rounding at bucket boundaries. *)
+  let bucket_of_seconds v =
+    let ns = v *. 1e9 in
+    if ns < 1.0 then 0
+    else
+      let n = int_of_float ns in
+      let rec bits acc n = if n <= 1 then acc else bits (acc + 1) (n lsr 1) in
+      bits 0 n
+
+  let observe t v =
+    let v = if Float.is_nan v || v < 0.0 then 0.0 else v in
+    Ipl_util.Histogram.incr t.buckets (bucket_of_seconds v);
+    t.count <- t.count + 1;
+    t.sum <- t.sum +. v;
+    if v < t.min_v then t.min_v <- v;
+    if v > t.max_v then t.max_v <- v
+
+  let count t = t.count
+  let sum t = t.sum
+  let min_seconds t = if t.count = 0 then 0.0 else t.min_v
+  let max_seconds t = if t.count = 0 then 0.0 else t.max_v
+  let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+
+  let sorted_buckets t =
+    List.sort compare
+      (Ipl_util.Histogram.fold (fun k n acc -> (k, n) :: acc) t.buckets [])
+
+  let percentile t q =
+    if t.count = 0 then 0.0
+    else begin
+      let q = Float.min 1.0 (Float.max 0.0 q) in
+      let rank =
+        Stdlib.max 1 (int_of_float (Float.ceil (q *. float_of_int t.count)))
+      in
+      let rec walk cum = function
+        | [] -> t.max_v
+        | (k, n) :: rest ->
+            if cum + n >= rank then
+              (* Upper bound of the bucket, clamped to the observed range. *)
+              let upper_ns = Float.of_int (1 lsl (k + 1)) in
+              Float.max t.min_v (Float.min t.max_v (upper_ns /. 1e9))
+            else walk (cum + n) rest
+      in
+      walk 0 (sorted_buckets t)
+    end
+
+  let to_json t =
+    Json.Obj
+      [
+        ("count", Json.Int t.count);
+        ("sum_s", Json.Float t.sum);
+        ("min_s", Json.Float (min_seconds t));
+        ("max_s", Json.Float (max_seconds t));
+        ("mean_s", Json.Float (mean t));
+        ("p50_s", Json.Float (percentile t 0.50));
+        ("p90_s", Json.Float (percentile t 0.90));
+        ("p99_s", Json.Float (percentile t 0.99));
+        ( "buckets",
+          Json.List
+            (List.map
+               (fun (k, n) -> Json.List [ Json.Int (1 lsl k); Json.Int n ])
+               (sorted_buckets t)) );
+      ]
+end
+
+type item = C of Counter.t | H of Latency.t
+
+type t = {
+  tbl : (string, item) Hashtbl.t;
+  mutable order_rev : string list;  (* registration order, newest first *)
+}
+
+let create () = { tbl = Hashtbl.create 32; order_rev = [] }
+
+let register t name item =
+  Hashtbl.replace t.tbl name item;
+  t.order_rev <- name :: t.order_rev
+
+let counter t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (C c) -> c
+  | Some (H _) -> invalid_arg ("Obs.Metrics.counter: " ^ name ^ " is a histogram")
+  | None ->
+      let c = Counter.create () in
+      register t name (C c);
+      c
+
+let latency t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (H h) -> h
+  | Some (C _) -> invalid_arg ("Obs.Metrics.latency: " ^ name ^ " is a counter")
+  | None ->
+      let h = Latency.create () in
+      register t name (H h);
+      h
+
+let names t = List.rev t.order_rev
+
+let find t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (C c) -> Some (`Counter (Counter.value c))
+  | Some (H h) -> Some (`Histogram h)
+  | None -> None
+
+let to_json t =
+  let counters = ref [] and histos = ref [] in
+  List.iter
+    (fun name ->
+      match Hashtbl.find t.tbl name with
+      | C c -> counters := (name, Json.Int (Counter.value c)) :: !counters
+      | H h -> histos := (name, Latency.to_json h) :: !histos)
+    t.order_rev;
+  Json.Obj [ ("counters", Json.Obj !counters); ("histograms", Json.Obj !histos) ]

@@ -1,0 +1,48 @@
+type entry = { seq : int; time : float; event : Event.t }
+
+type t = {
+  capacity : int;
+  buf : entry array;
+  mutable count : int;  (* entries currently held, <= capacity *)
+  mutable next : int;  (* write cursor into [buf] *)
+  mutable emitted : int;  (* total events ever emitted *)
+}
+
+let dummy = { seq = -1; time = 0.0; event = Event.Checkpoint }
+
+let create ~capacity () =
+  if capacity <= 0 then invalid_arg "Obs.Tracer.create: capacity must be positive";
+  { capacity; buf = Array.make capacity dummy; count = 0; next = 0; emitted = 0 }
+
+let capacity t = t.capacity
+let length t = t.count
+let emitted t = t.emitted
+let dropped t = t.emitted - t.count
+
+let emit t ~time event =
+  t.buf.(t.next) <- { seq = t.emitted; time; event };
+  t.next <- (t.next + 1) mod t.capacity;
+  if t.count < t.capacity then t.count <- t.count + 1;
+  t.emitted <- t.emitted + 1
+
+let clear t =
+  Array.fill t.buf 0 t.capacity dummy;
+  t.count <- 0;
+  t.next <- 0;
+  t.emitted <- 0
+
+let iter f t =
+  let start = (t.next - t.count + t.capacity) mod t.capacity in
+  for i = 0 to t.count - 1 do
+    f t.buf.((start + i) mod t.capacity)
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun e -> acc := f !acc e) t;
+  !acc
+
+let to_list t = List.rev (fold (fun acc e -> e :: acc) t [])
+
+let count_kind t kind =
+  fold (fun acc e -> if Event.kind e.event = kind then acc + 1 else acc) t 0

@@ -1,0 +1,41 @@
+(** Fixed-capacity ring buffer of timestamped trace events.
+
+    Hook points across the stack call {!emit} with the simulated clock;
+    once the ring is full the oldest entries are overwritten (the
+    {!dropped} counter records how many). Emission is allocation-light —
+    one entry record per event — and O(1), so tracing a long run costs a
+    bounded amount of memory no matter how many events fire. *)
+
+type entry = { seq : int;  (** 0-based global emission index *)
+               time : float;  (** simulated seconds at emission *)
+               event : Event.t }
+
+type t
+
+val create : capacity:int -> unit -> t
+(** [capacity] must be positive. *)
+
+val emit : t -> time:float -> Event.t -> unit
+
+val capacity : t -> int
+
+val length : t -> int
+(** Entries currently retained (≤ capacity). *)
+
+val emitted : t -> int
+(** Total events ever emitted, including overwritten ones. *)
+
+val dropped : t -> int
+(** [emitted - length]: events lost to ring overwrite. *)
+
+val clear : t -> unit
+(** Empty the ring and reset all counters. *)
+
+val iter : (entry -> unit) -> t -> unit
+(** Oldest retained entry first. *)
+
+val fold : ('a -> entry -> 'a) -> t -> 'a -> 'a
+val to_list : t -> entry list
+
+val count_kind : t -> string -> int
+(** Retained entries whose {!Event.kind} equals the tag. *)

@@ -32,7 +32,9 @@ let encode_page_id pid =
   Bytes.set_int64_le b 0 (Int64.of_int pid);
   b
 
-let fail = function Ok v -> v | Error msg -> failwith ("Heap: " ^ msg)
+let fail = function
+  | Ok v -> v
+  | Error e -> failwith ("Heap: " ^ Engine.error_to_string e)
 
 let new_dir_page t =
   let pid = Engine.allocate_page t.engine in
@@ -107,15 +109,17 @@ let insert t ~tx data =
       t.fill <- pid;
       match Engine.insert t.engine ~tx ~page:pid data with
       | Ok slot -> Ok (rowid ~page:pid ~slot)
-      | Error msg -> Error msg)
+      | Error e -> Error (Engine.error_to_string e))
 
 let read t rid = Engine.read t.engine ~page:(page_of_rowid rid) ~slot:(slot_of_rowid rid)
 
 let update t ~tx rid data =
-  Engine.update t.engine ~tx ~page:(page_of_rowid rid) ~slot:(slot_of_rowid rid) data
+  Result.map_error Engine.error_to_string
+    (Engine.update t.engine ~tx ~page:(page_of_rowid rid) ~slot:(slot_of_rowid rid) data)
 
 let delete t ~tx rid =
-  Engine.delete t.engine ~tx ~page:(page_of_rowid rid) ~slot:(slot_of_rowid rid)
+  Result.map_error Engine.error_to_string
+    (Engine.delete t.engine ~tx ~page:(page_of_rowid rid) ~slot:(slot_of_rowid rid))
 
 let iter t f =
   List.iter

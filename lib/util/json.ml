@@ -1,0 +1,277 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ---------------------------------------------------------------- printing *)
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* %.17g round-trips every finite float; make sure the result still reads
+   back as a float (bare digit strings like "3" would parse as Int). *)
+let float_literal f =
+  if Float.is_integer f && Float.abs f < 1e16 then Printf.sprintf "%.1f" f
+  else
+    let s = Printf.sprintf "%.17g" f in
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'n' || c = 'i') s then s
+    else s ^ ".0"
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+      if Float.is_nan f || Float.abs f = Float.infinity then
+        Buffer.add_string buf "null"
+      else Buffer.add_string buf (float_literal f)
+  | String s -> escape_string buf s
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf item)
+        items;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_string buf k;
+          Buffer.add_char buf ':';
+          write buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  write buf t;
+  Buffer.contents buf
+
+let rec pp_indented ppf ~indent = function
+  | (Null | Bool _ | Int _ | Float _ | String _) as scalar ->
+      Format.pp_print_string ppf (to_string scalar)
+  | List [] -> Format.pp_print_string ppf "[]"
+  | List items ->
+      let pad = String.make indent ' ' and pad' = String.make (indent + 2) ' ' in
+      Format.pp_print_string ppf "[\n";
+      List.iteri
+        (fun i item ->
+          if i > 0 then Format.pp_print_string ppf ",\n";
+          Format.pp_print_string ppf pad';
+          pp_indented ppf ~indent:(indent + 2) item)
+        items;
+      Format.fprintf ppf "\n%s]" pad
+  | Obj [] -> Format.pp_print_string ppf "{}"
+  | Obj fields ->
+      let pad = String.make indent ' ' and pad' = String.make (indent + 2) ' ' in
+      Format.pp_print_string ppf "{\n";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Format.pp_print_string ppf ",\n";
+          Format.fprintf ppf "%s%s: " pad'
+            (let b = Buffer.create (String.length k + 2) in
+             escape_string b k;
+             Buffer.contents b);
+          pp_indented ppf ~indent:(indent + 2) v)
+        fields;
+      Format.fprintf ppf "\n%s}" pad
+
+let pp ppf t = pp_indented ppf ~indent:0 t
+
+(* ----------------------------------------------------------------- parsing *)
+
+exception Parse_error of string
+
+type cursor = { src : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let fail c msg =
+  raise (Parse_error (Printf.sprintf "at offset %d: %s" c.pos msg))
+
+let skip_ws c =
+  while
+    c.pos < String.length c.src
+    &&
+    match c.src.[c.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    c.pos <- c.pos + 1
+  done
+
+let expect c ch =
+  match peek c with
+  | Some got when got = ch -> c.pos <- c.pos + 1
+  | _ -> fail c (Printf.sprintf "expected %C" ch)
+
+let parse_literal c word value =
+  let n = String.length word in
+  if c.pos + n <= String.length c.src && String.sub c.src c.pos n = word then (
+    c.pos <- c.pos + n;
+    value)
+  else fail c (Printf.sprintf "expected %s" word)
+
+let parse_string_raw c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek c with
+    | None -> fail c "unterminated string"
+    | Some '"' -> c.pos <- c.pos + 1
+    | Some '\\' -> (
+        c.pos <- c.pos + 1;
+        match peek c with
+        | Some '"' -> Buffer.add_char buf '"'; c.pos <- c.pos + 1; loop ()
+        | Some '\\' -> Buffer.add_char buf '\\'; c.pos <- c.pos + 1; loop ()
+        | Some '/' -> Buffer.add_char buf '/'; c.pos <- c.pos + 1; loop ()
+        | Some 'n' -> Buffer.add_char buf '\n'; c.pos <- c.pos + 1; loop ()
+        | Some 'r' -> Buffer.add_char buf '\r'; c.pos <- c.pos + 1; loop ()
+        | Some 't' -> Buffer.add_char buf '\t'; c.pos <- c.pos + 1; loop ()
+        | Some 'b' -> Buffer.add_char buf '\b'; c.pos <- c.pos + 1; loop ()
+        | Some 'f' -> Buffer.add_char buf '\012'; c.pos <- c.pos + 1; loop ()
+        | Some 'u' ->
+            if c.pos + 5 > String.length c.src then fail c "bad \\u escape";
+            let hex = String.sub c.src (c.pos + 1) 4 in
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with Failure _ -> fail c "bad \\u escape"
+            in
+            (* Only BMP code points below 0x80 are produced by our printer;
+               others are passed through as UTF-8 of the code point. *)
+            if code < 0x80 then Buffer.add_char buf (Char.chr code)
+            else if code < (0x800 [@lint.allow "no-magic-geometry"]) then (
+              (* 0x800: UTF-8 two-byte boundary, nothing to do with chip geometry *)
+              Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F))))
+            else (
+              Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+              Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F))));
+            c.pos <- c.pos + 5;
+            loop ()
+        | _ -> fail c "bad escape")
+    | Some ch ->
+        Buffer.add_char buf ch;
+        c.pos <- c.pos + 1;
+        loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char ch =
+    match ch with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while
+    c.pos < String.length c.src && is_num_char c.src.[c.pos]
+  do
+    c.pos <- c.pos + 1
+  done;
+  let lit = String.sub c.src start (c.pos - start) in
+  if String.exists (fun ch -> ch = '.' || ch = 'e' || ch = 'E') lit then
+    match float_of_string_opt lit with
+    | Some f -> Float f
+    | None -> fail c "bad number"
+  else
+    match int_of_string_opt lit with
+    | Some i -> Int i
+    | None -> (
+        match float_of_string_opt lit with
+        | Some f -> Float f
+        | None -> fail c "bad number")
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail c "unexpected end of input"
+  | Some 'n' -> parse_literal c "null" Null
+  | Some 't' -> parse_literal c "true" (Bool true)
+  | Some 'f' -> parse_literal c "false" (Bool false)
+  | Some '"' -> String (parse_string_raw c)
+  | Some '[' ->
+      c.pos <- c.pos + 1;
+      skip_ws c;
+      if peek c = Some ']' then (
+        c.pos <- c.pos + 1;
+        List [])
+      else
+        let rec items acc =
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              c.pos <- c.pos + 1;
+              items (v :: acc)
+          | Some ']' ->
+              c.pos <- c.pos + 1;
+              List.rev (v :: acc)
+          | _ -> fail c "expected ',' or ']'"
+        in
+        List (items [])
+  | Some '{' ->
+      c.pos <- c.pos + 1;
+      skip_ws c;
+      if peek c = Some '}' then (
+        c.pos <- c.pos + 1;
+        Obj [])
+      else
+        let rec fields acc =
+          skip_ws c;
+          let k = parse_string_raw c in
+          skip_ws c;
+          expect c ':';
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              c.pos <- c.pos + 1;
+              fields ((k, v) :: acc)
+          | Some '}' ->
+              c.pos <- c.pos + 1;
+              List.rev ((k, v) :: acc)
+          | _ -> fail c "expected ',' or '}'"
+        in
+        Obj (fields [])
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some ch -> fail c (Printf.sprintf "unexpected character %C" ch)
+
+let of_string s =
+  let c = { src = s; pos = 0 } in
+  match parse_value c with
+  | v ->
+      skip_ws c;
+      if c.pos <> String.length s then Error "trailing garbage after JSON value"
+      else Ok v
+  | exception Parse_error msg -> Error msg
+
+(* --------------------------------------------------------------- accessors *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_int = function Int i -> Some i | _ -> None
+let to_float = function Float f -> Some f | Int i -> Some (float_of_int i) | _ -> None
+let to_list = function List l -> Some l | _ -> None

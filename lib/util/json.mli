@@ -1,0 +1,36 @@
+(** Minimal JSON tree with a compact printer, an indented pretty-printer and
+    a strict parser.
+
+    Zero dependencies on purpose: this sits at the bottom of the stack so
+    that every stats record (flash, storage, buffer pool) can render itself
+    as JSON without pulling in the observability layer. The printer and
+    parser round-trip: [of_string (to_string v) = Ok v] for every value that
+    contains no NaN or infinite floats (those print as [null]). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering. *)
+
+val pp : Format.formatter -> t -> unit
+(** Indented multi-line rendering (2-space indent). *)
+
+val of_string : string -> (t, string) result
+(** Strict parse of a complete JSON document. Numbers without a fraction or
+    exponent parse as [Int]; everything else numeric parses as [Float]. *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on other constructors. *)
+
+val to_int : t -> int option
+val to_float : t -> float option
+(** [to_float] also accepts [Int]. *)
+
+val to_list : t -> t list option

@@ -1,0 +1,26 @@
+(** Common shape of a cumulative-counter record.
+
+    Every stats record in the system ([Flash_stats.t],
+    [Ipl_storage.stats], [Buffer_pool.stats], and the engine's combined
+    record) implements this, so generic tooling — interval measurement via
+    [diff], aggregation via [add], reporting via [pp]/[to_json] — works on
+    all of them without knowing the field layout. *)
+
+module type S = sig
+  type t
+
+  val zero : t
+
+  val add : t -> t -> t
+  (** Field-wise sum; means and other derived fields are combined with the
+      most sensible interpretation the implementation can offer. *)
+
+  val diff : t -> t -> t
+  (** [diff later earlier]: field-wise difference for interval
+      measurements. *)
+
+  val pp : Format.formatter -> t -> unit
+
+  val to_json : t -> Json.t
+  (** Stable one-level [Obj] whose keys name the record fields. *)
+end

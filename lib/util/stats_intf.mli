@@ -1,0 +1,12 @@
+(** Common signature for cumulative stats records; see the [.ml] for the
+    contract of each operation. *)
+
+module type S = sig
+  type t
+
+  val zero : t
+  val add : t -> t -> t
+  val diff : t -> t -> t
+  val pp : Format.formatter -> t -> unit
+  val to_json : t -> Json.t
+end

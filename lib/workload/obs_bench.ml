@@ -1,0 +1,288 @@
+(* Instrumented end-to-end benchmark: run one deterministic OLTP-style
+   workload on the real IPL engine with the observability layer installed,
+   then replay the physical page traffic it generated on the two
+   conventional flash designs (sequential-logging and in-place). The
+   result is one schema-stable JSON document (BENCH_ipl.json) holding
+   per-operation latency histograms and merge/overflow/wear summaries for
+   all three backends — the data behind the paper's Figure 8 style
+   "where does the time go" discussion. *)
+
+module Chip = Flash_sim.Flash_chip
+module FConfig = Flash_sim.Flash_config
+module FStats = Flash_sim.Flash_stats
+module Engine = Ipl_core.Ipl_engine
+module Config = Ipl_core.Ipl_config
+module Json = Ipl_util.Json
+module Rng = Ipl_util.Rng
+
+type spec = {
+  seed : int;
+  transactions : int;
+  pages : int;
+  slots_per_page : int;
+  payload : int;
+  abort_fraction : float;
+  buffer_pages : int;
+  compact_every : int;
+  num_blocks : int;
+}
+
+let default =
+  {
+    seed = 42;
+    transactions = 400;
+    pages = 12;
+    slots_per_page = 8;
+    payload = 48;
+    abort_fraction = 0.15;
+    buffer_pages = 8;
+    compact_every = 50;
+    num_blocks = 64;
+  }
+
+let quick = { default with transactions = 120 }
+
+type t = {
+  spec : spec;
+  engine : Engine.t;
+  tracer : Obs.Tracer.t;
+  metrics : Obs.Metrics.t;
+  json : Json.t;
+}
+
+let schema_version = "ipl-bench/1"
+
+(* Ring sized so a default-spec run keeps every event, including the
+   per-sector chip events (the test asserts [dropped = 0]). *)
+let tracer_capacity spec = (spec.transactions * 96) + (8 * 1024)
+
+let engine_config spec =
+  {
+    Config.default with
+    Config.recovery_enabled = true;
+    buffer_pages = spec.buffer_pages;
+  }
+
+let timed chip latency f =
+  let t0 = Chip.elapsed chip in
+  let r = f () in
+  Obs.Metrics.Latency.observe latency (Chip.elapsed chip -. t0);
+  r
+
+(* The same OLTP-ish mix as the fault campaign (55% update / 30% insert /
+   15% delete in 1-4-op transactions, a slice of them aborted), seeded so
+   every run of the same spec produces the same event stream. Live slots
+   are tracked so updates/deletes mostly hit real records. *)
+let run_workload spec engine tracer metrics =
+  let chip = Engine.chip engine in
+  Engine.set_tracer engine (Some tracer);
+  let lat name = Obs.Metrics.latency metrics ("op." ^ name) in
+  let l_insert = lat "insert"
+  and l_update = lat "update"
+  and l_delete = lat "delete"
+  and l_commit = lat "commit" in
+  let c_abort = Obs.Metrics.counter metrics "txn.aborts"
+  and c_commit = Obs.Metrics.counter metrics "txn.commits" in
+  let rng = Rng.of_int spec.seed in
+  let bytes_of len = Bytes.of_string (Rng.alpha_string rng ~min:len ~max:len) in
+  let pages = Array.init spec.pages (fun _ -> Engine.allocate_page engine) in
+  let live = Hashtbl.create (spec.pages * spec.slots_per_page) in
+  (* Seed every page with an initial set of records. *)
+  let tx = Engine.begin_txn engine in
+  Array.iter
+    (fun p ->
+      for _ = 1 to spec.slots_per_page do
+        match Engine.insert engine ~tx ~page:p (bytes_of spec.payload) with
+        | Ok slot -> Hashtbl.replace live (p, slot) ()
+        | Error e -> failwith ("Obs_bench: setup insert: " ^ Engine.error_to_string e)
+      done)
+    pages;
+  Engine.commit engine tx;
+  Engine.checkpoint engine;
+  for n = 1 to spec.transactions do
+    let tx = Engine.begin_txn engine in
+    let nops = 1 + Rng.int rng 4 in
+    for _ = 1 to nops do
+      let page = pages.(Rng.int rng (Array.length pages)) in
+      let slot = Rng.int rng (spec.slots_per_page * 2) in
+      let r = Rng.float rng 1.0 in
+      if r < 0.55 then (
+        let len =
+          if Rng.chance rng 0.25 then 1 + Rng.int rng (2 * spec.payload) else spec.payload
+        in
+        let data = bytes_of len in
+        match timed chip l_update (fun () -> Engine.update engine ~tx ~page ~slot data) with
+        | Ok () -> ()
+        | Error _ -> ())
+      else if r < 0.85 then (
+        let data = bytes_of spec.payload in
+        match timed chip l_insert (fun () -> Engine.insert engine ~tx ~page data) with
+        | Ok slot -> Hashtbl.replace live (page, slot) ()
+        | Error _ -> ())
+      else
+        match timed chip l_delete (fun () -> Engine.delete engine ~tx ~page ~slot) with
+        | Ok () -> Hashtbl.remove live (page, slot)
+        | Error _ -> ()
+    done;
+    if Rng.chance rng spec.abort_fraction then begin
+      Engine.abort engine tx;
+      Obs.Metrics.Counter.incr c_abort
+    end
+    else begin
+      timed chip l_commit (fun () -> Engine.commit engine tx);
+      Obs.Metrics.Counter.incr c_commit
+    end;
+    if spec.compact_every > 0 && n mod spec.compact_every = 0 then
+      ignore (Engine.compact engine ~max_merges:1)
+  done;
+  Engine.checkpoint engine
+
+(* The physical page traffic of the IPL run, as a conventional design
+   would see it: every log-sector flush (in-page or diverted) is a page
+   the conventional design must rewrite; every storage-level page fetch
+   is a page it must read. Replayed in trace order. *)
+let page_stream tracer =
+  List.rev
+    (Obs.Tracer.fold
+       (fun acc (e : Obs.Tracer.entry) ->
+         match e.event with
+         | Obs.Event.Log_flush { page; _ } | Obs.Event.Overflow_diversion { page; _ } ->
+             `Write page :: acc
+         | Obs.Event.Page_read { page; _ } -> `Read page :: acc
+         | _ -> acc)
+       tracer [])
+
+let replay_conventional spec stream ~create ~format ~write ~read ~num_pages ~store_json =
+  let chip = Chip.create (FConfig.default ~num_blocks:spec.num_blocks ()) in
+  let page_size = Config.default.Config.page_size in
+  let store = create chip ~page_size in
+  format store;
+  let metrics = Obs.Metrics.create () in
+  let l_write = Obs.Metrics.latency metrics "op.write_page"
+  and l_read = Obs.Metrics.latency metrics "op.read_page" in
+  let n = num_pages store in
+  List.iter
+    (fun op ->
+      match op with
+      | `Write page -> timed chip l_write (fun () -> write store (page mod n))
+      | `Read page -> timed chip l_read (fun () -> read store (page mod n)))
+    stream;
+  let ops =
+    Json.Obj
+      [
+        ("write_page", Obs.Metrics.Latency.to_json l_write);
+        ("read_page", Obs.Metrics.Latency.to_json l_read);
+      ]
+  in
+  (ops, store_json store, FStats.to_json (Chip.stats chip))
+
+let lfs_backend spec stream =
+  let ops, store, flash =
+    replay_conventional spec stream
+      ~create:(fun chip ~page_size -> Baseline.Lfs_store.create chip ~page_size)
+      ~format:Baseline.Lfs_store.format
+      ~write:Baseline.Lfs_store.write_page ~read:Baseline.Lfs_store.read_page
+      ~num_pages:Baseline.Lfs_store.num_pages
+      ~store_json:(fun s ->
+        let st = Baseline.Lfs_store.stats s in
+        Json.Obj
+          [
+            ("page_writes", Json.Int st.Baseline.Lfs_store.page_writes);
+            ("page_reads", Json.Int st.Baseline.Lfs_store.page_reads);
+            ("gc_runs", Json.Int st.Baseline.Lfs_store.gc_runs);
+            ("gc_page_moves", Json.Int st.Baseline.Lfs_store.gc_page_moves);
+            ("erases", Json.Int st.Baseline.Lfs_store.erases);
+          ])
+  in
+  Json.Obj [ ("name", Json.String "lfs"); ("ops", ops); ("store", store); ("flash", flash) ]
+
+let inplace_backend spec stream =
+  let ops, store, flash =
+    replay_conventional spec stream ~create:Baseline.Inplace_store.create
+      ~format:Baseline.Inplace_store.format
+      ~write:Baseline.Inplace_store.write_page ~read:Baseline.Inplace_store.read_page
+      ~num_pages:Baseline.Inplace_store.num_pages
+      ~store_json:(fun s ->
+        let st = Baseline.Inplace_store.stats s in
+        Json.Obj
+          [
+            ("page_writes", Json.Int st.Baseline.Inplace_store.page_writes);
+            ("page_reads", Json.Int st.Baseline.Inplace_store.page_reads);
+            ("erases", Json.Int st.Baseline.Inplace_store.erases);
+          ])
+  in
+  Json.Obj [ ("name", Json.String "inplace"); ("ops", ops); ("store", store); ("flash", flash) ]
+
+let event_counts tracer =
+  let tbl = Hashtbl.create 16 in
+  Obs.Tracer.iter
+    (fun (e : Obs.Tracer.entry) ->
+      let k = Obs.Event.kind e.event in
+      Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+    tracer;
+  List.filter_map
+    (fun k -> Option.map (fun n -> (k, Json.Int n)) (Hashtbl.find_opt tbl k))
+    Obs.Event.kinds
+
+let workload_json spec =
+  Json.Obj
+    [
+      ("seed", Json.Int spec.seed);
+      ("transactions", Json.Int spec.transactions);
+      ("pages", Json.Int spec.pages);
+      ("slots_per_page", Json.Int spec.slots_per_page);
+      ("payload", Json.Int spec.payload);
+      ("abort_fraction", Json.Float spec.abort_fraction);
+      ("buffer_pages", Json.Int spec.buffer_pages);
+      ("compact_every", Json.Int spec.compact_every);
+      ("num_blocks", Json.Int spec.num_blocks);
+    ]
+
+let ipl_backend engine metrics =
+  let ops =
+    Json.Obj
+      (List.filter_map
+         (fun name ->
+           match Obs.Metrics.find metrics ("op." ^ name) with
+           | Some (`Histogram h) -> Some (name, Obs.Metrics.Latency.to_json h)
+           | _ -> None)
+         [ "insert"; "update"; "delete"; "commit" ])
+  in
+  (* The combined Stats module already renders the storage/pool/flash
+     summaries; splice them in next to the latency histograms. *)
+  let layers =
+    match Engine.Stats.to_json (Engine.stats engine) with
+    | Json.Obj fields -> fields
+    | other -> [ ("stats", other) ]
+  in
+  Json.Obj (("name", Json.String "ipl") :: ("ops", ops) :: layers)
+
+let run ?(spec = default) () =
+  let chip = Chip.create (FConfig.default ~num_blocks:spec.num_blocks ()) in
+  let engine = Engine.create ~config:(engine_config spec) chip in
+  let tracer = Obs.Tracer.create ~capacity:(tracer_capacity spec) () in
+  let metrics = Obs.Metrics.create () in
+  run_workload spec engine tracer metrics;
+  let stream = page_stream tracer in
+  let trace_summary =
+    Json.Obj
+      [
+        ("emitted", Json.Int (Obs.Tracer.emitted tracer));
+        ("dropped", Json.Int (Obs.Tracer.dropped tracer));
+        ("events", Json.Obj (event_counts tracer));
+      ]
+  in
+  let json =
+    Json.Obj
+      [
+        ("schema", Json.String schema_version);
+        ("workload", workload_json spec);
+        ("trace", trace_summary);
+        ( "backends",
+          Json.List
+            [ ipl_backend engine metrics; lfs_backend spec stream; inplace_backend spec stream ] );
+      ]
+  in
+  { spec; engine; tracer; metrics; json }
+
+let write_json path t = Obs.Export.to_file path (Json.to_string t.json ^ "\n")

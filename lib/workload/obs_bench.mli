@@ -1,0 +1,47 @@
+(** Instrumented end-to-end benchmark behind [ipl_cli bench --json],
+    [ipl_cli observe] and the BENCH_ipl.json artifact.
+
+    Runs one deterministic OLTP-style workload on the real IPL engine
+    with a tracer and latency metrics installed, then replays the
+    physical page traffic the run generated (log-sector flushes as page
+    writes, storage-level fetches as page reads) on the two conventional
+    designs — {!Baseline.Lfs_store} and {!Baseline.Inplace_store} — under
+    identical chip geometry. All timing is the chip's simulated clock, so
+    the output is machine-independent and reproducible from the seed. *)
+
+type spec = {
+  seed : int;
+  transactions : int;  (** transactions after the setup phase *)
+  pages : int;  (** data pages allocated up front *)
+  slots_per_page : int;  (** records seeded per page *)
+  payload : int;  (** record payload, bytes *)
+  abort_fraction : float;
+  buffer_pages : int;  (** pool capacity; small values force evictions *)
+  compact_every : int;  (** background-merge period in transactions; 0 = never *)
+  num_blocks : int;  (** chip size, erase blocks (same for every backend) *)
+}
+
+val default : spec
+val quick : spec
+(** [default] with fewer transactions, for CI smoke runs. *)
+
+type t = {
+  spec : spec;
+  engine : Ipl_core.Ipl_engine.t;  (** the engine after the run, for inspection *)
+  tracer : Obs.Tracer.t;  (** full event trace of the IPL run *)
+  metrics : Obs.Metrics.t;  (** per-operation latency histograms and counters *)
+  json : Ipl_util.Json.t;  (** the BENCH_ipl.json document *)
+}
+
+val schema_version : string
+(** ["ipl-bench/1"] — the [schema] field of the JSON document. *)
+
+val run : ?spec:spec -> unit -> t
+(** Run the workload and both conventional replays; never raises on a
+    well-formed spec. The resulting [json] is
+    [{schema; workload; trace; backends = [ipl; lfs; inplace]}] where each
+    backend carries [ops] latency histograms plus its layer stats
+    (IPL: storage/pool/flash with merge, overflow and wear counters). *)
+
+val write_json : string -> t -> unit
+(** [write_json path t] writes [t.json] (compact, newline-terminated). *)

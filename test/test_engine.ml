@@ -19,7 +19,7 @@ let mk ?recovery ?buffer_pages ?(blocks = 64) () =
   let config = base_config ?recovery ?buffer_pages () in
   (chip, config, Engine.create ~config chip)
 
-let ok = function Ok x -> x | Error e -> Alcotest.failf "unexpected error: %s" e
+let ok = function Ok x -> x | Error e -> Alcotest.failf "unexpected error: %s" (Engine.error_to_string e)
 
 let test_insert_read () =
   let _, _, e = mk () in
@@ -186,11 +186,11 @@ let test_oversized_records_rejected_cleanly () =
   let page = Engine.allocate_page e in
   let max = Engine.max_record_payload e in
   (match Engine.insert e ~tx:0 ~page (Bytes.make (max + 1) 'x') with
-  | Error "record too large to log" -> ()
+  | Error Engine.Record_too_large -> ()
   | _ -> Alcotest.fail "oversized insert must be rejected");
   let slot = ok (Engine.insert e ~tx:0 ~page (Bytes.make 10 'x')) in
   (match Engine.update e ~tx:0 ~page ~slot (Bytes.make (max + 1) 'y') with
-  | Error "record too large to log" -> ()
+  | Error Engine.Record_too_large -> ()
   | _ -> Alcotest.fail "oversized update must be rejected");
   (* A maximal-size record still works end to end. *)
   let slot2 = ok (Engine.insert e ~tx:0 ~page (Bytes.make max 'm')) in

@@ -149,7 +149,7 @@ let update_until_boom e ~page ~slot =
        active := Some tx;
        (match Engine.update e ~tx ~page ~slot (payload c) with
        | Ok () -> ()
-       | Error m -> failwith m);
+       | Error m -> failwith (Engine.error_to_string m));
        Engine.commit e tx;
        active := None;
        committed := c
@@ -167,7 +167,7 @@ let test_merge_transient_exception_rolls_back () =
   let page = Engine.allocate_page e in
   let tx = Engine.begin_txn e in
   let slot =
-    match Engine.insert e ~tx ~page (payload 'a') with Ok s -> s | Error m -> failwith m
+    match Engine.insert e ~tx ~page (payload 'a') with Ok s -> s | Error m -> failwith (Engine.error_to_string m)
   in
   Engine.commit e tx;
   (* A transient failure (not a power loss: the chip stays alive) in the
@@ -185,7 +185,7 @@ let test_merge_transient_exception_rolls_back () =
   let tx = Engine.begin_txn e in
   (match Engine.update e ~tx ~page ~slot (payload 'z') with
   | Ok () -> ()
-  | Error m -> failwith m);
+  | Error m -> failwith (Engine.error_to_string m));
   Engine.commit e tx;
   Alcotest.(check (option bytes)) "engine keeps working" (Some (payload 'z'))
     (Engine.read e ~page ~slot);
@@ -199,7 +199,7 @@ let test_merge_power_loss_recovers () =
   let page = Engine.allocate_page e in
   let tx = Engine.begin_txn e in
   let slot =
-    match Engine.insert e ~tx ~page (payload 'a') with Ok s -> s | Error m -> failwith m
+    match Engine.insert e ~tx ~page (payload 'a') with Ok s -> s | Error m -> failwith (Engine.error_to_string m)
   in
   Engine.commit e tx;
   Plan.install chip (fun _ op -> if merge_bomb op then Chip.Fail_stop else Chip.Proceed);
