@@ -189,7 +189,8 @@ let replay_cmd =
 
 (* ---------------- faultcheck ---------------- *)
 
-let faultcheck ops sample seed transactions pages no_tear broken =
+let crash_campaign ops sample seed transactions pages no_tear broken =
+  let transactions = Option.value ~default:200 transactions in
   let spec = { Fault.Workload.default with Fault.Workload.seed; transactions; pages } in
   let report = Fault.Campaign.run ~tear:(not no_tear) ~broken ~max_ops:ops ~sample spec in
   Format.printf "%a@." Fault.Campaign.pp_report report;
@@ -205,6 +206,36 @@ let faultcheck ops sample seed transactions pages no_tear broken =
     end
   else if nviol > 0 then exit 1
 
+let resilience_campaign profile spares seed transactions =
+  if profile = "remap-crash" then begin
+    match Fault.Campaign.run_remap_crash ~spares ~seed () with
+    | [] -> Printf.printf "remap-crash: every crash point recovered cleanly\n"
+    | l ->
+        List.iter
+          (fun (delta, vs) ->
+            Printf.printf "crash %d ops after remap trigger:\n" delta;
+            List.iter (fun v -> Printf.printf "- %s\n" v) vs)
+          l;
+        exit 1
+  end
+  else
+    match Fault.Campaign.profile_of_string profile with
+    | None ->
+        Printf.eprintf
+          "unknown profile %S (expected flaky, program, erase, wearout or remap-crash)\n"
+          profile;
+        exit 2
+    | Some p ->
+        let transactions = Option.value ~default:0 transactions in
+        let r = Fault.Campaign.run_resilience ~spares ~transactions ~seed p in
+        Format.printf "%a@." Fault.Campaign.pp_resilience_report r;
+        if not (Fault.Campaign.resilience_ok r) then exit 1
+
+let faultcheck ops sample seed transactions pages no_tear broken profile spares =
+  match profile with
+  | None -> crash_campaign ops sample seed transactions pages no_tear broken
+  | Some profile -> resilience_campaign profile spares seed transactions
+
 let ops_t =
   Arg.(
     value
@@ -219,7 +250,11 @@ let sample_t =
     & info [ "sample" ] ~doc:"Test only $(docv) crash points, spread evenly (0 = every point).")
 
 let fc_transactions_t =
-  Arg.(value & opt int 200 & info [ "n"; "transactions" ] ~doc:"Transactions in the workload.")
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "n"; "transactions" ]
+        ~doc:"Transactions in the workload (default: 200, or the profile's own length).")
 
 let fc_pages_t = Arg.(value & opt int 6 & info [ "pages" ] ~doc:"Data pages in the workload.")
 
@@ -234,13 +269,31 @@ let broken_t =
     & info [ "broken" ]
         ~doc:"Self-test: disable commit-time log forcing and verify the checker flags the lost transactions (exits 0 only if it does).")
 
+let profile_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile" ]
+        ~doc:
+          "Run a device-resilience campaign instead of the crash-point one: $(b,flaky) \
+           (correctable/transient reads), $(b,program), $(b,erase) (random failures), \
+           $(b,wearout) (to spare-pool exhaustion) or $(b,remap-crash) (power loss mid-remap).")
+
+let spares_t =
+  Arg.(
+    value & opt int 4
+    & info [ "spares" ] ~doc:"Spare-pool size for $(b,--profile) campaigns.")
+
 let faultcheck_cmd =
   Cmd.v
     (Cmd.info "faultcheck"
-       ~doc:"Crash-point campaign: crash at every flash operation, restart, verify recovery against a model oracle.")
+       ~doc:
+         "Fault campaigns: crash at every flash operation and verify recovery against a \
+          model oracle, or ($(b,--profile)) inject device failures against the bad-block \
+          manager and verify zero data loss up to read-only degradation.")
     Term.(
       const faultcheck $ ops_t $ sample_t $ seed_t $ fc_transactions_t $ fc_pages_t $ no_tear_t
-      $ broken_t)
+      $ broken_t $ profile_t $ spares_t)
 
 (* ---------------- observe ---------------- *)
 
@@ -330,8 +383,9 @@ let observe_cmd =
 
 (* ---------------- bench ---------------- *)
 
-let bench transactions seed quick json out =
+let bench transactions seed quick spares json out =
   let spec = obs_spec transactions seed quick in
+  let spec = { spec with Workload.Obs_bench.spare_blocks = spares } in
   let r = Workload.Obs_bench.run ~spec () in
   let member = Ipl_util.Json.member in
   let backends =
@@ -361,6 +415,14 @@ let bench transactions seed quick json out =
 let bench_json_t =
   Arg.(value & flag & info [ "json" ] ~doc:"Also write the full benchmark document as JSON.")
 
+let bench_spares_t =
+  Arg.(
+    value & opt int 0
+    & info [ "spares" ]
+        ~doc:
+          "Run the IPL engine with an $(docv)-block spare pool (bad-block manager); its \
+           resilience counters appear in the JSON backend stats.")
+
 let bench_out_t =
   Arg.(
     value
@@ -373,7 +435,9 @@ let bench_cmd =
        ~doc:
          "Instrumented three-backend benchmark (IPL vs sequential-logging vs in-place); \
           $(b,--json) writes the schema-stable BENCH_ipl.json.")
-    Term.(const bench $ obs_transactions_t $ seed_t $ obs_quick_t $ bench_json_t $ bench_out_t)
+    Term.(
+      const bench $ obs_transactions_t $ seed_t $ obs_quick_t $ bench_spares_t $ bench_json_t
+      $ bench_out_t)
 
 (* ---------------- queries ---------------- *)
 

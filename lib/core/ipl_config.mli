@@ -31,6 +31,17 @@ type t = {
           arrives when n commits have accumulated (or on
           {!Ipl_engine.flush_commits}/checkpoint), letting records of
           several transactions share flash log sectors *)
+  spare_blocks : int;
+      (** 0 (default): resilience off, the engine talks to the raw chip.
+          n > 0: the last n blocks of the chip become the bad-block
+          manager's spare pool and every data-area operation goes through
+          it (see [lib/resilience]) *)
+  read_retries : int;
+      (** bounded retries of a failed physical read, beyond the first
+          attempt (resilience only) *)
+  scrub_on_correctable : bool;
+      (** preventively relocate an erase unit whose read needed ECC
+          correction (resilience only) *)
 }
 
 val default : t

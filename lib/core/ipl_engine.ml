@@ -11,6 +11,7 @@ type combined_stats = {
   storage : Ipl_storage.stats;
   pool : Pool.stats;
   flash : Flash_sim.Flash_stats.t;
+  resilience : Resilience.Bbm.stats;
 }
 
 type error =
@@ -20,6 +21,8 @@ type error =
   | No_such_slot
   | Range_out_of_bounds
   | Bad_record_length
+  | Device_degraded
+  | Read_failed
 
 (* The strings reproduce the pre-typed-error API exactly, so callers that
    formatted engine errors keep their output. *)
@@ -30,6 +33,8 @@ let error_to_string = function
   | No_such_slot -> "slot not live"
   | Range_out_of_bounds -> "range outside record"
   | Bad_record_length -> "bad record length"
+  | Device_degraded -> "device degraded: read-only"
+  | Read_failed -> "uncorrectable read error"
 
 let pp_error ppf e = Format.pp_print_string ppf (error_to_string e)
 
@@ -47,6 +52,7 @@ type t = {
   config : Ipl_config.t;
   chip : Chip.t;
   store : Ipl_storage.t;
+  bbm : Resilience.Bbm.t option;
   trx : Trx_log.t option;
   pool : frame Pool.t;
   txns : (int, txn_info) Hashtbl.t;
@@ -76,7 +82,7 @@ let flush_frame store trx page frame =
     Log_sector.clear frame.log
   end
 
-let build config chip store trx =
+let build config chip store bbm trx =
   let pool =
     Pool.create ~capacity:config.Ipl_config.buffer_pages
       ~fetch:(fun pid ->
@@ -91,6 +97,7 @@ let build config chip store trx =
     config;
     chip;
     store;
+    bbm;
     trx;
     pool;
     txns = Hashtbl.create 64;
@@ -106,6 +113,9 @@ let set_tracer t tracer =
   t.tracer <- tracer;
   Chip.set_tracer t.chip tracer;
   Ipl_storage.set_tracer t.store tracer;
+  (match t.bbm with
+  | Some d -> Resilience.Bbm.set_tracer d tracer
+  | None -> ());
   Pool.set_trace t.pool
     (match tracer with
     | None -> None
@@ -118,10 +128,35 @@ let emit_txn_event t ev =
   | None -> ()
   | Some tr -> Obs.Tracer.emit tr ~time:(Chip.elapsed t.chip) ev
 
+(* Resilience layout: the spare pool lives in the last [spare_blocks]
+   physical blocks of the chip, carved out of (never handed to) the
+   storage manager's data area. The metadata and transaction log regions
+   stay on the raw chip — the manager's own state is persisted through
+   the metadata log, so routing that region through it would be
+   circular. *)
+let bbm_parts config chip ~meta =
+  let spare_blocks = config.Ipl_config.spare_blocks in
+  if spare_blocks = 0 then None
+  else begin
+    let fc = Chip.config chip in
+    let spares =
+      List.init spare_blocks (fun i -> fc.FConfig.num_blocks - spare_blocks + i)
+    in
+    let persist ev =
+      Meta_log.log meta
+        (match ev with
+        | Resilience.Bbm.P_remap { virt; phys } -> Meta_log.Remap { virt; phys }
+        | Resilience.Bbm.P_retire { block } -> Meta_log.Retire { block }
+        | Resilience.Bbm.P_degraded -> Meta_log.Degraded)
+    in
+    Some (spares, persist, fun () -> Meta_log.force meta)
+  end
+
 let create ?(config = Ipl_config.default) ?(meta_blocks = 4) ?(trx_blocks = 4) chip =
   let fc = Chip.config chip in
   let reserved = meta_blocks + trx_blocks in
-  if fc.FConfig.num_blocks <= reserved then invalid_arg "Ipl_engine: chip too small";
+  if fc.FConfig.num_blocks <= reserved + config.Ipl_config.spare_blocks then
+    invalid_arg "Ipl_engine: chip too small";
   let meta = Meta_log.create chip ~first_block:0 ~num_blocks:meta_blocks in
   let trx =
     if config.Ipl_config.recovery_enabled then
@@ -133,12 +168,22 @@ let create ?(config = Ipl_config.default) ?(meta_blocks = 4) ?(trx_blocks = 4) c
     | Some log -> fun txid -> Trx_log.status log txid
     | None -> fun _ -> Trx_log.Committed
   in
+  let bbm =
+    match bbm_parts config chip ~meta with
+    | None -> None
+    | Some (spares, persist, force) ->
+        Some
+          (Resilience.Bbm.create chip ~spares
+             ~read_retries:config.Ipl_config.read_retries
+             ~scrub_on_correctable:config.Ipl_config.scrub_on_correctable ~persist
+             ~force ())
+  in
   let store =
-    Ipl_storage.create ~config chip ~first_block:reserved
-      ~num_blocks:(fc.FConfig.num_blocks - reserved)
+    Ipl_storage.create ~config ?bbm chip ~first_block:reserved
+      ~num_blocks:(fc.FConfig.num_blocks - reserved - config.Ipl_config.spare_blocks)
       ~txn_status ~meta ()
   in
-  build config chip store trx
+  build config chip store bbm trx
 
 let restart ?(config = Ipl_config.default) ?(meta_blocks = 4) ?(trx_blocks = 4) chip =
   let fc = Chip.config chip in
@@ -155,12 +200,32 @@ let restart ?(config = Ipl_config.default) ?(meta_blocks = 4) ?(trx_blocks = 4) 
     | Some log -> fun txid -> Trx_log.status log txid
     | None -> fun _ -> Trx_log.Committed
   in
+  let bbm =
+    match bbm_parts config chip ~meta with
+    | None -> None
+    | Some (spares, persist, force) ->
+        let bbm_events =
+          List.filter_map
+            (function
+              | Meta_log.Remap { virt; phys } ->
+                  Some (Resilience.Bbm.P_remap { virt; phys })
+              | Meta_log.Retire { block } -> Some (Resilience.Bbm.P_retire { block })
+              | Meta_log.Degraded -> Some Resilience.Bbm.P_degraded
+              | _ -> None)
+            events
+        in
+        Some
+          (Resilience.Bbm.recover chip ~spares
+             ~read_retries:config.Ipl_config.read_retries
+             ~scrub_on_correctable:config.Ipl_config.scrub_on_correctable ~persist
+             ~force ~events:bbm_events ())
+  in
   let store =
-    Ipl_storage.recover ~config chip ~first_block:reserved
-      ~num_blocks:(fc.FConfig.num_blocks - reserved)
+    Ipl_storage.recover ~config ?bbm chip ~first_block:reserved
+      ~num_blocks:(fc.FConfig.num_blocks - reserved - config.Ipl_config.spare_blocks)
       ~txn_status ~meta ~meta_events:events ()
   in
-  let t = build config chip store trx in
+  let t = build config chip store bbm trx in
   (match trx with
   | Some log -> t.next_txid <- max t.next_txid (Trx_log.max_txid log + 1)
   | None -> ());
@@ -294,14 +359,30 @@ let add_record t frame ~page record =
       | `Added -> ()
       | `Full -> assert false (* empty sector accepts any record Log_sector admits *))
 
+(* Resilience guard around the result-returning entry points: once the
+   device is read-only every mutation is refused up front, and the
+   bad-block manager's exceptions (spare pool exhausted mid-operation, a
+   read that failed all its retries) become typed errors instead of
+   escaping to the caller. Without a manager this is a plain call. *)
+let guard t f =
+  match t.bbm with
+  | None -> f ()
+  | Some d ->
+      if Resilience.Bbm.degraded d then Error Device_degraded
+      else (
+        try f () with
+        | Resilience.Bbm.Degraded -> Error Device_degraded
+        | Resilience.Bbm.Uncorrectable _ -> Error Read_failed)
+
 let mutate t ~tx ~page f =
-  Pool.with_page t.pool page ~dirty:true (fun frame ->
-      match f frame.page with
-      | Ok record ->
-          add_record t frame ~page record;
-          note_dirty t ~tx ~page;
-          Ok ()
-      | Error _ as e -> e)
+  guard t (fun () ->
+      Pool.with_page t.pool page ~dirty:true (fun frame ->
+          match f frame.page with
+          | Ok record ->
+              add_record t frame ~page record;
+              note_dirty t ~tx ~page;
+              Ok ()
+          | Error _ as e -> e))
 
 (* Largest record payload the logging path accepts: one record must fit an
    empty in-memory log sector. *)
@@ -311,14 +392,15 @@ let max_record_payload t =
 let insert t ~tx ~page data =
   if Bytes.length data > max_record_payload t then Error Record_too_large
   else
-    Pool.with_page t.pool page ~dirty:true (fun frame ->
-        match Page.insert frame.page data with
-        | None -> Error Page_full
-        | Some slot ->
-            add_record t frame ~page
-              { Log_record.txid = tx; page; op = Log_record.Insert { slot; record = data } };
-            note_dirty t ~tx ~page;
-            Ok slot)
+    guard t (fun () ->
+        Pool.with_page t.pool page ~dirty:true (fun frame ->
+            match Page.insert frame.page data with
+            | None -> Error Page_full
+            | Some slot ->
+                add_record t frame ~page
+                  { Log_record.txid = tx; page; op = Log_record.Insert { slot; record = data } };
+                note_dirty t ~tx ~page;
+                Ok slot))
 
 let delete t ~tx ~page ~slot =
   mutate t ~tx ~page (fun p ->
@@ -361,6 +443,7 @@ let update_range_records t ~tx ~page ~slot ~before ~data =
     (Ipl_util.Diff.ranges before data)
 
 let update t ~tx ~page ~slot data =
+  guard t @@ fun () ->
   Pool.with_page t.pool page (fun frame ->
       match Page.read frame.page slot with
       | None -> Error No_such_slot
@@ -434,6 +517,26 @@ let update_range t ~tx ~page ~slot ~offset data =
 
 let read t ~page ~slot = Pool.with_page t.pool page (fun frame -> Page.read frame.page slot)
 
+(* Exception-free variants for callers that must survive device failures
+   (campaign workloads, servers). The raising [read]/[commit]/
+   [allocate_page] stay for legacy callers and tests. Reads never hit the
+   degraded gate: a read-only device still serves committed data. *)
+let read_result t ~page ~slot =
+  try Ok (read t ~page ~slot)
+  with Resilience.Bbm.Uncorrectable _ -> Error Read_failed
+
+let allocate_page_result t = guard t (fun () -> Ok (allocate_page t))
+
+let commit_result t txid =
+  match t.bbm with
+  | None -> Ok (commit t txid)
+  | Some d ->
+      if Resilience.Bbm.degraded d then Error Device_degraded
+      else (
+        try Ok (commit t txid) with
+        | Resilience.Bbm.Degraded -> Error Device_degraded
+        | Resilience.Bbm.Uncorrectable _ -> Error Read_failed)
+
 let with_page t page f = Pool.with_page t.pool page (fun frame -> f frame.page)
 
 let page_free_space t page = with_page t page Page.free_space
@@ -455,11 +558,23 @@ let compact t ~max_merges =
   Pool.flush_all t.pool;
   Ipl_storage.merge_fullest t.store ~max_merges
 
+let degraded t =
+  match t.bbm with Some d -> Resilience.Bbm.degraded d | None -> false
+
+let spares_left t =
+  match t.bbm with Some d -> Resilience.Bbm.spares_left d | None -> 0
+
+let bbm t = t.bbm
+
 let stats t =
   {
     storage = Ipl_storage.stats t.store;
     pool = Pool.stats t.pool;
     flash = Chip.stats t.chip;
+    resilience =
+      (match t.bbm with
+      | Some d -> Resilience.Bbm.stats d
+      | None -> Resilience.Bbm.Stats.zero);
   }
 
 module Stats = struct
@@ -470,6 +585,7 @@ module Stats = struct
       storage = Ipl_storage.Stats.zero;
       pool = Pool.Stats.zero;
       flash = Flash_sim.Flash_stats.zero;
+      resilience = Resilience.Bbm.Stats.zero;
     }
 
   let add a b =
@@ -477,6 +593,7 @@ module Stats = struct
       storage = Ipl_storage.Stats.add a.storage b.storage;
       pool = Pool.Stats.add a.pool b.pool;
       flash = Flash_sim.Flash_stats.add a.flash b.flash;
+      resilience = Resilience.Bbm.Stats.add a.resilience b.resilience;
     }
 
   let diff a b =
@@ -484,11 +601,13 @@ module Stats = struct
       storage = Ipl_storage.Stats.diff a.storage b.storage;
       pool = Pool.Stats.diff a.pool b.pool;
       flash = Flash_sim.Flash_stats.diff a.flash b.flash;
+      resilience = Resilience.Bbm.Stats.diff a.resilience b.resilience;
     }
 
   let pp ppf t =
-    Format.fprintf ppf "@[<v>flash: %a@,%a@,pool: %a@]" Flash_sim.Flash_stats.pp t.flash
-      Ipl_storage.Stats.pp t.storage Pool.Stats.pp t.pool
+    Format.fprintf ppf "@[<v>flash: %a@,%a@,pool: %a@,%a@]" Flash_sim.Flash_stats.pp
+      t.flash Ipl_storage.Stats.pp t.storage Pool.Stats.pp t.pool
+      Resilience.Bbm.Stats.pp t.resilience
 
   let to_json t =
     Ipl_util.Json.Obj
@@ -496,5 +615,6 @@ module Stats = struct
         ("storage", Ipl_storage.Stats.to_json t.storage);
         ("pool", Pool.Stats.to_json t.pool);
         ("flash", Flash_sim.Flash_stats.to_json t.flash);
+        ("resilience", Resilience.Bbm.Stats.to_json t.resilience);
       ]
 end

@@ -20,6 +20,7 @@ type combined_stats = {
   storage : Ipl_storage.stats;
   pool : Bufmgr.Buffer_pool.stats;
   flash : Flash_sim.Flash_stats.t;
+  resilience : Resilience.Bbm.stats;
 }
 
 type error =
@@ -29,6 +30,10 @@ type error =
   | No_such_slot  (** slot is not live on the page *)
   | Range_out_of_bounds  (** byte range falls outside the record *)
   | Bad_record_length  (** zero-length or oversized record payload *)
+  | Device_degraded
+      (** the spare pool is exhausted: the device is permanently read-only
+          (reads still serve all committed data) *)
+  | Read_failed  (** a flash read failed all its bounded retries *)
 
 val error_to_string : error -> string
 (** The exact strings of the pre-typed-error API ("page full",
@@ -43,7 +48,11 @@ val create :
   Flash_sim.Flash_chip.t ->
   t
 (** Lay out a fresh database on the chip: metadata-log region, transaction-
-    log region (used when recovery is enabled), then the IPL data area. *)
+    log region (used when recovery is enabled), then the IPL data area.
+    With [config.spare_blocks > 0] the last [spare_blocks] blocks of the
+    chip become a bad-block manager's spare pool and all data-area flash
+    traffic is routed through it (see [lib/resilience]); mutations on a
+    device whose pool has run out return [Error Device_degraded]. *)
 
 val restart :
   ?config:Ipl_config.t ->
@@ -107,6 +116,19 @@ val max_record_payload : t -> int
     inserts return [Error Record_too_large]. *)
 
 val read : t -> page:int -> slot:int -> bytes option
+
+(** {1 Exception-free variants}
+
+    For callers that must survive device failures (fault campaigns,
+    long-running servers): the bad-block manager's exceptions become
+    [Error Device_degraded] / [Error Read_failed] instead of escaping.
+    The raising {!read}/{!commit}/{!allocate_page} remain for legacy
+    callers. *)
+
+val read_result : t -> page:int -> slot:int -> (bytes option, error) result
+val allocate_page_result : t -> (int, error) result
+val commit_result : t -> int -> (unit, error) result
+
 val with_page : t -> int -> (Storage.Page.t -> 'a) -> 'a
 (** Read-only access to the current version of a page through the buffer
     pool. The callback must not retain or mutate the page. *)
@@ -128,7 +150,16 @@ val stats : t -> combined_stats
 
 module Stats : Ipl_util.Stats_intf.S with type t = combined_stats
 (** Interval measurement, aggregation and JSON export over the combined
-    record, composed field-wise from the three layer [Stats] modules. *)
+    record, composed field-wise from the layer [Stats] modules. *)
+
+(** {1 Resilience} *)
+
+val degraded : t -> bool
+(** [true] once the spare pool is exhausted: the device is read-only.
+    Always [false] when [spare_blocks = 0]. *)
+
+val spares_left : t -> int
+val bbm : t -> Resilience.Bbm.t option
 
 (** {1 Observability} *)
 

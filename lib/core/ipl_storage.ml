@@ -29,6 +29,9 @@ type stats = {
 
 type t = {
   chip : Chip.t;
+  bbm : Resilience.Bbm.t option;
+      (* when present, every data-area flash operation is routed through
+         the bad-block manager (virtual block addressing) *)
   config : Ipl_config.t;
   first_block : int;
   num_blocks : int;
@@ -64,7 +67,8 @@ type t = {
 
 let config t = t.config
 
-let mk ?(config = Ipl_config.default) chip ~first_block ~num_blocks ~txn_status ~meta =
+let mk ?(config = Ipl_config.default) ?bbm chip ~first_block ~num_blocks ~txn_status
+    ~meta =
   let fc = Chip.config chip in
   Ipl_config.validate config ~sector_size:fc.FConfig.sector_size
     ~block_size:fc.FConfig.block_size;
@@ -74,6 +78,7 @@ let mk ?(config = Ipl_config.default) chip ~first_block ~num_blocks ~txn_status 
   let data_pages = Ipl_config.data_pages_per_eu config ~block_size:fc.FConfig.block_size in
   {
     chip;
+    bbm;
     config;
     first_block;
     num_blocks;
@@ -119,6 +124,57 @@ let fresh_eu_info phys data_pages =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Device indirection: with a bad-block manager installed, data-area
+   operations use virtual block addresses and survive program/erase
+   failures; without one they hit the chip directly. *)
+
+let dev_read t ~sector ~count =
+  match t.bbm with
+  | Some d -> Resilience.Bbm.read_sectors d ~sector ~count
+  | None -> Chip.read_sectors t.chip ~sector ~count
+
+let dev_write t ~sector data =
+  match t.bbm with
+  | Some d -> Resilience.Bbm.write_sectors d ~sector data
+  | None -> Chip.write_sectors t.chip ~sector data
+
+let dev_erase t b =
+  match t.bbm with
+  | Some d -> Resilience.Bbm.erase_block d b
+  | None -> Chip.erase_block t.chip b
+
+let dev_invalidate t ~sector ~count =
+  match t.bbm with
+  | Some d -> Resilience.Bbm.invalidate_sectors d ~sector ~count
+  | None -> Chip.invalidate_sectors t.chip ~sector ~count
+
+let dev_state t s =
+  match t.bbm with
+  | Some d -> Resilience.Bbm.sector_state d s
+  | None -> Chip.sector_state t.chip s
+
+let dev_free_in_block t b =
+  match t.bbm with
+  | Some d -> Resilience.Bbm.free_sectors_in_block d b
+  | None -> Chip.free_sectors_in_block t.chip b
+
+let dev_wear t b =
+  match t.bbm with
+  | Some d -> Resilience.Bbm.erase_count d b
+  | None -> Chip.erase_count t.chip b
+
+(* Reclaim a unit onto the free list. A unit whose erase fails stays off
+   the list: leaked until a later recovery retries (raw chip), or — under
+   a bad-block manager that could not remap it — lost with its backing
+   block. A [Degraded] raised here is swallowed: reclamation runs after
+   durability points, and the flag it sets fails the *next* mutation with
+   a typed error instead. *)
+let reclaim_eu t b =
+  match dev_erase t b with
+  | () -> Hashtbl.replace t.free b ()
+  | exception (Chip.Worn_out _ | Chip.Erase_error _ | Resilience.Bbm.Degraded) -> ()
+
+(* ------------------------------------------------------------------ *)
 (* Free-unit allocation                                                *)
 
 let alloc_eu t =
@@ -130,7 +186,7 @@ let alloc_eu t =
           match acc with Some _ -> acc | None -> Some b
         else
           match acc with
-          | Some b' when Chip.erase_count t.chip b' <= Chip.erase_count t.chip b -> acc
+          | Some b' when dev_wear t b' <= dev_wear t b -> acc
           | _ -> Some b)
       t.free None
   in
@@ -148,11 +204,11 @@ let log_sector_addr t eu_phys i = Chip.sector_of_block t.chip eu_phys + t.log_st
 
 let read_raw_page t eu idx =
   t.c_page_reads <- t.c_page_reads + 1;
-  let b = Chip.read_sectors t.chip ~sector:(data_sector t eu.phys idx) ~count:t.sectors_per_page in
+  let b = dev_read t ~sector:(data_sector t eu.phys idx) ~count:t.sectors_per_page in
   Page.of_bytes b
 
 let write_data_page t eu_phys idx (page : Page.t) =
-  Chip.write_sectors t.chip ~sector:(data_sector t eu_phys idx) (Page.to_bytes page)
+  dev_write t ~sector:(data_sector t eu_phys idx) (Page.to_bytes page)
 
 let sector_size t = (Chip.config t.chip).FConfig.sector_size
 
@@ -162,9 +218,7 @@ let read_eu_log_records t eu =
   let ss = sector_size t in
   let records = ref [] in
   if eu.used_log > 0 then begin
-    let blob =
-      Chip.read_sectors t.chip ~sector:(log_sector_addr t eu.phys 0) ~count:eu.used_log
-    in
+    let blob = dev_read t ~sector:(log_sector_addr t eu.phys 0) ~count:eu.used_log in
     t.c_log_sector_reads <- t.c_log_sector_reads + eu.used_log;
     for i = 0 to eu.used_log - 1 do
       let sector = Bytes.sub blob (i * ss) ss in
@@ -173,7 +227,7 @@ let read_eu_log_records t eu =
   end;
   List.iter
     (fun addr ->
-      let sector = Chip.read_sectors t.chip ~sector:addr ~count:1 in
+      let sector = dev_read t ~sector:addr ~count:1 in
       t.c_log_sector_reads <- t.c_log_sector_reads + 1;
       records := Log_sector.deserialize sector :: !records)
     (List.rev eu.overflow_rev);
@@ -205,7 +259,7 @@ let find_free_slot t eu =
     if idx >= t.data_pages then None
     else if
       eu.pages.(idx) = -1
-      && Chip.sector_state t.chip (data_sector t eu.phys idx) = Chip.Free
+      && dev_state t (data_sector t eu.phys idx) = Chip.Free
     then Some idx
     else go (idx + 1)
   in
@@ -289,7 +343,7 @@ let release_overflow t eu =
   if eu.overflow_rev <> [] then begin
     List.iter
       (fun addr ->
-        Chip.invalidate_sectors t.chip ~sector:addr ~count:1;
+        dev_invalidate t ~sector:addr ~count:1;
         let block = Chip.block_of_sector t.chip addr in
         match Hashtbl.find_opt t.overflow_eus block with
         | Some info -> info.live <- info.live - 1
@@ -309,8 +363,7 @@ let gc_overflow t =
     (fun phys ->
       Hashtbl.remove t.overflow_eus phys;
       if t.current_overflow = Some phys then t.current_overflow <- None;
-      Chip.erase_block t.chip phys;
-      Hashtbl.replace t.free phys ();
+      reclaim_eu t phys;
       Meta_log.log t.meta (Meta_log.Overflow_free { eu = phys });
       t.c_reclaimed <- t.c_reclaimed + 1)
     dead
@@ -329,7 +382,7 @@ let overflow_write t eu sector_bytes =
   in
   let info = Hashtbl.find t.overflow_eus phys in
   let addr = Chip.sector_of_block t.chip phys + info.next_idx in
-  Chip.write_sectors t.chip ~sector:addr sector_bytes;
+  dev_write t ~sector:addr sector_bytes;
   info.next_idx <- info.next_idx + 1;
   info.live <- info.live + 1;
   eu.overflow_rev <- addr :: eu.overflow_rev;
@@ -424,9 +477,7 @@ let merge t eu ~pending =
       in
       split 0 [] sectors
     in
-    List.iteri
-      (fun i s -> Chip.write_sectors t.chip ~sector:(log_sector_addr t new_phys i) s)
-      in_region;
+    List.iteri (fun i s -> dev_write t ~sector:(log_sector_addr t new_phys i) s) in_region;
     release_overflow t eu;
     released := true;
     (* Publish the move: the durability point. *)
@@ -461,10 +512,7 @@ let merge t eu ~pending =
              }));
     (* A failed reclaim merely leaks the old block until the next restart's
        garbage collection erases it. *)
-    (try
-       Chip.erase_block t.chip old_phys;
-       Hashtbl.replace t.free old_phys ()
-     with Chip.Worn_out _ -> ());
+    reclaim_eu t old_phys;
     (* Spilled carried sectors go to a fresh overflow area, oldest first. *)
     List.iter (fun s -> overflow_write t eu s) spill;
     gc_overflow t
@@ -480,10 +528,12 @@ let merge t eu ~pending =
           Logs.warn (fun m ->
               m "merge rollback: meta-log recompaction failed: %s" (Printexc.to_string exn)));
     (try
-       Chip.erase_block t.chip new_phys;
+       dev_erase t new_phys;
        Hashtbl.replace t.free new_phys ()
      with
-    | Chip.Power_loss _ | Chip.Worn_out _ -> ()
+    | Chip.Power_loss _ | Chip.Worn_out _ | Chip.Erase_error _ | Resilience.Bbm.Degraded
+      ->
+        ()
     | exn ->
         Logs.warn (fun m ->
             m "merge rollback: could not reclaim unit %d: %s" new_phys (Printexc.to_string exn)));
@@ -517,7 +567,7 @@ let flush_log t ~page records =
   let eu, _ = lookup t page in
   if eu.used_log < t.log_sectors then begin
     let sector = serialize_records t records in
-    Chip.write_sectors t.chip ~sector:(log_sector_addr t eu.phys eu.used_log) sector;
+    dev_write t ~sector:(log_sector_addr t eu.phys eu.used_log) sector;
     eu.used_log <- eu.used_log + 1;
     note_records eu records;
     t.c_log_sector_writes <- t.c_log_sector_writes + 1;
@@ -686,18 +736,31 @@ let snapshot_fun t () =
   let allocs, rest =
     List.partition (function Meta_log.Overflow_alloc _ -> true | _ -> false) !events
   in
-  allocs @ List.rev rest
+  (* The bad-block manager's state must survive compaction too: without
+     these events a compacted log would silently forget the remap table. *)
+  let resilience =
+    match t.bbm with
+    | None -> []
+    | Some d ->
+        List.map
+          (function
+            | Resilience.Bbm.P_remap { virt; phys } -> Meta_log.Remap { virt; phys }
+            | Resilience.Bbm.P_retire { block } -> Meta_log.Retire { block }
+            | Resilience.Bbm.P_degraded -> Meta_log.Degraded)
+          (Resilience.Bbm.snapshot_events d)
+  in
+  resilience @ allocs @ List.rev rest
 
-let create ?config chip ~first_block ~num_blocks ~txn_status ~meta () =
-  let t = mk ?config chip ~first_block ~num_blocks ~txn_status ~meta in
+let create ?config ?bbm chip ~first_block ~num_blocks ~txn_status ~meta () =
+  let t = mk ?config ?bbm chip ~first_block ~num_blocks ~txn_status ~meta in
   for b = first_block to first_block + num_blocks - 1 do
     Hashtbl.replace t.free b ()
   done;
   Meta_log.set_snapshot meta (snapshot_fun t);
   t
 
-let recover ?config chip ~first_block ~num_blocks ~txn_status ~meta ~meta_events () =
-  let t = mk ?config chip ~first_block ~num_blocks ~txn_status ~meta in
+let recover ?config ?bbm chip ~first_block ~num_blocks ~txn_status ~meta ~meta_events () =
+  let t = mk ?config ?bbm chip ~first_block ~num_blocks ~txn_status ~meta in
   (* Replay mapping events. *)
   let get_eu phys =
     match Hashtbl.find_opt t.data_eus phys with
@@ -744,15 +807,18 @@ let recover ?config chip ~first_block ~num_blocks ~txn_status ~meta ~meta_events
                 eu.overflow_rev;
               eu.overflow_rev <- []
           | None -> ())
-      | Meta_log.Overflow_free { eu } -> Hashtbl.remove t.overflow_eus eu)
+      | Meta_log.Overflow_free { eu } -> Hashtbl.remove t.overflow_eus eu
+      (* Resilience events address the bad-block manager, which the owner
+         replays into it before constructing the storage manager; all
+         storage-level addresses are virtual and unaffected. *)
+      | Meta_log.Remap _ | Meta_log.Retire _ | Meta_log.Degraded -> ())
     meta_events;
   (* Rescan flash to rebuild log-sector usage and record counts. *)
   Hashtbl.iter
     (fun _ eu ->
       let rec used i =
         if i >= t.log_sectors then i
-        else if Chip.sector_state chip (log_sector_addr t eu.phys i) <> Chip.Free then
-          used (i + 1)
+        else if dev_state t (log_sector_addr t eu.phys i) <> Chip.Free then used (i + 1)
         else i
       in
       eu.used_log <- used 0;
@@ -766,7 +832,7 @@ let recover ?config chip ~first_block ~num_blocks ~txn_status ~meta ~meta_events
       let base = Chip.sector_of_block chip phys in
       let rec next i =
         if i >= t.sectors_per_block then i
-        else if Chip.sector_state chip (base + i) <> Chip.Free then next (i + 1)
+        else if dev_state t (base + i) <> Chip.Free then next (i + 1)
         else i
       in
       info.next_idx <- next 0;
@@ -776,10 +842,9 @@ let recover ?config chip ~first_block ~num_blocks ~txn_status ~meta ~meta_events
   (* Free list + garbage collection of unreferenced half-written units
      (a crash mid-merge leaves one). *)
   for b = first_block to first_block + num_blocks - 1 do
-    if (not (Hashtbl.mem t.data_eus b)) && not (Hashtbl.mem t.overflow_eus b) then begin
-      if Chip.free_sectors_in_block chip b < t.sectors_per_block then Chip.erase_block chip b;
-      Hashtbl.replace t.free b ()
-    end
+    if (not (Hashtbl.mem t.data_eus b)) && not (Hashtbl.mem t.overflow_eus b) then
+      if dev_free_in_block t b < t.sectors_per_block then reclaim_eu t b
+      else Hashtbl.replace t.free b ()
   done;
   (* Resume filling a unit with a usable free slot, if any. *)
   (try

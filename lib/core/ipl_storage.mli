@@ -38,6 +38,7 @@ type stats = {
 
 val create :
   ?config:Ipl_config.t ->
+  ?bbm:Resilience.Bbm.t ->
   Flash_sim.Flash_chip.t ->
   first_block:int ->
   num_blocks:int ->
@@ -46,10 +47,18 @@ val create :
   unit ->
   t
 (** Manage blocks [first_block, first_block + num_blocks). All blocks are
-    erased. The [meta] log must be empty (fresh database). *)
+    erased. The [meta] log must be empty (fresh database). With [bbm],
+    every data-area flash operation is routed through the bad-block
+    manager: block addresses become virtual, failed programs/erases are
+    relocated transparently, and mutations raise
+    {!Resilience.Bbm.Degraded} once the spare pool is exhausted (the
+    engine turns that into its typed [Device_degraded] error). The
+    manager's remap/retire state is included in metadata-log snapshot
+    compactions. *)
 
 val recover :
   ?config:Ipl_config.t ->
+  ?bbm:Resilience.Bbm.t ->
   Flash_sim.Flash_chip.t ->
   first_block:int ->
   num_blocks:int ->
@@ -60,7 +69,9 @@ val recover :
   t
 (** Rebuild state after a crash from the replayed metadata events plus a
     scan of the flash region. Unreferenced half-written erase units (from
-    a crash mid-merge) are erased. *)
+    a crash mid-merge) are erased. [bbm] must already have had the
+    [Remap]/[Retire]/[Degraded] events replayed into it (they are ignored
+    here). *)
 
 val config : t -> Ipl_config.t
 

@@ -5,6 +5,9 @@ type event =
   | Overflow_assign of { data_eu : int; sector : int }
   | Overflow_release of { data_eu : int }
   | Overflow_free of { eu : int }
+  | Remap of { virt : int; phys : int }
+  | Retire of { block : int }
+  | Degraded
 
 type t = { log : Seq_log.t; mutable snapshot : (unit -> event list) option }
 
@@ -46,6 +49,21 @@ let encode = function
       Bytes.set_uint8 b 0 5;
       u32 b 1 eu;
       b
+  | Remap { virt; phys } ->
+      let b = Bytes.create 9 in
+      Bytes.set_uint8 b 0 6;
+      u32 b 1 virt;
+      u32 b 5 phys;
+      b
+  | Retire { block } ->
+      let b = Bytes.create 5 in
+      Bytes.set_uint8 b 0 7;
+      u32 b 1 block;
+      b
+  | Degraded ->
+      let b = Bytes.create 1 in
+      Bytes.set_uint8 b 0 8;
+      b
 
 let decode b =
   match Bytes.get_uint8 b 0 with
@@ -55,6 +73,9 @@ let decode b =
   | 3 -> Overflow_assign { data_eu = g32 b 1; sector = g32 b 5 }
   | 4 -> Overflow_release { data_eu = g32 b 1 }
   | 5 -> Overflow_free { eu = g32 b 1 }
+  | 6 -> Remap { virt = g32 b 1; phys = g32 b 5 }
+  | 7 -> Retire { block = g32 b 1 }
+  | 8 -> Degraded
   | _ -> invalid_arg "Meta_log.decode: unknown tag"
 
 let create chip ~first_block ~num_blocks =

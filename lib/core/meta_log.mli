@@ -20,6 +20,11 @@ type event =
   | Overflow_release of { data_eu : int }
       (** [data_eu] was merged; its overflow sectors are dead *)
   | Overflow_free of { eu : int }  (** overflow area erased and freed *)
+  | Remap of { virt : int; phys : int }
+      (** bad-block manager: virtual erase unit [virt] is now backed by
+          physical block [phys] *)
+  | Retire of { block : int }  (** physical block permanently retired *)
+  | Degraded  (** spare pool exhausted: device is read-only from here on *)
 
 type t
 

@@ -86,6 +86,180 @@ let run ?(tear = true) ?(broken = false) ?(max_ops = 0) ?(sample = 0) spec =
     mean_wear = gstats.FStats.mean_wear;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Resilience campaign: device failures instead of crashes              *)
+
+type profile = Flaky | Program_faults | Erase_faults | Wear_out
+
+let profile_to_string = function
+  | Flaky -> "flaky"
+  | Program_faults -> "program"
+  | Erase_faults -> "erase"
+  | Wear_out -> "wearout"
+
+let profile_of_string = function
+  | "flaky" -> Some Flaky
+  | "program" -> Some Program_faults
+  | "erase" -> Some Erase_faults
+  | "wearout" -> Some Wear_out
+  | _ -> None
+
+type resilience_report = {
+  profile : profile;
+  outcome : Workload.resilient_outcome;
+  writes_refused_after_degrade : bool;
+  degradation_persisted : bool;
+  resilience : Resilience.Bbm.stats;
+  violations : string list;
+  restart_violations : string list;
+}
+
+let resilience_ok r =
+  r.violations = [] && r.restart_violations = [] && r.writes_refused_after_degrade
+  && r.degradation_persisted
+
+let resilience_config ~spares =
+  {
+    Config.default with
+    Config.recovery_enabled = true;
+    buffer_pages = 8;
+    spare_blocks = spares;
+  }
+
+(* The engine reserves blocks 0..7 for the metadata and transaction logs
+   (4 + 4 with its defaults); the wear-out plan must spare those — they
+   sit outside the bad-block manager. *)
+let data_first_block = 8
+
+let plan_of_profile ~seed profile =
+  let min_sector = data_first_block * FConfig.sectors_per_block (chip_config ()) in
+  match profile with
+  | Flaky -> Fault_plan.flaky_reads ~seed ~min_sector ()
+  | Program_faults -> Fault_plan.program_failures ~seed ~rate:0.02 ~min_sector ()
+  | Erase_faults ->
+      Fault_plan.erase_failures ~seed ~rate:0.1 ~first_block:data_first_block ()
+  | Wear_out ->
+      Fault_plan.wear_out ~seed ~first_block:data_first_block ~min_cycles:2
+        ~max_cycles:5 ()
+
+(* Run one resilience profile end to end: a fresh resilient engine, the
+   fault plan installed for the whole run, the oracle checked against the
+   surviving state — once on the live (possibly degraded) engine, once
+   after a restart. Zero data loss up to the moment of degradation is the
+   invariant; after it, writes must be refused and the read-only state
+   must survive the restart. *)
+let run_resilience ?(spares = 4) ?(transactions = 0) ?(seed = 7) profile =
+  let spec =
+    {
+      Workload.default with
+      Workload.seed;
+      transactions =
+        (if transactions > 0 then transactions
+         else match profile with Wear_out -> 2000 | _ -> 120);
+    }
+  in
+  let config = resilience_config ~spares in
+  let chip = Chip.create (chip_config ()) in
+  let engine = Engine.create ~config chip in
+  let oracle = Oracle.create () in
+  let pages = Workload.setup engine oracle spec in
+  Fault_plan.install chip (plan_of_profile ~seed profile);
+  let outcome = Workload.run_resilient engine oracle spec ~pages in
+  let read ~page ~slot = Engine.read engine ~page ~slot in
+  let violations =
+    Oracle.check oracle ~read ~pages:(Array.to_list pages)
+      ~slots:(Workload.max_slots spec)
+  in
+  let writes_refused_after_degrade =
+    match outcome.Workload.degraded_at with
+    | None -> true
+    | Some _ -> (
+        match Engine.insert engine ~tx:0 ~page:pages.(0) (Bytes.make 8 'x') with
+        | Error Engine.Device_degraded -> true
+        | Ok _ | Error _ -> false)
+  in
+  let resilience = (Engine.stats engine).Engine.resilience in
+  Fault_plan.clear chip;
+  let restart_violations, degradation_persisted =
+    match Engine.restart ~config chip with
+    | exception e -> ([ "restart raised: " ^ Printexc.to_string e ], false)
+    | engine', _ ->
+        let vs =
+          Oracle.check oracle
+            ~read:(fun ~page ~slot -> Engine.read engine' ~page ~slot)
+            ~pages:(Array.to_list pages) ~slots:(Workload.max_slots spec)
+        in
+        (vs, Engine.degraded engine' = (outcome.Workload.degraded_at <> None))
+  in
+  {
+    profile;
+    outcome;
+    writes_refused_after_degrade;
+    degradation_persisted;
+    resilience;
+    violations;
+    restart_violations;
+  }
+
+(* Crash-during-remap: force a program failure (and so a relocation) at
+   the first program after setup, then power-fail a few operations later
+   — inside the copy, between the copy and the remap force, or just
+   after. Whatever the crash point, restart must land on the old complete
+   mapping or the new complete one. Returns per-delta violations. *)
+let run_remap_crash ?(spares = 4) ?(seed = 7) ?(deltas = [ 1; 2; 3; 5; 8; 13; 21; 40 ])
+    () =
+  let config = resilience_config ~spares in
+  let spec = { Workload.default with Workload.seed } in
+  let violations = ref [] in
+  List.iter
+    (fun delta ->
+      let chip = Chip.create (chip_config ()) in
+      let engine = Engine.create ~config chip in
+      let oracle = Oracle.create () in
+      let pages = Workload.setup engine oracle spec in
+      let point = Chip.op_count chip in
+      let min_sector = data_first_block * FConfig.sectors_per_block (chip_config ()) in
+      Fault_plan.install chip
+        (Fault_plan.program_fail_then_crash ~point ~crash_after:delta ~min_sector ());
+      (try ignore (Workload.run_resilient engine oracle spec ~pages)
+       with Chip.Power_loss _ -> ());
+      (match Oracle.crash oracle with Oracle.In_doubt | Oracle.Rolled_back -> ());
+      Fault_plan.clear chip;
+      match Engine.restart ~config chip with
+      | exception e ->
+          violations :=
+            (delta, [ "restart raised: " ^ Printexc.to_string e ]) :: !violations
+      | engine', _ ->
+          let vs =
+            Oracle.check oracle
+              ~read:(fun ~page ~slot -> Engine.read engine' ~page ~slot)
+              ~pages:(Array.to_list pages) ~slots:(Workload.max_slots spec)
+          in
+          if vs <> [] then violations := (delta, vs) :: !violations)
+    deltas;
+  List.rev !violations
+
+let pp_resilience_report ppf r =
+  let o = r.outcome in
+  Fmt.pf ppf
+    "@[<v>profile: %s@,\
+     transactions: %d committed, %d aborted (%d by read failure)@,\
+     degraded: %s@,\
+     writes refused after degrade: %b; degradation persisted: %b@,\
+     %a@,\
+     violations: %d live, %d after restart@]"
+    (profile_to_string r.profile)
+    o.Workload.committed o.Workload.aborted o.Workload.read_failures
+    (match o.Workload.degraded_at with
+    | None -> "no"
+    | Some i -> Printf.sprintf "at transaction %d" i)
+    r.writes_refused_after_degrade r.degradation_persisted Resilience.Bbm.Stats.pp
+    r.resilience
+    (List.length r.violations)
+    (List.length r.restart_violations);
+  List.iter (fun v -> Fmt.pf ppf "@,- %s" v) r.violations;
+  List.iter (fun v -> Fmt.pf ppf "@,- (restart) %s" v) r.restart_violations
+
 let pp_report ppf r =
   Fmt.pf ppf
     "@[<v>flash ops: %d (%d setup + %d workload)@,\

@@ -31,3 +31,53 @@ val run : ?tear:bool -> ?broken:bool -> ?max_ops:int -> ?sample:int -> Workload.
     points, spread evenly. *)
 
 val pp_report : Format.formatter -> report -> unit
+
+(** {1 Resilience campaign}
+
+    Device-failure profiles (as opposed to crash points): the fault plan
+    stays installed for a whole run of the workload against an engine
+    with a bad-block manager ([spare_blocks > 0]), and the oracle asserts
+    zero data loss up to the moment of degradation. *)
+
+type profile =
+  | Flaky  (** correctable + transient read faults *)
+  | Program_faults  (** random program failures *)
+  | Erase_faults  (** random erase failures *)
+  | Wear_out  (** per-block endurance budgets, to spare-pool exhaustion *)
+
+val profile_to_string : profile -> string
+
+val profile_of_string : string -> profile option
+(** ["flaky" | "program" | "erase" | "wearout"]. *)
+
+type resilience_report = {
+  profile : profile;
+  outcome : Workload.resilient_outcome;
+  writes_refused_after_degrade : bool;
+      (** degraded engines must answer mutations with [Device_degraded] *)
+  degradation_persisted : bool;
+      (** a restart reproduces the (non-)degraded state *)
+  resilience : Resilience.Bbm.stats;  (** retries, remaps, scrubs, … *)
+  violations : string list;  (** oracle check on the live engine *)
+  restart_violations : string list;  (** oracle check after restart *)
+}
+
+val resilience_ok : resilience_report -> bool
+(** No violations (live or after restart) and both degradation
+    assertions hold. *)
+
+val run_resilience :
+  ?spares:int -> ?transactions:int -> ?seed:int -> profile -> resilience_report
+(** [spares] (default 4) sizes the spare pool; [transactions] overrides
+    the profile's default workload length (wear-out runs long enough to
+    exhaust the pool). *)
+
+val run_remap_crash :
+  ?spares:int -> ?seed:int -> ?deltas:int list -> unit -> (int * string list) list
+(** Crash-during-remap sweep: force a program failure (hence a
+    relocation) at the first program after setup, then power-fail
+    [delta] operations later, restart, and check the oracle. The remap
+    persist-before-switch ordering makes every delta recoverable; the
+    returned list (delta, violations) is empty when all are. *)
+
+val pp_resilience_report : Format.formatter -> resilience_report -> unit

@@ -43,6 +43,99 @@ let setup engine oracle spec =
    falls. Determinism matters: the golden run and every crash re-run draw
    the same stream, so operation index N is the same flash operation in
    each. *)
+type resilient_outcome = {
+  committed : int;
+  aborted : int;
+  degraded_at : int option;
+  read_failures : int;
+}
+
+exception Tx_failed of Engine.error
+
+(* The resilience-campaign variant of {!run}: same transaction mix, but
+   driven through the exception-free engine entry points. A transaction
+   that hits a device error ([Device_degraded], [Read_failed]) is aborted
+   — its effects must vanish, and the oracle mirrors that — and a
+   degraded device ends the run: the remaining transactions could only be
+   refused. *)
+let run_resilient engine oracle spec ~pages =
+  let rng = Rng.of_int spec.seed in
+  let committed = ref 0 and aborted = ref 0 in
+  let degraded_at = ref None and read_failures = ref 0 in
+  (try
+     for i = 1 to spec.transactions do
+       let tx = Engine.begin_txn engine in
+       Oracle.begin_txn oracle;
+       try
+         let nops = 1 + Rng.int rng 4 in
+         for _ = 1 to nops do
+           let page = pages.(Rng.int rng (Array.length pages)) in
+           let slot = Rng.int rng (spec.slots_per_page * 2) in
+           let r = Rng.float rng 1.0 in
+           if r < 0.55 then (
+             match Oracle.current oracle ~page ~slot with
+             | None -> ()
+             | Some old ->
+                 let len =
+                   if Rng.chance rng 0.25 then 1 + Rng.int rng (2 * spec.payload)
+                   else Bytes.length old
+                 in
+                 let data = bytes_of rng len in
+                 (match Engine.update engine ~tx ~page ~slot data with
+                 | Ok () -> Oracle.note oracle ~page ~slot (Some data)
+                 | Error ((Engine.Device_degraded | Engine.Read_failed) as e) ->
+                     raise (Tx_failed e)
+                 | Error _ -> ()))
+           else if r < 0.85 then begin
+             let data = bytes_of rng spec.payload in
+             match Engine.insert engine ~tx ~page data with
+             | Ok slot -> Oracle.note oracle ~page ~slot (Some data)
+             | Error ((Engine.Device_degraded | Engine.Read_failed) as e) ->
+                 raise (Tx_failed e)
+             | Error _ -> ()
+           end
+           else
+             match Engine.delete engine ~tx ~page ~slot with
+             | Ok () -> Oracle.note oracle ~page ~slot None
+             | Error ((Engine.Device_degraded | Engine.Read_failed) as e) ->
+                 raise (Tx_failed e)
+             | Error _ -> ()
+         done;
+         if Rng.chance rng spec.abort_fraction then begin
+           Engine.abort engine tx;
+           Oracle.abort oracle;
+           incr aborted
+         end
+         else begin
+           Oracle.start_commit oracle;
+           match Engine.commit_result engine tx with
+           | Ok () ->
+               Oracle.end_commit oracle;
+               incr committed
+           | Error e -> raise (Tx_failed e)
+         end
+       with Tx_failed e ->
+         (* The abort itself may trip over the same dying device; its
+            record-level effect (dropping the transaction) is what the
+            oracle models either way. *)
+         (try Engine.abort engine tx
+          with Resilience.Bbm.Uncorrectable _ | Resilience.Bbm.Degraded -> ());
+         Oracle.abort oracle;
+         incr aborted;
+         (match e with
+         | Engine.Device_degraded ->
+             degraded_at := Some i;
+             raise Exit
+         | _ -> incr read_failures)
+     done
+   with Exit -> ());
+  {
+    committed = !committed;
+    aborted = !aborted;
+    degraded_at = !degraded_at;
+    read_failures = !read_failures;
+  }
+
 let run engine oracle spec ~pages =
   let rng = Rng.of_int spec.seed in
   for _ = 1 to spec.transactions do

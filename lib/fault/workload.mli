@@ -28,3 +28,19 @@ val run : Ipl_core.Ipl_engine.t -> Oracle.t -> spec -> pages:int array -> unit
 (** Execute the transaction mix, mirroring every successful engine call
     into the oracle. Raises whatever the engine raises — under a fault
     plan, typically {!Flash_sim.Flash_chip.Power_loss}. *)
+
+type resilient_outcome = {
+  committed : int;
+  aborted : int;  (** includes transactions aborted by device errors *)
+  degraded_at : int option;  (** 1-based transaction index, if degraded *)
+  read_failures : int;  (** transactions lost to [Read_failed] *)
+}
+
+val run_resilient :
+  Ipl_core.Ipl_engine.t -> Oracle.t -> spec -> pages:int array -> resilient_outcome
+(** The same mix through the exception-free entry points
+    ([Ipl_engine.commit_result] etc.), for campaigns that inject device
+    failures rather than crashes: a transaction hitting
+    [Device_degraded]/[Read_failed] is aborted (mirrored into the
+    oracle), and degradation ends the run. {!Flash_sim.Flash_chip.Power_loss}
+    still escapes, for plans that also crash the chip. *)

@@ -5,6 +5,8 @@ exception Worn_out of int
 exception Out_of_range of int
 exception Power_loss of int
 exception Read_error of int
+exception Program_error of int
+exception Erase_error of int
 
 type op =
   | Op_read of { sector : int; count : int }
@@ -17,17 +19,33 @@ type fault_action =
   | Tear of int
   | Flip_bit of int
   | Read_fault
+  | Read_correctable
+  | Program_fail
+  | Erase_fail
+
+type corrupt_error = Not_materialized | Sector_erased | Bad_offset
+
+let corrupt_error_to_string = function
+  | Not_materialized -> "chip does not materialize data (timing-only config)"
+  | Sector_erased -> "sector is erased"
+  | Bad_offset -> "offset outside the sector"
 
 type t = {
   config : Flash_config.t;
   state : Bytes.t;  (* one byte per sector: 0 = Free, 1 = Valid, 2 = Invalid *)
   data : (int, Bytes.t) Hashtbl.t;  (* block -> contents, only when materializing *)
   erase_counts : int array;
+  bad : bool array;  (* grown / host-retired bad blocks *)
   mutable page_reads : int;
   mutable page_writes : int;
   mutable block_erases : int;
   mutable sectors_read : int;
   mutable sectors_written : int;
+  mutable read_faults : int;
+  mutable corrected_reads : int;
+  mutable program_failures : int;
+  mutable erase_failures : int;
+  mutable last_read_corrected : bool;
   mutable elapsed : float;
   mutable fault_hook : (int -> op -> fault_action) option;
   mutable tracer : Obs.Tracer.t option;
@@ -43,11 +61,17 @@ let create config =
     state = Bytes.make num_sectors '\000';
     data = Hashtbl.create (if config.materialize then 256 else 1);
     erase_counts = Array.make config.num_blocks 0;
+    bad = Array.make config.num_blocks false;
     page_reads = 0;
     page_writes = 0;
     block_erases = 0;
     sectors_read = 0;
     sectors_written = 0;
+    read_faults = 0;
+    corrected_reads = 0;
+    program_failures = 0;
+    erase_failures = 0;
+    last_read_corrected = false;
     elapsed = 0.0;
     fault_hook = None;
     tracer = None;
@@ -118,10 +142,18 @@ let read_sectors t ~sector ~count =
   if count <= 0 then invalid_arg "Flash_chip.read_sectors: count must be positive";
   check_sector t sector;
   check_sector t (sector + count - 1);
+  t.last_read_corrected <- false;
   (match consult t (Op_read { sector; count }) with
   | Fail_stop -> die t
-  | Read_fault -> raise (Read_error sector)
-  | Proceed | Tear _ | Flip_bit _ -> ());
+  | Read_fault ->
+      t.read_faults <- t.read_faults + 1;
+      raise (Read_error sector)
+  | Read_correctable ->
+      (* On-chip ECC corrected the data: the read succeeds, but the host
+         can observe the correction and scrub the weakening block. *)
+      t.corrected_reads <- t.corrected_reads + 1;
+      t.last_read_corrected <- true
+  | Proceed | Tear _ | Flip_bit _ | Program_fail | Erase_fail -> ());
   let pages = pages_touched t ~sector ~count in
   t.page_reads <- t.page_reads + pages;
   t.sectors_read <- t.sectors_read + count;
@@ -158,8 +190,20 @@ let write_sectors t ~sector data =
   let count = len / ss in
   check_sector t sector;
   check_sector t (sector + count - 1);
+  let b0 = sector / Flash_config.sectors_per_block t.config in
   let action = consult t (Op_program { sector; count }) in
-  (match action with Fail_stop -> die t | _ -> ());
+  (match action with
+  | Fail_stop -> die t
+  | Program_fail ->
+      (* The program operation reports failure; no sector changes state.
+         Real controllers respond by relocating the block. *)
+      t.program_failures <- t.program_failures + 1;
+      raise (Program_error sector)
+  | _ -> ());
+  if t.bad.(b0) then begin
+    t.program_failures <- t.program_failures + 1;
+    raise (Program_error sector)
+  end;
   for i = 0 to count - 1 do
     if Bytes.get t.state (sector + i) <> '\000' then raise (Write_to_unerased (sector + i))
   done;
@@ -216,7 +260,23 @@ let erase_block t b =
   if b < 0 || b >= t.config.num_blocks then raise (Out_of_range b);
   (match consult t (Op_erase { block = b }) with
   | Fail_stop | Tear _ -> die t
-  | Proceed | Flip_bit _ | Read_fault -> ());
+  | Erase_fail ->
+      t.erase_failures <- t.erase_failures + 1;
+      raise (Erase_error b)
+  | Proceed | Flip_bit _ | Read_fault | Read_correctable | Program_fail -> ());
+  if t.bad.(b) then begin
+    t.erase_failures <- t.erase_failures + 1;
+    raise (Erase_error b)
+  end;
+  if t.config.grow_bad_on_wear_out && t.erase_counts.(b) + 1 > t.config.max_erase_cycles
+  then begin
+    (* The block's endurance is spent: the erase fails and the block
+       becomes a grown bad block. Nothing was erased; stored data stays
+       readable, matching how worn NAND actually fails. *)
+    t.bad.(b) <- true;
+    t.erase_failures <- t.erase_failures + 1;
+    raise (Erase_error b)
+  end;
   let spb = Flash_config.sectors_per_block t.config in
   Bytes.fill t.state (b * spb) spb '\000';
   if t.config.materialize then Hashtbl.remove t.data b;
@@ -229,17 +289,24 @@ let erase_block t b =
 
 let corrupt_sector ?(offset = 0) t s =
   check_sector t s;
-  if not t.config.materialize then
-    invalid_arg "Flash_chip.corrupt_sector: requires a materializing chip";
-  if offset < 0 || offset >= t.config.sector_size then
-    invalid_arg "Flash_chip.corrupt_sector: offset outside the sector";
-  if Bytes.get t.state s = '\000' then
-    invalid_arg "Flash_chip.corrupt_sector: sector is erased";
-  let spb = Flash_config.sectors_per_block t.config in
-  let b = s / spb and off = s mod spb in
-  let data = block_data t b in
-  let pos = (off * t.config.sector_size) + offset in
-  Bytes.set data pos (Char.chr (Char.code (Bytes.get data pos) lxor 0x5A))
+  if not t.config.materialize then begin
+    (* Timing-only chips store no data to corrupt: warn and report it so
+       fault campaigns degrade to a no-op instead of blowing up. *)
+    Logs.warn (fun m ->
+        m "Flash_chip.corrupt_sector: no-op, %s"
+          (corrupt_error_to_string Not_materialized));
+    Error Not_materialized
+  end
+  else if offset < 0 || offset >= t.config.sector_size then Error Bad_offset
+  else if Bytes.get t.state s = '\000' then Error Sector_erased
+  else begin
+    let spb = Flash_config.sectors_per_block t.config in
+    let b = s / spb and off = s mod spb in
+    let data = block_data t b in
+    let pos = (off * t.config.sector_size) + offset in
+    Bytes.set data pos (Char.chr (Char.code (Bytes.get data pos) lxor 0x5A));
+    Ok ()
+  end
 
 let stats t : Flash_stats.t =
   {
@@ -253,6 +320,11 @@ let stats t : Flash_stats.t =
     mean_wear =
       float_of_int (Array.fold_left ( + ) 0 t.erase_counts)
       /. float_of_int t.config.num_blocks;
+    read_faults = t.read_faults;
+    corrected_reads = t.corrected_reads;
+    program_failures = t.program_failures;
+    erase_failures = t.erase_failures;
+    grown_bad_blocks = Array.fold_left (fun n b -> if b then n + 1 else n) 0 t.bad;
   }
 
 let reset_stats t =
@@ -261,7 +333,28 @@ let reset_stats t =
   t.block_erases <- 0;
   t.sectors_read <- 0;
   t.sectors_written <- 0;
+  t.read_faults <- 0;
+  t.corrected_reads <- 0;
+  t.program_failures <- 0;
+  t.erase_failures <- 0;
   t.elapsed <- 0.0
+
+let last_read_corrected t = t.last_read_corrected
+
+let mark_bad t b =
+  if b < 0 || b >= t.config.num_blocks then raise (Out_of_range b);
+  t.bad.(b) <- true
+
+let is_bad t b =
+  if b < 0 || b >= t.config.num_blocks then raise (Out_of_range b);
+  t.bad.(b)
+
+let bad_blocks t =
+  let acc = ref [] in
+  for b = t.config.num_blocks - 1 downto 0 do
+    if t.bad.(b) then acc := b :: !acc
+  done;
+  !acc
 
 let elapsed t = t.elapsed
 let advance_time t dt = t.elapsed <- t.elapsed +. dt

@@ -34,6 +34,20 @@ exception Read_error of int
     sector of the failed read. The operation had no effect; a retry is a
     new operation and may succeed. *)
 
+exception Program_error of int
+(** Program operation reported failure; carries the first sector of the
+    failed program. No target sector changed state. Real controllers
+    respond by relocating the data and retiring the block — that policy
+    lives in [lib/resilience]. Raised for an injected [Program_fail] and
+    for any program aimed at a bad block. *)
+
+exception Erase_error of int
+(** Erase operation reported failure; carries the block index. The block
+    was not erased: previously stored data remains readable. Raised for an
+    injected [Erase_fail], for any erase of a bad block, and — under
+    [grow_bad_on_wear_out] — for an erase that would exceed the block's
+    endurance (which also marks the block grown-bad). *)
+
 (** {1 Fault injection}
 
     Every read, program and erase is assigned a monotonically increasing
@@ -58,6 +72,16 @@ type fault_action =
           silently flip one bit at the given byte offset within the written
           data — bit rot caught only by checksums. Ignored elsewhere. *)
   | Read_fault  (** reads only: raise {!Read_error}. Ignored elsewhere. *)
+  | Read_correctable
+      (** reads only: the read succeeds but on-chip ECC had to correct
+          bit errors — observable via {!last_read_corrected} so the host
+          can scrub the weakening block. Ignored elsewhere. *)
+  | Program_fail
+      (** programs only: the operation reports failure and raises
+          {!Program_error}; no sector changes state. Ignored elsewhere. *)
+  | Erase_fail
+      (** erases only: the operation reports failure and raises
+          {!Erase_error}; the block is not erased. Ignored elsewhere. *)
 
 (** {1 Tracing}
 
@@ -132,10 +156,37 @@ val elapsed : t -> float
 val advance_time : t -> float -> unit
 (** Add externally-modelled latency (e.g. host transfer) to the clock. *)
 
-val corrupt_sector : ?offset:int -> t -> int -> unit
+type corrupt_error =
+  | Not_materialized  (** timing-only chip: nothing stored to corrupt *)
+  | Sector_erased
+  | Bad_offset
+
+val corrupt_error_to_string : corrupt_error -> string
+
+val corrupt_sector : ?offset:int -> t -> int -> (unit, corrupt_error) result
 (** Fault injection for tests: flip bits at byte [offset] (default 0) of a
-    written sector's stored data. Requires a materializing chip and a
-    non-[Free] sector. *)
+    written sector's stored data. On a non-materializing chip this is a
+    warned no-op returning [Error Not_materialized], so fault campaigns
+    still run on timing-only configs. *)
+
+(** {1 Bad blocks}
+
+    A block can become bad two ways: the wear model under
+    [grow_bad_on_wear_out] (an over-endurance erase fails and marks it),
+    or the host retiring it with {!mark_bad} after a reported program
+    failure. Programs and erases on a bad block raise {!Program_error} /
+    {!Erase_error}; reads still work (stored charge remains). *)
+
+val mark_bad : t -> int -> unit
+val is_bad : t -> int -> bool
+
+val bad_blocks : t -> int list
+(** Indices of all bad blocks, ascending. *)
+
+val last_read_corrected : t -> bool
+(** True iff the most recent {!read_sectors} needed ECC correction
+    ([Read_correctable] fault action). Cleared at the start of every
+    read. *)
 
 val erase_count : t -> int -> int
 (** Number of erase cycles block [i] has been through. *)

@@ -15,13 +15,27 @@ type t = {
           sector costs the same (paper, footnote 5). *)
   t_erase_block : float;  (** seconds to erase one block *)
   max_erase_cycles : int;  (** endurance of one erase unit *)
-  fail_on_wear_out : bool;  (** raise when a block exceeds endurance *)
+  fail_on_wear_out : bool;
+      (** legacy wear model: raise [Worn_out] after an erase pushes a
+          block past its endurance (the erase itself completes) *)
+  grow_bad_on_wear_out : bool;
+      (** production wear model: an erase that would exceed the block's
+          endurance fails with [Erase_error] and the block becomes a
+          grown bad block (see {!Flash_chip.is_bad}); the bad-block
+          manager in [lib/resilience] is built on this. Mutually
+          exclusive with [fail_on_wear_out]. *)
   materialize : bool;
       (** when false, no data bytes are stored: the chip is a pure
           timing/counter model (used for large simulations) *)
 }
 
-val default : ?num_blocks:int -> ?materialize:bool -> ?fail_on_wear_out:bool -> unit -> t
+val default :
+  ?num_blocks:int ->
+  ?materialize:bool ->
+  ?fail_on_wear_out:bool ->
+  ?grow_bad_on_wear_out:bool ->
+  unit ->
+  t
 (** K9WAG08U1A-style chip. [num_blocks] defaults to 1024 (128 MB). *)
 
 val sectors_per_page : t -> int

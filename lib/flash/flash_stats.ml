@@ -7,6 +7,11 @@ type t = {
   elapsed : float;
   max_wear : int;
   mean_wear : float;
+  read_faults : int;
+  corrected_reads : int;
+  program_failures : int;
+  erase_failures : int;
+  grown_bad_blocks : int;
 }
 
 let zero =
@@ -19,6 +24,11 @@ let zero =
     elapsed = 0.0;
     max_wear = 0;
     mean_wear = 0.0;
+    read_faults = 0;
+    corrected_reads = 0;
+    program_failures = 0;
+    erase_failures = 0;
+    grown_bad_blocks = 0;
   }
 
 let add a b =
@@ -31,6 +41,11 @@ let add a b =
     elapsed = a.elapsed +. b.elapsed;
     max_wear = max a.max_wear b.max_wear;
     mean_wear = a.mean_wear +. b.mean_wear;
+    read_faults = a.read_faults + b.read_faults;
+    corrected_reads = a.corrected_reads + b.corrected_reads;
+    program_failures = a.program_failures + b.program_failures;
+    erase_failures = a.erase_failures + b.erase_failures;
+    grown_bad_blocks = a.grown_bad_blocks + b.grown_bad_blocks;
   }
 
 let diff a b =
@@ -43,13 +58,26 @@ let diff a b =
     elapsed = a.elapsed -. b.elapsed;
     max_wear = a.max_wear - b.max_wear;
     mean_wear = a.mean_wear -. b.mean_wear;
+    read_faults = a.read_faults - b.read_faults;
+    corrected_reads = a.corrected_reads - b.corrected_reads;
+    program_failures = a.program_failures - b.program_failures;
+    erase_failures = a.erase_failures - b.erase_failures;
+    grown_bad_blocks = a.grown_bad_blocks - b.grown_bad_blocks;
   }
 
 let pp ppf t =
   Format.fprintf ppf
     "reads=%d writes=%d erases=%d (sectors r=%d w=%d) wear max=%d mean=%.2f elapsed=%a"
     t.page_reads t.page_writes t.block_erases t.sectors_read t.sectors_written t.max_wear
-    t.mean_wear Ipl_util.Size.pp_seconds t.elapsed
+    t.mean_wear Ipl_util.Size.pp_seconds t.elapsed;
+  if
+    t.read_faults + t.corrected_reads + t.program_failures + t.erase_failures
+    + t.grown_bad_blocks
+    > 0
+  then
+    Format.fprintf ppf
+      " faults(read=%d corrected=%d program=%d erase=%d grown-bad=%d)" t.read_faults
+      t.corrected_reads t.program_failures t.erase_failures t.grown_bad_blocks
 
 let to_json t =
   Ipl_util.Json.Obj
@@ -62,4 +90,9 @@ let to_json t =
       ("elapsed_s", Ipl_util.Json.Float t.elapsed);
       ("max_wear", Ipl_util.Json.Int t.max_wear);
       ("mean_wear", Ipl_util.Json.Float t.mean_wear);
+      ("read_faults", Ipl_util.Json.Int t.read_faults);
+      ("corrected_reads", Ipl_util.Json.Int t.corrected_reads);
+      ("program_failures", Ipl_util.Json.Int t.program_failures);
+      ("erase_failures", Ipl_util.Json.Int t.erase_failures);
+      ("grown_bad_blocks", Ipl_util.Json.Int t.grown_bad_blocks);
     ]

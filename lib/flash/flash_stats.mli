@@ -9,6 +9,13 @@ type t = {
   elapsed : float;  (** simulated seconds spent in flash operations *)
   max_wear : int;  (** highest per-block erase count *)
   mean_wear : float;  (** mean erase count over all blocks *)
+  read_faults : int;  (** uncorrectable read failures (raised [Read_error]) *)
+  corrected_reads : int;
+      (** reads that succeeded after on-chip ECC correction
+          ([Read_correctable] fault action) *)
+  program_failures : int;  (** program operations that raised [Program_error] *)
+  erase_failures : int;  (** erase operations that raised [Erase_error] *)
+  grown_bad_blocks : int;  (** blocks currently marked grown-bad *)
 }
 
 (** This module satisfies {!Ipl_util.Stats_intf.S}. *)

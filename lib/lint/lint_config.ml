@@ -86,7 +86,8 @@ let chip_module_names = [ "Chip"; "Flash_chip" ]
 (* Directories whose code implements a storage design on raw flash and may
    therefore program/erase the chip directly. lib/flash is the chip itself.
    Everything else goes through these layers. *)
-let flash_call_allowed_dirs = [ "lib/flash"; "lib/core"; "lib/baseline"; "lib/ftl" ]
+let flash_call_allowed_dirs =
+  [ "lib/flash"; "lib/core"; "lib/baseline"; "lib/ftl"; "lib/resilience" ]
 
 (* The only module allowed to use Bytes.unsafe_*. *)
 let bytes_unsafe_allowed_files = [ "lib/util/byte_arena.ml" ]
@@ -104,6 +105,11 @@ let libraries =
     { dir = "lib/lint"; wrapper = "Lint"; allowed = [] };
     { dir = "lib/obs"; wrapper = "Obs"; allowed = [ "Ipl_util" ] };
     { dir = "lib/flash"; wrapper = "Flash_sim"; allowed = [ "Ipl_util"; "Obs" ] };
+    {
+      dir = "lib/resilience";
+      wrapper = "Resilience";
+      allowed = [ "Ipl_util"; "Obs"; "Flash_sim" ];
+    };
     { dir = "lib/disk"; wrapper = "Disk_sim"; allowed = [ "Ipl_util" ] };
     { dir = "lib/storage"; wrapper = "Storage"; allowed = [ "Ipl_util" ] };
     { dir = "lib/buffer"; wrapper = "Bufmgr"; allowed = [ "Ipl_util"; "Obs" ] };
@@ -111,7 +117,7 @@ let libraries =
     {
       dir = "lib/core";
       wrapper = "Ipl_core";
-      allowed = [ "Ipl_util"; "Obs"; "Flash_sim"; "Storage"; "Bufmgr" ];
+      allowed = [ "Ipl_util"; "Obs"; "Flash_sim"; "Resilience"; "Storage"; "Bufmgr" ];
     };
     { dir = "lib/btree"; wrapper = "Btree"; allowed = [ "Ipl_util"; "Storage"; "Ipl_core" ] };
     { dir = "lib/ftl"; wrapper = "Ftl"; allowed = [ "Ipl_util"; "Flash_sim"; "Disk_sim" ] };
@@ -145,7 +151,7 @@ let libraries =
     {
       dir = "lib/fault";
       wrapper = "Fault";
-      allowed = [ "Ipl_util"; "Flash_sim"; "Storage"; "Ipl_core" ];
+      allowed = [ "Ipl_util"; "Flash_sim"; "Resilience"; "Storage"; "Ipl_core" ];
     };
   ]
 

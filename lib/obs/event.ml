@@ -12,6 +12,11 @@ type t =
   | Commit of { tx : int }
   | Abort of { tx : int }
   | Checkpoint
+  | Read_retry of { sector : int; attempt : int }
+  | Remap of { virt : int; from_phys : int; to_phys : int }
+  | Retire of { block : int }
+  | Scrub of { virt : int; to_phys : int }
+  | Degraded
 
 let kind = function
   | Read_sector _ -> "read_sector"
@@ -27,6 +32,11 @@ let kind = function
   | Commit _ -> "commit"
   | Abort _ -> "abort"
   | Checkpoint -> "checkpoint"
+  | Read_retry _ -> "read_retry"
+  | Remap _ -> "remap"
+  | Retire _ -> "retire"
+  | Scrub _ -> "scrub"
+  | Degraded -> "degraded"
 
 (* Every kind tag, in declaration order — the stable key order for
    aggregated per-kind reports. *)
@@ -45,6 +55,11 @@ let kinds =
     "commit";
     "abort";
     "checkpoint";
+    "read_retry";
+    "remap";
+    "retire";
+    "scrub";
+    "degraded";
   ]
 
 (* Payload as ordered (field, value) pairs — single source for JSON, CSV
@@ -67,6 +82,12 @@ let fields = function
   | Evict { page } | Write_back { page } -> [ ("page", page) ]
   | Commit { tx } | Abort { tx } -> [ ("tx", tx) ]
   | Checkpoint -> []
+  | Read_retry { sector; attempt } -> [ ("sector", sector); ("attempt", attempt) ]
+  | Remap { virt; from_phys; to_phys } ->
+      [ ("virt", virt); ("from_phys", from_phys); ("to_phys", to_phys) ]
+  | Retire { block } -> [ ("block", block) ]
+  | Scrub { virt; to_phys } -> [ ("virt", virt); ("to_phys", to_phys) ]
+  | Degraded -> []
 
 let to_json ev =
   Ipl_util.Json.Obj

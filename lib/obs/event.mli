@@ -30,6 +30,15 @@ type t =
   | Commit of { tx : int }
   | Abort of { tx : int }
   | Checkpoint
+  | Read_retry of { sector : int; attempt : int }
+      (** bad-block manager retrying a failed physical read *)
+  | Remap of { virt : int; from_phys : int; to_phys : int }
+      (** virtual erase unit relocated to a spare after a program/erase
+          failure *)
+  | Retire of { block : int }  (** physical block permanently retired *)
+  | Scrub of { virt : int; to_phys : int }
+      (** preventive relocation after a correctable (ECC) read *)
+  | Degraded  (** spare pool exhausted: device now read-only *)
 
 val kind : t -> string
 (** Stable snake_case tag, e.g. ["log_flush"] — the [kind] field of the

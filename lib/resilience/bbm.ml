@@ -1,0 +1,363 @@
+module Chip = Flash_sim.Flash_chip
+module FConfig = Flash_sim.Flash_config
+
+type persist_event =
+  | P_remap of { virt : int; phys : int }
+  | P_retire of { block : int }
+  | P_degraded
+
+exception Degraded
+exception Uncorrectable of int
+
+type t = {
+  chip : Chip.t;
+  spb : int;  (* sectors per erase unit *)
+  read_retries : int;
+  scrub_on_correctable : bool;
+  map : (int, int) Hashtbl.t;  (* virtual block -> physical, non-identity only *)
+  pool : (int, unit) Hashtbl.t;  (* spare physical blocks, lazily erased *)
+  retired : (int, unit) Hashtbl.t;
+  persist : persist_event -> unit;
+  force : unit -> unit;
+  mutable degraded : bool;
+  mutable tracer : Obs.Tracer.t option;
+  mutable c_read_retries : int;
+  mutable c_uncorrectable : int;
+  mutable c_remaps : int;
+  mutable c_retired : int;
+  mutable c_scrubs : int;
+  mutable c_degradations : int;
+}
+
+let create chip ~spares ?(read_retries = 3) ?(scrub_on_correctable = true) ~persist
+    ~force () =
+  if read_retries < 0 then invalid_arg "Bbm.create: read_retries must be non-negative";
+  let pool = Hashtbl.create 16 in
+  List.iter (fun b -> Hashtbl.replace pool b ()) spares;
+  {
+    chip;
+    spb = FConfig.sectors_per_block (Chip.config chip);
+    read_retries;
+    scrub_on_correctable;
+    map = Hashtbl.create 16;
+    pool;
+    retired = Hashtbl.create 16;
+    persist;
+    force;
+    degraded = false;
+    tracer = None;
+    c_read_retries = 0;
+    c_uncorrectable = 0;
+    c_remaps = 0;
+    c_retired = 0;
+    c_scrubs = 0;
+    c_degradations = 0;
+  }
+
+let set_tracer t tracer = t.tracer <- tracer
+
+let emit t ev =
+  match t.tracer with
+  | None -> ()
+  | Some tr -> Obs.Tracer.emit tr ~time:(Chip.elapsed t.chip) ev
+
+let phys_block t v = match Hashtbl.find_opt t.map v with Some p -> p | None -> v
+
+(* Translate a flat virtual sector address. Every caller operation must
+   stay within one erase unit — the unit is the remapping granularity. *)
+let translate t ~sector ~count =
+  let v = sector / t.spb in
+  if (sector + count - 1) / t.spb <> v then
+    invalid_arg "Bbm: operation crosses an erase-unit boundary";
+  (phys_block t v * t.spb) + (sector mod t.spb)
+
+let retire_phys t p =
+  t.persist (P_retire { block = p });
+  Hashtbl.replace t.retired p ();
+  Hashtbl.remove t.pool p;
+  if not (Chip.is_bad t.chip p) then Chip.mark_bad t.chip p;
+  t.c_retired <- t.c_retired + 1;
+  emit t (Obs.Event.Retire { block = p })
+
+(* The degradation point: a mandatory relocation found no usable spare.
+   Persisted so the device stays read-only across restarts. *)
+let degrade t =
+  if not t.degraded then begin
+    t.persist P_degraded;
+    t.force ();
+    t.degraded <- true;
+    t.c_degradations <- t.c_degradations + 1;
+    emit t Obs.Event.Degraded
+  end;
+  raise Degraded
+
+(* Take the least-worn spare (wear-aware allocation doubles as wear
+   leveling: blocks returned to the pool by scrubs rotate back in by wear
+   order). Pool blocks are erased lazily here, so crash leftovers and
+   scrub returns need no eager cleanup; one that will not erase is
+   retired and the next candidate tried. *)
+let rec alloc_spare t =
+  let best =
+    Hashtbl.fold
+      (fun b () acc ->
+        match acc with
+        | Some b' when Chip.erase_count t.chip b' <= Chip.erase_count t.chip b -> acc
+        | _ -> Some b)
+      t.pool None
+  in
+  match best with
+  | None -> None
+  | Some b ->
+      Hashtbl.remove t.pool b;
+      if Chip.is_bad t.chip b then begin
+        retire_phys t b;
+        alloc_spare t
+      end
+      else if Chip.free_sectors_in_block t.chip b < t.spb then (
+        match Chip.erase_block t.chip b with
+        | () -> Some b
+        | exception Chip.Erase_error _ ->
+            retire_phys t b;
+            alloc_spare t)
+      else Some b
+
+let read_retry t ~phys_sector ~count ~virt_sector =
+  let rec go attempt =
+    try Chip.read_sectors t.chip ~sector:phys_sector ~count
+    with Chip.Read_error _ ->
+      if attempt > t.read_retries then begin
+        t.c_uncorrectable <- t.c_uncorrectable + 1;
+        raise (Uncorrectable virt_sector)
+      end
+      else begin
+        t.c_read_retries <- t.c_read_retries + 1;
+        emit t (Obs.Event.Read_retry { sector = virt_sector; attempt });
+        go (attempt + 1)
+      end
+  in
+  go 1
+
+(* Copy every programmed sector of [from_phys] onto the erased [to_phys],
+   preserving Free holes and Invalid marks exactly: Invalid sectors still
+   hold stale-but-readable data that recovery depends on, and Free data
+   slots must stay programmable. *)
+let copy_block t ~from_phys ~to_phys =
+  let src = from_phys * t.spb and dst = to_phys * t.spb in
+  let o = ref 0 in
+  while !o < t.spb do
+    if Chip.sector_state t.chip (src + !o) = Chip.Free then incr o
+    else begin
+      let start = !o in
+      while !o < t.spb && Chip.sector_state t.chip (src + !o) <> Chip.Free do
+        incr o
+      done;
+      let count = !o - start in
+      let data =
+        read_retry t ~phys_sector:(src + start) ~count ~virt_sector:(src + start)
+      in
+      Chip.write_sectors t.chip ~sector:(dst + start) data;
+      for i = start to !o - 1 do
+        if Chip.sector_state t.chip (src + i) = Chip.Invalid then
+          Chip.invalidate_sectors t.chip ~sector:(dst + i) ~count:1
+      done
+    end
+  done
+
+(* Move virtual unit [virt] off [old_phys] onto a spare, optionally
+   completing a failed program ([pending] = offset within the unit plus
+   the data) on the new block. Crash ordering: copy first, then persist
+   the remap (and retirement) and force, then switch the in-memory map.
+   Before the force the old mapping is fully intact and the half-copied
+   spare is unreferenced (lazily erased on its next allocation); after it
+   the new mapping includes the completed program. Returns [None] when no
+   usable spare exists — the caller decides whether that degrades the
+   device. *)
+let rec relocate t ~virt ~old_phys ~pending ~retire_old =
+  match alloc_spare t with
+  | None -> None
+  | Some np -> (
+      match
+        copy_block t ~from_phys:old_phys ~to_phys:np;
+        match pending with
+        | None -> ()
+        | Some (off, data) -> Chip.write_sectors t.chip ~sector:((np * t.spb) + off) data
+      with
+      | () ->
+          t.persist (P_remap { virt; phys = np });
+          if retire_old then retire_phys t old_phys;
+          t.force ();
+          if np = virt then Hashtbl.remove t.map virt else Hashtbl.replace t.map virt np;
+          t.c_remaps <- t.c_remaps + 1;
+          emit t (Obs.Event.Remap { virt; from_phys = old_phys; to_phys = np });
+          Some np
+      | exception Chip.Program_error _ ->
+          (* The spare failed mid-copy: retire it too and try another. *)
+          retire_phys t np;
+          relocate t ~virt ~old_phys ~pending ~retire_old)
+
+(* Preventive relocation of a weakening unit after a correctable read.
+   Never degrades the device: with no spare to hand the scrub is simply
+   skipped. The old block returns to the pool — it still works, it is
+   merely suspect — giving natural wear rotation. *)
+let scrub t v =
+  let old_p = phys_block t v in
+  match relocate t ~virt:v ~old_phys:old_p ~pending:None ~retire_old:false with
+  | Some np ->
+      Hashtbl.replace t.pool old_p ();
+      t.c_scrubs <- t.c_scrubs + 1;
+      emit t (Obs.Event.Scrub { virt = v; to_phys = np })
+  | None ->
+      Logs.debug (fun m -> m "Bbm: no spare available, scrub of unit %d skipped" v)
+
+let check_writable t = if t.degraded then raise Degraded
+
+let read_sectors t ~sector ~count =
+  let ps = translate t ~sector ~count in
+  let data = read_retry t ~phys_sector:ps ~count ~virt_sector:sector in
+  if Chip.last_read_corrected t.chip && t.scrub_on_correctable then
+    scrub t (sector / t.spb);
+  data
+
+let write_sectors t ~sector data =
+  check_writable t;
+  let ss = (Chip.config t.chip).FConfig.sector_size in
+  let count = max 1 (Bytes.length data / ss) in
+  let ps = translate t ~sector ~count in
+  try Chip.write_sectors t.chip ~sector:ps data
+  with Chip.Program_error _ -> (
+    let virt = sector / t.spb in
+    match
+      relocate t ~virt ~old_phys:(ps / t.spb) ~pending:(Some (ps mod t.spb, data))
+        ~retire_old:true
+    with
+    | Some _ -> ()
+    | None -> degrade t)
+
+let erase_block t v =
+  check_writable t;
+  let p = phys_block t v in
+  try Chip.erase_block t.chip p
+  with Chip.Erase_error _ -> (
+    (* The block would not erase (worn out or transient failure turned
+       permanent): its content is garbage to the caller, so no copy is
+       needed — retire it and point the unit at a fresh spare. *)
+    retire_phys t p;
+    match alloc_spare t with
+    | Some np ->
+        t.persist (P_remap { virt = v; phys = np });
+        t.force ();
+        if np = v then Hashtbl.remove t.map v else Hashtbl.replace t.map v np;
+        t.c_remaps <- t.c_remaps + 1;
+        emit t (Obs.Event.Remap { virt = v; from_phys = p; to_phys = np })
+    | None -> degrade t)
+
+let invalidate_sectors t ~sector ~count =
+  let ps = translate t ~sector ~count in
+  Chip.invalidate_sectors t.chip ~sector:ps ~count
+
+let sector_state t s = Chip.sector_state t.chip (translate t ~sector:s ~count:1)
+let free_sectors_in_block t v = Chip.free_sectors_in_block t.chip (phys_block t v)
+let erase_count t v = Chip.erase_count t.chip (phys_block t v)
+let degraded t = t.degraded
+let spares_left t = Hashtbl.length t.pool
+
+let remap_table t =
+  List.sort compare (Hashtbl.fold (fun v p acc -> (v, p) :: acc) t.map [])
+
+let retired_list t =
+  List.sort compare (Hashtbl.fold (fun b () acc -> b :: acc) t.retired [])
+
+let snapshot_events t =
+  let evs = Hashtbl.fold (fun v p acc -> P_remap { virt = v; phys = p } :: acc) t.map [] in
+  let evs = Hashtbl.fold (fun b () acc -> P_retire { block = b } :: acc) t.retired evs in
+  if t.degraded then evs @ [ P_degraded ] else evs
+
+let recover chip ~spares ?read_retries ?scrub_on_correctable ~persist ~force ~events ()
+    =
+  let t = create chip ~spares ?read_retries ?scrub_on_correctable ~persist ~force () in
+  List.iter
+    (function
+      | P_remap { virt; phys } ->
+          let old_p = phys_block t virt in
+          if phys = virt then Hashtbl.remove t.map virt
+          else Hashtbl.replace t.map virt phys;
+          Hashtbl.remove t.pool phys;
+          (* The displaced block rejoins the pool unless a later (or
+             earlier) Retire event removes it again. *)
+          if old_p <> phys && not (Hashtbl.mem t.retired old_p) then
+            Hashtbl.replace t.pool old_p ()
+      | P_retire { block } ->
+          Hashtbl.replace t.retired block ();
+          Hashtbl.remove t.pool block;
+          if not (Chip.is_bad chip block) then Chip.mark_bad chip block
+      | P_degraded -> t.degraded <- true)
+    events;
+  t
+
+type stats = {
+  read_retries : int;
+  uncorrectable_reads : int;
+  remaps : int;
+  retired_blocks : int;
+  scrubs : int;
+  degradations : int;
+  spares_left : int;
+}
+
+let stats t =
+  {
+    read_retries = t.c_read_retries;
+    uncorrectable_reads = t.c_uncorrectable;
+    remaps = t.c_remaps;
+    retired_blocks = t.c_retired;
+    scrubs = t.c_scrubs;
+    degradations = t.c_degradations;
+    spares_left = Hashtbl.length t.pool;
+  }
+
+module Stats = struct
+  type t = stats
+
+  let zero =
+    {
+      read_retries = 0;
+      uncorrectable_reads = 0;
+      remaps = 0;
+      retired_blocks = 0;
+      scrubs = 0;
+      degradations = 0;
+      spares_left = 0;
+    }
+
+  let map2 f (a : t) (b : t) : t =
+    {
+      read_retries = f a.read_retries b.read_retries;
+      uncorrectable_reads = f a.uncorrectable_reads b.uncorrectable_reads;
+      remaps = f a.remaps b.remaps;
+      retired_blocks = f a.retired_blocks b.retired_blocks;
+      scrubs = f a.scrubs b.scrubs;
+      degradations = f a.degradations b.degradations;
+      spares_left = f a.spares_left b.spares_left;
+    }
+
+  let add = map2 ( + )
+  let diff = map2 ( - )
+
+  let fields (t : t) =
+    [
+      ("read_retries", t.read_retries);
+      ("uncorrectable_reads", t.uncorrectable_reads);
+      ("remaps", t.remaps);
+      ("retired_blocks", t.retired_blocks);
+      ("scrubs", t.scrubs);
+      ("degradations", t.degradations);
+      ("spares_left", t.spares_left);
+    ]
+
+  let pp ppf t =
+    Format.pp_print_string ppf "resilience:";
+    List.iter (fun (k, v) -> Format.fprintf ppf " %s=%d" k v) (fields t)
+
+  let to_json t =
+    Ipl_util.Json.Obj (List.map (fun (k, v) -> (k, Ipl_util.Json.Int v)) (fields t))
+end

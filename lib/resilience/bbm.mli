@@ -1,0 +1,137 @@
+(** Bad-block manager: the device-resilience layer between the IPL
+    storage manager and the raw flash chip.
+
+    The manager presents the same flat-sector interface as
+    {!Flash_sim.Flash_chip} over a {e virtual} block space (a virtual
+    block's id is its initial physical block), backed by a remap table
+    and a pool of spare erase units:
+
+    - a failed program relocates the whole erase unit onto the least-worn
+      spare (the failed program is completed there), retires the broken
+      physical block, and persists the remap;
+    - a failed erase retires the block and points the unit at a fresh
+      spare (no copy: an erased unit carries no data);
+    - a failed read is retried a bounded number of times; a read the chip
+      had to ECC-correct triggers a preventive {e scrub} (relocation) of
+      the weakening unit, returning the old block to the spare pool;
+    - when a mandatory relocation finds no usable spare the device
+      {e degrades} to read-only: the state is persisted, and every
+      subsequent mutation raises {!Degraded} while reads keep serving
+      committed data.
+
+    Durability is delegated via callbacks so this library needs no
+    dependency on the metadata log: the owner persists
+    {!persist_event}s (the engine encodes them as [Meta_log] events) and
+    replays them into {!recover} at restart. The crash contract: a remap
+    is logged {e after} the copy completes and forced {e before} the
+    in-memory switch, so a crash anywhere leaves either the old intact
+    mapping or the new complete one. *)
+
+type persist_event =
+  | P_remap of { virt : int; phys : int }
+  | P_retire of { block : int }
+  | P_degraded
+
+exception Degraded
+(** The spare pool is exhausted and a relocation was required: the device
+    is read-only from here on (persisted across restarts). *)
+
+exception Uncorrectable of int
+(** A read failed all its retries; carries the flat sector address. *)
+
+type t
+
+val create :
+  Flash_sim.Flash_chip.t ->
+  spares:int list ->
+  ?read_retries:int ->
+  ?scrub_on_correctable:bool ->
+  persist:(persist_event -> unit) ->
+  force:(unit -> unit) ->
+  unit ->
+  t
+(** [spares] are the physical blocks of the initial pool (need not be
+    erased: spares are erased lazily on allocation). [read_retries]
+    (default 3) bounds retries {e beyond} the first attempt.
+    [persist] must buffer an event durably-on-[force]; [force] makes all
+    buffered events durable. *)
+
+val recover :
+  Flash_sim.Flash_chip.t ->
+  spares:int list ->
+  ?read_retries:int ->
+  ?scrub_on_correctable:bool ->
+  persist:(persist_event -> unit) ->
+  force:(unit -> unit) ->
+  events:persist_event list ->
+  unit ->
+  t
+(** Rebuild the remap table, retired set, pool and degradation flag by
+    replaying [events] (log order) over the same initial [spares] list
+    given to {!create}. *)
+
+(** {1 Chip-mirroring operations}
+
+    All addresses are virtual flat sectors / virtual blocks. Each
+    operation must stay within one erase unit (the remap granularity);
+    crossing a boundary raises [Invalid_argument]. *)
+
+val read_sectors : t -> sector:int -> count:int -> bytes
+(** Bounded-retry read; raises {!Uncorrectable} when retries are
+    exhausted. A correctable (ECC) read triggers a scrub when enabled. *)
+
+val write_sectors : t -> sector:int -> bytes -> unit
+(** Raises {!Degraded} when the device is read-only or when a required
+    relocation finds no spare. *)
+
+val erase_block : t -> int -> unit
+(** Raises {!Degraded} like {!write_sectors}. *)
+
+val invalidate_sectors : t -> sector:int -> count:int -> unit
+val sector_state : t -> int -> Flash_sim.Flash_chip.sector_state
+val free_sectors_in_block : t -> int -> int
+
+val erase_count : t -> int -> int
+(** Wear of the physical block currently backing the virtual one. *)
+
+(** {1 Introspection} *)
+
+val degraded : t -> bool
+val spares_left : t -> int
+
+val remap_table : t -> (int * int) list
+(** Non-identity (virtual, physical) pairs, sorted. *)
+
+val retired_list : t -> int list
+
+val snapshot_events : t -> persist_event list
+(** Current state as a replayable event list — the manager's contribution
+    to a metadata-log snapshot compaction (without it, compaction would
+    silently drop the remap table). *)
+
+val set_tracer : t -> Obs.Tracer.t option -> unit
+
+(** {1 Stats} *)
+
+type stats = {
+  read_retries : int;
+  uncorrectable_reads : int;
+  remaps : int;
+  retired_blocks : int;
+  scrubs : int;
+  degradations : int;
+  spares_left : int;  (** gauge, not a counter *)
+}
+
+val stats : t -> stats
+
+(** Satisfies {!Ipl_util.Stats_intf.S}. *)
+module Stats : sig
+  type t = stats
+
+  val zero : t
+  val add : t -> t -> t
+  val diff : t -> t -> t
+  val pp : Format.formatter -> t -> unit
+  val to_json : t -> Ipl_util.Json.t
+end

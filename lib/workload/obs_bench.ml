@@ -25,6 +25,7 @@ type spec = {
   buffer_pages : int;
   compact_every : int;
   num_blocks : int;
+  spare_blocks : int;
 }
 
 let default =
@@ -38,6 +39,7 @@ let default =
     buffer_pages = 8;
     compact_every = 50;
     num_blocks = 64;
+    spare_blocks = 0;
   }
 
 let quick = { default with transactions = 120 }
@@ -61,6 +63,7 @@ let engine_config spec =
     Config.default with
     Config.recovery_enabled = true;
     buffer_pages = spec.buffer_pages;
+    spare_blocks = spec.spare_blocks;
   }
 
 let timed chip latency f =
@@ -236,6 +239,7 @@ let workload_json spec =
       ("buffer_pages", Json.Int spec.buffer_pages);
       ("compact_every", Json.Int spec.compact_every);
       ("num_blocks", Json.Int spec.num_blocks);
+      ("spare_blocks", Json.Int spec.spare_blocks);
     ]
 
 let ipl_backend engine metrics =

@@ -19,6 +19,11 @@ type spec = {
   buffer_pages : int;  (** pool capacity; small values force evictions *)
   compact_every : int;  (** background-merge period in transactions; 0 = never *)
   num_blocks : int;  (** chip size, erase blocks (same for every backend) *)
+  spare_blocks : int;
+      (** 0 (default): no bad-block manager. n > 0: the IPL engine runs
+          with an n-block spare pool, and the [resilience] section of its
+          backend stats reports retries/remaps/scrubs (all zero on a
+          fault-free run) *)
 }
 
 val default : spec

@@ -595,7 +595,9 @@ let test_store_detects_corrupt_log_sector () =
   (* The unit's first log sector sits right after 15 data pages. *)
   let log_sector = Chip.sector_of_block chip eu + (15 * 16) in
   (* Flip a byte inside the sector's record payload. *)
-  Chip.corrupt_sector ~offset:12 chip log_sector;
+  (match Chip.corrupt_sector ~offset:12 chip log_sector with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Chip.corrupt_error_to_string e));
   (try
      ignore (Store.read_page store pid);
      Alcotest.fail "expected Corrupt"

@@ -16,6 +16,11 @@ module Campaign = Fault.Campaign
 
 let mk_chip () = Chip.create (FConfig.default ~num_blocks:32 ())
 
+let corrupt ?offset chip s =
+  match Chip.corrupt_sector ?offset chip s with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Chip.corrupt_error_to_string e)
+
 (* ---------------- fault plans ---------------- *)
 
 let test_plan_crash_at () =
@@ -50,7 +55,7 @@ let test_seq_log_bitflip_tail () =
   Seq_log.force log;
   (* Rot a bit in the final sector: its records must be discarded, not
      decoded as garbage and not crash recovery. *)
-  Chip.corrupt_sector chip 1 ~offset:9;
+  corrupt chip 1 ~offset:9;
   let log' = Seq_log.recover chip ~first_block:0 ~num_blocks:1 in
   Alcotest.(check (list string)) "tail discarded"
     [ "alpha"; "beta" ]
@@ -70,7 +75,7 @@ let test_seq_log_mid_corruption_skipped () =
       ignore (Seq_log.append log (Bytes.of_string s));
       Seq_log.force log)
     [ "one"; "two"; "three" ];
-  Chip.corrupt_sector chip 0 ~offset:7;
+  corrupt chip 0 ~offset:7;
   Alcotest.(check (list string)) "corrupt sector skipped, later ones kept"
     [ "two"; "three" ]
     (List.map Bytes.to_string (Seq_log.records log))
@@ -98,7 +103,7 @@ let test_trx_log_lost_commit_record () =
   Trx_log.log_commit trx 1;
   (* The commit record's sector rots: the implicit-UNDO contract is that
      the transaction reverts to its pre-crash (un-committed) status. *)
-  Chip.corrupt_sector chip 1 ~offset:3;
+  corrupt chip 1 ~offset:3;
   let trx', aborted = Trx_log.recover chip ~first_block:0 ~num_blocks:1 in
   Alcotest.(check (list int)) "closed by abort" [ 1 ] aborted;
   Alcotest.(check bool) "status reverts to aborted" true (Trx_log.status trx' 1 = Trx_log.Aborted)
@@ -110,7 +115,7 @@ let test_meta_log_torn_tail () =
   Meta_log.force meta;
   Meta_log.log meta (Meta_log.Merge { old_eu = 2; new_eu = 4 });
   Meta_log.force meta;
-  Chip.corrupt_sector chip 1 ~offset:2;
+  corrupt chip 1 ~offset:2;
   let _, events = Meta_log.recover chip ~first_block:0 ~num_blocks:1 in
   Alcotest.(check bool) "only the intact sector's events survive" true
     (events = [ Meta_log.Page_alloc { page = 1; eu = 2; idx = 3 } ])
