@@ -383,9 +383,14 @@ let observe_cmd =
 
 (* ---------------- bench ---------------- *)
 
-let bench transactions seed quick spares json out =
+let bench transactions seed quick spares cache_bytes json out =
   let spec = obs_spec transactions seed quick in
   let spec = { spec with Workload.Obs_bench.spare_blocks = spares } in
+  let spec =
+    match cache_bytes with
+    | None -> spec
+    | Some b -> { spec with Workload.Obs_bench.log_cache_bytes = b }
+  in
   let r = Workload.Obs_bench.run ~spec () in
   let member = Ipl_util.Json.member in
   let backends =
@@ -423,6 +428,15 @@ let bench_spares_t =
           "Run the IPL engine with an $(docv)-block spare pool (bad-block manager); its \
            resilience counters appear in the JSON backend stats.")
 
+let bench_cache_bytes_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "cache-bytes" ]
+        ~doc:
+          "DRAM log-record cache budget in bytes for the IPL engine (0 disables the \
+           cache); defaults to the engine's configured budget.")
+
 let bench_out_t =
   Arg.(
     value
@@ -436,8 +450,8 @@ let bench_cmd =
          "Instrumented three-backend benchmark (IPL vs sequential-logging vs in-place); \
           $(b,--json) writes the schema-stable BENCH_ipl.json.")
     Term.(
-      const bench $ obs_transactions_t $ seed_t $ obs_quick_t $ bench_spares_t $ bench_json_t
-      $ bench_out_t)
+      const bench $ obs_transactions_t $ seed_t $ obs_quick_t $ bench_spares_t
+      $ bench_cache_bytes_t $ bench_json_t $ bench_out_t)
 
 (* ---------------- queries ---------------- *)
 

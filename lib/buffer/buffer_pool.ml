@@ -20,6 +20,7 @@ type 'a t = {
   mutable misses : int;
   mutable evictions : int;
   mutable dirty_write_backs : int;
+  mutable dirty_frames : int;  (* maintained at every dirty-flag transition *)
   mutable trace : (Obs.Event.t -> unit) option;
 }
 
@@ -36,10 +37,17 @@ let create ~capacity ~fetch ~write_back () =
     misses = 0;
     evictions = 0;
     dirty_write_backs = 0;
+    dirty_frames = 0;
     trace = None;
   }
 
 let set_trace t trace = t.trace <- trace
+
+let set_dirty t f v =
+  if f.dirty <> v then begin
+    f.dirty <- v;
+    t.dirty_frames <- t.dirty_frames + (if v then 1 else -1)
+  end
 
 let unlink t f =
   (match f.prev with Some p -> p.next <- f.next | None -> t.mru <- f.next);
@@ -63,7 +71,7 @@ let write_back_frame t f =
   if f.dirty then begin
     t.write_back f.key f.value;
     t.dirty_write_backs <- t.dirty_write_backs + 1;
-    f.dirty <- false;
+    set_dirty t f false;
     match t.trace with
     | None -> ()
     | Some emit -> emit (Obs.Event.Write_back { page = f.key })
@@ -101,16 +109,17 @@ let get_frame t key =
 let with_page t key ?(dirty = false) f =
   let frame = get_frame t key in
   frame.pins <- frame.pins + 1;
-  if dirty then frame.dirty <- true;
+  if dirty then set_dirty t frame true;
   Fun.protect ~finally:(fun () -> frame.pins <- frame.pins - 1) (fun () -> f frame.value)
 
 let mark_dirty t key =
   match Hashtbl.find_opt t.table key with
-  | Some f -> f.dirty <- true
-  | None -> raise Not_found
+  | Some f -> set_dirty t f true
+  | None ->
+      invalid_arg (Printf.sprintf "Buffer_pool.mark_dirty: page %d is not cached" key)
 
 let clean t key =
-  match Hashtbl.find_opt t.table key with Some f -> f.dirty <- false | None -> ()
+  match Hashtbl.find_opt t.table key with Some f -> set_dirty t f false | None -> ()
 
 let contains t key = Hashtbl.mem t.table key
 let find t key = Option.map (fun f -> f.value) (Hashtbl.find_opt t.table key)
@@ -120,7 +129,7 @@ let is_dirty t key =
 
 let capacity t = t.capacity
 let cached t = Hashtbl.length t.table
-let dirty_count t = Hashtbl.fold (fun _ f acc -> if f.dirty then acc + 1 else acc) t.table 0
+let dirty_count t = t.dirty_frames
 
 let flush_all t = Hashtbl.iter (fun _ f -> write_back_frame t f) t.table
 

@@ -26,7 +26,9 @@ val with_page : 'a t -> int -> ?dirty:bool -> ('a -> 'b) -> 'b
     [Failure] if every frame is pinned. *)
 
 val mark_dirty : 'a t -> int -> unit
-(** Mark a cached frame dirty; raises [Not_found] if absent. *)
+(** Mark a cached frame dirty; raises [Invalid_argument] (naming the
+    page) if it is not cached — marking an absent frame is a caller
+    bug, not a lookup that may legitimately fail. *)
 
 val clean : 'a t -> int -> unit
 (** Clear the dirty flag of a cached frame without writing it back (used
@@ -40,7 +42,10 @@ val find : 'a t -> int -> 'a option
 val is_dirty : 'a t -> int -> bool
 val capacity : 'a t -> int
 val cached : 'a t -> int
+
 val dirty_count : 'a t -> int
+(** Number of dirty frames — an O(1) counter maintained at every
+    dirty-flag transition, not a scan. *)
 
 val flush_all : 'a t -> unit
 (** Write back every dirty frame (keeping them cached and now clean). *)

@@ -10,6 +10,7 @@ type t = {
   spare_blocks : int;
   read_retries : int;
   scrub_on_correctable : bool;
+  log_cache_bytes : int;
 }
 
 let default =
@@ -25,6 +26,7 @@ let default =
     spare_blocks = 0;
     read_retries = 3;
     scrub_on_correctable = true;
+    log_cache_bytes = 256 * 1024;
   }
 
 let data_pages_per_eu t ~block_size = (block_size - t.log_region_bytes) / t.page_size
@@ -47,4 +49,5 @@ let validate t ~sector_size ~block_size =
   check (t.buffer_pages > 0) "buffer pool must hold at least one page";
   check (t.group_commit >= 0) "group_commit must be non-negative";
   check (t.spare_blocks >= 0) "spare_blocks must be non-negative";
-  check (t.read_retries >= 0) "read_retries must be non-negative"
+  check (t.read_retries >= 0) "read_retries must be non-negative";
+  check (t.log_cache_bytes >= 0) "log_cache_bytes must be non-negative"

@@ -42,12 +42,17 @@ type t = {
   scrub_on_correctable : bool;
       (** preventively relocate an erase unit whose read needed ECC
           correction (resilience only) *)
+  log_cache_bytes : int;
+      (** DRAM budget for the per-erase-unit log-record cache that lets
+          page reads and merges skip re-reading the flash log region
+          (see [lib/cache]). LRU over erase units. 0 disables the cache,
+          reproducing the uncached engine bit-for-bit *)
 }
 
 val default : t
 (** 8 KB pages, 8 KB log region, 512 B log sectors, recovery off,
     tau = 0.5, wear-aware allocation, 2560 buffer pages (20 MB), no group
-    commit. *)
+    commit, 256 KB log-record cache. *)
 
 val validate : t -> sector_size:int -> block_size:int -> unit
 (** Check the configuration against a chip geometry: the log region and

@@ -9,6 +9,10 @@ type eu_info = {
   mutable overflow_rev : int list;  (* flat sector addresses, newest first *)
   txn_counts : (int, int) Hashtbl.t;  (* txid -> live records in this unit's logs *)
   mutable total_records : int;
+  mutable next_slot : int;
+      (* free-slot scan cursor: slots below it are occupied or unusable
+         until the next merge re-erases the unit (slots are never freed
+         within a residency, so the cursor only moves forward) *)
 }
 
 type overflow_info = { mutable next_idx : int; mutable live : int }
@@ -25,6 +29,24 @@ type stats = {
   records_dropped_aborted : int;
   records_carried_over : int;
   erase_units_reclaimed : int;
+  log_cache_hits : int;
+  log_cache_misses : int;
+  log_cache_evictions : int;
+}
+
+(* Free erase units bucketed by wear so allocation is a min-binding
+   lookup, not a fold over the whole set with a wear query per member.
+   The wear recorded at insertion stays exact while a block is free:
+   wear only changes on erase, and a free block is not erased until it
+   leaves the pool (reclaim erases {e before} inserting). Without
+   wear-aware allocation every block lands in bucket 0 and allocation
+   degenerates to lowest-block-number-first. *)
+module IntSet = Set.Make (Int)
+module IntMap = Map.Make (Int)
+
+type free_pool = {
+  mutable by_wear : IntSet.t IntMap.t;  (* wear at insertion -> blocks *)
+  bucket_of : (int, int) Hashtbl.t;  (* member block -> its bucket key *)
 }
 
 type t = {
@@ -40,7 +62,11 @@ type t = {
   mapping : (int, eu_info * int) Hashtbl.t;  (* logical page -> (unit, slot) *)
   data_eus : (int, eu_info) Hashtbl.t;  (* physical block -> unit *)
   overflow_eus : (int, overflow_info) Hashtbl.t;
-  free : (int, unit) Hashtbl.t;
+  free : free_pool;
+  cache : Log_record.t Cache.Log_cache.t;
+      (* decoded log records per erase unit, keyed by [eu.phys] (a
+         virtual address under a bad-block manager, so relocations do
+         not disturb entries) *)
   mutable current_overflow : int option;
   mutable fill : eu_info option;  (* unit receiving new page allocations *)
   mutable next_page : int;
@@ -62,10 +88,17 @@ type t = {
   mutable c_records_dropped : int;
   mutable c_records_carried : int;
   mutable c_reclaimed : int;
+  mutable c_cache_hits : int;
+  mutable c_cache_misses : int;
+  mutable c_cache_evictions : int;
   mutable tracer : Obs.Tracer.t option;
 }
 
 let config t = t.config
+
+(* DRAM accounting for one cached record: its encoded size plus a flat
+   allowance for the list/index cells that carry it. *)
+let cached_record_overhead = 48
 
 let mk ?(config = Ipl_config.default) ?bbm chip ~first_block ~num_blocks ~txn_status
     ~meta =
@@ -76,6 +109,26 @@ let mk ?(config = Ipl_config.default) ?bbm chip ~first_block ~num_blocks ~txn_st
   then invalid_arg "Ipl_storage: block range out of chip bounds";
   let sectors_per_page = config.Ipl_config.page_size / fc.FConfig.sector_size in
   let data_pages = Ipl_config.data_pages_per_eu config ~block_size:fc.FConfig.block_size in
+  (* The eviction hook needs the finished [t] for its counter and tracer;
+     tie the knot through a ref. *)
+  let self = ref None in
+  let cache =
+    Cache.Log_cache.create ~budget_bytes:config.Ipl_config.log_cache_bytes
+      ~record_bytes:(fun r -> Log_record.encoded_size r + cached_record_overhead)
+      ~page_of:(fun r -> r.Log_record.page)
+      ~on_evict:(fun ~key ~bytes ->
+        match !self with
+        | None -> ()
+        | Some t -> (
+            t.c_cache_evictions <- t.c_cache_evictions + 1;
+            match t.tracer with
+            | None -> ()
+            | Some tr ->
+                Obs.Tracer.emit tr ~time:(Chip.elapsed t.chip)
+                  (Obs.Event.Cache_evict { eu = key; bytes })))
+      ()
+  in
+  let t =
   {
     chip;
     bbm;
@@ -87,7 +140,8 @@ let mk ?(config = Ipl_config.default) ?bbm chip ~first_block ~num_blocks ~txn_st
     mapping = Hashtbl.create 4096;
     data_eus = Hashtbl.create 512 [@lint.allow "no-magic-geometry"] (* table capacity *);
     overflow_eus = Hashtbl.create 16;
-    free = Hashtbl.create 512 [@lint.allow "no-magic-geometry"] (* table capacity *);
+    free = { by_wear = IntMap.empty; bucket_of = Hashtbl.create 256 };
+    cache;
     current_overflow = None;
     fill = None;
     next_page = 0;
@@ -108,8 +162,14 @@ let mk ?(config = Ipl_config.default) ?bbm chip ~first_block ~num_blocks ~txn_st
     c_records_dropped = 0;
     c_records_carried = 0;
     c_reclaimed = 0;
+    c_cache_hits = 0;
+    c_cache_misses = 0;
+    c_cache_evictions = 0;
     tracer = None;
   }
+  in
+  self := Some t;
+  t
 
 let set_tracer t tracer = t.tracer <- tracer
 
@@ -121,6 +181,7 @@ let fresh_eu_info phys data_pages =
     overflow_rev = [];
     txn_counts = Hashtbl.create 8;
     total_records = 0;
+    next_slot = 0;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -163,6 +224,36 @@ let dev_wear t b =
   | Some d -> Resilience.Bbm.erase_count d b
   | None -> Chip.erase_count t.chip b
 
+(* ------------------------------------------------------------------ *)
+(* Wear-bucketed free pool                                             *)
+
+let free_pool_size t = Hashtbl.length t.free.bucket_of
+
+let free_pool_add t b =
+  let p = t.free in
+  if not (Hashtbl.mem p.bucket_of b) then begin
+    let wear = if t.config.Ipl_config.wear_aware_allocation then dev_wear t b else 0 in
+    Hashtbl.replace p.bucket_of b wear;
+    p.by_wear <-
+      IntMap.update wear
+        (fun s -> Some (IntSet.add b (Option.value ~default:IntSet.empty s)))
+        p.by_wear
+  end
+
+(* Least-worn block, lowest block number among ties. *)
+let free_pool_take_min t =
+  let p = t.free in
+  match IntMap.min_binding_opt p.by_wear with
+  | None -> None
+  | Some (wear, set) ->
+      let b = IntSet.min_elt set in
+      let rest = IntSet.remove b set in
+      p.by_wear <-
+        (if IntSet.is_empty rest then IntMap.remove wear p.by_wear
+         else IntMap.add wear rest p.by_wear);
+      Hashtbl.remove p.bucket_of b;
+      Some b
+
 (* Reclaim a unit onto the free list. A unit whose erase fails stays off
    the list: leaked until a later recovery retries (raw chip), or — under
    a bad-block manager that could not remap it — lost with its backing
@@ -171,30 +262,16 @@ let dev_wear t b =
    a typed error instead. *)
 let reclaim_eu t b =
   match dev_erase t b with
-  | () -> Hashtbl.replace t.free b ()
+  | () -> free_pool_add t b
   | exception (Chip.Worn_out _ | Chip.Erase_error _ | Resilience.Bbm.Degraded) -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Free-unit allocation                                                *)
 
 let alloc_eu t =
-  if Hashtbl.length t.free = 0 then failwith "Ipl_storage: out of erase units";
-  let best =
-    Hashtbl.fold
-      (fun b () acc ->
-        if not t.config.Ipl_config.wear_aware_allocation then
-          match acc with Some _ -> acc | None -> Some b
-        else
-          match acc with
-          | Some b' when dev_wear t b' <= dev_wear t b -> acc
-          | _ -> Some b)
-      t.free None
-  in
-  match best with
-  | Some b ->
-      Hashtbl.remove t.free b;
-      b
-  | None -> assert false
+  match free_pool_take_min t with
+  | Some b -> b
+  | None -> failwith "Ipl_storage: out of erase units"
 
 (* ------------------------------------------------------------------ *)
 (* Low-level sector helpers                                            *)
@@ -214,7 +291,7 @@ let sector_size t = (Chip.config t.chip).FConfig.sector_size
 
 (* All log records stored for an erase unit, in application order:
    in-page log sectors by slot, then overflow sectors oldest-first. *)
-let read_eu_log_records t eu =
+let read_eu_log_records_uncached t eu =
   let ss = sector_size t in
   let records = ref [] in
   if eu.used_log > 0 then begin
@@ -232,6 +309,36 @@ let read_eu_log_records t eu =
       records := Log_sector.deserialize sector :: !records)
     (List.rev eu.overflow_rev);
   List.concat (List.rev !records)
+
+let eu_log_empty eu = eu.used_log = 0 && eu.overflow_rev = []
+
+let cache_note t eu ~hit =
+  if hit then t.c_cache_hits <- t.c_cache_hits + 1
+  else t.c_cache_misses <- t.c_cache_misses + 1;
+  match t.tracer with
+  | None -> ()
+  | Some tr ->
+      let e = eu.phys in
+      Obs.Tracer.emit tr ~time:(Chip.elapsed t.chip)
+        (if hit then Obs.Event.Cache_hit { eu = e } else Obs.Event.Cache_miss { eu = e })
+
+(* Cache consumption point: a hit returns the decoded records without
+   touching flash (no simulated reads, no [log_sector_reads]); a miss
+   scans the log region once and installs the result. Units with an
+   empty log region short-circuit without cache traffic. *)
+let read_eu_log_records t eu =
+  if eu_log_empty eu then []
+  else if not (Cache.Log_cache.enabled t.cache) then read_eu_log_records_uncached t eu
+  else
+    match Cache.Log_cache.records t.cache eu.phys with
+    | Some records ->
+        cache_note t eu ~hit:true;
+        records
+    | None ->
+        let records = read_eu_log_records_uncached t eu in
+        Cache.Log_cache.install t.cache eu.phys records;
+        cache_note t eu ~hit:false;
+        records
 
 let serialize_records t records =
   let ls = Log_sector.create ~capacity:(sector_size t) in
@@ -256,14 +363,20 @@ let note_records eu records =
 
 let find_free_slot t eu =
   let rec go idx =
-    if idx >= t.data_pages then None
+    if idx >= t.data_pages then begin
+      eu.next_slot <- t.data_pages;
+      None
+    end
     else if
       eu.pages.(idx) = -1
       && dev_state t (data_sector t eu.phys idx) = Chip.Free
-    then Some idx
+    then begin
+      eu.next_slot <- idx;
+      Some idx
+    end
     else go (idx + 1)
   in
-  go 0
+  go eu.next_slot
 
 let allocate_page t page =
   if Bytes.length (Page.to_bytes page) <> t.config.Ipl_config.page_size then
@@ -308,10 +421,39 @@ let lookup t pid =
 (* ------------------------------------------------------------------ *)
 (* Read path                                                           *)
 
+(* One transaction-status lookup per distinct txid within a single
+   operation. Valid only within one storage call: a status can flip
+   (Active -> Committed/Aborted) between calls, never during one. *)
+let memo_status t =
+  let tbl = Hashtbl.create 16 in
+  fun txid ->
+    match Hashtbl.find_opt tbl txid with
+    | Some s -> s
+    | None ->
+        let s = t.txn_status txid in
+        Hashtbl.add tbl txid s;
+        s
+
 let live_records_of_page t eu pid =
-  List.filter
-    (fun r -> r.Log_record.page = pid && t.txn_status r.Log_record.txid <> Trx_log.Aborted)
-    (read_eu_log_records t eu)
+  if eu_log_empty eu then []
+  else begin
+    let status = memo_status t in
+    let not_aborted r = status r.Log_record.txid <> Trx_log.Aborted in
+    (* The per-page index makes a cache hit proportional to the page's own
+       records; only a miss pays for the whole unit. *)
+    let mine =
+      if not (Cache.Log_cache.enabled t.cache) then None
+      else Cache.Log_cache.records_of_page t.cache eu.phys ~page:pid
+    in
+    match mine with
+    | Some records ->
+        cache_note t eu ~hit:true;
+        List.filter not_aborted records
+    | None ->
+        List.filter
+          (fun r -> r.Log_record.page = pid && not_aborted r)
+          (read_eu_log_records t eu)
+  end
 
 let apply_records page records =
   List.iter
@@ -395,32 +537,47 @@ let overflow_write t eu sector_bytes =
 (* Split a unit's records by the status of their transactions. Preserves
    order within each class. *)
 let classify t records =
+  let status = memo_status t in
   let committed = ref [] and active = ref [] and dropped = ref 0 in
   List.iter
     (fun r ->
-      match t.txn_status r.Log_record.txid with
+      match status r.Log_record.txid with
       | Trx_log.Committed -> committed := r :: !committed
       | Trx_log.Active -> active := r :: !active
       | Trx_log.Aborted -> incr dropped)
     records;
   (List.rev !committed, List.rev !active, !dropped)
 
-(* Pack records into as few log sectors as possible (order preserved). *)
+(* Pack records into as few log sectors as possible (order preserved).
+   Each sector image is paired with the records it holds, so the merge
+   can mirror exactly the persisted records into the cache. *)
 let pack_sectors t records =
   let sectors = ref [] in
   let cur = ref (Log_sector.create ~capacity:(sector_size t)) in
+  let cur_records = ref [] in
+  let seal () =
+    if not (Log_sector.is_empty !cur) then begin
+      sectors := (Log_sector.serialize !cur, List.rev !cur_records) :: !sectors;
+      cur := Log_sector.create ~capacity:(sector_size t);
+      cur_records := []
+    end
+  in
   List.iter
     (fun r ->
       match Log_sector.add !cur r with
-      | `Added -> ()
-      | `Full ->
-          sectors := Log_sector.serialize !cur :: !sectors;
-          cur := Log_sector.create ~capacity:(sector_size t);
+      | `Added -> cur_records := r :: !cur_records
+      | `Full -> (
+          seal ();
           match Log_sector.add !cur r with
-          | `Added -> ()
-          | `Full -> assert false)
+          | `Added -> cur_records := r :: !cur_records
+          | `Full ->
+              (* Unreachable today — [Log_sector.add] raises before
+                 answering [`Full] on an empty sector — but kept typed so
+                 a future Log_sector change surfaces as a clean error
+                 instead of a crash mid-merge. *)
+              raise (Log_sector.Record_too_large (Log_record.encoded_size r))))
     records;
-  if not (Log_sector.is_empty !cur) then sectors := Log_sector.serialize !cur :: !sectors;
+  seal ();
   List.rev !sectors
 
 (* Undo an in-merge [release_overflow]: re-attach the sectors and their
@@ -477,7 +634,7 @@ let merge t eu ~pending =
       in
       split 0 [] sectors
     in
-    List.iteri (fun i s -> dev_write t ~sector:(log_sector_addr t new_phys i) s) in_region;
+    List.iteri (fun i (s, _) -> dev_write t ~sector:(log_sector_addr t new_phys i) s) in_region;
     release_overflow t eu;
     released := true;
     (* Publish the move: the durability point. *)
@@ -491,9 +648,20 @@ let merge t eu ~pending =
     eu.phys <- new_phys;
     Hashtbl.replace t.data_eus new_phys eu;
     eu.used_log <- List.length in_region;
+    eu.next_slot <- 0;
+    (* a torn data slot in the old unit is usable again in the fresh one *)
     Hashtbl.reset eu.txn_counts;
     eu.total_records <- 0;
     note_records eu carried;
+    (* The old unit's cached records were consumed above; the carried
+       in-region records were just rewritten, so seed the new unit's
+       entry with them (spilled records are appended as their overflow
+       writes succeed below, keeping the entry equal to flash even if a
+       spill write fails mid-way). *)
+    Cache.Log_cache.invalidate t.cache old_phys;
+    (match List.concat_map snd in_region with
+    | [] -> ()
+    | records -> Cache.Log_cache.install t.cache new_phys records);
     t.c_records_dropped <- t.c_records_dropped + dropped;
     t.c_records_carried <- t.c_records_carried + List.length carried;
     t.c_records_applied <- t.c_records_applied + !applied;
@@ -514,7 +682,11 @@ let merge t eu ~pending =
        garbage collection erases it. *)
     reclaim_eu t old_phys;
     (* Spilled carried sectors go to a fresh overflow area, oldest first. *)
-    List.iter (fun s -> overflow_write t eu s) spill;
+    List.iter
+      (fun (s, records) ->
+        overflow_write t eu s;
+        Cache.Log_cache.append t.cache eu.phys records)
+      spill;
     gc_overflow t
   with e when not !durable ->
     if !released then reattach_overflow t eu saved_overflow;
@@ -529,7 +701,7 @@ let merge t eu ~pending =
               m "merge rollback: meta-log recompaction failed: %s" (Printexc.to_string exn)));
     (try
        dev_erase t new_phys;
-       Hashtbl.replace t.free new_phys ()
+       free_pool_add t new_phys
      with
     | Chip.Power_loss _ | Chip.Worn_out _ | Chip.Erase_error _ | Resilience.Bbm.Degraded
       ->
@@ -543,14 +715,15 @@ let merge t eu ~pending =
 (* Log flushing                                                        *)
 
 let active_fraction t eu ~pending =
+  let status = memo_status t in
   let active_of records =
     List.fold_left
-      (fun acc r -> if t.txn_status r.Log_record.txid = Trx_log.Active then acc + 1 else acc)
+      (fun acc r -> if status r.Log_record.txid = Trx_log.Active then acc + 1 else acc)
       0 records
   in
   let active_stored =
     Hashtbl.fold
-      (fun txid n acc -> if t.txn_status txid = Trx_log.Active then acc + n else acc)
+      (fun txid n acc -> if status txid = Trx_log.Active then acc + n else acc)
       eu.txn_counts 0
   in
   let total = eu.total_records + List.length pending in
@@ -570,6 +743,9 @@ let flush_log t ~page records =
     dev_write t ~sector:(log_sector_addr t eu.phys eu.used_log) sector;
     eu.used_log <- eu.used_log + 1;
     note_records eu records;
+    (* Write-through only after the program succeeded: the cache must
+       never hold records flash does not. *)
+    Cache.Log_cache.append t.cache eu.phys records;
     t.c_log_sector_writes <- t.c_log_sector_writes + 1;
     match t.tracer with
     | None -> ()
@@ -584,6 +760,7 @@ let flush_log t ~page records =
     let sector = serialize_records t records in
     overflow_write t eu sector;
     note_records eu records;
+    Cache.Log_cache.append t.cache eu.phys records;
     t.c_overflow_diversions <- t.c_overflow_diversions + 1;
     match t.tracer with
     | None -> ()
@@ -635,7 +812,7 @@ let overflow_sectors t ~eu =
   | Some info -> List.length info.overflow_rev
   | None -> invalid_arg "Ipl_storage.overflow_sectors: not a data erase unit"
 
-let free_eus t = Hashtbl.length t.free
+let free_eus t = free_pool_size t
 
 let stats t =
   {
@@ -650,6 +827,9 @@ let stats t =
     records_dropped_aborted = t.c_records_dropped;
     records_carried_over = t.c_records_carried;
     erase_units_reclaimed = t.c_reclaimed;
+    log_cache_hits = t.c_cache_hits;
+    log_cache_misses = t.c_cache_misses;
+    log_cache_evictions = t.c_cache_evictions;
   }
 
 module Stats = struct
@@ -668,6 +848,9 @@ module Stats = struct
       records_dropped_aborted = 0;
       records_carried_over = 0;
       erase_units_reclaimed = 0;
+      log_cache_hits = 0;
+      log_cache_misses = 0;
+      log_cache_evictions = 0;
     }
 
   let map2 f (a : t) (b : t) : t =
@@ -683,6 +866,9 @@ module Stats = struct
       records_dropped_aborted = f a.records_dropped_aborted b.records_dropped_aborted;
       records_carried_over = f a.records_carried_over b.records_carried_over;
       erase_units_reclaimed = f a.erase_units_reclaimed b.erase_units_reclaimed;
+      log_cache_hits = f a.log_cache_hits b.log_cache_hits;
+      log_cache_misses = f a.log_cache_misses b.log_cache_misses;
+      log_cache_evictions = f a.log_cache_evictions b.log_cache_evictions;
     }
 
   let add = map2 ( + )
@@ -701,6 +887,9 @@ module Stats = struct
       ("records_dropped_aborted", t.records_dropped_aborted);
       ("records_carried_over", t.records_carried_over);
       ("erase_units_reclaimed", t.erase_units_reclaimed);
+      ("log_cache_hits", t.log_cache_hits);
+      ("log_cache_misses", t.log_cache_misses);
+      ("log_cache_evictions", t.log_cache_evictions);
     ]
 
   let pp ppf t =
@@ -754,7 +943,7 @@ let snapshot_fun t () =
 let create ?config ?bbm chip ~first_block ~num_blocks ~txn_status ~meta () =
   let t = mk ?config ?bbm chip ~first_block ~num_blocks ~txn_status ~meta in
   for b = first_block to first_block + num_blocks - 1 do
-    Hashtbl.replace t.free b ()
+    free_pool_add t b
   done;
   Meta_log.set_snapshot meta (snapshot_fun t);
   t
@@ -844,7 +1033,7 @@ let recover ?config ?bbm chip ~first_block ~num_blocks ~txn_status ~meta ~meta_e
   for b = first_block to first_block + num_blocks - 1 do
     if (not (Hashtbl.mem t.data_eus b)) && not (Hashtbl.mem t.overflow_eus b) then
       if dev_free_in_block t b < t.sectors_per_block then reclaim_eu t b
-      else Hashtbl.replace t.free b ()
+      else free_pool_add t b
   done;
   (* Resume filling a unit with a usable free slot, if any. *)
   (try

@@ -18,7 +18,16 @@
     still active at merge time are carried over to the new erase unit, or
     — when they would dominate the merge ([carry fraction > tau]) — the
     incoming log sector is diverted to an overflow erase unit and the
-    merge is postponed. *)
+    merge is postponed.
+
+    A DRAM log-record cache ({!Cache.Log_cache}, budget
+    [Ipl_config.log_cache_bytes]) keeps each hot erase unit's decoded
+    records with a per-page index: cache hits serve reads and merges
+    without re-scanning the flash log region. The cache is write-through
+    (appends mirror successful log programs) and invalidated when a merge
+    rewrites a unit; it holds no state flash does not, so crash recovery
+    is unaffected — a restart simply starts cold. [log_cache_bytes = 0]
+    disables it, reproducing the uncached engine bit-for-bit. *)
 
 type t
 
@@ -34,6 +43,10 @@ type stats = {
   records_dropped_aborted : int;
   records_carried_over : int;
   erase_units_reclaimed : int;  (** overflow areas garbage-collected *)
+  log_cache_hits : int;
+      (** log-region reads served from the DRAM record cache (no flash) *)
+  log_cache_misses : int;  (** log-region reads that scanned flash *)
+  log_cache_evictions : int;  (** cache entries dropped for the byte budget *)
 }
 
 val create :

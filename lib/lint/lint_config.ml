@@ -104,6 +104,7 @@ let libraries =
     { dir = "lib/util"; wrapper = "Ipl_util"; allowed = [] };
     { dir = "lib/lint"; wrapper = "Lint"; allowed = [] };
     { dir = "lib/obs"; wrapper = "Obs"; allowed = [ "Ipl_util" ] };
+    { dir = "lib/cache"; wrapper = "Cache"; allowed = [ "Ipl_util" ] };
     { dir = "lib/flash"; wrapper = "Flash_sim"; allowed = [ "Ipl_util"; "Obs" ] };
     {
       dir = "lib/resilience";
@@ -117,7 +118,7 @@ let libraries =
     {
       dir = "lib/core";
       wrapper = "Ipl_core";
-      allowed = [ "Ipl_util"; "Obs"; "Flash_sim"; "Resilience"; "Storage"; "Bufmgr" ];
+      allowed = [ "Ipl_util"; "Obs"; "Flash_sim"; "Resilience"; "Storage"; "Bufmgr"; "Cache" ];
     };
     { dir = "lib/btree"; wrapper = "Btree"; allowed = [ "Ipl_util"; "Storage"; "Ipl_core" ] };
     { dir = "lib/ftl"; wrapper = "Ftl"; allowed = [ "Ipl_util"; "Flash_sim"; "Disk_sim" ] };

@@ -7,6 +7,9 @@ type t =
   | Log_flush of { page : int; eu : int; records : int }
   | Overflow_diversion of { page : int; eu : int; records : int }
   | Merge of { eu : int; new_eu : int; applied : int; carried : int; dropped : int }
+  | Cache_hit of { eu : int }
+  | Cache_miss of { eu : int }
+  | Cache_evict of { eu : int; bytes : int }
   | Evict of { page : int }
   | Write_back of { page : int }
   | Commit of { tx : int }
@@ -27,6 +30,9 @@ let kind = function
   | Log_flush _ -> "log_flush"
   | Overflow_diversion _ -> "overflow_diversion"
   | Merge _ -> "merge"
+  | Cache_hit _ -> "cache_hit"
+  | Cache_miss _ -> "cache_miss"
+  | Cache_evict _ -> "cache_evict"
   | Evict _ -> "evict"
   | Write_back _ -> "write_back"
   | Commit _ -> "commit"
@@ -50,6 +56,9 @@ let kinds =
     "log_flush";
     "overflow_diversion";
     "merge";
+    "cache_hit";
+    "cache_miss";
+    "cache_evict";
     "evict";
     "write_back";
     "commit";
@@ -79,6 +88,8 @@ let fields = function
         ("carried", carried);
         ("dropped", dropped);
       ]
+  | Cache_hit { eu } | Cache_miss { eu } -> [ ("eu", eu) ]
+  | Cache_evict { eu; bytes } -> [ ("eu", eu); ("bytes", bytes) ]
   | Evict { page } | Write_back { page } -> [ ("page", page) ]
   | Commit { tx } | Abort { tx } -> [ ("tx", tx) ]
   | Checkpoint -> []

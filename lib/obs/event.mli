@@ -25,6 +25,12 @@ type t =
   | Merge of { eu : int; new_eu : int; applied : int; carried : int; dropped : int }
       (** erase unit rewritten; counts are records applied / carried over /
           dropped as aborted *)
+  | Cache_hit of { eu : int }
+      (** log-record cache served the unit's records; no flash read *)
+  | Cache_miss of { eu : int }
+      (** unit's log region read and decoded from flash, entry installed *)
+  | Cache_evict of { eu : int; bytes : int }
+      (** LRU entry dropped to fit the cache's byte budget *)
   | Evict of { page : int }  (** buffer pool evicted a frame *)
   | Write_back of { page : int }  (** dirty frame cleaned (log flushed) *)
   | Commit of { tx : int }

@@ -6,8 +6,11 @@
     physical page traffic the run generated (log-sector flushes as page
     writes, storage-level fetches as page reads) on the two conventional
     designs — {!Baseline.Lfs_store} and {!Baseline.Inplace_store} — under
-    identical chip geometry. All timing is the chip's simulated clock, so
-    the output is machine-independent and reproducible from the seed. *)
+    identical chip geometry. Latency histograms use the chip's simulated
+    clock, so they are machine-independent and reproducible from the
+    seed; the [wall_clock] section additionally reports real host time
+    per phase ([Unix.gettimeofday] nanoseconds) together with the
+    log-record cache hit/miss/eviction counters that explain it. *)
 
 type spec = {
   seed : int;
@@ -16,6 +19,9 @@ type spec = {
   slots_per_page : int;  (** records seeded per page *)
   payload : int;  (** record payload, bytes *)
   abort_fraction : float;
+  reads_per_txn : int;
+      (** random point reads issued after each transaction — the
+          read-heavy traffic the log-record cache serves *)
   buffer_pages : int;  (** pool capacity; small values force evictions *)
   compact_every : int;  (** background-merge period in transactions; 0 = never *)
   num_blocks : int;  (** chip size, erase blocks (same for every backend) *)
@@ -24,6 +30,9 @@ type spec = {
           with an n-block spare pool, and the [resilience] section of its
           backend stats reports retries/remaps/scrubs (all zero on a
           fault-free run) *)
+  log_cache_bytes : int;
+      (** DRAM log-record cache budget for the IPL engine (0 disables);
+          defaults to {!Ipl_core.Ipl_config.default}'s budget *)
 }
 
 val default : spec
@@ -44,9 +53,11 @@ val schema_version : string
 val run : ?spec:spec -> unit -> t
 (** Run the workload and both conventional replays; never raises on a
     well-formed spec. The resulting [json] is
-    [{schema; workload; trace; backends = [ipl; lfs; inplace]}] where each
-    backend carries [ops] latency histograms plus its layer stats
-    (IPL: storage/pool/flash with merge, overflow and wear counters). *)
+    [{schema; workload; trace; wall_clock; backends = [ipl; lfs; inplace]}]
+    where each backend carries [ops] latency histograms plus its layer
+    stats (IPL: storage/pool/flash with merge, overflow and wear
+    counters) and [wall_clock] holds host-time phase timings plus the
+    log-record cache counters. *)
 
 val write_json : string -> t -> unit
 (** [write_json path t] writes [t.json] (compact, newline-terminated). *)

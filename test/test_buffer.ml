@@ -92,11 +92,43 @@ let test_mark_dirty_and_clean () =
   ignore (Pool.with_page pool 1 (fun _ -> ()));
   Pool.mark_dirty pool 1;
   Alcotest.(check bool) "dirty" true (Pool.is_dirty pool 1);
+  Alcotest.(check int) "dirty counted" 1 (Pool.dirty_count pool);
+  (* Re-marking an already-dirty frame must not double-count. *)
+  Pool.mark_dirty pool 1;
+  Alcotest.(check int) "idempotent mark" 1 (Pool.dirty_count pool);
   Pool.clean pool 1;
   Alcotest.(check bool) "cleaned" false (Pool.is_dirty pool 1);
+  Alcotest.(check int) "dirty uncounted" 0 (Pool.dirty_count pool);
   Pool.flush_all pool;
   Alcotest.(check int) "clean suppressed write back" 0 (List.length !written);
-  Alcotest.check_raises "mark absent" Not_found (fun () -> Pool.mark_dirty pool 99)
+  Alcotest.check_raises "mark absent"
+    (Invalid_argument "Buffer_pool.mark_dirty: page 99 is not cached") (fun () ->
+      Pool.mark_dirty pool 99)
+
+(* The incremental dirty counter must agree with a scan at every
+   transition: mark, clean, write-back on eviction, flush_all. *)
+let test_dirty_count_incremental () =
+  let pool, _, _ = mk ~capacity:4 () in
+  let scan_dirty () =
+    let n = ref 0 in
+    Pool.iter (fun _ _ ~dirty -> if dirty then incr n) pool;
+    !n
+  in
+  let check_agree label =
+    Alcotest.(check int) label (scan_dirty ()) (Pool.dirty_count pool)
+  in
+  ignore (Pool.with_page pool 1 ~dirty:true (fun _ -> ()));
+  ignore (Pool.with_page pool 2 ~dirty:true (fun _ -> ()));
+  ignore (Pool.with_page pool 3 (fun _ -> ()));
+  check_agree "after writes";
+  Alcotest.(check int) "two dirty" 2 (Pool.dirty_count pool);
+  (* Fill past capacity: the LRU dirty frame is written back on eviction. *)
+  ignore (Pool.with_page pool 4 (fun _ -> ()));
+  ignore (Pool.with_page pool 5 (fun _ -> ()));
+  check_agree "after eviction";
+  Pool.flush_all pool;
+  check_agree "after flush_all";
+  Alcotest.(check int) "all clean" 0 (Pool.dirty_count pool)
 
 let test_find_does_not_touch () =
   let pool, _, _ = mk ~capacity:2 () in
@@ -146,6 +178,7 @@ let () =
           Alcotest.test_case "pinned not evicted" `Quick test_pinned_not_evicted;
           Alcotest.test_case "all pinned fails" `Quick test_all_pinned_fails;
           Alcotest.test_case "mark dirty / clean" `Quick test_mark_dirty_and_clean;
+          Alcotest.test_case "dirty count incremental" `Quick test_dirty_count_incremental;
           Alcotest.test_case "find does not touch" `Quick test_find_does_not_touch;
           Alcotest.test_case "write back once" `Quick test_write_back_once_per_cleaning;
           QCheck_alcotest.to_alcotest prop_capacity_invariant;
