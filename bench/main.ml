@@ -39,6 +39,20 @@ let csv_dir =
   in
   find 1
 
+(* --channels N / --ways N: device geometry for the instrumented IPL
+   backend of the BENCH_ipl.json export (the baseline replays always run
+   serial). *)
+let int_arg name default =
+  let rec find i =
+    if i >= Array.length Sys.argv - 1 then default
+    else if Sys.argv.(i) = name then int_of_string Sys.argv.(i + 1)
+    else find (i + 1)
+  in
+  find 1
+
+let channels = int_arg "--channels" 1
+let ways = int_arg "--ways" 1
+
 let with_csv name f =
   match csv_dir with
   | None -> ()
@@ -53,8 +67,8 @@ let section title =
 let note fmt = Printf.printf ("  " ^^ fmt ^^ "\n")
 
 let elapsed_timer () =
-  let t0 = Unix.gettimeofday () in
-  fun () -> Unix.gettimeofday () -. t0
+  let t0 = Ipl_util.Clock.now_s () in
+  fun () -> Ipl_util.Clock.now_s () -. t0
 
 (* ------------------------------------------------------------------ *)
 (* Table 1: device access speeds                                       *)
@@ -596,11 +610,13 @@ let ablation_selective_merge_threshold () =
 let obs_bench_export () =
   section "Instrumented backend comparison (lib/obs)";
   let spec = if quick then Workload.Obs_bench.quick else Workload.Obs_bench.default in
+  let spec = { spec with Workload.Obs_bench.channels; ways } in
   let r = Workload.Obs_bench.run ~spec () in
   let tracer = r.Workload.Obs_bench.tracer in
   note "workload: %d transactions; trace: %d events (%d dropped)"
     spec.Workload.Obs_bench.transactions
     (Obs.Tracer.emitted tracer) (Obs.Tracer.dropped tracer);
+  note "device: %d channel(s) x %d way(s)" channels ways;
   note "storage: %d log flushes, %d merges, %d overflow diversions"
     (Obs.Tracer.count_kind tracer "log_flush")
     (Obs.Tracer.count_kind tracer "merge")

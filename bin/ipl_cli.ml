@@ -383,9 +383,9 @@ let observe_cmd =
 
 (* ---------------- bench ---------------- *)
 
-let bench transactions seed quick spares cache_bytes json out =
+let bench transactions seed quick spares cache_bytes channels ways json out =
   let spec = obs_spec transactions seed quick in
-  let spec = { spec with Workload.Obs_bench.spare_blocks = spares } in
+  let spec = { spec with Workload.Obs_bench.spare_blocks = spares; channels; ways } in
   let spec =
     match cache_bytes with
     | None -> spec
@@ -437,6 +437,18 @@ let bench_cache_bytes_t =
           "DRAM log-record cache budget in bytes for the IPL engine (0 disables the \
            cache); defaults to the engine's configured budget.")
 
+let bench_channels_t =
+  Arg.(
+    value & opt int 1
+    & info [ "channels" ]
+        ~doc:
+          "Flash channels of the IPL engine's device; the logical results \
+           (and the JSON document's logical_digest) are identical for every \
+           value, only the simulated flash time changes.")
+
+let bench_ways_t =
+  Arg.(value & opt int 1 & info [ "ways" ] ~doc:"Chips per channel (total chips = channels x ways).")
+
 let bench_out_t =
   Arg.(
     value
@@ -451,7 +463,79 @@ let bench_cmd =
           $(b,--json) writes the schema-stable BENCH_ipl.json.")
     Term.(
       const bench $ obs_transactions_t $ seed_t $ obs_quick_t $ bench_spares_t
-      $ bench_cache_bytes_t $ bench_json_t $ bench_out_t)
+      $ bench_cache_bytes_t $ bench_channels_t $ bench_ways_t $ bench_json_t $ bench_out_t)
+
+(* ---------------- chansweep ---------------- *)
+
+let chansweep transactions seed quick counts csv =
+  let spec = obs_spec transactions seed quick in
+  let run ~channels =
+    (Workload.Obs_bench.run ~spec:{ spec with Workload.Obs_bench.channels } ())
+      .Workload.Obs_bench.json
+  in
+  let points = Sweep.channel_sweep ~channel_counts:counts ~run () in
+  let digests =
+    List.sort_uniq compare (List.map (fun p -> p.Sweep.logical_digest) points)
+  in
+  if List.length digests > 1 then
+    failwith "chansweep: logical digest differs across channel counts";
+  let q cls f p =
+    match List.assoc_opt cls p.Sweep.class_latency with
+    | Some (p50, p99) -> f (p50, p99)
+    | None -> Float.nan
+  in
+  if csv then begin
+    Printf.printf
+      "channels,elapsed_s,speedup,fg_p50_ms,fg_p99_ms,log_p50_ms,log_p99_ms,merge_p50_ms,merge_p99_ms
+";
+    List.iter
+      (fun (p : Sweep.channel_point) ->
+        Printf.printf "%d,%.4f,%.2f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f
+" p.Sweep.channels
+          p.Sweep.elapsed_s p.Sweep.speedup
+          (1e3 *. q "foreground" fst p)
+          (1e3 *. q "foreground" snd p)
+          (1e3 *. q "log_flush" fst p)
+          (1e3 *. q "log_flush" snd p)
+          (1e3 *. q "merge" fst p)
+          (1e3 *. q "merge" snd p))
+      points
+  end
+  else begin
+    Printf.printf "%-9s %11s %8s %18s %18s %18s
+" "channels" "elapsed (s)" "speedup"
+      "fg p50/p99 (ms)" "log p50/p99 (ms)" "merge p50/p99 (ms)";
+    List.iter
+      (fun (p : Sweep.channel_point) ->
+        Printf.printf "%-9d %11.4f %7.2fx %9.2f /%6.2f %9.2f /%6.2f %9.2f /%6.2f
+"
+          p.Sweep.channels p.Sweep.elapsed_s p.Sweep.speedup
+          (1e3 *. q "foreground" fst p)
+          (1e3 *. q "foreground" snd p)
+          (1e3 *. q "log_flush" fst p)
+          (1e3 *. q "log_flush" snd p)
+          (1e3 *. q "merge" fst p)
+          (1e3 *. q "merge" snd p))
+      points;
+    Printf.printf "logical digest: %s (identical at every channel count)
+"
+      (match digests with d :: _ -> d | [] -> "?")
+  end
+
+let chansweep_counts_t =
+  Arg.(
+    value
+    & opt (list int) [ 1; 2; 4; 8 ]
+    & info [ "counts" ] ~doc:"Comma-separated channel counts to sweep.")
+
+let chansweep_cmd =
+  Cmd.v
+    (Cmd.info "chansweep"
+       ~doc:
+         "Channel-scaling sweep: run the bench workload at several channel counts,           report makespan, speedup and per-op-class latency quantiles, and verify the           logical digest is geometry-independent.")
+    Term.(
+      const chansweep $ obs_transactions_t $ seed_t $ obs_quick_t $ chansweep_counts_t
+      $ csv_t)
 
 (* ---------------- queries ---------------- *)
 
@@ -501,6 +585,7 @@ let main_cmd =
       faultcheck_cmd;
       observe_cmd;
       bench_cmd;
+      chansweep_cmd;
       queries_cmd;
       lint_cmd;
     ]

@@ -121,7 +121,27 @@ let mark_dirty t key =
 let clean t key =
   match Hashtbl.find_opt t.table key with Some f -> set_dirty t f false | None -> ()
 
+(* Insert an externally fetched value as a clean resident frame — the
+   batched-prefetch entry point. A later [with_page] of the key is a hit
+   and, crucially, does not call [fetch]. Counts as a miss (the value did
+   come from below), keeping hit/miss totals comparable with a
+   fetch-on-demand run. No-op when the key is already resident. *)
+let preload t key value =
+  if not (Hashtbl.mem t.table key) then begin
+    t.misses <- t.misses + 1;
+    if Hashtbl.length t.table >= t.capacity then evict_one t;
+    let f = { key; value; dirty = false; pins = 0; prev = None; next = None } in
+    Hashtbl.add t.table key f;
+    push_front t f
+  end
+
 let contains t key = Hashtbl.mem t.table key
+
+(* Bump a resident page to MRU without fetching — the prefetch path uses
+   this so preloading a batch's missing pages cannot evict the batch's
+   already-resident ones. *)
+let promote t key =
+  match Hashtbl.find_opt t.table key with Some f -> touch t f | None -> ()
 let find t key = Option.map (fun f -> f.value) (Hashtbl.find_opt t.table key)
 
 let is_dirty t key =

@@ -35,7 +35,21 @@ val clean : 'a t -> int -> unit
     when the caller has persisted the changes through another path).
     No-op if absent. *)
 
+val preload : 'a t -> int -> 'a -> unit
+(** [preload t key value] inserts an externally fetched [value] as a
+    clean resident frame (evicting if full), so a later access is a hit
+    that does not call [fetch]. Counted as a miss — the value did come
+    from below. No-op when [key] is already resident. The batched
+    multi-channel prefetch path installs pages read with
+    {!Ipl_storage.read_pages} through this. *)
+
 val contains : 'a t -> int -> bool
+
+val promote : 'a t -> int -> unit
+(** Bump a resident page to most-recently-used without fetching (no-op
+    when absent) — protects a batch's resident members from being
+    evicted by its own preloads. *)
+
 val find : 'a t -> int -> 'a option
 (** Peek without affecting recency or pinning. *)
 

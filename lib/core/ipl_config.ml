@@ -11,6 +11,13 @@ type t = {
   read_retries : int;
   scrub_on_correctable : bool;
   log_cache_bytes : int;
+  channels : int;
+  ways : int;
+  queue_depth : int;
+      (* device geometry: how many flash chips (channels x ways) back the
+         engine, and how many operations each chip's queue holds before a
+         submission stalls the host clock. 1 x 1 is the paper's serial
+         chip. *)
 }
 
 let default =
@@ -27,6 +34,9 @@ let default =
     read_retries = 3;
     scrub_on_correctable = true;
     log_cache_bytes = 256 * 1024;
+    channels = 1;
+    ways = 1;
+    queue_depth = 64;
   }
 
 let data_pages_per_eu t ~block_size = (block_size - t.log_region_bytes) / t.page_size
@@ -50,4 +60,7 @@ let validate t ~sector_size ~block_size =
   check (t.group_commit >= 0) "group_commit must be non-negative";
   check (t.spare_blocks >= 0) "spare_blocks must be non-negative";
   check (t.read_retries >= 0) "read_retries must be non-negative";
-  check (t.log_cache_bytes >= 0) "log_cache_bytes must be non-negative"
+  check (t.log_cache_bytes >= 0) "log_cache_bytes must be non-negative";
+  check (t.channels >= 1) "channels must be at least 1";
+  check (t.ways >= 1) "ways must be at least 1";
+  check (t.queue_depth >= 1) "queue_depth must be at least 1"

@@ -47,6 +47,15 @@ type t = {
           page reads and merges skip re-reading the flash log region
           (see [lib/cache]). LRU over erase units. 0 disables the cache,
           reproducing the uncached engine bit-for-bit *)
+  channels : int;
+      (** independent flash channels backing the engine (device geometry
+          passed to {!Device.Flash_device.create}); 1 is the paper's
+          serial chip *)
+  ways : int;  (** chips per channel; total chips = channels x ways *)
+  queue_depth : int;
+      (** per-chip bound on outstanding asynchronous operations; a
+          submission against a full queue stalls the simulated host
+          clock to the earliest completion *)
 }
 
 val default : t

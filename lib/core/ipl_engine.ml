@@ -1,4 +1,5 @@
 module Chip = Flash_sim.Flash_chip
+module Dev = Device.Flash_device
 module FConfig = Flash_sim.Flash_config
 module Page = Storage.Page
 module Pool = Bufmgr.Buffer_pool
@@ -50,7 +51,7 @@ let of_page_error = function
 
 type t = {
   config : Ipl_config.t;
-  chip : Chip.t;
+  dev : Dev.t;
   store : Ipl_storage.t;
   bbm : Resilience.Bbm.t option;
   trx : Trx_log.t option;
@@ -62,7 +63,12 @@ type t = {
 }
 
 let config t = t.config
-let chip t = t.chip
+let device t = t.dev
+
+(* Compatibility accessor: the first (or only) chip. Single-channel
+   engines — every pre-device caller — get exactly the chip they were
+   built from. *)
+let chip t = Dev.chip t.dev 0
 let storage t = t.store
 
 (* ------------------------------------------------------------------ *)
@@ -82,12 +88,12 @@ let flush_frame store trx page frame =
     Log_sector.clear frame.log
   end
 
-let build config chip store bbm trx =
+let build config dev store bbm trx =
   let pool =
     Pool.create ~capacity:config.Ipl_config.buffer_pages
       ~fetch:(fun pid ->
         {
-          page = Ipl_storage.read_page store pid;
+          page = (Ipl_storage.read_page store pid);
           log = Log_sector.create ~capacity:config.Ipl_config.in_memory_log_bytes;
         })
       ~write_back:(fun pid frame -> flush_frame store trx pid frame)
@@ -95,7 +101,7 @@ let build config chip store bbm trx =
   in
   {
     config;
-    chip;
+    dev;
     store;
     bbm;
     trx;
@@ -106,12 +112,12 @@ let build config chip store bbm trx =
     tracer = None;
   }
 
-(* Installing a tracer wires every layer to the same ring: the chip and
+(* Installing a tracer wires every layer to the same ring: the chips and
    storage manager stamp events themselves; the clock-agnostic buffer pool
-   gets a closure that stamps with the chip's simulated time. *)
+   gets a closure that stamps with the device's simulated time. *)
 let set_tracer t tracer =
   t.tracer <- tracer;
-  Chip.set_tracer t.chip tracer;
+  Dev.set_tracer t.dev tracer;
   Ipl_storage.set_tracer t.store tracer;
   (match t.bbm with
   | Some d -> Resilience.Bbm.set_tracer d tracer
@@ -119,14 +125,14 @@ let set_tracer t tracer =
   Pool.set_trace t.pool
     (match tracer with
     | None -> None
-    | Some tr -> Some (fun ev -> Obs.Tracer.emit tr ~time:(Chip.elapsed t.chip) ev))
+    | Some tr -> Some (fun ev -> Obs.Tracer.emit tr ~time:(Dev.elapsed t.dev) ev))
 
 let tracer t = t.tracer
 
 let emit_txn_event t ev =
   match t.tracer with
   | None -> ()
-  | Some tr -> Obs.Tracer.emit tr ~time:(Chip.elapsed t.chip) ev
+  | Some tr -> Obs.Tracer.emit tr ~time:(Dev.elapsed t.dev) ev
 
 (* Resilience layout: the spare pool lives in the last [spare_blocks]
    physical blocks of the chip, carved out of (never handed to) the
@@ -134,11 +140,11 @@ let emit_txn_event t ev =
    stay on the raw chip — the manager's own state is persisted through
    the metadata log, so routing that region through it would be
    circular. *)
-let bbm_parts config chip ~meta =
+let bbm_parts config dev ~meta =
   let spare_blocks = config.Ipl_config.spare_blocks in
   if spare_blocks = 0 then None
   else begin
-    let fc = Chip.config chip in
+    let fc = Dev.config dev in
     let spares =
       List.init spare_blocks (fun i -> fc.FConfig.num_blocks - spare_blocks + i)
     in
@@ -152,15 +158,16 @@ let bbm_parts config chip ~meta =
     Some (spares, persist, fun () -> Meta_log.force meta)
   end
 
-let create ?(config = Ipl_config.default) ?(meta_blocks = 4) ?(trx_blocks = 4) chip =
-  let fc = Chip.config chip in
+let create_device ?(config = Ipl_config.default) ?(meta_blocks = 4) ?(trx_blocks = 4)
+    dev =
+  let fc = Dev.config dev in
   let reserved = meta_blocks + trx_blocks in
   if fc.FConfig.num_blocks <= reserved + config.Ipl_config.spare_blocks then
-    invalid_arg "Ipl_engine: chip too small";
-  let meta = Meta_log.create chip ~first_block:0 ~num_blocks:meta_blocks in
+    invalid_arg "Ipl_engine: device too small";
+  let meta = Meta_log.create dev ~first_block:0 ~num_blocks:meta_blocks in
   let trx =
     if config.Ipl_config.recovery_enabled then
-      Some (Trx_log.create chip ~first_block:meta_blocks ~num_blocks:trx_blocks)
+      Some (Trx_log.create dev ~first_block:meta_blocks ~num_blocks:trx_blocks)
     else None
   in
   let txn_status =
@@ -169,29 +176,33 @@ let create ?(config = Ipl_config.default) ?(meta_blocks = 4) ?(trx_blocks = 4) c
     | None -> fun _ -> Trx_log.Committed
   in
   let bbm =
-    match bbm_parts config chip ~meta with
+    match bbm_parts config dev ~meta with
     | None -> None
     | Some (spares, persist, force) ->
         Some
-          (Resilience.Bbm.create chip ~spares
+          (Resilience.Bbm.create dev ~spares
              ~read_retries:config.Ipl_config.read_retries
              ~scrub_on_correctable:config.Ipl_config.scrub_on_correctable ~persist
              ~force ())
   in
   let store =
-    Ipl_storage.create ~config ?bbm chip ~first_block:reserved
+    Ipl_storage.create ~config ?bbm dev ~first_block:reserved
       ~num_blocks:(fc.FConfig.num_blocks - reserved - config.Ipl_config.spare_blocks)
       ~txn_status ~meta ()
   in
-  build config chip store bbm trx
+  build config dev store bbm trx
 
-let restart ?(config = Ipl_config.default) ?(meta_blocks = 4) ?(trx_blocks = 4) chip =
-  let fc = Chip.config chip in
+let create ?config ?meta_blocks ?trx_blocks chip =
+  create_device ?config ?meta_blocks ?trx_blocks (Dev.of_chip chip)
+
+let restart_device ?(config = Ipl_config.default) ?(meta_blocks = 4) ?(trx_blocks = 4)
+    dev =
+  let fc = Dev.config dev in
   let reserved = meta_blocks + trx_blocks in
-  let meta, events = Meta_log.recover chip ~first_block:0 ~num_blocks:meta_blocks in
+  let meta, events = Meta_log.recover dev ~first_block:0 ~num_blocks:meta_blocks in
   let trx, aborted =
     if config.Ipl_config.recovery_enabled then
-      let log, aborted = Trx_log.recover chip ~first_block:meta_blocks ~num_blocks:trx_blocks in
+      let log, aborted = Trx_log.recover dev ~first_block:meta_blocks ~num_blocks:trx_blocks in
       (Some log, aborted)
     else (None, [])
   in
@@ -201,7 +212,7 @@ let restart ?(config = Ipl_config.default) ?(meta_blocks = 4) ?(trx_blocks = 4) 
     | None -> fun _ -> Trx_log.Committed
   in
   let bbm =
-    match bbm_parts config chip ~meta with
+    match bbm_parts config dev ~meta with
     | None -> None
     | Some (spares, persist, force) ->
         let bbm_events =
@@ -215,21 +226,24 @@ let restart ?(config = Ipl_config.default) ?(meta_blocks = 4) ?(trx_blocks = 4) 
             events
         in
         Some
-          (Resilience.Bbm.recover chip ~spares
+          (Resilience.Bbm.recover dev ~spares
              ~read_retries:config.Ipl_config.read_retries
              ~scrub_on_correctable:config.Ipl_config.scrub_on_correctable ~persist
              ~force ~events:bbm_events ())
   in
   let store =
-    Ipl_storage.recover ~config ?bbm chip ~first_block:reserved
+    Ipl_storage.recover ~config ?bbm dev ~first_block:reserved
       ~num_blocks:(fc.FConfig.num_blocks - reserved - config.Ipl_config.spare_blocks)
       ~txn_status ~meta ~meta_events:events ()
   in
-  let t = build config chip store bbm trx in
+  let t = build config dev store bbm trx in
   (match trx with
   | Some log -> t.next_txid <- max t.next_txid (Trx_log.max_txid log + 1)
   | None -> ());
   (t, aborted)
+
+let restart ?config ?meta_blocks ?trx_blocks chip =
+  restart_device ?config ?meta_blocks ?trx_blocks (Dev.of_chip chip)
 
 (* ------------------------------------------------------------------ *)
 (* Transactions                                                        *)
@@ -238,7 +252,15 @@ let begin_txn t =
   let txid = t.next_txid in
   t.next_txid <- txid + 1;
   Hashtbl.replace t.txns txid { dirty_pages = Hashtbl.create 8 };
-  (match t.trx with Some log -> Trx_log.log_begin log txid | None -> ());
+  (match t.trx with
+  | Some log ->
+      Trx_log.log_begin log txid;
+      (* Publish the begin record now so its program overlaps the
+         transaction's reads: the write-ahead settle at the first dirty
+         flush then finds it long since completed instead of paying the
+         program (and queueing) time inside the commit. *)
+      Trx_log.publish log
+  | None -> ());
   txid
 
 let txn_status t txid =
@@ -255,8 +277,13 @@ let txn_info t txid =
 let flush_commits t =
   if t.pending_commits > 0 then begin
     Pool.flush_all t.pool;
-    Ipl_storage.force_meta t.store;
-    (match t.trx with Some log -> Trx_log.force log | None -> ());
+    Ipl_storage.publish_meta t.store;
+    (match t.trx with Some log -> Trx_log.publish log | None -> ());
+    (* The single durability wait of the batched commit: the metadata and
+       transaction-status sectors just published program concurrently
+       with the in-page log flushes — they live on different chips — and
+       one barrier settles them all. *)
+    Dev.barrier t.dev;
     t.pending_commits <- 0
   end
 
@@ -282,8 +309,16 @@ let commit t txid =
             Pool.clean t.pool pid
         | _ -> ())
       info.dirty_pages;
-    Ipl_storage.force_meta t.store;
-    (match t.trx with Some log -> Trx_log.log_commit log txid | None -> ());
+    Ipl_storage.publish_meta t.store;
+    (match t.trx with
+    | Some log ->
+        Trx_log.log_commit ~force:false log txid;
+        Trx_log.publish log
+    | None -> ());
+    (* The commit's one durability wait: every asynchronous program this
+       transaction issued — log flushes, the metadata and commit-record
+       sectors just published — completes before commit returns. *)
+    Dev.barrier t.dev;
     Hashtbl.remove t.txns txid;
     emit_txn_event t (Obs.Event.Commit { tx = txid })
   end
@@ -295,13 +330,20 @@ let abort t txid =
   (match t.trx with Some log -> Trx_log.log_abort log txid | None -> ());
   (* Rebuild every touched, still-buffered page: the flash read path now
      filters out this transaction's records; surviving in-memory records
-     of other transactions are re-applied on top. *)
-  Hashtbl.iter
-    (fun pid () ->
+     of other transactions are re-applied on top. The fresh images are
+     fetched as one batch so the rebuild reads overlap across
+     channels. *)
+  let resident =
+    Hashtbl.fold
+      (fun pid () acc -> if Pool.find t.pool pid <> None then pid :: acc else acc)
+      info.dirty_pages []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (pid, fresh) ->
       match Pool.find t.pool pid with
       | Some frame ->
           ignore (Log_sector.remove_txn frame.log txid);
-          let fresh = Ipl_storage.read_page t.store pid in
           Bytes.blit (Page.to_bytes fresh) 0 (Page.to_bytes frame.page) 0
             (Bytes.length (Page.to_bytes fresh));
           List.iter
@@ -312,7 +354,7 @@ let abort t txid =
             (Log_sector.records frame.log);
           if Log_sector.is_empty frame.log then Pool.clean t.pool pid
       | None -> ())
-    info.dirty_pages;
+    (Ipl_storage.read_pages t.store resident);
   Hashtbl.remove t.txns txid;
   emit_txn_event t (Obs.Event.Abort { tx = txid })
 
@@ -537,6 +579,44 @@ let commit_result t txid =
         | Resilience.Bbm.Degraded -> Error Device_degraded
         | Resilience.Bbm.Uncorrectable _ -> Error Read_failed)
 
+(* Batched read-ahead: fetch the missing pages of the batch through the
+   storage manager's parallel read path and install them as clean
+   frames. Pages already resident, unknown ids and duplicates are
+   skipped — resident members are bumped to most-recently-used first, so
+   the batch's own preloads cannot evict them before they are used. The
+   engine's read path is unchanged — a later [read] of a prefetched page
+   is simply a pool hit. *)
+type prefetch_token = Ipl_storage.read_batch
+
+let prefetch_start t pids =
+  let seen = Hashtbl.create 16 in
+  let wanted =
+    List.filter
+      (fun pid ->
+        (not (Hashtbl.mem seen pid))
+        && begin
+             Hashtbl.add seen pid ();
+             Ipl_storage.page_exists t.store pid
+             &&
+             if Pool.contains t.pool pid then begin
+               Pool.promote t.pool pid;
+               false
+             end
+             else true
+           end)
+      pids
+  in
+  Ipl_storage.read_pages_start t.store wanted
+
+let prefetch_finish t token =
+  List.iter
+    (fun (pid, page) ->
+      Pool.preload t.pool pid
+        { page; log = Log_sector.create ~capacity:t.config.Ipl_config.in_memory_log_bytes })
+    (Ipl_storage.read_pages_finish t.store token)
+
+let prefetch t pids = prefetch_finish t (prefetch_start t pids)
+
 let with_page t page f = Pool.with_page t.pool page (fun frame -> f frame.page)
 
 let page_free_space t page = with_page t page Page.free_space
@@ -549,6 +629,9 @@ let checkpoint t =
   Pool.flush_all t.pool;
   Ipl_storage.force_meta t.store;
   (match t.trx with Some log -> Trx_log.force log | None -> ());
+  (* A checkpoint is a full quiesce: background relocation traffic
+     settles too, not just the durability classes. *)
+  Dev.drain t.dev;
   emit_txn_event t Obs.Event.Checkpoint
 
 let compact t ~max_merges =
@@ -570,7 +653,7 @@ let stats t =
   {
     storage = Ipl_storage.stats t.store;
     pool = Pool.stats t.pool;
-    flash = Chip.stats t.chip;
+    flash = Dev.stats t.dev;
     resilience =
       (match t.bbm with
       | Some d -> Resilience.Bbm.stats d

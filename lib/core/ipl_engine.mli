@@ -41,18 +41,43 @@ val error_to_string : error -> string
 
 val pp_error : Format.formatter -> error -> unit
 
+val create_device :
+  ?config:Ipl_config.t ->
+  ?meta_blocks:int ->
+  ?trx_blocks:int ->
+  Device.Flash_device.t ->
+  t
+(** Lay out a fresh database on the device: metadata-log region,
+    transaction-log region (used when recovery is enabled), then the IPL
+    data area. With [config.spare_blocks > 0] the last [spare_blocks]
+    blocks of the device become a bad-block manager's spare pool and all
+    data-area flash traffic is routed through it (see [lib/resilience]);
+    mutations on a device whose pool has run out return
+    [Error Device_degraded]. On a multi-channel device, page allocation
+    stripes over the channels, merges copy across channels, and log
+    flushes / merge writes are issued asynchronously; every commit /
+    checkpoint / metadata force is a completion barrier. *)
+
 val create :
   ?config:Ipl_config.t ->
   ?meta_blocks:int ->
   ?trx_blocks:int ->
   Flash_sim.Flash_chip.t ->
   t
-(** Lay out a fresh database on the chip: metadata-log region, transaction-
-    log region (used when recovery is enabled), then the IPL data area.
-    With [config.spare_blocks > 0] the last [spare_blocks] blocks of the
-    chip become a bad-block manager's spare pool and all data-area flash
-    traffic is routed through it (see [lib/resilience]); mutations on a
-    device whose pool has run out return [Error Device_degraded]. *)
+(** {!create_device} over a single chip
+    ({!Device.Flash_device.of_chip}) — bit-for-bit the pre-device serial
+    engine. *)
+
+val restart_device :
+  ?config:Ipl_config.t ->
+  ?meta_blocks:int ->
+  ?trx_blocks:int ->
+  Device.Flash_device.t ->
+  t * int list
+(** Re-open after a crash (same parameters as {!create_device}). Implicit
+    REDO/UNDO per Section 5.4: transactions with no outcome record are
+    aborted (their ids are returned); everything else is reconstructed
+    on demand by the normal read path. *)
 
 val restart :
   ?config:Ipl_config.t ->
@@ -60,13 +85,16 @@ val restart :
   ?trx_blocks:int ->
   Flash_sim.Flash_chip.t ->
   t * int list
-(** Re-open after a crash (same parameters as {!create}). Implicit
-    REDO/UNDO per Section 5.4: transactions with no outcome record are
-    aborted (their ids are returned); everything else is reconstructed
-    on demand by the normal read path. *)
+(** {!restart_device} over a single chip. *)
 
 val config : t -> Ipl_config.t
+
+val device : t -> Device.Flash_device.t
+
 val chip : t -> Flash_sim.Flash_chip.t
+(** The device's first (or only) chip — the pre-device compatibility
+    accessor used by single-channel tests and fault campaigns. *)
+
 val storage : t -> Ipl_storage.t
 
 (** {1 Transactions} *)
@@ -128,6 +156,28 @@ val read : t -> page:int -> slot:int -> bytes option
 val read_result : t -> page:int -> slot:int -> (bytes option, error) result
 val allocate_page_result : t -> (int, error) result
 val commit_result : t -> int -> (unit, error) result
+
+val prefetch : t -> int list -> unit
+(** Batched read-ahead: fetch the batch's missing pages through the
+    storage manager's parallel read path ({!Ipl_storage.read_pages} —
+    pages on different channels are read in parallel on the simulated
+    clock) and install them as clean buffer-pool frames. Resident pages,
+    unknown ids and duplicates are skipped; a later {!read} of a
+    prefetched page is a pool hit. *)
+
+type prefetch_token
+
+val prefetch_start : t -> int list -> prefetch_token
+(** First half of {!prefetch}: submit the batch's missing-page reads
+    without waiting for their simulated completion. Issue before a
+    {!commit} and the commit's durability barrier absorbs the read
+    latency — {!prefetch_finish} then settles for free. Only sound for
+    pages the pending transaction has not touched (a non-resident page
+    has no unflushed records, so the captured image is current). *)
+
+val prefetch_finish : t -> prefetch_token -> unit
+(** Second half of {!prefetch}: await the batch and install the pages as
+    clean frames. *)
 
 val with_page : t -> int -> (Storage.Page.t -> 'a) -> 'a
 (** Read-only access to the current version of a page through the buffer

@@ -1,4 +1,5 @@
 module Chip = Flash_sim.Flash_chip
+module Dev = Device.Flash_device
 module FConfig = Flash_sim.Flash_config
 module Page = Storage.Page
 
@@ -50,7 +51,7 @@ type free_pool = {
 }
 
 type t = {
-  chip : Chip.t;
+  dev : Dev.t;
   bbm : Resilience.Bbm.t option;
       (* when present, every data-area flash operation is routed through
          the bad-block manager (virtual block addressing) *)
@@ -68,7 +69,10 @@ type t = {
          virtual address under a bad-block manager, so relocations do
          not disturb entries) *)
   mutable current_overflow : int option;
-  mutable fill : eu_info option;  (* unit receiving new page allocations *)
+  fills : eu_info option array;
+      (* unit receiving new page allocations, one per device channel so
+         consecutive page allocations stripe across chips; a single-chip
+         device has exactly one fill unit, the serial behaviour *)
   mutable next_page : int;
   (* geometry *)
   sectors_per_page : int;
@@ -100,13 +104,13 @@ let config t = t.config
    allowance for the list/index cells that carry it. *)
 let cached_record_overhead = 48
 
-let mk ?(config = Ipl_config.default) ?bbm chip ~first_block ~num_blocks ~txn_status
+let mk ?(config = Ipl_config.default) ?bbm dev ~first_block ~num_blocks ~txn_status
     ~meta =
-  let fc = Chip.config chip in
+  let fc = Dev.config dev in
   Ipl_config.validate config ~sector_size:fc.FConfig.sector_size
     ~block_size:fc.FConfig.block_size;
   if num_blocks <= 0 || first_block < 0 || first_block + num_blocks > fc.FConfig.num_blocks
-  then invalid_arg "Ipl_storage: block range out of chip bounds";
+  then invalid_arg "Ipl_storage: block range out of device bounds";
   let sectors_per_page = config.Ipl_config.page_size / fc.FConfig.sector_size in
   let data_pages = Ipl_config.data_pages_per_eu config ~block_size:fc.FConfig.block_size in
   (* The eviction hook needs the finished [t] for its counter and tracer;
@@ -124,13 +128,13 @@ let mk ?(config = Ipl_config.default) ?bbm chip ~first_block ~num_blocks ~txn_st
             match t.tracer with
             | None -> ()
             | Some tr ->
-                Obs.Tracer.emit tr ~time:(Chip.elapsed t.chip)
+                Obs.Tracer.emit tr ~time:(Dev.elapsed t.dev)
                   (Obs.Event.Cache_evict { eu = key; bytes })))
       ()
   in
   let t =
   {
-    chip;
+    dev;
     bbm;
     config;
     first_block;
@@ -143,7 +147,7 @@ let mk ?(config = Ipl_config.default) ?bbm chip ~first_block ~num_blocks ~txn_st
     free = { by_wear = IntMap.empty; bucket_of = Hashtbl.create 256 };
     cache;
     current_overflow = None;
-    fill = None;
+    fills = Array.make (Dev.num_chips dev) None;
     next_page = 0;
     sectors_per_page;
     data_pages;
@@ -187,42 +191,61 @@ let fresh_eu_info phys data_pages =
 (* ------------------------------------------------------------------ *)
 (* Device indirection: with a bad-block manager installed, data-area
    operations use virtual block addresses and survive program/erase
-   failures; without one they hit the chip directly. *)
+   failures; without one they hit the device directly. [cls] attributes
+   each operation to a scheduler class; the [submit_] variants are
+   asynchronous — the operation executes now, its completion time settles
+   at the next barrier (every durability force point is one). *)
 
-let dev_read t ~sector ~count =
+let dev_read ?cls t ~sector ~count =
   match t.bbm with
-  | Some d -> Resilience.Bbm.read_sectors d ~sector ~count
-  | None -> Chip.read_sectors t.chip ~sector ~count
+  | Some d -> Resilience.Bbm.read_sectors ?cls d ~sector ~count
+  | None -> (
+      match cls with
+      | Some Dev.Merge_io ->
+          (* Background relocation read: execution is eager, so the data
+             is available at submission and the merge never blocks the
+             host clock on it — the read's service time lands on the
+             chip's timeline like any other cleaning-engine operation. *)
+          fst (Dev.submit_read t.dev ~cls:Dev.Merge_io ~sector ~count)
+      | _ -> Dev.read_sectors ?cls t.dev ~sector ~count)
 
-let dev_write t ~sector data =
+let dev_submit_write t ~cls ~sector data =
   match t.bbm with
-  | Some d -> Resilience.Bbm.write_sectors d ~sector data
-  | None -> Chip.write_sectors t.chip ~sector data
+  | Some d -> Resilience.Bbm.submit_write_sectors d ~cls ~sector data
+  | None -> ignore (Dev.submit_write t.dev ~cls ~sector data)
 
-let dev_erase t b =
+let dev_erase ?cls t b =
   match t.bbm with
-  | Some d -> Resilience.Bbm.erase_block d b
-  | None -> Chip.erase_block t.chip b
+  | Some d -> Resilience.Bbm.erase_block ?cls d b
+  | None -> Dev.erase_block ?cls t.dev b
+
+let dev_submit_erase t ~cls b =
+  match t.bbm with
+  | Some d -> Resilience.Bbm.submit_erase_block d ~cls b
+  | None -> ignore (Dev.submit_erase t.dev ~cls b)
 
 let dev_invalidate t ~sector ~count =
   match t.bbm with
   | Some d -> Resilience.Bbm.invalidate_sectors d ~sector ~count
-  | None -> Chip.invalidate_sectors t.chip ~sector ~count
+  | None -> Dev.invalidate_sectors t.dev ~sector ~count
 
 let dev_state t s =
   match t.bbm with
   | Some d -> Resilience.Bbm.sector_state d s
-  | None -> Chip.sector_state t.chip s
+  | None -> Dev.sector_state t.dev s
 
 let dev_free_in_block t b =
   match t.bbm with
   | Some d -> Resilience.Bbm.free_sectors_in_block d b
-  | None -> Chip.free_sectors_in_block t.chip b
+  | None -> Dev.free_sectors_in_block t.dev b
 
 let dev_wear t b =
   match t.bbm with
   | Some d -> Resilience.Bbm.erase_count d b
-  | None -> Chip.erase_count t.chip b
+  | None -> Dev.erase_count t.dev b
+
+let width t = Array.length t.fills
+let channel_of t b = Dev.channel_of_block t.dev b
 
 (* ------------------------------------------------------------------ *)
 (* Wear-bucketed free pool                                             *)
@@ -254,48 +277,85 @@ let free_pool_take_min t =
       Hashtbl.remove p.bucket_of b;
       Some b
 
-(* Reclaim a unit onto the free list. A unit whose erase fails stays off
-   the list: leaked until a later recovery retries (raw chip), or — under
-   a bad-block manager that could not remap it — lost with its backing
-   block. A [Degraded] raised here is swallowed: reclamation runs after
-   durability points, and the flag it sets fails the *next* mutation with
-   a typed error instead. *)
+(* Least-worn block on the given device channel (lowest block number
+   among ties), falling back to the global minimum when the channel has
+   no free unit. On a single-channel device this {e is}
+   [free_pool_take_min], keeping allocation order bit-identical to the
+   serial path. *)
+let free_pool_take_min_on t ~channel =
+  if width t = 1 then free_pool_take_min t
+  else begin
+    let p = t.free in
+    let found =
+      Seq.find_map
+        (fun (_, set) -> Seq.find (fun b -> channel_of t b = channel) (IntSet.to_seq set))
+        (IntMap.to_seq p.by_wear)
+    in
+    match found with
+    | None -> free_pool_take_min t
+    | Some b ->
+        let wear = Hashtbl.find p.bucket_of b in
+        let set = IntMap.find wear p.by_wear in
+        let rest = IntSet.remove b set in
+        p.by_wear <-
+          (if IntSet.is_empty rest then IntMap.remove wear p.by_wear
+           else IntMap.add wear rest p.by_wear);
+        Hashtbl.remove p.bucket_of b;
+        Some b
+  end
+
+(* Reclaim a unit onto the free list. The erase is submitted
+   asynchronously at merge priority — reclamation is never on the query
+   path — and executes eagerly, so a failure still surfaces here. A unit
+   whose erase fails stays off the list: leaked until a later recovery
+   retries (raw device), or — under a bad-block manager that could not
+   remap it — lost with its backing block. A [Degraded] raised here is
+   swallowed: reclamation runs after durability points, and the flag it
+   sets fails the *next* mutation with a typed error instead. *)
 let reclaim_eu t b =
-  match dev_erase t b with
+  match dev_submit_erase t ~cls:Dev.Merge_io b with
   | () -> free_pool_add t b
   | exception (Chip.Worn_out _ | Chip.Erase_error _ | Resilience.Bbm.Degraded) -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Free-unit allocation                                                *)
 
-let alloc_eu t =
-  match free_pool_take_min t with
+let alloc_eu ?channel t =
+  let taken =
+    match channel with
+    | Some c -> free_pool_take_min_on t ~channel:c
+    | None -> free_pool_take_min t
+  in
+  match taken with
   | Some b -> b
   | None -> failwith "Ipl_storage: out of erase units"
 
 (* ------------------------------------------------------------------ *)
 (* Low-level sector helpers                                            *)
 
-let data_sector t eu_phys idx = Chip.sector_of_block t.chip eu_phys + (idx * t.sectors_per_page)
-let log_sector_addr t eu_phys i = Chip.sector_of_block t.chip eu_phys + t.log_start + i
+let data_sector t eu_phys idx = Dev.sector_of_block t.dev eu_phys + (idx * t.sectors_per_page)
+let log_sector_addr t eu_phys i = Dev.sector_of_block t.dev eu_phys + t.log_start + i
 
-let read_raw_page t eu idx =
+let read_raw_page ?cls t eu idx =
   t.c_page_reads <- t.c_page_reads + 1;
-  let b = dev_read t ~sector:(data_sector t eu.phys idx) ~count:t.sectors_per_page in
+  let b = dev_read ?cls t ~sector:(data_sector t eu.phys idx) ~count:t.sectors_per_page in
   Page.of_bytes b
 
-let write_data_page t eu_phys idx (page : Page.t) =
-  dev_write t ~sector:(data_sector t eu_phys idx) (Page.to_bytes page)
+(* Data-page programs are asynchronous: a bulk load streams pages to the
+   fill units of every channel and the channels program in parallel; the
+   next durability barrier (or any await) settles the completion times. *)
+let submit_data_page t ~cls eu_phys idx (page : Page.t) =
+  dev_submit_write t ~cls ~sector:(data_sector t eu_phys idx) (Page.to_bytes page)
 
-let sector_size t = (Chip.config t.chip).FConfig.sector_size
+let sector_size t = (Dev.config t.dev).FConfig.sector_size
 
 (* All log records stored for an erase unit, in application order:
    in-page log sectors by slot, then overflow sectors oldest-first. *)
-let read_eu_log_records_uncached t eu =
+let read_eu_log_records_uncached ?cls t eu =
   let ss = sector_size t in
   let records = ref [] in
   if eu.used_log > 0 then begin
-    let blob = dev_read t ~sector:(log_sector_addr t eu.phys 0) ~count:eu.used_log in
+    let blob = dev_read ?cls t ~sector:(log_sector_addr t eu.phys 0) ~count:eu.used_log in
     t.c_log_sector_reads <- t.c_log_sector_reads + eu.used_log;
     for i = 0 to eu.used_log - 1 do
       let sector = Bytes.sub blob (i * ss) ss in
@@ -304,7 +364,7 @@ let read_eu_log_records_uncached t eu =
   end;
   List.iter
     (fun addr ->
-      let sector = dev_read t ~sector:addr ~count:1 in
+      let sector = dev_read ?cls t ~sector:addr ~count:1 in
       t.c_log_sector_reads <- t.c_log_sector_reads + 1;
       records := Log_sector.deserialize sector :: !records)
     (List.rev eu.overflow_rev);
@@ -319,23 +379,23 @@ let cache_note t eu ~hit =
   | None -> ()
   | Some tr ->
       let e = eu.phys in
-      Obs.Tracer.emit tr ~time:(Chip.elapsed t.chip)
+      Obs.Tracer.emit tr ~time:(Dev.elapsed t.dev)
         (if hit then Obs.Event.Cache_hit { eu = e } else Obs.Event.Cache_miss { eu = e })
 
 (* Cache consumption point: a hit returns the decoded records without
    touching flash (no simulated reads, no [log_sector_reads]); a miss
    scans the log region once and installs the result. Units with an
    empty log region short-circuit without cache traffic. *)
-let read_eu_log_records t eu =
+let read_eu_log_records ?cls t eu =
   if eu_log_empty eu then []
-  else if not (Cache.Log_cache.enabled t.cache) then read_eu_log_records_uncached t eu
+  else if not (Cache.Log_cache.enabled t.cache) then read_eu_log_records_uncached ?cls t eu
   else
     match Cache.Log_cache.records t.cache eu.phys with
     | Some records ->
         cache_note t eu ~hit:true;
         records
     | None ->
-        let records = read_eu_log_records_uncached t eu in
+        let records = read_eu_log_records_uncached ?cls t eu in
         Cache.Log_cache.install t.cache eu.phys records;
         cache_note t eu ~hit:false;
         records
@@ -381,24 +441,28 @@ let find_free_slot t eu =
 let allocate_page t page =
   if Bytes.length (Page.to_bytes page) <> t.config.Ipl_config.page_size then
     invalid_arg "Ipl_storage.allocate_page: wrong page size";
+  (* Consecutive allocations round-robin over the per-channel fill
+     units, so a sequential load keeps every chip programming. With one
+     channel this is exactly the single-fill-unit serial behaviour. *)
+  let ch = t.next_page mod width t in
   let eu, idx =
     let try_fill =
-      match t.fill with
+      match t.fills.(ch) with
       | Some eu -> ( match find_free_slot t eu with Some idx -> Some (eu, idx) | None -> None)
       | None -> None
     in
     match try_fill with
     | Some x -> x
     | None ->
-        let phys = alloc_eu t in
+        let phys = alloc_eu ?channel:(if width t = 1 then None else Some ch) t in
         let eu = fresh_eu_info phys t.data_pages in
         Hashtbl.replace t.data_eus phys eu;
-        t.fill <- Some eu;
+        t.fills.(ch) <- Some eu;
         (eu, 0)
   in
   let pid = t.next_page in
   t.next_page <- pid + 1;
-  write_data_page t eu.phys idx page;
+  submit_data_page t ~cls:Dev.Foreground eu.phys idx page;
   eu.pages.(idx) <- pid;
   Hashtbl.replace t.mapping pid (eu, idx);
   Meta_log.log t.meta (Meta_log.Page_alloc { page = pid; eu = eu.phys; idx });
@@ -406,7 +470,7 @@ let allocate_page t page =
   (match t.tracer with
   | None -> ()
   | Some tr ->
-      Obs.Tracer.emit tr ~time:(Chip.elapsed t.chip)
+      Obs.Tracer.emit tr ~time:(Dev.elapsed t.dev)
         (Obs.Event.Page_alloc { page = pid; eu = eu.phys }));
   pid
 
@@ -465,16 +529,66 @@ let apply_records page records =
             (Format.asprintf "Ipl_storage: log replay failed (%s) on %a" msg Log_record.pp r))
     records
 
+let note_page_read t pid eu =
+  match t.tracer with
+  | None -> ()
+  | Some tr ->
+      Obs.Tracer.emit tr ~time:(Dev.elapsed t.dev)
+        (Obs.Event.Page_read { page = pid; eu = eu.phys })
+
 let read_page t pid =
   let eu, idx = lookup t pid in
   let page = read_raw_page t eu idx in
   apply_records page (live_records_of_page t eu pid);
-  (match t.tracer with
-  | None -> ()
-  | Some tr ->
-      Obs.Tracer.emit tr ~time:(Chip.elapsed t.chip)
-        (Obs.Event.Page_read { page = pid; eu = eu.phys }));
+  note_page_read t pid eu;
   page
+
+(* Batched read: the raw page reads of the whole batch are submitted
+   asynchronously before any is awaited, so reads of pages on different
+   channels overlap on the simulated clock. The per-page log replay
+   (cache hits, or synchronous log-region reads) happens as each page is
+   settled. Under a bad-block manager the batch degrades to sequential
+   reads — the retry/scrub logic is inherently synchronous. Counters,
+   applied records and returned pages are identical to a [read_page]
+   loop either way. *)
+type read_batch =
+  | Rb_sync of int list  (* bad-block manager: the batch is a plain loop *)
+  | Rb_submitted of (int * eu_info * bytes * Log_record.t list * Dev.tag) list
+
+let read_pages_start t pids =
+  match t.bbm with
+  | Some _ -> Rb_sync pids
+  | None ->
+      Rb_submitted
+        (List.map
+           (fun pid ->
+             let eu, idx = lookup t pid in
+             t.c_page_reads <- t.c_page_reads + 1;
+             let data, tag =
+               Dev.submit_read t.dev ~cls:Dev.Foreground
+                 ~sector:(data_sector t eu.phys idx)
+                 ~count:t.sectors_per_page
+             in
+             (* The live records are captured here too: image and log
+                must snapshot the same instant, or a merge between start
+                and finish (which folds the records into a new image)
+                would leave the old image paired with an emptied log. *)
+             (pid, eu, data, live_records_of_page t eu pid, tag))
+           pids)
+
+let read_pages_finish t = function
+  | Rb_sync pids -> List.map (fun pid -> (pid, read_page t pid)) pids
+  | Rb_submitted submitted ->
+      List.map
+        (fun (pid, eu, data, records, tag) ->
+          Dev.await t.dev tag;
+          let page = Page.of_bytes data in
+          apply_records page records;
+          note_page_read t pid eu;
+          (pid, page))
+        submitted
+
+let read_pages t pids = read_pages_finish t (read_pages_start t pids)
 
 let live_log_records t ~page = let eu, _ = lookup t page in live_records_of_page t eu page
 
@@ -486,7 +600,7 @@ let release_overflow t eu =
     List.iter
       (fun addr ->
         dev_invalidate t ~sector:addr ~count:1;
-        let block = Chip.block_of_sector t.chip addr in
+        let block = Dev.block_of_sector t.dev addr in
         match Hashtbl.find_opt t.overflow_eus block with
         | Some info -> info.live <- info.live - 1
         | None -> ())
@@ -510,7 +624,7 @@ let gc_overflow t =
       t.c_reclaimed <- t.c_reclaimed + 1)
     dead
 
-let overflow_write t eu sector_bytes =
+let overflow_write ?(cls = Dev.Log_flush) t eu sector_bytes =
   let phys =
     match t.current_overflow with
     | Some phys when (Hashtbl.find t.overflow_eus phys).next_idx < t.sectors_per_block ->
@@ -523,8 +637,8 @@ let overflow_write t eu sector_bytes =
         phys
   in
   let info = Hashtbl.find t.overflow_eus phys in
-  let addr = Chip.sector_of_block t.chip phys + info.next_idx in
-  dev_write t ~sector:addr sector_bytes;
+  let addr = Dev.sector_of_block t.dev phys + info.next_idx in
+  dev_submit_write t ~cls ~sector:addr sector_bytes;
   info.next_idx <- info.next_idx + 1;
   info.live <- info.live + 1;
   eu.overflow_rev <- addr :: eu.overflow_rev;
@@ -588,7 +702,7 @@ let reattach_overflow t eu saved =
   eu.overflow_rev <- saved;
   List.iter
     (fun addr ->
-      let block = Chip.block_of_sector t.chip addr in
+      let block = Dev.block_of_sector t.dev addr in
       match Hashtbl.find_opt t.overflow_eus block with
       | Some info -> info.live <- info.live + 1
       | None -> ())
@@ -602,24 +716,32 @@ let reattach_overflow t eu saved =
    engine; after the point, the in-memory switch-over is completed before
    any further fallible flash work. *)
 let merge t eu ~pending =
-  let new_phys = alloc_eu t in
+  (* Merge onto the {e next} channel: the copy's reads (old unit) and
+     programs (new unit) then sit on different chips and overlap. With
+     one channel the target allocation is the plain least-worn choice. *)
+  let new_phys =
+    alloc_eu
+      ?channel:
+        (if width t = 1 then None else Some ((channel_of t eu.phys + 1) mod width t))
+      t
+  in
   let meta_mark = Meta_log.mark t.meta in
   let saved_overflow = eu.overflow_rev in
   let released = ref false in
   let durable = ref false in
   try
-    let all = read_eu_log_records t eu @ pending in
+    let all = read_eu_log_records ~cls:Dev.Merge_io t eu @ pending in
     let committed, carried, dropped = classify t all in
     (* Rewrite every hosted page with its committed records applied. *)
     let applied = ref 0 in
     Array.iteri
       (fun idx pid ->
         if pid >= 0 then begin
-          let page = read_raw_page t eu idx in
+          let page = read_raw_page ~cls:Dev.Merge_io t eu idx in
           let mine = List.filter (fun r -> r.Log_record.page = pid) committed in
           apply_records page mine;
           applied := !applied + List.length mine;
-          write_data_page t new_phys idx page
+          submit_data_page t ~cls:Dev.Merge_io new_phys idx page
         end)
       eu.pages;
     (* Carry the still-active records into the new unit's log region,
@@ -634,7 +756,10 @@ let merge t eu ~pending =
       in
       split 0 [] sectors
     in
-    List.iteri (fun i (s, _) -> dev_write t ~sector:(log_sector_addr t new_phys i) s) in_region;
+    List.iteri
+      (fun i (s, _) ->
+        dev_submit_write t ~cls:Dev.Merge_io ~sector:(log_sector_addr t new_phys i) s)
+      in_region;
     release_overflow t eu;
     released := true;
     (* Publish the move: the durability point. *)
@@ -669,7 +794,7 @@ let merge t eu ~pending =
     (match t.tracer with
     | None -> ()
     | Some tr ->
-        Obs.Tracer.emit tr ~time:(Chip.elapsed t.chip)
+        Obs.Tracer.emit tr ~time:(Dev.elapsed t.dev)
           (Obs.Event.Merge
              {
                eu = old_phys;
@@ -684,7 +809,7 @@ let merge t eu ~pending =
     (* Spilled carried sectors go to a fresh overflow area, oldest first. *)
     List.iter
       (fun (s, records) ->
-        overflow_write t eu s;
+        overflow_write ~cls:Dev.Merge_io t eu s;
         Cache.Log_cache.append t.cache eu.phys records)
       spill;
     gc_overflow t
@@ -740,7 +865,7 @@ let flush_log t ~page records =
   let eu, _ = lookup t page in
   if eu.used_log < t.log_sectors then begin
     let sector = serialize_records t records in
-    dev_write t ~sector:(log_sector_addr t eu.phys eu.used_log) sector;
+    dev_submit_write t ~cls:Dev.Log_flush ~sector:(log_sector_addr t eu.phys eu.used_log) sector;
     eu.used_log <- eu.used_log + 1;
     note_records eu records;
     (* Write-through only after the program succeeded: the cache must
@@ -750,7 +875,7 @@ let flush_log t ~page records =
     match t.tracer with
     | None -> ()
     | Some tr ->
-        Obs.Tracer.emit tr ~time:(Chip.elapsed t.chip)
+        Obs.Tracer.emit tr ~time:(Dev.elapsed t.dev)
           (Obs.Event.Log_flush { page; eu = eu.phys; records = List.length records })
   end
   else if
@@ -765,7 +890,7 @@ let flush_log t ~page records =
     match t.tracer with
     | None -> ()
     | Some tr ->
-        Obs.Tracer.emit tr ~time:(Chip.elapsed t.chip)
+        Obs.Tracer.emit tr ~time:(Dev.elapsed t.dev)
           (Obs.Event.Overflow_diversion
              { page; eu = eu.phys; records = List.length records })
   end
@@ -796,6 +921,7 @@ let merge_fullest t ~max_merges =
   end
 
 let force_meta t = Meta_log.force t.meta
+let publish_meta t = Meta_log.publish t.meta
 
 (* ------------------------------------------------------------------ *)
 (* Introspection                                                       *)
@@ -940,16 +1066,16 @@ let snapshot_fun t () =
   in
   resilience @ allocs @ List.rev rest
 
-let create ?config ?bbm chip ~first_block ~num_blocks ~txn_status ~meta () =
-  let t = mk ?config ?bbm chip ~first_block ~num_blocks ~txn_status ~meta in
+let create ?config ?bbm dev ~first_block ~num_blocks ~txn_status ~meta () =
+  let t = mk ?config ?bbm dev ~first_block ~num_blocks ~txn_status ~meta in
   for b = first_block to first_block + num_blocks - 1 do
     free_pool_add t b
   done;
   Meta_log.set_snapshot meta (snapshot_fun t);
   t
 
-let recover ?config ?bbm chip ~first_block ~num_blocks ~txn_status ~meta ~meta_events () =
-  let t = mk ?config ?bbm chip ~first_block ~num_blocks ~txn_status ~meta in
+let recover ?config ?bbm dev ~first_block ~num_blocks ~txn_status ~meta ~meta_events () =
+  let t = mk ?config ?bbm dev ~first_block ~num_blocks ~txn_status ~meta in
   (* Replay mapping events. *)
   let get_eu phys =
     match Hashtbl.find_opt t.data_eus phys with
@@ -979,7 +1105,7 @@ let recover ?config ?bbm chip ~first_block ~num_blocks ~txn_status ~meta ~meta_e
           match Hashtbl.find_opt t.data_eus data_eu with
           | Some eu ->
               eu.overflow_rev <- sector :: eu.overflow_rev;
-              let block = Chip.block_of_sector chip sector in
+              let block = Dev.block_of_sector dev sector in
               (match Hashtbl.find_opt t.overflow_eus block with
               | Some info -> info.live <- info.live + 1
               | None -> ())
@@ -989,7 +1115,7 @@ let recover ?config ?bbm chip ~first_block ~num_blocks ~txn_status ~meta ~meta_e
           | Some eu ->
               List.iter
                 (fun addr ->
-                  let block = Chip.block_of_sector chip addr in
+                  let block = Dev.block_of_sector dev addr in
                   match Hashtbl.find_opt t.overflow_eus block with
                   | Some info -> info.live <- info.live - 1
                   | None -> ())
@@ -1018,7 +1144,7 @@ let recover ?config ?bbm chip ~first_block ~num_blocks ~txn_status ~meta ~meta_e
     t.data_eus;
   Hashtbl.iter
     (fun phys info ->
-      let base = Chip.sector_of_block chip phys in
+      let base = Dev.sector_of_block dev phys in
       let rec next i =
         if i >= t.sectors_per_block then i
         else if dev_state t (base + i) <> Chip.Free then next (i + 1)
@@ -1035,13 +1161,17 @@ let recover ?config ?bbm chip ~first_block ~num_blocks ~txn_status ~meta ~meta_e
       if dev_free_in_block t b < t.sectors_per_block then reclaim_eu t b
       else free_pool_add t b
   done;
-  (* Resume filling a unit with a usable free slot, if any. *)
+  (* Resume filling: one unit with a usable free slot per channel, if
+     any (on a single-channel device, the first found — the serial
+     behaviour). *)
   (try
      Hashtbl.iter
-       (fun _ eu -> if find_free_slot t eu <> None then begin
-            t.fill <- Some eu;
-            raise Exit
-          end)
+       (fun _ eu ->
+         let ch = channel_of t eu.phys in
+         if t.fills.(ch) = None && find_free_slot t eu <> None then begin
+           t.fills.(ch) <- Some eu;
+           if Array.for_all Option.is_some t.fills then raise Exit
+         end)
        t.data_eus
    with Exit -> ());
   Meta_log.set_snapshot meta (snapshot_fun t);

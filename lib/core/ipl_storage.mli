@@ -52,7 +52,7 @@ type stats = {
 val create :
   ?config:Ipl_config.t ->
   ?bbm:Resilience.Bbm.t ->
-  Flash_sim.Flash_chip.t ->
+  Device.Flash_device.t ->
   first_block:int ->
   num_blocks:int ->
   txn_status:(int -> Trx_log.status) ->
@@ -72,7 +72,7 @@ val create :
 val recover :
   ?config:Ipl_config.t ->
   ?bbm:Resilience.Bbm.t ->
-  Flash_sim.Flash_chip.t ->
+  Device.Flash_device.t ->
   first_block:int ->
   num_blocks:int ->
   txn_status:(int -> Trx_log.status) ->
@@ -99,6 +99,29 @@ val read_page : t -> int -> Storage.Page.t
 (** Current version: stored image + all live log records (aborted
     transactions' records are skipped). *)
 
+val read_pages : t -> int list -> (int * Storage.Page.t) list
+(** Batched {!read_page}: the raw page reads of the whole batch are
+    submitted to the device before any is awaited, so pages on different
+    channels are fetched in parallel on the simulated clock. Returns
+    [(pid, page)] in argument order; counters and replay are identical
+    to a sequential loop (and under a bad-block manager the batch {e is}
+    a sequential loop — retries are synchronous). *)
+
+type read_batch
+
+val read_pages_start : t -> int list -> read_batch
+(** Submit the batch's raw page reads without awaiting any of them —
+    execution is eager, so the data is captured here and only the
+    completion times are outstanding. Intervening merges may relocate
+    the pages; the captured images plus their live log records still
+    reproduce the current logical content. *)
+
+val read_pages_finish : t -> read_batch -> (int * Storage.Page.t) list
+(** Await the batch and replay each page's log records.
+    [read_pages t pids = read_pages_finish t (read_pages_start t pids)];
+    splitting the two lets the await overlap a durability barrier the
+    caller issues in between (the barrier settles the reads too). *)
+
 val flush_log : t -> page:int -> Log_record.t list -> unit
 (** Persist one in-memory log sector's records for [page]. Writes a log
     sector in the page's erase unit, or — if none is free — merges the
@@ -107,6 +130,11 @@ val flush_log : t -> page:int -> Log_record.t list -> unit
 
 val force_meta : t -> unit
 (** Make allocations/merges performed so far durable. *)
+
+val publish_meta : t -> unit
+(** Submit the buffered metadata sector without waiting for the program;
+    the commit path pays one device barrier for it together with the
+    transaction-log and in-page log flushes it publishes. *)
 
 val merge_fullest : t -> max_merges:int -> int
 (** Merge up to [max_merges] data erase units, fullest log region first,
@@ -135,6 +163,7 @@ val set_tracer : t -> Obs.Tracer.t option -> unit
     [Overflow_diversion] and [Merge], timestamped with the chip's
     simulated clock. Each hook site is a single option check when no
     tracer is installed. *)
+
 
 val live_log_records : t -> page:int -> Log_record.t list
 (** All live (non-aborted) flash log records of a page, in application

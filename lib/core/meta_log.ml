@@ -111,6 +111,7 @@ let log t event =
       | `Ok -> ()
       | `Full -> failwith "Meta_log: region too small")
 
+let publish t = Seq_log.publish t.log
 let force t = Seq_log.force t.log
 
 type mark = Seq_log.mark

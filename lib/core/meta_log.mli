@@ -28,15 +28,19 @@ type event =
 
 type t
 
-val create : Flash_sim.Flash_chip.t -> first_block:int -> num_blocks:int -> t
+val create : Device.Flash_device.t -> first_block:int -> num_blocks:int -> t
 
-val recover : Flash_sim.Flash_chip.t -> first_block:int -> num_blocks:int -> t * event list
+val recover : Device.Flash_device.t -> first_block:int -> num_blocks:int -> t * event list
 (** Durable events in append order. *)
 
 val log : t -> event -> unit
 (** Appended buffered; see {!force}. When the region fills up the caller's
     snapshot function (set via {!set_snapshot}) provides the compacted
     state. *)
+
+val publish : t -> unit
+(** Submit the buffered partial sector without waiting (see
+    {!Seq_log.publish}). *)
 
 val force : t -> unit
 

@@ -1,4 +1,4 @@
-module Chip = Flash_sim.Flash_chip
+module Dev = Device.Flash_device
 module Config = Flash_sim.Flash_config
 
 (* Sector format: used:u16 (bytes of payload), crc:u32 (CRC-32 of the
@@ -8,55 +8,76 @@ module Config = Flash_sim.Flash_config
    instead of replaying garbage. *)
 
 type t = {
-  chip : Chip.t;
+  dev : Dev.t;
   first_block : int;
   num_blocks : int;
   sector_size : int;
   first_sector : int;
+  sectors_per_block : int;
   total_sectors : int;
   buf : Buffer.t;  (* payload of the sector being assembled *)
   mutable next_sector : int;  (* index within the region *)
+  mutable pending : Dev.tag list;  (* published, not yet settled *)
 }
 
 exception Record_too_large of int
 
 let header_size = 6
 
-let make chip ~first_block ~num_blocks =
+let make dev ~first_block ~num_blocks =
   if num_blocks <= 0 then invalid_arg "Seq_log: need at least one block";
-  let c = Chip.config chip in
+  let c = Dev.config dev in
   let spb = Config.sectors_per_block c in
   {
-    chip;
+    dev;
     first_block;
     num_blocks;
     sector_size = c.Config.sector_size;
-    first_sector = Chip.sector_of_block chip first_block;
+    first_sector = Dev.sector_of_block dev first_block;
+    sectors_per_block = spb;
     total_sectors = spb * num_blocks;
     buf = Buffer.create c.Config.sector_size;
     next_sector = 0;
+    pending = [];
   }
+
+(* Logical append index -> physical sector: round-robin across the
+   region's blocks (index i lives in block [i mod num_blocks] at offset
+   [i / num_blocks]). Since device blocks stripe across chips,
+   consecutive forces program different chips instead of hammering the
+   region's first block — the log's force traffic spreads over the
+   channels like everything else. Recovery scans the same index order,
+   so the forward scan for the append position is unchanged. *)
+let sector_addr t i =
+  t.first_sector
+  + (i mod t.num_blocks * t.sectors_per_block)
+  + (i / t.num_blocks)
 
 let erase_region t =
   for b = t.first_block to t.first_block + t.num_blocks - 1 do
-    Chip.erase_block t.chip b
+    Dev.erase_block t.dev b
   done
 
-let create chip ~first_block ~num_blocks =
-  let t = make chip ~first_block ~num_blocks in
+let create dev ~first_block ~num_blocks =
+  let t = make dev ~first_block ~num_blocks in
   erase_region t;
   t
 
 let sector_used t i =
-  Chip.sector_state t.chip (t.first_sector + i) <> Flash_sim.Flash_chip.Free
+  Dev.sector_state t.dev (sector_addr t i) <> Flash_sim.Flash_chip.Free
 
-let recover chip ~first_block ~num_blocks =
-  let t = make chip ~first_block ~num_blocks in
+let recover dev ~first_block ~num_blocks =
+  let t = make dev ~first_block ~num_blocks in
   let rec scan i = if i < t.total_sectors && sector_used t i then scan (i + 1) else i in
   t.next_sector <- scan 0;
   t
 
-let force t =
+(* Publish the buffered records: assemble and submit the sector program
+   without waiting for it. The caller owes a [settle] (or a device-wide
+   barrier) before treating the records as durable; splitting the two
+   lets a commit publish its metadata and transaction-status sectors on
+   different chips and pay for both with a single wait. *)
+let publish t =
   if Buffer.length t.buf > 0 then begin
     let payload = Buffer.to_bytes t.buf in
     let sector = Bytes.make t.sector_size '\xff' in
@@ -64,10 +85,26 @@ let force t =
     Bytes.blit payload 0 sector header_size (Bytes.length payload);
     let crc = Ipl_util.Checksum.crc32 sector ~pos:header_size ~len:(Bytes.length payload) in
     Bytes.set_int32_le sector 2 (Int32.of_int crc);
-    Chip.write_sectors t.chip ~sector:(t.first_sector + t.next_sector) sector;
+    let tag =
+      Dev.submit_write ~cls:Dev.Log_flush t.dev ~sector:(sector_addr t t.next_sector)
+        sector
+    in
+    t.pending <- tag :: t.pending;
     t.next_sector <- t.next_sector + 1;
     Buffer.clear t.buf
   end
+
+(* Wait out every published-but-unsettled sector program of THIS log —
+   the precise durability wait. Unlike a device-wide barrier it does not
+   stall on unrelated in-flight traffic, so a write-ahead force (trx
+   begin records) costs only its own program time. *)
+let settle t =
+  List.iter (Dev.await t.dev) t.pending;
+  t.pending <- []
+
+let force t =
+  publish t;
+  settle t
 
 let payload_capacity t = t.sector_size - header_size
 
@@ -98,6 +135,9 @@ let append t record =
 
 let reset t =
   Buffer.clear t.buf;
+  (* The erase makes durability of the old contents moot; drop the tags
+     (awaiting a passed completion would be a no-op anyway). *)
+  t.pending <- [];
   erase_region t;
   t.next_sector <- 0
 
@@ -132,7 +172,7 @@ let records t =
   let out = ref [] in
   for i = 0 to t.next_sector - 1 do
     if sector_used t i then begin
-      let sector = Chip.read_sectors t.chip ~sector:(t.first_sector + i) ~count:1 in
+      let sector = Dev.read_sectors t.dev ~sector:(sector_addr t i) ~count:1 in
       match decode_sector t sector with
       | Some rs -> out := List.rev_append rs !out
       | None -> () (* torn or bit-flipped sector: its records are discarded *)

@@ -6,18 +6,22 @@
     to the FTL (Section 3.3).
 
     Records are opaque byte strings buffered into one flash sector at a
-    time; {!force} makes everything appended so far durable (a partially
-    filled sector is written out and the writer moves to the next sector,
-    since flash sectors cannot be rewritten). *)
+    time; {!force} makes everything appended so far durable by waiting
+    out this log's own in-flight sector programs — the precise
+    durability wait, which does not stall on unrelated device traffic.
+    {!publish} is the asynchronous half: it submits the partial sector
+    (the writer moves to the next sector, since flash sectors cannot be
+    rewritten) and lets the caller fold the wait into a later {!force}
+    or device barrier. *)
 
 type t
 
 exception Record_too_large of int
 
-val create : Flash_sim.Flash_chip.t -> first_block:int -> num_blocks:int -> t
+val create : Device.Flash_device.t -> first_block:int -> num_blocks:int -> t
 (** Start a fresh log; erases the region. *)
 
-val recover : Flash_sim.Flash_chip.t -> first_block:int -> num_blocks:int -> t
+val recover : Device.Flash_device.t -> first_block:int -> num_blocks:int -> t
 (** Attach to an existing region after a crash: scans forward to find the
     append position. Buffered-but-unforced records from before the crash
     are gone, exactly as they would be on real hardware. *)
@@ -27,8 +31,14 @@ val append : t -> bytes -> [ `Ok | `Full ]
     record was not appended; the caller should compact (read survivors,
     {!reset}, re-append). *)
 
+val publish : t -> unit
+(** Submit the buffered partial sector, if any, without waiting for the
+    program to complete. Durability comes from a later {!force} or a
+    device-wide barrier. *)
+
 val force : t -> unit
-(** Flush the buffered partial sector, if any. *)
+(** {!publish}, then wait out every published-but-unsettled sector
+    program of this log. *)
 
 val reset : t -> unit
 (** Erase the whole region and start over. *)

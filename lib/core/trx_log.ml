@@ -65,6 +65,7 @@ let active t =
 
 let max_txid t = Hashtbl.fold (fun txid _ acc -> max txid acc) t.statuses 0
 
+let publish t = Seq_log.publish t.log
 let force t = Seq_log.force t.log
 
 let recover chip ~first_block ~num_blocks =

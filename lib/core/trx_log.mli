@@ -13,9 +13,9 @@ type status = Active | Committed | Aborted
 
 type t
 
-val create : Flash_sim.Flash_chip.t -> first_block:int -> num_blocks:int -> t
+val create : Device.Flash_device.t -> first_block:int -> num_blocks:int -> t
 
-val recover : Flash_sim.Flash_chip.t -> first_block:int -> num_blocks:int -> t * int list
+val recover : Device.Flash_device.t -> first_block:int -> num_blocks:int -> t * int list
 (** Rebuild the status table from flash. Transactions that were active at
     the crash are closed with an abort record (written back to the log);
     their ids are returned. *)
@@ -35,5 +35,9 @@ val status : t -> int -> status
 val active : t -> int list
 val max_txid : t -> int
 (** Highest transaction id the log remembers; 0 if none. *)
+
+val publish : t -> unit
+(** Submit the buffered partial sector without waiting (see
+    {!Seq_log.publish}). *)
 
 val force : t -> unit

@@ -1,0 +1,188 @@
+(** Multi-channel parallel flash device.
+
+    Composes [channels x ways] independent {!Flash_sim.Flash_chip}
+    instances behind one flat sector address space, striped by erase
+    block: device block [b] lives on chip [b mod (channels * ways)]. On
+    top of the chip-compatible synchronous surface it offers a tag-based
+    asynchronous submission/completion interface and a per-chip I/O
+    scheduler with op-class priorities (foreground read > log flush >
+    merge/relocation > scrub) on the simulated clock.
+
+    {b Execution model.} Operations execute {e eagerly} on their chip at
+    submission, in submission order: sector states, stored bytes, wear,
+    fault-hook consultation and statistics are identical to the serial
+    path regardless of channel count. Only the {e completion time} of an
+    asynchronous submission is deferred — each chip keeps a virtual
+    timeline, and the host clock advances past a completion only at
+    {!await} / {!barrier} (or when a sync operation lands behind it).
+    Overlap across chips is deterministic clock arithmetic; there is no
+    wall-clock concurrency. Consequently a data "hazard" between an
+    in-flight write and a subsequent read cannot exist — the scheduler
+    models queueing time only.
+
+    {b Single-chip mode.} With one chip ([of_chip], or [channels = ways =
+    1]) every operation is forwarded verbatim and the chip's own clock is
+    the device clock, making the device bit-for-bit equivalent — state,
+    stats, simulated time, fault-op numbering — to using the chip
+    directly. *)
+
+module Chip = Flash_sim.Flash_chip
+
+type op_class =
+  | Foreground  (** latency-critical reads on the query path *)
+  | Log_flush  (** in-page / overflow log-sector programs *)
+  | Merge_io  (** merge rewrites, reclamation erases, relocations *)
+  | Scrub  (** preventive background relocation *)
+
+val class_name : op_class -> string
+val all_classes : op_class list
+
+type tag
+(** Completion handle of an asynchronous submission. *)
+
+type t
+
+val create :
+  ?queue_depth:int -> channels:int -> ways:int -> Flash_sim.Flash_config.t -> t
+(** Build a device of [channels * ways] chips from a device-level
+    geometry; [num_blocks] must divide evenly across the chips.
+    [queue_depth] (default 8) bounds outstanding operations per chip: a
+    submission against a full queue stalls the host clock to the earliest
+    completion. *)
+
+val of_chip : Chip.t -> t
+(** Wrap an existing chip as a single-channel device (the bit-for-bit
+    compatibility path: fault hooks installed directly on the chip keep
+    working, including their operation numbering). *)
+
+val config : t -> Flash_sim.Flash_config.t
+(** Device-level geometry: [num_blocks] is the total across all chips. *)
+
+val channels : t -> int
+val ways : t -> int
+val num_chips : t -> int
+val queue_depth : t -> int
+
+val chip : t -> int -> Chip.t
+(** The underlying chip of channel [i] (tests and compatibility). *)
+
+(** {1 Addressing} *)
+
+val num_sectors : t -> int
+val block_of_sector : t -> int -> int
+val sector_of_block : t -> int -> int
+
+val channel_of_block : t -> int -> int
+(** Which chip a device block lives on — the bad-block manager uses this
+    to keep relocation channel-local, the storage manager to stripe
+    allocation. *)
+
+(** {1 Synchronous operations}
+
+    Drop-in equivalents of the chip operations, over device addresses.
+    Multi-sector operations must stay within one erase block when the
+    device has more than one chip (striping granularity); violations
+    raise [Invalid_argument]. [cls] (default [Foreground]) attributes the
+    operation to a scheduler class. *)
+
+val read_sectors : ?cls:op_class -> t -> sector:int -> count:int -> bytes
+val write_sectors : ?cls:op_class -> t -> sector:int -> bytes -> unit
+val erase_block : ?cls:op_class -> t -> int -> unit
+val invalidate_sectors : t -> sector:int -> count:int -> unit
+val sector_state : t -> int -> Chip.sector_state
+val free_sectors_in_block : t -> int -> int
+val mark_bad : t -> int -> unit
+val is_bad : t -> int -> bool
+val bad_blocks : t -> int list
+val erase_count : t -> int -> int
+val erase_counts : t -> int array
+val wear_histogram : t -> Ipl_util.Histogram.t
+val live_sectors : t -> int
+val last_read_corrected : t -> bool
+
+(** {1 Asynchronous submission}
+
+    The operation executes now (data, faults, wear); the returned tag
+    settles when awaited. Exceptions therefore surface at submission,
+    exactly where the serial path raised them. *)
+
+val submit_read : t -> cls:op_class -> sector:int -> count:int -> bytes * tag
+val submit_write : t -> cls:op_class -> sector:int -> bytes -> tag
+val submit_erase : t -> cls:op_class -> int -> tag
+
+val await : t -> tag -> unit
+(** Advance the host clock past the tag's completion. Idempotent; unknown
+    (already-settled) tags are a no-op. *)
+
+val barrier : t -> unit
+(** Advance the host clock past every outstanding {!Foreground} and
+    {!Log_flush} {e write} completion — the durability wait at a
+    Meta_log / Trx_log force point. Reads are excluded (they have no
+    durability semantics), as is background relocation traffic
+    ([Merge_io], [Scrub]): it models the device's cleaning engine, which
+    orders its programs per-chip and never stalls a commit. Waited-on
+    operations that have not yet started are promoted to the head of
+    their chip's queue, like a deadline-aware controller. *)
+
+val drain : t -> unit
+(** Advance the host clock past {e every} outstanding completion,
+    background classes included — a full quiesce (checkpoint,
+    shutdown). *)
+
+val in_flight : t -> int
+(** Outstanding (submitted, not yet settled) operations. *)
+
+(** {1 Clock and stats} *)
+
+val elapsed : t -> float
+(** Simulated makespan so far: host clock advanced past every scheduled
+    completion. Single-chip mode: the chip's own clock. *)
+
+val advance_time : t -> float -> unit
+
+val stats : t -> Flash_sim.Flash_stats.t
+(** Aggregated over chips; [elapsed] is the device makespan (not the sum
+    of per-chip busy times), [mean_wear] the cross-chip mean. *)
+
+val reset_stats : t -> unit
+
+(** {1 Fault injection}
+
+    A device-level hook sees one global, deterministic operation
+    numbering across all chips (submission order). A [Fail_stop] (or a
+    torn program) kills the whole device — power is shared — and every
+    further operation raises {!Chip.Power_loss} until the hook is cleared
+    with [set_fault_hook t None], which also revives the chips. In
+    single-chip mode the hook is installed directly on the chip. *)
+
+val set_fault_hook : t -> (int -> Chip.op -> Chip.fault_action) option -> unit
+val op_count : t -> int
+val is_dead : t -> bool
+
+(** {1 Tracing and per-channel observability} *)
+
+val set_tracer : t -> Obs.Tracer.t option -> unit
+(** Install on every chip. Chip-level events are stamped with the chip's
+    own busy clock; layers above stamp their events with {!elapsed}. *)
+
+val tracer : t -> Obs.Tracer.t option
+
+type channel_report = {
+  chan_index : int;
+  busy_s : float;  (** chip busy time (sum of service times) *)
+  utilization : float;  (** busy / device makespan *)
+  max_queue_depth : int;
+  mean_queue_depth : float;  (** queue depth observed at each submission *)
+  submitted_by_class : (string * int) list;
+  chip_stats : Flash_sim.Flash_stats.t;
+}
+
+val channel_report : t -> channel_report list
+
+val class_latency : t -> op_class -> Obs.Metrics.Latency.t
+(** Submit-to-completion latency histogram of an op class (service time
+    in single-chip mode, where submissions never wait). *)
+
+val to_json : t -> Ipl_util.Json.t
+(** [{channels, ways, queue_depth, elapsed_s, per_channel: [...],
+    op_class_latency: {...}}] — the device section of BENCH_ipl.json. *)

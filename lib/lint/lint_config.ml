@@ -13,8 +13,9 @@ let rules =
       id = "flash-call";
       severity = Lint_finding.Error;
       doc =
-        "only the storage-manager layers (lib/core, lib/baseline, lib/ftl) may invoke \
-         Flash_chip program/erase operations directly";
+        "only the multi-channel device (lib/device) and the raw-flash storage designs \
+         (lib/baseline, lib/ftl) may invoke Flash_chip program/erase operations directly; \
+         everything else goes through Device.Flash_device";
     };
     {
       id = "no-silent-swallow";
@@ -83,11 +84,12 @@ let flash_ops =
    [Chip.read_sectors] or [Flash_sim.Flash_chip.read_sectors]. *)
 let chip_module_names = [ "Chip"; "Flash_chip" ]
 
-(* Directories whose code implements a storage design on raw flash and may
-   therefore program/erase the chip directly. lib/flash is the chip itself.
-   Everything else goes through these layers. *)
-let flash_call_allowed_dirs =
-  [ "lib/flash"; "lib/core"; "lib/baseline"; "lib/ftl"; "lib/resilience" ]
+(* Directories whose code may program/erase the chip directly. lib/flash
+   is the chip itself; lib/device is the multi-channel device that now
+   owns all chip access for the IPL stack (lib/core and lib/resilience
+   talk to Device.Flash_device, not the chip); lib/baseline and lib/ftl
+   are storage designs deliberately built on the raw serial chip. *)
+let flash_call_allowed_dirs = [ "lib/flash"; "lib/device"; "lib/baseline"; "lib/ftl" ]
 
 (* The only module allowed to use Bytes.unsafe_*. *)
 let bytes_unsafe_allowed_files = [ "lib/util/byte_arena.ml" ]
@@ -106,10 +108,11 @@ let libraries =
     { dir = "lib/obs"; wrapper = "Obs"; allowed = [ "Ipl_util" ] };
     { dir = "lib/cache"; wrapper = "Cache"; allowed = [ "Ipl_util" ] };
     { dir = "lib/flash"; wrapper = "Flash_sim"; allowed = [ "Ipl_util"; "Obs" ] };
+    { dir = "lib/device"; wrapper = "Device"; allowed = [ "Ipl_util"; "Obs"; "Flash_sim" ] };
     {
       dir = "lib/resilience";
       wrapper = "Resilience";
-      allowed = [ "Ipl_util"; "Obs"; "Flash_sim" ];
+      allowed = [ "Ipl_util"; "Obs"; "Flash_sim"; "Device" ];
     };
     { dir = "lib/disk"; wrapper = "Disk_sim"; allowed = [ "Ipl_util" ] };
     { dir = "lib/storage"; wrapper = "Storage"; allowed = [ "Ipl_util" ] };
@@ -118,14 +121,15 @@ let libraries =
     {
       dir = "lib/core";
       wrapper = "Ipl_core";
-      allowed = [ "Ipl_util"; "Obs"; "Flash_sim"; "Resilience"; "Storage"; "Bufmgr"; "Cache" ];
+      allowed =
+        [ "Ipl_util"; "Obs"; "Flash_sim"; "Device"; "Resilience"; "Storage"; "Bufmgr"; "Cache" ];
     };
     { dir = "lib/btree"; wrapper = "Btree"; allowed = [ "Ipl_util"; "Storage"; "Ipl_core" ] };
     { dir = "lib/ftl"; wrapper = "Ftl"; allowed = [ "Ipl_util"; "Flash_sim"; "Disk_sim" ] };
     {
       dir = "lib/sim";
       wrapper = "Iplsim";
-      allowed = [ "Ipl_util"; "Reftrace"; "Flash_sim"; "Ipl_core" ];
+      allowed = [ "Ipl_util"; "Reftrace"; "Flash_sim"; "Device"; "Ipl_core" ];
     };
     {
       dir = "lib/relation";
@@ -147,12 +151,12 @@ let libraries =
       dir = "lib/workload";
       wrapper = "Workload";
       allowed =
-        [ "Ipl_util"; "Obs"; "Flash_sim"; "Disk_sim"; "Ftl"; "Ipl_core"; "Baseline" ];
+        [ "Ipl_util"; "Obs"; "Flash_sim"; "Device"; "Disk_sim"; "Ftl"; "Ipl_core"; "Baseline" ];
     };
     {
       dir = "lib/fault";
       wrapper = "Fault";
-      allowed = [ "Ipl_util"; "Flash_sim"; "Resilience"; "Storage"; "Ipl_core" ];
+      allowed = [ "Ipl_util"; "Flash_sim"; "Device"; "Resilience"; "Storage"; "Ipl_core" ];
     };
   ]
 

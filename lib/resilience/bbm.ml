@@ -1,4 +1,5 @@
 module Chip = Flash_sim.Flash_chip
+module Dev = Device.Flash_device
 module FConfig = Flash_sim.Flash_config
 
 type persist_event =
@@ -10,7 +11,7 @@ exception Degraded
 exception Uncorrectable of int
 
 type t = {
-  chip : Chip.t;
+  dev : Dev.t;
   spb : int;  (* sectors per erase unit *)
   read_retries : int;
   scrub_on_correctable : bool;
@@ -29,14 +30,14 @@ type t = {
   mutable c_degradations : int;
 }
 
-let create chip ~spares ?(read_retries = 3) ?(scrub_on_correctable = true) ~persist
+let create dev ~spares ?(read_retries = 3) ?(scrub_on_correctable = true) ~persist
     ~force () =
   if read_retries < 0 then invalid_arg "Bbm.create: read_retries must be non-negative";
   let pool = Hashtbl.create 16 in
   List.iter (fun b -> Hashtbl.replace pool b ()) spares;
   {
-    chip;
-    spb = FConfig.sectors_per_block (Chip.config chip);
+    dev;
+    spb = FConfig.sectors_per_block (Dev.config dev);
     read_retries;
     scrub_on_correctable;
     map = Hashtbl.create 16;
@@ -59,7 +60,7 @@ let set_tracer t tracer = t.tracer <- tracer
 let emit t ev =
   match t.tracer with
   | None -> ()
-  | Some tr -> Obs.Tracer.emit tr ~time:(Chip.elapsed t.chip) ev
+  | Some tr -> Obs.Tracer.emit tr ~time:(Dev.elapsed t.dev) ev
 
 let phys_block t v = match Hashtbl.find_opt t.map v with Some p -> p | None -> v
 
@@ -75,7 +76,7 @@ let retire_phys t p =
   t.persist (P_retire { block = p });
   Hashtbl.replace t.retired p ();
   Hashtbl.remove t.pool p;
-  if not (Chip.is_bad t.chip p) then Chip.mark_bad t.chip p;
+  if not (Dev.is_bad t.dev p) then Dev.mark_bad t.dev p;
   t.c_retired <- t.c_retired + 1;
   emit t (Obs.Event.Retire { block = p })
 
@@ -93,37 +94,51 @@ let degrade t =
 
 (* Take the least-worn spare (wear-aware allocation doubles as wear
    leveling: blocks returned to the pool by scrubs rotate back in by wear
-   order). Pool blocks are erased lazily here, so crash leftovers and
-   scrub returns need no eager cleanup; one that will not erase is
-   retired and the next candidate tried. *)
-let rec alloc_spare t =
-  let best =
+   order). When the device has more than one channel, spares on the same
+   channel as [near] (the block being replaced) are preferred so a
+   relocation's copy traffic stays channel-local; on a single-channel
+   device every spare is "near" and the choice is unchanged. Pool blocks
+   are erased lazily here, so crash leftovers and scrub returns need no
+   eager cleanup; one that will not erase is retired and the next
+   candidate tried. *)
+let rec alloc_spare ?near ~cls t =
+  let wear = Dev.erase_count t.dev in
+  let want_chan = Option.map (Dev.channel_of_block t.dev) near in
+  let pick pred =
     Hashtbl.fold
       (fun b () acc ->
-        match acc with
-        | Some b' when Chip.erase_count t.chip b' <= Chip.erase_count t.chip b -> acc
-        | _ -> Some b)
+        if not (pred b) then acc
+        else
+          match acc with Some b' when wear b' <= wear b -> acc | _ -> Some b)
       t.pool None
+  in
+  let best =
+    match want_chan with
+    | Some c -> (
+        match pick (fun b -> Dev.channel_of_block t.dev b = c) with
+        | Some _ as r -> r
+        | None -> pick (fun _ -> true))
+    | None -> pick (fun _ -> true)
   in
   match best with
   | None -> None
   | Some b ->
       Hashtbl.remove t.pool b;
-      if Chip.is_bad t.chip b then begin
+      if Dev.is_bad t.dev b then begin
         retire_phys t b;
-        alloc_spare t
+        alloc_spare ?near ~cls t
       end
-      else if Chip.free_sectors_in_block t.chip b < t.spb then (
-        match Chip.erase_block t.chip b with
+      else if Dev.free_sectors_in_block t.dev b < t.spb then (
+        match Dev.erase_block ~cls t.dev b with
         | () -> Some b
         | exception Chip.Erase_error _ ->
             retire_phys t b;
-            alloc_spare t)
+            alloc_spare ?near ~cls t)
       else Some b
 
-let read_retry t ~phys_sector ~count ~virt_sector =
+let read_retry ?(cls = Dev.Foreground) t ~phys_sector ~count ~virt_sector =
   let rec go attempt =
-    try Chip.read_sectors t.chip ~sector:phys_sector ~count
+    try Dev.read_sectors ~cls t.dev ~sector:phys_sector ~count
     with Chip.Read_error _ ->
       if attempt > t.read_retries then begin
         t.c_uncorrectable <- t.c_uncorrectable + 1;
@@ -141,24 +156,24 @@ let read_retry t ~phys_sector ~count ~virt_sector =
    preserving Free holes and Invalid marks exactly: Invalid sectors still
    hold stale-but-readable data that recovery depends on, and Free data
    slots must stay programmable. *)
-let copy_block t ~from_phys ~to_phys =
+let copy_block t ~cls ~from_phys ~to_phys =
   let src = from_phys * t.spb and dst = to_phys * t.spb in
   let o = ref 0 in
   while !o < t.spb do
-    if Chip.sector_state t.chip (src + !o) = Chip.Free then incr o
+    if Dev.sector_state t.dev (src + !o) = Chip.Free then incr o
     else begin
       let start = !o in
-      while !o < t.spb && Chip.sector_state t.chip (src + !o) <> Chip.Free do
+      while !o < t.spb && Dev.sector_state t.dev (src + !o) <> Chip.Free do
         incr o
       done;
       let count = !o - start in
       let data =
-        read_retry t ~phys_sector:(src + start) ~count ~virt_sector:(src + start)
+        read_retry ~cls t ~phys_sector:(src + start) ~count ~virt_sector:(src + start)
       in
-      Chip.write_sectors t.chip ~sector:(dst + start) data;
+      Dev.write_sectors ~cls t.dev ~sector:(dst + start) data;
       for i = start to !o - 1 do
-        if Chip.sector_state t.chip (src + i) = Chip.Invalid then
-          Chip.invalidate_sectors t.chip ~sector:(dst + i) ~count:1
+        if Dev.sector_state t.dev (src + i) = Chip.Invalid then
+          Dev.invalidate_sectors t.dev ~sector:(dst + i) ~count:1
       done
     end
   done
@@ -172,15 +187,15 @@ let copy_block t ~from_phys ~to_phys =
    the new mapping includes the completed program. Returns [None] when no
    usable spare exists — the caller decides whether that degrades the
    device. *)
-let rec relocate t ~virt ~old_phys ~pending ~retire_old =
-  match alloc_spare t with
+let rec relocate t ~cls ~virt ~old_phys ~pending ~retire_old =
+  match alloc_spare ~near:old_phys ~cls t with
   | None -> None
   | Some np -> (
       match
-        copy_block t ~from_phys:old_phys ~to_phys:np;
+        copy_block t ~cls ~from_phys:old_phys ~to_phys:np;
         match pending with
         | None -> ()
-        | Some (off, data) -> Chip.write_sectors t.chip ~sector:((np * t.spb) + off) data
+        | Some (off, data) -> Dev.write_sectors ~cls t.dev ~sector:((np * t.spb) + off) data
       with
       | () ->
           t.persist (P_remap { virt; phys = np });
@@ -193,7 +208,7 @@ let rec relocate t ~virt ~old_phys ~pending ~retire_old =
       | exception Chip.Program_error _ ->
           (* The spare failed mid-copy: retire it too and try another. *)
           retire_phys t np;
-          relocate t ~virt ~old_phys ~pending ~retire_old)
+          relocate t ~cls ~virt ~old_phys ~pending ~retire_old)
 
 (* Preventive relocation of a weakening unit after a correctable read.
    Never degrades the device: with no spare to hand the scrub is simply
@@ -201,7 +216,7 @@ let rec relocate t ~virt ~old_phys ~pending ~retire_old =
    merely suspect — giving natural wear rotation. *)
 let scrub t v =
   let old_p = phys_block t v in
-  match relocate t ~virt:v ~old_phys:old_p ~pending:None ~retire_old:false with
+  match relocate t ~cls:Dev.Scrub ~virt:v ~old_phys:old_p ~pending:None ~retire_old:false with
   | Some np ->
       Hashtbl.replace t.pool old_p ();
       t.c_scrubs <- t.c_scrubs + 1;
@@ -211,53 +226,77 @@ let scrub t v =
 
 let check_writable t = if t.degraded then raise Degraded
 
-let read_sectors t ~sector ~count =
+let read_sectors ?cls t ~sector ~count =
   let ps = translate t ~sector ~count in
-  let data = read_retry t ~phys_sector:ps ~count ~virt_sector:sector in
-  if Chip.last_read_corrected t.chip && t.scrub_on_correctable then
+  let data = read_retry ?cls t ~phys_sector:ps ~count ~virt_sector:sector in
+  if Dev.last_read_corrected t.dev && t.scrub_on_correctable then
     scrub t (sector / t.spb);
   data
 
-let write_sectors t ~sector data =
+(* A failed program always relocates at merge priority: completing the
+   interrupted program is on the caller's critical path whatever class
+   the original write carried. *)
+let handle_program_error t ~sector ~ps data =
+  let virt = sector / t.spb in
+  match
+    relocate t ~cls:Dev.Merge_io ~virt ~old_phys:(ps / t.spb)
+      ~pending:(Some (ps mod t.spb, data))
+      ~retire_old:true
+  with
+  | Some _ -> ()
+  | None -> degrade t
+
+let write_sectors ?(cls = Dev.Foreground) t ~sector data =
   check_writable t;
-  let ss = (Chip.config t.chip).FConfig.sector_size in
+  let ss = (Dev.config t.dev).FConfig.sector_size in
   let count = max 1 (Bytes.length data / ss) in
   let ps = translate t ~sector ~count in
-  try Chip.write_sectors t.chip ~sector:ps data
-  with Chip.Program_error _ -> (
-    let virt = sector / t.spb in
-    match
-      relocate t ~virt ~old_phys:(ps / t.spb) ~pending:(Some (ps mod t.spb, data))
-        ~retire_old:true
-    with
-    | Some _ -> ()
-    | None -> degrade t)
+  try Dev.write_sectors ~cls t.dev ~sector:ps data
+  with Chip.Program_error _ -> handle_program_error t ~sector ~ps data
 
-let erase_block t v =
+(* Asynchronous variant: the program executes now (so a Program_error is
+   handled here exactly as in the sync path) but its completion time is
+   settled by the caller's next barrier/await. *)
+let submit_write_sectors t ~cls ~sector data =
+  check_writable t;
+  let ss = (Dev.config t.dev).FConfig.sector_size in
+  let count = max 1 (Bytes.length data / ss) in
+  let ps = translate t ~sector ~count in
+  try ignore (Dev.submit_write t.dev ~cls ~sector:ps data)
+  with Chip.Program_error _ -> handle_program_error t ~sector ~ps data
+
+(* The block would not erase (worn out or transient failure turned
+   permanent): its content is garbage to the caller, so no copy is
+   needed — retire it and point the unit at a fresh spare. *)
+let handle_erase_error t ~cls v p =
+  retire_phys t p;
+  match alloc_spare ~near:p ~cls t with
+  | Some np ->
+      t.persist (P_remap { virt = v; phys = np });
+      t.force ();
+      if np = v then Hashtbl.remove t.map v else Hashtbl.replace t.map v np;
+      t.c_remaps <- t.c_remaps + 1;
+      emit t (Obs.Event.Remap { virt = v; from_phys = p; to_phys = np })
+  | None -> degrade t
+
+let erase_block ?(cls = Dev.Foreground) t v =
   check_writable t;
   let p = phys_block t v in
-  try Chip.erase_block t.chip p
-  with Chip.Erase_error _ -> (
-    (* The block would not erase (worn out or transient failure turned
-       permanent): its content is garbage to the caller, so no copy is
-       needed — retire it and point the unit at a fresh spare. *)
-    retire_phys t p;
-    match alloc_spare t with
-    | Some np ->
-        t.persist (P_remap { virt = v; phys = np });
-        t.force ();
-        if np = v then Hashtbl.remove t.map v else Hashtbl.replace t.map v np;
-        t.c_remaps <- t.c_remaps + 1;
-        emit t (Obs.Event.Remap { virt = v; from_phys = p; to_phys = np })
-    | None -> degrade t)
+  try Dev.erase_block ~cls t.dev p with Chip.Erase_error _ -> handle_erase_error t ~cls v p
+
+let submit_erase_block t ~cls v =
+  check_writable t;
+  let p = phys_block t v in
+  try ignore (Dev.submit_erase t.dev ~cls p)
+  with Chip.Erase_error _ -> handle_erase_error t ~cls v p
 
 let invalidate_sectors t ~sector ~count =
   let ps = translate t ~sector ~count in
-  Chip.invalidate_sectors t.chip ~sector:ps ~count
+  Dev.invalidate_sectors t.dev ~sector:ps ~count
 
-let sector_state t s = Chip.sector_state t.chip (translate t ~sector:s ~count:1)
-let free_sectors_in_block t v = Chip.free_sectors_in_block t.chip (phys_block t v)
-let erase_count t v = Chip.erase_count t.chip (phys_block t v)
+let sector_state t s = Dev.sector_state t.dev (translate t ~sector:s ~count:1)
+let free_sectors_in_block t v = Dev.free_sectors_in_block t.dev (phys_block t v)
+let erase_count t v = Dev.erase_count t.dev (phys_block t v)
 let degraded t = t.degraded
 let spares_left t = Hashtbl.length t.pool
 
@@ -272,9 +311,9 @@ let snapshot_events t =
   let evs = Hashtbl.fold (fun b () acc -> P_retire { block = b } :: acc) t.retired evs in
   if t.degraded then evs @ [ P_degraded ] else evs
 
-let recover chip ~spares ?read_retries ?scrub_on_correctable ~persist ~force ~events ()
+let recover dev ~spares ?read_retries ?scrub_on_correctable ~persist ~force ~events ()
     =
-  let t = create chip ~spares ?read_retries ?scrub_on_correctable ~persist ~force () in
+  let t = create dev ~spares ?read_retries ?scrub_on_correctable ~persist ~force () in
   List.iter
     (function
       | P_remap { virt; phys } ->
@@ -289,7 +328,7 @@ let recover chip ~spares ?read_retries ?scrub_on_correctable ~persist ~force ~ev
       | P_retire { block } ->
           Hashtbl.replace t.retired block ();
           Hashtbl.remove t.pool block;
-          if not (Chip.is_bad chip block) then Chip.mark_bad chip block
+          if not (Dev.is_bad dev block) then Dev.mark_bad dev block
       | P_degraded -> t.degraded <- true)
     events;
   t

@@ -1,14 +1,16 @@
 (** Bad-block manager: the device-resilience layer between the IPL
-    storage manager and the raw flash chip.
+    storage manager and the flash device.
 
     The manager presents the same flat-sector interface as
-    {!Flash_sim.Flash_chip} over a {e virtual} block space (a virtual
+    {!Device.Flash_device} over a {e virtual} block space (a virtual
     block's id is its initial physical block), backed by a remap table
     and a pool of spare erase units:
 
     - a failed program relocates the whole erase unit onto the least-worn
       spare (the failed program is completed there), retires the broken
-      physical block, and persists the remap;
+      physical block, and persists the remap; on a multi-channel device
+      spares on the victim's own channel are preferred so relocation
+      traffic stays channel-local;
     - a failed erase retires the block and points the unit at a fresh
       spare (no copy: an erased unit carries no data);
     - a failed read is retried a bounded number of times; a read the chip
@@ -42,7 +44,7 @@ exception Uncorrectable of int
 type t
 
 val create :
-  Flash_sim.Flash_chip.t ->
+  Device.Flash_device.t ->
   spares:int list ->
   ?read_retries:int ->
   ?scrub_on_correctable:bool ->
@@ -57,7 +59,7 @@ val create :
     buffered events durable. *)
 
 val recover :
-  Flash_sim.Flash_chip.t ->
+  Device.Flash_device.t ->
   spares:int list ->
   ?read_retries:int ->
   ?scrub_on_correctable:bool ->
@@ -76,16 +78,29 @@ val recover :
     operation must stay within one erase unit (the remap granularity);
     crossing a boundary raises [Invalid_argument]. *)
 
-val read_sectors : t -> sector:int -> count:int -> bytes
+val read_sectors :
+  ?cls:Device.Flash_device.op_class -> t -> sector:int -> count:int -> bytes
 (** Bounded-retry read; raises {!Uncorrectable} when retries are
-    exhausted. A correctable (ECC) read triggers a scrub when enabled. *)
+    exhausted. A correctable (ECC) read triggers a scrub when enabled
+    (the scrub's own I/O runs at [Scrub] priority). [cls] defaults to
+    [Foreground]. *)
 
-val write_sectors : t -> sector:int -> bytes -> unit
+val write_sectors :
+  ?cls:Device.Flash_device.op_class -> t -> sector:int -> bytes -> unit
 (** Raises {!Degraded} when the device is read-only or when a required
     relocation finds no spare. *)
 
-val erase_block : t -> int -> unit
+val erase_block : ?cls:Device.Flash_device.op_class -> t -> int -> unit
 (** Raises {!Degraded} like {!write_sectors}. *)
+
+val submit_write_sectors :
+  t -> cls:Device.Flash_device.op_class -> sector:int -> bytes -> unit
+(** Asynchronous {!write_sectors}: the program (and any relocation a
+    program failure forces) executes now, but its completion time settles
+    only at the owner's next {!Device.Flash_device.barrier}. *)
+
+val submit_erase_block : t -> cls:Device.Flash_device.op_class -> int -> unit
+(** Asynchronous {!erase_block}. *)
 
 val invalidate_sectors : t -> sector:int -> count:int -> unit
 val sector_state : t -> int -> Flash_sim.Flash_chip.sector_state

@@ -53,3 +53,63 @@ let buffer_series ?model ?(log_region = region_step) ?(alphas = [ 0.9; 0.5 ]) tr
       in
       { label; result; t_ipl; t_conv_by_alpha })
     traces
+
+(* ------------------------------------------------------------------ *)
+(* Channel-scaling sweep (multi-channel device, EXPERIMENTS E11)       *)
+
+type channel_point = {
+  channels : int;
+  elapsed_s : float;  (* simulated device makespan of the IPL run *)
+  speedup : float;  (* vs the first (1-channel) point *)
+  logical_digest : string;
+  class_latency : (string * (float * float)) list;  (* class -> p50_s, p99_s *)
+}
+
+let default_channel_counts = [ 1; 2; 4; 8 ]
+
+(* [run ~channels] produces a BENCH_ipl.json-shaped document (the sweep
+   takes the runner as an argument because the workload library sits
+   above this one in the dependency order). *)
+let channel_sweep ?(channel_counts = default_channel_counts) ~run () =
+  let module Json = Ipl_util.Json in
+  let member path json =
+    List.fold_left
+      (fun acc key -> match acc with Some j -> Json.member key j | None -> None)
+      (Some json) path
+  in
+  let flt path json = Option.bind (member path json) Json.to_float in
+  let points =
+    List.map
+      (fun channels ->
+        let json = run ~channels in
+        let elapsed_s =
+          Option.value ~default:0.0 (flt [ "device"; "elapsed_s" ] json)
+        in
+        let logical_digest =
+          match member [ "logical_digest" ] json with
+          | Some (Json.String s) -> s
+          | _ -> ""
+        in
+        let class_latency =
+          List.filter_map
+            (fun cls ->
+              let name = Device.Flash_device.class_name cls in
+              match
+                ( flt [ "device"; "op_class_latency"; name; "p50_s" ] json,
+                  flt [ "device"; "op_class_latency"; name; "p99_s" ] json )
+              with
+              | Some p50, Some p99 -> Some (name, (p50, p99))
+              | _ -> None)
+            Device.Flash_device.all_classes
+        in
+        (channels, elapsed_s, logical_digest, class_latency))
+      channel_counts
+  in
+  let base =
+    match points with (_, e, _, _) :: _ -> e | [] -> invalid_arg "channel_sweep: no counts"
+  in
+  List.map
+    (fun (channels, elapsed_s, logical_digest, class_latency) ->
+      let speedup = if elapsed_s > 0.0 then base /. elapsed_s else 0.0 in
+      { channels; elapsed_s; speedup; logical_digest; class_latency })
+    points

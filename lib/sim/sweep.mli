@@ -28,3 +28,27 @@ val buffer_series :
 (** Figure 7: one trace per buffer-pool size; IPL estimated write time
     against the conventional server's [t_conv] for each alpha (the paper
     uses 0.9 and 0.5). *)
+
+type channel_point = {
+  channels : int;
+  elapsed_s : float;  (** simulated device makespan of the IPL engine run *)
+  speedup : float;  (** makespan of the first point / this point's *)
+  logical_digest : string;
+      (** CRC-32 chain over the run's query results — must be identical
+          at every channel count *)
+  class_latency : (string * (float * float)) list;
+      (** per op class: (p50, p99) submit-to-completion seconds *)
+}
+
+val channel_sweep :
+  ?channel_counts:int list ->
+  run:(channels:int -> Ipl_util.Json.t) ->
+  unit ->
+  channel_point list
+(** Run a benchmark producing a BENCH_ipl.json-shaped document (e.g.
+    {!Workload.Obs_bench} — passed as a function since the workload
+    library sits above this one) at each channel count (default 1, 2, 4,
+    8) and report the simulated makespan, the speedup over the first
+    point and per-op-class latency quantiles — the channel-scaling
+    experiment (EXPERIMENTS E11). The logical digest is carried so
+    callers can assert geometry-independence of the query results. *)

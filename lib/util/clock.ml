@@ -1,0 +1,10 @@
+(* Monotonic wall-clock source for benchmark timing. [Unix.gettimeofday]
+   can step backwards under NTP adjustment; CLOCK_MONOTONIC cannot. The
+   C stub comes from bechamel's monotonic-clock sublibrary, already a
+   benchmark dependency, so no new external package is involved. *)
+
+let now_ns () = Monotonic_clock.now ()
+
+let ns_per_s = 1_000_000_000.0
+
+let now_s () = Int64.to_float (now_ns ()) /. ns_per_s

@@ -1,0 +1,11 @@
+(** Monotonic wall-clock time for benchmark reporting.
+
+    The single process-wide clock helper: every wall-clock measurement
+    (BENCH_ipl.json, bench harness sections) goes through here so the
+    source can never step backwards under NTP adjustment. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds on CLOCK_MONOTONIC (arbitrary epoch — differences only). *)
+
+val now_s : unit -> float
+(** [now_ns] as seconds. *)

@@ -8,6 +8,7 @@
    "where does the time go" discussion. *)
 
 module Chip = Flash_sim.Flash_chip
+module Dev = Device.Flash_device
 module FConfig = Flash_sim.Flash_config
 module FStats = Flash_sim.Flash_stats
 module Engine = Ipl_core.Ipl_engine
@@ -28,22 +29,26 @@ type spec = {
   num_blocks : int;
   spare_blocks : int;
   log_cache_bytes : int;
+  channels : int;
+  ways : int;
 }
 
 let default =
   {
     seed = 42;
     transactions = 400;
-    pages = 12;
+    pages = 96;
     slots_per_page = 8;
     payload = 48;
     abort_fraction = 0.15;
-    reads_per_txn = 8;
-    buffer_pages = 8;
+    reads_per_txn = 24;
+    buffer_pages = 32;
     compact_every = 50;
     num_blocks = 64;
     spare_blocks = 0;
     log_cache_bytes = Config.default.Config.log_cache_bytes;
+    channels = 1;
+    ways = 1;
   }
 
 let quick = { default with transactions = 120 }
@@ -70,12 +75,17 @@ let engine_config spec =
     buffer_pages = spec.buffer_pages;
     spare_blocks = spec.spare_blocks;
     log_cache_bytes = spec.log_cache_bytes;
+    channels = spec.channels;
+    ways = spec.ways;
   }
 
-let timed chip latency f =
-  let t0 = Chip.elapsed chip in
+(* [elapsed] is the simulated clock to charge the operation against —
+   the device makespan for the IPL engine, the chip clock for the serial
+   baselines. *)
+let timed elapsed latency f =
+  let t0 = elapsed () in
   let r = f () in
-  Obs.Metrics.Latency.observe latency (Chip.elapsed chip -. t0);
+  Obs.Metrics.Latency.observe latency (elapsed () -. t0);
   r
 
 (* The same OLTP-ish mix as the fault campaign (55% update / 30% insert /
@@ -85,13 +95,24 @@ let timed chip latency f =
    produces the same event stream. Live slots are tracked so
    updates/deletes mostly hit real records.
 
-   Returns wall-clock seconds per phase ([Unix.gettimeofday], real host
-   time — the one measurement here that is {e not} simulated and so not
-   machine-independent). *)
+   Read results (and the commit/abort tally) are folded into a CRC-32
+   digest: the workload's logical outcome, which must be identical for
+   every device geometry running the same spec.
+
+   Returns wall-clock seconds per phase and the digest. Wall time comes
+   from {!Ipl_util.Clock} (monotonic host time — the one measurement
+   here that is {e not} simulated and so not machine-independent). *)
 let run_workload spec engine tracer metrics =
-  let chip = Engine.chip engine in
+  let dev = Engine.device engine in
+  let elapsed () = Dev.elapsed dev in
   Engine.set_tracer engine (Some tracer);
-  let wall = Unix.gettimeofday in
+  let wall = Ipl_util.Clock.now_s in
+  let digest = ref 0 in
+  let fold_digest b = digest := Ipl_util.Checksum.crc32 ~init:!digest b ~pos:0 ~len:(Bytes.length b) in
+  let note_read = function
+    | Some b -> fold_digest b
+    | None -> fold_digest (Bytes.of_string "\xff")
+  in
   let wall0 = wall () in
   let reads_s = ref 0.0 in
   let lat name = Obs.Metrics.latency metrics ("op." ^ name) in
@@ -119,61 +140,137 @@ let run_workload spec engine tracer metrics =
   Engine.commit engine tx;
   Engine.checkpoint engine;
   let setup_s = wall () -. wall0 in
-  for n = 1 to spec.transactions do
-    let tx = Engine.begin_txn engine in
-    let nops = 1 + Rng.int rng 4 in
-    for _ = 1 to nops do
-      let page = pages.(Rng.int rng (Array.length pages)) in
-      let slot = Rng.int rng (spec.slots_per_page * 2) in
-      let r = Rng.float rng 1.0 in
-      if r < 0.55 then (
-        let len =
-          if Rng.chance rng 0.25 then 1 + Rng.int rng (2 * spec.payload) else spec.payload
+  (* Draw every transaction's parameters up front — in exactly the order
+     the serial loop drew them, so the RNG stream (and hence the logical
+     workload and its digest) is unchanged. Having the whole schedule in
+     hand lets the loop software-pipeline across transactions: txn
+     [n+1]'s write-set prefetch is submitted before txn [n]'s commit, so
+     the commit's durability wait and the next transaction's cold misses
+     overlap on the channels. *)
+  let plans =
+    Array.init spec.transactions (fun _ ->
+        let nops = 1 + Rng.int rng 4 in
+        let ops =
+          List.init nops (fun _ ->
+              let page = pages.(Rng.int rng (Array.length pages)) in
+              let slot = Rng.int rng (spec.slots_per_page * 2) in
+              let r = Rng.float rng 1.0 in
+              if r < 0.55 then
+                let len =
+                  if Rng.chance rng 0.25 then 1 + Rng.int rng (2 * spec.payload)
+                  else spec.payload
+                in
+                `Update (page, slot, bytes_of len)
+              else if r < 0.85 then `Insert (page, bytes_of spec.payload)
+              else `Delete (page, slot))
         in
-        let data = bytes_of len in
-        match timed chip l_update (fun () -> Engine.update engine ~tx ~page ~slot data) with
-        | Ok () -> ()
-        | Error _ -> ())
-      else if r < 0.85 then (
-        let data = bytes_of spec.payload in
-        match timed chip l_insert (fun () -> Engine.insert engine ~tx ~page data) with
-        | Ok slot -> Hashtbl.replace live (page, slot) ()
-        | Error _ -> ())
-      else
-        match timed chip l_delete (fun () -> Engine.delete engine ~tx ~page ~slot) with
-        | Ok () -> Hashtbl.remove live (page, slot)
-        | Error _ -> ()
-    done;
-    if Rng.chance rng spec.abort_fraction then begin
-      Engine.abort engine tx;
-      Obs.Metrics.Counter.incr c_abort
-    end
-    else begin
-      timed chip l_commit (fun () -> Engine.commit engine tx);
-      Obs.Metrics.Counter.incr c_commit
-    end;
-    (* Read phase: point lookups across the whole page set. The small
-       buffer pool forces storage-level fetches, each of which replays
-       the page's erase-unit log — served from the record cache when one
-       is configured. *)
+        let aborting = Rng.chance rng spec.abort_fraction in
+        let reads =
+          List.init spec.reads_per_txn (fun _ ->
+              let page = pages.(Rng.int rng (Array.length pages)) in
+              let slot = Rng.int rng (spec.slots_per_page * 2) in
+              (page, slot))
+        in
+        (ops, aborting, reads))
+  in
+  let write_set ops =
+    List.map (function `Update (p, _, _) | `Insert (p, _) | `Delete (p, _) -> p) ops
+  in
+  let start_ws n =
+    if n < spec.transactions then
+      let ops, _, _ = plans.(n) in
+      Some (Engine.prefetch_start engine (write_set ops))
+    else None
+  in
+  (* In-flight prefetch of the NEXT transaction's write set. *)
+  let next_ws = ref (start_ws 0) in
+  for n = 1 to spec.transactions do
+    let ops, aborting, reads = plans.(n - 1) in
+    let tx = Engine.begin_txn engine in
+    (match !next_ws with
+    | Some tok -> Engine.prefetch_finish engine tok
+    | None -> ());
+    next_ws := None;
+    (* Submit the read phase's fetches now, before the mutations: their
+       flash latency overlaps the whole transaction body and the commit
+       barrier. Pages in this transaction's write set are excluded — a
+       snapshot of a page the transaction is about to modify could go
+       stale if the frame were evicted mid-transaction; those pages are
+       resident by read time anyway. Untouched pages cannot change
+       logical content while the transaction runs (merges preserve it),
+       so the early snapshot equals the serial read. *)
+    let ws = write_set ops in
+    let rd_token =
+      Engine.prefetch_start engine
+        (List.filter (fun p -> not (List.mem p ws)) (List.map fst reads))
+    in
+    List.iter
+      (function
+        | `Update (page, slot, data) -> (
+            match
+              timed elapsed l_update (fun () -> Engine.update engine ~tx ~page ~slot data)
+            with
+            | Ok () -> ()
+            | Error _ -> ())
+        | `Insert (page, data) -> (
+            match timed elapsed l_insert (fun () -> Engine.insert engine ~tx ~page data) with
+            | Ok slot -> Hashtbl.replace live (page, slot) ()
+            | Error _ -> ())
+        | `Delete (page, slot) -> (
+            match timed elapsed l_delete (fun () -> Engine.delete engine ~tx ~page ~slot) with
+            | Ok () -> Hashtbl.remove live (page, slot)
+            | Error _ -> ()))
+      ops;
+    (* On the commit path this transaction's reads and the next
+       transaction's write set are submitted {e before} the commit: its
+       durability barrier promotes the log programs past the queued
+       reads (deadline promotion) and the read latency is absorbed while
+       the host sits at the barrier anyway. A non-resident page has no
+       unflushed records and prefetch snapshots image + log records
+       together, so the captured contents — and the digest — are
+       identical to the serial path. An aborting transaction prefetches
+       after the abort (its rolled-back records must not be baked into
+       frames). *)
+    (if aborting then begin
+       Engine.abort engine tx;
+       Obs.Metrics.Counter.incr c_abort;
+       (* The early token only holds untouched pages, whose captured
+          snapshots are unaffected by the rollback; the rolled-back
+          write-set pages were rebuilt in place by the abort. *)
+       Engine.prefetch_finish engine rd_token;
+       next_ws := start_ws n
+     end
+     else begin
+       next_ws := start_ws n;
+       timed elapsed l_commit (fun () -> Engine.commit engine tx);
+       Obs.Metrics.Counter.incr c_commit;
+       Engine.prefetch_finish engine rd_token
+     end);
     let r0 = wall () in
-    for _ = 1 to spec.reads_per_txn do
-      let page = pages.(Rng.int rng (Array.length pages)) in
-      let slot = Rng.int rng (spec.slots_per_page * 2) in
-      ignore (timed chip l_read (fun () -> Engine.read engine ~page ~slot))
-    done;
+    List.iter
+      (fun (page, slot) ->
+        note_read (timed elapsed l_read (fun () -> Engine.read engine ~page ~slot)))
+      reads;
     reads_s := !reads_s +. (wall () -. r0);
     if spec.compact_every > 0 && n mod spec.compact_every = 0 then
       ignore (Engine.compact engine ~max_merges:1)
   done;
   Engine.checkpoint engine;
+  (* Fold the commit/abort tally into the digest so a geometry that
+     changed transaction outcomes (it must not) cannot go unnoticed. *)
+  fold_digest
+    (Bytes.of_string
+       (Printf.sprintf "commits=%d aborts=%d"
+          (Obs.Metrics.Counter.value c_commit)
+          (Obs.Metrics.Counter.value c_abort)));
   let total_s = wall () -. wall0 in
-  [
-    ("setup", setup_s);
-    ("mutations", total_s -. setup_s -. !reads_s);
-    ("reads", !reads_s);
-    ("workload_total", total_s);
-  ]
+  ( [
+      ("setup", setup_s);
+      ("mutations", total_s -. setup_s -. !reads_s);
+      ("reads", !reads_s);
+      ("workload_total", total_s);
+    ],
+    !digest )
 
 (* The physical page traffic of the IPL run, as a conventional design
    would see it: every log-sector flush (in-page or diverted) is a page
@@ -202,8 +299,8 @@ let replay_conventional spec stream ~create ~format ~write ~read ~num_pages ~sto
   List.iter
     (fun op ->
       match op with
-      | `Write page -> timed chip l_write (fun () -> write store (page mod n))
-      | `Read page -> timed chip l_read (fun () -> read store (page mod n)))
+      | `Write page -> timed (fun () -> Chip.elapsed chip) l_write (fun () -> write store (page mod n))
+      | `Read page -> timed (fun () -> Chip.elapsed chip) l_read (fun () -> read store (page mod n)))
     stream;
   let ops =
     Json.Obj
@@ -277,6 +374,8 @@ let workload_json spec =
       ("num_blocks", Json.Int spec.num_blocks);
       ("spare_blocks", Json.Int spec.spare_blocks);
       ("log_cache_bytes", Json.Int spec.log_cache_bytes);
+      ("channels", Json.Int spec.channels);
+      ("ways", Json.Int spec.ways);
     ]
 
 let ipl_backend engine metrics =
@@ -299,12 +398,16 @@ let ipl_backend engine metrics =
   Json.Obj (("name", Json.String "ipl") :: ("ops", ops) :: layers)
 
 let run ?(spec = default) () =
-  let chip = Chip.create (FConfig.default ~num_blocks:spec.num_blocks ()) in
-  let engine = Engine.create ~config:(engine_config spec) chip in
+  let dev =
+    Dev.create ~queue_depth:(engine_config spec).Config.queue_depth
+      ~channels:spec.channels ~ways:spec.ways
+      (FConfig.default ~num_blocks:spec.num_blocks ())
+  in
+  let engine = Engine.create_device ~config:(engine_config spec) dev in
   let tracer = Obs.Tracer.create ~capacity:(tracer_capacity spec) () in
   let metrics = Obs.Metrics.create () in
-  let phases = run_workload spec engine tracer metrics in
-  let replay0 = Unix.gettimeofday () in
+  let phases, logical_digest = run_workload spec engine tracer metrics in
+  let replay0 = Ipl_util.Clock.now_s () in
   let stream = page_stream tracer in
   let trace_summary =
     Json.Obj
@@ -317,7 +420,7 @@ let run ?(spec = default) () =
   let backends =
     [ ipl_backend engine metrics; lfs_backend spec stream; inplace_backend spec stream ]
   in
-  let replay_s = Unix.gettimeofday () -. replay0 in
+  let replay_s = Ipl_util.Clock.now_s () -. replay0 in
   (* Wall-clock phase timings (host ns — the only machine-dependent
      numbers in the document) next to the cache counters that explain
      them. Everything else in the document is simulated time. *)
@@ -342,6 +445,8 @@ let run ?(spec = default) () =
       [
         ("schema", Json.String schema_version);
         ("workload", workload_json spec);
+        ("logical_digest", Json.String (Printf.sprintf "%08x" logical_digest));
+        ("device", Dev.to_json dev);
         ("trace", trace_summary);
         ("wall_clock", wall_clock);
         ("backends", Json.List backends);

@@ -9,8 +9,13 @@
     identical chip geometry. Latency histograms use the chip's simulated
     clock, so they are machine-independent and reproducible from the
     seed; the [wall_clock] section additionally reports real host time
-    per phase ([Unix.gettimeofday] nanoseconds) together with the
-    log-record cache hit/miss/eviction counters that explain it. *)
+    per phase (monotonic {!Ipl_util.Clock} nanoseconds) together with
+    the log-record cache hit/miss/eviction counters that explain it.
+
+    The workload's logical outcome — every point-read result plus the
+    commit/abort tally — is folded into a CRC-32 [logical_digest]: runs
+    of the same spec on different device geometries (channels/ways) must
+    produce the same digest, and only the simulated timing may differ. *)
 
 type spec = {
   seed : int;
@@ -33,6 +38,11 @@ type spec = {
   log_cache_bytes : int;
       (** DRAM log-record cache budget for the IPL engine (0 disables);
           defaults to {!Ipl_core.Ipl_config.default}'s budget *)
+  channels : int;
+      (** flash channels of the IPL engine's device; 1 (default) is the
+          serial chip. The baseline replays always run on a serial chip —
+          the comparison isolates what parallelism buys the IPL design *)
+  ways : int;  (** chips per channel *)
 }
 
 val default : spec

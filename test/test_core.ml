@@ -12,6 +12,11 @@ module Meta_log = Ipl_core.Meta_log
 module Store = Ipl_core.Ipl_storage
 module Config = Ipl_core.Ipl_config
 
+(* The system logs and the bad-block manager now sit on the device
+   layer; a raw chip is wrapped as a single-channel device (bit-for-bit
+   the old serial behaviour). *)
+let dev_of = Device.Flash_device.of_chip
+
 let b = Bytes.of_string
 
 (* ------------------------------------------------------------------ *)
@@ -178,7 +183,7 @@ let small_chip () = Chip.create (FConfig.default ~num_blocks:16 ())
 
 let test_seq_log_roundtrip () =
   let chip = small_chip () in
-  let log = Seq_log.create chip ~first_block:0 ~num_blocks:2 in
+  let log = Seq_log.create (dev_of chip) ~first_block:0 ~num_blocks:2 in
   List.iter
     (fun s -> match Seq_log.append log (b s) with `Ok -> () | `Full -> Alcotest.fail "full")
     [ "one"; "two"; "three" ];
@@ -190,12 +195,12 @@ let test_seq_log_roundtrip () =
 
 let test_seq_log_recover_position () =
   let chip = small_chip () in
-  let log = Seq_log.create chip ~first_block:0 ~num_blocks:2 in
+  let log = Seq_log.create (dev_of chip) ~first_block:0 ~num_blocks:2 in
   ignore (Seq_log.append log (b "alpha"));
   Seq_log.force log;
   ignore (Seq_log.append log (b "buffered-lost"));
   (* Crash: recover from the chip alone. *)
-  let log' = Seq_log.recover chip ~first_block:0 ~num_blocks:2 in
+  let log' = Seq_log.recover (dev_of chip) ~first_block:0 ~num_blocks:2 in
   Alcotest.(check (list string)) "only forced survives" [ "alpha" ]
     (List.map Bytes.to_string (Seq_log.records log'));
   (* Appending continues in fresh sectors. *)
@@ -206,7 +211,7 @@ let test_seq_log_recover_position () =
 
 let test_seq_log_fills_up () =
   let chip = small_chip () in
-  let log = Seq_log.create chip ~first_block:0 ~num_blocks:1 in
+  let log = Seq_log.create (dev_of chip) ~first_block:0 ~num_blocks:1 in
   (* Each record takes a whole sector when forced individually: 256 sectors. *)
   let rec spam n =
     match Seq_log.append log (Bytes.make 400 'r') with
@@ -228,7 +233,7 @@ let test_seq_log_fills_up () =
 
 let test_trx_log_statuses () =
   let chip = small_chip () in
-  let log = Trx_log.create chip ~first_block:0 ~num_blocks:2 in
+  let log = Trx_log.create (dev_of chip) ~first_block:0 ~num_blocks:2 in
   Trx_log.log_begin log 1;
   Trx_log.log_begin log 2;
   Trx_log.log_commit log 1;
@@ -241,14 +246,14 @@ let test_trx_log_statuses () =
 
 let test_trx_log_recovery_aborts_incomplete () =
   let chip = small_chip () in
-  let log = Trx_log.create chip ~first_block:0 ~num_blocks:2 in
+  let log = Trx_log.create (dev_of chip) ~first_block:0 ~num_blocks:2 in
   Trx_log.log_begin log 1;
   Trx_log.log_commit log 1;
   Trx_log.log_begin log 2;
   Trx_log.log_begin log 3;
   Trx_log.log_abort log 3;
   (* txid 2's begin rode along with txid 3's forced records. Crash now. *)
-  let log', aborted = Trx_log.recover chip ~first_block:0 ~num_blocks:2 in
+  let log', aborted = Trx_log.recover (dev_of chip) ~first_block:0 ~num_blocks:2 in
   Alcotest.(check (list int)) "incomplete aborted" [ 2 ] aborted;
   Alcotest.(check bool) "1 committed" true (Trx_log.status log' 1 = Trx_log.Committed);
   Alcotest.(check bool) "2 aborted" true (Trx_log.status log' 2 = Trx_log.Aborted);
@@ -256,7 +261,7 @@ let test_trx_log_recovery_aborts_incomplete () =
 
 let test_trx_log_compaction () =
   let chip = small_chip () in
-  let log = Trx_log.create chip ~first_block:0 ~num_blocks:1 in
+  let log = Trx_log.create (dev_of chip) ~first_block:0 ~num_blocks:1 in
   (* Burn through far more commit cycles than raw sectors (256): compaction
      must kick in transparently. *)
   for txid = 1 to 2000 do
@@ -268,7 +273,7 @@ let test_trx_log_compaction () =
   Alcotest.(check bool) "late abort" true (Trx_log.status log 2001 = Trx_log.Aborted);
   Alcotest.(check bool) "old commit" true (Trx_log.status log 1500 = Trx_log.Committed);
   (* Aborted ids survive crash + compaction. *)
-  let log', _ = Trx_log.recover chip ~first_block:0 ~num_blocks:1 in
+  let log', _ = Trx_log.recover (dev_of chip) ~first_block:0 ~num_blocks:1 in
   Alcotest.(check bool) "abort durable" true (Trx_log.status log' 2001 = Trx_log.Aborted)
 
 (* ------------------------------------------------------------------ *)
@@ -289,21 +294,21 @@ let test_meta_log_roundtrip () =
     (fun e -> Alcotest.(check bool) "codec" true (Meta_log.decode (Meta_log.encode e) = e))
     events;
   let chip = small_chip () in
-  let log = Meta_log.create chip ~first_block:0 ~num_blocks:2 in
+  let log = Meta_log.create (dev_of chip) ~first_block:0 ~num_blocks:2 in
   List.iter (Meta_log.log log) events;
   Meta_log.force log;
-  let _, recovered = Meta_log.recover chip ~first_block:0 ~num_blocks:2 in
+  let _, recovered = Meta_log.recover (dev_of chip) ~first_block:0 ~num_blocks:2 in
   Alcotest.(check bool) "recovered in order" true (recovered = events)
 
 let test_meta_log_compaction_via_snapshot () =
   let chip = small_chip () in
-  let log = Meta_log.create chip ~first_block:0 ~num_blocks:1 in
+  let log = Meta_log.create (dev_of chip) ~first_block:0 ~num_blocks:1 in
   Meta_log.set_snapshot log (fun () -> [ Meta_log.Page_alloc { page = 0; eu = 1; idx = 0 } ]);
   for i = 0 to 20_000 do
     Meta_log.log log (Meta_log.Merge { old_eu = i; new_eu = i + 1 })
   done;
   Meta_log.force log;
-  let _, recovered = Meta_log.recover chip ~first_block:0 ~num_blocks:1 in
+  let _, recovered = Meta_log.recover (dev_of chip) ~first_block:0 ~num_blocks:1 in
   (* Whatever survives must start with the snapshot. *)
   (match recovered with
   | Meta_log.Page_alloc { page = 0; eu = 1; idx = 0 } :: _ -> ()
@@ -317,9 +322,9 @@ let test_meta_log_compaction_via_snapshot () =
    15 data pages and 16 log sectors per erase unit. *)
 let mk_store ?(config = Config.default) ?(blocks = 32) ?(txn_status = fun _ -> Trx_log.Committed) () =
   let chip = Chip.create (FConfig.default ~num_blocks:blocks ()) in
-  let meta = Meta_log.create chip ~first_block:0 ~num_blocks:2 in
+  let meta = Meta_log.create (dev_of chip) ~first_block:0 ~num_blocks:2 in
   let store =
-    Store.create ~config chip ~first_block:2 ~num_blocks:(blocks - 2) ~txn_status ~meta ()
+    Store.create ~config (dev_of chip) ~first_block:2 ~num_blocks:(blocks - 2) ~txn_status ~meta ()
   in
   (chip, meta, store)
 
@@ -514,9 +519,9 @@ let test_store_recover_after_clean_shutdown () =
   Store.force_meta store;
   ignore meta;
   (* Crash: rebuild everything from the chip. *)
-  let meta', events = Meta_log.recover chip ~first_block:0 ~num_blocks:2 in
+  let meta', events = Meta_log.recover (dev_of chip) ~first_block:0 ~num_blocks:2 in
   let store' =
-    Store.recover chip ~first_block:2 ~num_blocks:30
+    Store.recover (dev_of chip) ~first_block:2 ~num_blocks:30
       ~txn_status:(fun _ -> Trx_log.Committed)
       ~meta:meta' ~meta_events:events ()
   in
@@ -552,9 +557,9 @@ let test_store_recover_after_merges () =
   Store.force_meta store;
   let merges = (Store.stats store).Store.merges in
   Alcotest.(check bool) "merged at least twice" true (merges >= 2);
-  let meta', events = Meta_log.recover chip ~first_block:0 ~num_blocks:2 in
+  let meta', events = Meta_log.recover (dev_of chip) ~first_block:0 ~num_blocks:2 in
   let store' =
-    Store.recover chip ~first_block:2 ~num_blocks:30
+    Store.recover (dev_of chip) ~first_block:2 ~num_blocks:30
       ~txn_status:(fun _ -> Trx_log.Committed)
       ~meta:meta' ~meta_events:events ()
   in
@@ -574,9 +579,9 @@ let test_store_recovery_gc_unreferenced_unit () =
   Chip.write_sectors chip ~sector:(Chip.sector_of_block chip victim) (Bytes.make 512 'g');
   Alcotest.(check bool) "scribbled" true
     (Chip.free_sectors_in_block chip victim < 256);
-  let meta', events = Meta_log.recover chip ~first_block:0 ~num_blocks:2 in
+  let meta', events = Meta_log.recover (dev_of chip) ~first_block:0 ~num_blocks:2 in
   let store' =
-    Store.recover chip ~first_block:2 ~num_blocks:30
+    Store.recover (dev_of chip) ~first_block:2 ~num_blocks:30
       ~txn_status:(fun _ -> Trx_log.Committed)
       ~meta:meta' ~meta_events:events ()
   in
@@ -606,9 +611,9 @@ let test_store_detects_corrupt_log_sector () =
 let test_store_out_of_space () =
   (* Tiny store: reserve leaves very few units. *)
   let chip = Chip.create (FConfig.default ~num_blocks:4 ()) in
-  let meta = Meta_log.create chip ~first_block:0 ~num_blocks:1 in
+  let meta = Meta_log.create (dev_of chip) ~first_block:0 ~num_blocks:1 in
   let store =
-    Store.create chip ~first_block:1 ~num_blocks:3
+    Store.create (dev_of chip) ~first_block:1 ~num_blocks:3
       ~txn_status:(fun _ -> Trx_log.Committed)
       ~meta ()
   in

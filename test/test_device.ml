@@ -1,0 +1,190 @@
+(* Tests for the multi-channel flash device: block striping, single-chip
+   bit-for-bit equivalence, deterministic virtual-time scheduling,
+   op-class priorities with deadline promotion, queue-depth backpressure,
+   barrier vs drain semantics, and 1-channel vs 4-channel logical
+   equivalence of a full engine workload. *)
+
+module Config = Flash_sim.Flash_config
+module Chip = Flash_sim.Flash_chip
+module Dev = Device.Flash_device
+module Json = Ipl_util.Json
+module Bench = Workload.Obs_bench
+
+let cfg ?(num_blocks = 8) () = Config.default ~num_blocks ()
+
+let mk ?queue_depth ?(channels = 4) ?(ways = 1) ?num_blocks () =
+  Dev.create ?queue_depth ~channels ~ways (cfg ?num_blocks ())
+
+let sector_bytes dev n = Bytes.make ((Dev.config dev).Config.sector_size * n) 'x'
+
+(* --- striping ----------------------------------------------------- *)
+
+let test_striping () =
+  let dev = mk () in
+  Alcotest.(check int) "chips" 4 (Dev.num_chips dev);
+  for b = 0 to (Dev.config dev).Config.num_blocks - 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "block %d channel" b)
+      (b mod 4) (Dev.channel_of_block dev b)
+  done;
+  (* Device sector addresses round-trip through block arithmetic. *)
+  let spb = Config.sectors_per_block (Dev.config dev) in
+  Alcotest.(check int) "sector of block 3" (3 * spb) (Dev.sector_of_block dev 3);
+  Alcotest.(check int) "block of sector" 3 (Dev.block_of_sector dev ((3 * spb) + 1))
+
+(* --- single-chip equivalence -------------------------------------- *)
+
+(* The same operation sequence, against a bare chip and against devices
+   in both single-chip modes; state, data, timing and stats must be
+   bit-for-bit identical. *)
+let drive_ops read write erase num_sectors =
+  let acc = Buffer.create 256 in
+  let data i = Bytes.init 512 (fun j -> Char.chr ((i + j) mod 256)) in
+  for i = 0 to 19 do
+    write ((i * 7) mod num_sectors) (data i)
+  done;
+  erase 2;
+  write 5 (data 99);
+  for i = 0 to 19 do
+    Buffer.add_bytes acc (read ((i * 3) mod num_sectors))
+  done;
+  Buffer.contents acc
+
+let test_single_chip_equivalence () =
+  let chip = Chip.create (cfg ()) in
+  let wrapped = Dev.of_chip (Chip.create (cfg ())) in
+  let created = Dev.create ~channels:1 ~ways:1 (cfg ()) in
+  let on_chip =
+    drive_ops
+      (fun s -> Chip.read_sectors chip ~sector:s ~count:1)
+      (fun s d -> Chip.write_sectors chip ~sector:s d)
+      (fun b -> Chip.erase_block chip b)
+      (Chip.num_sectors chip)
+  in
+  let on_dev dev =
+    drive_ops
+      (fun s -> Dev.read_sectors dev ~sector:s ~count:1)
+      (fun s d -> Dev.write_sectors dev ~sector:s d)
+      (fun b -> Dev.erase_block dev b)
+      (Dev.num_sectors dev)
+  in
+  let w = on_dev wrapped and c = on_dev created in
+  Alcotest.(check string) "of_chip data" on_chip w;
+  Alcotest.(check string) "create 1x1 data" on_chip c;
+  Alcotest.(check (float 0.0)) "of_chip clock" (Chip.elapsed chip) (Dev.elapsed wrapped);
+  Alcotest.(check (float 0.0)) "create 1x1 clock" (Chip.elapsed chip) (Dev.elapsed created);
+  Alcotest.(check bool) "of_chip stats" true (Chip.stats chip = Dev.stats wrapped);
+  Alcotest.(check bool) "create 1x1 stats" true (Chip.stats chip = Dev.stats created);
+  for s = 0 to Chip.num_sectors chip - 1 do
+    assert (Chip.sector_state chip s = Dev.sector_state wrapped s);
+    assert (Chip.sector_state chip s = Dev.sector_state created s)
+  done
+
+(* --- determinism --------------------------------------------------- *)
+
+let test_determinism () =
+  let run () =
+    let dev = mk () in
+    let tags = ref [] in
+    for i = 0 to 30 do
+      let sector = Dev.sector_of_block dev (i mod 8) in
+      if Dev.sector_state dev sector = Chip.Free then
+        tags := Dev.submit_write dev ~cls:Dev.Log_flush ~sector (sector_bytes dev 1) :: !tags;
+      ignore (Dev.submit_read dev ~cls:Dev.Foreground ~sector ~count:1)
+    done;
+    List.iter (fun tag -> Dev.await dev tag) !tags;
+    Dev.drain dev;
+    (Dev.elapsed dev, Dev.stats dev, Json.to_string (Dev.to_json dev))
+  in
+  let e1, s1, j1 = run () in
+  let e2, s2, j2 = run () in
+  Alcotest.(check (float 0.0)) "elapsed" e1 e2;
+  Alcotest.(check bool) "stats" true (s1 = s2);
+  Alcotest.(check string) "report" j1 j2
+
+(* --- scheduler: priority + deadline promotion ---------------------- *)
+
+(* Fill one chip with a long erase, queue a second erase behind it, then
+   submit a foreground read on the same chip. The read both outranks the
+   queued erase (class priority) and is promoted when awaited, so the
+   host clock passes the read's completion while the second erase is
+   still outstanding. *)
+let test_priority_overtakes_queued () =
+  let dev = mk () in
+  Dev.write_sectors dev ~sector:0 (sector_bytes dev 1);
+  let t1 = Dev.submit_erase dev ~cls:Dev.Merge_io 0 in
+  let t2 = Dev.submit_erase dev ~cls:Dev.Merge_io 0 in
+  ignore t1;
+  let _data, rt = Dev.submit_read dev ~sector:0 ~count:1 ~cls:Dev.Foreground in
+  Dev.await dev rt;
+  Alcotest.(check int) "second erase still in flight" 1 (Dev.in_flight dev);
+  Dev.await dev t2;
+  Alcotest.(check int) "drained" 0 (Dev.in_flight dev)
+
+(* --- barrier vs drain ---------------------------------------------- *)
+
+let test_barrier_vs_drain () =
+  let dev = mk () in
+  (* A long background erase, a stack of foreground reads, and one
+     durable log-flush program, all on different chips. The durability
+     barrier waits only for the log flush — a short program — so the
+     erase and the deeper read completions are still outstanding after
+     it; drain waits for everything. *)
+  Dev.write_sectors dev ~sector:0 (sector_bytes dev 1);
+  ignore (Dev.submit_erase dev ~cls:Dev.Merge_io 0);
+  let rsector = Dev.sector_of_block dev 2 in
+  for _ = 1 to 10 do
+    ignore (Dev.submit_read dev ~cls:Dev.Foreground ~sector:rsector ~count:1)
+  done;
+  ignore
+    (Dev.submit_write dev ~cls:Dev.Log_flush
+       ~sector:(Dev.sector_of_block dev 1)
+       (sector_bytes dev 1));
+  Dev.barrier dev;
+  Alcotest.(check bool)
+    "erase and reads survive the durability barrier" true (Dev.in_flight dev >= 2);
+  Dev.drain dev;
+  Alcotest.(check int) "drain settles everything" 0 (Dev.in_flight dev)
+
+(* --- queue-depth backpressure -------------------------------------- *)
+
+let test_queue_depth_backpressure () =
+  let dev = mk ~queue_depth:2 () in
+  let sector = 0 in
+  for _ = 1 to 5 do
+    ignore (Dev.submit_read dev ~cls:Dev.Foreground ~sector ~count:1)
+  done;
+  (* A full queue stalls the host to the earliest completion before
+     accepting the next submission, so at most [queue_depth] operations
+     are ever outstanding per chip. *)
+  Alcotest.(check bool) "bounded queue" true (Dev.in_flight dev <= 2);
+  Dev.drain dev
+
+(* --- 1ch vs 4ch logical equivalence -------------------------------- *)
+
+let digest_of json =
+  match Json.member "logical_digest" json with
+  | Some (Json.String s) -> s
+  | _ -> Alcotest.fail "no logical_digest in bench json"
+
+let test_geometry_equivalence () =
+  let spec = { Bench.quick with Bench.transactions = 40 } in
+  let one = Bench.run ~spec () in
+  let four = Bench.run ~spec:{ spec with Bench.channels = 4 } () in
+  Alcotest.(check string) "identical logical results" (digest_of one.Bench.json)
+    (digest_of four.Bench.json)
+
+let () =
+  Alcotest.run "device"
+    [
+      ( "device",
+        [
+          Alcotest.test_case "striping" `Quick test_striping;
+          Alcotest.test_case "single-chip equivalence" `Quick test_single_chip_equivalence;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "priority overtakes queued" `Quick test_priority_overtakes_queued;
+          Alcotest.test_case "barrier vs drain" `Quick test_barrier_vs_drain;
+          Alcotest.test_case "queue-depth backpressure" `Quick test_queue_depth_backpressure;
+          Alcotest.test_case "1ch vs 4ch digest" `Quick test_geometry_equivalence;
+        ] );
+    ]

@@ -9,6 +9,11 @@ module Trx_log = Ipl_core.Trx_log
 module Meta_log = Ipl_core.Meta_log
 module Engine = Ipl_core.Ipl_engine
 module Config = Ipl_core.Ipl_config
+
+(* The system logs and the bad-block manager now sit on the device
+   layer; a raw chip is wrapped as a single-channel device (bit-for-bit
+   the old serial behaviour). *)
+let dev_of = Device.Flash_device.of_chip
 module Plan = Fault.Fault_plan
 module Oracle = Fault.Oracle
 module Workload = Fault.Workload
@@ -47,7 +52,7 @@ let test_plan_seq () =
 
 let test_seq_log_bitflip_tail () =
   let chip = mk_chip () in
-  let log = Seq_log.create chip ~first_block:0 ~num_blocks:1 in
+  let log = Seq_log.create (dev_of chip) ~first_block:0 ~num_blocks:1 in
   ignore (Seq_log.append log (Bytes.of_string "alpha"));
   ignore (Seq_log.append log (Bytes.of_string "beta"));
   Seq_log.force log;
@@ -56,7 +61,7 @@ let test_seq_log_bitflip_tail () =
   (* Rot a bit in the final sector: its records must be discarded, not
      decoded as garbage and not crash recovery. *)
   corrupt chip 1 ~offset:9;
-  let log' = Seq_log.recover chip ~first_block:0 ~num_blocks:1 in
+  let log' = Seq_log.recover (dev_of chip) ~first_block:0 ~num_blocks:1 in
   Alcotest.(check (list string)) "tail discarded"
     [ "alpha"; "beta" ]
     (List.map Bytes.to_string (Seq_log.records log'));
@@ -69,7 +74,7 @@ let test_seq_log_bitflip_tail () =
 
 let test_seq_log_mid_corruption_skipped () =
   let chip = mk_chip () in
-  let log = Seq_log.create chip ~first_block:0 ~num_blocks:1 in
+  let log = Seq_log.create (dev_of chip) ~first_block:0 ~num_blocks:1 in
   List.iter
     (fun s ->
       ignore (Seq_log.append log (Bytes.of_string s));
@@ -82,7 +87,7 @@ let test_seq_log_mid_corruption_skipped () =
 
 let test_seq_log_torn_garbage_sector () =
   let chip = mk_chip () in
-  let log = Seq_log.create chip ~first_block:0 ~num_blocks:1 in
+  let log = Seq_log.create (dev_of chip) ~first_block:0 ~num_blocks:1 in
   ignore (Seq_log.append log (Bytes.of_string "good"));
   Seq_log.force log;
   (* Fabricate a torn append: a sector whose header claims 20 payload
@@ -91,45 +96,45 @@ let test_seq_log_torn_garbage_sector () =
   Bytes.set_uint16_le garbage 0 20;
   Bytes.set_int32_le garbage 2 0l;
   Chip.write_sectors chip ~sector:1 garbage;
-  let log' = Seq_log.recover chip ~first_block:0 ~num_blocks:1 in
+  let log' = Seq_log.recover (dev_of chip) ~first_block:0 ~num_blocks:1 in
   Alcotest.(check (list string)) "torn sector contributes nothing" [ "good" ]
     (List.map Bytes.to_string (Seq_log.records log'))
 
 let test_trx_log_lost_commit_record () =
   let chip = mk_chip () in
-  let trx = Trx_log.create chip ~first_block:0 ~num_blocks:1 in
+  let trx = Trx_log.create (dev_of chip) ~first_block:0 ~num_blocks:1 in
   Trx_log.log_begin trx 1;
   Trx_log.force trx;
   Trx_log.log_commit trx 1;
   (* The commit record's sector rots: the implicit-UNDO contract is that
      the transaction reverts to its pre-crash (un-committed) status. *)
   corrupt chip 1 ~offset:3;
-  let trx', aborted = Trx_log.recover chip ~first_block:0 ~num_blocks:1 in
+  let trx', aborted = Trx_log.recover (dev_of chip) ~first_block:0 ~num_blocks:1 in
   Alcotest.(check (list int)) "closed by abort" [ 1 ] aborted;
   Alcotest.(check bool) "status reverts to aborted" true (Trx_log.status trx' 1 = Trx_log.Aborted)
 
 let test_meta_log_torn_tail () =
   let chip = mk_chip () in
-  let meta = Meta_log.create chip ~first_block:0 ~num_blocks:1 in
+  let meta = Meta_log.create (dev_of chip) ~first_block:0 ~num_blocks:1 in
   Meta_log.log meta (Meta_log.Page_alloc { page = 1; eu = 2; idx = 3 });
   Meta_log.force meta;
   Meta_log.log meta (Meta_log.Merge { old_eu = 2; new_eu = 4 });
   Meta_log.force meta;
   corrupt chip 1 ~offset:2;
-  let _, events = Meta_log.recover chip ~first_block:0 ~num_blocks:1 in
+  let _, events = Meta_log.recover (dev_of chip) ~first_block:0 ~num_blocks:1 in
   Alcotest.(check bool) "only the intact sector's events survive" true
     (events = [ Meta_log.Page_alloc { page = 1; eu = 2; idx = 3 } ])
 
 let test_meta_log_rollback () =
   let chip = mk_chip () in
-  let meta = Meta_log.create chip ~first_block:0 ~num_blocks:1 in
+  let meta = Meta_log.create (dev_of chip) ~first_block:0 ~num_blocks:1 in
   Meta_log.log meta (Meta_log.Page_alloc { page = 1; eu = 2; idx = 0 });
   Meta_log.force meta;
   let mark = Meta_log.mark meta in
   Meta_log.log meta (Meta_log.Merge { old_eu = 2; new_eu = 9 });
   Alcotest.(check bool) "buffered events discarded" true (Meta_log.rollback meta mark);
   Meta_log.force meta;
-  let _, events = Meta_log.recover chip ~first_block:0 ~num_blocks:1 in
+  let _, events = Meta_log.recover (dev_of chip) ~first_block:0 ~num_blocks:1 in
   Alcotest.(check bool) "rolled-back merge never published" true
     (events = [ Meta_log.Page_alloc { page = 1; eu = 2; idx = 0 } ])
 

@@ -77,7 +77,10 @@ let test_flash_call () =
   check_findings "erase outside the storage layers"
     [ ("flash-call", 1) ]
     (walk ~file:"lib/tpcc/fake.ml" "let f chip = Flash_chip.erase_block chip 0\n");
-  check_findings "storage layers may program the chip" []
+  check_findings "the device layer may program the chip" []
+    (walk ~file:"lib/device/fake.ml" "let f chip s = Chip.write_sectors chip ~sector:0 s\n");
+  check_findings "lib/core now goes through the device, not the chip"
+    [ ("flash-call", 1) ]
     (walk ~file:"lib/core/fake.ml" "let f chip s = Chip.write_sectors chip ~sector:0 s\n");
   check_findings "reads are allowed anywhere" []
     (walk ~file:"lib/workload/fake.ml"

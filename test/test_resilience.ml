@@ -9,6 +9,11 @@ module FConfig = Flash_sim.Flash_config
 module Bbm = Resilience.Bbm
 module Engine = Ipl_core.Ipl_engine
 module Config = Ipl_core.Ipl_config
+
+(* The system logs and the bad-block manager now sit on the device
+   layer; a raw chip is wrapped as a single-channel device (bit-for-bit
+   the old serial behaviour). *)
+let dev_of = Device.Flash_device.of_chip
 module Plan = Fault.Fault_plan
 module Campaign = Fault.Campaign
 
@@ -27,7 +32,7 @@ let mk_bbm ?(spares = [ 28; 29; 30; 31 ]) ?read_retries ?scrub_on_correctable ch
     forced := !forced @ List.rev !buf;
     buf := []
   in
-  let bbm = Bbm.create chip ~spares ?read_retries ?scrub_on_correctable ~persist ~force () in
+  let bbm = Bbm.create (dev_of chip) ~spares ?read_retries ?scrub_on_correctable ~persist ~force () in
   (bbm, forced)
 
 let hook chip f = Chip.set_fault_hook chip (Some (fun _ op -> f op))
@@ -235,7 +240,7 @@ let test_recover_replay () =
   let bbm', _ =
     let forced' = ref [] in
     let persist e = forced' := e :: !forced' in
-    ( Bbm.recover chip ~spares:[ 28; 29; 30; 31 ] ~persist ~force:(fun () -> ())
+    ( Bbm.recover (dev_of chip) ~spares:[ 28; 29; 30; 31 ] ~persist ~force:(fun () -> ())
         ~events:!forced (),
       forced' )
   in
@@ -256,7 +261,7 @@ let test_recover_replay () =
   (* The same tables must come out of a snapshot replay (metadata-log
      compaction path). *)
   let bbm'' =
-    Bbm.recover chip ~spares:[ 28; 29; 30; 31 ]
+    Bbm.recover (dev_of chip) ~spares:[ 28; 29; 30; 31 ]
       ~persist:(fun _ -> ())
       ~force:(fun () -> ())
       ~events:(Bbm.snapshot_events bbm) ()
