@@ -551,15 +551,27 @@ let queries_cmd =
     (Cmd.info "queries" ~doc:"Tables 2/3: run Q1-Q6 on the disk and flash-SSD models.")
     Term.(const queries $ const ())
 
-(* ---------------- lint ---------------- *)
+(* ---------------- lint / sema ---------------- *)
 
-let lint roots = exit (Lint.Lint_driver.main roots)
+let lint json_out rules roots = exit (Lint.Lint_driver.main ?json_out ~rules roots)
 
 let lint_roots_t =
   Arg.(
     value & pos_all string []
     & info [] ~docv:"DIR"
         ~doc:"Directories (or files) to lint; defaults to lib, bin and bench.")
+
+let json_out_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"Also write the findings as machine-readable JSON to $(docv) (- for stdout).")
+
+let rules_t =
+  Arg.(
+    value & opt_all string []
+    & info [ "rule" ] ~docv:"ID" ~doc:"Only report findings of rule $(docv) (repeatable).")
 
 let lint_cmd =
   Cmd.v
@@ -568,7 +580,19 @@ let lint_cmd =
          "Static-analysis gate: flash-safety and layering invariants (layering, flash-call, \
           no-silent-swallow, no-ignored-flash-result, no-magic-geometry, banned-construct, \
           mli-coverage). Exits 1 on any error-severity finding.")
-    Term.(const lint $ lint_roots_t)
+    Term.(const lint $ json_out_t $ rules_t $ lint_roots_t)
+
+let sema json_out rules roots = exit (Sema.Sema_driver.main ?json_out ~rules roots)
+
+let sema_cmd =
+  Cmd.v
+    (Cmd.info "sema"
+       ~doc:
+         "Typed dataflow gate over the dune-emitted .cmt files: tag-leak, unchecked-result, \
+          exception-escape and determinism checking (sema-tag-leak, sema-unchecked-result, \
+          sema-exception-escape, sema-determinism). Run after `dune build` so the build \
+          context is populated. Exits 1 on any error-severity finding.")
+    Term.(const sema $ json_out_t $ rules_t $ lint_roots_t)
 
 (* ---------------- main ---------------- *)
 
@@ -588,6 +612,7 @@ let main_cmd =
       chansweep_cmd;
       queries_cmd;
       lint_cmd;
+      sema_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,10 +1,14 @@
 (* Repo static-analysis gate: flash-safety and layering invariants.
 
-     ipl_lint [DIR|FILE]...     (default: lib bin bench)
+     ipl_lint [--json FILE] [--rule ID]... [DIR|FILE]...
+     (default roots: lib bin bench)
 
    Prints findings as "file:line rule-id message" and exits 1 when any
-   error-severity finding remains unsuppressed. *)
+   error-severity finding remains unsuppressed. [--json FILE] mirrors the
+   report as ipl-findings/1 JSON ("-" for stdout); [--rule ID] filters. *)
 
 let () =
-  let roots = List.tl (Array.to_list Sys.argv) in
-  exit (Lint.Lint_driver.main roots)
+  let json_out, rules, roots =
+    Lint.Lint_driver.parse_args (List.tl (Array.to_list Sys.argv))
+  in
+  exit (Lint.Lint_driver.main ?json_out ~rules roots)

@@ -59,7 +59,7 @@ let read_node t pid =
           { is_leaf; next_leaf; entries })
 
 let new_node t ~tx ~is_leaf ~next_leaf =
-  let pid = Engine.allocate_page t.engine in
+  let pid = fail_on_error (Engine.allocate_page_result t.engine) in
   (match Engine.insert t.engine ~tx ~page:pid (encode_meta ~is_leaf ~next_leaf) with
   | Ok 0 -> ()
   | Ok _ -> failwith "Bptree: meta not at slot 0"
@@ -83,7 +83,7 @@ let set_root t ~tx pid =
   fail_on_error (Engine.update t.engine ~tx ~page:t.header ~slot:0 b)
 
 let create engine =
-  let header = Engine.allocate_page engine in
+  let header = fail_on_error (Engine.allocate_page_result engine) in
   let t = { engine; header } in
   let root = new_node t ~tx:0 ~is_leaf:true ~next_leaf:no_leaf in
   let b = Bytes.create 8 in

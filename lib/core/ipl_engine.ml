@@ -24,6 +24,7 @@ type error =
   | Bad_record_length
   | Device_degraded
   | Read_failed
+  | Device_fault
 
 (* The strings reproduce the pre-typed-error API exactly, so callers that
    formatted engine errors keep their output. *)
@@ -36,6 +37,7 @@ let error_to_string = function
   | Bad_record_length -> "bad record length"
   | Device_degraded -> "device degraded: read-only"
   | Read_failed -> "uncorrectable read error"
+  | Device_fault -> "unrecoverable device fault"
 
 let pp_error ppf e = Format.pp_print_string ppf (error_to_string e)
 
@@ -382,7 +384,14 @@ let restore_frame t ~page frame =
     let fresh = Ipl_storage.read_page t.store page in
     Bytes.blit (Page.to_bytes fresh) 0 (Page.to_bytes frame.page) 0
       (Bytes.length (Page.to_bytes fresh));
-    List.iter (fun r -> ignore (Log_record.apply frame.page r)) (Log_sector.records frame.log)
+    List.iter
+      (fun r ->
+        match Log_record.apply frame.page r with
+        | Ok () -> ()
+        | Error msg ->
+            Logs.warn (fun m ->
+                m "restore_frame: replay of buffered record on page %d failed: %s" page msg))
+      (Log_sector.records frame.log)
   with
   | Chip.Power_loss _ | Chip.Read_error _ -> ()
   | exn ->
@@ -401,20 +410,33 @@ let add_record t frame ~page record =
       | `Added -> ()
       | `Full -> assert false (* empty sector accepts any record Log_sector admits *))
 
-(* Resilience guard around the result-returning entry points: once the
-   device is read-only every mutation is refused up front, and the
-   bad-block manager's exceptions (spare pool exhausted mid-operation, a
-   read that failed all its retries) become typed errors instead of
-   escaping to the caller. Without a manager this is a plain call. *)
+(* Fault trap around the result-returning read entry points: every
+   device-contract exception — the bad-block manager's (spare pool
+   exhausted mid-operation, a read that failed all its retries) and the
+   raw chip's (no manager installed) — becomes a typed error instead of
+   escaping to the caller. Power_loss is deliberately NOT caught: crash
+   simulation must unwind the whole stack. *)
+let trap f =
+  try f () with
+  | Resilience.Bbm.Degraded -> Error Device_degraded
+  | Resilience.Bbm.Uncorrectable _ | Chip.Read_error _ -> Error Read_failed
+  | Chip.Program_error _ | Chip.Erase_error _ | Chip.Worn_out _ -> Error Device_fault
+
+(* Resilience guard around the result-returning mutation entry points:
+   once the device is read-only every mutation is refused up front; any
+   fault mid-operation surfaces as the same typed errors as [trap]. The
+   try/with is spelled out (not delegated to [trap]) so the analyzer's
+   per-function catch sets see it directly. *)
 let guard t f =
-  match t.bbm with
-  | None -> f ()
-  | Some d ->
-      if Resilience.Bbm.degraded d then Error Device_degraded
-      else (
-        try f () with
-        | Resilience.Bbm.Degraded -> Error Device_degraded
-        | Resilience.Bbm.Uncorrectable _ -> Error Read_failed)
+  let refused =
+    match t.bbm with Some d -> Resilience.Bbm.degraded d | None -> false
+  in
+  if refused then Error Device_degraded
+  else
+    try f () with
+    | Resilience.Bbm.Degraded -> Error Device_degraded
+    | Resilience.Bbm.Uncorrectable _ | Chip.Read_error _ -> Error Read_failed
+    | Chip.Program_error _ | Chip.Erase_error _ | Chip.Worn_out _ -> Error Device_fault
 
 let mutate t ~tx ~page f =
   guard t (fun () ->
@@ -563,21 +585,15 @@ let read t ~page ~slot = Pool.with_page t.pool page (fun frame -> Page.read fram
    (campaign workloads, servers). The raising [read]/[commit]/
    [allocate_page] stay for legacy callers and tests. Reads never hit the
    degraded gate: a read-only device still serves committed data. *)
-let read_result t ~page ~slot =
-  try Ok (read t ~page ~slot)
-  with Resilience.Bbm.Uncorrectable _ -> Error Read_failed
+let read_result t ~page ~slot = trap (fun () -> Ok (read t ~page ~slot))
 
 let allocate_page_result t = guard t (fun () -> Ok (allocate_page t))
 
-let commit_result t txid =
-  match t.bbm with
-  | None -> Ok (commit t txid)
-  | Some d ->
-      if Resilience.Bbm.degraded d then Error Device_degraded
-      else (
-        try Ok (commit t txid) with
-        | Resilience.Bbm.Degraded -> Error Device_degraded
-        | Resilience.Bbm.Uncorrectable _ -> Error Read_failed)
+let commit_result t txid = guard t (fun () -> Ok (commit t txid))
+
+let begin_txn_result t = guard t (fun () -> Ok (begin_txn t))
+
+let abort_result t txid = guard t (fun () -> Ok (abort t txid))
 
 (* Batched read-ahead: fetch the missing pages of the batch through the
    storage manager's parallel read path and install them as clean
@@ -619,6 +635,14 @@ let prefetch t pids = prefetch_finish t (prefetch_start t pids)
 
 let with_page t page f = Pool.with_page t.pool page (fun frame -> f frame.page)
 
+(* Read-side result variants go through [trap], not [guard]: a read-only
+   (degraded) device still serves committed data. *)
+let prefetch_start_result t pids = trap (fun () -> Ok (prefetch_start t pids))
+
+let prefetch_finish_result t token = trap (fun () -> Ok (prefetch_finish t token))
+
+let with_page_result t page f = trap (fun () -> Ok (with_page t page f))
+
 let page_free_space t page = with_page t page Page.free_space
 
 (* ------------------------------------------------------------------ *)
@@ -640,6 +664,10 @@ let compact t ~max_merges =
      included. *)
   Pool.flush_all t.pool;
   Ipl_storage.merge_fullest t.store ~max_merges
+
+let checkpoint_result t = guard t (fun () -> Ok (checkpoint t))
+
+let compact_result t ~max_merges = guard t (fun () -> Ok (compact t ~max_merges))
 
 let degraded t =
   match t.bbm with Some d -> Resilience.Bbm.degraded d | None -> false

@@ -34,6 +34,10 @@ type error =
       (** the spare pool is exhausted: the device is permanently read-only
           (reads still serve all committed data) *)
   | Read_failed  (** a flash read failed all its bounded retries *)
+  | Device_fault
+      (** an unrecoverable program/erase/wear fault escaped the device
+          layers (no bad-block manager installed, or a fault outside its
+          remit) *)
 
 val error_to_string : error -> string
 (** The exact strings of the pre-typed-error API ("page full",
@@ -147,15 +151,25 @@ val read : t -> page:int -> slot:int -> bytes option
 
 (** {1 Exception-free variants}
 
-    For callers that must survive device failures (fault campaigns,
-    long-running servers): the bad-block manager's exceptions become
-    [Error Device_degraded] / [Error Read_failed] instead of escaping.
-    The raising {!read}/{!commit}/{!allocate_page} remain for legacy
-    callers. *)
+    For callers that must not leak device exceptions (fault campaigns,
+    long-running servers, everything above the engine boundary): the
+    bad-block manager's exceptions become [Error Device_degraded] /
+    [Error Read_failed], and raw chip faults (no manager installed)
+    become [Error Read_failed] / [Error Device_fault], instead of
+    escaping. [Flash_chip.Power_loss] still propagates — crash
+    simulation must unwind the whole stack. The raising variants remain
+    for legacy callers and tests. Read-side variants
+    ({!read_result}/{!prefetch_start_result}/{!prefetch_finish_result}/
+    {!with_page_result}) never refuse on a degraded device: read-only
+    means reads still serve all committed data. *)
 
 val read_result : t -> page:int -> slot:int -> (bytes option, error) result
 val allocate_page_result : t -> (int, error) result
 val commit_result : t -> int -> (unit, error) result
+val begin_txn_result : t -> (int, error) result
+val abort_result : t -> int -> (unit, error) result
+val checkpoint_result : t -> (unit, error) result
+val compact_result : t -> max_merges:int -> (int, error) result
 
 val prefetch : t -> int list -> unit
 (** Batched read-ahead: fetch the batch's missing pages through the
@@ -182,6 +196,10 @@ val prefetch_finish : t -> prefetch_token -> unit
 val with_page : t -> int -> (Storage.Page.t -> 'a) -> 'a
 (** Read-only access to the current version of a page through the buffer
     pool. The callback must not retain or mutate the page. *)
+
+val prefetch_start_result : t -> int list -> (prefetch_token, error) result
+val prefetch_finish_result : t -> prefetch_token -> (unit, error) result
+val with_page_result : t -> int -> (Storage.Page.t -> 'a) -> ('a, error) result
 
 val page_free_space : t -> int -> int
 

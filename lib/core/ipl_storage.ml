@@ -212,7 +212,7 @@ let dev_read ?cls t ~sector ~count =
 let dev_submit_write t ~cls ~sector data =
   match t.bbm with
   | Some d -> Resilience.Bbm.submit_write_sectors d ~cls ~sector data
-  | None -> ignore (Dev.submit_write t.dev ~cls ~sector data)
+  | None -> Dev.publish_write t.dev ~cls ~sector data
 
 let dev_erase ?cls t b =
   match t.bbm with
@@ -222,7 +222,7 @@ let dev_erase ?cls t b =
 let dev_submit_erase t ~cls b =
   match t.bbm with
   | Some d -> Resilience.Bbm.submit_erase_block d ~cls b
-  | None -> ignore (Dev.submit_erase t.dev ~cls b)
+  | None -> Dev.publish_erase t.dev ~cls b
 
 let dev_invalidate t ~sector ~count =
   match t.bbm with

@@ -473,6 +473,12 @@ let submit_erase t ~cls b =
   let (), tag = run_async t ~cls ~write:true ~chip_idx (fun chip -> Chip.erase_block chip lb) in
   tag
 
+(* Fire-and-forget submissions for callers that settle by class barrier
+   (or not at all — scrub relocation), not by individual await. The tag
+   never escapes, so the settling protocol is explicit at the call site. *)
+let publish_write t ~cls ~sector data = ignore (submit_write t ~cls ~sector data : tag)
+let publish_erase t ~cls b = ignore (submit_erase t ~cls b : tag)
+
 let await t tag =
   if not t.single then
     match Hashtbl.find_opt t.tags tag with

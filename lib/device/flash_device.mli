@@ -110,6 +110,15 @@ val submit_read : t -> cls:op_class -> sector:int -> count:int -> bytes * tag
 val submit_write : t -> cls:op_class -> sector:int -> bytes -> tag
 val submit_erase : t -> cls:op_class -> int -> tag
 
+val publish_write : t -> cls:op_class -> sector:int -> bytes -> unit
+(** Fire-and-forget {!submit_write}: the operation is published to its
+    class queue and settled by a later {!barrier}/{!drain} (or, for
+    background relocation, implicitly by the cleaning engine), never by an
+    individual await. Use this instead of dropping a {!submit_write} tag. *)
+
+val publish_erase : t -> cls:op_class -> int -> unit
+(** Fire-and-forget {!submit_erase}; see {!publish_write}. *)
+
 val await : t -> tag -> unit
 (** Advance the host clock past the tag's completion. Idempotent; unknown
     (already-settled) tags are a no-op. *)

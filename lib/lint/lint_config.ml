@@ -105,6 +105,7 @@ let libraries =
   [
     { dir = "lib/util"; wrapper = "Ipl_util"; allowed = [] };
     { dir = "lib/lint"; wrapper = "Lint"; allowed = [] };
+    { dir = "lib/sema"; wrapper = "Sema"; allowed = [ "Lint" ] };
     { dir = "lib/obs"; wrapper = "Obs"; allowed = [ "Ipl_util" ] };
     { dir = "lib/cache"; wrapper = "Cache"; allowed = [ "Ipl_util" ] };
     { dir = "lib/flash"; wrapper = "Flash_sim"; allowed = [ "Ipl_util"; "Obs" ] };
@@ -151,7 +152,17 @@ let libraries =
       dir = "lib/workload";
       wrapper = "Workload";
       allowed =
-        [ "Ipl_util"; "Obs"; "Flash_sim"; "Device"; "Disk_sim"; "Ftl"; "Ipl_core"; "Baseline" ];
+        [
+          "Ipl_util";
+          "Obs";
+          "Flash_sim";
+          "Device";
+          "Disk_sim";
+          "Ftl";
+          "Ipl_core";
+          "Resilience";
+          "Baseline";
+        ];
     };
     {
       dir = "lib/fault";

@@ -17,15 +17,71 @@ let compare a b =
 
 let severity_tag = function Error -> "error" | Warning -> "warning"
 
+let dedup findings =
+  (* Deterministic order (path, line, rule, then message), then one finding
+     per (file, line, rule) so repeated detections cannot wobble CI diffs. *)
+  let sorted =
+    List.sort
+      (fun a b ->
+        match compare a b with 0 -> String.compare a.message b.message | c -> c)
+      findings
+  in
+  let rec uniq = function
+    | a :: b :: rest when compare a b = 0 -> uniq (a :: rest)
+    | a :: rest -> a :: uniq rest
+    | [] -> []
+  in
+  uniq sorted
+
 let pp ppf t =
   Format.fprintf ppf "%s:%d %s %s [%s]" t.file t.line t.rule t.message (severity_tag t.severity)
 
-let print_report ppf findings =
+let print_report ?(tool = "ipl_lint") ppf findings =
   let findings = List.sort compare findings in
   List.iter (fun f -> Format.fprintf ppf "%a@." pp f) findings;
   let errors = List.length (List.filter (fun f -> f.severity = Error) findings) in
   let warnings = List.length findings - errors in
-  if findings = [] then Format.fprintf ppf "ipl_lint: no findings@."
-  else Format.fprintf ppf "ipl_lint: %d error(s), %d warning(s)@." errors warnings
+  if findings = [] then Format.fprintf ppf "%s: no findings@." tool
+  else Format.fprintf ppf "%s: %d error(s), %d warning(s)@." tool errors warnings
 
 let has_errors findings = List.exists (fun f -> f.severity = Error) findings
+
+(* Hand-rolled JSON: the lint library must stay dependency-free (the CI
+   lint job builds it without the full dev switch), so no Ipl_util.Json. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json_string ~tool findings =
+  let findings = dedup findings in
+  let errors = List.length (List.filter (fun f -> f.severity = Error) findings) in
+  let warnings = List.length findings - errors in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"schema\":\"ipl-findings/1\",\"tool\":\"%s\",\"errors\":%d,\"warnings\":%d,\"findings\":["
+       (json_escape tool) errors warnings);
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n  {\"rule\":\"%s\",\"severity\":\"%s\",\"file\":\"%s\",\"line\":%d,\"message\":\"%s\"}"
+           (json_escape f.rule) (severity_tag f.severity) (json_escape f.file)
+           f.line (json_escape f.message)))
+    findings;
+  if findings <> [] then Buffer.add_char buf '\n';
+  Buffer.add_string buf "]}";
+  Buffer.contents buf

@@ -1,4 +1,5 @@
-(** Lint findings and the [file:line rule-id message] reporter. *)
+(** Lint findings and the [file:line rule-id message] reporter, shared by
+    the syntactic linter (ipl_lint) and the typed checker (ipl_sema). *)
 
 type severity = Error | Warning
 
@@ -15,9 +16,19 @@ val make : rule:string -> severity:severity -> file:string -> line:int -> string
 val compare : t -> t -> int
 (** Order by file, then line, then rule id. *)
 
+val dedup : t list -> t list
+(** Deterministic order (path, line, rule, message) with one finding per
+    (file, line, rule) — stable input for CI diffs. *)
+
 val pp : Format.formatter -> t -> unit
 
-val print_report : Format.formatter -> t list -> unit
-(** Sorted findings, one per line, followed by a one-line summary. *)
+val print_report : ?tool:string -> Format.formatter -> t list -> unit
+(** Sorted findings, one per line, followed by a one-line summary tagged
+    with [tool] (default ["ipl_lint"]). *)
 
 val has_errors : t list -> bool
+
+val to_json_string : tool:string -> t list -> string
+(** Machine-readable report: [{"schema":"ipl-findings/1","tool":...,
+    "errors":N,"warnings":N,"findings":[{rule,severity,file,line,message}]}].
+    Deduplicated, sorted, byte-stable for identical inputs. *)

@@ -37,7 +37,7 @@ let fail = function
   | Error e -> failwith ("Heap: " ^ Engine.error_to_string e)
 
 let new_dir_page t =
-  let pid = Engine.allocate_page t.engine in
+  let pid = fail (Engine.allocate_page_result t.engine) in
   (match Engine.insert t.engine ~tx:0 ~page:pid (encode_dir_meta ~next:no_next) with
   | Ok 0 -> ()
   | _ -> failwith "Heap: directory meta not at slot 0");
@@ -104,7 +104,7 @@ let insert t ~tx data =
   match from_fill with
   | Some rid -> Ok rid
   | None -> (
-      let pid = Engine.allocate_page t.engine in
+      let pid = fail (Engine.allocate_page_result t.engine) in
       register_page t pid;
       t.fill <- pid;
       match Engine.insert t.engine ~tx ~page:pid data with

@@ -262,7 +262,7 @@ let submit_write_sectors t ~cls ~sector data =
   let ss = (Dev.config t.dev).FConfig.sector_size in
   let count = max 1 (Bytes.length data / ss) in
   let ps = translate t ~sector ~count in
-  try ignore (Dev.submit_write t.dev ~cls ~sector:ps data)
+  try Dev.publish_write t.dev ~cls ~sector:ps data
   with Chip.Program_error _ -> handle_program_error t ~sector ~ps data
 
 (* The block would not erase (worn out or transient failure turned
@@ -287,7 +287,7 @@ let erase_block ?(cls = Dev.Foreground) t v =
 let submit_erase_block t ~cls v =
   check_writable t;
   let p = phys_block t v in
-  try ignore (Dev.submit_erase t.dev ~cls p)
+  try Dev.publish_erase t.dev ~cls p
   with Chip.Erase_error _ -> handle_erase_error t ~cls v p
 
 let invalidate_sectors t ~sector ~count =

@@ -1,0 +1,27 @@
+(** Rule registry and per-rule allowlists/contracts of the typed checker. *)
+
+type rule = { id : string; severity : Lint.Lint_finding.severity; doc : string }
+
+val rules : rule list
+val find_rule : string -> rule option
+val severity_of : string -> Lint.Lint_finding.severity
+
+val tag_leak_exempt_files : string list
+(** Files allowed to manufacture/drop tags (the device implementation). *)
+
+val submit_fns : string list
+(** Flash_device submission functions whose tag carries a durability
+    obligation (submit_read is exempt by design). *)
+
+val determinism_whitelist_files : string list
+(** The only sanctioned wall-clock sites. *)
+
+val banned_idents : (string * string) list
+(** (some path component, final component) pairs of nondeterministic idents. *)
+
+val contract_exceptions : (string * string list) list
+(** Device-fault exception universe as (module component, constructors). *)
+
+val exn_escape_dirs : string list
+(** Directories whose mli-exported functions must not leak any contract
+    exception. *)

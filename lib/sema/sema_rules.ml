@@ -1,0 +1,190 @@
+(* The three non-dataflow rule families: determinism, unchecked-result and
+   exception-escape. Tag-leak lives in Sema_tagflow. *)
+
+module Summary = Sema_summary
+module SSet = Summary.SSet
+
+let mk rule ~file ~line msg =
+  Lint.Lint_finding.make ~rule ~severity:(Sema_config.severity_of rule) ~file
+    ~line msg
+
+let line_of (e : Typedtree.expression) =
+  e.exp_loc.Location.loc_start.Lexing.pos_lnum
+
+let iter_exprs f (str : Typedtree.structure) =
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          f e;
+          Tast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.structure it str
+
+(* ---- sema-determinism ---- *)
+
+let determinism (u : Sema_cmt.unit_info) =
+  if List.mem u.source Sema_config.determinism_whitelist_files then []
+  else
+    let findings = ref [] in
+    let add line msg = findings := mk "sema-determinism" ~file:u.source ~line msg :: !findings in
+    iter_exprs
+      (fun e ->
+        match e.exp_desc with
+        | Typedtree.Texp_ident (p, _, _) ->
+            let comps = Sema_path.canon u.env p in
+            if Sema_path.banned_determinism comps then
+              add (line_of e)
+                (Printf.sprintf
+                   "nondeterministic '%s' breaks the simulated clock and the \
+                    crash-point oracle; use Ipl_util.Clock or a seeded source"
+                   (Sema_path.key comps))
+        | Typedtree.Texp_apply (fn, args) -> (
+            match fn.exp_desc with
+            | Typedtree.Texp_ident (p, _, _)
+              when Sema_path.last (Sema_path.canon u.env p) = "create"
+                   && Sema_path.has "Hashtbl" (Sema_path.canon u.env p) ->
+                if
+                  List.exists
+                    (fun (lbl, arg) ->
+                      (* An omitted optional shows up as (Optional, None) or
+                         as an auto-generated None constructor — only an
+                         explicitly passed ~random counts. *)
+                      match (lbl, arg) with
+                      | Asttypes.Labelled "random", Some _ -> true
+                      | Asttypes.Optional "random", Some (a : Typedtree.expression)
+                        -> (
+                          match a.exp_desc with
+                          | Typedtree.Texp_construct (_, cd, _) ->
+                              cd.Types.cstr_name <> "None"
+                          | _ -> true)
+                      | _ -> false)
+                    args
+                then
+                  add (line_of e)
+                    "randomized Hashtbl iteration order is nondeterministic; \
+                     drop ~random"
+            | _ -> ())
+        | _ -> ())
+      u.structure;
+    List.rev !findings
+
+(* ---- sema-unchecked-result ---- *)
+
+let unchecked_result (u : Sema_cmt.unit_info) =
+  let findings = ref [] in
+  let add line msg =
+    findings := mk "sema-unchecked-result" ~file:u.source ~line msg :: !findings
+  in
+  let env = u.env in
+  let check_binding (vb : Typedtree.value_binding) =
+    match vb.vb_pat.pat_desc with
+    | Typedtree.Tpat_any when Sema_path.is_result_type env vb.vb_expr.exp_type
+      ->
+        add
+          (vb.vb_loc.Location.loc_start.Lexing.pos_lnum)
+          "result value dropped with 'let _'; match it or propagate it"
+    | _ -> ()
+  in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.Typedtree.exp_desc with
+          | Typedtree.Texp_let (_, vbs, _) -> List.iter check_binding vbs
+          | Typedtree.Texp_apply (fn, args) -> (
+              match fn.Typedtree.exp_desc with
+              | Typedtree.Texp_ident (p, _, _)
+                when Sema_path.is_ignore (Sema_path.canon env p) ->
+                  List.iter
+                    (fun (_, a) ->
+                      match a with
+                      | Some (arg : Typedtree.expression)
+                        when Sema_path.is_result_type env arg.exp_type ->
+                          add (line_of arg)
+                            "result value swallowed by ignore; match it or \
+                             propagate it"
+                      | _ -> ())
+                    args
+              | _ -> ())
+          | _ -> ());
+          Tast_iterator.default_iterator.expr it e);
+      structure_item =
+        (fun it item ->
+          (match item.Typedtree.str_desc with
+          | Typedtree.Tstr_value (_, vbs) -> List.iter check_binding vbs
+          | _ -> ());
+          Tast_iterator.default_iterator.structure_item it item);
+    }
+  in
+  it.structure it u.structure;
+  List.rev !findings
+
+(* ---- sema-exception-escape ---- *)
+
+(* Public surface of a unit: the val names of its .mli, parsed from source
+   (same toolchain), or every toplevel binding when there is no .mli. *)
+let mli_publics ~source_root source =
+  let mli = Filename.concat source_root (Filename.remove_extension source ^ ".mli") in
+  if not (Sys.file_exists mli) then None
+  else
+    try
+      let text = Lint.Lint_source.read_file mli in
+      let lexbuf = Lexing.from_string text in
+      Location.init lexbuf mli;
+      let sg = Parse.interface lexbuf in
+      let names =
+        List.filter_map
+          (fun (item : Parsetree.signature_item) ->
+            match item.psig_desc with
+            | Parsetree.Psig_value vd -> Some vd.pval_name.txt
+            | _ -> None)
+          sg
+      in
+      Some names
+    with Sys_error _ | Syntaxerr.Error _ | Lexer.Error _ -> None
+
+let exception_escape ~source_root (table : Summary.table) =
+  let publics : (string, string list option) Hashtbl.t = Hashtbl.create 16 in
+  let publics_of source =
+    match Hashtbl.find_opt publics source with
+    | Some v -> v
+    | None ->
+        let v = mli_publics ~source_root source in
+        Hashtbl.add publics source v;
+        v
+  in
+  let is_public (s : Summary.t) =
+    match publics_of s.file with
+    | Some names -> s.toplevel && List.mem s.public_name names
+    | None -> true
+  in
+  let keys =
+    List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) table [])
+  in
+  List.filter_map
+    (fun k ->
+      let s = Hashtbl.find table k in
+      if SSet.is_empty s.raises || not (is_public s) then None
+      else
+        let exns = String.concat ", " (SSet.elements s.raises) in
+        if List.mem s.dir Sema_config.exn_escape_dirs then
+          Some
+            (mk "sema-exception-escape" ~file:s.file ~line:s.line
+               (Printf.sprintf
+                  "public '%s' can leak device exception(s) %s across the \
+                   engine boundary; handle them or use the *_result engine \
+                   API"
+                  s.public_name exns))
+        else if s.returns_engine_result then
+          Some
+            (mk "sema-exception-escape" ~file:s.file ~line:s.line
+               (Printf.sprintf
+                  "'%s' returns a typed-error result but can still raise %s; \
+                   faults must surface as Error"
+                  s.public_name exns))
+        else None)
+    keys

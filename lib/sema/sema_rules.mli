@@ -1,0 +1,13 @@
+(** The non-dataflow rule families. Tag-leak lives in {!Sema_tagflow}. *)
+
+val determinism : Sema_cmt.unit_info -> Lint.Lint_finding.t list
+(** No wall clock, self-seeding randomness, or randomized hashing outside
+    the sanctioned sites. *)
+
+val unchecked_result : Sema_cmt.unit_info -> Lint.Lint_finding.t list
+(** Result-typed values must not be dropped through [ignore] or [let _]. *)
+
+val exception_escape :
+  source_root:string -> Sema_summary.table -> Lint.Lint_finding.t list
+(** Public functions of the contract directories must not leak contract
+    exceptions, and result-typed engine APIs must never raise them. *)

@@ -1,0 +1,404 @@
+(* Cross-module function summaries and their fixpoint.
+
+   Every top-level (possibly nested-module) function binding gets a summary:
+   which contract exceptions its body can raise, which it catches (so a
+   higher-order caller like Ipl_engine.guard subtracts them from thunk
+   arguments), whether it transitively awaits a tag or issues a
+   barrier/drain, and whether it returns a Flash_device.tag. The raises and
+   settles facts are computed to a fixpoint over the whole loaded program,
+   so `let t = Helper.submit_and_return () in ...` and `guard t (fun () ->
+   ...)` are both seen through. All sets are over the finite contract
+   universe, which keeps the lattice trivially finite. *)
+
+module SSet = Set.Make (String)
+
+type t = {
+  key : string;
+  file : string;
+  dir : string;
+  line : int;
+  public_name : string;
+  toplevel : bool;  (* directly under the unit (not in a nested module) *)
+  env : Sema_path.env;
+  body : Typedtree.expression;  (* the whole bound function expression *)
+  catches : SSet.t;
+  catch_all : bool;
+  returns_tag : bool;
+  returns_engine_result : bool;
+  mutable raises : SSet.t;
+  mutable settles : bool;  (* transitively awaits some tag *)
+  mutable barriers : bool;  (* transitively calls barrier/drain *)
+}
+
+type table = (string, t) Hashtbl.t
+
+(* ---- generic traversal helpers ---- *)
+
+(* Visit every direct child expression of [e] with [f] (and descend into
+   non-expression substructures), using the default iterator with every
+   expression hook redirected to [f]. *)
+let iter_children f e =
+  let it =
+    { Tast_iterator.default_iterator with expr = (fun _ sub -> f sub) }
+  in
+  Tast_iterator.default_iterator.expr it e
+
+let iter_all f e =
+  let rec go e =
+    f e;
+    iter_children go e
+  in
+  go e
+
+(* ---- handled exception sets of try/match handlers ---- *)
+
+type handled = All | Some_of of SSet.t
+
+let handled_union a b =
+  match (a, b) with
+  | All, _ | _, All -> All
+  | Some_of x, Some_of y -> Some_of (SSet.union x y)
+
+let exn_of_constructor env (cd : Types.constructor_description) =
+  match cd.Types.cstr_tag with
+  | Types.Cstr_extension (p, _) -> Sema_path.exn_key (Sema_path.canon env p)
+  | _ -> None
+
+let rec handled_of_pat env (p : Typedtree.pattern) =
+  match p.pat_desc with
+  | Typedtree.Tpat_any | Typedtree.Tpat_var _ -> All
+  | Typedtree.Tpat_alias (q, _, _) -> handled_of_pat env q
+  | Typedtree.Tpat_or (a, b, _) ->
+      handled_union (handled_of_pat env a) (handled_of_pat env b)
+  | Typedtree.Tpat_construct (_, cd, _, _) -> (
+      match exn_of_constructor env cd with
+      | Some k -> Some_of (SSet.singleton k)
+      | None -> Some_of SSet.empty)
+  | _ -> Some_of SSet.empty
+
+(* A catch-all handler that re-raises the caught exception is transparent:
+   `try body with e -> cleanup; raise e` subtracts nothing. *)
+let reraises id rhs =
+  let found = ref false in
+  iter_all
+    (fun e ->
+      match e.Typedtree.exp_desc with
+      | Typedtree.Texp_apply (fn, args) -> (
+          match fn.Typedtree.exp_desc with
+          | Typedtree.Texp_ident (p, _, _) ->
+              let name =
+                match p with
+                | Path.Pident i -> Ident.name i
+                | Path.Pdot (_, s) -> s
+                | _ -> ""
+              in
+              if name = "raise" || name = "raise_notrace" then
+                List.iter
+                  (fun (_, a) ->
+                    match a with
+                    | Some
+                        {
+                          Typedtree.exp_desc =
+                            Typedtree.Texp_ident (Path.Pident i, _, _);
+                          _;
+                        }
+                      when Ident.same i id ->
+                        found := true
+                    | _ -> ())
+                  args
+          | _ -> ())
+      | _ -> ())
+    rhs;
+  !found
+
+let rec transparent_pat id_matches (p : Typedtree.pattern) =
+  match p.pat_desc with
+  | Typedtree.Tpat_var (id, _) -> id_matches id
+  | Typedtree.Tpat_alias (q, id, _) -> id_matches id || transparent_pat id_matches q
+  | _ -> false
+
+let handled_of_value_case env (c : Typedtree.value Typedtree.case) =
+  let h = handled_of_pat env c.c_lhs in
+  match h with
+  | All when transparent_pat (fun id -> reraises id c.c_rhs) c.c_lhs ->
+      Some_of SSet.empty
+  | h -> h
+
+let handled_of_value_cases env cases =
+  List.fold_left
+    (fun acc c -> handled_union acc (handled_of_value_case env c))
+    (Some_of SSet.empty) cases
+
+let handled_of_computation_cases env cases =
+  List.fold_left
+    (fun acc (c : Typedtree.computation Typedtree.case) ->
+      match Typedtree.split_pattern c.c_lhs with
+      | _, Some exn_pat ->
+          let h = handled_of_pat env exn_pat in
+          let h =
+            match h with
+            | All when transparent_pat (fun id -> reraises id c.c_rhs) exn_pat ->
+                Some_of SSet.empty
+            | h -> h
+          in
+          handled_union acc h
+      | _, None -> acc)
+    (Some_of SSet.empty) cases
+
+let subtract raises = function
+  | All -> SSet.empty
+  | Some_of handled -> SSet.diff raises handled
+
+(* ---- catches of a function body (what its try/with can absorb) ---- *)
+
+let catches_of_body env body =
+  let set = ref SSet.empty in
+  let all = ref false in
+  let note = function
+    | All -> all := true
+    | Some_of s -> set := SSet.union s !set
+  in
+  iter_all
+    (fun e ->
+      match e.Typedtree.exp_desc with
+      | Typedtree.Texp_try (_, cases) -> note (handled_of_value_cases env cases)
+      | Typedtree.Texp_match (_, cases, _) ->
+          note (handled_of_computation_cases env cases)
+      | _ -> ())
+    body;
+  (!set, !all)
+
+(* ---- raises inference ---- *)
+
+let lookup table env p =
+  Hashtbl.find_opt table (Sema_path.key (Sema_path.canon env p))
+
+let raises_of_body table env body =
+  let rec go e =
+    match e.Typedtree.exp_desc with
+    | Typedtree.Texp_try (b, cases) ->
+        let rb = go b in
+        let handled = handled_of_value_cases env cases in
+        List.fold_left
+          (fun acc (c : Typedtree.value Typedtree.case) ->
+            let acc =
+              match c.c_guard with
+              | Some g -> SSet.union acc (go g)
+              | None -> acc
+            in
+            SSet.union acc (go c.c_rhs))
+          (subtract rb handled) cases
+    | Typedtree.Texp_match (scrut, cases, _) ->
+        let rs = go scrut in
+        let handled = handled_of_computation_cases env cases in
+        List.fold_left
+          (fun acc (c : Typedtree.computation Typedtree.case) ->
+            let acc =
+              match c.c_guard with
+              | Some g -> SSet.union acc (go g)
+              | None -> acc
+            in
+            SSet.union acc (go c.c_rhs))
+          (subtract rs handled) cases
+    | Typedtree.Texp_function { cases; _ } ->
+        (* A lambda not consumed by a known catcher: assume it runs. *)
+        List.fold_left (fun acc c -> SSet.union acc (go c.Typedtree.c_rhs)) SSet.empty cases
+    | Typedtree.Texp_apply (fn, args) -> go_apply fn args
+    | _ ->
+        let acc = ref SSet.empty in
+        iter_children (fun sub -> acc := SSet.union !acc (go sub)) e;
+        !acc
+  and go_apply fn args =
+    let arg_exprs = List.filter_map snd args in
+    (* Re-associate [f @@ x] / [x |> f] so the real callee is analyzed —
+       [guard t @@ fun () -> ...] must filter the thunk through guard's
+       catches, not treat it as an argument of Stdlib.( @@ ). A partial
+       application on the left ([guard t]) is flattened into one call. *)
+    let reassoc callee extra =
+      match callee.Typedtree.exp_desc with
+      | Typedtree.Texp_apply (g, gargs) -> go_apply g (gargs @ extra)
+      | _ -> go_apply callee extra
+    in
+    match fn.Typedtree.exp_desc with
+    | Typedtree.Texp_apply (g, gargs) ->
+        (* Curried chain — [(guard t) @@ lambda] typechecks to a nested
+           apply. Flatten so the head callee sees every argument. *)
+        go_apply g (gargs @ args)
+    | Typedtree.Texp_ident (op, _, _)
+      when Sema_path.is_apply_op (Sema_path.canon env op) -> (
+        match args with
+        | [ (_, Some f); ((_, Some _) as x) ] -> reassoc f [ x ]
+        | _ -> List.fold_left (fun acc a -> SSet.union acc (go a)) SSet.empty arg_exprs)
+    | Typedtree.Texp_ident (op, _, _)
+      when Sema_path.is_pipe_op (Sema_path.canon env op) -> (
+        match args with
+        | [ ((_, Some _) as x); (_, Some f) ] -> reassoc f [ x ]
+        | _ -> List.fold_left (fun acc a -> SSet.union acc (go a)) SSet.empty arg_exprs)
+    | Typedtree.Texp_ident (p, _, _) ->
+        let comps = Sema_path.canon env p in
+        if Sema_path.is_raise comps then
+          List.fold_left
+            (fun acc (a : Typedtree.expression) ->
+              match a.exp_desc with
+              | Typedtree.Texp_construct (_, cd, cargs) ->
+                  let acc =
+                    List.fold_left (fun acc c -> SSet.union acc (go c)) acc cargs
+                  in
+                  (match exn_of_constructor env cd with
+                  | Some k -> SSet.add k acc
+                  | None -> acc)
+              | _ -> SSet.union acc (go a))
+            SSet.empty arg_exprs
+        else
+          let callee = Hashtbl.find_opt table (Sema_path.key comps) in
+          let base =
+            match callee with Some s -> s.raises | None -> SSet.empty
+          in
+          let catches, catch_all =
+            match callee with
+            | Some s -> (s.catches, s.catch_all)
+            | None -> (SSet.empty, false)
+          in
+          let filter_thunk r =
+            if catch_all then SSet.empty else SSet.diff r catches
+          in
+          List.fold_left
+            (fun acc (a : Typedtree.expression) ->
+              match a.exp_desc with
+              | Typedtree.Texp_function { cases; _ } ->
+                  let rl =
+                    List.fold_left
+                      (fun acc c -> SSet.union acc (go c.Typedtree.c_rhs))
+                      SSet.empty cases
+                  in
+                  SSet.union acc (filter_thunk rl)
+              | Typedtree.Texp_ident (ap, _, _) -> (
+                  match lookup table env ap with
+                  | Some fs -> SSet.union acc (filter_thunk fs.raises)
+                  | None -> acc)
+              | _ -> SSet.union acc (go a))
+            base arg_exprs
+    | _ ->
+        List.fold_left
+          (fun acc a -> SSet.union acc (go a))
+          (go fn) arg_exprs
+  in
+  go body
+
+(* ---- settles / barriers inference ---- *)
+
+let flags_of_body table env body =
+  let settles = ref false in
+  let barriers = ref false in
+  iter_all
+    (fun e ->
+      match e.Typedtree.exp_desc with
+      | Typedtree.Texp_apply (fn, _) -> (
+          match fn.Typedtree.exp_desc with
+          | Typedtree.Texp_ident (p, _, _) -> (
+              let comps = Sema_path.canon env p in
+              if Sema_path.is_await comps then settles := true;
+              if Sema_path.is_barrier comps then barriers := true;
+              match Hashtbl.find_opt table (Sema_path.key comps) with
+              | Some s ->
+                  if s.settles then settles := true;
+                  if s.barriers then barriers := true
+              | None -> ())
+          | _ -> ())
+      | _ -> ())
+    body;
+  (!settles, !barriers)
+
+(* ---- collection ---- *)
+
+let rec return_type ty =
+  match Types.get_desc ty with
+  | Types.Tarrow (_, _, ret, _) -> return_type ret
+  | Types.Tpoly (ty, _) -> return_type ty
+  | _ -> ty
+
+let rec collect_structure table env ~file ~dir ~prefix ~toplevel
+    (str : Typedtree.structure) =
+  List.iter
+    (fun (item : Typedtree.structure_item) ->
+      match item.str_desc with
+      | Typedtree.Tstr_value (_, vbs) ->
+          List.iter
+            (fun (vb : Typedtree.value_binding) ->
+              match vb.vb_pat.pat_desc with
+              | Typedtree.Tpat_var (_, name) -> (
+                  match vb.vb_expr.exp_desc with
+                  | Typedtree.Texp_function _ ->
+                      let key = Sema_path.key (prefix @ [ name.txt ]) in
+                      let catches, catch_all =
+                        catches_of_body env vb.vb_expr
+                      in
+                      let ret = return_type vb.vb_expr.exp_type in
+                      let s =
+                        {
+                          key;
+                          file;
+                          dir;
+                          line = vb.vb_loc.Location.loc_start.Lexing.pos_lnum;
+                          public_name = name.txt;
+                          toplevel;
+                          env;
+                          body = vb.vb_expr;
+                          catches;
+                          catch_all;
+                          returns_tag = Sema_path.is_tag_type env ret;
+                          returns_engine_result =
+                            Sema_path.is_engine_result_type env
+                              vb.vb_expr.exp_type
+                            || Sema_path.is_engine_result_type env ret;
+                          raises = SSet.empty;
+                          settles = false;
+                          barriers = false;
+                        }
+                      in
+                      Hashtbl.replace table key s
+                  | _ -> ())
+              | _ -> ())
+            vbs
+      | Typedtree.Tstr_module mb -> (
+          match (mb.mb_name.txt, mb.mb_expr.mod_desc) with
+          | Some name, Typedtree.Tmod_structure sub ->
+              collect_structure table env ~file ~dir ~prefix:(prefix @ [ name ])
+                ~toplevel:false sub
+          | _ -> ())
+      | _ -> ())
+    str.str_items
+
+let build (units : Sema_cmt.unit_info list) : table =
+  let table = Hashtbl.create 256 in
+  List.iter
+    (fun (u : Sema_cmt.unit_info) ->
+      collect_structure table u.env ~file:u.source ~dir:u.dir
+        ~prefix:u.unit_prefix ~toplevel:true u.structure)
+    units;
+  let keys = List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) table []) in
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < 50 do
+    changed := false;
+    incr rounds;
+    List.iter
+      (fun k ->
+        let s = Hashtbl.find table k in
+        let r = raises_of_body table s.env s.body in
+        if not (SSet.subset r s.raises) then begin
+          s.raises <- SSet.union s.raises r;
+          changed := true
+        end;
+        let settles, barriers = flags_of_body table s.env s.body in
+        if settles && not s.settles then begin
+          s.settles <- true;
+          changed := true
+        end;
+        if barriers && not s.barriers then begin
+          s.barriers <- true;
+          changed := true
+        end)
+      keys
+  done;
+  table

@@ -19,9 +19,13 @@ let create engine =
 let engine t = t.engine
 let table t name = Hashtbl.find t.tables name
 
-let begin_txn t = Engine.begin_txn t.engine
-let commit t tx = Engine.commit t.engine tx
-let abort t tx = Engine.abort t.engine tx
+let ok = function
+  | Ok v -> v
+  | Error e -> failwith ("Tpcc_engine_store: " ^ Engine.error_to_string e)
+
+let begin_txn t = ok (Engine.begin_txn_result t.engine)
+let commit t tx = ok (Engine.commit_result t.engine tx)
+let abort t tx = ok (Engine.abort_result t.engine tx)
 
 let customer_name_entry row =
   match Tpcc_schema.last_name_number (Record.get_string row 5) with
@@ -61,7 +65,10 @@ let delete t ~tx tbl ~key =
      match lookup t tbl ~key with
      | Some row -> (
          match customer_name_entry row with
-         | Some (nk, _) -> ignore (B.delete t.name_index ~tx ~key:nk)
+         | Some (nk, _) -> (
+             match B.delete t.name_index ~tx ~key:nk with
+             | Ok () -> ()
+             | Error _ -> () (* no index entry: nothing to unlink *))
          | None -> ())
      | None -> ());
   match Table.delete (table t tbl) ~tx ~key with

@@ -88,6 +88,23 @@ let timed elapsed latency f =
   Obs.Metrics.Latency.observe latency (elapsed () -. t0);
   r
 
+(* The benchmark drives the engine through its typed-error surface; any
+   engine error here means the fixture is broken (the spec never wears
+   the device out), so escalate as a plain failure. *)
+let ok = function
+  | Ok v -> v
+  | Error e -> failwith ("Obs_bench: engine error: " ^ Engine.error_to_string e)
+
+(* The replay backends (and engine construction) drive chips directly; a
+   device fault there aborts the benchmark as a plain failure instead of
+   leaking a device exception to the caller. *)
+let fatal f =
+  try f () with
+  | ( Chip.Read_error _ | Chip.Program_error _ | Chip.Erase_error _
+    | Chip.Worn_out _ | Resilience.Bbm.Degraded | Resilience.Bbm.Uncorrectable _
+      ) as e ->
+      failwith ("Obs_bench: device fault: " ^ Printexc.to_string e)
+
 (* The same OLTP-ish mix as the fault campaign (55% update / 30% insert /
    15% delete in 1-4-op transactions, a slice of them aborted), plus a
    read phase after every transaction — the read-heavy traffic the
@@ -125,10 +142,10 @@ let run_workload spec engine tracer metrics =
   and c_commit = Obs.Metrics.counter metrics "txn.commits" in
   let rng = Rng.of_int spec.seed in
   let bytes_of len = Bytes.of_string (Rng.alpha_string rng ~min:len ~max:len) in
-  let pages = Array.init spec.pages (fun _ -> Engine.allocate_page engine) in
+  let pages = Array.init spec.pages (fun _ -> ok (Engine.allocate_page_result engine)) in
   let live = Hashtbl.create (spec.pages * spec.slots_per_page) in
   (* Seed every page with an initial set of records. *)
-  let tx = Engine.begin_txn engine in
+  let tx = ok (Engine.begin_txn_result engine) in
   Array.iter
     (fun p ->
       for _ = 1 to spec.slots_per_page do
@@ -137,8 +154,8 @@ let run_workload spec engine tracer metrics =
         | Error e -> failwith ("Obs_bench: setup insert: " ^ Engine.error_to_string e)
       done)
     pages;
-  Engine.commit engine tx;
-  Engine.checkpoint engine;
+  ok (Engine.commit_result engine tx);
+  ok (Engine.checkpoint_result engine);
   let setup_s = wall () -. wall0 in
   (* Draw every transaction's parameters up front — in exactly the order
      the serial loop drew them, so the RNG stream (and hence the logical
@@ -179,16 +196,16 @@ let run_workload spec engine tracer metrics =
   let start_ws n =
     if n < spec.transactions then
       let ops, _, _ = plans.(n) in
-      Some (Engine.prefetch_start engine (write_set ops))
+      Some (ok (Engine.prefetch_start_result engine (write_set ops)))
     else None
   in
   (* In-flight prefetch of the NEXT transaction's write set. *)
   let next_ws = ref (start_ws 0) in
   for n = 1 to spec.transactions do
     let ops, aborting, reads = plans.(n - 1) in
-    let tx = Engine.begin_txn engine in
+    let tx = ok (Engine.begin_txn_result engine) in
     (match !next_ws with
-    | Some tok -> Engine.prefetch_finish engine tok
+    | Some tok -> ok (Engine.prefetch_finish_result engine tok)
     | None -> ());
     next_ws := None;
     (* Submit the read phase's fetches now, before the mutations: their
@@ -201,8 +218,9 @@ let run_workload spec engine tracer metrics =
        so the early snapshot equals the serial read. *)
     let ws = write_set ops in
     let rd_token =
-      Engine.prefetch_start engine
-        (List.filter (fun p -> not (List.mem p ws)) (List.map fst reads))
+      ok
+        (Engine.prefetch_start_result engine
+           (List.filter (fun p -> not (List.mem p ws)) (List.map fst reads)))
     in
     List.iter
       (function
@@ -232,30 +250,30 @@ let run_workload spec engine tracer metrics =
        after the abort (its rolled-back records must not be baked into
        frames). *)
     (if aborting then begin
-       Engine.abort engine tx;
+       ok (Engine.abort_result engine tx);
        Obs.Metrics.Counter.incr c_abort;
        (* The early token only holds untouched pages, whose captured
           snapshots are unaffected by the rollback; the rolled-back
           write-set pages were rebuilt in place by the abort. *)
-       Engine.prefetch_finish engine rd_token;
+       ok (Engine.prefetch_finish_result engine rd_token);
        next_ws := start_ws n
      end
      else begin
        next_ws := start_ws n;
-       timed elapsed l_commit (fun () -> Engine.commit engine tx);
+       timed elapsed l_commit (fun () -> ok (Engine.commit_result engine tx));
        Obs.Metrics.Counter.incr c_commit;
-       Engine.prefetch_finish engine rd_token
+       ok (Engine.prefetch_finish_result engine rd_token)
      end);
     let r0 = wall () in
     List.iter
       (fun (page, slot) ->
-        note_read (timed elapsed l_read (fun () -> Engine.read engine ~page ~slot)))
+        note_read (timed elapsed l_read (fun () -> ok (Engine.read_result engine ~page ~slot))))
       reads;
     reads_s := !reads_s +. (wall () -. r0);
     if spec.compact_every > 0 && n mod spec.compact_every = 0 then
-      ignore (Engine.compact engine ~max_merges:1)
+      ignore (ok (Engine.compact_result engine ~max_merges:1) : int)
   done;
-  Engine.checkpoint engine;
+  ok (Engine.checkpoint_result engine);
   (* Fold the commit/abort tally into the digest so a geometry that
      changed transaction outcomes (it must not) cannot go unnoticed. *)
   fold_digest
@@ -403,7 +421,7 @@ let run ?(spec = default) () =
       ~channels:spec.channels ~ways:spec.ways
       (FConfig.default ~num_blocks:spec.num_blocks ())
   in
-  let engine = Engine.create_device ~config:(engine_config spec) dev in
+  let engine = fatal (fun () -> Engine.create_device ~config:(engine_config spec) dev) in
   let tracer = Obs.Tracer.create ~capacity:(tracer_capacity spec) () in
   let metrics = Obs.Metrics.create () in
   let phases, logical_digest = run_workload spec engine tracer metrics in
@@ -418,7 +436,8 @@ let run ?(spec = default) () =
       ]
   in
   let backends =
-    [ ipl_backend engine metrics; lfs_backend spec stream; inplace_backend spec stream ]
+    fatal (fun () ->
+        [ ipl_backend engine metrics; lfs_backend spec stream; inplace_backend spec stream ])
   in
   let replay_s = Ipl_util.Clock.now_s () -. replay0 in
   (* Wall-clock phase timings (host ns — the only machine-dependent

@@ -58,16 +58,26 @@ let run_on_disk ?config q =
   let device = Ftl.Device.of_disk disk ~page_size ~num_pages:table_pages in
   run q device ~erases:(fun () -> 0) ~segment_evictions:(fun () -> 0)
 
+(* A chip fault during a whole-table sweep is fatal to the measurement,
+   not recoverable: surface it as a plain failure rather than leaking a
+   device exception to the caller. *)
+let fatal_faults f =
+  try f () with
+  | (Chip.Read_error _ | Chip.Program_error _ | Chip.Erase_error _ | Chip.Worn_out _) as e ->
+      failwith ("Queries: device fault during sweep: " ^ Printexc.to_string e)
+
 let run_on_flash ?config q =
-  (* 4 000 blocks hold the table; leave spares for the FTL. *)
-  let base = FConfig.default ~materialize:false () in
-  let blocks = (table_pages * page_size / base.FConfig.block_size) + 16 in
-  let chip = Chip.create { base with FConfig.num_blocks = blocks } in
-  let ftl = Ftl.Block_ftl.create ?config chip ~page_size in
-  Ftl.Block_ftl.format ftl;
-  run q (Ftl.Block_ftl.device ftl)
-    ~erases:(fun () -> (Chip.stats chip).Flash_sim.Flash_stats.block_erases)
-    ~segment_evictions:(fun () -> (Ftl.Block_ftl.stats ftl).Ftl.Block_ftl.segment_evictions)
+  fatal_faults (fun () ->
+      (* 4 000 blocks hold the table; leave spares for the FTL. *)
+      let base = FConfig.default ~materialize:false () in
+      let blocks = (table_pages * page_size / base.FConfig.block_size) + 16 in
+      let chip = Chip.create { base with FConfig.num_blocks = blocks } in
+      let ftl = Ftl.Block_ftl.create ?config chip ~page_size in
+      Ftl.Block_ftl.format ftl;
+      run q (Ftl.Block_ftl.device ftl)
+        ~erases:(fun () -> (Chip.stats chip).Flash_sim.Flash_stats.block_erases)
+        ~segment_evictions:(fun () ->
+          (Ftl.Block_ftl.stats ftl).Ftl.Block_ftl.segment_evictions))
 
 let table3 ?disk ?flash () =
   List.map (fun q -> (q, run_on_disk ?config:disk q, run_on_flash ?config:flash q)) all

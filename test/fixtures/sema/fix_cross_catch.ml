@@ -1,0 +1,7 @@
+(* Cross-module exception summaries: [safe] calls another unit's raiser
+   but catches exactly what it raises, so it must NOT be flagged. [leaky]
+   calls it bare, so the raise set flows through and it must be. *)
+
+let safe () = try Fix_raiser.kaboom () with Flash_chip.Erase_error _ -> ()
+
+let leaky () = Fix_raiser.kaboom ()

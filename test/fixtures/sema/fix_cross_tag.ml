@@ -1,0 +1,15 @@
+(* Cross-module tag settling through the summary table. *)
+
+let dev : Flash_device.t = ()
+let payload = Bytes.create 8
+
+(* clean: the helper transitively awaits. *)
+let ok_cross () =
+  let t = Flash_device.submit_write dev ~cls:Flash_device.Foreground ~sector:0 payload in
+  Fix_settle_helper.settle dev t
+
+(* FINDING: the callee is known NOT to settle, so passing the tag to it
+   does not discharge the obligation. *)
+let bad_cross () =
+  let t = Flash_device.submit_write dev ~cls:Flash_device.Foreground ~sector:1 payload in
+  Fix_nosettle.touch t

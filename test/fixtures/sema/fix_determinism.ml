@@ -1,0 +1,16 @@
+(* Seeded sema-determinism violations plus a clean control. *)
+
+(* FINDING: wall clock. *)
+let now () = Unix.gettimeofday ()
+
+(* FINDING: cpu clock. *)
+let cpu () = Sys.time ()
+
+(* FINDING: self-seeded randomness. *)
+let reseed () = Random.self_init ()
+
+(* FINDING: randomized hash order. *)
+let hash () = Hashtbl.create ~random:true 8
+
+(* clean: fixed-seed table (the common spelling everywhere in the repo). *)
+let stable () = Hashtbl.create 8

@@ -1,0 +1,9 @@
+(* Seeded sema-exception-escape violation plus clean controls. The .mli
+   exports [boom] and [contained] only; [hidden] raises too but is
+   private, so it must not be flagged. *)
+
+let boom () = raise (Flash_chip.Read_error 3)
+
+let contained () = try boom () with Flash_chip.Read_error _ -> ()
+
+let hidden () = raise (Flash_chip.Program_error 1)

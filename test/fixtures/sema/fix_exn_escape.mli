@@ -1,0 +1,2 @@
+val boom : unit -> unit
+val contained : unit -> unit

@@ -1,0 +1,4 @@
+(* Cross-module non-settler: takes a tag but neither awaits nor
+   barriers, so the obligation stays with the caller. *)
+
+let touch (_ : Flash_device.tag) = ()

@@ -1,0 +1,1 @@
+val touch : Flash_device.tag -> unit

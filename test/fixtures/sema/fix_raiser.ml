@@ -1,0 +1,5 @@
+(* Cross-module raiser: [kaboom]'s inferred raise set must propagate to
+   callers in other units (and be subtractable by their handlers). Its
+   own escape finding is expected — see test_sema. *)
+
+let kaboom () = raise (Flash_chip.Erase_error 9)

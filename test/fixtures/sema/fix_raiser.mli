@@ -1,0 +1,1 @@
+val kaboom : unit -> unit

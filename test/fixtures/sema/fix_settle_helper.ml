@@ -1,0 +1,3 @@
+(* Cross-module settler: callers passing a tag here are settled. *)
+
+let settle dev t = Flash_device.await dev t

@@ -1,0 +1,1 @@
+val settle : Flash_device.t -> Flash_device.tag -> unit

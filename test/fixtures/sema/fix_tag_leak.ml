@@ -1,0 +1,35 @@
+(* Seeded sema-tag-leak violations, plus clean controls that must NOT be
+   flagged. Line numbers matter to test_sema — add new cases at the end. *)
+
+let dev : Flash_device.t = ()
+let payload = Bytes.create 8
+
+(* FINDING: tag discarded with 'let _'. *)
+let drop_tag () =
+  let _ = Flash_device.submit_write dev ~cls:Flash_device.Foreground ~sector:0 payload in
+  ()
+
+(* FINDING: settled on the then-branch only. *)
+let branch_leak cond =
+  let t = Flash_device.submit_erase dev ~cls:Flash_device.Foreground 3 in
+  if cond then Flash_device.await dev t
+
+(* FINDING: tag swallowed by ignore. *)
+let ignored_tag () =
+  ignore (Flash_device.submit_write dev ~cls:Flash_device.Foreground ~sector:1 payload)
+
+(* clean: awaited on every path. *)
+let clean_await cond =
+  let t = Flash_device.submit_write dev ~cls:Flash_device.Foreground ~sector:2 payload in
+  if cond then Flash_device.await dev t else Flash_device.await dev t
+
+(* clean: settled by a class-covering barrier in the continuation. *)
+let clean_barrier () =
+  let t = Flash_device.submit_erase dev ~cls:Flash_device.Merge_io 9 in
+  Flash_device.barrier dev
+
+(* clean: the tag escapes to the caller, who inherits the obligation. *)
+let clean_escape () = Flash_device.submit_write dev ~cls:Flash_device.Foreground ~sector:4 payload
+
+(* clean: the sanctioned fire-and-forget spelling. *)
+let clean_publish () = Flash_device.publish_write dev ~cls:Flash_device.Foreground ~sector:5 payload

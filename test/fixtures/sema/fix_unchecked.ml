@@ -1,0 +1,17 @@
+(* Seeded sema-unchecked-result violations plus a clean control. *)
+
+let engine : Ipl_engine.t = ()
+
+(* FINDING: result dropped with 'let _'. *)
+let drop () =
+  let _ = Ipl_engine.commit_result engine 0 in
+  ()
+
+(* FINDING: result swallowed by ignore. *)
+let swallow () = ignore (Ipl_engine.commit_result engine 1)
+
+(* clean: matched. *)
+let checked () =
+  match Ipl_engine.commit_result engine 2 with
+  | Ok () -> ()
+  | Error e -> failwith (Ipl_engine.error_to_string e)

@@ -1,0 +1,6 @@
+(* Mock carrying the contract exceptions' names. *)
+
+exception Read_error of int
+exception Program_error of int
+exception Erase_error of int
+exception Worn_out of int

@@ -1,0 +1,15 @@
+(* Mock of the device submission surface (same names and shapes as
+   lib/device/flash_device.mli), so the analyzer's matchers treat these
+   exactly like the real API. *)
+
+type t = unit
+type tag = int
+type op_class = Foreground | Merge_io
+
+let submit_write (_ : t) ~cls:(_ : op_class) ~sector:(_ : int) (_ : bytes) : tag = 0
+let submit_erase (_ : t) ~cls:(_ : op_class) (_ : int) : tag = 0
+let publish_write (_ : t) ~cls:(_ : op_class) ~sector:(_ : int) (_ : bytes) = ()
+let publish_erase (_ : t) ~cls:(_ : op_class) (_ : int) = ()
+let await (_ : t) (_ : tag) = ()
+let barrier (_ : t) = ()
+let drain (_ : t) = ()

@@ -1,0 +1,10 @@
+(* Mock of the engine's typed-error surface. *)
+
+type t = unit
+type error = Device_degraded | Read_failed
+
+let error_to_string = function
+  | Device_degraded -> "device degraded"
+  | Read_failed -> "read failed"
+
+let commit_result (_ : t) (_ : int) : (unit, error) result = Ok ()

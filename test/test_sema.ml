@@ -1,0 +1,150 @@
+(* ipl_sema: the typed checker run over the deliberately broken fixture
+   library in test/fixtures/sema. The fixtures link against mock
+   Flash_device / Flash_chip / Ipl_engine modules whose canonical paths
+   match the contract tables, so every rule family can be exercised
+   without the real storage stack.
+
+   The test binary runs from _build/default/test, so both the cmt tree
+   and the copied sources live one level up. *)
+
+module Driver = Sema.Sema_driver
+module Finding = Lint.Lint_finding
+
+let fixture_dir = "test/fixtures/sema"
+
+let findings =
+  lazy (Driver.run ~build_root:".." ~source_root:".." [ fixture_dir ])
+
+let in_file ?rule file =
+  List.filter
+    (fun (f : Finding.t) ->
+      f.Finding.file = fixture_dir ^ "/" ^ file
+      && match rule with None -> true | Some r -> f.Finding.rule = r)
+    (Lazy.force findings)
+
+let lines fs = List.map (fun (f : Finding.t) -> f.Finding.line) fs
+
+let check_lines msg expected fs =
+  Alcotest.(check (list int)) msg expected (List.sort compare (lines fs))
+
+(* ---- sema-tag-leak ----------------------------------------------------- *)
+
+let test_tag_leak () =
+  (* drop_tag (let _), branch_leak (then-only await), ignored_tag (ignore);
+     the clean await / barrier / escape / publish variants stay silent. *)
+  check_lines "three seeded leaks, clean variants silent" [ 9; 14; 19 ]
+    (in_file ~rule:"sema-tag-leak" "fix_tag_leak.ml");
+  Alcotest.(check int)
+    "no other rule fires on the tag fixture" 3
+    (List.length (in_file "fix_tag_leak.ml"))
+
+let test_tag_cross_module () =
+  (* ok_cross hands its tag to a helper the summary table knows awaits;
+     bad_cross hands it to one that provably does not. *)
+  check_lines "only the non-settling callee leaks" [ 14 ]
+    (in_file ~rule:"sema-tag-leak" "fix_cross_tag.ml");
+  Alcotest.(check int)
+    "the settling helper itself is clean" 0
+    (List.length (in_file "fix_settle_helper.ml"))
+
+(* ---- sema-unchecked-result --------------------------------------------- *)
+
+let test_unchecked_result () =
+  check_lines "let _ and ignore both flagged, match is clean" [ 7; 11 ]
+    (in_file ~rule:"sema-unchecked-result" "fix_unchecked.ml")
+
+(* ---- sema-exception-escape --------------------------------------------- *)
+
+let test_exception_escape () =
+  (* boom raises a contract exception and is mli-public; contained catches
+     it; hidden raises but is not exported. *)
+  check_lines "only the public raiser escapes" [ 5 ]
+    (in_file ~rule:"sema-exception-escape" "fix_exn_escape.ml")
+
+let test_exception_cross_module () =
+  (* kaboom's raise set crosses the unit boundary through the summary
+     table: safe subtracts it with a handler, leaky does not. *)
+  check_lines "the cross-module raiser is flagged at home" [ 5 ]
+    (in_file ~rule:"sema-exception-escape" "fix_raiser.ml");
+  check_lines "bare transitive call escapes, handled call is clean" [ 7 ]
+    (in_file ~rule:"sema-exception-escape" "fix_cross_catch.ml")
+
+(* ---- sema-determinism --------------------------------------------------- *)
+
+let test_determinism () =
+  (* gettimeofday, Sys.time, self_init, Hashtbl ~random:true; the
+     fixed-seed Hashtbl.create is clean. *)
+  check_lines "all four nondeterminism sources flagged" [ 4; 7; 10; 13 ]
+    (in_file ~rule:"sema-determinism" "fix_determinism.ml")
+
+(* ---- suppressions ------------------------------------------------------- *)
+
+let test_suppression () =
+  (* Identical violations; only the one without [@@lint.allow] surfaces. *)
+  check_lines "lint.allow silences the typed checker too" [ 12 ]
+    (in_file ~rule:"sema-tag-leak" "fix_suppressed.ml")
+
+(* ---- reporting ----------------------------------------------------------- *)
+
+let test_json_report () =
+  let fs = Lazy.force findings in
+  let json = Finding.to_json_string ~tool:"ipl_sema" fs in
+  Alcotest.(check string)
+    "byte-stable for identical inputs" json
+    (Finding.to_json_string ~tool:"ipl_sema" fs);
+  (match Ipl_util.Json.of_string json with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "report is not valid JSON: %s" e);
+  let prefix = {|{"schema":"ipl-findings/1","tool":"ipl_sema"|} in
+  Alcotest.(check string)
+    "schema header" prefix
+    (String.sub json 0 (String.length prefix))
+
+let test_rule_filter () =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  let rc =
+    Driver.main ~ppf ~rules:[ "sema-determinism" ] ~build_root:".."
+      ~source_root:".." [ fixture_dir ]
+  in
+  Format.pp_print_flush ppf ();
+  Alcotest.(check int) "seeded errors gate the exit code" 1 rc;
+  let report = Buffer.contents buf in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  String.split_on_char '\n' report
+  |> List.iter (fun line ->
+         let mentions id = contains line id in
+         if String.length line > 0 && mentions "fix_" then
+           Alcotest.(check bool)
+             ("filtered report line mentions only the requested rule: " ^ line)
+             true (mentions "sema-determinism"))
+
+let () =
+  Alcotest.run "sema"
+    [
+      ( "tag-leak",
+        [
+          Alcotest.test_case "intra-procedural" `Quick test_tag_leak;
+          Alcotest.test_case "cross-module settle" `Quick test_tag_cross_module;
+        ] );
+      ( "unchecked-result",
+        [ Alcotest.test_case "dropped results" `Quick test_unchecked_result ] );
+      ( "exception-escape",
+        [
+          Alcotest.test_case "public surface" `Quick test_exception_escape;
+          Alcotest.test_case "cross-module summary" `Quick test_exception_cross_module;
+        ] );
+      ( "determinism",
+        [ Alcotest.test_case "banned idents" `Quick test_determinism ] );
+      ( "suppressions",
+        [ Alcotest.test_case "lint.allow parity" `Quick test_suppression ] );
+      ( "reporting",
+        [
+          Alcotest.test_case "json report" `Quick test_json_report;
+          Alcotest.test_case "rule filter" `Quick test_rule_filter;
+        ] );
+    ]
