@@ -24,6 +24,12 @@ module Sweep = Iplsim.Sweep
 module Engine = Ipl_core.Ipl_engine
 module Store = Ipl_core.Ipl_storage
 
+(* The harness runs on healthy simulated devices: any typed engine error
+   here is a bench bug, so unwrap loudly. *)
+let eok = function
+  | Ok v -> v
+  | Error e -> failwith ("bench: " ^ Engine.error_to_string e)
+
 (* Database page size shared by every storage design under test. *)
 let db_page_size = Ipl_core.Ipl_config.default.Ipl_core.Ipl_config.page_size
 
@@ -400,18 +406,18 @@ let ablation_wear () =
       }
     in
     let engine = Engine.create ~config chip in
-    let page = Engine.allocate_page engine in
-    (match Engine.insert engine ~tx:0 ~page (Bytes.make 64 'x') with
+    let page = eok (Engine.allocate_page engine) in
+    (match Engine.insert engine ~tx:Engine.no_txn ~page (Bytes.make 64 'x') with
     | Ok _ -> ()
     | Error e -> failwith (Engine.error_to_string e));
     for i = 1 to 30_000 do
       match
-        Engine.update engine ~tx:0 ~page ~slot:0 (Bytes.of_string (Printf.sprintf "%064d" i))
+        Engine.update engine ~tx:Engine.no_txn ~page ~slot:0 (Bytes.of_string (Printf.sprintf "%064d" i))
       with
       | Ok () -> ()
       | Error e -> failwith (Engine.error_to_string e)
     done;
-    Engine.checkpoint engine;
+    eok (Engine.checkpoint engine);
     let wear = Chip.erase_counts chip in
     (* Skip the reserved system-log blocks at the front. *)
     let data_wear = Array.to_list (Array.sub wear 8 88) in
@@ -466,11 +472,11 @@ let ablation_read_amplification () =
   let chip = Chip.create (FConfig.default ~num_blocks:64 ()) in
   let config = { Ipl_core.Ipl_config.default with Ipl_core.Ipl_config.buffer_pages = 4 } in
   let engine = Engine.create ~config chip in
-  let page = Engine.allocate_page engine in
-  (match Engine.insert engine ~tx:0 ~page (Bytes.make 64 'r') with
+  let page = eok (Engine.allocate_page engine) in
+  (match Engine.insert engine ~tx:Engine.no_txn ~page (Bytes.make 64 'r') with
   | Ok _ -> ()
   | Error e -> failwith (Engine.error_to_string e));
-  Engine.checkpoint engine;
+  eok (Engine.checkpoint engine);
   let store = Engine.storage engine in
   Printf.printf "  %-18s %14s %16s\n" "log sectors used" "read cost" "vs clean page";
   let clean_cost = ref 0.0 in
@@ -518,7 +524,7 @@ let ablation_group_commit () =
         ~sizing:{ Txn.mini_sizing with Txn.customers = 120; items = 500; orders = 60 }
         ()
     in
-    Engine.flush_commits r.Driver.Engine_run.engine;
+    eok (Engine.flush_commits r.Driver.Engine_run.engine);
     let s = Engine.stats r.Driver.Engine_run.engine in
     Printf.printf
       "  group=%-3d %6d log-sector writes, %5d merges, flash time %6.2fs\n" group
@@ -534,30 +540,30 @@ let ablation_background_merge () =
     let chip = Chip.create (FConfig.default ~num_blocks:128 ()) in
     let config = { Ipl_core.Ipl_config.default with Ipl_core.Ipl_config.buffer_pages = 8 } in
     let engine = Engine.create ~config chip in
-    let pages = Array.init 8 (fun _ -> Engine.allocate_page engine) in
+    let pages = Array.init 8 (fun _ -> eok (Engine.allocate_page engine)) in
     Array.iter
       (fun page ->
-        match Engine.insert engine ~tx:0 ~page (Bytes.make 32 'x') with
+        match Engine.insert engine ~tx:Engine.no_txn ~page (Bytes.make 32 'x') with
         | Ok _ -> ()
         | Error e -> failwith (Engine.error_to_string e))
       pages;
-    Engine.checkpoint engine;
+    eok (Engine.checkpoint engine);
     let worst = ref 0.0 and total0 = ref (Chip.elapsed chip) in
     let rng = Ipl_util.Rng.of_int 31 in
     for i = 1 to 10_000 do
       let page = pages.(Ipl_util.Rng.int rng 8) in
       let before = Chip.elapsed chip in
       (match
-         Engine.update engine ~tx:0 ~page ~slot:0 (Bytes.of_string (Printf.sprintf "%032d" i))
+         Engine.update engine ~tx:Engine.no_txn ~page ~slot:0 (Bytes.of_string (Printf.sprintf "%032d" i))
        with
       | Ok () -> ()
       | Error e -> failwith (Engine.error_to_string e));
       worst := Float.max !worst (Chip.elapsed chip -. before);
       (* An idle moment every [compact_every] operations. *)
       if compact_every > 0 && i mod compact_every = 0 then
-        ignore (Engine.compact engine ~max_merges:2)
+        ignore (eok (Engine.compact engine ~max_merges:2) : int)
     done;
-    Engine.checkpoint engine;
+    eok (Engine.checkpoint engine);
     let total = Chip.elapsed chip -. !total0 in
     (!worst, total, (Engine.stats engine).Engine.storage.Store.merges)
   in
@@ -584,12 +590,12 @@ let ablation_selective_merge_threshold () =
         }
       in
       let engine = Engine.create ~config chip in
-      let page = Engine.allocate_page engine in
-      (match Engine.insert engine ~tx:0 ~page (Bytes.make 16 'v') with
+      let page = eok (Engine.allocate_page engine) in
+      (match Engine.insert engine ~tx:Engine.no_txn ~page (Bytes.make 16 'v') with
       | Ok _ -> ()
       | Error e -> failwith (Engine.error_to_string e));
-      Engine.checkpoint engine;
-      let tx = Engine.begin_txn engine in
+      eok (Engine.checkpoint engine);
+      let tx = eok (Engine.begin_txn engine) in
       for i = 1 to 2_000 do
         match
           Engine.update engine ~tx ~page ~slot:0 (Bytes.of_string (Printf.sprintf "%016d" i))
@@ -597,7 +603,7 @@ let ablation_selective_merge_threshold () =
         | Ok () -> ()
         | Error e -> failwith (Engine.error_to_string e)
       done;
-      Engine.commit engine tx;
+      eok (Engine.commit engine tx);
       let s = (Engine.stats engine).Engine.storage in
       Printf.printf
         "  tau %4.2f: %5d merges, %5d diversions to overflow, %6d records carried over\n" tau
@@ -697,8 +703,8 @@ let micro () =
   in
   let engine_bench =
     let engine = mk_engine () in
-    let page = Engine.allocate_page engine in
-    (match Engine.insert engine ~tx:0 ~page (Bytes.make 64 'x') with
+    let page = eok (Engine.allocate_page engine) in
+    (match Engine.insert engine ~tx:Engine.no_txn ~page (Bytes.make 64 'x') with
     | Ok _ -> ()
     | Error e -> failwith (Engine.error_to_string e));
     let i = ref 0 in
@@ -706,7 +712,7 @@ let micro () =
       (Staged.stage (fun () ->
            incr i;
            match
-             Engine.update engine ~tx:0 ~page ~slot:0
+             Engine.update engine ~tx:Engine.no_txn ~page ~slot:0
                (Bytes.of_string (Printf.sprintf "%064d" !i))
            with
            | Ok () -> ()
@@ -720,7 +726,7 @@ let micro () =
       (Staged.stage (fun () ->
            incr i;
            let key = !i mod 2000 in
-           (match Btree.Bptree.set tree ~tx:0 ~key ~value:!i with
+           (match Btree.Bptree.set tree ~tx:Engine.no_txn ~key ~value:!i with
            | Ok () -> ()
            | Error e -> failwith e);
            ignore (Btree.Bptree.find tree key)))

@@ -222,7 +222,8 @@ let resilience_campaign profile spares seed transactions =
     match Fault.Campaign.profile_of_string profile with
     | None ->
         Printf.eprintf
-          "unknown profile %S (expected flaky, program, erase, wearout or remap-crash)\n"
+          "unknown profile %S (expected flaky, program, erase, wearout, remap-crash or \
+           concurrent)\n"
           profile;
         exit 2
     | Some p ->
@@ -231,9 +232,21 @@ let resilience_campaign profile spares seed transactions =
         Format.printf "%a@." Fault.Campaign.pp_resilience_report r;
         if not (Fault.Campaign.resilience_ok r) then exit 1
 
-let faultcheck ops sample seed transactions pages no_tear broken profile spares =
+let concurrent_campaign ops sample seed transactions pages no_tear sessions =
+  let transactions = Option.value ~default:60 transactions in
+  let spec = { Fault.Workload.default with Fault.Workload.seed; transactions; pages } in
+  let report =
+    Fault.Campaign.run_concurrent ~tear:(not no_tear) ~max_ops:ops ~sample ~sessions spec
+  in
+  Printf.printf "concurrent campaign: %d sessions\n" sessions;
+  Format.printf "%a@." Fault.Campaign.pp_report report;
+  if report.Fault.Campaign.violations <> [] then exit 1
+
+let faultcheck ops sample seed transactions pages no_tear broken profile spares sessions =
   match profile with
   | None -> crash_campaign ops sample seed transactions pages no_tear broken
+  | Some "concurrent" ->
+      concurrent_campaign ops sample seed transactions pages no_tear sessions
   | Some profile -> resilience_campaign profile spares seed transactions
 
 let ops_t =
@@ -277,7 +290,15 @@ let profile_t =
         ~doc:
           "Run a device-resilience campaign instead of the crash-point one: $(b,flaky) \
            (correctable/transient reads), $(b,program), $(b,erase) (random failures), \
-           $(b,wearout) (to spare-pool exhaustion) or $(b,remap-crash) (power loss mid-remap).")
+           $(b,wearout) (to spare-pool exhaustion), $(b,remap-crash) (power loss \
+           mid-remap) or $(b,concurrent) (crash points over MVCC sessions with group \
+           commit, checked against the commit-order-prefix oracle).")
+
+let fc_sessions_t =
+  Arg.(
+    value & opt int 8
+    & info [ "sessions" ]
+        ~doc:"Concurrent MVCC sessions for $(b,--profile concurrent).")
 
 let spares_t =
   Arg.(
@@ -293,7 +314,7 @@ let faultcheck_cmd =
           manager and verify zero data loss up to read-only degradation.")
     Term.(
       const faultcheck $ ops_t $ sample_t $ seed_t $ fc_transactions_t $ fc_pages_t $ no_tear_t
-      $ broken_t $ profile_t $ spares_t)
+      $ broken_t $ profile_t $ spares_t $ fc_sessions_t)
 
 (* ---------------- observe ---------------- *)
 
@@ -383,9 +404,9 @@ let observe_cmd =
 
 (* ---------------- bench ---------------- *)
 
-let bench transactions seed quick spares cache_bytes channels ways json out =
+let bench transactions seed quick spares cache_bytes channels ways sessions json out =
   let spec = obs_spec transactions seed quick in
-  let spec = { spec with Workload.Obs_bench.spare_blocks = spares; channels; ways } in
+  let spec = { spec with Workload.Obs_bench.spare_blocks = spares; channels; ways; sessions } in
   let spec =
     match cache_bytes with
     | None -> spec
@@ -412,6 +433,19 @@ let bench transactions seed quick spares cache_bytes channels ways json out =
       Printf.printf "%-10s %14.4f %14.0f %12.0f\n" (str "name") (num "elapsed_s")
         (num "block_erases") (num "page_writes"))
     backends;
+  (let c = r.Workload.Obs_bench.concurrency in
+   if c.Workload.Obs_bench.sessions > 0 then
+     Printf.printf
+       "sessions %d: %d committed, %d aborted (%d conflicts), %d commit batches \
+        (mean %.2f, max %d), %.0f txn/s simulated\n"
+       c.Workload.Obs_bench.sessions c.Workload.Obs_bench.committed
+       (c.Workload.Obs_bench.aborted + c.Workload.Obs_bench.conflict_aborts)
+       c.Workload.Obs_bench.conflict_aborts c.Workload.Obs_bench.commit_batches
+       (if c.Workload.Obs_bench.commit_batches > 0 then
+          float_of_int c.Workload.Obs_bench.batched_commits
+          /. float_of_int c.Workload.Obs_bench.commit_batches
+        else 0.0)
+       c.Workload.Obs_bench.max_commit_batch c.Workload.Obs_bench.throughput_tps);
   if json then begin
     Workload.Obs_bench.write_json out r;
     Printf.printf "wrote %s\n" out
@@ -449,6 +483,16 @@ let bench_channels_t =
 let bench_ways_t =
   Arg.(value & opt int 1 & info [ "ways" ] ~doc:"Chips per channel (total chips = channels x ways).")
 
+let bench_sessions_t =
+  Arg.(
+    value & opt int 0
+    & info [ "sessions" ]
+        ~doc:
+          "Run the workload through $(docv) concurrent MVCC client sessions with group \
+           commit (0: the serial engine loop). One session reproduces the serial \
+           logical_digest bit-for-bit; more sessions batch commits into fewer device \
+           barriers and report conflict/abort rates in the JSON concurrency section.")
+
 let bench_out_t =
   Arg.(
     value
@@ -463,7 +507,8 @@ let bench_cmd =
           $(b,--json) writes the schema-stable BENCH_ipl.json.")
     Term.(
       const bench $ obs_transactions_t $ seed_t $ obs_quick_t $ bench_spares_t
-      $ bench_cache_bytes_t $ bench_channels_t $ bench_ways_t $ bench_json_t $ bench_out_t)
+      $ bench_cache_bytes_t $ bench_channels_t $ bench_ways_t $ bench_sessions_t
+      $ bench_json_t $ bench_out_t)
 
 (* ---------------- chansweep ---------------- *)
 

@@ -14,6 +14,8 @@ module Engine = Ipl_core.Ipl_engine
 module Table = Relation.Table
 module Record = Storage.Record
 
+let ok = function Ok v -> v | Error e -> failwith (Engine.error_to_string e)
+
 let hash_key k = Hashtbl.hash k land 0x3FFFFFFF
 
 let put table ~tx key value =
@@ -36,9 +38,9 @@ let () =
 
   Printf.printf "Putting 1000 keys...\n";
   for i = 1 to 1000 do
-    put kv ~tx:0 (Printf.sprintf "user:%04d" i) (Printf.sprintf "name-%d" i)
+    put kv ~tx:Engine.no_txn (Printf.sprintf "user:%04d" i) (Printf.sprintf "name-%d" i)
   done;
-  put kv ~tx:0 "user:0042" "douglas";
+  put kv ~tx:Engine.no_txn "user:0042" "douglas";
   Printf.printf "get user:0042 = %s\n" (Option.value ~default:"<none>" (get kv "user:0042"));
   Printf.printf "get user:0999 = %s\n" (Option.value ~default:"<none>" (get kv "user:0999"));
   Printf.printf "get missing   = %s\n" (Option.value ~default:"<none>" (get kv "nope"));
@@ -50,7 +52,7 @@ let () =
     s.Engine.storage.Ipl_core.Ipl_storage.log_sector_writes
     s.Engine.storage.Ipl_core.Ipl_storage.merges;
 
-  Engine.checkpoint engine;
+  ok (Engine.checkpoint engine);
   Printf.printf "\nCrash + restart...\n";
   let engine', _ = Engine.restart chip in
   let kv' =

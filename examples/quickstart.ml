@@ -27,19 +27,19 @@ let () =
   Printf.printf "Opened an IPL engine: 8 KB pages, each 128 KB erase unit = 15 data pages + 16 log sectors\n\n";
 
   (* Store a few records. *)
-  let page = Engine.allocate_page engine in
-  let alice = ok (Engine.insert engine ~tx:0 ~page (Bytes.of_string "alice: 100 points")) in
-  let bob = ok (Engine.insert engine ~tx:0 ~page (Bytes.of_string "bob:    20 points")) in
+  let page = ok (Engine.allocate_page engine) in
+  let alice = ok (Engine.insert engine ~tx:Engine.no_txn ~page (Bytes.of_string "alice: 100 points")) in
+  let bob = ok (Engine.insert engine ~tx:Engine.no_txn ~page (Bytes.of_string "bob:    20 points")) in
   Printf.printf "Inserted two records into page %d (slots %d and %d)\n" page alice bob;
   show_flash chip "insert (buffered)";
 
   (* Update one of them many times: each change becomes a small
      physiological log record, flushed one 512-byte sector at a time. *)
   for score = 1 to 900 do
-    ok (Engine.update engine ~tx:0 ~page ~slot:alice
+    ok (Engine.update engine ~tx:Engine.no_txn ~page ~slot:alice
           (Bytes.of_string (Printf.sprintf "alice: %3d points" score)))
   done;
-  Engine.checkpoint engine;
+  ok (Engine.checkpoint engine);
   show_flash chip "900 updates";
   let stats = (Engine.stats engine).Engine.storage in
   Printf.printf "  the engine wrote %d log sectors and merged %d erase units;\n"
@@ -48,14 +48,14 @@ let () =
 
   (* Reads reconstruct the current version on the fly. *)
   Printf.printf "Read back: %S and %S\n"
-    (Bytes.to_string (Option.get (Engine.read engine ~page ~slot:alice)))
-    (Bytes.to_string (Option.get (Engine.read engine ~page ~slot:bob)));
+    (Bytes.to_string (Option.get (ok (Engine.read engine ~page ~slot:alice))))
+    (Bytes.to_string (Option.get (ok (Engine.read engine ~page ~slot:bob))));
 
   (* Crash. The only persistent state is the chip. *)
   Printf.printf "\nSimulating a crash (dropping all in-memory state)...\n";
   let engine', _ = Engine.restart chip in
   Printf.printf "After restart: %S and %S\n"
-    (Bytes.to_string (Option.get (Engine.read engine' ~page ~slot:alice)))
-    (Bytes.to_string (Option.get (Engine.read engine' ~page ~slot:bob)));
+    (Bytes.to_string (Option.get (ok (Engine.read engine' ~page ~slot:alice))))
+    (Bytes.to_string (Option.get (ok (Engine.read engine' ~page ~slot:bob))));
   Printf.printf "\nDone. See examples/recovery_demo.ml for transactions and examples/tpcc_demo.ml\n";
   Printf.printf "for a full OLTP workload on this engine.\n"

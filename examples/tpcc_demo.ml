@@ -63,5 +63,5 @@ let () =
   let store' = Engine.storage engine' in
   Printf.printf "  recovered %d pages; customer row still readable: %b\n"
     (Ipl_core.Ipl_storage.num_pages store')
-    (Engine.read engine' ~page:0 ~slot:0 <> None);
+    (match Engine.read engine' ~page:0 ~slot:0 with Ok (Some _) -> true | _ -> false);
   Printf.printf "\nDone.\n"

@@ -39,7 +39,8 @@ let fail_on_error = function
   | Error e -> failwith ("Bptree: unexpected engine error: " ^ Engine.error_to_string e)
 
 let read_node t pid =
-  Engine.with_page t.engine pid (fun p ->
+  fail_on_error
+  @@ Engine.with_page t.engine pid (fun p ->
       match Page.read p 0 with
       | None -> failwith "Bptree: missing node meta"
       | Some meta ->
@@ -59,7 +60,7 @@ let read_node t pid =
           { is_leaf; next_leaf; entries })
 
 let new_node t ~tx ~is_leaf ~next_leaf =
-  let pid = fail_on_error (Engine.allocate_page_result t.engine) in
+  let pid = fail_on_error (Engine.allocate_page t.engine) in
   (match Engine.insert t.engine ~tx ~page:pid (encode_meta ~is_leaf ~next_leaf) with
   | Ok 0 -> ()
   | Ok _ -> failwith "Bptree: meta not at slot 0"
@@ -72,7 +73,8 @@ let set_next_leaf t ~tx pid next =
   fail_on_error (Engine.update_range t.engine ~tx ~page:pid ~slot:0 ~offset:2 b)
 
 let root t =
-  Engine.with_page t.engine t.header (fun p ->
+  fail_on_error
+  @@ Engine.with_page t.engine t.header (fun p ->
       match Page.read p 0 with
       | Some b -> Int64.to_int (Bytes.get_int64_le b 0)
       | None -> failwith "Bptree: missing header record")
@@ -83,12 +85,12 @@ let set_root t ~tx pid =
   fail_on_error (Engine.update t.engine ~tx ~page:t.header ~slot:0 b)
 
 let create engine =
-  let header = fail_on_error (Engine.allocate_page_result engine) in
+  let header = fail_on_error (Engine.allocate_page engine) in
   let t = { engine; header } in
-  let root = new_node t ~tx:0 ~is_leaf:true ~next_leaf:no_leaf in
+  let root = new_node t ~tx:Engine.no_txn ~is_leaf:true ~next_leaf:no_leaf in
   let b = Bytes.create 8 in
   Bytes.set_int64_le b 0 (Int64.of_int root);
-  (match Engine.insert engine ~tx:0 ~page:header b with
+  (match Engine.insert engine ~tx:Engine.no_txn ~page:header b with
   | Ok 0 -> ()
   | _ -> failwith "Bptree: header init failed");
   t

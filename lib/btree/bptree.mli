@@ -22,10 +22,10 @@ val attach : Ipl_core.Ipl_engine.t -> header:int -> t
 val header_page : t -> int
 (** Stable page id identifying this tree. *)
 
-val insert : t -> tx:int -> key:int -> value:int -> (unit, string) result
+val insert : t -> tx:Ipl_core.Ipl_engine.txn -> key:int -> value:int -> (unit, string) result
 (** Fails with [Error "duplicate key"] if the key exists. *)
 
-val set : t -> tx:int -> key:int -> value:int -> (unit, string) result
+val set : t -> tx:Ipl_core.Ipl_engine.txn -> key:int -> value:int -> (unit, string) result
 (** Insert or overwrite. *)
 
 val find : t -> int -> int option
@@ -34,7 +34,7 @@ val mem : t -> int -> bool
 val next_ge : t -> int -> (int * int) option
 (** Smallest [(key, value)] with [key >=] the argument, if any. *)
 
-val delete : t -> tx:int -> key:int -> (unit, string) result
+val delete : t -> tx:Ipl_core.Ipl_engine.txn -> key:int -> (unit, string) result
 (** [Error "not found"] if absent. *)
 
 val range : t -> lo:int -> hi:int -> (int * int) list

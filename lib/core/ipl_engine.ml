@@ -25,6 +25,7 @@ type error =
   | Device_degraded
   | Read_failed
   | Device_fault
+  | Recovery_disabled
 
 (* The strings reproduce the pre-typed-error API exactly, so callers that
    formatted engine errors keep their output. *)
@@ -38,6 +39,15 @@ let error_to_string = function
   | Device_degraded -> "device degraded: read-only"
   | Read_failed -> "uncorrectable read error"
   | Device_fault -> "unrecoverable device fault"
+  | Recovery_disabled -> "transactional recovery disabled"
+
+(* The abstract handle is the raw id: the engine's own state is keyed by
+   integer ids everywhere (log records, the transaction log), so the
+   handle adds type safety at the boundary without a second table. *)
+type txn = int
+
+let no_txn = 0
+let txn_id (tx : txn) = tx
 
 let pp_error ppf e = Format.pp_print_string ppf (error_to_string e)
 
@@ -61,6 +71,7 @@ type t = {
   txns : (int, txn_info) Hashtbl.t;
   mutable next_txid : int;
   mutable pending_commits : int;
+  mutable group_commit : int;
   mutable tracer : Obs.Tracer.t option;
 }
 
@@ -111,6 +122,7 @@ let build config dev store bbm trx =
     txns = Hashtbl.create 64;
     next_txid = 1;
     pending_commits = 0;
+    group_commit = config.Ipl_config.group_commit;
     tracer = None;
   }
 
@@ -280,22 +292,33 @@ let flush_commits t =
   if t.pending_commits > 0 then begin
     Pool.flush_all t.pool;
     Ipl_storage.publish_meta t.store;
-    (match t.trx with Some log -> Trx_log.publish log | None -> ());
-    (* The single durability wait of the batched commit: the metadata and
-       transaction-status sectors just published program concurrently
-       with the in-page log flushes — they live on different chips — and
-       one barrier settles them all. *)
+    (* Write-ahead settle: the data and metadata programs just published
+       run on different channels than the transaction log, and the
+       asynchronous scheduler completes them in any order — a commit
+       record must not reach flash while one of its batch's log sectors
+       is still in flight. *)
+    Dev.barrier t.dev;
+    (match t.trx with
+    | Some log ->
+        Trx_log.flush_deferred log;
+        Trx_log.publish log
+    | None -> ());
+    (* The commit-record settle. Two waits per batch instead of the
+       serial path's force-per-sector: still one commit-record program
+       and two quiesces amortised over the whole batch. *)
     Dev.barrier t.dev;
     t.pending_commits <- 0
   end
 
 let commit t txid =
   let info = txn_info t txid in
-  let group = t.config.Ipl_config.group_commit in
+  let group = t.group_commit in
   if group > 0 then begin
-    (* Group commit: record the outcome but defer all forcing; records of
-       several transactions will share flash log sectors. *)
-    (match t.trx with Some log -> Trx_log.log_commit ~force:false log txid | None -> ());
+    (* Group commit: the transaction is committed for every live reader,
+       but its commit record stays out of the log buffer until the batch
+       flush — data records must reach flash first (see
+       {!Trx_log.defer_commit}). *)
+    (match t.trx with Some log -> Trx_log.defer_commit log txid | None -> ());
     Hashtbl.remove t.txns txid;
     t.pending_commits <- t.pending_commits + 1;
     if t.pending_commits >= group then flush_commits t;
@@ -581,20 +604,6 @@ let update_range t ~tx ~page ~slot ~offset data =
 
 let read t ~page ~slot = Pool.with_page t.pool page (fun frame -> Page.read frame.page slot)
 
-(* Exception-free variants for callers that must survive device failures
-   (campaign workloads, servers). The raising [read]/[commit]/
-   [allocate_page] stay for legacy callers and tests. Reads never hit the
-   degraded gate: a read-only device still serves committed data. *)
-let read_result t ~page ~slot = trap (fun () -> Ok (read t ~page ~slot))
-
-let allocate_page_result t = guard t (fun () -> Ok (allocate_page t))
-
-let commit_result t txid = guard t (fun () -> Ok (commit t txid))
-
-let begin_txn_result t = guard t (fun () -> Ok (begin_txn t))
-
-let abort_result t txid = guard t (fun () -> Ok (abort t txid))
-
 (* Batched read-ahead: fetch the missing pages of the batch through the
    storage manager's parallel read path and install them as clean
    frames. Pages already resident, unknown ids and duplicates are
@@ -635,14 +644,6 @@ let prefetch t pids = prefetch_finish t (prefetch_start t pids)
 
 let with_page t page f = Pool.with_page t.pool page (fun frame -> f frame.page)
 
-(* Read-side result variants go through [trap], not [guard]: a read-only
-   (degraded) device still serves committed data. *)
-let prefetch_start_result t pids = trap (fun () -> Ok (prefetch_start t pids))
-
-let prefetch_finish_result t token = trap (fun () -> Ok (prefetch_finish t token))
-
-let with_page_result t page f = trap (fun () -> Ok (with_page t page f))
-
 let page_free_space t page = with_page t page Page.free_space
 
 (* ------------------------------------------------------------------ *)
@@ -652,7 +653,11 @@ let checkpoint t =
   t.pending_commits <- 0;
   Pool.flush_all t.pool;
   Ipl_storage.force_meta t.store;
-  (match t.trx with Some log -> Trx_log.force log | None -> ());
+  (match t.trx with
+  | Some log ->
+      Trx_log.flush_deferred log;
+      Trx_log.force log
+  | None -> ());
   (* A checkpoint is a full quiesce: background relocation traffic
      settles too, not just the durability classes. *)
   Dev.drain t.dev;
@@ -665,9 +670,60 @@ let compact t ~max_merges =
   Pool.flush_all t.pool;
   Ipl_storage.merge_fullest t.store ~max_merges
 
-let checkpoint_result t = guard t (fun () -> Ok (checkpoint t))
+(* ------------------------------------------------------------------ *)
+(* Public surface                                                      *)
 
-let compact_result t ~max_merges = guard t (fun () -> Ok (compact t ~max_merges))
+(* The raising implementations above become the [Unsafe] test shim; the
+   exported API shadows them with guard/trap-wrapped result variants.
+   Mutations go through [guard] (refused up front on a degraded device);
+   read-side entry points go through [trap] only — a read-only device
+   still serves committed data. *)
+module Unsafe = struct
+  let begin_txn = begin_txn
+  let commit = commit
+  let abort = abort
+  let flush_commits = flush_commits
+  let txn (tx : int) : txn = tx
+  let insert = insert
+  let delete = delete
+  let update = update
+  let update_range = update_range
+  let read = read
+  let allocate_page = allocate_page
+  let allocate_page_with = allocate_page_with
+  let prefetch = prefetch
+  let with_page = with_page
+  let page_free_space = page_free_space
+  let checkpoint = checkpoint
+  let compact = compact
+end
+
+let begin_txn t = guard t (fun () -> Ok (Unsafe.begin_txn t))
+let commit t tx = guard t (fun () -> Ok (Unsafe.commit t tx))
+
+(* [trap], not [guard]: rollback is primarily an in-memory de-application
+   and must still run on a degraded (read-only) device — only the abort
+   record's flash append may fail, and that failure surfaces as the
+   device error after the in-memory state has been unwound. *)
+let abort t tx =
+  if t.trx = None then Error Recovery_disabled
+  else trap (fun () -> Ok (Unsafe.abort t tx))
+
+let flush_commits t = guard t (fun () -> Ok (Unsafe.flush_commits t))
+let set_group_commit t n = t.group_commit <- n
+let group_commit t = t.group_commit
+let pending_commits t = t.pending_commits
+let elapsed t = Dev.elapsed t.dev
+let allocate_page t = guard t (fun () -> Ok (Unsafe.allocate_page t))
+let allocate_page_with t page = guard t (fun () -> Ok (Unsafe.allocate_page_with t page))
+let read t ~page ~slot = trap (fun () -> Ok (Unsafe.read t ~page ~slot))
+let prefetch t pids = trap (fun () -> Ok (Unsafe.prefetch t pids))
+let prefetch_start t pids = trap (fun () -> Ok (prefetch_start t pids))
+let prefetch_finish t token = trap (fun () -> Ok (prefetch_finish t token))
+let with_page t page f = trap (fun () -> Ok (Unsafe.with_page t page f))
+let page_free_space t page = trap (fun () -> Ok (Unsafe.page_free_space t page))
+let checkpoint t = guard t (fun () -> Ok (Unsafe.checkpoint t))
+let compact t ~max_merges = guard t (fun () -> Ok (Unsafe.compact t ~max_merges))
 
 let degraded t =
   match t.bbm with Some d -> Resilience.Bbm.degraded d | None -> false

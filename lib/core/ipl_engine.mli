@@ -8,11 +8,22 @@
     stored image plus its log records {e is} the page.
 
     Transactions: {!begin_txn}/{!commit}/{!abort} implement the Section 5
-    design. Isolation is the caller's responsibility (the engine is
-    single-threaded); the recovery guarantees assume transactions do not
-    modify the same record concurrently. With [recovery_enabled = false]
-    the engine is the basic Section 3 design: all work is implicitly
-    committed and {!abort} is unavailable. *)
+    design over an abstract {!txn} handle. The engine serializes record
+    applications (it is single-threaded); several transactions may be
+    open at once as long as no two {e active} transactions modify the
+    same record — the snapshot-isolation layer ([lib/txn]) enforces
+    exactly that and is the intended multi-client front door. With
+    [recovery_enabled = false] the engine is the basic Section 3 design:
+    all work is implicitly committed and {!abort} is unavailable.
+
+    The whole surface returns [(_, error) result]: device exceptions —
+    the bad-block manager's ({!Resilience.Bbm.Degraded} /
+    [Uncorrectable]) and the raw chip's (no manager installed) — become
+    typed errors instead of escaping. [Flash_chip.Power_loss] still
+    propagates: crash simulation must unwind the whole stack. Read-side
+    entry points never refuse on a degraded device — read-only means
+    reads still serve all committed data. The pre-redesign raising API
+    survives only as the {!Unsafe} shim, for tests. *)
 
 type t
 
@@ -38,6 +49,9 @@ type error =
       (** an unrecoverable program/erase/wear fault escaped the device
           layers (no bad-block manager installed, or a fault outside its
           remit) *)
+  | Recovery_disabled
+      (** the operation needs the Section 5 transaction machinery but the
+          engine was built with [recovery_enabled = false] *)
 
 val error_to_string : error -> string
 (** The exact strings of the pre-typed-error API ("page full",
@@ -101,10 +115,29 @@ val chip : t -> Flash_sim.Flash_chip.t
 
 val storage : t -> Ipl_storage.t
 
-(** {1 Transactions} *)
+val elapsed : t -> float
+(** Simulated time on the engine's device clock (seconds) — the makespan
+    clock the upper layers report throughput against. *)
 
-val begin_txn : t -> int
-val commit : t -> int -> unit
+(** {1 Transactions}
+
+    Transactions are identified by an abstract {!txn} handle; the raw
+    integer id behind it (the id stored in log records and the
+    transaction log) is exposed read-only through {!txn_id}. *)
+
+type txn
+(** An open transaction. Handles are engine-specific and single-use:
+    after {!commit} or {!abort} the handle is dead. *)
+
+val no_txn : txn
+(** The non-transaction (id 0): mutations carrying it are implicitly
+    committed, exactly the pre-redesign [~tx:0] convention. *)
+
+val txn_id : txn -> int
+
+val begin_txn : t -> (txn, error) result
+
+val commit : t -> txn -> (unit, error) result
 (** With [group_commit = 0]: forces the in-memory log sectors of every
     page the transaction touched, then the commit record — the
     no-force-of-data / force-log-at-commit policy of Section 5.2.
@@ -112,27 +145,42 @@ val commit : t -> int -> unit
     only when [n] commits have accumulated (or at {!flush_commits} /
     {!checkpoint}). *)
 
-val flush_commits : t -> unit
-(** Make all batched (group) commits durable now. *)
+val abort : t -> txn -> (unit, error) result
+(** Rolls back in-memory changes and leaves flash records to be dropped
+    by selective merges. [Error Recovery_disabled] when the engine has no
+    transaction log. Never refused on a degraded device: the in-memory
+    rollback always runs, even when appending the abort record fails. *)
 
-val abort : t -> int -> unit
-(** Rolls back in-memory changes and leaves flash records to be dropped by
-    selective merges. Raises [Failure] when recovery is disabled. *)
+val flush_commits : t -> (unit, error) result
+(** Make all batched (group) commits durable now: flush the dirty
+    in-memory log sectors, publish the metadata and transaction logs,
+    and settle everything with one device barrier. *)
+
+val set_group_commit : t -> int -> unit
+(** Override the commit-batching window at run time (the group-commit
+    coalescer in [lib/txn] owns the flush policy and parks this at a
+    value its own barriers never reach). *)
+
+val group_commit : t -> int
+
+val pending_commits : t -> int
+(** Commits recorded but not yet made durable by a batch flush. *)
 
 val txn_status : t -> int -> Trx_log.status
 
 (** {1 Pages and records} *)
 
-val allocate_page : t -> int
-val allocate_page_with : t -> Storage.Page.t -> int
+val allocate_page : t -> (int, error) result
+
+val allocate_page_with : t -> Storage.Page.t -> (int, error) result
 (** Bulk-load path: place a pre-filled page image (not logged). *)
 
 val page_count : t -> int
 
-val insert : t -> tx:int -> page:int -> bytes -> (int, error) result
-val delete : t -> tx:int -> page:int -> slot:int -> (unit, error) result
+val insert : t -> tx:txn -> page:int -> bytes -> (int, error) result
+val delete : t -> tx:txn -> page:int -> slot:int -> (unit, error) result
 
-val update : t -> tx:int -> page:int -> slot:int -> bytes -> (unit, error) result
+val update : t -> tx:txn -> page:int -> slot:int -> bytes -> (unit, error) result
 (** Replace a record's payload. Equal-length replacements are logged as
     byte-range deltas — one record per differing range, chunked to fit log
     sectors; identical payloads log nothing. Size-changing replacements
@@ -140,38 +188,18 @@ val update : t -> tx:int -> page:int -> slot:int -> bytes -> (unit, error) resul
     would not fit one log sector. *)
 
 val update_range :
-  t -> tx:int -> page:int -> slot:int -> offset:int -> bytes -> (unit, error) result
+  t -> tx:txn -> page:int -> slot:int -> offset:int -> bytes -> (unit, error) result
 (** Overwrite a byte range of the record in place (smallest log records). *)
 
 val max_record_payload : t -> int
 (** Largest record (or insert payload) the logging path accepts; larger
     inserts return [Error Record_too_large]. *)
 
-val read : t -> page:int -> slot:int -> bytes option
+val read : t -> page:int -> slot:int -> (bytes option, error) result
+(** Current committed-plus-active image of the record ([None] = slot not
+    live). Never refuses on a degraded device. *)
 
-(** {1 Exception-free variants}
-
-    For callers that must not leak device exceptions (fault campaigns,
-    long-running servers, everything above the engine boundary): the
-    bad-block manager's exceptions become [Error Device_degraded] /
-    [Error Read_failed], and raw chip faults (no manager installed)
-    become [Error Read_failed] / [Error Device_fault], instead of
-    escaping. [Flash_chip.Power_loss] still propagates — crash
-    simulation must unwind the whole stack. The raising variants remain
-    for legacy callers and tests. Read-side variants
-    ({!read_result}/{!prefetch_start_result}/{!prefetch_finish_result}/
-    {!with_page_result}) never refuse on a degraded device: read-only
-    means reads still serve all committed data. *)
-
-val read_result : t -> page:int -> slot:int -> (bytes option, error) result
-val allocate_page_result : t -> (int, error) result
-val commit_result : t -> int -> (unit, error) result
-val begin_txn_result : t -> (int, error) result
-val abort_result : t -> int -> (unit, error) result
-val checkpoint_result : t -> (unit, error) result
-val compact_result : t -> max_merges:int -> (int, error) result
-
-val prefetch : t -> int list -> unit
+val prefetch : t -> int list -> (unit, error) result
 (** Batched read-ahead: fetch the batch's missing pages through the
     storage manager's parallel read path ({!Ipl_storage.read_pages} —
     pages on different channels are read in parallel on the simulated
@@ -181,7 +209,7 @@ val prefetch : t -> int list -> unit
 
 type prefetch_token
 
-val prefetch_start : t -> int list -> prefetch_token
+val prefetch_start : t -> int list -> (prefetch_token, error) result
 (** First half of {!prefetch}: submit the batch's missing-page reads
     without waiting for their simulated completion. Issue before a
     {!commit} and the commit's durability barrier absorbs the read
@@ -189,27 +217,23 @@ val prefetch_start : t -> int list -> prefetch_token
     pages the pending transaction has not touched (a non-resident page
     has no unflushed records, so the captured image is current). *)
 
-val prefetch_finish : t -> prefetch_token -> unit
+val prefetch_finish : t -> prefetch_token -> (unit, error) result
 (** Second half of {!prefetch}: await the batch and install the pages as
     clean frames. *)
 
-val with_page : t -> int -> (Storage.Page.t -> 'a) -> 'a
+val with_page : t -> int -> (Storage.Page.t -> 'a) -> ('a, error) result
 (** Read-only access to the current version of a page through the buffer
     pool. The callback must not retain or mutate the page. *)
 
-val prefetch_start_result : t -> int list -> (prefetch_token, error) result
-val prefetch_finish_result : t -> prefetch_token -> (unit, error) result
-val with_page_result : t -> int -> (Storage.Page.t -> 'a) -> ('a, error) result
-
-val page_free_space : t -> int -> int
+val page_free_space : t -> int -> (int, error) result
 
 (** {1 Maintenance} *)
 
-val checkpoint : t -> unit
+val checkpoint : t -> (unit, error) result
 (** Flush all in-memory log sectors and force the metadata (and
-    transaction) logs. *)
+    transaction) logs; a full device quiesce. *)
 
-val compact : t -> max_merges:int -> int
+val compact : t -> max_merges:int -> (int, error) result
 (** Background merging: merge up to [max_merges] of the erase units whose
     log regions are fullest, returning how many were merged. Doing this
     at idle moments moves merge latency off the update path. *)
@@ -239,3 +263,37 @@ val set_tracer : t -> Obs.Tracer.t option -> unit
     itself ({!Obs.Event.Commit}, [Abort], [Checkpoint]). *)
 
 val tracer : t -> Obs.Tracer.t option
+
+(** {1 Unsafe compatibility shim}
+
+    The pre-redesign surface: integer transaction ids and raising entry
+    points (device faults escape as their exceptions, [abort] without
+    recovery raises [Failure]). Kept {e only} for tests, which predate
+    the typed surface and drive fault injection through exceptions on
+    purpose. Production callers use the result API above. *)
+
+module Unsafe : sig
+  val begin_txn : t -> int
+  val commit : t -> int -> unit
+  val abort : t -> int -> unit
+  val flush_commits : t -> unit
+  val txn : int -> txn
+  (** Wrap a raw transaction id (as returned by {!begin_txn} or
+      [restart]'s aborted list) for use with the record operations. *)
+
+  val insert : t -> tx:int -> page:int -> bytes -> (int, error) result
+  val delete : t -> tx:int -> page:int -> slot:int -> (unit, error) result
+  val update : t -> tx:int -> page:int -> slot:int -> bytes -> (unit, error) result
+
+  val update_range :
+    t -> tx:int -> page:int -> slot:int -> offset:int -> bytes -> (unit, error) result
+
+  val read : t -> page:int -> slot:int -> bytes option
+  val allocate_page : t -> int
+  val allocate_page_with : t -> Storage.Page.t -> int
+  val prefetch : t -> int list -> unit
+  val with_page : t -> int -> (Storage.Page.t -> 'a) -> 'a
+  val page_free_space : t -> int -> int
+  val checkpoint : t -> unit
+  val compact : t -> max_merges:int -> int
+end

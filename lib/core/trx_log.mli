@@ -23,8 +23,20 @@ val recover : Device.Flash_device.t -> first_block:int -> num_blocks:int -> t * 
 val log_begin : t -> int -> unit
 
 val log_commit : ?force:bool -> t -> int -> unit
-(** [force] defaults to true (the durability point). Group commit passes
-    [~force:false] and forces once per batch. *)
+(** [force] defaults to true (the durability point). *)
+
+val defer_commit : t -> int -> unit
+(** Group commit: record the commit but keep its record out of the log
+    buffer — a begin-record force or a compaction must not carry it to
+    flash before the batch's data records. Until {!flush_deferred} runs,
+    a crash rolls the transaction back, so {!status} keeps answering
+    [Active]: merges must carry its in-page records forward, not bake
+    them into home pages. *)
+
+val flush_deferred : t -> unit
+(** Append every deferred commit record, in commit order. Call after the
+    batch's data records have been flushed, before {!publish} and the
+    barrier. *)
 
 val log_abort : t -> int -> unit
 

@@ -70,7 +70,79 @@ let run ?(tear = true) ?(broken = false) ?(max_ops = 0) ?(sample = 0) spec =
           incr recovered;
           let vs =
             Oracle.check oracle
-              ~read:(fun ~page ~slot -> Engine.read engine' ~page ~slot)
+              ~read:(fun ~page ~slot ->
+                match Engine.read engine' ~page ~slot with
+                | Ok v -> v
+                | Error e -> failwith ("Campaign: read: " ^ Engine.error_to_string e))
+              ~pages:(Array.to_list pages) ~slots:(Workload.max_slots spec)
+          in
+          if vs <> [] then violations := (point, vs) :: !violations)
+    points;
+  {
+    total_ops;
+    setup_ops;
+    crash_points = List.length points;
+    recovered = !recovered;
+    in_doubt = !in_doubt;
+    violations = List.rev !violations;
+    max_wear = gstats.FStats.max_wear;
+    mean_wear = gstats.FStats.mean_wear;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent crash campaign: MVCC sessions + group commit              *)
+
+let fresh_concurrent spec =
+  let chip = Chip.create (chip_config ()) in
+  let engine = Engine.create ~config:(engine_config ~broken:false) chip in
+  let oracle = Concurrent_oracle.create () in
+  let pages = Workload.setup_concurrent engine oracle spec in
+  (chip, engine, oracle, pages)
+
+(* The crash-point sweep of [run], over concurrent histories: the same
+   mix interleaved across [sessions] MVCC transactions with group
+   commit. The oracle's prefix check replaces the single-transaction
+   model — after every crash the recovered state must equal the setup
+   state plus a commit-order prefix reaching at least the durable
+   watermark, with conflict-losers and rolled-back transactions absent. *)
+let run_concurrent ?(tear = true) ?(max_ops = 0) ?(sample = 0) ?(sessions = 8) spec =
+  let chip, engine, oracle, pages = fresh_concurrent spec in
+  let setup_ops = Chip.op_count chip in
+  ignore
+    (Workload.run_concurrent engine oracle spec ~sessions ~pages
+      : Workload.concurrent_outcome);
+  let total_ops = Chip.op_count chip in
+  let gstats = Chip.stats chip in
+  let hi = if max_ops > 0 then min total_ops (setup_ops + max_ops) else total_ops in
+  let points = spread ~lo:setup_ops ~hi sample in
+  let recovered = ref 0 in
+  let in_doubt = ref 0 in
+  let violations = ref [] in
+  List.iter
+    (fun point ->
+      let chip, engine, oracle, pages = fresh_concurrent spec in
+      Fault_plan.install chip (Fault_plan.crash_at ~tear point);
+      (try
+         ignore
+           (Workload.run_concurrent engine oracle spec ~sessions ~pages
+             : Workload.concurrent_outcome)
+       with Chip.Power_loss _ -> ());
+      Fault_plan.clear chip;
+      (match Concurrent_oracle.crash oracle with
+      | Concurrent_oracle.In_doubt -> incr in_doubt
+      | Concurrent_oracle.Settled -> ());
+      match Engine.restart ~config:(engine_config ~broken:false) chip with
+      | exception e ->
+          violations :=
+            (point, [ "restart raised: " ^ Printexc.to_string e ]) :: !violations
+      | engine', _aborted ->
+          incr recovered;
+          let vs =
+            Concurrent_oracle.check oracle
+              ~read:(fun ~page ~slot ->
+                match Engine.read engine' ~page ~slot with
+                | Ok v -> v
+                | Error e -> failwith ("Campaign: read: " ^ Engine.error_to_string e))
               ~pages:(Array.to_list pages) ~slots:(Workload.max_slots spec)
           in
           if vs <> [] then violations := (point, vs) :: !violations)
@@ -165,7 +237,11 @@ let run_resilience ?(spares = 4) ?(transactions = 0) ?(seed = 7) profile =
   let pages = Workload.setup engine oracle spec in
   Fault_plan.install chip (plan_of_profile ~seed profile);
   let outcome = Workload.run_resilient engine oracle spec ~pages in
-  let read ~page ~slot = Engine.read engine ~page ~slot in
+  let read ~page ~slot =
+    match Engine.read engine ~page ~slot with
+    | Ok v -> v
+    | Error e -> failwith ("Campaign: read: " ^ Engine.error_to_string e)
+  in
   let violations =
     Oracle.check oracle ~read ~pages:(Array.to_list pages)
       ~slots:(Workload.max_slots spec)
@@ -174,7 +250,7 @@ let run_resilience ?(spares = 4) ?(transactions = 0) ?(seed = 7) profile =
     match outcome.Workload.degraded_at with
     | None -> true
     | Some _ -> (
-        match Engine.insert engine ~tx:0 ~page:pages.(0) (Bytes.make 8 'x') with
+        match Engine.insert engine ~tx:Engine.no_txn ~page:pages.(0) (Bytes.make 8 'x') with
         | Error Engine.Device_degraded -> true
         | Ok _ | Error _ -> false)
   in
@@ -186,7 +262,10 @@ let run_resilience ?(spares = 4) ?(transactions = 0) ?(seed = 7) profile =
     | engine', _ ->
         let vs =
           Oracle.check oracle
-            ~read:(fun ~page ~slot -> Engine.read engine' ~page ~slot)
+            ~read:(fun ~page ~slot ->
+                match Engine.read engine' ~page ~slot with
+                | Ok v -> v
+                | Error e -> failwith ("Campaign: read: " ^ Engine.error_to_string e))
             ~pages:(Array.to_list pages) ~slots:(Workload.max_slots spec)
         in
         (vs, Engine.degraded engine' = (outcome.Workload.degraded_at <> None))
@@ -232,7 +311,10 @@ let run_remap_crash ?(spares = 4) ?(seed = 7) ?(deltas = [ 1; 2; 3; 5; 8; 13; 21
       | engine', _ ->
           let vs =
             Oracle.check oracle
-              ~read:(fun ~page ~slot -> Engine.read engine' ~page ~slot)
+              ~read:(fun ~page ~slot ->
+                match Engine.read engine' ~page ~slot with
+                | Ok v -> v
+                | Error e -> failwith ("Campaign: read: " ^ Engine.error_to_string e))
               ~pages:(Array.to_list pages) ~slots:(Workload.max_slots spec)
           in
           if vs <> [] then violations := (delta, vs) :: !violations)

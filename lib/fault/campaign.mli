@@ -32,6 +32,16 @@ val run : ?tear:bool -> ?broken:bool -> ?max_ops:int -> ?sample:int -> Workload.
 
 val pp_report : Format.formatter -> report -> unit
 
+val run_concurrent :
+  ?tear:bool -> ?max_ops:int -> ?sample:int -> ?sessions:int -> Workload.spec -> report
+(** The crash-point sweep of {!run} over {e concurrent} histories: the
+    workload mix runs through [sessions] (default 8) interleaved
+    {!Ipl_txn.Mvcc} transactions with a group-commit window of
+    [sessions], checked by {!Concurrent_oracle} — the recovered state
+    must equal some commit-order prefix at or past the durable watermark,
+    with conflict-losers and rolled-back transactions absent. [in_doubt]
+    counts crash points that hit inside a commit call. *)
+
 (** {1 Resilience campaign}
 
     Device-failure profiles (as opposed to crash points): the fault plan

@@ -36,6 +36,31 @@ type resilient_outcome = {
   read_failures : int;  (** transactions lost to [Read_failed] *)
 }
 
+type concurrent_outcome = {
+  committed_txns : int;
+  aborted_txns : int;  (** voluntary aborts plus conflict-doomed rollbacks *)
+  conflicts : int;  (** write-write conflicts detected by the MVCC layer *)
+}
+
+val setup_concurrent : Ipl_core.Ipl_engine.t -> Concurrent_oracle.t -> spec -> int array
+(** {!setup}, mirroring into the concurrent-history oracle instead. *)
+
+val run_concurrent :
+  Ipl_core.Ipl_engine.t ->
+  Concurrent_oracle.t ->
+  spec ->
+  sessions:int ->
+  pages:int array ->
+  concurrent_outcome
+(** The same transaction mix interleaved round-robin over [sessions]
+    concurrent {!Ipl_txn.Mvcc} transactions with a group-commit window of
+    [sessions]. Deterministic for a fixed [(spec, sessions)], so the
+    crash campaign can count flash operations once and crash each re-run
+    at a chosen index. Every successful MVCC write is mirrored into the
+    oracle; the durable watermark follows the group barriers. Raises
+    whatever the engine raises — under a fault plan, typically
+    {!Flash_sim.Flash_chip.Power_loss}. *)
+
 val run_resilient :
   Ipl_core.Ipl_engine.t -> Oracle.t -> spec -> pages:int array -> resilient_outcome
 (** The same mix through the exception-free entry points

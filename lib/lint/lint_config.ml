@@ -126,6 +126,7 @@ let libraries =
         [ "Ipl_util"; "Obs"; "Flash_sim"; "Device"; "Resilience"; "Storage"; "Bufmgr"; "Cache" ];
     };
     { dir = "lib/btree"; wrapper = "Btree"; allowed = [ "Ipl_util"; "Storage"; "Ipl_core" ] };
+    { dir = "lib/txn"; wrapper = "Ipl_txn"; allowed = [ "Ipl_util"; "Ipl_core" ] };
     { dir = "lib/ftl"; wrapper = "Ftl"; allowed = [ "Ipl_util"; "Flash_sim"; "Disk_sim" ] };
     {
       dir = "lib/sim";
@@ -160,6 +161,7 @@ let libraries =
           "Disk_sim";
           "Ftl";
           "Ipl_core";
+          "Ipl_txn";
           "Resilience";
           "Baseline";
         ];
@@ -167,7 +169,7 @@ let libraries =
     {
       dir = "lib/fault";
       wrapper = "Fault";
-      allowed = [ "Ipl_util"; "Flash_sim"; "Device"; "Resilience"; "Storage"; "Ipl_core" ];
+      allowed = [ "Ipl_util"; "Flash_sim"; "Device"; "Resilience"; "Storage"; "Ipl_core"; "Ipl_txn" ];
     };
   ]
 

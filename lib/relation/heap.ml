@@ -37,8 +37,8 @@ let fail = function
   | Error e -> failwith ("Heap: " ^ Engine.error_to_string e)
 
 let new_dir_page t =
-  let pid = fail (Engine.allocate_page_result t.engine) in
-  (match Engine.insert t.engine ~tx:0 ~page:pid (encode_dir_meta ~next:no_next) with
+  let pid = fail (Engine.allocate_page t.engine) in
+  (match Engine.insert t.engine ~tx:Engine.no_txn ~page:pid (encode_dir_meta ~next:no_next) with
   | Ok 0 -> ()
   | _ -> failwith "Heap: directory meta not at slot 0");
   pid
@@ -51,7 +51,8 @@ let create engine =
 let header t = t.header
 
 let dir_entries t dir =
-  Engine.with_page t.engine dir (fun p ->
+  fail
+  @@ Engine.with_page t.engine dir (fun p ->
       let meta =
         match Page.read p 0 with
         | Some m when Bytes.get_uint8 m 0 = dir_magic ->
@@ -82,16 +83,16 @@ let attach engine ~header =
    the tail directory page is full. *)
 let register_page t pid =
   let tail = List.nth t.dirs (List.length t.dirs - 1) in
-  (match Engine.insert t.engine ~tx:0 ~page:tail (encode_page_id pid) with
+  (match Engine.insert t.engine ~tx:Engine.no_txn ~page:tail (encode_page_id pid) with
   | Ok _ -> ()
   | Error _ ->
       let fresh = new_dir_page t in
       (* Link: patch the old tail's next pointer, then record the page. *)
       let ptr = Bytes.create 4 in
       Bytes.set_int32_le ptr 0 (Int32.of_int fresh);
-      fail (Engine.update_range t.engine ~tx:0 ~page:tail ~slot:0 ~offset:1 ptr);
+      fail (Engine.update_range t.engine ~tx:Engine.no_txn ~page:tail ~slot:0 ~offset:1 ptr);
       t.dirs <- t.dirs @ [ fresh ];
-      ignore (fail (Engine.insert t.engine ~tx:0 ~page:fresh (encode_page_id pid))));
+      ignore (fail (Engine.insert t.engine ~tx:Engine.no_txn ~page:fresh (encode_page_id pid))));
   t.pages <- pid :: t.pages
 
 let insert t ~tx data =
@@ -104,14 +105,14 @@ let insert t ~tx data =
   match from_fill with
   | Some rid -> Ok rid
   | None -> (
-      let pid = fail (Engine.allocate_page_result t.engine) in
+      let pid = fail (Engine.allocate_page t.engine) in
       register_page t pid;
       t.fill <- pid;
       match Engine.insert t.engine ~tx ~page:pid data with
       | Ok slot -> Ok (rowid ~page:pid ~slot)
       | Error e -> Error (Engine.error_to_string e))
 
-let read t rid = Engine.read t.engine ~page:(page_of_rowid rid) ~slot:(slot_of_rowid rid)
+let read t rid = fail (Engine.read t.engine ~page:(page_of_rowid rid) ~slot:(slot_of_rowid rid))
 
 let update t ~tx rid data =
   Result.map_error Engine.error_to_string
@@ -127,8 +128,9 @@ let iter t f =
       (* Collect first: [f] may re-enter the engine, and pages must not be
          mutated during iteration anyway. *)
       let rows = ref [] in
-      Engine.with_page t.engine pid (fun p ->
-          Page.iter (fun slot data -> rows := (rowid ~page:pid ~slot, data) :: !rows) p);
+      fail
+        (Engine.with_page t.engine pid (fun p ->
+             Page.iter (fun slot data -> rows := (rowid ~page:pid ~slot, data) :: !rows) p));
       List.iter (fun (rid, data) -> f rid data) (List.rev !rows))
     (List.rev t.pages)
 

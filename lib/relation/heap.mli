@@ -19,13 +19,13 @@ val attach : Ipl_core.Ipl_engine.t -> header:int -> t
 
 val header : t -> int
 
-val insert : t -> tx:int -> bytes -> (rowid, string) result
+val insert : t -> tx:Ipl_core.Ipl_engine.txn -> bytes -> (rowid, string) result
 (** Places the record in a page with room, allocating a new member page
     when needed. *)
 
 val read : t -> rowid -> bytes option
-val update : t -> tx:int -> rowid -> bytes -> (unit, string) result
-val delete : t -> tx:int -> rowid -> (unit, string) result
+val update : t -> tx:Ipl_core.Ipl_engine.txn -> rowid -> bytes -> (unit, string) result
+val delete : t -> tx:Ipl_core.Ipl_engine.txn -> rowid -> (unit, string) result
 
 val iter : t -> (rowid -> bytes -> unit) -> unit
 (** Every live record, page by page in allocation order. *)

@@ -14,16 +14,16 @@ val attach : Ipl_core.Ipl_engine.t -> heap_header:int -> index_header:int -> t
 val heap_header : t -> int
 val index_header : t -> int
 
-val insert : t -> tx:int -> key:int -> Storage.Record.t -> (unit, string) result
+val insert : t -> tx:Ipl_core.Ipl_engine.txn -> key:int -> Storage.Record.t -> (unit, string) result
 (** Fails on duplicate keys and oversized rows. *)
 
 val find : t -> int -> Storage.Record.t option
 val mem : t -> int -> bool
 
-val update : t -> tx:int -> key:int -> (Storage.Record.t -> Storage.Record.t) -> (bool, string) result
+val update : t -> tx:Ipl_core.Ipl_engine.txn -> key:int -> (Storage.Record.t -> Storage.Record.t) -> (bool, string) result
 (** [Ok false] when the key is absent. *)
 
-val delete : t -> tx:int -> key:int -> (bool, string) result
+val delete : t -> tx:Ipl_core.Ipl_engine.txn -> key:int -> (bool, string) result
 
 val next_key_ge : t -> int -> int option
 

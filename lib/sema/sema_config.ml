@@ -81,4 +81,4 @@ let contract_exceptions =
    lib/core and below are the fault-aware layers; lib/fault drives crashes
    on purpose. test/fixtures/sema holds the seeded violations. *)
 let exn_escape_dirs =
-  [ "lib/workload"; "lib/tpcc"; "lib/btree"; "lib/relation"; "test/fixtures/sema" ]
+  [ "lib/workload"; "lib/tpcc"; "lib/btree"; "lib/relation"; "lib/txn"; "test/fixtures/sema" ]

@@ -67,6 +67,11 @@ module Engine_run = struct
     counts : Tpcc_txn.counts;
   }
 
+  let checkpoint engine =
+    match Ipl_core.Ipl_engine.checkpoint engine with
+    | Ok () -> ()
+    | Error e -> failwith ("Tpcc_driver: " ^ Ipl_core.Ipl_engine.error_to_string e)
+
   let run ?(sizing = Tpcc_txn.mini_sizing) ?(seed = 42) ?config ~chip_blocks ~transactions () =
     let config =
       match config with
@@ -82,8 +87,8 @@ module Engine_run = struct
     let rollback_rate = if config.Ipl_core.Ipl_config.recovery_enabled then 0.01 else 0.0 in
     let ctx = Engine_txn.make_ctx ~rollback_rate store ~seed sizing in
     Engine_txn.load ctx;
-    Ipl_core.Ipl_engine.checkpoint engine;
+    checkpoint engine;
     Engine_txn.run ctx ~n:transactions;
-    Ipl_core.Ipl_engine.checkpoint engine;
+    checkpoint engine;
     { engine; store; counts = Engine_txn.counts ctx }
 end

@@ -23,9 +23,12 @@ let ok = function
   | Ok v -> v
   | Error e -> failwith ("Tpcc_engine_store: " ^ Engine.error_to_string e)
 
-let begin_txn t = ok (Engine.begin_txn_result t.engine)
-let commit t tx = ok (Engine.commit_result t.engine tx)
-let abort t tx = ok (Engine.abort_result t.engine tx)
+type tx = Engine.txn
+
+let no_txn = Engine.no_txn
+let begin_txn t = ok (Engine.begin_txn t.engine)
+let commit t tx = ok (Engine.commit t.engine tx)
+let abort t tx = ok (Engine.abort t.engine tx)
 
 let customer_name_entry row =
   match Tpcc_schema.last_name_number (Record.get_string row 5) with

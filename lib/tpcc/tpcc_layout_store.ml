@@ -135,6 +135,10 @@ let unregister_customer_name t data =
       | None -> ())
   | None -> ()
 
+type tx = int
+
+let no_txn = 0
+
 let begin_txn t =
   let id = t.next_txn in
   t.next_txn <- id + 1;

@@ -8,20 +8,27 @@
 module type S = sig
   type t
 
-  val begin_txn : t -> int
-  val commit : t -> int -> unit
-  val abort : t -> int -> unit
+  type tx
+  (** A store-specific transaction handle ({!Ipl_core.Ipl_engine.txn} on
+      the engine store, a plain counter on the layout model). *)
 
-  val insert : t -> tx:int -> Tpcc_schema.table -> key:int -> Storage.Record.t -> unit
+  val no_txn : tx
+  (** Mutations carrying it are implicitly committed (bulk load). *)
+
+  val begin_txn : t -> tx
+  val commit : t -> tx -> unit
+  val abort : t -> tx -> unit
+
+  val insert : t -> tx:tx -> Tpcc_schema.table -> key:int -> Storage.Record.t -> unit
   (** [key] must be fresh in the table. *)
 
   val lookup : t -> Tpcc_schema.table -> key:int -> Storage.Record.t option
 
   val update :
-    t -> tx:int -> Tpcc_schema.table -> key:int -> (Storage.Record.t -> Storage.Record.t) -> bool
+    t -> tx:tx -> Tpcc_schema.table -> key:int -> (Storage.Record.t -> Storage.Record.t) -> bool
   (** Returns false when the key is absent. *)
 
-  val delete : t -> tx:int -> Tpcc_schema.table -> key:int -> bool
+  val delete : t -> tx:tx -> Tpcc_schema.table -> key:int -> bool
 
   val next_key_ge : t -> Tpcc_schema.table -> key:int -> int option
   (** Smallest key [>=] the argument (used by Delivery to pick the oldest

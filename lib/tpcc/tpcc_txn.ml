@@ -88,23 +88,23 @@ module Make (S : Tpcc_store.S) = struct
   let load ctx =
     let s = ctx.sizing and rng = ctx.rng and st = ctx.store in
     for i = 1 to s.items do
-      S.insert st ~tx:0 Schema.Item ~key:(Schema.item_key ~i) (Schema.item_row rng ~i)
+      S.insert st ~tx:S.no_txn Schema.Item ~key:(Schema.item_key ~i) (Schema.item_row rng ~i)
     done;
     for w = 1 to s.warehouses do
-      S.insert st ~tx:0 Schema.Warehouse ~key:(Schema.warehouse_key ~w)
+      S.insert st ~tx:S.no_txn Schema.Warehouse ~key:(Schema.warehouse_key ~w)
         (Schema.warehouse_row rng ~w);
       for i = 1 to s.items do
-        S.insert st ~tx:0 Schema.Stock ~key:(Schema.stock_key ~w ~i) (Schema.stock_row rng ~w ~i)
+        S.insert st ~tx:S.no_txn Schema.Stock ~key:(Schema.stock_key ~w ~i) (Schema.stock_row rng ~w ~i)
       done;
       for d = 1 to s.districts do
         let district = Schema.district_row rng ~w ~d in
         (* d_next_o_id must reflect the sizing, not the spec constant. *)
         let district = Storage.Record.set district Schema.F.d_next_o_id (I (s.orders + 1)) in
-        S.insert st ~tx:0 Schema.District ~key:(Schema.district_key ~w ~d) district;
+        S.insert st ~tx:S.no_txn Schema.District ~key:(Schema.district_key ~w ~d) district;
         for c = 1 to s.customers do
-          S.insert st ~tx:0 Schema.Customer ~key:(Schema.customer_key ~w ~d ~c)
+          S.insert st ~tx:S.no_txn Schema.Customer ~key:(Schema.customer_key ~w ~d ~c)
             (Schema.customer_row rng ~w ~d ~c);
-          S.insert st ~tx:0 Schema.History ~key:(next_history_key ctx)
+          S.insert st ~tx:S.no_txn Schema.History ~key:(next_history_key ctx)
             (Schema.history_row rng ~w ~d ~c ~amount:10.0)
         done;
         (* Initial orders reference customers in a random permutation. *)
@@ -113,16 +113,16 @@ module Make (S : Tpcc_store.S) = struct
         for o = 1 to s.orders do
           let c = perm.((o - 1) mod s.customers) in
           let ol_cnt = Rng.int_in rng 5 15 in
-          S.insert st ~tx:0 Schema.Orders ~key:(Schema.orders_key ~w ~d ~o)
+          S.insert st ~tx:S.no_txn Schema.Orders ~key:(Schema.orders_key ~w ~d ~o)
             (Schema.orders_row rng ~w ~d ~o ~c ~ol_cnt);
           for ol = 1 to ol_cnt do
             let i = 1 + Rng.int rng s.items in
-            S.insert st ~tx:0 Schema.Order_line ~key:(Schema.order_line_key ~w ~d ~o ~ol)
+            S.insert st ~tx:S.no_txn Schema.Order_line ~key:(Schema.order_line_key ~w ~d ~o ~ol)
               (Schema.order_line_row rng ~w ~d ~o ~ol ~i ~qty:5)
           done;
           (* The most recent 30 % of orders are still undelivered. *)
           if o > s.orders - (s.orders * 3 / 10) then
-            S.insert st ~tx:0 Schema.New_order ~key:(Schema.new_order_key ~w ~d ~o)
+            S.insert st ~tx:S.no_txn Schema.New_order ~key:(Schema.new_order_key ~w ~d ~o)
               (Schema.new_order_row ~w ~d ~o)
         done
       done

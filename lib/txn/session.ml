@@ -1,0 +1,152 @@
+module Engine = Ipl_core.Ipl_engine
+
+type op =
+  | Update of { page : int; slot : int; data : bytes }
+  | Insert of { page : int; data : bytes }
+  | Delete of { page : int; slot : int }
+
+type plan = { ops : op list; aborting : bool; reads : (int * int) list }
+
+type outcome = {
+  committed : int;
+  aborted : int;
+  conflict_aborts : int;
+  mvcc : Mvcc.stats;
+}
+
+(* One client session's position in its transaction stream. [Await_flush]
+   parks the session between its commit and the group barrier that makes
+   it durable — the wait that lets commits pile into one batch. *)
+type state =
+  | Idle
+  | In_txn of { tx : Mvcc.txn; plan : plan; remaining : op list; conflicted : bool }
+  | Await_flush of { seq : int; reads : (int * int) list }
+  | Reading of (int * int) list
+  | Finished
+
+type session = { mutable next_plan : int; mutable state : state }
+
+let fail ctx = function
+  | Ok v -> v
+  | Error e -> failwith ("Session." ^ ctx ^ ": " ^ Mvcc.error_to_string e)
+
+(* Treated like the serial benchmark loop treats its engine errors: a
+   page-full insert or an update of a dead slot is part of the workload,
+   not a failure. Conflicts doom the transaction and are handled at the
+   end of its op list; anything engine-fatal escalates. *)
+let tolerate ctx = function
+  | Ok _
+  | Error
+      (Mvcc.Conflict _ | Mvcc.Doomed
+      | Mvcc.Engine_error
+          (Engine.Page_full | Engine.No_such_slot | Engine.Record_too_large)) ->
+      ()
+  | Error e -> failwith ("Session." ^ ctx ^ ": " ^ Mvcc.error_to_string e)
+
+let run ?(group_window = 0) ?(compact_every = 0) ?(note_read = fun _ -> ())
+    ~sessions ~plans engine =
+  if sessions < 1 then invalid_arg "Session.run: sessions < 1";
+  let window = if group_window > 0 then group_window else sessions in
+  let m = Mvcc.create ~group_window:window engine in
+  let committed = ref 0 and aborted = ref 0 and conflict_aborts = ref 0 in
+  let finished_txns = ref 0 in
+  let clients = Array.init sessions (fun sid -> { next_plan = sid; state = Idle }) in
+  (* A transaction's post-commit reads run against the latest committed
+     state, exactly where the serial loop reads after its commit. *)
+  let do_read (page, slot) =
+    note_read (fail "read" (Mvcc.read_committed m ~page ~slot))
+  in
+  let finish_txn () =
+    incr finished_txns;
+    if compact_every > 0 && !finished_txns mod compact_every = 0 then
+      ignore (fail "compact" (Mvcc.compact m ~max_merges:1) : int)
+  in
+  (* Advance one session by one step. Returns [true] if the step made
+     progress (a parked session waiting for the group barrier does not). *)
+  let step s =
+    match s.state with
+    | Finished -> false
+    | Idle ->
+        if s.next_plan >= Array.length plans then begin
+          s.state <- Finished;
+          false
+        end
+        else begin
+          let plan = plans.(s.next_plan) in
+          s.next_plan <- s.next_plan + sessions;
+          let tx = fail "begin" (Mvcc.begin_txn m) in
+          s.state <- In_txn { tx; plan; remaining = plan.ops; conflicted = false };
+          true
+        end
+    | In_txn { tx; plan; remaining = op :: rest; conflicted } ->
+        let r =
+          match op with
+          | Update { page; slot; data } -> Mvcc.update m tx ~page ~slot data
+          | Insert { page; data } -> Result.map ignore (Mvcc.insert m tx ~page data)
+          | Delete { page; slot } -> Mvcc.delete m tx ~page ~slot
+        in
+        tolerate "op" r;
+        let conflicted =
+          conflicted
+          || (match r with Error (Mvcc.Conflict _ | Mvcc.Doomed) -> true | _ -> false)
+        in
+        (* A doomed transaction cannot commit; skip the rest of its ops. *)
+        let remaining = if conflicted then [] else rest in
+        s.state <- In_txn { tx; plan; remaining; conflicted };
+        true
+    | In_txn { tx; plan; remaining = []; conflicted } ->
+        (if conflicted then begin
+           fail "abort" (Mvcc.abort m tx);
+           incr conflict_aborts;
+           s.state <- Reading plan.reads
+         end
+         else if plan.aborting then begin
+           fail "abort" (Mvcc.abort m tx);
+           incr aborted;
+           s.state <- Reading plan.reads
+         end
+         else begin
+           fail "commit" (Mvcc.commit m tx);
+           incr committed;
+           (* Resume once the group barrier has settled this commit. *)
+           s.state <- Await_flush { seq = !committed; reads = plan.reads }
+         end);
+        true
+    | Await_flush { seq; reads } ->
+        if Mvcc.flushed_commits m >= seq then begin
+          s.state <- Reading reads;
+          true
+        end
+        else false
+    | Reading (r :: rest) ->
+        do_read r;
+        s.state <- (match rest with [] -> Idle | _ -> Reading rest);
+        if rest = [] then finish_txn ();
+        true
+    | Reading [] ->
+        s.state <- Idle;
+        finish_txn ();
+        true
+  in
+  let all_done () = Array.for_all (fun s -> s.state = Finished) clients in
+  while not (all_done ()) do
+    let progressed = ref false in
+    Array.iter (fun s -> if step s then progressed := true) clients;
+    (* Every runnable session is parked at the barrier: the batch cannot
+       grow any further this round, so settle it now even though the
+       window isn't full. *)
+    if (not !progressed) && not (all_done ()) then
+      if Mvcc.pending m > 0 then fail "flush" (Mvcc.flush m)
+      else
+        (* Cannot happen: a non-finished session either progresses or
+           waits on a pending commit. Guard against a scheduler bug
+           turning into a spin. *)
+        failwith "Session.run: deadlock with no pending commits"
+  done;
+  fail "flush" (Mvcc.flush m);
+  {
+    committed = !committed;
+    aborted = !aborted;
+    conflict_aborts = !conflict_aborts;
+    mvcc = Mvcc.stats m;
+  }

@@ -1,0 +1,48 @@
+(** A multi-client session front-end over one engine.
+
+    Simulated client sessions execute pre-drawn transaction plans through
+    the {!Mvcc} layer on a deterministic round-robin scheduler: every
+    rotation advances each session by exactly one step (begin, one record
+    operation, commit/abort, or one read), so the interleaving — and with
+    it every conflict, batch boundary and read result — is a pure
+    function of [(plans, sessions, group_window)]. One session degrades
+    to the serial loop: same operation order, same logical outcome.
+
+    Sessions park between their commit and the group barrier that makes
+    it durable. When a rotation makes no progress (every live session is
+    parked), the pending batch is settled even if the window isn't full —
+    that is what turns N concurrent commits into one device barrier. *)
+
+type op =
+  | Update of { page : int; slot : int; data : bytes }
+  | Insert of { page : int; data : bytes }
+  | Delete of { page : int; slot : int }
+
+type plan = {
+  ops : op list;
+  aborting : bool;  (** voluntarily abort instead of committing *)
+  reads : (int * int) list;  (** post-commit read phase: (page, slot) *)
+}
+
+type outcome = {
+  committed : int;
+  aborted : int;  (** voluntary aborts (the plan said so) *)
+  conflict_aborts : int;  (** transactions doomed by write-write conflicts *)
+  mvcc : Mvcc.stats;
+}
+
+val run :
+  ?group_window:int ->
+  ?compact_every:int ->
+  ?note_read:(bytes option -> unit) ->
+  sessions:int ->
+  plans:plan array ->
+  Ipl_core.Ipl_engine.t ->
+  outcome
+(** Multiplex [plans] over [sessions] clients (plan [i] goes to session
+    [i mod sessions], preserving per-session order). [group_window]
+    defaults to [sessions]. [compact_every] > 0 runs a {!Mvcc.compact}
+    with one merge after every that-many finished transactions, like the
+    serial benchmark loop. [note_read] sees every read result in
+    deterministic schedule order. The final batch is flushed before
+    returning; the engine is left checkpoint-ready. *)

@@ -31,6 +31,7 @@ type spec = {
   log_cache_bytes : int;
   channels : int;
   ways : int;
+  sessions : int;  (* 0: serial engine loop; N > 0: N MVCC client sessions *)
 }
 
 let default =
@@ -49,15 +50,29 @@ let default =
     log_cache_bytes = Config.default.Config.log_cache_bytes;
     channels = 1;
     ways = 1;
+    sessions = 0;
   }
 
 let quick = { default with transactions = 120 }
+
+type concurrency = {
+  sessions : int;
+  committed : int;
+  aborted : int;
+  conflict_aborts : int;
+  conflicts : int;
+  commit_batches : int;
+  batched_commits : int;
+  max_commit_batch : int;
+  throughput_tps : float;
+}
 
 type t = {
   spec : spec;
   engine : Engine.t;
   tracer : Obs.Tracer.t;
   metrics : Obs.Metrics.t;
+  concurrency : concurrency;
   json : Json.t;
 }
 
@@ -142,10 +157,10 @@ let run_workload spec engine tracer metrics =
   and c_commit = Obs.Metrics.counter metrics "txn.commits" in
   let rng = Rng.of_int spec.seed in
   let bytes_of len = Bytes.of_string (Rng.alpha_string rng ~min:len ~max:len) in
-  let pages = Array.init spec.pages (fun _ -> ok (Engine.allocate_page_result engine)) in
+  let pages = Array.init spec.pages (fun _ -> ok (Engine.allocate_page engine)) in
   let live = Hashtbl.create (spec.pages * spec.slots_per_page) in
   (* Seed every page with an initial set of records. *)
-  let tx = ok (Engine.begin_txn_result engine) in
+  let tx = ok (Engine.begin_txn engine) in
   Array.iter
     (fun p ->
       for _ = 1 to spec.slots_per_page do
@@ -154,8 +169,8 @@ let run_workload spec engine tracer metrics =
         | Error e -> failwith ("Obs_bench: setup insert: " ^ Engine.error_to_string e)
       done)
     pages;
-  ok (Engine.commit_result engine tx);
-  ok (Engine.checkpoint_result engine);
+  ok (Engine.commit engine tx);
+  ok (Engine.checkpoint engine);
   let setup_s = wall () -. wall0 in
   (* Draw every transaction's parameters up front — in exactly the order
      the serial loop drew them, so the RNG stream (and hence the logical
@@ -190,90 +205,156 @@ let run_workload spec engine tracer metrics =
         in
         (ops, aborting, reads))
   in
-  let write_set ops =
-    List.map (function `Update (p, _, _) | `Insert (p, _) | `Delete (p, _) -> p) ops
-  in
-  let start_ws n =
-    if n < spec.transactions then
-      let ops, _, _ = plans.(n) in
-      Some (ok (Engine.prefetch_start_result engine (write_set ops)))
-    else None
-  in
-  (* In-flight prefetch of the NEXT transaction's write set. *)
-  let next_ws = ref (start_ws 0) in
-  for n = 1 to spec.transactions do
-    let ops, aborting, reads = plans.(n - 1) in
-    let tx = ok (Engine.begin_txn_result engine) in
-    (match !next_ws with
-    | Some tok -> ok (Engine.prefetch_finish_result engine tok)
-    | None -> ());
-    next_ws := None;
-    (* Submit the read phase's fetches now, before the mutations: their
-       flash latency overlaps the whole transaction body and the commit
-       barrier. Pages in this transaction's write set are excluded — a
-       snapshot of a page the transaction is about to modify could go
-       stale if the frame were evicted mid-transaction; those pages are
-       resident by read time anyway. Untouched pages cannot change
-       logical content while the transaction runs (merges preserve it),
-       so the early snapshot equals the serial read. *)
-    let ws = write_set ops in
-    let rd_token =
-      ok
-        (Engine.prefetch_start_result engine
-           (List.filter (fun p -> not (List.mem p ws)) (List.map fst reads)))
+  let run_serial () =
+    let write_set ops =
+      List.map (function `Update (p, _, _) | `Insert (p, _) | `Delete (p, _) -> p) ops
     in
-    List.iter
-      (function
-        | `Update (page, slot, data) -> (
-            match
-              timed elapsed l_update (fun () -> Engine.update engine ~tx ~page ~slot data)
-            with
-            | Ok () -> ()
-            | Error _ -> ())
-        | `Insert (page, data) -> (
-            match timed elapsed l_insert (fun () -> Engine.insert engine ~tx ~page data) with
-            | Ok slot -> Hashtbl.replace live (page, slot) ()
-            | Error _ -> ())
-        | `Delete (page, slot) -> (
-            match timed elapsed l_delete (fun () -> Engine.delete engine ~tx ~page ~slot) with
-            | Ok () -> Hashtbl.remove live (page, slot)
-            | Error _ -> ()))
-      ops;
-    (* On the commit path this transaction's reads and the next
-       transaction's write set are submitted {e before} the commit: its
-       durability barrier promotes the log programs past the queued
-       reads (deadline promotion) and the read latency is absorbed while
-       the host sits at the barrier anyway. A non-resident page has no
-       unflushed records and prefetch snapshots image + log records
-       together, so the captured contents — and the digest — are
-       identical to the serial path. An aborting transaction prefetches
-       after the abort (its rolled-back records must not be baked into
-       frames). *)
-    (if aborting then begin
-       ok (Engine.abort_result engine tx);
-       Obs.Metrics.Counter.incr c_abort;
-       (* The early token only holds untouched pages, whose captured
-          snapshots are unaffected by the rollback; the rolled-back
-          write-set pages were rebuilt in place by the abort. *)
-       ok (Engine.prefetch_finish_result engine rd_token);
-       next_ws := start_ws n
-     end
-     else begin
-       next_ws := start_ws n;
-       timed elapsed l_commit (fun () -> ok (Engine.commit_result engine tx));
-       Obs.Metrics.Counter.incr c_commit;
-       ok (Engine.prefetch_finish_result engine rd_token)
-     end);
-    let r0 = wall () in
-    List.iter
-      (fun (page, slot) ->
-        note_read (timed elapsed l_read (fun () -> ok (Engine.read_result engine ~page ~slot))))
-      reads;
-    reads_s := !reads_s +. (wall () -. r0);
-    if spec.compact_every > 0 && n mod spec.compact_every = 0 then
-      ignore (ok (Engine.compact_result engine ~max_merges:1) : int)
-  done;
-  ok (Engine.checkpoint_result engine);
+    let start_ws n =
+      if n < spec.transactions then
+        let ops, _, _ = plans.(n) in
+        Some (ok (Engine.prefetch_start engine (write_set ops)))
+      else None
+    in
+    (* In-flight prefetch of the NEXT transaction's write set. *)
+    let next_ws = ref (start_ws 0) in
+    for n = 1 to spec.transactions do
+      let ops, aborting, reads = plans.(n - 1) in
+      let tx = ok (Engine.begin_txn engine) in
+      (match !next_ws with
+      | Some tok -> ok (Engine.prefetch_finish engine tok)
+      | None -> ());
+      next_ws := None;
+      (* Submit the read phase's fetches now, before the mutations: their
+         flash latency overlaps the whole transaction body and the commit
+         barrier. Pages in this transaction's write set are excluded — a
+         snapshot of a page the transaction is about to modify could go
+         stale if the frame were evicted mid-transaction; those pages are
+         resident by read time anyway. Untouched pages cannot change
+         logical content while the transaction runs (merges preserve it),
+         so the early snapshot equals the serial read. *)
+      let ws = write_set ops in
+      let rd_token =
+        ok
+          (Engine.prefetch_start engine
+             (List.filter (fun p -> not (List.mem p ws)) (List.map fst reads)))
+      in
+      List.iter
+        (function
+          | `Update (page, slot, data) -> (
+              match
+                timed elapsed l_update (fun () -> Engine.update engine ~tx ~page ~slot data)
+              with
+              | Ok () -> ()
+              | Error _ -> ())
+          | `Insert (page, data) -> (
+              match timed elapsed l_insert (fun () -> Engine.insert engine ~tx ~page data) with
+              | Ok slot -> Hashtbl.replace live (page, slot) ()
+              | Error _ -> ())
+          | `Delete (page, slot) -> (
+              match timed elapsed l_delete (fun () -> Engine.delete engine ~tx ~page ~slot) with
+              | Ok () -> Hashtbl.remove live (page, slot)
+              | Error _ -> ()))
+        ops;
+      (* On the commit path this transaction's reads and the next
+         transaction's write set are submitted {e before} the commit: its
+         durability barrier promotes the log programs past the queued
+         reads (deadline promotion) and the read latency is absorbed while
+         the host sits at the barrier anyway. A non-resident page has no
+         unflushed records and prefetch snapshots image + log records
+         together, so the captured contents — and the digest — are
+         identical to the serial path. An aborting transaction prefetches
+         after the abort (its rolled-back records must not be baked into
+         frames). *)
+      (if aborting then begin
+         ok (Engine.abort engine tx);
+         Obs.Metrics.Counter.incr c_abort;
+         (* The early token only holds untouched pages, whose captured
+            snapshots are unaffected by the rollback; the rolled-back
+            write-set pages were rebuilt in place by the abort. *)
+         ok (Engine.prefetch_finish engine rd_token);
+         next_ws := start_ws n
+       end
+       else begin
+         next_ws := start_ws n;
+         timed elapsed l_commit (fun () -> ok (Engine.commit engine tx));
+         Obs.Metrics.Counter.incr c_commit;
+         ok (Engine.prefetch_finish engine rd_token)
+       end);
+      let r0 = wall () in
+      List.iter
+        (fun (page, slot) ->
+          note_read (timed elapsed l_read (fun () -> ok (Engine.read engine ~page ~slot))))
+        reads;
+      reads_s := !reads_s +. (wall () -. r0);
+      if spec.compact_every > 0 && n mod spec.compact_every = 0 then
+        ignore (ok (Engine.compact engine ~max_merges:1) : int)
+    done;
+    ok (Engine.checkpoint engine)
+  in
+  let sim0 = Dev.elapsed dev in
+  let conc0 =
+    if spec.sessions > 0 then begin
+      (* Concurrent serving: the identical pre-drawn plans (same RNG
+         stream, same logical workload) run through the MVCC session
+         front-end instead of the serial loop. One session reproduces the
+         serial operation order — and hence the digest — exactly; more
+         sessions interleave round-robin, so commits coalesce into group
+         batches and write-write conflicts become possible. *)
+      let splans =
+        Array.map
+          (fun (ops, aborting, reads) ->
+            {
+              Ipl_txn.Session.ops =
+                List.map
+                  (function
+                    | `Update (page, slot, data) ->
+                        Ipl_txn.Session.Update { page; slot; data }
+                    | `Insert (page, data) -> Ipl_txn.Session.Insert { page; data }
+                    | `Delete (page, slot) -> Ipl_txn.Session.Delete { page; slot })
+                  ops;
+              aborting;
+              reads;
+            })
+          plans
+      in
+      let o =
+        Ipl_txn.Session.run ~compact_every:spec.compact_every ~note_read
+          ~sessions:spec.sessions ~plans:splans engine
+      in
+      ok (Engine.checkpoint engine);
+      Obs.Metrics.Counter.add c_commit o.Ipl_txn.Session.committed;
+      Obs.Metrics.Counter.add c_abort
+        (o.Ipl_txn.Session.aborted + o.Ipl_txn.Session.conflict_aborts);
+      let st = o.Ipl_txn.Session.mvcc in
+      {
+        sessions = spec.sessions;
+        committed = o.Ipl_txn.Session.committed;
+        aborted = o.Ipl_txn.Session.aborted;
+        conflict_aborts = o.Ipl_txn.Session.conflict_aborts;
+        conflicts = st.Ipl_txn.Mvcc.conflicts;
+        commit_batches = st.Ipl_txn.Mvcc.barriers;
+        batched_commits = st.Ipl_txn.Mvcc.batched_commits;
+        max_commit_batch = st.Ipl_txn.Mvcc.max_batch;
+        throughput_tps = 0.0;
+      }
+    end
+    else begin
+      run_serial ();
+      let commits = Obs.Metrics.Counter.value c_commit in
+      {
+        sessions = 0;
+        committed = commits;
+        aborted = Obs.Metrics.Counter.value c_abort;
+        conflict_aborts = 0;
+        conflicts = 0;
+        (* Every serial commit forces its own barrier: batch size 1. *)
+        commit_batches = commits;
+        batched_commits = commits;
+        max_commit_batch = (if commits > 0 then 1 else 0);
+        throughput_tps = 0.0;
+      }
+    end
+  in
   (* Fold the commit/abort tally into the digest so a geometry that
      changed transaction outcomes (it must not) cannot go unnoticed. *)
   fold_digest
@@ -281,6 +362,14 @@ let run_workload spec engine tracer metrics =
        (Printf.sprintf "commits=%d aborts=%d"
           (Obs.Metrics.Counter.value c_commit)
           (Obs.Metrics.Counter.value c_abort)));
+  let sim_s = Dev.elapsed dev -. sim0 in
+  let conc =
+    {
+      conc0 with
+      throughput_tps =
+        (if sim_s > 0.0 then float_of_int conc0.committed /. sim_s else 0.0);
+    }
+  in
   let total_s = wall () -. wall0 in
   ( [
       ("setup", setup_s);
@@ -288,7 +377,8 @@ let run_workload spec engine tracer metrics =
       ("reads", !reads_s);
       ("workload_total", total_s);
     ],
-    !digest )
+    !digest,
+    conc )
 
 (* The physical page traffic of the IPL run, as a conventional design
    would see it: every log-sector flush (in-page or diverted) is a page
@@ -394,6 +484,27 @@ let workload_json spec =
       ("log_cache_bytes", Json.Int spec.log_cache_bytes);
       ("channels", Json.Int spec.channels);
       ("ways", Json.Int spec.ways);
+      ("sessions", Json.Int spec.sessions);
+    ]
+
+let concurrency_json c =
+  let mean =
+    if c.commit_batches > 0 then
+      float_of_int c.batched_commits /. float_of_int c.commit_batches
+    else 0.0
+  in
+  Json.Obj
+    [
+      ("sessions", Json.Int c.sessions);
+      ("committed", Json.Int c.committed);
+      ("aborted", Json.Int c.aborted);
+      ("conflict_aborts", Json.Int c.conflict_aborts);
+      ("conflicts", Json.Int c.conflicts);
+      ("commit_batches", Json.Int c.commit_batches);
+      ("batched_commits", Json.Int c.batched_commits);
+      ("mean_commit_batch", Json.Float mean);
+      ("max_commit_batch", Json.Int c.max_commit_batch);
+      ("throughput_tps", Json.Float c.throughput_tps);
     ]
 
 let ipl_backend engine metrics =
@@ -424,7 +535,7 @@ let run ?(spec = default) () =
   let engine = fatal (fun () -> Engine.create_device ~config:(engine_config spec) dev) in
   let tracer = Obs.Tracer.create ~capacity:(tracer_capacity spec) () in
   let metrics = Obs.Metrics.create () in
-  let phases, logical_digest = run_workload spec engine tracer metrics in
+  let phases, logical_digest, conc = run_workload spec engine tracer metrics in
   let replay0 = Ipl_util.Clock.now_s () in
   let stream = page_stream tracer in
   let trace_summary =
@@ -457,6 +568,18 @@ let run ?(spec = default) () =
                 ("misses", Json.Int st.Ipl_core.Ipl_storage.log_cache_misses);
                 ("evictions", Json.Int st.Ipl_core.Ipl_storage.log_cache_evictions);
               ] );
+          (* Commit-batch and conflict counters: what the host time above
+             was (or was not) spent waiting on — each batch is one
+             durability barrier, so fewer batches than commits is the
+             group-commit win. *)
+          ("commit_batches", Json.Int conc.commit_batches);
+          ( "mean_commit_batch",
+            Json.Float
+              (if conc.commit_batches > 0 then
+                 float_of_int conc.batched_commits /. float_of_int conc.commit_batches
+               else 0.0) );
+          ("max_commit_batch", Json.Int conc.max_commit_batch);
+          ("conflict_aborts", Json.Int conc.conflict_aborts);
         ])
   in
   let json =
@@ -468,9 +591,10 @@ let run ?(spec = default) () =
         ("device", Dev.to_json dev);
         ("trace", trace_summary);
         ("wall_clock", wall_clock);
+        ("concurrency", concurrency_json conc);
         ("backends", Json.List backends);
       ]
   in
-  { spec; engine; tracer; metrics; json }
+  { spec; engine; tracer; metrics; concurrency = conc; json }
 
 let write_json path t = Obs.Export.to_file path (Json.to_string t.json ^ "\n")

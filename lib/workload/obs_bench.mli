@@ -43,17 +43,41 @@ type spec = {
           serial chip. The baseline replays always run on a serial chip —
           the comparison isolates what parallelism buys the IPL design *)
   ways : int;  (** chips per channel *)
+  sessions : int;
+      (** 0 (default): the single-threaded serial engine loop. n > 0: the
+          same pre-drawn transaction plans are multiplexed over n MVCC
+          client sessions ({!Ipl_txn.Session}) with group commit — one
+          session reproduces the serial order (and logical digest)
+          exactly; more sessions coalesce commits into batches and make
+          write-write conflicts possible *)
 }
 
 val default : spec
 val quick : spec
 (** [default] with fewer transactions, for CI smoke runs. *)
 
+type concurrency = {
+  sessions : int;  (** as configured; 0 on a serial run *)
+  committed : int;
+  aborted : int;  (** voluntary aborts (the plan said so) *)
+  conflict_aborts : int;  (** transactions doomed by write-write conflicts *)
+  conflicts : int;  (** conflicts detected (dooming events) *)
+  commit_batches : int;  (** durability barriers issued for commits *)
+  batched_commits : int;  (** commits those barriers settled *)
+  max_commit_batch : int;
+  throughput_tps : float;  (** committed txns per simulated second *)
+}
+(** Group-commit and conflict accounting of the workload phase. A serial
+    run reports one barrier per commit and no conflicts; a session run
+    reports the {!Ipl_txn.Mvcc} batch counters — mean batch size
+    [batched_commits / commit_batches] is the group-commit win. *)
+
 type t = {
   spec : spec;
   engine : Ipl_core.Ipl_engine.t;  (** the engine after the run, for inspection *)
   tracer : Obs.Tracer.t;  (** full event trace of the IPL run *)
   metrics : Obs.Metrics.t;  (** per-operation latency histograms and counters *)
+  concurrency : concurrency;
   json : Ipl_util.Json.t;  (** the BENCH_ipl.json document *)
 }
 
@@ -63,11 +87,12 @@ val schema_version : string
 val run : ?spec:spec -> unit -> t
 (** Run the workload and both conventional replays; never raises on a
     well-formed spec. The resulting [json] is
-    [{schema; workload; trace; wall_clock; backends = [ipl; lfs; inplace]}]
-    where each backend carries [ops] latency histograms plus its layer
-    stats (IPL: storage/pool/flash with merge, overflow and wear
-    counters) and [wall_clock] holds host-time phase timings plus the
-    log-record cache counters. *)
+    [{schema; workload; trace; wall_clock; concurrency;
+    backends = [ipl; lfs; inplace]}] where each backend carries [ops]
+    latency histograms plus its layer stats (IPL: storage/pool/flash with
+    merge, overflow and wear counters), [wall_clock] holds host-time
+    phase timings plus the log-record cache and commit-batch /
+    conflict-abort counters, and [concurrency] mirrors {!concurrency}. *)
 
 val write_json : string -> t -> unit
 (** [write_json path t] writes [t.json] (compact, newline-terminated). *)

@@ -25,9 +25,9 @@ let test_empty () =
 
 let test_insert_find () =
   let _, _, _, t = mk () in
-  ok (B.insert t ~tx:0 ~key:5 ~value:50);
-  ok (B.insert t ~tx:0 ~key:1 ~value:10);
-  ok (B.insert t ~tx:0 ~key:9 ~value:90);
+  ok (B.insert t ~tx:Engine.no_txn ~key:5 ~value:50);
+  ok (B.insert t ~tx:Engine.no_txn ~key:1 ~value:10);
+  ok (B.insert t ~tx:Engine.no_txn ~key:9 ~value:90);
   Alcotest.(check (option int)) "find 5" (Some 50) (B.find t 5);
   Alcotest.(check (option int)) "find 1" (Some 10) (B.find t 1);
   Alcotest.(check (option int)) "find 9" (Some 90) (B.find t 9);
@@ -37,24 +37,24 @@ let test_insert_find () =
 
 let test_duplicate_and_set () =
   let _, _, _, t = mk () in
-  ok (B.insert t ~tx:0 ~key:3 ~value:30);
-  (match B.insert t ~tx:0 ~key:3 ~value:31 with
+  ok (B.insert t ~tx:Engine.no_txn ~key:3 ~value:30);
+  (match B.insert t ~tx:Engine.no_txn ~key:3 ~value:31 with
   | Error "duplicate key" -> ()
   | _ -> Alcotest.fail "expected duplicate error");
-  ok (B.set t ~tx:0 ~key:3 ~value:33);
+  ok (B.set t ~tx:Engine.no_txn ~key:3 ~value:33);
   Alcotest.(check (option int)) "overwritten" (Some 33) (B.find t 3);
-  ok (B.set t ~tx:0 ~key:4 ~value:44);
+  ok (B.set t ~tx:Engine.no_txn ~key:4 ~value:44);
   Alcotest.(check (option int)) "upserted" (Some 44) (B.find t 4)
 
 let test_delete () =
   let _, _, _, t = mk () in
   for k = 1 to 20 do
-    ok (B.insert t ~tx:0 ~key:k ~value:(k * 10))
+    ok (B.insert t ~tx:Engine.no_txn ~key:k ~value:(k * 10))
   done;
-  ok (B.delete t ~tx:0 ~key:10);
+  ok (B.delete t ~tx:Engine.no_txn ~key:10);
   Alcotest.(check (option int)) "deleted" None (B.find t 10);
   Alcotest.(check int) "cardinal" 19 (B.cardinal t);
-  (match B.delete t ~tx:0 ~key:10 with
+  (match B.delete t ~tx:Engine.no_txn ~key:10 with
   | Error "not found" -> ()
   | _ -> Alcotest.fail "expected not found");
   Alcotest.(check (result unit string)) "invariants" (Ok ()) (B.check_invariants t)
@@ -63,7 +63,7 @@ let test_splits_and_growth () =
   let _, _, _, t = mk () in
   let n = 5_000 in
   for k = 1 to n do
-    ok (B.insert t ~tx:0 ~key:k ~value:(k * 2))
+    ok (B.insert t ~tx:Engine.no_txn ~key:k ~value:(k * 2))
   done;
   Alcotest.(check int) "cardinal" n (B.cardinal t);
   Alcotest.(check bool) "tree grew" true (B.height t >= 2);
@@ -76,7 +76,7 @@ let test_reverse_and_random_orders () =
   let _, _, _, t = mk () in
   let keys = Array.init 2000 (fun i -> i * 7) in
   Ipl_util.Rng.shuffle (Ipl_util.Rng.of_int 5) keys;
-  Array.iter (fun k -> ok (B.insert t ~tx:0 ~key:k ~value:(k + 1))) keys;
+  Array.iter (fun k -> ok (B.insert t ~tx:Engine.no_txn ~key:k ~value:(k + 1))) keys;
   Alcotest.(check (result unit string)) "invariants" (Ok ()) (B.check_invariants t);
   Alcotest.(check (option int)) "min" (Some 0) (B.min_key t);
   Alcotest.(check (option int)) "max" (Some (1999 * 7)) (B.max_key t);
@@ -87,7 +87,7 @@ let test_reverse_and_random_orders () =
 let test_range () =
   let _, _, _, t = mk () in
   for k = 0 to 999 do
-    ok (B.insert t ~tx:0 ~key:(k * 2) ~value:k)
+    ok (B.insert t ~tx:Engine.no_txn ~key:(k * 2) ~value:k)
   done;
   let r = B.range t ~lo:10 ~hi:20 in
   Alcotest.(check (list (pair int int))) "range" [ (10, 5); (12, 6); (14, 7); (16, 8); (18, 9); (20, 10) ] r;
@@ -98,7 +98,7 @@ let test_iter_sorted () =
   let _, _, _, t = mk () in
   let keys = Array.init 3000 (fun i -> i) in
   Ipl_util.Rng.shuffle (Ipl_util.Rng.of_int 17) keys;
-  Array.iter (fun k -> ok (B.insert t ~tx:0 ~key:k ~value:k)) keys;
+  Array.iter (fun k -> ok (B.insert t ~tx:Engine.no_txn ~key:k ~value:k)) keys;
   let prev = ref (-1) and count = ref 0 in
   B.iter t (fun ~key ~value ->
       Alcotest.(check int) "value" key value;
@@ -109,7 +109,7 @@ let test_iter_sorted () =
 
 let test_negative_keys () =
   let _, _, _, t = mk () in
-  List.iter (fun k -> ok (B.insert t ~tx:0 ~key:k ~value:(k * 3))) [ -5; -1; 0; 3; -100 ];
+  List.iter (fun k -> ok (B.insert t ~tx:Engine.no_txn ~key:k ~value:(k * 3))) [ -5; -1; 0; 3; -100 ];
   Alcotest.(check (option int)) "find -5" (Some (-15)) (B.find t (-5));
   Alcotest.(check (option int)) "find -100" (Some (-300)) (B.find t (-100));
   Alcotest.(check (option int)) "min" (Some (-100)) (B.min_key t)
@@ -120,9 +120,9 @@ let test_survives_restart () =
   let e = Engine.create ~config chip in
   let t = B.create e in
   for k = 1 to 1500 do
-    ok (B.insert t ~tx:0 ~key:k ~value:(k * 5))
+    ok (B.insert t ~tx:Engine.no_txn ~key:k ~value:(k * 5))
   done;
-  Engine.checkpoint e;
+  Engine.Unsafe.checkpoint e;
   let header = B.header_page t in
   let e', _ = Engine.restart ~config chip in
   let t' = B.attach e' ~header in
@@ -138,12 +138,13 @@ let test_transactional_abort_rolls_back_index () =
   let e = Engine.create ~config chip in
   let t = B.create e in
   for k = 1 to 100 do
-    ok (B.insert t ~tx:0 ~key:k ~value:k)
+    ok (B.insert t ~tx:Engine.no_txn ~key:k ~value:k)
   done;
-  let tx = Engine.begin_txn e in
+  let txi = Engine.Unsafe.begin_txn e in
+  let tx = Engine.Unsafe.txn txi in
   ok (B.insert t ~tx ~key:1000 ~value:1);
   ok (B.delete t ~tx ~key:50);
-  Engine.abort e tx;
+  Engine.Unsafe.abort e txi;
   Alcotest.(check (option int)) "insert rolled back" None (B.find t 1000);
   Alcotest.(check (option int)) "delete rolled back" (Some 50) (B.find t 50);
   Alcotest.(check (result unit string)) "invariants" (Ok ()) (B.check_invariants t)
@@ -168,17 +169,17 @@ let prop_tree_vs_model =
         (fun op ->
           match op with
           | `Insert (k, v) -> (
-              match B.insert t ~tx:0 ~key:k ~value:v with
+              match B.insert t ~tx:Engine.no_txn ~key:k ~value:v with
               | Ok () ->
                   assert (not (Hashtbl.mem model k));
                   Hashtbl.replace model k v
               | Error _ -> assert (Hashtbl.mem model k))
           | `Set (k, v) -> (
-              match B.set t ~tx:0 ~key:k ~value:v with
+              match B.set t ~tx:Engine.no_txn ~key:k ~value:v with
               | Ok () -> Hashtbl.replace model k v
               | Error _ -> assert false)
           | `Delete k -> (
-              match B.delete t ~tx:0 ~key:k with
+              match B.delete t ~tx:Engine.no_txn ~key:k with
               | Ok () ->
                   assert (Hashtbl.mem model k);
                   Hashtbl.remove model k

@@ -114,8 +114,8 @@ let engine_with ~cache_bytes ~blocks =
 let run_twin_workload ~seed ~txns (ea, eb) =
   let rng = Rng.of_int seed in
   let pages = Array.init 6 (fun _ ->
-      let p = Engine.allocate_page ea in
-      let p' = Engine.allocate_page eb in
+      let p = Engine.Unsafe.allocate_page ea in
+      let p' = Engine.Unsafe.allocate_page eb in
       Alcotest.(check int) "same page ids" p p';
       p)
   in
@@ -126,7 +126,7 @@ let run_twin_workload ~seed ~txns (ea, eb) =
     ra
   in
   for i = 1 to txns do
-    let tx = both Engine.begin_txn in
+    let tx = both Engine.Unsafe.begin_txn in
     let ops = 1 + Rng.int rng 4 in
     for _ = 1 to ops do
       let page = pages.(Rng.int rng (Array.length pages)) in
@@ -134,22 +134,22 @@ let run_twin_workload ~seed ~txns (ea, eb) =
       match Rng.int rng 10 with
       | 0 | 1 | 2 ->
           let p = payload () in
-          ignore (both (fun e -> Engine.insert e ~tx ~page p))
-      | 3 -> ignore (both (fun e -> Engine.delete e ~tx ~page ~slot))
+          ignore (both (fun e -> Engine.Unsafe.insert e ~tx ~page p))
+      | 3 -> ignore (both (fun e -> Engine.Unsafe.delete e ~tx ~page ~slot))
       | _ ->
           let p = payload () in
-          ignore (both (fun e -> Engine.update e ~tx ~page ~slot p))
+          ignore (both (fun e -> Engine.Unsafe.update e ~tx ~page ~slot p))
     done;
-    if Rng.int rng 100 < 15 then both (fun e -> Engine.abort e tx)
-    else both (fun e -> Engine.commit e tx);
+    if Rng.int rng 100 < 15 then both (fun e -> Engine.Unsafe.abort e tx)
+    else both (fun e -> Engine.Unsafe.commit e tx);
     (* Interleave reads so the cache is exercised while logs grow. *)
     for _ = 1 to 4 do
       let page = pages.(Rng.int rng (Array.length pages)) in
       let slot = Rng.int rng 16 in
-      ignore (both (fun e -> Engine.read e ~page ~slot))
+      ignore (both (fun e -> Engine.Unsafe.read e ~page ~slot))
     done;
-    if i mod 25 = 0 then both (fun e -> Engine.checkpoint e);
-    if i mod 40 = 0 then ignore (both (fun e -> Engine.compact e ~max_merges:2))
+    if i mod 25 = 0 then both (fun e -> Engine.Unsafe.checkpoint e);
+    if i mod 40 = 0 then ignore (both (fun e -> Engine.Unsafe.compact e ~max_merges:2))
   done;
   pages
 
@@ -159,8 +159,8 @@ let check_all_reads label (ea, eb) pages =
       for slot = 0 to 31 do
         Alcotest.(check (option bytes))
           (Printf.sprintf "%s: page %d slot %d" label page slot)
-          (Engine.read eb ~page ~slot)
-          (Engine.read ea ~page ~slot)
+          (Engine.Unsafe.read eb ~page ~slot)
+          (Engine.Unsafe.read ea ~page ~slot)
       done)
     pages
 
@@ -181,8 +181,8 @@ let equivalence ?(expect_hits = true) ~seed ~cache_bytes () =
   Alcotest.(check int) "cache-off run never touches the cache" 0 sb.Store.log_cache_hits;
   (* Crash at a durability point: both come back identical (the cache is
      DRAM-only, so the cache-on engine restarts cold). *)
-  Engine.checkpoint ea;
-  Engine.checkpoint eb;
+  Engine.Unsafe.checkpoint ea;
+  Engine.Unsafe.checkpoint eb;
   let ea', _ = Engine.restart ~config:config_a chip_a in
   let eb', _ = Engine.restart ~config:config_b chip_b in
   check_all_reads "after restart" (ea', eb') pages

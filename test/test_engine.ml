@@ -23,36 +23,36 @@ let ok = function Ok x -> x | Error e -> Alcotest.failf "unexpected error: %s" (
 
 let test_insert_read () =
   let _, _, e = mk () in
-  let page = Engine.allocate_page e in
-  let s0 = ok (Engine.insert e ~tx:0 ~page (b "alpha")) in
-  let s1 = ok (Engine.insert e ~tx:0 ~page (b "beta")) in
+  let page = Engine.Unsafe.allocate_page e in
+  let s0 = ok (Engine.Unsafe.insert e ~tx:0 ~page (b "alpha")) in
+  let s1 = ok (Engine.Unsafe.insert e ~tx:0 ~page (b "beta")) in
   Alcotest.(check int) "slot 0" 0 s0;
   Alcotest.(check int) "slot 1" 1 s1;
-  Alcotest.(check (option bytes)) "read 0" (Some (b "alpha")) (Engine.read e ~page ~slot:0);
-  Alcotest.(check (option bytes)) "read 1" (Some (b "beta")) (Engine.read e ~page ~slot:1)
+  Alcotest.(check (option bytes)) "read 0" (Some (b "alpha")) (Engine.Unsafe.read e ~page ~slot:0);
+  Alcotest.(check (option bytes)) "read 1" (Some (b "beta")) (Engine.Unsafe.read e ~page ~slot:1)
 
 let test_update_delete () =
   let _, _, e = mk () in
-  let page = Engine.allocate_page e in
-  let slot = ok (Engine.insert e ~tx:0 ~page (b "original")) in
-  ok (Engine.update e ~tx:0 ~page ~slot (b "Original"));
-  Alcotest.(check (option bytes)) "updated" (Some (b "Original")) (Engine.read e ~page ~slot);
-  ok (Engine.update e ~tx:0 ~page ~slot (b "longer than before"));
+  let page = Engine.Unsafe.allocate_page e in
+  let slot = ok (Engine.Unsafe.insert e ~tx:0 ~page (b "original")) in
+  ok (Engine.Unsafe.update e ~tx:0 ~page ~slot (b "Original"));
+  Alcotest.(check (option bytes)) "updated" (Some (b "Original")) (Engine.Unsafe.read e ~page ~slot);
+  ok (Engine.Unsafe.update e ~tx:0 ~page ~slot (b "longer than before"));
   Alcotest.(check (option bytes)) "resized" (Some (b "longer than before"))
-    (Engine.read e ~page ~slot);
-  ok (Engine.delete e ~tx:0 ~page ~slot);
-  Alcotest.(check (option bytes)) "deleted" None (Engine.read e ~page ~slot);
-  (match Engine.delete e ~tx:0 ~page ~slot with
+    (Engine.Unsafe.read e ~page ~slot);
+  ok (Engine.Unsafe.delete e ~tx:0 ~page ~slot);
+  Alcotest.(check (option bytes)) "deleted" None (Engine.Unsafe.read e ~page ~slot);
+  (match Engine.Unsafe.delete e ~tx:0 ~page ~slot with
   | Error _ -> ()
   | Ok () -> Alcotest.fail "double delete must fail")
 
 let test_update_range () =
   let _, _, e = mk () in
-  let page = Engine.allocate_page e in
-  let slot = ok (Engine.insert e ~tx:0 ~page (b "0123456789")) in
-  ok (Engine.update_range e ~tx:0 ~page ~slot ~offset:3 (b "XYZ"));
-  Alcotest.(check (option bytes)) "patched" (Some (b "012XYZ6789")) (Engine.read e ~page ~slot);
-  match Engine.update_range e ~tx:0 ~page ~slot ~offset:9 (b "AB") with
+  let page = Engine.Unsafe.allocate_page e in
+  let slot = ok (Engine.Unsafe.insert e ~tx:0 ~page (b "0123456789")) in
+  ok (Engine.Unsafe.update_range e ~tx:0 ~page ~slot ~offset:3 (b "XYZ"));
+  Alcotest.(check (option bytes)) "patched" (Some (b "012XYZ6789")) (Engine.Unsafe.read e ~page ~slot);
+  match Engine.Unsafe.update_range e ~tx:0 ~page ~slot ~offset:9 (b "AB") with
   | Error _ -> ()
   | Ok () -> Alcotest.fail "out-of-range patch must fail"
 
@@ -60,14 +60,14 @@ let test_survives_eviction () =
   (* A tiny pool forces constant eviction; updates must persist through the
      in-page logs without any page write-back. *)
   let _, _, e = mk ~buffer_pages:2 () in
-  let pages = List.init 10 (fun _ -> Engine.allocate_page e) in
-  List.iteri (fun i page -> ignore (ok (Engine.insert e ~tx:0 ~page (b (string_of_int i))))) pages;
+  let pages = List.init 10 (fun _ -> Engine.Unsafe.allocate_page e) in
+  List.iteri (fun i page -> ignore (ok (Engine.Unsafe.insert e ~tx:0 ~page (b (string_of_int i))))) pages;
   List.iteri
     (fun i page ->
       Alcotest.(check (option bytes))
         (Printf.sprintf "page %d" i)
         (Some (b (string_of_int i)))
-        (Engine.read e ~page ~slot:0))
+        (Engine.Unsafe.read e ~page ~slot:0))
     pages
 
 let test_dirty_page_never_written_back () =
@@ -75,10 +75,10 @@ let test_dirty_page_never_written_back () =
      8 KB page image. We verify no data-page sectors are written after
      allocation. *)
   let chip, _, e = mk ~buffer_pages:2 () in
-  let pages = List.init 6 (fun _ -> Engine.allocate_page e) in
+  let pages = List.init 6 (fun _ -> Engine.Unsafe.allocate_page e) in
   let written_before = (Chip.stats chip).Flash_sim.Flash_stats.sectors_written in
-  List.iter (fun page -> ignore (ok (Engine.insert e ~tx:0 ~page (b "payload")))) pages;
-  List.iter (fun page -> ignore (Engine.read e ~page ~slot:0)) pages;
+  List.iter (fun page -> ignore (ok (Engine.Unsafe.insert e ~tx:0 ~page (b "payload")))) pages;
+  List.iter (fun page -> ignore (Engine.Unsafe.read e ~page ~slot:0)) pages;
   let written = (Chip.stats chip).Flash_sim.Flash_stats.sectors_written - written_before in
   (* 6 log-sector flushes = 6 sectors; a page write-back would be 16. *)
   Alcotest.(check bool)
@@ -87,116 +87,116 @@ let test_dirty_page_never_written_back () =
 
 let test_many_updates_trigger_merges () =
   let _, _, e = mk ~buffer_pages:2 () in
-  let page = Engine.allocate_page e in
-  let slot = ok (Engine.insert e ~tx:0 ~page (b "counter=000000")) in
+  let page = Engine.Unsafe.allocate_page e in
+  let slot = ok (Engine.Unsafe.insert e ~tx:0 ~page (b "counter=000000")) in
   for i = 1 to 2000 do
-    ok (Engine.update e ~tx:0 ~page ~slot (b (Printf.sprintf "counter=%06d" i)))
+    ok (Engine.Unsafe.update e ~tx:0 ~page ~slot (b (Printf.sprintf "counter=%06d" i)))
   done;
-  Engine.checkpoint e;
+  Engine.Unsafe.checkpoint e;
   Alcotest.(check (option bytes)) "final value" (Some (b "counter=002000"))
-    (Engine.read e ~page ~slot);
+    (Engine.Unsafe.read e ~page ~slot);
   let s = Engine.stats e in
   Alcotest.(check bool) "merges happened" true (s.Engine.storage.Store.merges > 0)
 
 let test_checkpoint_then_restart () =
   let chip, config, e = mk () in
-  let page = Engine.allocate_page e in
-  let slot = ok (Engine.insert e ~tx:0 ~page (b "durable")) in
-  ok (Engine.update e ~tx:0 ~page ~slot (b "DURABLE"));
-  Engine.checkpoint e;
+  let page = Engine.Unsafe.allocate_page e in
+  let slot = ok (Engine.Unsafe.insert e ~tx:0 ~page (b "durable")) in
+  ok (Engine.Unsafe.update e ~tx:0 ~page ~slot (b "DURABLE"));
+  Engine.Unsafe.checkpoint e;
   (* Crash: throw the engine away, restart from the chip. *)
   let e', aborted = Engine.restart ~config chip in
   Alcotest.(check (list int)) "no transactions aborted" [] aborted;
   Alcotest.(check (option bytes)) "survives restart" (Some (b "DURABLE"))
-    (Engine.read e' ~page ~slot)
+    (Engine.Unsafe.read e' ~page ~slot)
 
 let test_unflushed_work_lost_without_checkpoint () =
   let chip, config, e = mk () in
-  let page = Engine.allocate_page e in
-  ignore (ok (Engine.insert e ~tx:0 ~page (b "volatile")));
-  Engine.checkpoint e;
-  ignore (ok (Engine.insert e ~tx:0 ~page (b "after-checkpoint")));
+  let page = Engine.Unsafe.allocate_page e in
+  ignore (ok (Engine.Unsafe.insert e ~tx:0 ~page (b "volatile")));
+  Engine.Unsafe.checkpoint e;
+  ignore (ok (Engine.Unsafe.insert e ~tx:0 ~page (b "after-checkpoint")));
   (* No checkpoint for the second insert: it lives only in the in-memory
      log sector, so a crash loses it. *)
   let e', _ = Engine.restart ~config chip in
   Alcotest.(check (option bytes)) "first survives" (Some (b "volatile"))
-    (Engine.read e' ~page ~slot:0);
-  Alcotest.(check (option bytes)) "second lost" None (Engine.read e' ~page ~slot:1)
+    (Engine.Unsafe.read e' ~page ~slot:0);
+  Alcotest.(check (option bytes)) "second lost" None (Engine.Unsafe.read e' ~page ~slot:1)
 
 let test_noop_update_logs_nothing () =
   let _, _, e = mk () in
-  let page = Engine.allocate_page e in
-  let slot = ok (Engine.insert e ~tx:0 ~page (b "same value")) in
-  Engine.checkpoint e;
+  let page = Engine.Unsafe.allocate_page e in
+  let slot = ok (Engine.Unsafe.insert e ~tx:0 ~page (b "same value")) in
+  Engine.Unsafe.checkpoint e;
   let writes_before =
     (Engine.stats e).Engine.storage.Store.log_sector_writes
   in
-  ok (Engine.update e ~tx:0 ~page ~slot (b "same value"));
-  Engine.checkpoint e;
+  ok (Engine.Unsafe.update e ~tx:0 ~page ~slot (b "same value"));
+  Engine.Unsafe.checkpoint e;
   Alcotest.(check int) "no log sector written" writes_before
     (Engine.stats e).Engine.storage.Store.log_sector_writes;
   Alcotest.(check (option bytes)) "value unchanged" (Some (b "same value"))
-    (Engine.read e ~page ~slot)
+    (Engine.Unsafe.read e ~page ~slot)
 
 let test_multi_range_update () =
   (* Two far-apart changes in one record become two small delta records,
      both replayed correctly from flash. *)
   let chip, config, e = mk () in
-  let page = Engine.allocate_page e in
+  let page = Engine.Unsafe.allocate_page e in
   let payload = Bytes.make 400 'a' in
-  let slot = ok (Engine.insert e ~tx:0 ~page payload) in
+  let slot = ok (Engine.Unsafe.insert e ~tx:0 ~page payload) in
   let changed = Bytes.copy payload in
   Bytes.set changed 3 'X';
   Bytes.set changed 390 'Y';
-  ok (Engine.update e ~tx:0 ~page ~slot changed);
-  Engine.checkpoint e;
+  ok (Engine.Unsafe.update e ~tx:0 ~page ~slot changed);
+  Engine.Unsafe.checkpoint e;
   let e', _ = Engine.restart ~config chip in
   Alcotest.(check (option bytes)) "both deltas replayed" (Some changed)
-    (Engine.read e' ~page ~slot)
+    (Engine.Unsafe.read e' ~page ~slot)
 
 let test_large_equal_length_update_chunks () =
   (* A record whose entire 450-byte payload changes: the delta no longer
      fits one log sector and must be chunked into several records. *)
   let chip, config, e = mk () in
-  let page = Engine.allocate_page e in
+  let page = Engine.Unsafe.allocate_page e in
   let before = Bytes.make 450 'o' in
-  let slot = ok (Engine.insert e ~tx:0 ~page before) in
+  let slot = ok (Engine.Unsafe.insert e ~tx:0 ~page before) in
   let after = Bytes.make 450 'n' in
-  ok (Engine.update e ~tx:0 ~page ~slot after);
-  Engine.checkpoint e;
+  ok (Engine.Unsafe.update e ~tx:0 ~page ~slot after);
+  Engine.Unsafe.checkpoint e;
   let e', _ = Engine.restart ~config chip in
   Alcotest.(check (option bytes)) "chunked update replayed" (Some after)
-    (Engine.read e' ~page ~slot)
+    (Engine.Unsafe.read e' ~page ~slot)
 
 let test_large_resize_update_as_delete_insert () =
   (* Growing a 300-byte record to 400 bytes: before+after exceeds a log
      sector, so the engine logs delete + insert instead. *)
   let chip, config, e = mk () in
-  let page = Engine.allocate_page e in
-  let slot = ok (Engine.insert e ~tx:0 ~page (Bytes.make 300 'b')) in
+  let page = Engine.Unsafe.allocate_page e in
+  let slot = ok (Engine.Unsafe.insert e ~tx:0 ~page (Bytes.make 300 'b')) in
   let after = Bytes.make 400 'A' in
-  ok (Engine.update e ~tx:0 ~page ~slot after);
-  Alcotest.(check (option bytes)) "in memory" (Some after) (Engine.read e ~page ~slot);
-  Engine.checkpoint e;
+  ok (Engine.Unsafe.update e ~tx:0 ~page ~slot after);
+  Alcotest.(check (option bytes)) "in memory" (Some after) (Engine.Unsafe.read e ~page ~slot);
+  Engine.Unsafe.checkpoint e;
   let e', _ = Engine.restart ~config chip in
-  Alcotest.(check (option bytes)) "replayed" (Some after) (Engine.read e' ~page ~slot)
+  Alcotest.(check (option bytes)) "replayed" (Some after) (Engine.Unsafe.read e' ~page ~slot)
 
 let test_oversized_records_rejected_cleanly () =
   let _, _, e = mk () in
-  let page = Engine.allocate_page e in
+  let page = Engine.Unsafe.allocate_page e in
   let max = Engine.max_record_payload e in
-  (match Engine.insert e ~tx:0 ~page (Bytes.make (max + 1) 'x') with
+  (match Engine.Unsafe.insert e ~tx:0 ~page (Bytes.make (max + 1) 'x') with
   | Error Engine.Record_too_large -> ()
   | _ -> Alcotest.fail "oversized insert must be rejected");
-  let slot = ok (Engine.insert e ~tx:0 ~page (Bytes.make 10 'x')) in
-  (match Engine.update e ~tx:0 ~page ~slot (Bytes.make (max + 1) 'y') with
+  let slot = ok (Engine.Unsafe.insert e ~tx:0 ~page (Bytes.make 10 'x')) in
+  (match Engine.Unsafe.update e ~tx:0 ~page ~slot (Bytes.make (max + 1) 'y') with
   | Error Engine.Record_too_large -> ()
   | _ -> Alcotest.fail "oversized update must be rejected");
   (* A maximal-size record still works end to end. *)
-  let slot2 = ok (Engine.insert e ~tx:0 ~page (Bytes.make max 'm')) in
-  Engine.checkpoint e;
+  let slot2 = ok (Engine.Unsafe.insert e ~tx:0 ~page (Bytes.make max 'm')) in
+  Engine.Unsafe.checkpoint e;
   Alcotest.(check (option bytes)) "max record" (Some (Bytes.make max 'm'))
-    (Engine.read e ~page ~slot:slot2)
+    (Engine.Unsafe.read e ~page ~slot:slot2)
 
 (* ------------------------------------------------------------------ *)
 (* Transactions                                                        *)
@@ -204,95 +204,95 @@ let test_oversized_records_rejected_cleanly () =
 let test_commit_durable_without_checkpoint () =
   let chip, _, e = mk ~recovery:true () in
   let config = base_config ~recovery:true () in
-  let page = Engine.allocate_page e in
-  let tx = Engine.begin_txn e in
-  let slot = ok (Engine.insert e ~tx ~page (b "committed-data")) in
-  Engine.commit e tx;
+  let page = Engine.Unsafe.allocate_page e in
+  let tx = Engine.Unsafe.begin_txn e in
+  let slot = ok (Engine.Unsafe.insert e ~tx ~page (b "committed-data")) in
+  Engine.Unsafe.commit e tx;
   (* Crash immediately after commit: the forced log sectors + commit record
      must be enough (no-force of data pages, Section 5.2). *)
   let e', _ = Engine.restart ~config chip in
   Alcotest.(check (option bytes)) "committed data survives" (Some (b "committed-data"))
-    (Engine.read e' ~page ~slot)
+    (Engine.Unsafe.read e' ~page ~slot)
 
 let test_abort_rolls_back_in_memory () =
   let _, _, e = mk ~recovery:true () in
-  let page = Engine.allocate_page e in
-  let slot = ok (Engine.insert e ~tx:0 ~page (b "stable")) in
-  Engine.commit e (let tx = Engine.begin_txn e in ignore tx; tx);
-  let tx = Engine.begin_txn e in
-  ok (Engine.update e ~tx ~page ~slot (b "doomed"));
-  let s2 = ok (Engine.insert e ~tx ~page (b "also doomed")) in
+  let page = Engine.Unsafe.allocate_page e in
+  let slot = ok (Engine.Unsafe.insert e ~tx:0 ~page (b "stable")) in
+  Engine.Unsafe.commit e (let tx = Engine.Unsafe.begin_txn e in ignore tx; tx);
+  let tx = Engine.Unsafe.begin_txn e in
+  ok (Engine.Unsafe.update e ~tx ~page ~slot (b "doomed"));
+  let s2 = ok (Engine.Unsafe.insert e ~tx ~page (b "also doomed")) in
   Alcotest.(check (option bytes)) "visible before abort" (Some (b "doomed"))
-    (Engine.read e ~page ~slot);
-  Engine.abort e tx;
+    (Engine.Unsafe.read e ~page ~slot);
+  Engine.Unsafe.abort e tx;
   Alcotest.(check (option bytes)) "update rolled back" (Some (b "stable"))
-    (Engine.read e ~page ~slot);
-  Alcotest.(check (option bytes)) "insert rolled back" None (Engine.read e ~page ~slot:s2)
+    (Engine.Unsafe.read e ~page ~slot);
+  Alcotest.(check (option bytes)) "insert rolled back" None (Engine.Unsafe.read e ~page ~slot:s2)
 
 let test_abort_after_flush_filtered_by_status () =
   (* Force the aborting transaction's records all the way to flash (tiny
      buffer pool -> eviction flushes), then abort: the read path must
      filter them out. *)
   let _, _, e = mk ~recovery:true ~buffer_pages:2 () in
-  let page = Engine.allocate_page e in
-  let slot = ok (Engine.insert e ~tx:0 ~page (b "stable")) in
-  Engine.checkpoint e;
-  let tx = Engine.begin_txn e in
-  ok (Engine.update e ~tx ~page ~slot (b "doomed"));
+  let page = Engine.Unsafe.allocate_page e in
+  let slot = ok (Engine.Unsafe.insert e ~tx:0 ~page (b "stable")) in
+  Engine.Unsafe.checkpoint e;
+  let tx = Engine.Unsafe.begin_txn e in
+  ok (Engine.Unsafe.update e ~tx ~page ~slot (b "doomed"));
   (* Evict the page by touching others. *)
-  let others = List.init 4 (fun _ -> Engine.allocate_page e) in
-  List.iter (fun p -> ignore (ok (Engine.insert e ~tx:0 ~page:p (b "filler")))) others;
-  Engine.abort e tx;
+  let others = List.init 4 (fun _ -> Engine.Unsafe.allocate_page e) in
+  List.iter (fun p -> ignore (ok (Engine.Unsafe.insert e ~tx:0 ~page:p (b "filler")))) others;
+  Engine.Unsafe.abort e tx;
   Alcotest.(check (option bytes)) "flashed records filtered" (Some (b "stable"))
-    (Engine.read e ~page ~slot)
+    (Engine.Unsafe.read e ~page ~slot)
 
 let test_active_txn_aborted_on_restart () =
   let chip, _, e = mk ~recovery:true ~buffer_pages:2 () in
   let config = base_config ~recovery:true () in
-  let page = Engine.allocate_page e in
-  let slot = ok (Engine.insert e ~tx:0 ~page (b "stable")) in
-  Engine.checkpoint e;
-  let tx = Engine.begin_txn e in
-  ok (Engine.update e ~tx ~page ~slot (b "zombie"));
+  let page = Engine.Unsafe.allocate_page e in
+  let slot = ok (Engine.Unsafe.insert e ~tx:0 ~page (b "stable")) in
+  Engine.Unsafe.checkpoint e;
+  let tx = Engine.Unsafe.begin_txn e in
+  ok (Engine.Unsafe.update e ~tx ~page ~slot (b "zombie"));
   (* Push the records to flash via eviction, then crash without outcome. *)
-  let others = List.init 4 (fun _ -> Engine.allocate_page e) in
-  List.iter (fun p -> ignore (ok (Engine.insert e ~tx:0 ~page:p (b "filler")))) others;
+  let others = List.init 4 (fun _ -> Engine.Unsafe.allocate_page e) in
+  List.iter (fun p -> ignore (ok (Engine.Unsafe.insert e ~tx:0 ~page:p (b "filler")))) others;
   Ipl_core.Ipl_storage.force_meta (Engine.storage e);
   let e', aborted = Engine.restart ~config chip in
   Alcotest.(check (list int)) "incomplete tx aborted" [ tx ] aborted;
   Alcotest.(check bool) "status aborted" true (Engine.txn_status e' tx = Trx_log.Aborted);
   Alcotest.(check (option bytes)) "zombie change invisible" (Some (b "stable"))
-    (Engine.read e' ~page ~slot)
+    (Engine.Unsafe.read e' ~page ~slot)
 
 let test_committed_and_aborted_interleaved () =
   let _, _, e = mk ~recovery:true () in
-  let page = Engine.allocate_page e in
-  let keep = Engine.begin_txn e in
-  let drop = Engine.begin_txn e in
-  let s_keep = ok (Engine.insert e ~tx:keep ~page (b "keep")) in
-  let s_drop = ok (Engine.insert e ~tx:drop ~page (b "drop")) in
-  Engine.commit e keep;
-  Engine.abort e drop;
-  Alcotest.(check (option bytes)) "kept" (Some (b "keep")) (Engine.read e ~page ~slot:s_keep);
-  Alcotest.(check (option bytes)) "dropped" None (Engine.read e ~page ~slot:s_drop)
+  let page = Engine.Unsafe.allocate_page e in
+  let keep = Engine.Unsafe.begin_txn e in
+  let drop = Engine.Unsafe.begin_txn e in
+  let s_keep = ok (Engine.Unsafe.insert e ~tx:keep ~page (b "keep")) in
+  let s_drop = ok (Engine.Unsafe.insert e ~tx:drop ~page (b "drop")) in
+  Engine.Unsafe.commit e keep;
+  Engine.Unsafe.abort e drop;
+  Alcotest.(check (option bytes)) "kept" (Some (b "keep")) (Engine.Unsafe.read e ~page ~slot:s_keep);
+  Alcotest.(check (option bytes)) "dropped" None (Engine.Unsafe.read e ~page ~slot:s_drop)
 
 let test_abort_requires_recovery_mode () =
   let _, _, e = mk () in
-  let tx = Engine.begin_txn e in
+  let tx = Engine.Unsafe.begin_txn e in
   try
-    Engine.abort e tx;
+    Engine.Unsafe.abort e tx;
     Alcotest.fail "abort must fail without recovery"
   with Failure _ -> ()
 
 let test_txn_ids_resume_after_restart () =
   let chip, _, e = mk ~recovery:true () in
   let config = base_config ~recovery:true () in
-  let tx1 = Engine.begin_txn e in
-  Engine.commit e tx1;
-  let tx2 = Engine.begin_txn e in
-  Engine.commit e tx2;
+  let tx1 = Engine.Unsafe.begin_txn e in
+  Engine.Unsafe.commit e tx1;
+  let tx2 = Engine.Unsafe.begin_txn e in
+  Engine.Unsafe.commit e tx2;
   let e', _ = Engine.restart ~config chip in
-  let tx3 = Engine.begin_txn e' in
+  let tx3 = Engine.Unsafe.begin_txn e' in
   Alcotest.(check bool) (Printf.sprintf "fresh id %d > %d" tx3 tx2) true (tx3 > tx2)
 
 let test_selective_merge_under_long_txn () =
@@ -300,52 +300,52 @@ let test_selective_merge_under_long_txn () =
      log sectors: the engine must divert to overflow, keep the data
      readable, and merge once the transaction commits. *)
   let _, _, e = mk ~recovery:true ~buffer_pages:2 () in
-  let page = Engine.allocate_page e in
-  let slot = ok (Engine.insert e ~tx:0 ~page (b "v0000")) in
-  Engine.checkpoint e;
-  let tx = Engine.begin_txn e in
+  let page = Engine.Unsafe.allocate_page e in
+  let slot = ok (Engine.Unsafe.insert e ~tx:0 ~page (b "v0000")) in
+  Engine.Unsafe.checkpoint e;
+  let tx = Engine.Unsafe.begin_txn e in
   for i = 1 to 1000 do
-    ok (Engine.update e ~tx ~page ~slot (b (Printf.sprintf "v%04d" i)))
+    ok (Engine.Unsafe.update e ~tx ~page ~slot (b (Printf.sprintf "v%04d" i)))
   done;
-  Engine.commit e tx;
+  Engine.Unsafe.commit e tx;
   let s = Engine.stats e in
   Alcotest.(check bool) "diversions happened" true
     (s.Engine.storage.Store.overflow_diversions > 0);
-  Alcotest.(check (option bytes)) "final state" (Some (b "v1000")) (Engine.read e ~page ~slot);
+  Alcotest.(check (option bytes)) "final state" (Some (b "v1000")) (Engine.Unsafe.read e ~page ~slot);
   (* Follow-up work merges the backlog away. *)
   for i = 1001 to 1800 do
-    ok (Engine.update e ~tx:0 ~page ~slot (b (Printf.sprintf "v%04d" i)))
+    ok (Engine.Unsafe.update e ~tx:0 ~page ~slot (b (Printf.sprintf "v%04d" i)))
   done;
-  Engine.checkpoint e;
-  Alcotest.(check (option bytes)) "after merge" (Some (b "v1800")) (Engine.read e ~page ~slot)
+  Engine.Unsafe.checkpoint e;
+  Alcotest.(check (option bytes)) "after merge" (Some (b "v1800")) (Engine.Unsafe.read e ~page ~slot)
 
 let test_restart_mid_merge_consistency () =
   (* Run a workload with plenty of merges, checkpoint, crash, restart, and
      verify every record. *)
   let chip, config, e = mk ~buffer_pages:4 () in
-  let pages = Array.init 20 (fun _ -> Engine.allocate_page e) in
+  let pages = Array.init 20 (fun _ -> Engine.Unsafe.allocate_page e) in
   let model = Array.make 20 "" in
   let rng = Ipl_util.Rng.of_int 99 in
   Array.iteri
     (fun i page ->
       let v = Printf.sprintf "init-%04d" i in
-      ignore (ok (Engine.insert e ~tx:0 ~page (b v)));
+      ignore (ok (Engine.Unsafe.insert e ~tx:0 ~page (b v)));
       model.(i) <- v)
     pages;
   for round = 1 to 500 do
     let i = Ipl_util.Rng.int rng 20 in
     let v = Printf.sprintf "r%03d-%04d" (round mod 1000) i in
-    ok (Engine.update e ~tx:0 ~page:pages.(i) ~slot:0 (b v));
+    ok (Engine.Unsafe.update e ~tx:0 ~page:pages.(i) ~slot:0 (b v));
     model.(i) <- v
   done;
-  Engine.checkpoint e;
+  Engine.Unsafe.checkpoint e;
   let e', _ = Engine.restart ~config chip in
   Array.iteri
     (fun i page ->
       Alcotest.(check (option bytes))
         (Printf.sprintf "page %d" i)
         (Some (b model.(i)))
-        (Engine.read e' ~page ~slot:0))
+        (Engine.Unsafe.read e' ~page ~slot:0))
     pages
 
 (* Property: a random batch of committed transactions is always fully
@@ -357,26 +357,26 @@ let prop_transactional_crash_consistency =
       let chip = Chip.create (FConfig.default ~num_blocks:64 ()) in
       let config = base_config ~recovery:true ~buffer_pages:4 () in
       let e = Engine.create ~config chip in
-      let page = Engine.allocate_page e in
-      Engine.checkpoint e;
+      let page = Engine.Unsafe.allocate_page e in
+      Engine.Unsafe.checkpoint e;
       let expected = ref [] in
       List.iter
         (fun (commit, v) ->
-          let tx = Engine.begin_txn e in
+          let tx = Engine.Unsafe.begin_txn e in
           let data = b (Printf.sprintf "tx-%03d" v) in
-          match Engine.insert e ~tx ~page data with
-          | Error _ -> Engine.abort e tx
+          match Engine.Unsafe.insert e ~tx ~page data with
+          | Error _ -> Engine.Unsafe.abort e tx
           | Ok slot ->
               if commit then begin
-                Engine.commit e tx;
+                Engine.Unsafe.commit e tx;
                 expected := (slot, Printf.sprintf "tx-%03d" v) :: !expected
               end
-              else Engine.abort e tx)
+              else Engine.Unsafe.abort e tx)
         txs;
       let e', _ = Engine.restart ~config chip in
       List.for_all
         (fun (slot, v) ->
-          match Engine.read e' ~page ~slot with
+          match Engine.Unsafe.read e' ~page ~slot with
           | Some got -> Bytes.to_string got = v
           | None -> false)
         !expected)
@@ -389,14 +389,14 @@ let test_group_commit_batches () =
     let chip = Chip.create (FConfig.default ~num_blocks:64 ()) in
     let config = { (base_config ~recovery:true ()) with Config.group_commit = group } in
     let e = Engine.create ~config chip in
-    let page = Engine.allocate_page e in
-    Engine.checkpoint e;
+    let page = Engine.Unsafe.allocate_page e in
+    Engine.Unsafe.checkpoint e;
     for i = 0 to 99 do
-      let tx = Engine.begin_txn e in
-      ignore (ok (Engine.insert e ~tx ~page:(if i < 50 then page else page) (b (Printf.sprintf "r%03d" i))));
-      Engine.commit e tx
+      let tx = Engine.Unsafe.begin_txn e in
+      ignore (ok (Engine.Unsafe.insert e ~tx ~page:(if i < 50 then page else page) (b (Printf.sprintf "r%03d" i))));
+      Engine.Unsafe.commit e tx
     done;
-    Engine.flush_commits e;
+    Engine.Unsafe.flush_commits e;
     (Engine.stats e).Engine.storage.Store.log_sector_writes
   in
   let per_commit = run 0 and grouped = run 10 in
@@ -409,50 +409,50 @@ let test_group_commit_durability_boundary () =
   let chip = Chip.create (FConfig.default ~num_blocks:64 ()) in
   let config = { (base_config ~recovery:true ()) with Config.group_commit = 100 } in
   let e = Engine.create ~config chip in
-  let page = Engine.allocate_page e in
-  Engine.checkpoint e;
-  let t1 = Engine.begin_txn e in
-  let s1 = ok (Engine.insert e ~tx:t1 ~page (b "batched-1")) in
-  Engine.commit e t1;
+  let page = Engine.Unsafe.allocate_page e in
+  Engine.Unsafe.checkpoint e;
+  let t1 = Engine.Unsafe.begin_txn e in
+  let s1 = ok (Engine.Unsafe.insert e ~tx:t1 ~page (b "batched-1")) in
+  Engine.Unsafe.commit e t1;
   (* Crash before the batch is flushed: the commit is lost (documented
      group-commit trade-off). *)
   let e', _ = Engine.restart ~config chip in
-  Alcotest.(check (option bytes)) "unflushed commit lost" None (Engine.read e' ~page ~slot:s1);
+  Alcotest.(check (option bytes)) "unflushed commit lost" None (Engine.Unsafe.read e' ~page ~slot:s1);
   (* Same scenario, but flush_commits makes it durable. *)
-  let t2 = Engine.begin_txn e' in
-  let s2 = ok (Engine.insert e' ~tx:t2 ~page (b "batched-2")) in
-  Engine.commit e' t2;
-  Engine.flush_commits e';
+  let t2 = Engine.Unsafe.begin_txn e' in
+  let s2 = ok (Engine.Unsafe.insert e' ~tx:t2 ~page (b "batched-2")) in
+  Engine.Unsafe.commit e' t2;
+  Engine.Unsafe.flush_commits e';
   let e'', _ = Engine.restart ~config chip in
   Alcotest.(check (option bytes)) "flushed commit survives" (Some (b "batched-2"))
-    (Engine.read e'' ~page ~slot:s2)
+    (Engine.Unsafe.read e'' ~page ~slot:s2)
 
 let test_compact_moves_merges_off_path () =
   let _, _, e = mk ~buffer_pages:4 () in
-  let page = Engine.allocate_page e in
-  let slot = ok (Engine.insert e ~tx:0 ~page (b "v00000")) in
+  let page = Engine.Unsafe.allocate_page e in
+  let slot = ok (Engine.Unsafe.insert e ~tx:0 ~page (b "v00000")) in
   (* Fill most of the unit's log region. *)
   for i = 1 to 300 do
-    ok (Engine.update e ~tx:0 ~page ~slot (b (Printf.sprintf "v%05d" i)))
+    ok (Engine.Unsafe.update e ~tx:0 ~page ~slot (b (Printf.sprintf "v%05d" i)))
   done;
-  Engine.checkpoint e;
-  let merged = Engine.compact e ~max_merges:4 in
+  Engine.Unsafe.checkpoint e;
+  let merged = Engine.Unsafe.compact e ~max_merges:4 in
   Alcotest.(check bool) "compacted something" true (merged >= 1);
   let merges_before = (Engine.stats e).Engine.storage.Store.merges in
   (* The next burst of updates now has a fresh log region: no merge on the
      write path until it fills again. *)
   for i = 301 to 400 do
-    ok (Engine.update e ~tx:0 ~page ~slot (b (Printf.sprintf "v%05d" i)))
+    ok (Engine.Unsafe.update e ~tx:0 ~page ~slot (b (Printf.sprintf "v%05d" i)))
   done;
-  Engine.checkpoint e;
+  Engine.Unsafe.checkpoint e;
   Alcotest.(check int) "no merge on the write path" merges_before
     (Engine.stats e).Engine.storage.Store.merges;
-  Alcotest.(check (option bytes)) "data intact" (Some (b "v00400")) (Engine.read e ~page ~slot);
+  Alcotest.(check (option bytes)) "data intact" (Some (b "v00400")) (Engine.Unsafe.read e ~page ~slot);
   (* Compacting an already-clean store is a no-op. *)
   Alcotest.(check int) "idempotent when clean"
     0
-    (let _ = Engine.compact e ~max_merges:4 in
-     Engine.compact e ~max_merges:4)
+    (let _ = Engine.Unsafe.compact e ~max_merges:4 in
+     Engine.Unsafe.compact e ~max_merges:4)
 
 (* Property: crash at an arbitrary point in a transactional workload.
    Whatever was committed before the crash point is visible afterwards;
@@ -464,8 +464,8 @@ let prop_crash_anywhere =
       let chip = Chip.create (FConfig.default ~num_blocks:64 ()) in
       let config = base_config ~recovery:true ~buffer_pages:3 () in
       let e = Engine.create ~config chip in
-      let page = Engine.allocate_page e in
-      Engine.checkpoint e;
+      let page = Engine.Unsafe.allocate_page e in
+      Engine.Unsafe.checkpoint e;
       let rng = Ipl_util.Rng.of_int seed in
       let committed = Hashtbl.create 8 in
       (* Run transactions until the crash point; each inserts one record
@@ -473,20 +473,20 @@ let prop_crash_anywhere =
       (try
          for i = 0 to 60 do
            if i >= crash_after then raise Exit;
-           let tx = Engine.begin_txn e in
+           let tx = Engine.Unsafe.begin_txn e in
            let v = Printf.sprintf "txn-%03d-%03d" i (Ipl_util.Rng.int rng 1000) in
-           match Engine.insert e ~tx ~page (b v) with
-           | Error _ -> Engine.abort e tx
+           match Engine.Unsafe.insert e ~tx ~page (b v) with
+           | Error _ -> Engine.Unsafe.abort e tx
            | Ok slot -> (
                let v' = v ^ "!" in
-               match Engine.update e ~tx ~page ~slot (b (String.sub v' 0 (String.length v))) with
-               | Error _ -> Engine.abort e tx
+               match Engine.Unsafe.update e ~tx ~page ~slot (b (String.sub v' 0 (String.length v))) with
+               | Error _ -> Engine.Unsafe.abort e tx
                | Ok () ->
                    if Ipl_util.Rng.chance rng 0.8 then begin
-                     Engine.commit e tx;
+                     Engine.Unsafe.commit e tx;
                      Hashtbl.replace committed slot (String.sub v' 0 (String.length v))
                    end
-                   else Engine.abort e tx)
+                   else Engine.Unsafe.abort e tx)
          done
        with Exit -> ());
       (* Crash: no checkpoint, just restart from the chip. *)
@@ -494,7 +494,7 @@ let prop_crash_anywhere =
       Hashtbl.fold
         (fun slot v acc ->
           acc
-          && match Engine.read e' ~page ~slot with Some got -> Bytes.to_string got = v | None -> false)
+          && match Engine.Unsafe.read e' ~page ~slot with Some got -> Bytes.to_string got = v | None -> false)
         committed true)
 
 let () =

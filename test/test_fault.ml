@@ -155,12 +155,12 @@ let update_until_boom e ~page ~slot =
   (try
      for i = 1 to 64 do
        let c = Char.chr (Char.code 'A' + (i mod 26)) in
-       let tx = Engine.begin_txn e in
+       let tx = Engine.Unsafe.begin_txn e in
        active := Some tx;
-       (match Engine.update e ~tx ~page ~slot (payload c) with
+       (match Engine.Unsafe.update e ~tx ~page ~slot (payload c) with
        | Ok () -> ()
        | Error m -> failwith (Engine.error_to_string m));
-       Engine.commit e tx;
+       Engine.Unsafe.commit e tx;
        active := None;
        committed := c
      done
@@ -174,44 +174,44 @@ let merge_bomb = function
 let test_merge_transient_exception_rolls_back () =
   let chip = mk_chip () in
   let e = Engine.create ~config:base_config chip in
-  let page = Engine.allocate_page e in
-  let tx = Engine.begin_txn e in
+  let page = Engine.Unsafe.allocate_page e in
+  let tx = Engine.Unsafe.begin_txn e in
   let slot =
-    match Engine.insert e ~tx ~page (payload 'a') with Ok s -> s | Error m -> failwith (Engine.error_to_string m)
+    match Engine.Unsafe.insert e ~tx ~page (payload 'a') with Ok s -> s | Error m -> failwith (Engine.error_to_string m)
   in
-  Engine.commit e tx;
+  Engine.Unsafe.commit e tx;
   (* A transient failure (not a power loss: the chip stays alive) in the
      middle of the merge must leave the engine fully usable. *)
   Plan.install chip (fun _ op -> if merge_bomb op then raise Injected else Chip.Proceed);
   let committed, active = update_until_boom e ~page ~slot in
   Plan.clear chip;
   (match active with
-  | Some tx -> Engine.abort e tx
+  | Some tx -> Engine.Unsafe.abort e tx
   | None -> Alcotest.fail "expected an injected merge failure");
   Alcotest.(check (option bytes)) "committed value readable after rollback"
     (Some (payload committed))
-    (Engine.read e ~page ~slot);
+    (Engine.Unsafe.read e ~page ~slot);
   (* The retried merge succeeds against the restored state. *)
-  let tx = Engine.begin_txn e in
-  (match Engine.update e ~tx ~page ~slot (payload 'z') with
+  let tx = Engine.Unsafe.begin_txn e in
+  (match Engine.Unsafe.update e ~tx ~page ~slot (payload 'z') with
   | Ok () -> ()
   | Error m -> failwith (Engine.error_to_string m));
-  Engine.commit e tx;
+  Engine.Unsafe.commit e tx;
   Alcotest.(check (option bytes)) "engine keeps working" (Some (payload 'z'))
-    (Engine.read e ~page ~slot);
+    (Engine.Unsafe.read e ~page ~slot);
   let e2, _ = Engine.restart ~config:base_config chip in
   Alcotest.(check (option bytes)) "state survives restart" (Some (payload 'z'))
-    (Engine.read e2 ~page ~slot)
+    (Engine.Unsafe.read e2 ~page ~slot)
 
 let test_merge_power_loss_recovers () =
   let chip = mk_chip () in
   let e = Engine.create ~config:base_config chip in
-  let page = Engine.allocate_page e in
-  let tx = Engine.begin_txn e in
+  let page = Engine.Unsafe.allocate_page e in
+  let tx = Engine.Unsafe.begin_txn e in
   let slot =
-    match Engine.insert e ~tx ~page (payload 'a') with Ok s -> s | Error m -> failwith (Engine.error_to_string m)
+    match Engine.Unsafe.insert e ~tx ~page (payload 'a') with Ok s -> s | Error m -> failwith (Engine.error_to_string m)
   in
-  Engine.commit e tx;
+  Engine.Unsafe.commit e tx;
   Plan.install chip (fun _ op -> if merge_bomb op then Chip.Fail_stop else Chip.Proceed);
   let committed, active = update_until_boom e ~page ~slot in
   Alcotest.(check bool) "power loss hit mid-merge" true (active <> None && Chip.is_dead chip);
@@ -222,7 +222,7 @@ let test_merge_power_loss_recovers () =
      must be the one recovered. *)
   Alcotest.(check (option bytes)) "committed value survives mid-merge crash"
     (Some (payload committed))
-    (Engine.read e2 ~page ~slot)
+    (Engine.Unsafe.read e2 ~page ~slot)
 
 (* ---------------- the oracle ---------------- *)
 

@@ -156,17 +156,17 @@ let test_traced_workload () =
   (* Engine.create already erased blocks while laying out the log regions,
      before the tracer existed — compare deltas from here on. *)
   let erases0 = (Chip.stats chip).Flash_sim.Flash_stats.block_erases in
-  let pages = Array.init 4 (fun _ -> Engine.allocate_page engine) in
+  let pages = Array.init 4 (fun _ -> Engine.Unsafe.allocate_page engine) in
   let payload = Bytes.make 100 'x' in
   for round = 1 to 40 do
-    let tx = Engine.begin_txn engine in
+    let tx = Engine.Unsafe.begin_txn engine in
     Array.iter
       (fun p ->
-        match Engine.insert engine ~tx ~page:p payload with Ok _ | Error _ -> ())
+        match Engine.Unsafe.insert engine ~tx ~page:p payload with Ok _ | Error _ -> ())
       pages;
-    if round mod 5 = 0 then Engine.abort engine tx else Engine.commit engine tx
+    if round mod 5 = 0 then Engine.Unsafe.abort engine tx else Engine.Unsafe.commit engine tx
   done;
-  Engine.checkpoint engine;
+  Engine.Unsafe.checkpoint engine;
   let s = (Engine.stats engine).Engine.storage in
   let count = Obs.Tracer.count_kind tracer in
   Alcotest.(check int) "nothing dropped" 0 (Obs.Tracer.dropped tracer);
@@ -194,8 +194,8 @@ let test_traced_workload () =
   (* Detaching stops emission. *)
   let before = Obs.Tracer.emitted tracer in
   Engine.set_tracer engine None;
-  ignore (Engine.allocate_page engine);
-  Engine.checkpoint engine;
+  ignore (Engine.Unsafe.allocate_page engine);
+  Engine.Unsafe.checkpoint engine;
   Alcotest.(check int) "detached" before (Obs.Tracer.emitted tracer)
 
 (* Same spec twice → identical trace (simulated time, seeded Rng). *)
@@ -271,12 +271,12 @@ let test_stats_interval () =
   let chip = Chip.create (FConfig.default ~num_blocks:64 ()) in
   let config = { Config.default with Config.buffer_pages = 8 } in
   let engine = Engine.create ~config chip in
-  let page = Engine.allocate_page engine in
+  let page = Engine.Unsafe.allocate_page engine in
   let before = Engine.stats engine in
   for _ = 1 to 200 do
-    match Engine.insert engine ~tx:0 ~page (Bytes.make 40 'y') with Ok _ | Error _ -> ()
+    match Engine.Unsafe.insert engine ~tx:0 ~page (Bytes.make 40 'y') with Ok _ | Error _ -> ()
   done;
-  Engine.checkpoint engine;
+  Engine.Unsafe.checkpoint engine;
   let interval = Engine.Stats.diff (Engine.stats engine) before in
   Alcotest.(check bool)
     "interval counts only new work" true
@@ -305,16 +305,16 @@ let test_stats_interval () =
 let test_typed_errors () =
   let chip = Chip.create (FConfig.default ~num_blocks:64 ()) in
   let engine = Engine.create chip in
-  let page = Engine.allocate_page engine in
-  (match Engine.delete engine ~tx:0 ~page ~slot:5 with
+  let page = Engine.Unsafe.allocate_page engine in
+  (match Engine.Unsafe.delete engine ~tx:0 ~page ~slot:5 with
   | Error Engine.No_such_slot -> ()
   | _ -> Alcotest.fail "expected No_such_slot");
-  (match Engine.insert engine ~tx:0 ~page (Bytes.make (Engine.max_record_payload engine + 1) 'z') with
+  (match Engine.Unsafe.insert engine ~tx:0 ~page (Bytes.make (Engine.max_record_payload engine + 1) 'z') with
   | Error Engine.Record_too_large -> ()
   | _ -> Alcotest.fail "expected Record_too_large");
-  (match Engine.insert engine ~tx:0 ~page (Bytes.make 10 'a') with
+  (match Engine.Unsafe.insert engine ~tx:0 ~page (Bytes.make 10 'a') with
   | Ok slot -> (
-      match Engine.update_range engine ~tx:0 ~page ~slot ~offset:8 (Bytes.make 10 'b') with
+      match Engine.Unsafe.update_range engine ~tx:0 ~page ~slot ~offset:8 (Bytes.make 10 'b') with
       | Error Engine.Range_out_of_bounds -> ()
       | _ -> Alcotest.fail "expected Range_out_of_bounds")
   | Error e -> Alcotest.failf "setup insert failed: %s" (Engine.error_to_string e));

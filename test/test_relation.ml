@@ -23,13 +23,13 @@ let mk ?(blocks = 128) ?(buffer_pages = 32) () =
 let test_heap_crud () =
   let _, _, e = mk () in
   let h = Heap.create e in
-  let r1 = ok (Heap.insert h ~tx:0 (b "one")) in
-  let r2 = ok (Heap.insert h ~tx:0 (b "two")) in
+  let r1 = ok (Heap.insert h ~tx:Engine.no_txn (b "one")) in
+  let r2 = ok (Heap.insert h ~tx:Engine.no_txn (b "two")) in
   Alcotest.(check (option bytes)) "read 1" (Some (b "one")) (Heap.read h r1);
   Alcotest.(check (option bytes)) "read 2" (Some (b "two")) (Heap.read h r2);
-  ok (Heap.update h ~tx:0 r1 (b "ONE"));
+  ok (Heap.update h ~tx:Engine.no_txn r1 (b "ONE"));
   Alcotest.(check (option bytes)) "updated" (Some (b "ONE")) (Heap.read h r1);
-  ok (Heap.delete h ~tx:0 r2);
+  ok (Heap.delete h ~tx:Engine.no_txn r2);
   Alcotest.(check (option bytes)) "deleted" None (Heap.read h r2);
   Alcotest.(check int) "count" 1 (Heap.record_count h)
 
@@ -38,7 +38,7 @@ let test_heap_spills_to_new_pages () =
   let h = Heap.create e in
   (* ~400-byte records: an 8 KB page takes ~20; 100 records need >= 5 pages. *)
   for i = 1 to 100 do
-    ignore (ok (Heap.insert h ~tx:0 (Bytes.make 400 (Char.chr (65 + (i mod 26))))))
+    ignore (ok (Heap.insert h ~tx:Engine.no_txn (Bytes.make 400 (Char.chr (65 + (i mod 26))))))
   done;
   Alcotest.(check bool) "several member pages" true (Heap.page_count h >= 5);
   Alcotest.(check int) "all live" 100 (Heap.record_count h)
@@ -46,7 +46,7 @@ let test_heap_spills_to_new_pages () =
 let test_heap_iter_order_and_fold () =
   let _, _, e = mk () in
   let h = Heap.create e in
-  let rids = List.init 50 (fun i -> ok (Heap.insert h ~tx:0 (b (Printf.sprintf "%03d" i)))) in
+  let rids = List.init 50 (fun i -> ok (Heap.insert h ~tx:Engine.no_txn (b (Printf.sprintf "%03d" i)))) in
   ignore rids;
   let seen = ref [] in
   Heap.iter h (fun _ data -> seen := Bytes.to_string data :: !seen);
@@ -58,9 +58,9 @@ let test_heap_attach_after_restart () =
   let chip, config, e = mk () in
   let h = Heap.create e in
   let rids =
-    List.init 120 (fun i -> (i, ok (Heap.insert h ~tx:0 (b (Printf.sprintf "row-%04d" i)))))
+    List.init 120 (fun i -> (i, ok (Heap.insert h ~tx:Engine.no_txn (b (Printf.sprintf "row-%04d" i)))))
   in
-  Engine.checkpoint e;
+  Engine.Unsafe.checkpoint e;
   let header = Heap.header h in
   let e', _ = Engine.restart ~config chip in
   let h' = Heap.attach e' ~header in
@@ -73,7 +73,7 @@ let test_heap_attach_after_restart () =
         (Heap.read h' rid))
     rids;
   (* And it keeps working: the fill page is recovered. *)
-  let rid = ok (Heap.insert h' ~tx:0 (b "post-restart")) in
+  let rid = ok (Heap.insert h' ~tx:Engine.no_txn (b "post-restart")) in
   Alcotest.(check (option bytes)) "new insert" (Some (b "post-restart")) (Heap.read h' rid)
 
 let test_heap_directory_chain_growth () =
@@ -87,13 +87,13 @@ let test_heap_directory_chain_growth () =
   let e = Engine.create ~config chip in
   let h = Heap.create e in
   for i = 1 to 700 do
-    ignore (ok (Heap.insert h ~tx:0 (Bytes.make 490 (Char.chr (33 + (i mod 90))))))
+    ignore (ok (Heap.insert h ~tx:Engine.no_txn (Bytes.make 490 (Char.chr (33 + (i mod 90))))))
   done;
   Alcotest.(check bool)
     (Printf.sprintf "many member pages (%d)" (Heap.page_count h))
     true
     (Heap.page_count h > 169);
-  Engine.checkpoint e;
+  Engine.Unsafe.checkpoint e;
   (* The chained directory survives re-attachment. *)
   let e', _ = Engine.restart ~config chip in
   let h' = Heap.attach e' ~header:(Heap.header h) in
@@ -106,27 +106,27 @@ let test_heap_directory_chain_growth () =
 let test_table_crud () =
   let _, _, e = mk () in
   let t = Table.create e in
-  ok (Table.insert t ~tx:0 ~key:5 Record.[ I 5; S "five" ]);
-  ok (Table.insert t ~tx:0 ~key:2 Record.[ I 2; S "two" ]);
+  ok (Table.insert t ~tx:Engine.no_txn ~key:5 Record.[ I 5; S "five" ]);
+  ok (Table.insert t ~tx:Engine.no_txn ~key:2 Record.[ I 2; S "two" ]);
   Alcotest.(check bool) "find" true (Table.find t 5 = Some Record.[ I 5; S "five" ]);
   Alcotest.(check bool) "absent" true (Table.find t 9 = None);
-  (match Table.insert t ~tx:0 ~key:5 Record.[ I 5 ] with
+  (match Table.insert t ~tx:Engine.no_txn ~key:5 Record.[ I 5 ] with
   | Error "duplicate key" -> ()
   | _ -> Alcotest.fail "duplicate must fail");
   Alcotest.(check bool) "update" true
-    (ok (Table.update t ~tx:0 ~key:2 (fun r -> Record.set r 1 (Record.S "TWO"))));
+    (ok (Table.update t ~tx:Engine.no_txn ~key:2 (fun r -> Record.set r 1 (Record.S "TWO"))));
   Alcotest.(check bool) "updated" true (Table.find t 2 = Some Record.[ I 2; S "TWO" ]);
   Alcotest.(check bool) "update absent" false
-    (ok (Table.update t ~tx:0 ~key:9 (fun r -> r)));
-  Alcotest.(check bool) "delete" true (ok (Table.delete t ~tx:0 ~key:2));
-  Alcotest.(check bool) "delete absent" false (ok (Table.delete t ~tx:0 ~key:2));
+    (ok (Table.update t ~tx:Engine.no_txn ~key:9 (fun r -> r)));
+  Alcotest.(check bool) "delete" true (ok (Table.delete t ~tx:Engine.no_txn ~key:2));
+  Alcotest.(check bool) "delete absent" false (ok (Table.delete t ~tx:Engine.no_txn ~key:2));
   Alcotest.(check int) "count" 1 (Table.count t)
 
 let test_table_range_and_scan () =
   let _, _, e = mk () in
   let t = Table.create e in
   for k = 1 to 200 do
-    ok (Table.insert t ~tx:0 ~key:(k * 3) Record.[ I k ])
+    ok (Table.insert t ~tx:Engine.no_txn ~key:(k * 3) Record.[ I k ])
   done;
   let r = Table.range t ~lo:10 ~hi:21 in
   Alcotest.(check (list int)) "range keys" [ 12; 15; 18; 21 ] (List.map fst r);
@@ -139,9 +139,9 @@ let test_table_attach_after_restart () =
   let chip, config, e = mk () in
   let t = Table.create e in
   for k = 1 to 300 do
-    ok (Table.insert t ~tx:0 ~key:k Record.[ I k; S (Printf.sprintf "val-%d" k) ])
+    ok (Table.insert t ~tx:Engine.no_txn ~key:k Record.[ I k; S (Printf.sprintf "val-%d" k) ])
   done;
-  Engine.checkpoint e;
+  Engine.Unsafe.checkpoint e;
   let hh = Table.heap_header t and ih = Table.index_header t in
   let e', _ = Engine.restart ~config chip in
   let t' = Table.attach e' ~heap_header:hh ~index_header:ih in
@@ -154,13 +154,14 @@ let test_table_transactional () =
   let config = { Config.default with Config.recovery_enabled = true; buffer_pages = 16 } in
   let e = Engine.create ~config chip in
   let t = Table.create e in
-  ok (Table.insert t ~tx:0 ~key:1 Record.[ I 1; F 10.0 ]);
-  Engine.checkpoint e;
-  let tx = Engine.begin_txn e in
+  ok (Table.insert t ~tx:Engine.no_txn ~key:1 Record.[ I 1; F 10.0 ]);
+  Engine.Unsafe.checkpoint e;
+  let txi = Engine.Unsafe.begin_txn e in
+  let tx = Engine.Unsafe.txn txi in
   Alcotest.(check bool) "tx update" true
     (ok (Table.update t ~tx ~key:1 (fun r -> Record.set r 1 (Record.F 99.0))));
   ok (Table.insert t ~tx ~key:2 Record.[ I 2; F 0.0 ]);
-  Engine.abort e tx;
+  Engine.Unsafe.abort e txi;
   Alcotest.(check bool) "update rolled back" true (Table.find t 1 = Some Record.[ I 1; F 10.0 ]);
   Alcotest.(check bool) "insert rolled back" true (Table.find t 2 = None)
 
@@ -186,15 +187,15 @@ let prop_table_vs_model_with_restart =
         (fun op ->
           match op with
           | `Insert (k, v) -> (
-              match Table.insert t ~tx:0 ~key:k Record.[ I v ] with
+              match Table.insert t ~tx:Engine.no_txn ~key:k Record.[ I v ] with
               | Ok () -> Hashtbl.replace model k v
               | Error _ -> assert (Hashtbl.mem model k))
           | `Update (k, v) ->
-              if ok (Table.update t ~tx:0 ~key:k (fun _ -> Record.[ I v ])) then
+              if ok (Table.update t ~tx:Engine.no_txn ~key:k (fun _ -> Record.[ I v ])) then
                 Hashtbl.replace model k v
-          | `Delete k -> if ok (Table.delete t ~tx:0 ~key:k) then Hashtbl.remove model k)
+          | `Delete k -> if ok (Table.delete t ~tx:Engine.no_txn ~key:k) then Hashtbl.remove model k)
         ops;
-      Engine.checkpoint e;
+      Engine.Unsafe.checkpoint e;
       let e', _ = Engine.restart ~config chip in
       let t' =
         Table.attach e' ~heap_header:(Table.heap_header t) ~index_header:(Table.index_header t)

@@ -285,31 +285,31 @@ let test_engine_relocation_and_restart () =
   let config = resilient_config () in
   let chip = mk_chip () in
   let eng = Engine.create ~config chip in
-  let page = Engine.allocate_page eng in
-  let tx = Engine.begin_txn eng in
+  let page = Engine.Unsafe.allocate_page eng in
+  let tx = Engine.Unsafe.begin_txn eng in
   let slot0 =
-    match Engine.insert eng ~tx ~page (Bytes.of_string "hello") with
+    match Engine.Unsafe.insert eng ~tx ~page (Bytes.of_string "hello") with
     | Ok s -> s
     | Error e -> Alcotest.fail (Engine.error_to_string e)
   in
-  Engine.commit eng tx;
+  Engine.Unsafe.commit eng tx;
   (* Fail the next data-area program: the log-sector flush of the second
      commit relocates its erase unit. *)
   fail_next_program ~min_sector:(8 * spb) chip;
-  let tx = Engine.begin_txn eng in
+  let tx = Engine.Unsafe.begin_txn eng in
   let slot1 =
-    match Engine.insert eng ~tx ~page (Bytes.of_string "world") with
+    match Engine.Unsafe.insert eng ~tx ~page (Bytes.of_string "world") with
     | Ok s -> s
     | Error e -> Alcotest.fail (Engine.error_to_string e)
   in
-  (match Engine.commit_result eng tx with
+  (match Engine.commit eng (Engine.Unsafe.txn tx) with
   | Ok () -> ()
   | Error e -> Alcotest.fail (Engine.error_to_string e));
   unhook chip;
   Alcotest.(check (option string)) "first record" (Some "hello")
-    (Option.map Bytes.to_string (Engine.read eng ~page ~slot:slot0));
+    (Option.map Bytes.to_string (Engine.Unsafe.read eng ~page ~slot:slot0));
   Alcotest.(check (option string)) "second record" (Some "world")
-    (Option.map Bytes.to_string (Engine.read eng ~page ~slot:slot1));
+    (Option.map Bytes.to_string (Engine.Unsafe.read eng ~page ~slot:slot1));
   let rs = (Engine.stats eng).Engine.resilience in
   Alcotest.(check int) "one remap" 1 rs.Bbm.remaps;
   Alcotest.(check int) "spare consumed" 3 (Engine.spares_left eng);
@@ -320,41 +320,41 @@ let test_engine_relocation_and_restart () =
   Alcotest.(check int) "spare still consumed after restart" 3
     (Engine.spares_left eng');
   Alcotest.(check (option string)) "first record after restart" (Some "hello")
-    (Option.map Bytes.to_string (Engine.read eng' ~page ~slot:slot0));
+    (Option.map Bytes.to_string (Engine.Unsafe.read eng' ~page ~slot:slot0));
   Alcotest.(check (option string)) "second record after restart" (Some "world")
-    (Option.map Bytes.to_string (Engine.read eng' ~page ~slot:slot1))
+    (Option.map Bytes.to_string (Engine.Unsafe.read eng' ~page ~slot:slot1))
 
 let test_engine_degradation () =
   let config = resilient_config ~spares:2 () in
   let chip = mk_chip () in
   let eng = Engine.create ~config chip in
-  let page = Engine.allocate_page eng in
-  let tx = Engine.begin_txn eng in
-  (match Engine.insert eng ~tx ~page (Bytes.of_string "durable") with
+  let page = Engine.Unsafe.allocate_page eng in
+  let tx = Engine.Unsafe.begin_txn eng in
+  (match Engine.Unsafe.insert eng ~tx ~page (Bytes.of_string "durable") with
   | Ok _ -> ()
   | Error e -> Alcotest.fail (Engine.error_to_string e));
-  Engine.commit eng tx;
+  Engine.Unsafe.commit eng tx;
   (* Every data-area program fails from here on: the first flush must
      burn through both spares and degrade the device. *)
   hook chip (function
     | Chip.Op_program { sector; _ } when sector >= 8 * spb -> Chip.Program_fail
     | _ -> Chip.Proceed);
-  let tx = Engine.begin_txn eng in
-  (match Engine.insert eng ~tx ~page (Bytes.of_string "doomed") with
+  let tx = Engine.Unsafe.begin_txn eng in
+  (match Engine.Unsafe.insert eng ~tx ~page (Bytes.of_string "doomed") with
   | Ok _ -> ()
   | Error e -> Alcotest.fail (Engine.error_to_string e));
-  (match Engine.commit_result eng tx with
+  (match Engine.commit eng (Engine.Unsafe.txn tx) with
   | Error Engine.Device_degraded -> ()
   | Ok () -> Alcotest.fail "commit succeeded on a dying device"
   | Error e -> Alcotest.fail (Engine.error_to_string e));
   Alcotest.(check bool) "engine degraded" true (Engine.degraded eng);
-  Engine.abort eng tx;
+  Engine.Unsafe.abort eng tx;
   Alcotest.(check bool) "mutations refused" true
-    (Engine.insert eng ~tx:0 ~page (Bytes.of_string "no") = Error Engine.Device_degraded);
+    (Engine.Unsafe.insert eng ~tx:0 ~page (Bytes.of_string "no") = Error Engine.Device_degraded);
   Alcotest.(check bool) "allocation refused" true
-    (Engine.allocate_page_result eng = Error Engine.Device_degraded);
+    (Engine.allocate_page eng = Error Engine.Device_degraded);
   Alcotest.(check (option string)) "committed data still readable" (Some "durable")
-    (Option.map Bytes.to_string (Engine.read eng ~page ~slot:0));
+    (Option.map Bytes.to_string (Engine.Unsafe.read eng ~page ~slot:0));
   Alcotest.(check int) "degradation counted" 1
     (Engine.stats eng).Engine.resilience.Bbm.degradations;
   unhook chip;
@@ -362,9 +362,9 @@ let test_engine_degradation () =
   let eng', _ = Engine.restart ~config chip in
   Alcotest.(check bool) "degraded after restart" true (Engine.degraded eng');
   Alcotest.(check (option string)) "data readable after restart" (Some "durable")
-    (Option.map Bytes.to_string (Engine.read eng' ~page ~slot:0));
+    (Option.map Bytes.to_string (Engine.Unsafe.read eng' ~page ~slot:0));
   Alcotest.(check bool) "mutations refused after restart" true
-    (Engine.insert eng' ~tx:0 ~page (Bytes.of_string "no")
+    (Engine.Unsafe.insert eng' ~tx:0 ~page (Bytes.of_string "no")
     = Error Engine.Device_degraded)
 
 (* ---------------- campaign profiles ---------------- *)

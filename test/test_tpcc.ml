@@ -81,23 +81,23 @@ let mk_layout () = Layout.create ~buffer_bytes:(64 * 1024) ~name:"test" ()
 let test_layout_crud () =
   let st = mk_layout () in
   let row = Record.[ I 1; S "hello" ] in
-  Layout.insert st ~tx:0 Schema.Warehouse ~key:1 row;
+  Layout.insert st ~tx:Layout.no_txn Schema.Warehouse ~key:1 row;
   Alcotest.(check bool) "lookup" true (Layout.lookup st Schema.Warehouse ~key:1 = Some row);
   Alcotest.(check bool) "missing" true (Layout.lookup st Schema.Warehouse ~key:2 = None);
   let updated =
-    Layout.update st ~tx:0 Schema.Warehouse ~key:1 (fun r -> Record.set r 1 (Record.S "bye"))
+    Layout.update st ~tx:Layout.no_txn Schema.Warehouse ~key:1 (fun r -> Record.set r 1 (Record.S "bye"))
   in
   Alcotest.(check bool) "update" true updated;
   Alcotest.(check bool) "updated value" true
     (Layout.lookup st Schema.Warehouse ~key:1 = Some Record.[ I 1; S "bye" ]);
-  Alcotest.(check bool) "delete" true (Layout.delete st ~tx:0 Schema.Warehouse ~key:1);
+  Alcotest.(check bool) "delete" true (Layout.delete st ~tx:Layout.no_txn Schema.Warehouse ~key:1);
   Alcotest.(check bool) "gone" true (Layout.lookup st Schema.Warehouse ~key:1 = None);
-  Alcotest.(check bool) "delete missing" false (Layout.delete st ~tx:0 Schema.Warehouse ~key:1)
+  Alcotest.(check bool) "delete missing" false (Layout.delete st ~tx:Layout.no_txn Schema.Warehouse ~key:1)
 
 let test_layout_tables_disjoint () =
   let st = mk_layout () in
-  Layout.insert st ~tx:0 Schema.Warehouse ~key:7 Record.[ I 1 ];
-  Layout.insert st ~tx:0 Schema.District ~key:7 Record.[ I 2 ];
+  Layout.insert st ~tx:Layout.no_txn Schema.Warehouse ~key:7 Record.[ I 1 ];
+  Layout.insert st ~tx:Layout.no_txn Schema.District ~key:7 Record.[ I 2 ];
   Alcotest.(check bool) "warehouse 7" true
     (Layout.lookup st Schema.Warehouse ~key:7 = Some Record.[ I 1 ]);
   Alcotest.(check bool) "district 7" true
@@ -107,24 +107,24 @@ let test_layout_new_order_ordering () =
   let st = mk_layout () in
   List.iter
     (fun o ->
-      Layout.insert st ~tx:0 Schema.New_order
+      Layout.insert st ~tx:Layout.no_txn Schema.New_order
         ~key:(Schema.new_order_key ~w:1 ~d:1 ~o)
         (Schema.new_order_row ~w:1 ~d:1 ~o))
     [ 5; 3; 9 ];
   let lo = Schema.new_order_key ~w:1 ~d:1 ~o:0 in
   Alcotest.(check (option int)) "oldest first" (Some (Schema.new_order_key ~w:1 ~d:1 ~o:3))
     (Layout.next_key_ge st Schema.New_order ~key:lo);
-  ignore (Layout.delete st ~tx:0 Schema.New_order ~key:(Schema.new_order_key ~w:1 ~d:1 ~o:3));
+  ignore (Layout.delete st ~tx:Layout.no_txn Schema.New_order ~key:(Schema.new_order_key ~w:1 ~d:1 ~o:3));
   Alcotest.(check (option int)) "then next" (Some (Schema.new_order_key ~w:1 ~d:1 ~o:5))
     (Layout.next_key_ge st Schema.New_order ~key:lo)
 
 let test_layout_emits_trace () =
   let st = mk_layout () in
   for k = 1 to 50 do
-    Layout.insert st ~tx:0 Schema.Stock ~key:k Record.[ I k; S (String.make 100 's') ]
+    Layout.insert st ~tx:Layout.no_txn Schema.Stock ~key:k Record.[ I k; S (String.make 100 's') ]
   done;
   for k = 1 to 50 do
-    ignore (Layout.update st ~tx:0 Schema.Stock ~key:k (fun r -> Record.set r 0 (Record.I (-k))))
+    ignore (Layout.update st ~tx:Layout.no_txn Schema.Stock ~key:k (fun r -> Record.set r 0 (Record.I (-k))))
   done;
   let trace = Layout.finish st in
   let s = Trace.stats trace in
@@ -139,7 +139,7 @@ let test_layout_emits_trace () =
 
 let test_layout_abort_undoes () =
   let st = mk_layout () in
-  Layout.insert st ~tx:0 Schema.District ~key:7 Record.[ I 7; I 100 ];
+  Layout.insert st ~tx:Layout.no_txn Schema.District ~key:7 Record.[ I 7; I 100 ];
   let tx = Layout.begin_txn st in
   ignore (Layout.update st ~tx Schema.District ~key:7 (fun r -> Record.set r 1 (Record.I 101)));
   Layout.insert st ~tx Schema.Orders ~key:55 Record.[ I 55 ];
@@ -161,7 +161,7 @@ let test_layout_by_last_name () =
   let rng = Rng.of_int 3 in
   (* Customers 1..5 of district (1,1): names are last_name (c-1). *)
   for c = 1 to 5 do
-    Layout.insert st ~tx:0 Schema.Customer
+    Layout.insert st ~tx:Layout.no_txn Schema.Customer
       ~key:(Schema.customer_key ~w:1 ~d:1 ~c)
       (Schema.customer_row rng ~w:1 ~d:1 ~c)
   done;
@@ -323,7 +323,7 @@ let test_engine_store_by_last_name_middle_match () =
   let shared = Rng.last_name 77 in
   List.iter
     (fun c ->
-      Estore.insert store ~tx:0 Schema.Customer
+      Estore.insert store ~tx:Estore.no_txn Schema.Customer
         ~key:(Schema.customer_key ~w:1 ~d:1 ~c)
         (with_name c shared))
     [ 10; 20; 30 ];
