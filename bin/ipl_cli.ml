@@ -189,10 +189,15 @@ let replay_cmd =
 
 (* ---------------- faultcheck ---------------- *)
 
-let crash_campaign ops sample seed transactions pages no_tear broken =
+let crash_campaign ops sample stride lazy_mode seed transactions pages no_tear broken =
   let transactions = Option.value ~default:200 transactions in
   let spec = { Fault.Workload.default with Fault.Workload.seed; transactions; pages } in
-  let report = Fault.Campaign.run ~tear:(not no_tear) ~broken ~max_ops:ops ~sample spec in
+  let report =
+    Fault.Campaign.run ~tear:(not no_tear) ~broken ~max_ops:ops ~sample ~stride ~lazy_mode
+      spec
+  in
+  if lazy_mode then
+    Printf.printf "lazy-recovery mode: every crash point checked lazy == eager\n";
   Format.printf "%a@." Fault.Campaign.pp_report report;
   let nviol = List.length report.Fault.Campaign.violations in
   if broken then
@@ -232,21 +237,24 @@ let resilience_campaign profile spares seed transactions =
         Format.printf "%a@." Fault.Campaign.pp_resilience_report r;
         if not (Fault.Campaign.resilience_ok r) then exit 1
 
-let concurrent_campaign ops sample seed transactions pages no_tear sessions =
+let concurrent_campaign ops sample stride lazy_mode seed transactions pages no_tear sessions =
   let transactions = Option.value ~default:60 transactions in
   let spec = { Fault.Workload.default with Fault.Workload.seed; transactions; pages } in
   let report =
-    Fault.Campaign.run_concurrent ~tear:(not no_tear) ~max_ops:ops ~sample ~sessions spec
+    Fault.Campaign.run_concurrent ~tear:(not no_tear) ~max_ops:ops ~sample ~stride
+      ~lazy_mode ~sessions spec
   in
-  Printf.printf "concurrent campaign: %d sessions\n" sessions;
+  Printf.printf "concurrent campaign: %d sessions%s\n" sessions
+    (if lazy_mode then " (lazy == eager checked)" else "");
   Format.printf "%a@." Fault.Campaign.pp_report report;
   if report.Fault.Campaign.violations <> [] then exit 1
 
-let faultcheck ops sample seed transactions pages no_tear broken profile spares sessions =
+let faultcheck ops sample stride lazy_mode seed transactions pages no_tear broken profile
+    spares sessions =
   match profile with
-  | None -> crash_campaign ops sample seed transactions pages no_tear broken
+  | None -> crash_campaign ops sample stride lazy_mode seed transactions pages no_tear broken
   | Some "concurrent" ->
-      concurrent_campaign ops sample seed transactions pages no_tear sessions
+      concurrent_campaign ops sample stride lazy_mode seed transactions pages no_tear sessions
   | Some profile -> resilience_campaign profile spares seed transactions
 
 let ops_t =
@@ -261,6 +269,22 @@ let sample_t =
     value
     & opt int 0
     & info [ "sample" ] ~doc:"Test only $(docv) crash points, spread evenly (0 = every point).")
+
+let stride_t =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "stride" ]
+        ~doc:"Keep only every $(docv)-th crash point after sampling (cheap CI thinning).")
+
+let lazy_t =
+  Arg.(
+    value & flag
+    & info [ "lazy" ]
+        ~doc:
+          "Lazy-recovery equivalence mode: restart every crashed chip with on-demand page \
+           repair (fuzzy checkpoints enabled) and require its logical digest to match an \
+           eagerly recovered twin, before and after the repair drain.")
 
 let fc_transactions_t =
   Arg.(
@@ -313,8 +337,8 @@ let faultcheck_cmd =
           model oracle, or ($(b,--profile)) inject device failures against the bad-block \
           manager and verify zero data loss up to read-only degradation.")
     Term.(
-      const faultcheck $ ops_t $ sample_t $ seed_t $ fc_transactions_t $ fc_pages_t $ no_tear_t
-      $ broken_t $ profile_t $ spares_t $ fc_sessions_t)
+      const faultcheck $ ops_t $ sample_t $ stride_t $ lazy_t $ seed_t $ fc_transactions_t
+      $ fc_pages_t $ no_tear_t $ broken_t $ profile_t $ spares_t $ fc_sessions_t)
 
 (* ---------------- observe ---------------- *)
 
@@ -404,7 +428,8 @@ let observe_cmd =
 
 (* ---------------- bench ---------------- *)
 
-let bench transactions seed quick spares cache_bytes channels ways sessions json out =
+let bench transactions seed quick spares cache_bytes channels ways sessions restart json
+    out =
   let spec = obs_spec transactions seed quick in
   let spec = { spec with Workload.Obs_bench.spare_blocks = spares; channels; ways; sessions } in
   let spec =
@@ -446,13 +471,36 @@ let bench transactions seed quick spares cache_bytes channels ways sessions json
           /. float_of_int c.Workload.Obs_bench.commit_batches
         else 0.0)
        c.Workload.Obs_bench.max_commit_batch c.Workload.Obs_bench.throughput_tps);
+  let restart_points =
+    if restart then begin
+      let pts = Workload.Restart_bench.run () in
+      Format.printf "%a@." Workload.Restart_bench.pp pts;
+      Some pts
+    end
+    else None
+  in
   if json then begin
-    Workload.Obs_bench.write_json out r;
+    let extra =
+      match restart_points with
+      | None -> []
+      | Some pts -> [ ("restart", Workload.Restart_bench.to_json pts) ]
+    in
+    Workload.Obs_bench.write_json ~extra out r;
     Printf.printf "wrote %s\n" out
   end
 
 let bench_json_t =
   Arg.(value & flag & info [ "json" ] ~doc:"Also write the full benchmark document as JSON.")
+
+let bench_restart_t =
+  Arg.(
+    value & flag
+    & info [ "restart" ]
+        ~doc:
+          "Also run the restart-availability benchmark: simulated time to the first \
+           committed transaction after a crash, eager full-scan recovery versus lazy \
+           (fuzzy-checkpoint) recovery, over three database sizes. With $(b,--json) the \
+           results are appended to the document under $(i,restart).")
 
 let bench_spares_t =
   Arg.(
@@ -508,7 +556,7 @@ let bench_cmd =
     Term.(
       const bench $ obs_transactions_t $ seed_t $ obs_quick_t $ bench_spares_t
       $ bench_cache_bytes_t $ bench_channels_t $ bench_ways_t $ bench_sessions_t
-      $ bench_json_t $ bench_out_t)
+      $ bench_restart_t $ bench_json_t $ bench_out_t)
 
 (* ---------------- chansweep ---------------- *)
 

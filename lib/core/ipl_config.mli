@@ -56,6 +56,21 @@ type t = {
       (** per-chip bound on outstanding asynchronous operations; a
           submission against a full queue stalls the simulated host
           clock to the earliest completion *)
+  checkpoint_every : int;
+      (** 0 (default): no fuzzy checkpoints. n > 0: every n committed
+          transactions the engine appends a checkpoint — per-erase-unit
+          log coverage records plus a footer with the active-transaction
+          table and the durable transaction-log watermark — to the
+          metadata log, without quiescing. A checkpoint bounds the
+          restart scan: recovery replays meta events as always but only
+          reads flash log sectors written {e after} the checkpoint *)
+  lazy_recovery : bool;
+      (** false (default): restart eagerly re-reads every erase unit's
+          log region, exactly the pre-checkpoint behaviour. true:
+          restart builds a per-erase-unit repair plan from the last
+          checkpoint instead and returns immediately; pages are repaired
+          on first touch (or by {!Ipl_engine.drain_repairs}), warming
+          the log-record cache from the sectors the scan decodes *)
 }
 
 val default : t

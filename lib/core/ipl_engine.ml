@@ -72,6 +72,7 @@ type t = {
   mutable next_txid : int;
   mutable pending_commits : int;
   mutable group_commit : int;
+  mutable commits_since_ckpt : int;  (* fuzzy-checkpoint cadence counter *)
   mutable tracer : Obs.Tracer.t option;
 }
 
@@ -123,6 +124,7 @@ let build config dev store bbm trx =
     next_txid = 1;
     pending_commits = 0;
     group_commit = config.Ipl_config.group_commit;
+    commits_since_ckpt = 0;
     tracer = None;
   }
 
@@ -246,7 +248,9 @@ let restart_device ?(config = Ipl_config.default) ?(meta_blocks = 4) ?(trx_block
              ~force ~events:bbm_events ())
   in
   let store =
-    Ipl_storage.recover ~config ?bbm dev ~first_block:reserved
+    Ipl_storage.recover ~config ?bbm
+      ~trx_durable:(match trx with Some log -> Trx_log.durable_sectors log | None -> 0)
+      dev ~first_block:reserved
       ~num_blocks:(fc.FConfig.num_blocks - reserved - config.Ipl_config.spare_blocks)
       ~txn_status ~meta ~meta_events:events ()
   in
@@ -285,6 +289,30 @@ let txn_info t txid =
   | Some info -> info
   | None -> invalid_arg (Printf.sprintf "Ipl_engine: unknown transaction %d" txid)
 
+(* Fuzzy checkpoint cadence: once [checkpoint_every] transactions have
+   committed since the last checkpoint, append one to the metadata log
+   buffer. No force and no extra barrier — the records ride the next
+   durability barrier like any other metadata, and a checkpoint torn by
+   a crash is simply ignored at recovery. Called right after a commit
+   barrier, so the recorded transaction-log watermark and the per-unit
+   log coverage are consistent: everything the checkpoint claims is
+   already durable. *)
+let maybe_checkpoint t ~committed =
+  let every = t.config.Ipl_config.checkpoint_every in
+  if every > 0 then begin
+    t.commits_since_ckpt <- t.commits_since_ckpt + committed;
+    if t.commits_since_ckpt >= every then begin
+      t.commits_since_ckpt <- 0;
+      let active, trx_watermark =
+        match t.trx with
+        | Some log -> (Trx_log.active log, Trx_log.durable_sectors log)
+        | None -> ([], 0)
+      in
+      Ipl_storage.emit_checkpoint t.store ~active ~trx_watermark;
+      Ipl_storage.publish_meta t.store
+    end
+  end
+
 (* Make every batched commit durable: flush all dirty frames (their
    in-memory log sectors may mix records of several committed
    transactions), then force metadata and the commit records. *)
@@ -307,7 +335,9 @@ let flush_commits t =
        serial path's force-per-sector: still one commit-record program
        and two quiesces amortised over the whole batch. *)
     Dev.barrier t.dev;
-    t.pending_commits <- 0
+    let committed = t.pending_commits in
+    t.pending_commits <- 0;
+    maybe_checkpoint t ~committed
   end
 
 let commit t txid =
@@ -345,6 +375,7 @@ let commit t txid =
        sectors just published — completes before commit returns. *)
     Dev.barrier t.dev;
     Hashtbl.remove t.txns txid;
+    maybe_checkpoint t ~committed:1;
     emit_txn_event t (Obs.Event.Commit { tx = txid })
   end
 
@@ -649,8 +680,15 @@ let page_free_space t page = with_page t page Page.free_space
 (* ------------------------------------------------------------------ *)
 (* Maintenance                                                         *)
 
+let drain_repairs t ~max_eus = Ipl_storage.repair_step t.store ~max_eus
+
 let checkpoint t =
   t.pending_commits <- 0;
+  (* Settle any outstanding lazy-restart repairs first: the fresh fuzzy
+     checkpoint emitted below claims exact coverage of every unit's log,
+     which an unrepaired unit can honour but the repair-table bookkeeping
+     is simplest when a full checkpoint leaves nothing owed. *)
+  let (_ : int) = Ipl_storage.repair_step t.store ~max_eus:max_int in
   Pool.flush_all t.pool;
   Ipl_storage.force_meta t.store;
   (match t.trx with
@@ -658,6 +696,19 @@ let checkpoint t =
       Trx_log.flush_deferred log;
       Trx_log.force log
   | None -> ());
+  (* The explicit checkpoint doubles as a fuzzy-checkpoint emission
+     point (forced, unlike the cadence-driven ones), so a lazy restart
+     after a clean checkpoint has nothing to rescan. *)
+  if t.config.Ipl_config.checkpoint_every > 0 then begin
+    t.commits_since_ckpt <- 0;
+    let active, trx_watermark =
+      match t.trx with
+      | Some log -> (Trx_log.active log, Trx_log.durable_sectors log)
+      | None -> ([], 0)
+    in
+    Ipl_storage.emit_checkpoint t.store ~active ~trx_watermark;
+    Ipl_storage.force_meta t.store
+  end;
   (* A checkpoint is a full quiesce: background relocation traffic
      settles too, not just the durability classes. *)
   Dev.drain t.dev;
@@ -665,8 +716,10 @@ let checkpoint t =
 
 let compact t ~max_merges =
   (* Proactive background merging: take the merge cost off the next
-     unlucky writer's critical path. Flush first so pending records are
-     included. *)
+     unlucky writer's critical path. Post-crash repairs drain at the
+     same bounded rate — both are idle-time catch-up work. Flush first
+     so pending records are included. *)
+  let (_ : int) = Ipl_storage.repair_step t.store ~max_eus:max_merges in
   Pool.flush_all t.pool;
   Ipl_storage.merge_fullest t.store ~max_merges
 
@@ -696,6 +749,7 @@ module Unsafe = struct
   let page_free_space = page_free_space
   let checkpoint = checkpoint
   let compact = compact
+  let drain_repairs = drain_repairs
 end
 
 let begin_txn t = guard t (fun () -> Ok (Unsafe.begin_txn t))
@@ -724,6 +778,11 @@ let with_page t page f = trap (fun () -> Ok (Unsafe.with_page t page f))
 let page_free_space t page = trap (fun () -> Ok (Unsafe.page_free_space t page))
 let checkpoint t = guard t (fun () -> Ok (Unsafe.checkpoint t))
 let compact t ~max_merges = guard t (fun () -> Ok (Unsafe.compact t ~max_merges))
+let repair_pending t = Ipl_storage.repair_pending t.store
+
+(* [trap], not [guard]: repair only reads flash and installs cache
+   entries, so it must keep draining on a degraded (read-only) device. *)
+let drain_repairs t ~max_eus = trap (fun () -> Ok (Unsafe.drain_repairs t ~max_eus))
 
 let degraded t =
   match t.bbm with Some d -> Resilience.Bbm.degraded d | None -> false

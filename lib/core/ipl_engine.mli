@@ -95,7 +95,15 @@ val restart_device :
 (** Re-open after a crash (same parameters as {!create_device}). Implicit
     REDO/UNDO per Section 5.4: transactions with no outcome record are
     aborted (their ids are returned); everything else is reconstructed
-    on demand by the normal read path. *)
+    on demand by the normal read path.
+
+    With [config.lazy_recovery] set and a usable fuzzy checkpoint on the
+    metadata log, the restart scan reads only each erase unit's
+    post-checkpoint log delta and returns as soon as the mapping and
+    record counts are rebuilt; the covered log prefixes are re-read on
+    first touch or via {!drain_repairs} (see {!Ipl_storage.recover}).
+    Logical content is identical to an eager restart from the first
+    transaction onward — only the flash-read schedule differs. *)
 
 val restart :
   ?config:Ipl_config.t ->
@@ -231,12 +239,28 @@ val page_free_space : t -> int -> (int, error) result
 
 val checkpoint : t -> (unit, error) result
 (** Flush all in-memory log sectors and force the metadata (and
-    transaction) logs; a full device quiesce. *)
+    transaction) logs; a full device quiesce. Drains all pending lazy
+    repairs first, and — when [config.checkpoint_every > 0] — forces a
+    fresh fuzzy checkpoint, so a lazy restart after a clean checkpoint
+    has nothing to rescan. *)
 
 val compact : t -> max_merges:int -> (int, error) result
 (** Background merging: merge up to [max_merges] of the erase units whose
     log regions are fullest, returning how many were merged. Doing this
-    at idle moments moves merge latency off the update path. *)
+    at idle moments moves merge latency off the update path. Also drains
+    up to [max_merges] pending lazy repairs — the same idle-time
+    catch-up budget. *)
+
+val repair_pending : t -> int
+(** Erase units still awaiting on-demand repair after a lazy restart
+    (0 after an eager restart, and once repair has drained). *)
+
+val drain_repairs : t -> max_eus:int -> (int, error) result
+(** Background repair drainer: repair up to [max_eus] pending units now
+    (re-read their covered log prefixes, re-warm the record cache),
+    returning the number repaired. Never refused on a degraded device —
+    repair is read-only. First-touch repair happens implicitly; this
+    merely moves it off the foreground read path. *)
 
 val stats : t -> combined_stats
 
@@ -296,4 +320,5 @@ module Unsafe : sig
   val page_free_space : t -> int -> int
   val checkpoint : t -> unit
   val compact : t -> max_merges:int -> int
+  val drain_repairs : t -> max_eus:int -> int
 end

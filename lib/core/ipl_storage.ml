@@ -33,6 +33,8 @@ type stats = {
   log_cache_hits : int;
   log_cache_misses : int;
   log_cache_evictions : int;
+  log_cache_warm_entries : int;
+  eus_repaired_lazily : int;
 }
 
 (* Free erase units bucketed by wear so allocation is a min-binding
@@ -68,6 +70,25 @@ type t = {
       (* decoded log records per erase unit, keyed by [eu.phys] (a
          virtual address under a bad-block manager, so relocations do
          not disturb entries) *)
+  repairs : Log_record.t Recovery.Repair_table.t;
+      (* erase units a lazy restart still owes a replay, keyed by
+         [eu.phys]; empty except between a lazy restart and the moment
+         every unit has been touched or drained *)
+  mutable last_ckpt_footer : (int list * int) option;
+      (* (active, trx_watermark) of the newest emitted checkpoint, so a
+         metadata-log compaction can re-emit checkpoint coverage instead
+         of silently discarding it *)
+  mutable in_merge : bool;
+      (* a merge is rewriting a unit right now: between the overflow
+         release and the durability point its counts and overflow list
+         disagree, so a compaction snapshot must not re-emit checkpoint
+         coverage (dropping the checkpoint is safe — restart just falls
+         back to the eager scan) *)
+  mutable pending_reclaims : int list;
+      (* dirty unmapped blocks a lazy restart left unerased: reclamation
+         erases dominate restart latency, so a lazy restart defers them
+         here and they are retired by the background drainer — or, at the
+         latest, by an allocation that finds the free pool empty *)
   mutable current_overflow : int option;
   fills : eu_info option array;
       (* unit receiving new page allocations, one per device channel so
@@ -95,6 +116,8 @@ type t = {
   mutable c_cache_hits : int;
   mutable c_cache_misses : int;
   mutable c_cache_evictions : int;
+  mutable c_cache_warm_entries : int;
+  mutable c_lazy_repairs : int;
   mutable tracer : Obs.Tracer.t option;
 }
 
@@ -146,6 +169,10 @@ let mk ?(config = Ipl_config.default) ?bbm dev ~first_block ~num_blocks ~txn_sta
     overflow_eus = Hashtbl.create 16;
     free = { by_wear = IntMap.empty; bucket_of = Hashtbl.create 256 };
     cache;
+    repairs = Recovery.Repair_table.create ();
+    last_ckpt_footer = None;
+    in_merge = false;
+    pending_reclaims = [];
     current_overflow = None;
     fills = Array.make (Dev.num_chips dev) None;
     next_page = 0;
@@ -169,6 +196,8 @@ let mk ?(config = Ipl_config.default) ?bbm dev ~first_block ~num_blocks ~txn_sta
     c_cache_hits = 0;
     c_cache_misses = 0;
     c_cache_evictions = 0;
+    c_cache_warm_entries = 0;
+    c_lazy_repairs = 0;
     tracer = None;
   }
   in
@@ -317,18 +346,34 @@ let reclaim_eu t b =
   | () -> free_pool_add t b
   | exception (Chip.Worn_out _ | Chip.Erase_error _ | Resilience.Bbm.Degraded) -> ()
 
+(* Retire every reclamation erase a lazy restart deferred. Returns
+   whether any ran — an allocation that got here with an empty pool must
+   not fail while deferred units still exist. *)
+let drain_pending_reclaims t =
+  match t.pending_reclaims with
+  | [] -> false
+  | blocks ->
+      t.pending_reclaims <- [];
+      List.iter (reclaim_eu t) blocks;
+      true
+
 (* ------------------------------------------------------------------ *)
 (* Free-unit allocation                                                *)
 
 let alloc_eu ?channel t =
-  let taken =
+  let take () =
     match channel with
     | Some c -> free_pool_take_min_on t ~channel:c
     | None -> free_pool_take_min t
   in
-  match taken with
+  match take () with
   | Some b -> b
-  | None -> failwith "Ipl_storage: out of erase units"
+  | None -> (
+      if not (drain_pending_reclaims t) then
+        failwith "Ipl_storage: out of erase units";
+      match take () with
+      | Some b -> b
+      | None -> failwith "Ipl_storage: out of erase units")
 
 (* ------------------------------------------------------------------ *)
 (* Low-level sector helpers                                            *)
@@ -419,6 +464,97 @@ let note_records eu records =
   eu.total_records <- eu.total_records + List.length records
 
 (* ------------------------------------------------------------------ *)
+(* On-demand page repair (lazy restart)                                 *)
+
+(* Settle a lazy restart's debt on one erase unit: the recovery scan
+   already decoded the post-checkpoint delta and seeded the unit's record
+   counts, so the only work left is warming the log-record cache — read
+   the checkpointed prefix sectors, splice the delta behind them in flash
+   order (in-region prefix, in-region delta, overflow prefix, overflow
+   delta — exactly the order an uncached full scan produces) and install
+   the result. With the cache disabled there is nothing to warm: every
+   read re-scans the full log region anyway, so the entry is simply
+   dropped. Either way the unit's pages count as repaired. *)
+let repair_eu t eu (e : Log_record.t Recovery.Repair_table.entry) =
+  Recovery.Repair_table.remove t.repairs ~eu:eu.phys;
+  if Cache.Log_cache.enabled t.cache then begin
+    let ss = sector_size t in
+    let pre_in =
+      if e.pre_in = 0 then []
+      else begin
+        let blob = dev_read t ~sector:(log_sector_addr t eu.phys 0) ~count:e.pre_in in
+        t.c_log_sector_reads <- t.c_log_sector_reads + e.pre_in;
+        List.concat
+          (List.init e.pre_in (fun i -> Log_sector.deserialize (Bytes.sub blob (i * ss) ss)))
+      end
+    in
+    let pre_over =
+      List.concat_map
+        (fun addr ->
+          let sector = dev_read t ~sector:addr ~count:1 in
+          t.c_log_sector_reads <- t.c_log_sector_reads + 1;
+          Log_sector.deserialize sector)
+        (List.filteri (fun i _ -> i < e.pre_over) (List.rev eu.overflow_rev))
+    in
+    Cache.Log_cache.install t.cache eu.phys (pre_in @ e.delta_in @ pre_over @ e.delta_over);
+    t.c_cache_warm_entries <- t.c_cache_warm_entries + 1
+  end;
+  t.c_lazy_repairs <- t.c_lazy_repairs + 1;
+  match t.tracer with
+  | None -> ()
+  | Some tr ->
+      List.iter
+        (fun page ->
+          Obs.Tracer.emit tr ~time:(Dev.elapsed t.dev)
+            (Obs.Event.Page_repaired { page; eu = eu.phys }))
+        e.pages
+
+(* First-touch hook: any access to an erase unit's log state — a page
+   read, a log flush, a merge — repairs the unit first, so the cache can
+   never be installed from a scan that misses post-restart appends and
+   the repair table shrinks monotonically towards the fully-warm state. *)
+let repair_eu_if_pending t eu =
+  if Recovery.Repair_table.pending t.repairs > 0 then
+    match Recovery.Repair_table.find t.repairs ~eu:eu.phys with
+    | None -> ()
+    | Some e -> repair_eu t eu e
+
+let repair_pending t = Recovery.Repair_table.pending t.repairs
+
+(* Background drainer: repair up to [max_eus] pending units
+   (lowest-numbered first, a deterministic schedule), returning how many
+   were repaired. *)
+let repair_step t ~max_eus =
+  let rec go n =
+    if n >= max_eus then n
+    else
+      match Recovery.Repair_table.choose t.repairs with
+      | None -> n
+      | Some (phys, e) ->
+          (match Hashtbl.find_opt t.data_eus phys with
+          | Some eu -> repair_eu t eu e
+          | None ->
+              (* unreachable: merging a unit repairs it first, so a live
+                 entry always has a live unit — but never loop on one *)
+              Recovery.Repair_table.remove t.repairs ~eu:phys);
+          go (n + 1)
+  in
+  let repaired = go 0 in
+  (* Leftover budget retires deferred reclamation erases, so a full
+     drain leaves no background debt at all. *)
+  let rec reclaim n =
+    if n < max_eus then
+      match t.pending_reclaims with
+      | [] -> ()
+      | b :: rest ->
+          t.pending_reclaims <- rest;
+          reclaim_eu t b;
+          reclaim (n + 1)
+  in
+  reclaim repaired;
+  repaired
+
+(* ------------------------------------------------------------------ *)
 (* Page allocation                                                     *)
 
 let find_free_slot t eu =
@@ -499,6 +635,7 @@ let memo_status t =
         s
 
 let live_records_of_page t eu pid =
+  repair_eu_if_pending t eu;
   if eu_log_empty eu then []
   else begin
     let status = memo_status t in
@@ -716,6 +853,7 @@ let reattach_overflow t eu saved =
    engine; after the point, the in-memory switch-over is completed before
    any further fallible flash work. *)
 let merge t eu ~pending =
+  repair_eu_if_pending t eu;
   (* Merge onto the {e next} channel: the copy's reads (old unit) and
      programs (new unit) then sit on different chips and overlap. With
      one channel the target allocation is the plain least-worn choice. *)
@@ -729,6 +867,8 @@ let merge t eu ~pending =
   let saved_overflow = eu.overflow_rev in
   let released = ref false in
   let durable = ref false in
+  t.in_merge <- true;
+  Fun.protect ~finally:(fun () -> t.in_merge <- false) @@ fun () ->
   try
     let all = read_eu_log_records ~cls:Dev.Merge_io t eu @ pending in
     let committed, carried, dropped = classify t all in
@@ -863,6 +1003,10 @@ let flush_log t ~page records =
         invalid_arg "Ipl_storage.flush_log: record for a different page")
     records;
   let eu, _ = lookup t page in
+  (* An unrepaired unit must be settled before the write-through append
+     below: the cache entry a later repair installs has to include this
+     flush's records too. *)
+  repair_eu_if_pending t eu;
   if eu.used_log < t.log_sectors then begin
     let sector = serialize_records t records in
     dev_submit_write t ~cls:Dev.Log_flush ~sector:(log_sector_addr t eu.phys eu.used_log) sector;
@@ -924,6 +1068,55 @@ let force_meta t = Meta_log.force t.meta
 let publish_meta t = Meta_log.publish t.meta
 
 (* ------------------------------------------------------------------ *)
+(* Fuzzy checkpoints                                                    *)
+
+(* Limits keeping every checkpoint record inside one log sector's
+   payload: per-unit transaction counts are chunked (they accumulate at
+   recovery), and a checkpoint whose active-transaction table cannot fit
+   a single footer record is skipped outright — the previous checkpoint
+   simply stays in force. *)
+let ckpt_counts_chunk = 56
+let ckpt_max_active = 120
+
+(* The checkpoint as an event list: per-unit coverage of every data unit
+   with a non-empty log (sorted by unit for a deterministic flash
+   layout), then the footer that promotes it. Also re-emitted verbatim by
+   the compaction snapshot, so a compacted metadata log keeps its
+   checkpoint. *)
+let ckpt_events t ~active ~trx_watermark =
+  let eus =
+    Hashtbl.fold (fun _ eu acc -> if eu_log_empty eu then acc else eu :: acc) t.data_eus []
+    |> List.sort (fun a b -> compare a.phys b.phys)
+  in
+  let rec chunks = function
+    | [] -> []
+    | l ->
+        let rec take n acc rest =
+          if n = 0 then (List.rev acc, rest)
+          else match rest with [] -> (List.rev acc, []) | x :: r -> take (n - 1) (x :: acc) r
+        in
+        let c, rest = take ckpt_counts_chunk [] l in
+        c :: chunks rest
+  in
+  let per_eu eu =
+    let counts =
+      Hashtbl.fold (fun txid n acc -> (txid, n) :: acc) eu.txn_counts [] |> List.sort compare
+    in
+    let used_log = eu.used_log and overflow = List.length eu.overflow_rev in
+    List.map
+      (fun c -> Meta_log.Ckpt_eu { eu = eu.phys; used_log; overflow; counts = c })
+      (chunks counts)
+  in
+  List.concat_map per_eu eus
+  @ [ Meta_log.Ckpt { active = List.sort compare active; trx_watermark } ]
+
+let emit_checkpoint t ~active ~trx_watermark =
+  if List.length active <= ckpt_max_active then begin
+    List.iter (Meta_log.log t.meta) (ckpt_events t ~active ~trx_watermark);
+    t.last_ckpt_footer <- Some (active, trx_watermark)
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Introspection                                                       *)
 
 let eu_of_page t pid = (fst (lookup t pid)).phys
@@ -956,6 +1149,8 @@ let stats t =
     log_cache_hits = t.c_cache_hits;
     log_cache_misses = t.c_cache_misses;
     log_cache_evictions = t.c_cache_evictions;
+    log_cache_warm_entries = t.c_cache_warm_entries;
+    eus_repaired_lazily = t.c_lazy_repairs;
   }
 
 module Stats = struct
@@ -977,6 +1172,8 @@ module Stats = struct
       log_cache_hits = 0;
       log_cache_misses = 0;
       log_cache_evictions = 0;
+      log_cache_warm_entries = 0;
+      eus_repaired_lazily = 0;
     }
 
   let map2 f (a : t) (b : t) : t =
@@ -995,6 +1192,8 @@ module Stats = struct
       log_cache_hits = f a.log_cache_hits b.log_cache_hits;
       log_cache_misses = f a.log_cache_misses b.log_cache_misses;
       log_cache_evictions = f a.log_cache_evictions b.log_cache_evictions;
+      log_cache_warm_entries = f a.log_cache_warm_entries b.log_cache_warm_entries;
+      eus_repaired_lazily = f a.eus_repaired_lazily b.eus_repaired_lazily;
     }
 
   let add = map2 ( + )
@@ -1016,6 +1215,8 @@ module Stats = struct
       ("log_cache_hits", t.log_cache_hits);
       ("log_cache_misses", t.log_cache_misses);
       ("log_cache_evictions", t.log_cache_evictions);
+      ("log_cache_warm_entries", t.log_cache_warm_entries);
+      ("eus_repaired_lazily", t.eus_repaired_lazily);
     ]
 
   let pp ppf t =
@@ -1064,7 +1265,17 @@ let snapshot_fun t () =
             | Resilience.Bbm.P_degraded -> Meta_log.Degraded)
           (Resilience.Bbm.snapshot_events d)
   in
-  resilience @ allocs @ List.rev rest
+  (* The newest checkpoint must survive compaction — re-emit it from the
+     current (equivalent or fresher) coverage, under the footer it was
+     taken with. *)
+  let ckpt =
+    match t.last_ckpt_footer with
+    | Some (active, trx_watermark)
+      when t.config.Ipl_config.checkpoint_every > 0 && not t.in_merge ->
+        ckpt_events t ~active ~trx_watermark
+    | _ -> []
+  in
+  resilience @ allocs @ List.rev rest @ ckpt
 
 let create ?config ?bbm dev ~first_block ~num_blocks ~txn_status ~meta () =
   let t = mk ?config ?bbm dev ~first_block ~num_blocks ~txn_status ~meta in
@@ -1074,7 +1285,8 @@ let create ?config ?bbm dev ~first_block ~num_blocks ~txn_status ~meta () =
   Meta_log.set_snapshot meta (snapshot_fun t);
   t
 
-let recover ?config ?bbm dev ~first_block ~num_blocks ~txn_status ~meta ~meta_events () =
+let recover ?config ?bbm ?(trx_durable = 0) dev ~first_block ~num_blocks ~txn_status
+    ~meta ~meta_events () =
   let t = mk ?config ?bbm dev ~first_block ~num_blocks ~txn_status ~meta in
   (* Replay mapping events. *)
   let get_eu phys =
@@ -1085,6 +1297,20 @@ let recover ?config ?bbm dev ~first_block ~num_blocks ~txn_status ~meta ~meta_ev
         Hashtbl.replace t.data_eus phys eu;
         eu
   in
+  (* Checkpoint coverage accumulates alongside the replay: [Ckpt_eu]
+     records gather per-unit until a [Ckpt] footer promotes the batch
+     (a torn checkpoint — coverage without its footer — is discarded).
+     A footer whose transaction-log watermark exceeds what that log
+     actually recovered is unusable: the statuses its counts refer to
+     were not durable. Any later merge or overflow release of a unit
+     voids its coverage — the prefix it vouches for is gone. *)
+  let cov_effective : (int, int * int * (int * int) list) Hashtbl.t = Hashtbl.create 32 in
+  let cov_pending : (int, int * int * (int * int) list) Hashtbl.t = Hashtbl.create 32 in
+  let cov_footer = ref None in
+  let cov_void phys =
+    Hashtbl.remove cov_effective phys;
+    Hashtbl.remove cov_pending phys
+  in
   List.iter
     (function
       | Meta_log.Page_alloc { page; eu = phys; idx } ->
@@ -1093,6 +1319,7 @@ let recover ?config ?bbm dev ~first_block ~num_blocks ~txn_status ~meta ~meta_ev
           Hashtbl.replace t.mapping page (eu, idx);
           if page >= t.next_page then t.next_page <- page + 1
       | Meta_log.Merge { old_eu; new_eu } -> (
+          cov_void old_eu;
           match Hashtbl.find_opt t.data_eus old_eu with
           | Some eu ->
               Hashtbl.remove t.data_eus old_eu;
@@ -1111,6 +1338,7 @@ let recover ?config ?bbm dev ~first_block ~num_blocks ~txn_status ~meta ~meta_ev
               | None -> ())
           | None -> failwith "Ipl_storage.recover: overflow assign to unknown unit")
       | Meta_log.Overflow_release { data_eu } -> (
+          cov_void data_eu;
           match Hashtbl.find_opt t.data_eus data_eu with
           | Some eu ->
               List.iter
@@ -1123,12 +1351,29 @@ let recover ?config ?bbm dev ~first_block ~num_blocks ~txn_status ~meta ~meta_ev
               eu.overflow_rev <- []
           | None -> ())
       | Meta_log.Overflow_free { eu } -> Hashtbl.remove t.overflow_eus eu
+      | Meta_log.Ckpt_eu { eu; used_log; overflow; counts } -> (
+          match Hashtbl.find_opt cov_pending eu with
+          | Some (u, o, acc) -> Hashtbl.replace cov_pending eu (u, o, acc @ counts)
+          | None -> Hashtbl.replace cov_pending eu (used_log, overflow, counts))
+      | Meta_log.Ckpt { active; trx_watermark } ->
+          if trx_watermark <= trx_durable then begin
+            Hashtbl.iter (fun eu c -> Hashtbl.replace cov_effective eu c) cov_pending;
+            cov_footer := Some (active, trx_watermark)
+          end;
+          Hashtbl.reset cov_pending
       (* Resilience events address the bad-block manager, which the owner
          replays into it before constructing the storage manager; all
          storage-level addresses are virtual and unaffected. *)
       | Meta_log.Remap _ | Meta_log.Retire _ | Meta_log.Degraded -> ())
     meta_events;
-  (* Rescan flash to rebuild log-sector usage and record counts. *)
+  t.last_ckpt_footer <- !cov_footer;
+  let lazy_on = t.config.Ipl_config.lazy_recovery && !cov_footer <> None in
+  (* Rebuild log-sector usage and record counts. Free-state scans cost no
+     simulated time; the flash reads do. Eagerly (or for units the
+     checkpoint does not vouch for) the whole log region is read back;
+     under lazy recovery a covered unit's counts are seeded from the
+     checkpoint, only the post-checkpoint delta is read and decoded, and
+     an entry in the repair table records what first touch still owes. *)
   Hashtbl.iter
     (fun _ eu ->
       let rec used i =
@@ -1137,10 +1382,62 @@ let recover ?config ?bbm dev ~first_block ~num_blocks ~txn_status ~meta ~meta_ev
         else i
       in
       eu.used_log <- used 0;
-      let records = read_eu_log_records t eu in
-      Hashtbl.reset eu.txn_counts;
-      eu.total_records <- 0;
-      note_records eu records)
+      let cov = if lazy_on then Hashtbl.find_opt cov_effective eu.phys else None in
+      match cov with
+      | Some (ck_used, ck_over, ck_counts)
+        when ck_used <= eu.used_log && ck_over <= List.length eu.overflow_rev ->
+          Hashtbl.reset eu.txn_counts;
+          eu.total_records <- 0;
+          List.iter
+            (fun (txid, n) ->
+              Hashtbl.replace eu.txn_counts txid
+                (n + Option.value ~default:0 (Hashtbl.find_opt eu.txn_counts txid)))
+            ck_counts;
+          eu.total_records <- List.fold_left (fun a (_, n) -> a + n) 0 ck_counts;
+          let ss = sector_size t in
+          let delta_in =
+            if eu.used_log > ck_used then begin
+              let count = eu.used_log - ck_used in
+              let blob = dev_read t ~sector:(log_sector_addr t eu.phys ck_used) ~count in
+              t.c_log_sector_reads <- t.c_log_sector_reads + count;
+              List.concat
+                (List.init count (fun i ->
+                     Log_sector.deserialize (Bytes.sub blob (i * ss) ss)))
+            end
+            else []
+          in
+          let delta_over =
+            (* [overflow_rev] is newest-first: the first
+               [length - ck_over] entries postdate the checkpoint; read
+               them oldest-first. *)
+            let beyond = List.length eu.overflow_rev - ck_over in
+            List.concat_map
+              (fun addr ->
+                let sector = dev_read t ~sector:addr ~count:1 in
+                t.c_log_sector_reads <- t.c_log_sector_reads + 1;
+                Log_sector.deserialize sector)
+              (List.rev (List.filteri (fun i _ -> i < beyond) eu.overflow_rev))
+          in
+          let delta = delta_in @ delta_over in
+          note_records eu delta;
+          if ck_used > 0 || ck_over > 0 || delta <> [] then begin
+            let pages =
+              List.sort_uniq compare (List.map (fun r -> r.Log_record.page) delta)
+            in
+            Recovery.Repair_table.add t.repairs ~eu:eu.phys
+              {
+                Recovery.Repair_table.pre_in = ck_used;
+                pre_over = ck_over;
+                delta_in;
+                delta_over;
+                pages;
+              }
+          end
+      | _ ->
+          let records = read_eu_log_records t eu in
+          Hashtbl.reset eu.txn_counts;
+          eu.total_records <- 0;
+          note_records eu records)
     t.data_eus;
   Hashtbl.iter
     (fun phys info ->
@@ -1158,8 +1455,9 @@ let recover ?config ?bbm dev ~first_block ~num_blocks ~txn_status ~meta ~meta_ev
      (a crash mid-merge leaves one). *)
   for b = first_block to first_block + num_blocks - 1 do
     if (not (Hashtbl.mem t.data_eus b)) && not (Hashtbl.mem t.overflow_eus b) then
-      if dev_free_in_block t b < t.sectors_per_block then reclaim_eu t b
-      else free_pool_add t b
+      if dev_free_in_block t b >= t.sectors_per_block then free_pool_add t b
+      else if lazy_on then t.pending_reclaims <- b :: t.pending_reclaims
+      else reclaim_eu t b
   done;
   (* Resume filling: one unit with a usable free slot per channel, if
      any (on a single-channel device, the first found — the serial

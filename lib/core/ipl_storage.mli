@@ -26,8 +26,36 @@
     without re-scanning the flash log region. The cache is write-through
     (appends mirror successful log programs) and invalidated when a merge
     rewrites a unit; it holds no state flash does not, so crash recovery
-    is unaffected — a restart simply starts cold. [log_cache_bytes = 0]
-    disables it, reproducing the uncached engine bit-for-bit. *)
+    is unaffected. An eager restart re-warms it as a side effect of the
+    recovery rescan (each unit's decoded records are installed, counted
+    as [log_cache_misses]); a lazy restart re-warms each covered unit at
+    first touch instead, counted as [log_cache_warm_entries].
+    [log_cache_bytes = 0] disables it, reproducing the uncached engine
+    bit-for-bit.
+
+    {2 Fuzzy checkpoints and lazy restart}
+
+    When [Ipl_config.checkpoint_every > 0] the engine periodically emits
+    a {e fuzzy checkpoint} into the metadata log ({!emit_checkpoint}):
+    one [Ckpt_eu] record per data erase unit with a non-empty log region
+    — claiming that the first [used_log] in-region sectors and the
+    oldest [overflow] overflow sectors of that unit decode to exactly
+    [counts] records per transaction — sealed by a [Ckpt] footer naming
+    the transactions active at the checkpoint and the durable
+    transaction-log watermark. Nothing is quiesced and no data moves:
+    the claim is a prefix of an append-only log, so it stays true as the
+    log grows and is invalidated only when a merge or an overflow
+    release recycles the unit (recovery voids coverage on those events).
+
+    With [Ipl_config.lazy_recovery] set, {!recover} seeds each covered
+    unit's record counts from the checkpoint, reads only the
+    post-checkpoint {e delta} of its log, and files the unit in a repair
+    table. The covered prefix is then re-read and replayed on-demand —
+    at the unit's first read, merge or log flush ({!Obs.Event.Page_repaired})
+    — or drained in the background via {!repair_step}. Until a unit is
+    repaired its full record list has not been materialised, but its
+    counts and mapping are exact, so every storage invariant (merge
+    decisions, tau, durability) holds from the first transaction. *)
 
 type t
 
@@ -47,6 +75,12 @@ type stats = {
       (** log-region reads served from the DRAM record cache (no flash) *)
   log_cache_misses : int;  (** log-region reads that scanned flash *)
   log_cache_evictions : int;  (** cache entries dropped for the byte budget *)
+  log_cache_warm_entries : int;
+      (** cache entries installed by lazy post-crash repair (first-touch
+          or background), as opposed to ordinary demand misses *)
+  eus_repaired_lazily : int;
+      (** erase units whose covered log prefix was replayed on demand
+          after a lazy restart *)
 }
 
 val create :
@@ -72,6 +106,7 @@ val create :
 val recover :
   ?config:Ipl_config.t ->
   ?bbm:Resilience.Bbm.t ->
+  ?trx_durable:int ->
   Device.Flash_device.t ->
   first_block:int ->
   num_blocks:int ->
@@ -84,7 +119,16 @@ val recover :
     scan of the flash region. Unreferenced half-written erase units (from
     a crash mid-merge) are erased. [bbm] must already have had the
     [Remap]/[Retire]/[Degraded] events replayed into it (they are ignored
-    here). *)
+    here).
+
+    [trx_durable] is the recovered transaction log's durable sector count
+    ({!Trx_log.durable_sectors} after {!Trx_log.recover}); a checkpoint
+    footer whose watermark exceeds it is discarded, since the statuses
+    its counts were filtered against never reached flash. When
+    [config.lazy_recovery] is set and a usable checkpoint is found, the
+    scan reads only each covered unit's post-checkpoint log delta and
+    defers the covered prefix to on-demand repair (see the header);
+    otherwise the scan is eager and the repair table stays empty. *)
 
 val config : t -> Ipl_config.t
 
@@ -135,6 +179,33 @@ val publish_meta : t -> unit
 (** Submit the buffered metadata sector without waiting for the program;
     the commit path pays one device barrier for it together with the
     transaction-log and in-page log flushes it publishes. *)
+
+val emit_checkpoint : t -> active:int list -> trx_watermark:int -> unit
+(** Append a fuzzy checkpoint (per-unit [Ckpt_eu] coverage records plus
+    the [Ckpt] footer) to the metadata log buffer — no force, no barrier:
+    the caller's next durability barrier carries it, and a checkpoint
+    torn by a crash is simply ignored at recovery. [active] is the
+    transaction ids active right now ({!Trx_log.active});
+    [trx_watermark] the durable transaction-log sector count
+    ({!Trx_log.durable_sectors}). Skipped entirely (no-op) if [active]
+    is implausibly large for one footer record (> 120 ids). The emitted
+    coverage is also folded into later metadata-log snapshot
+    compactions, so a checkpoint survives compaction. *)
+
+val repair_pending : t -> int
+(** Erase units still awaiting on-demand repair after a lazy restart
+    (0 on an eager restart, and once repair has drained). *)
+
+val repair_step : t -> max_eus:int -> int
+(** Repair up to [max_eus] pending units (lowest-numbered first): re-read
+    each unit's covered log prefix, re-install its full decoded record
+    list into the cache, and emit {!Obs.Event.Page_repaired} per touched
+    page. Leftover budget then retires reclamation erases the lazy
+    restart deferred (dirty unmapped blocks it left unerased to get off
+    the critical path), so a [max_int] drain leaves no background debt.
+    Returns the number of units repaired (deferred erases are not
+    counted). Used by the engine's background drainer; first-touch
+    repair happens implicitly on reads, merges and log flushes. *)
 
 val merge_fullest : t -> max_merges:int -> int
 (** Merge up to [max_merges] data erase units, fullest log region first,

@@ -8,6 +8,8 @@ type event =
   | Remap of { virt : int; phys : int }
   | Retire of { block : int }
   | Degraded
+  | Ckpt_eu of { eu : int; used_log : int; overflow : int; counts : (int * int) list }
+  | Ckpt of { active : int list; trx_watermark : int }
 
 type t = { log : Seq_log.t; mutable snapshot : (unit -> event list) option }
 
@@ -64,6 +66,28 @@ let encode = function
       let b = Bytes.create 1 in
       Bytes.set_uint8 b 0 8;
       b
+  | Ckpt_eu { eu; used_log; overflow; counts } ->
+      let n = List.length counts in
+      let b = Bytes.create (17 + (8 * n)) in
+      Bytes.set_uint8 b 0 9;
+      u32 b 1 eu;
+      u32 b 5 used_log;
+      u32 b 9 overflow;
+      u32 b 13 n;
+      List.iteri
+        (fun i (txid, c) ->
+          u32 b (17 + (8 * i)) txid;
+          u32 b (21 + (8 * i)) c)
+        counts;
+      b
+  | Ckpt { active; trx_watermark } ->
+      let n = List.length active in
+      let b = Bytes.create (9 + (4 * n)) in
+      Bytes.set_uint8 b 0 10;
+      u32 b 1 trx_watermark;
+      u32 b 5 n;
+      List.iteri (fun i txid -> u32 b (9 + (4 * i)) txid) active;
+      b
 
 let decode b =
   match Bytes.get_uint8 b 0 with
@@ -76,6 +100,16 @@ let decode b =
   | 6 -> Remap { virt = g32 b 1; phys = g32 b 5 }
   | 7 -> Retire { block = g32 b 1 }
   | 8 -> Degraded
+  | 9 ->
+      let n = g32 b 13 in
+      let counts =
+        List.init n (fun i -> (g32 b (17 + (8 * i)), g32 b (21 + (8 * i))))
+      in
+      Ckpt_eu { eu = g32 b 1; used_log = g32 b 5; overflow = g32 b 9; counts }
+  | 10 ->
+      let n = g32 b 5 in
+      Ckpt
+        { active = List.init n (fun i -> g32 b (9 + (4 * i))); trx_watermark = g32 b 1 }
   | _ -> invalid_arg "Meta_log.decode: unknown tag"
 
 let create chip ~first_block ~num_blocks =

@@ -25,6 +25,19 @@ type event =
           physical block [phys] *)
   | Retire of { block : int }  (** physical block permanently retired *)
   | Degraded  (** spare pool exhausted: device is read-only from here on *)
+  | Ckpt_eu of { eu : int; used_log : int; overflow : int; counts : (int * int) list }
+      (** fuzzy-checkpoint coverage of one erase unit: at checkpoint time
+          [eu] had [used_log] in-region log sectors and [overflow]
+          overflow sectors on flash, holding [counts] records per
+          transaction ([(txid, n)] pairs; chunked — several [Ckpt_eu]
+          records for one [eu] accumulate). Recovery can trust these and
+          re-read only sectors written {e after} the checkpoint *)
+  | Ckpt of { active : int list; trx_watermark : int }
+      (** fuzzy-checkpoint footer: the active-transaction table and the
+          durable transaction-log watermark (sectors written) when the
+          checkpoint was taken. Its arrival promotes the [Ckpt_eu]
+          records since the previous footer into the effective
+          checkpoint; a torn checkpoint (footer lost) is simply ignored *)
 
 type t
 

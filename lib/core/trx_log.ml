@@ -104,6 +104,7 @@ let active t =
   Hashtbl.fold (fun txid s acc -> if s = Active then txid :: acc else acc) t.statuses []
 
 let max_txid t = Hashtbl.fold (fun txid _ acc -> max txid acc) t.statuses 0
+let durable_sectors t = Seq_log.sectors_written t.log
 
 let publish t = Seq_log.publish t.log
 let force t = Seq_log.force t.log

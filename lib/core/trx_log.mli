@@ -48,6 +48,11 @@ val active : t -> int list
 val max_txid : t -> int
 (** Highest transaction id the log remembers; 0 if none. *)
 
+val durable_sectors : t -> int
+(** Log sectors submitted to flash so far — the durable watermark a fuzzy
+    checkpoint records. Deferred commit records (still outside the
+    buffer) are not counted. *)
+
 val publish : t -> unit
 (** Submit the buffered partial sector without waiting (see
     {!Seq_log.publish}). *)

@@ -26,11 +26,18 @@ let engine_config ~broken =
     group_commit = (if broken then 1_000_000 else 0);
   }
 
+(* Lazy-recovery variant: same deliberately small pool, plus a fuzzy
+   checkpoint every 16 commits so the restart under test actually has
+   coverage to lean on. [lazy_recovery] is set only on the engine doing
+   the restart — the crashed state itself is produced identically. *)
+let recovery_config ~broken ~lazy_recovery =
+  { (engine_config ~broken) with Config.checkpoint_every = 16; lazy_recovery }
+
 let chip_config () = FConfig.default ~num_blocks:32 ()
 
-let fresh ~broken spec =
+let fresh ~config spec =
   let chip = Chip.create (chip_config ()) in
-  let engine = Engine.create ~config:(engine_config ~broken) chip in
+  let engine = Engine.create ~config chip in
   let oracle = Oracle.create () in
   let pages = Workload.setup engine oracle spec in
   (chip, engine, oracle, pages)
@@ -41,28 +48,95 @@ let spread ~lo ~hi n =
   if n <= 0 || n >= total then List.init total (fun i -> lo + i)
   else List.init n (fun i -> lo + (i * total / n))
 
-let run ?(tear = true) ?(broken = false) ?(max_ops = 0) ?(sample = 0) spec =
+(* Keep every [stride]-th point: a cheap thinning knob on top of
+   [sample] for CI runs that sweep long workloads. *)
+let thin ~stride points =
+  if stride <= 1 then points else List.filteri (fun i _ -> i mod stride = 0) points
+
+(* Logical digest of an engine's committed state: every page/slot value
+   in a fixed order, hashed. Two engines with identical logical content
+   produce equal digests regardless of physical flash layout — the
+   lazy-vs-eager equivalence check. Reading every slot also drives the
+   lazy engine's first-touch repairs. *)
+let digest engine ~pages ~slots =
+  let buf = Buffer.create 4096 in
+  Array.iter
+    (fun page ->
+      for slot = 0 to slots - 1 do
+        match Engine.read engine ~page ~slot with
+        | Ok (Some v) ->
+            Buffer.add_string buf (Printf.sprintf "|%d.%d.%d:" page slot (Bytes.length v));
+            Buffer.add_bytes buf v
+        | Ok None -> Buffer.add_string buf (Printf.sprintf "|%d.%d.x" page slot)
+        | Error e -> failwith ("Campaign: digest read: " ^ Engine.error_to_string e)
+      done)
+    pages;
+  Digest.string (Buffer.contents buf)
+
+(* Restart an eager twin from an identically crashed chip and require its
+   logical digest to match the lazy engine's — once right after the lazy
+   restart (first-touch repairs fire during the digest reads) and again
+   after the background drainer has settled every remaining unit. *)
+let lazy_vs_eager ~eager_config ~crashed lazy_engine ~pages ~slots =
+  let chip_e, _oracle_e, _pages_e = crashed () in
+  match Engine.restart ~config:eager_config chip_e with
+  | exception e -> [ "eager twin restart raised: " ^ Printexc.to_string e ]
+  | eager_engine, _aborted ->
+      let de = digest eager_engine ~pages ~slots in
+      let dl = digest lazy_engine ~pages ~slots in
+      let vs =
+        if dl <> de then [ "lazy/eager digest mismatch after restart" ] else []
+      in
+      let vs =
+        match Engine.drain_repairs lazy_engine ~max_eus:max_int with
+        | Ok _ -> vs
+        | Error e -> vs @ [ "drain_repairs: " ^ Engine.error_to_string e ]
+      in
+      let vs =
+        if Engine.repair_pending lazy_engine <> 0 then
+          vs @ [ "repairs still pending after full drain" ]
+        else vs
+      in
+      if digest lazy_engine ~pages ~slots <> de then
+        vs @ [ "lazy/eager digest mismatch after repair drain" ]
+      else vs
+
+let run ?(tear = true) ?(broken = false) ?(max_ops = 0) ?(sample = 0) ?(stride = 1)
+    ?(lazy_mode = false) spec =
+  let run_config =
+    if lazy_mode then recovery_config ~broken ~lazy_recovery:false
+    else engine_config ~broken
+  in
   (* Golden run: same spec, no faults — just count the flash operations. *)
-  let chip, engine, oracle, pages = fresh ~broken spec in
+  let chip, engine, oracle, pages = fresh ~config:run_config spec in
   let setup_ops = Chip.op_count chip in
   Workload.run engine oracle spec ~pages;
   let total_ops = Chip.op_count chip in
   let gstats = Chip.stats chip in
   let hi = if max_ops > 0 then min total_ops (setup_ops + max_ops) else total_ops in
-  let points = spread ~lo:setup_ops ~hi sample in
+  let points = thin ~stride (spread ~lo:setup_ops ~hi sample) in
   let recovered = ref 0 in
   let in_doubt = ref 0 in
   let violations = ref [] in
   List.iter
     (fun point ->
-      let chip, engine, oracle, pages = fresh ~broken spec in
-      Fault_plan.install chip (Fault_plan.crash_at ~tear point);
-      (try Workload.run engine oracle spec ~pages with Chip.Power_loss _ -> ());
-      Fault_plan.clear chip;
+      (* The crashed state is a deterministic function of (spec, point):
+         [crashed] can rebuild a bit-identical chip for the eager twin. *)
+      let crashed () =
+        let chip, engine, oracle, pages = fresh ~config:run_config spec in
+        Fault_plan.install chip (Fault_plan.crash_at ~tear point);
+        (try Workload.run engine oracle spec ~pages with Chip.Power_loss _ -> ());
+        Fault_plan.clear chip;
+        (chip, oracle, pages)
+      in
+      let chip, oracle, pages = crashed () in
       (match Oracle.crash oracle with
       | Oracle.In_doubt -> incr in_doubt
       | Oracle.Rolled_back -> ());
-      match Engine.restart ~config:(engine_config ~broken) chip with
+      let restart_config =
+        if lazy_mode then recovery_config ~broken ~lazy_recovery:true else run_config
+      in
+      match Engine.restart ~config:restart_config chip with
       | exception e ->
           violations :=
             (point, [ "restart raised: " ^ Printexc.to_string e ]) :: !violations
@@ -75,6 +149,13 @@ let run ?(tear = true) ?(broken = false) ?(max_ops = 0) ?(sample = 0) spec =
                 | Ok v -> v
                 | Error e -> failwith ("Campaign: read: " ^ Engine.error_to_string e))
               ~pages:(Array.to_list pages) ~slots:(Workload.max_slots spec)
+          in
+          let vs =
+            if not lazy_mode then vs
+            else
+              vs
+              @ lazy_vs_eager ~eager_config:run_config ~crashed engine' ~pages
+                  ~slots:(Workload.max_slots spec)
           in
           if vs <> [] then violations := (point, vs) :: !violations)
     points;
@@ -92,9 +173,9 @@ let run ?(tear = true) ?(broken = false) ?(max_ops = 0) ?(sample = 0) spec =
 (* ------------------------------------------------------------------ *)
 (* Concurrent crash campaign: MVCC sessions + group commit              *)
 
-let fresh_concurrent spec =
+let fresh_concurrent ~config spec =
   let chip = Chip.create (chip_config ()) in
-  let engine = Engine.create ~config:(engine_config ~broken:false) chip in
+  let engine = Engine.create ~config chip in
   let oracle = Concurrent_oracle.create () in
   let pages = Workload.setup_concurrent engine oracle spec in
   (chip, engine, oracle, pages)
@@ -105,8 +186,13 @@ let fresh_concurrent spec =
    model — after every crash the recovered state must equal the setup
    state plus a commit-order prefix reaching at least the durable
    watermark, with conflict-losers and rolled-back transactions absent. *)
-let run_concurrent ?(tear = true) ?(max_ops = 0) ?(sample = 0) ?(sessions = 8) spec =
-  let chip, engine, oracle, pages = fresh_concurrent spec in
+let run_concurrent ?(tear = true) ?(max_ops = 0) ?(sample = 0) ?(stride = 1)
+    ?(lazy_mode = false) ?(sessions = 8) spec =
+  let run_config =
+    if lazy_mode then recovery_config ~broken:false ~lazy_recovery:false
+    else engine_config ~broken:false
+  in
+  let chip, engine, oracle, pages = fresh_concurrent ~config:run_config spec in
   let setup_ops = Chip.op_count chip in
   ignore
     (Workload.run_concurrent engine oracle spec ~sessions ~pages
@@ -114,24 +200,32 @@ let run_concurrent ?(tear = true) ?(max_ops = 0) ?(sample = 0) ?(sessions = 8) s
   let total_ops = Chip.op_count chip in
   let gstats = Chip.stats chip in
   let hi = if max_ops > 0 then min total_ops (setup_ops + max_ops) else total_ops in
-  let points = spread ~lo:setup_ops ~hi sample in
+  let points = thin ~stride (spread ~lo:setup_ops ~hi sample) in
   let recovered = ref 0 in
   let in_doubt = ref 0 in
   let violations = ref [] in
   List.iter
     (fun point ->
-      let chip, engine, oracle, pages = fresh_concurrent spec in
-      Fault_plan.install chip (Fault_plan.crash_at ~tear point);
-      (try
-         ignore
-           (Workload.run_concurrent engine oracle spec ~sessions ~pages
-             : Workload.concurrent_outcome)
-       with Chip.Power_loss _ -> ());
-      Fault_plan.clear chip;
+      let crashed () =
+        let chip, engine, oracle, pages = fresh_concurrent ~config:run_config spec in
+        Fault_plan.install chip (Fault_plan.crash_at ~tear point);
+        (try
+           ignore
+             (Workload.run_concurrent engine oracle spec ~sessions ~pages
+               : Workload.concurrent_outcome)
+         with Chip.Power_loss _ -> ());
+        Fault_plan.clear chip;
+        (chip, oracle, pages)
+      in
+      let chip, oracle, pages = crashed () in
       (match Concurrent_oracle.crash oracle with
       | Concurrent_oracle.In_doubt -> incr in_doubt
       | Concurrent_oracle.Settled -> ());
-      match Engine.restart ~config:(engine_config ~broken:false) chip with
+      let restart_config =
+        if lazy_mode then recovery_config ~broken:false ~lazy_recovery:true
+        else run_config
+      in
+      match Engine.restart ~config:restart_config chip with
       | exception e ->
           violations :=
             (point, [ "restart raised: " ^ Printexc.to_string e ]) :: !violations
@@ -144,6 +238,13 @@ let run_concurrent ?(tear = true) ?(max_ops = 0) ?(sample = 0) ?(sessions = 8) s
                 | Ok v -> v
                 | Error e -> failwith ("Campaign: read: " ^ Engine.error_to_string e))
               ~pages:(Array.to_list pages) ~slots:(Workload.max_slots spec)
+          in
+          let vs =
+            if not lazy_mode then vs
+            else
+              vs
+              @ lazy_vs_eager ~eager_config:run_config ~crashed engine' ~pages
+                  ~slots:(Workload.max_slots spec)
           in
           if vs <> [] then violations := (point, vs) :: !violations)
     points;

@@ -20,7 +20,15 @@ type report = {
   mean_wear : float;  (** per-block erase wear of the golden run *)
 }
 
-val run : ?tear:bool -> ?broken:bool -> ?max_ops:int -> ?sample:int -> Workload.spec -> report
+val run :
+  ?tear:bool ->
+  ?broken:bool ->
+  ?max_ops:int ->
+  ?sample:int ->
+  ?stride:int ->
+  ?lazy_mode:bool ->
+  Workload.spec ->
+  report
 (** [tear] (default [true]) tears multi-sector programs at the crash
     point instead of failing cleanly before them. [broken] (default
     [false]) runs the engine with commit-time log forcing effectively
@@ -28,19 +36,40 @@ val run : ?tear:bool -> ?broken:bool -> ?max_ops:int -> ?sample:int -> Workload.
     recovery configuration that the checker must flag, used to validate
     the checker itself. [max_ops] (0 = no cap) bounds how far past setup
     crash points may fall; [sample] (0 = all) tests only that many
-    points, spread evenly. *)
+    points, spread evenly; [stride] (default 1) then keeps every
+    [stride]-th of them.
+
+    [lazy_mode] (default [false]) turns every crash point into a
+    lazy-vs-eager equivalence check: the engine runs with fuzzy
+    checkpoints enabled, the crashed chip is restarted with
+    [lazy_recovery] and oracle-checked as usual, and an {e eager} twin —
+    restarted from a bit-identical crashed chip rebuilt by the
+    deterministic workload — must produce the same logical digest
+    (every page/slot value), both right after the lazy restart and
+    again after {!Ipl_core.Ipl_engine.drain_repairs} has settled every
+    pending unit. Any mismatch is reported as a violation at that crash
+    point. *)
 
 val pp_report : Format.formatter -> report -> unit
 
 val run_concurrent :
-  ?tear:bool -> ?max_ops:int -> ?sample:int -> ?sessions:int -> Workload.spec -> report
+  ?tear:bool ->
+  ?max_ops:int ->
+  ?sample:int ->
+  ?stride:int ->
+  ?lazy_mode:bool ->
+  ?sessions:int ->
+  Workload.spec ->
+  report
 (** The crash-point sweep of {!run} over {e concurrent} histories: the
     workload mix runs through [sessions] (default 8) interleaved
     {!Ipl_txn.Mvcc} transactions with a group-commit window of
     [sessions], checked by {!Concurrent_oracle} — the recovered state
     must equal some commit-order prefix at or past the durable watermark,
     with conflict-losers and rolled-back transactions absent. [in_doubt]
-    counts crash points that hit inside a commit call. *)
+    counts crash points that hit inside a commit call. [stride] and
+    [lazy_mode] behave as in {!run} — in particular [lazy_mode] checks
+    lazy-vs-eager digest equality over the concurrent histories too. *)
 
 (** {1 Resilience campaign}
 

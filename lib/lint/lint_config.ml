@@ -108,6 +108,7 @@ let libraries =
     { dir = "lib/sema"; wrapper = "Sema"; allowed = [ "Lint" ] };
     { dir = "lib/obs"; wrapper = "Obs"; allowed = [ "Ipl_util" ] };
     { dir = "lib/cache"; wrapper = "Cache"; allowed = [ "Ipl_util" ] };
+    { dir = "lib/recovery"; wrapper = "Recovery"; allowed = [ "Ipl_util" ] };
     { dir = "lib/flash"; wrapper = "Flash_sim"; allowed = [ "Ipl_util"; "Obs" ] };
     { dir = "lib/device"; wrapper = "Device"; allowed = [ "Ipl_util"; "Obs"; "Flash_sim" ] };
     {
@@ -123,7 +124,17 @@ let libraries =
       dir = "lib/core";
       wrapper = "Ipl_core";
       allowed =
-        [ "Ipl_util"; "Obs"; "Flash_sim"; "Device"; "Resilience"; "Storage"; "Bufmgr"; "Cache" ];
+        [
+          "Ipl_util";
+          "Obs";
+          "Flash_sim";
+          "Device";
+          "Resilience";
+          "Storage";
+          "Bufmgr";
+          "Cache";
+          "Recovery";
+        ];
     };
     { dir = "lib/btree"; wrapper = "Btree"; allowed = [ "Ipl_util"; "Storage"; "Ipl_core" ] };
     { dir = "lib/txn"; wrapper = "Ipl_txn"; allowed = [ "Ipl_util"; "Ipl_core" ] };

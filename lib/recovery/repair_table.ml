@@ -1,0 +1,40 @@
+(* The restart-time repair plan: one entry per erase unit whose log
+   state is vouched for by the last fuzzy checkpoint. The entry splits
+   the unit's log into the checkpointed prefix (still on flash, counted
+   but unread) and the post-checkpoint delta (already decoded by the
+   recovery scan). Repairing the unit reads the prefix sectors, splices
+   the delta behind them and installs the result wherever the caller
+   keeps warm log records; until then the table is the only memory of
+   what restart still owes. *)
+
+type 'r entry = {
+  pre_in : int;  (* in-region log sectors durable at the checkpoint *)
+  pre_over : int;  (* overflow sectors durable at the checkpoint *)
+  delta_in : 'r list;  (* decoded records of post-checkpoint in-region sectors *)
+  delta_over : 'r list;  (* decoded records of post-checkpoint overflow sectors *)
+  pages : int list;  (* distinct pages the delta touches, for repair events *)
+}
+
+type 'r t = { table : (int, 'r entry) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 32 }
+
+let add t ~eu entry = Hashtbl.replace t.table eu entry
+let find t ~eu = Hashtbl.find_opt t.table eu
+let remove t ~eu = Hashtbl.remove t.table eu
+let mem t ~eu = Hashtbl.mem t.table eu
+let pending t = Hashtbl.length t.table
+
+(* Any entry will do for the background drainer; the iteration order of
+   a hash table is arbitrary but, for a fixed insertion history, fixed —
+   the drain schedule stays deterministic across identical runs. *)
+let choose t =
+  let best = ref None in
+  Hashtbl.iter
+    (fun eu e ->
+      match !best with Some (eu', _) when eu' <= eu -> () | _ -> best := Some (eu, e))
+    t.table;
+  !best
+
+let iter t f = Hashtbl.iter (fun eu e -> f ~eu e) t.table
+let clear t = Hashtbl.reset t.table

@@ -1,0 +1,41 @@
+(** Per-erase-unit repair plan for lazy (REDO-only) restart.
+
+    Built by the checkpoint-bounded recovery scan: each entry records
+    how much of an erase unit's in-page log the last fuzzy checkpoint
+    vouches for (a durable prefix that need not be re-read to know the
+    unit's record counts) plus the decoded records of the sectors
+    written after the checkpoint. The storage layer repairs a unit on
+    first touch — read the prefix, splice the delta behind it, warm the
+    log-record cache — and removes the entry; a background drainer
+    empties whatever reads never touch. Generic in the record type for
+    the same reason {!Cache.Log_cache} is: this library sits below
+    lib/core and cannot name its record type. *)
+
+type 'r entry = {
+  pre_in : int;  (** in-region log sectors durable at the checkpoint *)
+  pre_over : int;  (** overflow sectors durable at the checkpoint *)
+  delta_in : 'r list;  (** decoded post-checkpoint in-region records *)
+  delta_over : 'r list;  (** decoded post-checkpoint overflow records *)
+  pages : int list;  (** distinct pages the delta touches *)
+}
+
+type 'r t
+
+val create : unit -> 'r t
+
+val add : 'r t -> eu:int -> 'r entry -> unit
+(** Register (or replace) the plan for one erase unit. *)
+
+val find : 'r t -> eu:int -> 'r entry option
+val remove : 'r t -> eu:int -> unit
+val mem : 'r t -> eu:int -> bool
+
+val pending : 'r t -> int
+(** Erase units still awaiting repair. *)
+
+val choose : 'r t -> (int * 'r entry) option
+(** Lowest-numbered pending unit, for the background drainer —
+    deterministic for a fixed table content. *)
+
+val iter : 'r t -> (eu:int -> 'r entry -> unit) -> unit
+val clear : 'r t -> unit

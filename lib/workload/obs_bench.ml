@@ -597,4 +597,11 @@ let run ?(spec = default) () =
   in
   { spec; engine; tracer; metrics; concurrency = conc; json }
 
-let write_json path t = Obs.Export.to_file path (Json.to_string t.json ^ "\n")
+let write_json ?(extra = []) path t =
+  let doc =
+    match (extra, t.json) with
+    | [], j -> j
+    | fields, Json.Obj base -> Json.Obj (base @ fields)
+    | fields, j -> Json.Obj (("document", j) :: fields)
+  in
+  Obs.Export.to_file path (Json.to_string doc ^ "\n")

@@ -94,5 +94,8 @@ val run : ?spec:spec -> unit -> t
     phase timings plus the log-record cache and commit-batch /
     conflict-abort counters, and [concurrency] mirrors {!concurrency}. *)
 
-val write_json : string -> t -> unit
-(** [write_json path t] writes [t.json] (compact, newline-terminated). *)
+val write_json : ?extra:(string * Ipl_util.Json.t) list -> string -> t -> unit
+(** [write_json path t] writes [t.json] (compact, newline-terminated).
+    [extra] fields, if any, are appended to the top-level object — used
+    by [ipl_cli bench --restart] to attach the {!Restart_bench} section
+    without disturbing the schema-stable core document. *)

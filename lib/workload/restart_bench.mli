@@ -1,0 +1,51 @@
+(** Availability benchmark: time-to-first-transaction after a crash,
+    eager versus lazy restart.
+
+    For each database size, a deterministic update stream is stopped
+    mid-flight (no checkpoint, no quiesce) — twice, producing two
+    bit-identical crashed flash states. One is reopened with the classic
+    eager restart (rescan every erase unit's log region), the other with
+    [Ipl_config.lazy_recovery] (fuzzy checkpoint + on-demand page
+    repair). Both immediately run one ordinary transaction; the span
+    from restart to that transaction's commit barrier, on the simulated
+    device clock, is the availability metric. The lazy engine is then
+    fully drained and its logical content digest-compared against the
+    eager one. *)
+
+type spec = {
+  name : string;
+  pages : int;
+  transactions : int;
+  seed : int;
+  num_blocks : int;
+  checkpoint_every : int;
+}
+
+val specs : spec list
+(** The swept sizes: ["small"], ["medium"], ["large"]. *)
+
+type point = {
+  name : string;
+  pages : int;
+  transactions : int;
+  eager_s : float;  (** simulated seconds, restart → first commit, eager *)
+  lazy_s : float;  (** same span under [lazy_recovery] *)
+  eager_restart_log_reads : int;
+      (** log sectors read inside the eager restart scan *)
+  lazy_restart_log_reads : int;
+      (** log sectors read inside the lazy restart scan (deltas only) *)
+  repair_pending : int;  (** units deferred to on-demand repair *)
+  warm_entries : int;  (** cache entries installed by repair, after drain *)
+  digest_match : bool;
+      (** recovered logical content identical eager vs lazy (must hold) *)
+}
+
+val run : unit -> point list
+(** One {!point} per {!specs} entry, in order. *)
+
+val to_json : point list -> Ipl_util.Json.t
+(** The [restart] section of BENCH_ipl.json: per-spec points under
+    ["specs"], plus ["time_to_first_txn"] with the largest spec's
+    [eager_s]/[lazy_s] headline numbers. *)
+
+val pp : Format.formatter -> point list -> unit

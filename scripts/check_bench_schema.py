@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Validate the shape of BENCH_ipl.json (ipl_cli bench --json).
+
+Structural check, stdlib only: the top-level sections CI depends on must
+be present with the right types, every backend must carry flash stats,
+the IPL backend's storage stats must include the full counter set
+(including the recovery counters log_cache_warm_entries and
+eus_repaired_lazily), and — when the document was produced with
+--restart — the restart section must carry per-spec points and the
+time_to_first_txn headline with both eager_s and lazy_s.
+
+Usage: check_bench_schema.py BENCH_ipl.json
+Exits non-zero on the first violation.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    sys.exit(f"bench schema violation: {msg}")
+
+
+def need(obj, key, ty, where):
+    if not isinstance(obj, dict) or key not in obj:
+        fail(f"{where}: missing key {key!r}")
+    v = obj[key]
+    ok = isinstance(v, ty)
+    if ty is int:
+        ok = ok and not isinstance(v, bool)
+    if not ok:
+        fail(f"{where}.{key}: expected {ty.__name__}, got {type(v).__name__}")
+    return v
+
+
+NUMBER = (int, float)
+
+STORAGE_COUNTERS = [
+    "pages_allocated",
+    "page_reads",
+    "log_sector_writes",
+    "overflow_sector_writes",
+    "log_sector_reads",
+    "merges",
+    "overflow_diversions",
+    "records_applied_at_merge",
+    "records_dropped_aborted",
+    "records_carried_over",
+    "erase_units_reclaimed",
+    "log_cache_hits",
+    "log_cache_misses",
+    "log_cache_evictions",
+    "log_cache_warm_entries",
+    "eus_repaired_lazily",
+]
+
+RESTART_POINT_KEYS = {
+    "name": str,
+    "pages": int,
+    "transactions": int,
+    "eager_s": NUMBER,
+    "lazy_s": NUMBER,
+    "eager_restart_log_reads": int,
+    "lazy_restart_log_reads": int,
+    "repair_pending_after_restart": int,
+    "warm_entries_after_drain": int,
+    "digest_match": bool,
+}
+
+
+def check_restart(restart):
+    specs = need(restart, "specs", list, "restart")
+    if not specs:
+        fail("restart.specs: empty")
+    for i, p in enumerate(specs):
+        where = f"restart.specs[{i}]"
+        for key, ty in RESTART_POINT_KEYS.items():
+            need(p, key, ty, where)
+        if not p["digest_match"]:
+            fail(f"{where}: digest_match is false — lazy recovery diverged")
+    ttft = need(restart, "time_to_first_txn", dict, "restart")
+    need(ttft, "eager_s", NUMBER, "restart.time_to_first_txn")
+    need(ttft, "lazy_s", NUMBER, "restart.time_to_first_txn")
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit(__doc__.strip())
+    with open(sys.argv[1]) as f:
+        doc = json.load(f)
+
+    need(doc, "schema", str, "$")
+    need(doc, "workload", dict, "$")
+    need(doc, "logical_digest", str, "$")
+    need(doc, "device", dict, "$")
+    need(doc, "wall_clock", dict, "$")
+    backends = need(doc, "backends", list, "$")
+
+    ipl = None
+    for i, b in enumerate(backends):
+        name = need(b, "name", str, f"backends[{i}]")
+        need(b, "flash", dict, f"backends[{i}]")
+        if name == "ipl":
+            ipl = b
+    if ipl is None:
+        fail("backends: no entry named 'ipl'")
+    storage = need(ipl, "storage", dict, "backends[ipl]")
+    for key in STORAGE_COUNTERS:
+        need(storage, key, int, "backends[ipl].storage")
+
+    if "restart" in doc:
+        check_restart(need(doc, "restart", dict, "$"))
+
+    print(f"{sys.argv[1]}: bench schema OK"
+          + (" (with restart section)" if "restart" in doc else ""))
+
+
+if __name__ == "__main__":
+    main()
