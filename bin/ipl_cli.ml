@@ -189,12 +189,28 @@ let replay_cmd =
 
 (* ---------------- faultcheck ---------------- *)
 
-let crash_campaign ops sample stride lazy_mode seed transactions pages no_tear broken =
+(* [--jobs 0] (the default) defers to IPL_JOBS, then to 1; any request is
+   clamped to the machine's recommended domain count. Reports, digests
+   and JSON (outside wall_clock) are byte-identical for every value. *)
+let resolve_jobs cli = Par.Par_config.resolve ~cli ()
+
+let jobs_t =
+  Arg.(
+    value & opt int 0
+    & info [ "j"; "jobs" ]
+        ~doc:
+          "Worker domains for the parallel paths (crash-point campaigns, baseline \
+           replays, session read resolution, restart sweep). 0 (default): use the \
+           $(b,IPL_JOBS) environment variable if set, else 1 — fully serial, no \
+           domains. Clamped to the machine's recommended domain count. The results \
+           are byte-identical for every value; only wall-clock time changes.")
+
+let crash_campaign ops sample stride lazy_mode seed transactions pages no_tear broken jobs =
   let transactions = Option.value ~default:200 transactions in
   let spec = { Fault.Workload.default with Fault.Workload.seed; transactions; pages } in
   let report =
     Fault.Campaign.run ~tear:(not no_tear) ~broken ~max_ops:ops ~sample ~stride ~lazy_mode
-      spec
+      ~jobs spec
   in
   if lazy_mode then
     Printf.printf "lazy-recovery mode: every crash point checked lazy == eager\n";
@@ -237,12 +253,13 @@ let resilience_campaign profile spares seed transactions =
         Format.printf "%a@." Fault.Campaign.pp_resilience_report r;
         if not (Fault.Campaign.resilience_ok r) then exit 1
 
-let concurrent_campaign ops sample stride lazy_mode seed transactions pages no_tear sessions =
+let concurrent_campaign ops sample stride lazy_mode seed transactions pages no_tear sessions
+    jobs =
   let transactions = Option.value ~default:60 transactions in
   let spec = { Fault.Workload.default with Fault.Workload.seed; transactions; pages } in
   let report =
     Fault.Campaign.run_concurrent ~tear:(not no_tear) ~max_ops:ops ~sample ~stride
-      ~lazy_mode ~sessions spec
+      ~lazy_mode ~sessions ~jobs spec
   in
   Printf.printf "concurrent campaign: %d sessions%s\n" sessions
     (if lazy_mode then " (lazy == eager checked)" else "");
@@ -250,11 +267,14 @@ let concurrent_campaign ops sample stride lazy_mode seed transactions pages no_t
   if report.Fault.Campaign.violations <> [] then exit 1
 
 let faultcheck ops sample stride lazy_mode seed transactions pages no_tear broken profile
-    spares sessions =
+    spares sessions jobs =
+  let jobs = resolve_jobs jobs in
   match profile with
-  | None -> crash_campaign ops sample stride lazy_mode seed transactions pages no_tear broken
+  | None ->
+      crash_campaign ops sample stride lazy_mode seed transactions pages no_tear broken jobs
   | Some "concurrent" ->
-      concurrent_campaign ops sample stride lazy_mode seed transactions pages no_tear sessions
+      concurrent_campaign ops sample stride lazy_mode seed transactions pages no_tear
+        sessions jobs
   | Some profile -> resilience_campaign profile spares seed transactions
 
 let ops_t =
@@ -338,7 +358,7 @@ let faultcheck_cmd =
           manager and verify zero data loss up to read-only degradation.")
     Term.(
       const faultcheck $ ops_t $ sample_t $ stride_t $ lazy_t $ seed_t $ fc_transactions_t
-      $ fc_pages_t $ no_tear_t $ broken_t $ profile_t $ spares_t $ fc_sessions_t)
+      $ fc_pages_t $ no_tear_t $ broken_t $ profile_t $ spares_t $ fc_sessions_t $ jobs_t)
 
 (* ---------------- observe ---------------- *)
 
@@ -429,7 +449,8 @@ let observe_cmd =
 (* ---------------- bench ---------------- *)
 
 let bench transactions seed quick spares cache_bytes channels ways sessions restart json
-    out =
+    out jobs =
+  let jobs = resolve_jobs jobs in
   let spec = obs_spec transactions seed quick in
   let spec = { spec with Workload.Obs_bench.spare_blocks = spares; channels; ways; sessions } in
   let spec =
@@ -437,7 +458,7 @@ let bench transactions seed quick spares cache_bytes channels ways sessions rest
     | None -> spec
     | Some b -> { spec with Workload.Obs_bench.log_cache_bytes = b }
   in
-  let r = Workload.Obs_bench.run ~spec () in
+  let r = Workload.Obs_bench.run ~spec ~jobs () in
   let member = Ipl_util.Json.member in
   let backends =
     match member "backends" r.Workload.Obs_bench.json with
@@ -473,7 +494,7 @@ let bench transactions seed quick spares cache_bytes channels ways sessions rest
        c.Workload.Obs_bench.max_commit_batch c.Workload.Obs_bench.throughput_tps);
   let restart_points =
     if restart then begin
-      let pts = Workload.Restart_bench.run () in
+      let pts = Workload.Restart_bench.run ~jobs () in
       Format.printf "%a@." Workload.Restart_bench.pp pts;
       Some pts
     end
@@ -556,14 +577,18 @@ let bench_cmd =
     Term.(
       const bench $ obs_transactions_t $ seed_t $ obs_quick_t $ bench_spares_t
       $ bench_cache_bytes_t $ bench_channels_t $ bench_ways_t $ bench_sessions_t
-      $ bench_restart_t $ bench_json_t $ bench_out_t)
+      $ bench_restart_t $ bench_json_t $ bench_out_t $ jobs_t)
 
 (* ---------------- chansweep ---------------- *)
 
-let chansweep transactions seed quick counts csv =
+let chansweep transactions seed quick counts csv jobs =
+  let jobs = resolve_jobs jobs in
   let spec = obs_spec transactions seed quick in
+  (* Each sweep point runs sequentially with the parallelism {e inside}
+     the point (replays, session reads): nesting a pool of points over
+     the bench's own pool would deadlock-by-design (Nested_parallelism). *)
   let run ~channels =
-    (Workload.Obs_bench.run ~spec:{ spec with Workload.Obs_bench.channels } ())
+    (Workload.Obs_bench.run ~spec:{ spec with Workload.Obs_bench.channels } ~jobs ())
       .Workload.Obs_bench.json
   in
   let points = Sweep.channel_sweep ~channel_counts:counts ~run () in
@@ -628,7 +653,7 @@ let chansweep_cmd =
          "Channel-scaling sweep: run the bench workload at several channel counts,           report makespan, speedup and per-op-class latency quantiles, and verify the           logical digest is geometry-independent.")
     Term.(
       const chansweep $ obs_transactions_t $ seed_t $ obs_quick_t $ chansweep_counts_t
-      $ csv_t)
+      $ csv_t $ jobs_t)
 
 (* ---------------- queries ---------------- *)
 

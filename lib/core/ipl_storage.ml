@@ -845,6 +845,55 @@ let reattach_overflow t eu saved =
       | None -> ())
     saved
 
+(* ------------------------------------------------------------------ *)
+(* Fuzzy checkpoints                                                    *)
+
+(* Limits keeping every checkpoint record inside one log sector's
+   payload: per-unit transaction counts are chunked (they accumulate at
+   recovery), and a checkpoint whose active-transaction table cannot fit
+   a single footer record is skipped outright — the previous checkpoint
+   simply stays in force. *)
+let ckpt_counts_chunk = 56
+let ckpt_max_active = 120
+
+(* The checkpoint as an event list: per-unit coverage of every data unit
+   with a non-empty log (sorted by unit for a deterministic flash
+   layout), then the footer that promotes it. Also re-emitted verbatim by
+   the compaction snapshot, so a compacted metadata log keeps its
+   checkpoint. *)
+let ckpt_events t ~active ~trx_watermark =
+  let eus =
+    Hashtbl.fold (fun _ eu acc -> if eu_log_empty eu then acc else eu :: acc) t.data_eus []
+    |> List.sort (fun a b -> compare a.phys b.phys)
+  in
+  let rec chunks = function
+    | [] -> []
+    | l ->
+        let rec take n acc rest =
+          if n = 0 then (List.rev acc, rest)
+          else match rest with [] -> (List.rev acc, []) | x :: r -> take (n - 1) (x :: acc) r
+        in
+        let c, rest = take ckpt_counts_chunk [] l in
+        c :: chunks rest
+  in
+  let per_eu eu =
+    let counts =
+      Hashtbl.fold (fun txid n acc -> (txid, n) :: acc) eu.txn_counts [] |> List.sort compare
+    in
+    let used_log = eu.used_log and overflow = List.length eu.overflow_rev in
+    List.map
+      (fun c -> Meta_log.Ckpt_eu { eu = eu.phys; used_log; overflow; counts = c })
+      (chunks counts)
+  in
+  List.concat_map per_eu eus
+  @ [ Meta_log.Ckpt { active = List.sort compare active; trx_watermark } ]
+
+let emit_checkpoint t ~active ~trx_watermark =
+  if List.length active <= ckpt_max_active then begin
+    List.iter (Meta_log.log t.meta) (ckpt_events t ~active ~trx_watermark);
+    t.last_ckpt_footer <- Some (active, trx_watermark)
+  end
+
 (* A merge is atomic at the durability point — the metadata-log force that
    publishes the Merge event. An exception before that point (an injected
    power loss, a worn-out block, a corrupt log sector) must leave the
@@ -852,7 +901,7 @@ let reattach_overflow t eu saved =
    were, so a caller that survives the exception keeps a consistent
    engine; after the point, the in-memory switch-over is completed before
    any further fallible flash work. *)
-let merge t eu ~pending =
+let merge_rewrite t eu ~pending =
   repair_eu_if_pending t eu;
   (* Merge onto the {e next} channel: the copy's reads (old unit) and
      programs (new unit) then sit on different chips and overlap. With
@@ -976,6 +1025,23 @@ let merge t eu ~pending =
             m "merge rollback: could not reclaim unit %d: %s" new_phys (Printexc.to_string exn)));
     raise e
 
+(* A completed merge rewrote the unit, and at recovery the Merge event
+   voids the unit's checkpoint coverage — the log prefix it vouched for
+   is gone. Until the next periodic checkpoint that unit would fall back
+   to a full log scan, so re-emit the coverage immediately from the
+   fresh post-merge state, under the standing footer (the same
+   footer-reuse the compaction snapshot performs; the footer itself is
+   not advanced). The merged unit's coverage is trivially small — its
+   log was just compacted — and every other unit's claim is re-asserted
+   unchanged. Skipped when fuzzy checkpoints are off or none was taken
+   yet. *)
+let merge t eu ~pending =
+  merge_rewrite t eu ~pending;
+  match t.last_ckpt_footer with
+  | Some (active, trx_watermark) when t.config.Ipl_config.checkpoint_every > 0 ->
+      List.iter (Meta_log.log t.meta) (ckpt_events t ~active ~trx_watermark)
+  | _ -> ()
+
 (* ------------------------------------------------------------------ *)
 (* Log flushing                                                        *)
 
@@ -1066,55 +1132,6 @@ let merge_fullest t ~max_merges =
 
 let force_meta t = Meta_log.force t.meta
 let publish_meta t = Meta_log.publish t.meta
-
-(* ------------------------------------------------------------------ *)
-(* Fuzzy checkpoints                                                    *)
-
-(* Limits keeping every checkpoint record inside one log sector's
-   payload: per-unit transaction counts are chunked (they accumulate at
-   recovery), and a checkpoint whose active-transaction table cannot fit
-   a single footer record is skipped outright — the previous checkpoint
-   simply stays in force. *)
-let ckpt_counts_chunk = 56
-let ckpt_max_active = 120
-
-(* The checkpoint as an event list: per-unit coverage of every data unit
-   with a non-empty log (sorted by unit for a deterministic flash
-   layout), then the footer that promotes it. Also re-emitted verbatim by
-   the compaction snapshot, so a compacted metadata log keeps its
-   checkpoint. *)
-let ckpt_events t ~active ~trx_watermark =
-  let eus =
-    Hashtbl.fold (fun _ eu acc -> if eu_log_empty eu then acc else eu :: acc) t.data_eus []
-    |> List.sort (fun a b -> compare a.phys b.phys)
-  in
-  let rec chunks = function
-    | [] -> []
-    | l ->
-        let rec take n acc rest =
-          if n = 0 then (List.rev acc, rest)
-          else match rest with [] -> (List.rev acc, []) | x :: r -> take (n - 1) (x :: acc) r
-        in
-        let c, rest = take ckpt_counts_chunk [] l in
-        c :: chunks rest
-  in
-  let per_eu eu =
-    let counts =
-      Hashtbl.fold (fun txid n acc -> (txid, n) :: acc) eu.txn_counts [] |> List.sort compare
-    in
-    let used_log = eu.used_log and overflow = List.length eu.overflow_rev in
-    List.map
-      (fun c -> Meta_log.Ckpt_eu { eu = eu.phys; used_log; overflow; counts = c })
-      (chunks counts)
-  in
-  List.concat_map per_eu eus
-  @ [ Meta_log.Ckpt { active = List.sort compare active; trx_watermark } ]
-
-let emit_checkpoint t ~active ~trx_watermark =
-  if List.length active <= ckpt_max_active then begin
-    List.iter (Meta_log.log t.meta) (ckpt_events t ~active ~trx_watermark);
-    t.last_ckpt_footer <- Some (active, trx_watermark)
-  end
 
 (* ------------------------------------------------------------------ *)
 (* Introspection                                                       *)

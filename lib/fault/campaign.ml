@@ -101,8 +101,36 @@ let lazy_vs_eager ~eager_config ~crashed lazy_engine ~pages ~slots =
         vs @ [ "lazy/eager digest mismatch after repair drain" ]
       else vs
 
+(* The per-point verdict: did the restart complete, did the crash land
+   mid-commit, and what (if anything) did the checker flag. Verdicts are
+   a pure function of (spec, point) — each one rebuilds its own chip,
+   engine and oracle — which is what lets the campaign fan points across
+   domains and still merge a report identical to the serial sweep. *)
+type verdict = { point : int; ok : bool; doubt : bool; vs : string list }
+
+let merge_verdicts ~total_ops ~setup_ops ~gstats verdicts =
+  let recovered = ref 0 in
+  let in_doubt = ref 0 in
+  let violations = ref [] in
+  Array.iter
+    (fun v ->
+      if v.ok then incr recovered;
+      if v.doubt then incr in_doubt;
+      if v.vs <> [] then violations := (v.point, v.vs) :: !violations)
+    verdicts;
+  {
+    total_ops;
+    setup_ops;
+    crash_points = Array.length verdicts;
+    recovered = !recovered;
+    in_doubt = !in_doubt;
+    violations = List.rev !violations;
+    max_wear = gstats.FStats.max_wear;
+    mean_wear = gstats.FStats.mean_wear;
+  }
+
 let run ?(tear = true) ?(broken = false) ?(max_ops = 0) ?(sample = 0) ?(stride = 1)
-    ?(lazy_mode = false) spec =
+    ?(lazy_mode = false) ?(jobs = 1) spec =
   let run_config =
     if lazy_mode then recovery_config ~broken ~lazy_recovery:false
     else engine_config ~broken
@@ -115,60 +143,51 @@ let run ?(tear = true) ?(broken = false) ?(max_ops = 0) ?(sample = 0) ?(stride =
   let gstats = Chip.stats chip in
   let hi = if max_ops > 0 then min total_ops (setup_ops + max_ops) else total_ops in
   let points = thin ~stride (spread ~lo:setup_ops ~hi sample) in
-  let recovered = ref 0 in
-  let in_doubt = ref 0 in
-  let violations = ref [] in
-  List.iter
-    (fun point ->
-      (* The crashed state is a deterministic function of (spec, point):
-         [crashed] can rebuild a bit-identical chip for the eager twin. *)
-      let crashed () =
-        let chip, engine, oracle, pages = fresh ~config:run_config spec in
-        Fault_plan.install chip (Fault_plan.crash_at ~tear point);
-        (try Workload.run engine oracle spec ~pages with Chip.Power_loss _ -> ());
-        Fault_plan.clear chip;
-        (chip, oracle, pages)
-      in
-      let chip, oracle, pages = crashed () in
-      (match Oracle.crash oracle with
-      | Oracle.In_doubt -> incr in_doubt
-      | Oracle.Rolled_back -> ());
-      let restart_config =
-        if lazy_mode then recovery_config ~broken ~lazy_recovery:true else run_config
-      in
-      match Engine.restart ~config:restart_config chip with
-      | exception e ->
-          violations :=
-            (point, [ "restart raised: " ^ Printexc.to_string e ]) :: !violations
-      | engine', _aborted ->
-          incr recovered;
-          let vs =
-            Oracle.check oracle
-              ~read:(fun ~page ~slot ->
-                match Engine.read engine' ~page ~slot with
-                | Ok v -> v
-                | Error e -> failwith ("Campaign: read: " ^ Engine.error_to_string e))
-              ~pages:(Array.to_list pages) ~slots:(Workload.max_slots spec)
-          in
-          let vs =
-            if not lazy_mode then vs
-            else
-              vs
-              @ lazy_vs_eager ~eager_config:run_config ~crashed engine' ~pages
-                  ~slots:(Workload.max_slots spec)
-          in
-          if vs <> [] then violations := (point, vs) :: !violations)
-    points;
-  {
-    total_ops;
-    setup_ops;
-    crash_points = List.length points;
-    recovered = !recovered;
-    in_doubt = !in_doubt;
-    violations = List.rev !violations;
-    max_wear = gstats.FStats.max_wear;
-    mean_wear = gstats.FStats.mean_wear;
-  }
+  let check_point point =
+    (* The crashed state is a deterministic function of (spec, point):
+       [crashed] can rebuild a bit-identical chip for the eager twin. *)
+    let crashed () =
+      let chip, engine, oracle, pages = fresh ~config:run_config spec in
+      Fault_plan.install chip (Fault_plan.crash_at ~tear point);
+      (try Workload.run engine oracle spec ~pages with Chip.Power_loss _ -> ());
+      Fault_plan.clear chip;
+      (chip, oracle, pages)
+    in
+    let chip, oracle, pages = crashed () in
+    let doubt =
+      match Oracle.crash oracle with
+      | Oracle.In_doubt -> true
+      | Oracle.Rolled_back -> false
+    in
+    let restart_config =
+      if lazy_mode then recovery_config ~broken ~lazy_recovery:true else run_config
+    in
+    match Engine.restart ~config:restart_config chip with
+    | exception e ->
+        { point; ok = false; doubt; vs = [ "restart raised: " ^ Printexc.to_string e ] }
+    | engine', _aborted ->
+        let vs =
+          Oracle.check oracle
+            ~read:(fun ~page ~slot ->
+              match Engine.read engine' ~page ~slot with
+              | Ok v -> v
+              | Error e -> failwith ("Campaign: read: " ^ Engine.error_to_string e))
+            ~pages:(Array.to_list pages) ~slots:(Workload.max_slots spec)
+        in
+        let vs =
+          if not lazy_mode then vs
+          else
+            vs
+            @ lazy_vs_eager ~eager_config:run_config ~crashed engine' ~pages
+                ~slots:(Workload.max_slots spec)
+        in
+        { point; ok = true; doubt; vs }
+  in
+  let verdicts =
+    Par.Domain_pool.with_pool ~jobs (fun pool ->
+        Par.Domain_pool.parallel_map pool check_point (Array.of_list points))
+  in
+  merge_verdicts ~total_ops ~setup_ops ~gstats verdicts
 
 (* ------------------------------------------------------------------ *)
 (* Concurrent crash campaign: MVCC sessions + group commit              *)
@@ -187,7 +206,7 @@ let fresh_concurrent ~config spec =
    state plus a commit-order prefix reaching at least the durable
    watermark, with conflict-losers and rolled-back transactions absent. *)
 let run_concurrent ?(tear = true) ?(max_ops = 0) ?(sample = 0) ?(stride = 1)
-    ?(lazy_mode = false) ?(sessions = 8) spec =
+    ?(lazy_mode = false) ?(sessions = 8) ?(jobs = 1) spec =
   let run_config =
     if lazy_mode then recovery_config ~broken:false ~lazy_recovery:false
     else engine_config ~broken:false
@@ -201,63 +220,54 @@ let run_concurrent ?(tear = true) ?(max_ops = 0) ?(sample = 0) ?(stride = 1)
   let gstats = Chip.stats chip in
   let hi = if max_ops > 0 then min total_ops (setup_ops + max_ops) else total_ops in
   let points = thin ~stride (spread ~lo:setup_ops ~hi sample) in
-  let recovered = ref 0 in
-  let in_doubt = ref 0 in
-  let violations = ref [] in
-  List.iter
-    (fun point ->
-      let crashed () =
-        let chip, engine, oracle, pages = fresh_concurrent ~config:run_config spec in
-        Fault_plan.install chip (Fault_plan.crash_at ~tear point);
-        (try
-           ignore
-             (Workload.run_concurrent engine oracle spec ~sessions ~pages
-               : Workload.concurrent_outcome)
-         with Chip.Power_loss _ -> ());
-        Fault_plan.clear chip;
-        (chip, oracle, pages)
-      in
-      let chip, oracle, pages = crashed () in
-      (match Concurrent_oracle.crash oracle with
-      | Concurrent_oracle.In_doubt -> incr in_doubt
-      | Concurrent_oracle.Settled -> ());
-      let restart_config =
-        if lazy_mode then recovery_config ~broken:false ~lazy_recovery:true
-        else run_config
-      in
-      match Engine.restart ~config:restart_config chip with
-      | exception e ->
-          violations :=
-            (point, [ "restart raised: " ^ Printexc.to_string e ]) :: !violations
-      | engine', _aborted ->
-          incr recovered;
-          let vs =
-            Concurrent_oracle.check oracle
-              ~read:(fun ~page ~slot ->
-                match Engine.read engine' ~page ~slot with
-                | Ok v -> v
-                | Error e -> failwith ("Campaign: read: " ^ Engine.error_to_string e))
-              ~pages:(Array.to_list pages) ~slots:(Workload.max_slots spec)
-          in
-          let vs =
-            if not lazy_mode then vs
-            else
-              vs
-              @ lazy_vs_eager ~eager_config:run_config ~crashed engine' ~pages
-                  ~slots:(Workload.max_slots spec)
-          in
-          if vs <> [] then violations := (point, vs) :: !violations)
-    points;
-  {
-    total_ops;
-    setup_ops;
-    crash_points = List.length points;
-    recovered = !recovered;
-    in_doubt = !in_doubt;
-    violations = List.rev !violations;
-    max_wear = gstats.FStats.max_wear;
-    mean_wear = gstats.FStats.mean_wear;
-  }
+  let check_point point =
+    let crashed () =
+      let chip, engine, oracle, pages = fresh_concurrent ~config:run_config spec in
+      Fault_plan.install chip (Fault_plan.crash_at ~tear point);
+      (try
+         ignore
+           (Workload.run_concurrent engine oracle spec ~sessions ~pages
+             : Workload.concurrent_outcome)
+       with Chip.Power_loss _ -> ());
+      Fault_plan.clear chip;
+      (chip, oracle, pages)
+    in
+    let chip, oracle, pages = crashed () in
+    let doubt =
+      match Concurrent_oracle.crash oracle with
+      | Concurrent_oracle.In_doubt -> true
+      | Concurrent_oracle.Settled -> false
+    in
+    let restart_config =
+      if lazy_mode then recovery_config ~broken:false ~lazy_recovery:true
+      else run_config
+    in
+    match Engine.restart ~config:restart_config chip with
+    | exception e ->
+        { point; ok = false; doubt; vs = [ "restart raised: " ^ Printexc.to_string e ] }
+    | engine', _aborted ->
+        let vs =
+          Concurrent_oracle.check oracle
+            ~read:(fun ~page ~slot ->
+              match Engine.read engine' ~page ~slot with
+              | Ok v -> v
+              | Error e -> failwith ("Campaign: read: " ^ Engine.error_to_string e))
+            ~pages:(Array.to_list pages) ~slots:(Workload.max_slots spec)
+        in
+        let vs =
+          if not lazy_mode then vs
+          else
+            vs
+            @ lazy_vs_eager ~eager_config:run_config ~crashed engine' ~pages
+                ~slots:(Workload.max_slots spec)
+        in
+        { point; ok = true; doubt; vs }
+  in
+  let verdicts =
+    Par.Domain_pool.with_pool ~jobs (fun pool ->
+        Par.Domain_pool.parallel_map pool check_point (Array.of_list points))
+  in
+  merge_verdicts ~total_ops ~setup_ops ~gstats verdicts
 
 (* ------------------------------------------------------------------ *)
 (* Resilience campaign: device failures instead of crashes              *)

@@ -27,6 +27,7 @@ val run :
   ?sample:int ->
   ?stride:int ->
   ?lazy_mode:bool ->
+  ?jobs:int ->
   Workload.spec ->
   report
 (** [tear] (default [true]) tears multi-sector programs at the crash
@@ -48,7 +49,14 @@ val run :
     (every page/slot value), both right after the lazy restart and
     again after {!Ipl_core.Ipl_engine.drain_repairs} has settled every
     pending unit. Any mismatch is reported as a violation at that crash
-    point. *)
+    point.
+
+    [jobs] (default 1) fans the crash points across a
+    {!Par.Domain_pool} — each point rebuilds its own chip, engine and
+    oracle, so the points are independent by construction, and the
+    per-point verdicts are merged back in point order. The report is
+    identical to the serial sweep for every job count; [jobs = 1] runs
+    the serial path itself with no domains spawned. *)
 
 val pp_report : Format.formatter -> report -> unit
 
@@ -59,6 +67,7 @@ val run_concurrent :
   ?stride:int ->
   ?lazy_mode:bool ->
   ?sessions:int ->
+  ?jobs:int ->
   Workload.spec ->
   report
 (** The crash-point sweep of {!run} over {e concurrent} histories: the
@@ -67,9 +76,11 @@ val run_concurrent :
     [sessions], checked by {!Concurrent_oracle} — the recovered state
     must equal some commit-order prefix at or past the durable watermark,
     with conflict-losers and rolled-back transactions absent. [in_doubt]
-    counts crash points that hit inside a commit call. [stride] and
-    [lazy_mode] behave as in {!run} — in particular [lazy_mode] checks
-    lazy-vs-eager digest equality over the concurrent histories too. *)
+    counts crash points that hit inside a commit call. [stride],
+    [lazy_mode] and [jobs] behave as in {!run} — in particular
+    [lazy_mode] checks lazy-vs-eager digest equality over the concurrent
+    histories too, and [jobs] parallelises the crash points without
+    changing the report. *)
 
 (** {1 Resilience campaign}
 

@@ -104,6 +104,7 @@ type library = { dir : string; wrapper : string; allowed : string list }
 let libraries =
   [
     { dir = "lib/util"; wrapper = "Ipl_util"; allowed = [] };
+    { dir = "lib/par"; wrapper = "Par"; allowed = [] };
     { dir = "lib/lint"; wrapper = "Lint"; allowed = [] };
     { dir = "lib/sema"; wrapper = "Sema"; allowed = [ "Lint" ] };
     { dir = "lib/obs"; wrapper = "Obs"; allowed = [ "Ipl_util" ] };
@@ -137,7 +138,7 @@ let libraries =
         ];
     };
     { dir = "lib/btree"; wrapper = "Btree"; allowed = [ "Ipl_util"; "Storage"; "Ipl_core" ] };
-    { dir = "lib/txn"; wrapper = "Ipl_txn"; allowed = [ "Ipl_util"; "Ipl_core" ] };
+    { dir = "lib/txn"; wrapper = "Ipl_txn"; allowed = [ "Ipl_util"; "Ipl_core"; "Par" ] };
     { dir = "lib/ftl"; wrapper = "Ftl"; allowed = [ "Ipl_util"; "Flash_sim"; "Disk_sim" ] };
     {
       dir = "lib/sim";
@@ -175,12 +176,14 @@ let libraries =
           "Ipl_txn";
           "Resilience";
           "Baseline";
+          "Par";
         ];
     };
     {
       dir = "lib/fault";
       wrapper = "Fault";
-      allowed = [ "Ipl_util"; "Flash_sim"; "Device"; "Resilience"; "Storage"; "Ipl_core"; "Ipl_txn" ];
+      allowed =
+        [ "Ipl_util"; "Flash_sim"; "Device"; "Resilience"; "Storage"; "Ipl_core"; "Ipl_txn"; "Par" ];
     };
   ]
 

@@ -1,0 +1,173 @@
+(* Fixed worker domains around a Mutex/Condition work queue. A batch is
+   an array of index-addressed thunks; workers (and the submitting
+   domain, which always participates) pull the next index under the
+   lock, run the thunk unlocked, and count completions. Results are
+   written to per-index cells, so the output order is the submission
+   order no matter which domain ran what.
+
+   Memory-safety argument for the result cells: each index is written by
+   exactly one domain, and the submitting domain only reads the cells
+   after observing [completed = n] under the batch mutex — the unlock in
+   the finishing worker happens-before that observation, so every write
+   is visible. *)
+
+type batch = {
+  tasks : (unit -> unit) array;
+  mutable next : int;  (* first index not yet claimed *)
+  mutable completed : int;
+}
+
+type t = {
+  jobs : int;
+  m : Mutex.t;
+  work : Condition.t;  (* a batch was submitted, or stop was set *)
+  finished : Condition.t;  (* the current batch completed *)
+  mutable batch : batch option;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+exception Nested_parallelism
+
+(* Worker status is domain-local, not pool-local: a task must not drive
+   ANY pool, including a different one — the outer batch would be stalled
+   on a domain that is itself waiting for pool capacity. *)
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let refuse_nested () = if Domain.DLS.get in_worker then raise Nested_parallelism
+
+(* Claim the next task index, or wait for one; [None] means stop. Caller
+   holds the mutex. *)
+let rec claim t =
+  if t.stop then None
+  else
+    match t.batch with
+    | Some b when b.next < Array.length b.tasks ->
+        let i = b.next in
+        b.next <- b.next + 1;
+        Some (b, i)
+    | _ ->
+        Condition.wait t.work t.m;
+        claim t
+
+(* Caller holds the mutex. *)
+let finish t b =
+  b.completed <- b.completed + 1;
+  if b.completed = Array.length b.tasks then Condition.broadcast t.finished
+
+let worker_loop t =
+  Domain.DLS.set in_worker true;
+  let rec go () =
+    Mutex.lock t.m;
+    match claim t with
+    | None -> Mutex.unlock t.m
+    | Some (b, i) ->
+        Mutex.unlock t.m;
+        b.tasks.(i) ();
+        Mutex.lock t.m;
+        finish t b;
+        Mutex.unlock t.m;
+        go ()
+  in
+  go ()
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Domain_pool.create: jobs must be >= 1";
+  let t =
+    {
+      jobs;
+      m = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      batch = None;
+      stop = false;
+      workers = [];
+    }
+  in
+  if jobs > 1 then
+    t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let jobs t = t.jobs
+
+let shutdown t =
+  Mutex.lock t.m;
+  t.stop <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.m;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* Run one batch to completion, with the calling domain pulling tasks
+   alongside the workers and waiting out the stragglers. *)
+let run_batch t tasks =
+  let n = Array.length tasks in
+  if n > 0 then begin
+    let b = { tasks; next = 0; completed = 0 } in
+    Mutex.lock t.m;
+    if t.batch <> None then begin
+      Mutex.unlock t.m;
+      invalid_arg "Domain_pool: a batch is already running on this pool"
+    end;
+    t.batch <- Some b;
+    Condition.broadcast t.work;
+    (* Tasks the submitting domain runs itself must trip the nested-use
+       refusal exactly like tasks on a spawned worker, so the domain
+       counts as a worker while it drives. The task wrappers catch every
+       exception ([parallel_map] re-raises after the drain), so the flag
+       reset below is not skipped. *)
+    Domain.DLS.set in_worker true;
+    let rec drive () =
+      if b.next < n then begin
+        let i = b.next in
+        b.next <- b.next + 1;
+        Mutex.unlock t.m;
+        tasks.(i) ();
+        Mutex.lock t.m;
+        finish t b;
+        drive ()
+      end
+      else if b.completed < n then begin
+        Condition.wait t.finished t.m;
+        drive ()
+      end
+    in
+    drive ();
+    Domain.DLS.set in_worker false;
+    t.batch <- None;
+    Mutex.unlock t.m
+  end
+
+let parallel_map t f src =
+  refuse_nested ();
+  let n = Array.length src in
+  if t.jobs <= 1 || n <= 1 then Array.map f src
+  else begin
+    let results = Array.make n None in
+    let errors = Array.make n None in
+    let tasks =
+      Array.init n (fun i () ->
+          match f src.(i) with
+          | v -> results.(i) <- Some v
+          | exception e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ()))
+    in
+    run_batch t tasks;
+    (* Serial semantics for failures: the lowest failing index is the one
+       a sequential Array.map would have raised first. *)
+    let rec first_error i =
+      if i >= n then None else match errors.(i) with Some _ as e -> e | None -> first_error (i + 1)
+    in
+    (match first_error 0 with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let parallel_for t ~lo ~hi f =
+  if hi > lo then
+    ignore (parallel_map t f (Array.init (hi - lo) (fun k -> lo + k)) : unit array)
+  else refuse_nested ()

@@ -1,0 +1,53 @@
+(** A fixed pool of worker domains with deterministic result ordering.
+
+    The pool exists for embarrassingly parallel work whose tasks are
+    independent by construction — crash-point restarts on private chips,
+    replay backends on private stores, pure snapshot resolution. Results
+    are committed in submission-index order, so the output of
+    {!parallel_map} is a pure function of its inputs regardless of how
+    the operating system schedules the domains.
+
+    [jobs = 1] is the serial identity: no domain is ever spawned and
+    {!parallel_map} degrades to [Array.map], bit for bit. Every consumer
+    in the repository keeps that as its default, which is what lets the
+    parallel paths claim digest equality with the serial ones.
+
+    One batch runs at a time per pool, and pools must not be used from
+    inside a pool task ({!Nested_parallelism}) — the engine stack is not
+    re-entrant across domains and nested fan-out would deadlock a pool
+    against itself. *)
+
+type t
+
+exception Nested_parallelism
+(** Raised when {!parallel_map} or {!parallel_for} is invoked from
+    inside a pool task (any pool's — worker status is domain-local). *)
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns [jobs - 1] worker domains (the submitting
+    domain participates in every batch, so total parallelism is [jobs]).
+    [jobs < 1] is an [Invalid_argument]; [jobs = 1] spawns nothing. *)
+
+val jobs : t -> int
+(** The parallelism the pool was created with. *)
+
+val shutdown : t -> unit
+(** Stop and join every worker. Idempotent. A pool that is never shut
+    down leaks its domains until exit. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] with a fresh pool and shuts it down
+    afterwards, exception or not. *)
+
+val parallel_map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map t f src] is [Array.map f src], computed by up to
+    [jobs t] domains. Results land at their submission index. If any
+    task raises, the exception of the {e lowest} index that failed is
+    re-raised on the calling domain (with its original backtrace) once
+    the batch has drained — the same exception a serial [Array.map]
+    would have surfaced first. Tasks must not touch shared mutable
+    state; the pool guarantees ordering, not isolation. *)
+
+val parallel_for : t -> lo:int -> hi:int -> (int -> unit) -> unit
+(** [parallel_for t ~lo ~hi f] runs [f i] for [lo <= i < hi] on the
+    pool. Like {!parallel_map}, the lowest-index exception wins. *)

@@ -1,0 +1,17 @@
+let env_var = "IPL_JOBS"
+
+let recommended () = Domain.recommended_domain_count ()
+
+let clamp j = if j < 1 then 1 else min j (recommended ())
+
+let env_jobs () =
+  match Sys.getenv_opt env_var with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j >= 1 -> Some j
+      | Some _ | None -> None)
+
+let resolve ?(cli = 0) () =
+  let requested = if cli >= 1 then cli else Option.value ~default:1 (env_jobs ()) in
+  clamp requested

@@ -7,11 +7,19 @@ type op =
 
 type plan = { ops : op list; aborting : bool; reads : (int * int) list }
 
+type session_stats = {
+  session : int;
+  commits : int;
+  sim_latencies : float list;
+  host_latency_s : float;
+}
+
 type outcome = {
   committed : int;
   aborted : int;
   conflict_aborts : int;
   mvcc : Mvcc.stats;
+  per_session : session_stats list;
 }
 
 (* One client session's position in its transaction stream. [Await_flush]
@@ -24,7 +32,20 @@ type state =
   | Reading of (int * int) list
   | Finished
 
-type session = { mutable next_plan : int; mutable state : state }
+type session = {
+  sid : int;
+  mutable next_plan : int;
+  mutable state : state;
+  (* Commit latency, begin -> observed durable. The simulated side is a
+     pure function of the schedule (the device clock only advances on
+     flash operations); the host side is wall time and only ever feeds
+     the machine-dependent report section. *)
+  mutable begin_sim : float;
+  mutable begin_host : float;
+  mutable commits : int;
+  mutable sim_latencies : float list;  (* newest first *)
+  mutable host_latency_s : float;
+}
 
 let fail ctx = function
   | Ok v -> v
@@ -43,18 +64,56 @@ let tolerate ctx = function
       ()
   | Error e -> failwith ("Session." ^ ctx ^ ": " ^ Mvcc.error_to_string e)
 
-let run ?(group_window = 0) ?(compact_every = 0) ?(note_read = fun _ -> ())
+(* Deferred reads drain in chunks of this many: large enough to amortise
+   a pool batch, small enough to bound the thunk backlog. *)
+let defer_chunk = 128
+
+let run ?(group_window = 0) ?(compact_every = 0) ?(note_read = fun _ -> ()) ?pool
     ~sessions ~plans engine =
   if sessions < 1 then invalid_arg "Session.run: sessions < 1";
   let window = if group_window > 0 then group_window else sessions in
   let m = Mvcc.create ~group_window:window engine in
   let committed = ref 0 and aborted = ref 0 and conflict_aborts = ref 0 in
   let finished_txns = ref 0 in
-  let clients = Array.init sessions (fun sid -> { next_plan = sid; state = Idle }) in
+  let clients =
+    Array.init sessions (fun sid ->
+        {
+          sid;
+          next_plan = sid;
+          state = Idle;
+          begin_sim = 0.;
+          begin_host = 0.;
+          commits = 0;
+          sim_latencies = [];
+          host_latency_s = 0.;
+        })
+  in
   (* A transaction's post-commit reads run against the latest committed
-     state, exactly where the serial loop reads after its commit. *)
+     state, exactly where the serial loop reads after its commit. With a
+     pool, the read's answer is still pinned at its schedule step (the
+     engine read and chain-visibility snapshot happen here, on this
+     domain) but the pure resolution is deferred; [note_read] then sees
+     the values in defer order — the same order, and the same values,
+     the serial path produces. *)
+  let deferred : (unit -> bytes option) Queue.t = Queue.create () in
+  let resolve_deferred () =
+    if not (Queue.is_empty deferred) then begin
+      let thunks = Array.of_seq (Queue.to_seq deferred) in
+      Queue.clear deferred;
+      let values =
+        match pool with
+        | Some p -> Par.Domain_pool.parallel_map p (fun f -> f ()) thunks
+        | None -> Array.map (fun f -> f ()) thunks
+      in
+      Array.iter note_read values
+    end
+  in
   let do_read (page, slot) =
-    note_read (fail "read" (Mvcc.read_committed m ~page ~slot))
+    match pool with
+    | None -> note_read (fail "read" (Mvcc.read_committed m ~page ~slot))
+    | Some _ ->
+        Queue.add (fail "read" (Mvcc.read_committed_deferred m ~page ~slot)) deferred;
+        if Queue.length deferred >= defer_chunk then resolve_deferred ()
   in
   let finish_txn () =
     incr finished_txns;
@@ -74,6 +133,8 @@ let run ?(group_window = 0) ?(compact_every = 0) ?(note_read = fun _ -> ())
         else begin
           let plan = plans.(s.next_plan) in
           s.next_plan <- s.next_plan + sessions;
+          s.begin_sim <- Engine.elapsed engine;
+          s.begin_host <- Ipl_util.Clock.now_s ();
           let tx = fail "begin" (Mvcc.begin_txn m) in
           s.state <- In_txn { tx; plan; remaining = plan.ops; conflicted = false };
           true
@@ -114,6 +175,12 @@ let run ?(group_window = 0) ?(compact_every = 0) ?(note_read = fun _ -> ())
         true
     | Await_flush { seq; reads } ->
         if Mvcc.flushed_commits m >= seq then begin
+          (* Begin -> durable, observed at the step where the session
+             notices its batch settled — the latency a client of this
+             group-commit scheduler actually experiences. *)
+          s.commits <- s.commits + 1;
+          s.sim_latencies <- (Engine.elapsed engine -. s.begin_sim) :: s.sim_latencies;
+          s.host_latency_s <- s.host_latency_s +. (Ipl_util.Clock.now_s () -. s.begin_host);
           s.state <- Reading reads;
           true
         end
@@ -143,10 +210,22 @@ let run ?(group_window = 0) ?(compact_every = 0) ?(note_read = fun _ -> ())
            turning into a spin. *)
         failwith "Session.run: deadlock with no pending commits"
   done;
+  resolve_deferred ();
   fail "flush" (Mvcc.flush m);
   {
     committed = !committed;
     aborted = !aborted;
     conflict_aborts = !conflict_aborts;
     mvcc = Mvcc.stats m;
+    per_session =
+      Array.to_list
+        (Array.map
+           (fun s ->
+             {
+               session = s.sid;
+               commits = s.commits;
+               sim_latencies = List.rev s.sim_latencies;
+               host_latency_s = s.host_latency_s;
+             })
+           clients);
   }

@@ -24,17 +24,31 @@ type plan = {
   reads : (int * int) list;  (** post-commit read phase: (page, slot) *)
 }
 
+type session_stats = {
+  session : int;  (** session index, [0 .. sessions-1] *)
+  commits : int;  (** transactions this session saw through to durable *)
+  sim_latencies : float list;
+      (** begin->durable commit latency in {e simulated} device seconds,
+          one per commit in completion order — a pure function of the
+          schedule, identical across job counts *)
+  host_latency_s : float;
+      (** total begin->durable {e host} time — wall clock, machine
+          dependent, reported only in machine-dependent sections *)
+}
+
 type outcome = {
   committed : int;
   aborted : int;  (** voluntary aborts (the plan said so) *)
   conflict_aborts : int;  (** transactions doomed by write-write conflicts *)
   mvcc : Mvcc.stats;
+  per_session : session_stats list;  (** one entry per session, in order *)
 }
 
 val run :
   ?group_window:int ->
   ?compact_every:int ->
   ?note_read:(bytes option -> unit) ->
+  ?pool:Par.Domain_pool.t ->
   sessions:int ->
   plans:plan array ->
   Ipl_core.Ipl_engine.t ->
@@ -45,4 +59,12 @@ val run :
     with one merge after every that-many finished transactions, like the
     serial benchmark loop. [note_read] sees every read result in
     deterministic schedule order. The final batch is flushed before
-    returning; the engine is left checkpoint-ready. *)
+    returning; the engine is left checkpoint-ready.
+
+    [pool] moves the post-commit read phase's {e resolution} onto a
+    {!Par.Domain_pool}: each read is pinned at its original schedule
+    step with {!Mvcc.read_committed_deferred} (so the answer is defined
+    by exactly the same state as the serial path) and the pure snapshot
+    walks are evaluated in chunks on the pool, with [note_read] invoked
+    in the original order. Outcome and read values are identical with
+    and without a pool, for any job count. *)

@@ -65,6 +65,7 @@ type concurrency = {
   batched_commits : int;
   max_commit_batch : int;
   throughput_tps : float;
+  per_session : Ipl_txn.Session.session_stats list;
 }
 
 type t = {
@@ -134,7 +135,7 @@ let fatal f =
    Returns wall-clock seconds per phase and the digest. Wall time comes
    from {!Ipl_util.Clock} (monotonic host time — the one measurement
    here that is {e not} simulated and so not machine-independent). *)
-let run_workload spec engine tracer metrics =
+let run_workload spec engine tracer metrics ~pool =
   let dev = Engine.device engine in
   let elapsed () = Dev.elapsed dev in
   Engine.set_tracer engine (Some tracer);
@@ -317,8 +318,12 @@ let run_workload spec engine tracer metrics =
             })
           plans
       in
+      (* The pool only ever carries the sessions' pure read resolution
+         ({!Ipl_txn.Session.run}); with one job the serial code path runs
+         untouched. *)
       let o =
         Ipl_txn.Session.run ~compact_every:spec.compact_every ~note_read
+          ?pool:(if Par.Domain_pool.jobs pool > 1 then Some pool else None)
           ~sessions:spec.sessions ~plans:splans engine
       in
       ok (Engine.checkpoint engine);
@@ -336,6 +341,7 @@ let run_workload spec engine tracer metrics =
         batched_commits = st.Ipl_txn.Mvcc.batched_commits;
         max_commit_batch = st.Ipl_txn.Mvcc.max_batch;
         throughput_tps = 0.0;
+        per_session = o.Ipl_txn.Session.per_session;
       }
     end
     else begin
@@ -352,6 +358,7 @@ let run_workload spec engine tracer metrics =
         batched_commits = commits;
         max_commit_batch = (if commits > 0 then 1 else 0);
         throughput_tps = 0.0;
+        per_session = [];
       }
     end
   in
@@ -487,25 +494,81 @@ let workload_json spec =
       ("sessions", Json.Int spec.sessions);
     ]
 
+(* Nearest-rank quantile over an ascending array: the smallest element
+   with at least [q] of the mass at or below it. Exact (no
+   interpolation), so the reported percentiles are values that actually
+   occurred. *)
+let quantile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let i = int_of_float (Float.ceil (q *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) i))
+
+let latency_summary_json latencies =
+  let a = Array.of_list latencies in
+  Array.sort compare a;
+  let n = Array.length a in
+  let mean = if n > 0 then Array.fold_left ( +. ) 0.0 a /. float_of_int n else 0.0 in
+  [
+    ("count", Json.Int n);
+    ("mean_s", Json.Float mean);
+    ("p50_s", Json.Float (quantile a 0.50));
+    ("p90_s", Json.Float (quantile a 0.90));
+    ("p99_s", Json.Float (quantile a 0.99));
+  ]
+
+(* A serial run has no group commit, no conflicts and no per-session
+   clients: reporting batch counters or a throughput for it misleads
+   (they are artifacts of the one-barrier-per-commit bookkeeping), so
+   the serial document says so explicitly and carries only the tallies
+   that mean what they say. Session runs keep the full accounting plus
+   begin->durable commit-latency percentiles in simulated seconds —
+   deterministic, so byte-identical across job counts. *)
 let concurrency_json c =
-  let mean =
-    if c.commit_batches > 0 then
-      float_of_int c.batched_commits /. float_of_int c.commit_batches
-    else 0.0
-  in
-  Json.Obj
-    [
-      ("sessions", Json.Int c.sessions);
-      ("committed", Json.Int c.committed);
-      ("aborted", Json.Int c.aborted);
-      ("conflict_aborts", Json.Int c.conflict_aborts);
-      ("conflicts", Json.Int c.conflicts);
-      ("commit_batches", Json.Int c.commit_batches);
-      ("batched_commits", Json.Int c.batched_commits);
-      ("mean_commit_batch", Json.Float mean);
-      ("max_commit_batch", Json.Int c.max_commit_batch);
-      ("throughput_tps", Json.Float c.throughput_tps);
-    ]
+  if c.sessions = 0 then
+    Json.Obj
+      [
+        ("mode", Json.String "serial");
+        ("sessions", Json.Int 0);
+        ("committed", Json.Int c.committed);
+        ("aborted", Json.Int c.aborted);
+      ]
+  else
+    let mean =
+      if c.commit_batches > 0 then
+        float_of_int c.batched_commits /. float_of_int c.commit_batches
+      else 0.0
+    in
+    let all =
+      List.concat_map
+        (fun (s : Ipl_txn.Session.session_stats) -> s.Ipl_txn.Session.sim_latencies)
+        c.per_session
+    in
+    Json.Obj
+      [
+        ("mode", Json.String "sessions");
+        ("sessions", Json.Int c.sessions);
+        ("committed", Json.Int c.committed);
+        ("aborted", Json.Int c.aborted);
+        ("conflict_aborts", Json.Int c.conflict_aborts);
+        ("conflicts", Json.Int c.conflicts);
+        ("commit_batches", Json.Int c.commit_batches);
+        ("batched_commits", Json.Int c.batched_commits);
+        ("mean_commit_batch", Json.Float mean);
+        ("max_commit_batch", Json.Int c.max_commit_batch);
+        ("throughput_tps", Json.Float c.throughput_tps);
+        ("commit_latency", Json.Obj (latency_summary_json all));
+        ( "per_session",
+          Json.List
+            (List.map
+               (fun (s : Ipl_txn.Session.session_stats) ->
+                 Json.Obj
+                   (("session", Json.Int s.Ipl_txn.Session.session)
+                   :: ("commits", Json.Int s.Ipl_txn.Session.commits)
+                   :: latency_summary_json s.Ipl_txn.Session.sim_latencies))
+               c.per_session) );
+      ]
 
 let ipl_backend engine metrics =
   let ops =
@@ -526,7 +589,8 @@ let ipl_backend engine metrics =
   in
   Json.Obj (("name", Json.String "ipl") :: ("ops", ops) :: layers)
 
-let run ?(spec = default) () =
+let run ?(spec = default) ?(jobs = 1) () =
+  Par.Domain_pool.with_pool ~jobs @@ fun pool ->
   let dev =
     Dev.create ~queue_depth:(engine_config spec).Config.queue_depth
       ~channels:spec.channels ~ways:spec.ways
@@ -535,7 +599,7 @@ let run ?(spec = default) () =
   let engine = fatal (fun () -> Engine.create_device ~config:(engine_config spec) dev) in
   let tracer = Obs.Tracer.create ~capacity:(tracer_capacity spec) () in
   let metrics = Obs.Metrics.create () in
-  let phases, logical_digest, conc = run_workload spec engine tracer metrics in
+  let phases, logical_digest, conc = run_workload spec engine tracer metrics ~pool in
   let replay0 = Ipl_util.Clock.now_s () in
   let stream = page_stream tracer in
   let trace_summary =
@@ -546,9 +610,18 @@ let run ?(spec = default) () =
         ("events", Json.Obj (event_counts tracer));
       ]
   in
+  (* The two conventional replays run on the pool — each drives its own
+     private chip over the same trace, so they are independent; the IPL
+     backend reads the live engine and stays on this domain. *)
   let backends =
     fatal (fun () ->
-        [ ipl_backend engine metrics; lfs_backend spec stream; inplace_backend spec stream ])
+        let ipl = ipl_backend engine metrics in
+        let replays =
+          Par.Domain_pool.parallel_map pool
+            (fun backend -> backend spec stream)
+            [| lfs_backend; inplace_backend |]
+        in
+        ipl :: Array.to_list replays)
   in
   let replay_s = Ipl_util.Clock.now_s () -. replay0 in
   (* Wall-clock phase timings (host ns — the only machine-dependent
@@ -580,6 +653,16 @@ let run ?(spec = default) () =
                else 0.0) );
           ("max_commit_batch", Json.Int conc.max_commit_batch);
           ("conflict_aborts", Json.Int conc.conflict_aborts);
+          (* Host-side parallelism of this run — machine-dependent by
+             definition, so it lives here and nowhere else: every other
+             section must be byte-identical across job counts. *)
+          ("jobs", Json.Int jobs);
+          ( "session_commit_wait",
+            ns
+              (List.fold_left
+                 (fun acc (s : Ipl_txn.Session.session_stats) ->
+                   acc +. s.Ipl_txn.Session.host_latency_s)
+                 0.0 conc.per_session) );
         ])
   in
   let json =

@@ -66,11 +66,21 @@ type concurrency = {
   batched_commits : int;  (** commits those barriers settled *)
   max_commit_batch : int;
   throughput_tps : float;  (** committed txns per simulated second *)
+  per_session : Ipl_txn.Session.session_stats list;
+      (** per-client commit counts and begin->durable commit latencies
+          (simulated seconds); empty on a serial run *)
 }
 (** Group-commit and conflict accounting of the workload phase. A serial
     run reports one barrier per commit and no conflicts; a session run
     reports the {!Ipl_txn.Mvcc} batch counters — mean batch size
-    [batched_commits / commit_batches] is the group-commit win. *)
+    [batched_commits / commit_batches] is the group-commit win.
+
+    The JSON [concurrency] section is mode-tagged: a serial run emits
+    [{mode = "serial"; sessions = 0; committed; aborted}] only (batch and
+    throughput fields would be bookkeeping artifacts there), while a
+    session run emits [mode = "sessions"] with the full accounting plus
+    [commit_latency] (count/mean/p50/p90/p99, simulated seconds) and a
+    [per_session] list of the same shape per client. *)
 
 type t = {
   spec : spec;
@@ -84,7 +94,7 @@ type t = {
 val schema_version : string
 (** ["ipl-bench/1"] — the [schema] field of the JSON document. *)
 
-val run : ?spec:spec -> unit -> t
+val run : ?spec:spec -> ?jobs:int -> unit -> t
 (** Run the workload and both conventional replays; never raises on a
     well-formed spec. The resulting [json] is
     [{schema; workload; trace; wall_clock; concurrency;
@@ -92,7 +102,14 @@ val run : ?spec:spec -> unit -> t
     latency histograms plus its layer stats (IPL: storage/pool/flash with
     merge, overflow and wear counters), [wall_clock] holds host-time
     phase timings plus the log-record cache and commit-batch /
-    conflict-abort counters, and [concurrency] mirrors {!concurrency}. *)
+    conflict-abort counters, and [concurrency] mirrors {!concurrency}.
+
+    [jobs] (default 1: fully serial, no domains) runs the two baseline
+    replays on a {!Par.Domain_pool} while the IPL run holds the main
+    domain, and hands the session read phase's pure resolution to the
+    pool ({!Ipl_txn.Session.run}'s [pool]). Every section of the
+    document except [wall_clock] — which records [jobs] and host times
+    by design — is byte-identical for every job count. *)
 
 val write_json : ?extra:(string * Ipl_util.Json.t) list -> string -> t -> unit
 (** [write_json path t] writes [t.json] (compact, newline-terminated).

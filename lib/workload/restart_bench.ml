@@ -157,7 +157,15 @@ let run_point spec =
     digest_match;
   }
 
-let run () = fatal (fun () -> List.map run_point specs)
+(* Each size point builds its own chips and engines from scratch, so the
+   sweep fans across the pool; results come back in spec order either
+   way, and every measurement is simulated-clock, so the points are
+   identical for any job count. *)
+let run ?(jobs = 1) () =
+  fatal (fun () ->
+      Par.Domain_pool.with_pool ~jobs (fun pool ->
+          Array.to_list
+            (Par.Domain_pool.parallel_map pool run_point (Array.of_list specs))))
 
 let point_json p =
   Json.Obj

@@ -40,8 +40,11 @@ type point = {
       (** recovered logical content identical eager vs lazy (must hold) *)
 }
 
-val run : unit -> point list
-(** One {!point} per {!specs} entry, in order. *)
+val run : ?jobs:int -> unit -> point list
+(** One {!point} per {!specs} entry, in order. [jobs] (default 1: serial,
+    no domains) sweeps the size points on a {!Par.Domain_pool}; every
+    measurement is simulated-clock, so the points are identical for any
+    job count. *)
 
 val to_json : point list -> Ipl_util.Json.t
 (** The [restart] section of BENCH_ipl.json: per-spec points under

@@ -5,9 +5,13 @@ Structural check, stdlib only: the top-level sections CI depends on must
 be present with the right types, every backend must carry flash stats,
 the IPL backend's storage stats must include the full counter set
 (including the recovery counters log_cache_warm_entries and
-eus_repaired_lazily), and — when the document was produced with
---restart — the restart section must carry per-spec points and the
-time_to_first_txn headline with both eager_s and lazy_s.
+eus_repaired_lazily), the concurrency section must be mode-tagged
+("serial" carries only the fields that are meaningful without sessions;
+"sessions" carries the batch accounting plus commit_latency percentiles
+and a per_session breakdown), wall_clock must record the jobs the run
+used, and — when the document was produced with --restart — the restart
+section must carry per-spec points and the time_to_first_txn headline
+with both eager_s and lazy_s.
 
 Usage: check_bench_schema.py BENCH_ipl.json
 Exits non-zero on the first violation.
@@ -68,6 +72,50 @@ RESTART_POINT_KEYS = {
 }
 
 
+LATENCY_KEYS = ["count", "mean_s", "p50_s", "p90_s", "p99_s"]
+
+
+def check_latency(obj, where):
+    need(obj, "count", int, where)
+    for key in LATENCY_KEYS[1:]:
+        need(obj, key, NUMBER, where)
+
+
+def check_concurrency(conc):
+    mode = need(conc, "mode", str, "concurrency")
+    need(conc, "sessions", int, "concurrency")
+    need(conc, "committed", int, "concurrency")
+    need(conc, "aborted", int, "concurrency")
+    if mode == "serial":
+        if conc["sessions"] != 0:
+            fail("concurrency: mode 'serial' with sessions != 0")
+        # Batch/throughput fields would be bookkeeping artifacts on the
+        # serial path; their presence means the mode tag is lying.
+        for key in ("commit_batches", "throughput_tps", "commit_latency", "per_session"):
+            if key in conc:
+                fail(f"concurrency.{key}: present in serial mode")
+    elif mode == "sessions":
+        if conc["sessions"] <= 0:
+            fail("concurrency: mode 'sessions' with sessions <= 0")
+        for key in ("conflict_aborts", "conflicts", "commit_batches",
+                    "batched_commits", "max_commit_batch"):
+            need(conc, key, int, "concurrency")
+        need(conc, "throughput_tps", NUMBER, "concurrency")
+        check_latency(need(conc, "commit_latency", dict, "concurrency"),
+                      "concurrency.commit_latency")
+        per_session = need(conc, "per_session", list, "concurrency")
+        if len(per_session) != conc["sessions"]:
+            fail(f"concurrency.per_session: {len(per_session)} entries "
+                 f"for {conc['sessions']} sessions")
+        for i, s in enumerate(per_session):
+            where = f"concurrency.per_session[{i}]"
+            need(s, "session", int, where)
+            need(s, "commits", int, where)
+            check_latency(s, where)
+    else:
+        fail(f"concurrency.mode: unknown mode {mode!r}")
+
+
 def check_restart(restart):
     specs = need(restart, "specs", list, "restart")
     if not specs:
@@ -93,7 +141,11 @@ def main():
     need(doc, "workload", dict, "$")
     need(doc, "logical_digest", str, "$")
     need(doc, "device", dict, "$")
-    need(doc, "wall_clock", dict, "$")
+    wall_clock = need(doc, "wall_clock", dict, "$")
+    jobs = need(wall_clock, "jobs", int, "wall_clock")
+    if jobs < 1:
+        fail(f"wall_clock.jobs: {jobs} < 1")
+    check_concurrency(need(doc, "concurrency", dict, "$"))
     backends = need(doc, "backends", list, "$")
 
     ipl = None
